@@ -1,0 +1,207 @@
+//! Synthetic personal corpus shared by the §6.3 applications.
+//!
+//! Documents are standalone token sequences (no query prefix). Each query
+//! owns a small set of rare *query terms*; a document's relevance to the
+//! query controls both how many of those terms it contains (the lexical
+//! channel BM25 keys on) and its on-topic token fraction (the semantic
+//! channel the bi-encoder and cross-encoder key on). Gold labels follow
+//! the planted relevance.
+
+use prism_model::semantics::{
+    anti_topic_token_range, background_token_range, topic_token_range,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One corpus document.
+#[derive(Debug, Clone)]
+pub struct CorpusDoc {
+    /// Token sequence.
+    pub tokens: Vec<u32>,
+    /// Planted relevance to the owning query, in `[0, 1]`.
+    pub relevance: f32,
+    /// Whether this document is gold for the owning query.
+    pub gold: bool,
+}
+
+/// A query with its slice of the corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusQuery {
+    /// Query token sequence (rare terms + topic markers).
+    pub tokens: Vec<u32>,
+    /// Ids (into [`Corpus::docs`]) of this query's candidate documents.
+    pub doc_ids: Vec<usize>,
+    /// Ids of the gold documents.
+    pub gold_ids: Vec<usize>,
+}
+
+/// A generated corpus with queries.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    /// All documents.
+    pub docs: Vec<CorpusDoc>,
+    /// All queries.
+    pub queries: Vec<CorpusQuery>,
+}
+
+/// Corpus generation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusSpec {
+    /// Vocabulary size of the serving model.
+    pub vocab_size: usize,
+    /// Maximum document length in tokens.
+    pub doc_len: usize,
+    /// Documents per query (candidate pool).
+    pub docs_per_query: usize,
+    /// Number of queries.
+    pub queries: usize,
+    /// Gold documents per query.
+    pub gold_per_query: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Corpus {
+    /// Generates a corpus.
+    pub fn generate(spec: CorpusSpec) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let (t0, t1) = topic_token_range(spec.vocab_size);
+        let (a0, a1) = anti_topic_token_range(spec.vocab_size);
+        let (b0, b1) = background_token_range(spec.vocab_size);
+        let mut docs = Vec::new();
+        let mut queries = Vec::new();
+        for _q in 0..spec.queries {
+            // Rare query terms from the upper background band (low Zipf
+            // mass -> high IDF).
+            let qterm_base = b0 + (b1 - b0) * 3 / 4;
+            let query_terms: Vec<u32> = (0..4)
+                .map(|_| qterm_base + rng.gen_range(0..(b1 - qterm_base)))
+                .collect();
+            let mut tokens = query_terms.clone();
+            tokens.push(t0 + rng.gen_range(0..t1 - t0)); // One topic marker.
+
+            let mut doc_ids = Vec::with_capacity(spec.docs_per_query);
+            let mut gold_ids = Vec::new();
+            for d in 0..spec.docs_per_query {
+                let gold = d < spec.gold_per_query;
+                let relevance = if gold {
+                    0.75 + rng.gen::<f32>() * 0.2
+                } else if d < spec.docs_per_query / 2 {
+                    0.35 + rng.gen::<f32>() * 0.2
+                } else {
+                    0.05 + rng.gen::<f32>() * 0.2
+                };
+                let mut dt = Vec::with_capacity(spec.doc_len);
+                for _ in 0..spec.doc_len {
+                    let u: f32 = rng.gen();
+                    let p_qterm = 0.05 + 0.25 * relevance;
+                    let p_topic = 0.10 + 0.45 * relevance;
+                    let p_anti = 0.10 + 0.45 * (1.0 - relevance);
+                    let tok = if u < p_qterm {
+                        query_terms[rng.gen_range(0..query_terms.len())]
+                    } else if u < p_qterm + p_topic {
+                        t0 + rng.gen_range(0..t1 - t0)
+                    } else if u < p_qterm + p_topic + p_anti {
+                        a0 + rng.gen_range(0..a1 - a0)
+                    } else {
+                        b0 + rng.gen_range(0..b1 - b0)
+                    };
+                    dt.push(tok);
+                }
+                let id = docs.len();
+                docs.push(CorpusDoc {
+                    tokens: dt,
+                    relevance,
+                    gold,
+                });
+                doc_ids.push(id);
+                if gold {
+                    gold_ids.push(id);
+                }
+            }
+            queries.push(CorpusQuery {
+                tokens,
+                doc_ids,
+                gold_ids,
+            });
+        }
+        Corpus { docs, queries }
+    }
+
+    /// Builds the cross-encoder input for (query, doc), truncated to
+    /// `max_seq`.
+    pub fn pair_input(&self, query: &CorpusQuery, doc_id: usize, max_seq: usize) -> Vec<u32> {
+        let mut tokens = query.tokens.clone();
+        tokens.extend_from_slice(&self.docs[doc_id].tokens);
+        tokens.truncate(max_seq);
+        tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CorpusSpec {
+        CorpusSpec {
+            vocab_size: 2048,
+            doc_len: 40,
+            docs_per_query: 20,
+            queries: 3,
+            gold_per_query: 4,
+            seed: 11,
+        }
+    }
+
+    #[test]
+    fn corpus_shape() {
+        let c = Corpus::generate(spec());
+        assert_eq!(c.queries.len(), 3);
+        assert_eq!(c.docs.len(), 60);
+        for q in &c.queries {
+            assert_eq!(q.doc_ids.len(), 20);
+            assert_eq!(q.gold_ids.len(), 4);
+            for &g in &q.gold_ids {
+                assert!(c.docs[g].gold);
+                assert!(c.docs[g].relevance >= 0.7);
+            }
+        }
+    }
+
+    #[test]
+    fn gold_docs_share_query_terms() {
+        let c = Corpus::generate(spec());
+        let q = &c.queries[0];
+        let qterms: std::collections::HashSet<u32> = q.tokens[..4].iter().copied().collect();
+        let overlap = |doc: &CorpusDoc| -> usize {
+            doc.tokens.iter().filter(|t| qterms.contains(t)).count()
+        };
+        let gold_avg: f64 = q.gold_ids.iter().map(|&g| overlap(&c.docs[g]) as f64).sum::<f64>()
+            / q.gold_ids.len() as f64;
+        let tail: Vec<usize> = q.doc_ids[q.doc_ids.len() - 4..].to_vec();
+        let low_avg: f64 =
+            tail.iter().map(|&g| overlap(&c.docs[g]) as f64).sum::<f64>() / 4.0;
+        assert!(
+            gold_avg > low_avg,
+            "gold docs must contain more query terms ({gold_avg} vs {low_avg})"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Corpus::generate(spec());
+        let b = Corpus::generate(spec());
+        assert_eq!(a.docs.len(), b.docs.len());
+        assert_eq!(a.docs[0].tokens, b.docs[0].tokens);
+        assert_eq!(a.queries[1].tokens, b.queries[1].tokens);
+    }
+
+    #[test]
+    fn pair_input_truncates() {
+        let c = Corpus::generate(spec());
+        let q = &c.queries[0];
+        let pair = c.pair_input(q, q.doc_ids[0], 16);
+        assert_eq!(pair.len(), 16);
+        assert!(pair.starts_with(&q.tokens[..4]));
+    }
+}

@@ -1,0 +1,31 @@
+//! The paper's three real-world on-device applications (§6.3), built on the
+//! PRISM engine and the baseline rerankers:
+//!
+//! * [`rag`] — a personal-assistant RAG pipeline: hybrid retrieval (BM25
+//!   keyword search + bi-encoder vector search over a synthetic personal
+//!   corpus), cross-encoder reranking of the merged candidates, and an LLM
+//!   generation stage costed by the device model.
+//! * [`agent_memory`] — a GUI-agent action cache: past trajectories are
+//!   selected by the reranker; a hit replays cached actions instead of
+//!   invoking the expensive VLM.
+//! * [`long_context`] — LLM long-context selection: a reranker picks the
+//!   most relevant context segments to fit the generation model's window.
+//!
+//! The retrieval substrates ([`retrieval::Bm25Index`],
+//! [`retrieval::VectorIndex`]) are real implementations; only the
+//! downstream LLM/VLM stages are costed analytically (`prism-device`), as
+//! they run on server GPUs in the paper's setup.
+
+pub mod agent_memory;
+pub mod corpus;
+pub mod long_context;
+pub mod rag;
+pub mod retrieval;
+
+pub use agent_memory::{AgentMemory, AgentScenario, AgentTaskResult};
+pub use corpus::{Corpus, CorpusDoc, CorpusQuery};
+pub use long_context::{LcsOutcome, LongContextSelector, LcsStrategy};
+pub use rag::{RagAnswer, RagPipeline, RagStageLatency};
+pub use retrieval::{Bm25Index, VectorIndex};
+
+pub use prism_core::{PrismError, Result};

@@ -1,0 +1,148 @@
+//! A compact BM25 inverted index (the pipeline's keyword-retrieval stage).
+
+use std::collections::HashMap;
+
+/// Inverted index with BM25 ranking (k1 = 1.2, b = 0.75).
+#[derive(Debug, Default)]
+pub struct Bm25Index {
+    /// term -> postings of (doc, term frequency).
+    postings: HashMap<u32, Vec<(usize, u32)>>,
+    doc_lens: Vec<usize>,
+    total_len: usize,
+}
+
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+impl Bm25Index {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lens.len()
+    }
+
+    /// Adds a document; returns its id (insertion order).
+    pub fn add_doc(&mut self, tokens: &[u32]) -> usize {
+        let id = self.doc_lens.len();
+        let mut tf: HashMap<u32, u32> = HashMap::new();
+        for &t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (t, f) in tf {
+            self.postings.entry(t).or_default().push((id, f));
+        }
+        self.doc_lens.push(tokens.len());
+        self.total_len += tokens.len();
+        id
+    }
+
+    /// BM25 scores for a query; returns up to `top_n` `(doc, score)` pairs
+    /// in descending score order (only docs matching ≥1 term).
+    pub fn search(&self, query: &[u32], top_n: usize) -> Vec<(usize, f64)> {
+        if self.doc_lens.is_empty() {
+            return Vec::new();
+        }
+        let n = self.doc_lens.len() as f64;
+        let avgdl = self.total_len as f64 / n;
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        // Deduplicate query terms (standard BM25 treats the query as a set;
+        // repeated terms would double-count).
+        let mut terms: Vec<u32> = query.to_vec();
+        terms.sort_unstable();
+        terms.dedup();
+        for t in terms {
+            let Some(posting) = self.postings.get(&t) else {
+                continue;
+            };
+            let df = posting.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(doc, tf) in posting {
+                let dl = self.doc_lens[doc] as f64;
+                let tf = tf as f64;
+                let score = idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avgdl));
+                *scores.entry(doc).or_insert(0.0) += score;
+            }
+        }
+        let mut out: Vec<(usize, f64)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        out.truncate(top_n);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_index() -> Bm25Index {
+        let mut idx = Bm25Index::new();
+        idx.add_doc(&[1, 2, 3, 4]); // doc 0
+        idx.add_doc(&[1, 1, 1, 5]); // doc 1: heavy on term 1
+        idx.add_doc(&[6, 7, 8, 9]); // doc 2: disjoint
+        idx.add_doc(&[2, 3]); // doc 3: short
+        idx
+    }
+
+    #[test]
+    fn retrieves_matching_docs_only() {
+        let idx = small_index();
+        let hits = idx.search(&[6], 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0, 2);
+    }
+
+    #[test]
+    fn rare_terms_score_higher_than_common() {
+        let mut idx = Bm25Index::new();
+        // term 1 in every doc, term 9 in one.
+        for i in 0..10 {
+            if i == 0 {
+                idx.add_doc(&[1, 9]);
+            } else {
+                idx.add_doc(&[1, 2]);
+            }
+        }
+        let hits = idx.search(&[9, 1], 10);
+        assert_eq!(hits[0].0, 0, "doc with the rare term must rank first");
+        assert!(hits[0].1 > hits[1].1 * 1.5);
+    }
+
+    #[test]
+    fn term_frequency_saturates() {
+        let idx = small_index();
+        let hits = idx.search(&[1], 10);
+        // Doc 1 has tf=3 of term 1 vs doc 0's tf=1: higher but not 3x.
+        let d1 = hits.iter().find(|h| h.0 == 1).unwrap().1;
+        let d0 = hits.iter().find(|h| h.0 == 0).unwrap().1;
+        assert!(d1 > d0);
+        assert!(d1 < d0 * 3.0);
+    }
+
+    #[test]
+    fn query_terms_are_deduplicated() {
+        let idx = small_index();
+        let once = idx.search(&[2], 10);
+        let thrice = idx.search(&[2, 2, 2], 10);
+        assert_eq!(once, thrice);
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let idx = small_index();
+        let hits = idx.search(&[2, 3], 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn empty_index_and_no_match() {
+        let idx = Bm25Index::new();
+        assert!(idx.search(&[1], 5).is_empty());
+        let idx = small_index();
+        assert!(idx.search(&[999], 5).is_empty());
+        assert_eq!(idx.num_docs(), 4);
+    }
+}

@@ -1,0 +1,8 @@
+//! First-stage retrieval substrates: lexical (BM25) and dense (bi-encoder
+//! vector index).
+
+pub mod bm25;
+pub mod vector;
+
+pub use bm25::Bm25Index;
+pub use vector::VectorIndex;

@@ -1,0 +1,265 @@
+//! Dense retrieval: bi-encoder embeddings over a flat / IVF index.
+//!
+//! The bi-encoder mean-pools the model's token embedding table — the
+//! classic two-tower shortcut whose precision ceiling motivates
+//! cross-encoder reranking (§2.1). The index offers exact (flat) search
+//! and an IVF mode (k-means coarse quantizer, probed lists) standing in
+//! for the paper's DiskANN-backed Milvus.
+
+use prism_tensor::Tensor;
+
+use crate::Result;
+
+/// Mean-pooled bi-encoder document/query embedding.
+pub fn embed_mean(table: &Tensor, tokens: &[u32]) -> Result<Vec<f32>> {
+    let d = table.cols();
+    let mut out = vec![0.0_f32; d];
+    if tokens.is_empty() {
+        return Ok(out);
+    }
+    for &t in tokens {
+        let row = table.row(t as usize)?;
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / tokens.len() as f32;
+    for o in &mut out {
+        *o *= inv;
+    }
+    Ok(out)
+}
+
+fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// A dense vector index with flat and IVF search modes.
+pub struct VectorIndex {
+    dim: usize,
+    vectors: Vec<Vec<f32>>,
+    /// IVF state: coarse centroids and per-list member ids.
+    ivf: Option<Ivf>,
+}
+
+struct Ivf {
+    centroids: Vec<Vec<f32>>,
+    lists: Vec<Vec<usize>>,
+}
+
+impl VectorIndex {
+    /// Creates an empty index for `dim`-dimensional vectors.
+    pub fn new(dim: usize) -> Self {
+        VectorIndex {
+            dim,
+            vectors: Vec::new(),
+            ivf: None,
+        }
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// Adds a vector; returns its id. Invalidates any trained IVF.
+    pub fn add(&mut self, v: Vec<f32>) -> Result<usize> {
+        if v.len() != self.dim {
+            return Err(crate::PrismError::InvalidRequest(format!(
+                "vector dim {} != index dim {}",
+                v.len(),
+                self.dim
+            )));
+        }
+        self.ivf = None;
+        self.vectors.push(v);
+        Ok(self.vectors.len() - 1)
+    }
+
+    /// Trains an IVF coarse quantizer with `nlist` lists (simple k-means on
+    /// the stored vectors; deterministic for a seed).
+    pub fn train_ivf(&mut self, nlist: usize, iterations: usize, seed: u64) {
+        let n = self.vectors.len();
+        if n == 0 || nlist == 0 {
+            return;
+        }
+        let nlist = nlist.min(n);
+        // Seed centroids deterministically by striding the data.
+        let mut centroids: Vec<Vec<f32>> = (0..nlist)
+            .map(|i| self.vectors[(i * n / nlist + seed as usize) % n].clone())
+            .collect();
+        let mut assignment = vec![0_usize; n];
+        for _ in 0..iterations.max(1) {
+            for (i, v) in self.vectors.iter().enumerate() {
+                let mut best = 0;
+                let mut best_sim = f32::NEG_INFINITY;
+                for (c, cen) in centroids.iter().enumerate() {
+                    let s = cosine(v, cen);
+                    if s > best_sim {
+                        best_sim = s;
+                        best = c;
+                    }
+                }
+                assignment[i] = best;
+            }
+            let mut sums = vec![vec![0.0_f32; self.dim]; nlist];
+            let mut counts = vec![0_usize; nlist];
+            for (i, v) in self.vectors.iter().enumerate() {
+                counts[assignment[i]] += 1;
+                for (s, &x) in sums[assignment[i]].iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for c in 0..nlist {
+                if counts[c] > 0 {
+                    for s in &mut sums[c] {
+                        *s /= counts[c] as f32;
+                    }
+                    centroids[c] = sums[c].clone();
+                }
+            }
+        }
+        let mut lists = vec![Vec::new(); nlist];
+        for (i, &a) in assignment.iter().enumerate() {
+            lists[a].push(i);
+        }
+        self.ivf = Some(Ivf { centroids, lists });
+    }
+
+    /// Exact top-`n` search by cosine similarity.
+    pub fn search_flat(&self, query: &[f32], top_n: usize) -> Vec<(usize, f32)> {
+        let mut scored: Vec<(usize, f32)> = self
+            .vectors
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i, cosine(query, v)))
+            .collect();
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(top_n);
+        scored
+    }
+
+    /// IVF top-`n` search probing `nprobe` coarse lists; falls back to flat
+    /// search when no IVF is trained.
+    pub fn search_ivf(&self, query: &[f32], top_n: usize, nprobe: usize) -> Vec<(usize, f32)> {
+        let Some(ivf) = &self.ivf else {
+            return self.search_flat(query, top_n);
+        };
+        let mut by_centroid: Vec<(usize, f32)> = ivf
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(c, cen)| (c, cosine(query, cen)))
+            .collect();
+        by_centroid.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let mut scored: Vec<(usize, f32)> = Vec::new();
+        for &(c, _) in by_centroid.iter().take(nprobe.max(1)) {
+            for &i in &ivf.lists[c] {
+                scored.push((i, cosine(query, &self.vectors[i])));
+            }
+        }
+        scored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        scored.truncate(top_n);
+        scored
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(dim: usize, hot: usize) -> Vec<f32> {
+        let mut v = vec![0.05_f32; dim];
+        v[hot] = 1.0;
+        v
+    }
+
+    #[test]
+    fn flat_search_finds_nearest() {
+        let mut idx = VectorIndex::new(4);
+        for hot in 0..4 {
+            idx.add(unit(4, hot)).unwrap();
+        }
+        let hits = idx.search_flat(&unit(4, 2), 2);
+        assert_eq!(hits[0].0, 2);
+        assert!(hits[0].1 > hits[1].1);
+    }
+
+    #[test]
+    fn dim_mismatch_rejected() {
+        let mut idx = VectorIndex::new(3);
+        assert!(idx.add(vec![1.0; 4]).is_err());
+        assert!(idx.is_empty());
+    }
+
+    #[test]
+    fn ivf_recall_close_to_flat() {
+        let mut idx = VectorIndex::new(8);
+        // Three well-separated clusters of 20 vectors each.
+        for c in 0..3 {
+            for j in 0..20 {
+                let mut v = vec![0.0_f32; 8];
+                v[c * 2] = 1.0;
+                v[c * 2 + 1] = 0.2 + 0.01 * j as f32;
+                idx.add(v).unwrap();
+            }
+        }
+        idx.train_ivf(3, 5, 1);
+        let mut q = vec![0.0_f32; 8];
+        q[2] = 1.0; // Cluster 1's direction.
+        let flat = idx.search_flat(&q, 5);
+        let ivf = idx.search_ivf(&q, 5, 1);
+        let flat_ids: Vec<usize> = flat.iter().map(|h| h.0).collect();
+        let overlap = ivf.iter().filter(|h| flat_ids.contains(&h.0)).count();
+        assert!(overlap >= 4, "IVF recall {overlap}/5 too low");
+    }
+
+    #[test]
+    fn ivf_untrained_falls_back() {
+        let mut idx = VectorIndex::new(2);
+        idx.add(vec![1.0, 0.0]).unwrap();
+        idx.add(vec![0.0, 1.0]).unwrap();
+        let hits = idx.search_ivf(&[1.0, 0.1], 1, 2);
+        assert_eq!(hits[0].0, 0);
+    }
+
+    #[test]
+    fn adding_invalidates_ivf() {
+        let mut idx = VectorIndex::new(2);
+        idx.add(vec![1.0, 0.0]).unwrap();
+        idx.train_ivf(1, 2, 0);
+        idx.add(vec![0.0, 1.0]).unwrap();
+        // Falls back to flat (IVF dropped), still finds the new vector.
+        let hits = idx.search_ivf(&[0.0, 1.0], 1, 1);
+        assert_eq!(hits[0].0, 1);
+    }
+
+    #[test]
+    fn embed_mean_averages_rows() {
+        let table = Tensor::from_fn(4, 2, |r, _| r as f32);
+        let e = embed_mean(&table, &[0, 2]).unwrap();
+        assert_eq!(e, vec![1.0, 1.0]);
+        let empty = embed_mean(&table, &[]).unwrap();
+        assert_eq!(empty, vec![0.0, 0.0]);
+        assert!(embed_mean(&table, &[9]).is_err());
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!(cosine(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 0.0]), 0.0);
+    }
+}

@@ -1,0 +1,26 @@
+//! The inference systems PRISM is evaluated against (§6.1), running the
+//! same real mini models:
+//!
+//! * [`HfVanilla`] — vanilla HuggingFace-Transformers-style inference: all
+//!   weights resident, the candidate set split into fixed micro-batches
+//!   (footnote 1 of the paper), full-depth forward for every candidate.
+//! * [`HfOffload`] — HF + Accelerate disk offloading: embedding and head
+//!   stay resident, every transformer layer is synchronously loaded from
+//!   the weight container right before it executes, once per micro-batch —
+//!   no overlap, which is exactly the inefficiency §4.2 removes.
+//! * Quant variants — the same runners over a container whose layer
+//!   matrices are 4-bit quantized (`HF Quant`), and the PRISM engine over
+//!   that container (`PRISM Quant`).
+//!
+//! All systems implement [`Reranker`], so microbenchmarks and the §6.3
+//! applications swap them freely.
+
+pub mod offload;
+pub mod traits;
+pub mod vanilla;
+
+pub use offload::HfOffload;
+pub use traits::{RankOutcome, Reranker};
+pub use vanilla::HfVanilla;
+
+pub use prism_core::{PrismError, Result};

@@ -1,0 +1,298 @@
+//! HF + Accelerate-style synchronous disk offloading (`HF Offload`).
+//!
+//! Embedding table and classifier head stay resident; each transformer
+//! layer is loaded from the container *synchronously, on the forward
+//! path, once per micro-batch*. There is no prefetching and no overlap —
+//! the execution pattern whose I/O stalls motivate §4.2's overlapped
+//! layer streaming.
+
+use prism_core::Result;
+use prism_metrics::{MemCategory, MemoryMeter};
+use prism_model::classifier::score_sequences;
+use prism_model::layer::{forward_layer, intermediate_bytes};
+use prism_model::model::{layer_section, SECTION_EMBEDDING, SECTION_HEAD};
+use prism_model::{HeadWeights, LayerWeights, ModelConfig, SequenceBatch};
+use prism_storage::{Container, Throttle};
+use prism_tensor::Tensor;
+
+/// Statistics of the synchronous load path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OffloadStats {
+    /// Layer loads performed (layers × micro-batches).
+    pub layer_loads: u64,
+    /// Bytes read from the container.
+    pub bytes_loaded: u64,
+    /// Microseconds spent blocked on loads.
+    pub load_micros: u64,
+}
+
+/// The disk-offloading baseline.
+pub struct HfOffload {
+    config: ModelConfig,
+    container: Container,
+    embedding: Tensor,
+    head: HeadWeights,
+    micro_batch: usize,
+    throttle: Throttle,
+    meter: MemoryMeter,
+    stats: OffloadStats,
+    name: String,
+}
+
+impl HfOffload {
+    /// Opens the baseline over a container; embedding and head are read
+    /// eagerly (they stay resident, as HF Accelerate does).
+    pub fn new(
+        container: &Container,
+        config: ModelConfig,
+        micro_batch: usize,
+        throttle: Throttle,
+        meter: MemoryMeter,
+    ) -> Result<Self> {
+        let embedding = container.read_f32(SECTION_EMBEDDING)?;
+        let mut blob = Vec::new();
+        container.read_section_into(SECTION_HEAD, &mut blob)?;
+        let head = HeadWeights::from_bytes(&config, &blob)?;
+        meter.set(MemCategory::Embedding, embedding.size_bytes() as u64);
+        meter.set(MemCategory::Head, head.size_bytes() as u64);
+        Ok(HfOffload {
+            config,
+            container: container.reopen()?,
+            embedding,
+            head,
+            micro_batch: micro_batch.max(1),
+            throttle,
+            meter,
+            stats: OffloadStats::default(),
+            name: "HF Offload".to_string(),
+        })
+    }
+
+    /// Renames the system.
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
+    /// Load-path statistics.
+    pub fn stats(&self) -> OffloadStats {
+        self.stats
+    }
+
+    /// The shared memory meter.
+    pub fn meter(&self) -> &MemoryMeter {
+        &self.meter
+    }
+
+    fn embed(&self, batch: &SequenceBatch) -> Result<Tensor> {
+        let d = self.config.hidden_dim;
+        let mut hidden = Tensor::zeros(batch.total_tokens(), d);
+        for &(start, end) in batch.ranges() {
+            for (pos, t) in (start..end).enumerate() {
+                let token = batch.tokens()[t] as usize;
+                if token >= self.embedding.rows() {
+                    return Err(prism_core::PrismError::InvalidRequest(format!(
+                        "token {token} outside vocabulary"
+                    )));
+                }
+                let src = self.embedding.row(token)?.to_vec();
+                let row = hidden.row_mut(t)?;
+                row.copy_from_slice(&src);
+                prism_model::model::add_position(row, pos, d);
+            }
+        }
+        Ok(hidden)
+    }
+
+    fn load_layer(&mut self, l: usize) -> Result<LayerWeights> {
+        let start = std::time::Instant::now();
+        let mut blob = Vec::new();
+        let meta = self
+            .container
+            .read_section_into(&layer_section(l), &mut blob)?;
+        self.throttle.pace(start, meta.len);
+        self.stats.layer_loads += 1;
+        self.stats.bytes_loaded += meta.len;
+        self.stats.load_micros += start.elapsed().as_micros() as u64;
+        Ok(LayerWeights::from_bytes(&self.config, &blob)?)
+    }
+}
+
+impl crate::Reranker for HfOffload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn rerank(&mut self, batch: &SequenceBatch, k: usize) -> Result<crate::RankOutcome> {
+        let n = batch.num_sequences();
+        let mut scores = vec![0.0_f32; n];
+        let mut start = 0;
+        while start < n {
+            let end = (start + self.micro_batch).min(n);
+            let ids: Vec<usize> = (start..end).collect();
+            let sub = batch.gather(&ids)?;
+            let mut hidden = self.embed(&sub)?;
+            let hidden_bytes = hidden.size_bytes() as u64;
+            let inter =
+                intermediate_bytes(&self.config, sub.total_tokens(), sub.max_seq_len());
+            self.meter.alloc(MemCategory::HiddenStates, hidden_bytes);
+            self.meter.alloc(MemCategory::Intermediate, inter);
+            for l in 0..self.config.num_layers {
+                // Synchronous load -> compute -> release: one layer
+                // resident at a time, re-loaded for every micro-batch.
+                let weights = self.load_layer(l)?;
+                let wbytes = weights.size_bytes() as u64;
+                self.meter.alloc(MemCategory::LayerWeights, wbytes);
+                forward_layer(&self.config, &weights, l, &mut hidden, sub.ranges())?;
+                self.meter.free(MemCategory::LayerWeights, wbytes);
+            }
+            let sub_scores = score_sequences(&self.config, &self.head, &hidden, sub.ranges())?;
+            self.meter.free(MemCategory::Intermediate, inter);
+            self.meter.free(MemCategory::HiddenStates, hidden_bytes);
+            for (i, s) in ids.iter().zip(sub_scores) {
+                scores[*i] = s;
+            }
+            start = end;
+        }
+        Ok(crate::RankOutcome::from_scores(scores, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{HfVanilla, Reranker};
+    use prism_model::{Model, ModelArch};
+    use prism_workload::WorkloadGenerator;
+
+    fn fixture(layers: usize, tag: &str) -> (Model, std::path::PathBuf) {
+        let config = ModelConfig::test_config(ModelArch::DecoderOnly, layers);
+        let model = Model::generate(config, 42).unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("prism-offload-{}-{tag}.prsm", std::process::id()));
+        model.write_container(&path).unwrap();
+        (model, path)
+    }
+
+    fn request(model: &Model, n: usize) -> SequenceBatch {
+        let profile = prism_workload::dataset::dataset_by_name("msmarco").unwrap();
+        let gen = WorkloadGenerator::new(profile, model.config.vocab_size, model.config.max_seq, 5);
+        SequenceBatch::new(&gen.request(0, n).sequences()).unwrap()
+    }
+
+    #[test]
+    fn offload_is_bit_exact_with_vanilla() {
+        let (model, path) = fixture(4, "exact");
+        let container = Container::open(&path).unwrap();
+        let batch = request(&model, 8);
+        let mut vanilla =
+            HfVanilla::new(&container, model.config.clone(), 4, MemoryMeter::new()).unwrap();
+        let mut offload = HfOffload::new(
+            &container,
+            model.config.clone(),
+            4,
+            Throttle::unlimited(),
+            MemoryMeter::new(),
+        )
+        .unwrap();
+        let a = vanilla.rerank(&batch, 8).unwrap();
+        let b = offload.rerank(&batch, 8).unwrap();
+        assert_eq!(a.scores, b.scores);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn loads_layers_once_per_micro_batch() {
+        let (model, path) = fixture(3, "loads");
+        let container = Container::open(&path).unwrap();
+        let batch = request(&model, 8);
+        let mut offload = HfOffload::new(
+            &container,
+            model.config.clone(),
+            4, // 2 micro-batches
+            Throttle::unlimited(),
+            MemoryMeter::new(),
+        )
+        .unwrap();
+        offload.rerank(&batch, 2).unwrap();
+        // 3 layers x 2 micro-batches = 6 loads — the redundant I/O PRISM's
+        // monolithic batch avoids.
+        assert_eq!(offload.stats().layer_loads, 6);
+        assert!(offload.stats().bytes_loaded > 0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn layer_weight_peak_is_one_layer() {
+        let (model, path) = fixture(5, "peak");
+        let container = Container::open(&path).unwrap();
+        let batch = request(&model, 4);
+        let meter = MemoryMeter::new();
+        let mut offload = HfOffload::new(
+            &container,
+            model.config.clone(),
+            4,
+            Throttle::unlimited(),
+            meter.clone(),
+        )
+        .unwrap();
+        offload.rerank(&batch, 2).unwrap();
+        let one_layer = model.weights.layers[0].size_bytes() as u64;
+        let peak = meter.peak(MemCategory::LayerWeights);
+        assert!(
+            peak <= one_layer + one_layer / 8,
+            "peak {peak} should be ~one layer {one_layer}"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn throttled_offload_records_load_time() {
+        let (model, path) = fixture(3, "throttle");
+        let container = Container::open(&path).unwrap();
+        let batch = request(&model, 4);
+        let mut offload = HfOffload::new(
+            &container,
+            model.config.clone(),
+            4,
+            Throttle::bandwidth(4 << 20), // 4 MiB/s
+            MemoryMeter::new(),
+        )
+        .unwrap();
+        offload.rerank(&batch, 2).unwrap();
+        let stats = offload.stats();
+        // Layer blobs are ~10 KiB each at test scale; 3 loads at 4 MiB/s
+        // must take measurable time.
+        assert!(stats.load_micros > 1_000, "load_micros {}", stats.load_micros);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn quant_container_variant_works() {
+        let (model, path) = fixture(3, "quant");
+        let qmodel = model.quantized().unwrap();
+        let mut qpath = std::env::temp_dir();
+        qpath.push(format!("prism-offload-q-{}.prsm", std::process::id()));
+        qmodel.write_container(&qpath).unwrap();
+        let qcontainer = Container::open(&qpath).unwrap();
+        let batch = request(&model, 6);
+        let mut q = HfOffload::new(
+            &qcontainer,
+            qmodel.config.clone(),
+            6,
+            Throttle::unlimited(),
+            MemoryMeter::new(),
+        )
+        .unwrap()
+        .with_name("HF Quant");
+        assert_eq!(q.name(), "HF Quant");
+        let out = q.rerank(&batch, 3).unwrap();
+        assert_eq!(out.ranked.len(), 3);
+        // Quantized layer loads move fewer bytes than dense.
+        let dense_layer = model.weights.layers[0].to_bytes().len() as u64;
+        let quant_bytes_per_load = q.stats().bytes_loaded / q.stats().layer_loads;
+        assert!(quant_bytes_per_load * 2 < dense_layer);
+        std::fs::remove_file(&path).unwrap();
+        std::fs::remove_file(&qpath).unwrap();
+    }
+}

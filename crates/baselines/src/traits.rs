@@ -1,0 +1,70 @@
+//! The common interface all compared systems implement.
+
+use prism_core::{PrismEngine, Result};
+use prism_model::SequenceBatch;
+
+/// Result of one reranking call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankOutcome {
+    /// Top-K candidate indices with scores, best first.
+    pub ranked: Vec<(usize, f32)>,
+    /// Last known score per input candidate.
+    pub scores: Vec<f32>,
+}
+
+impl RankOutcome {
+    /// Candidate ids of the top-K in rank order.
+    pub fn top_ids(&self) -> Vec<usize> {
+        self.ranked.iter().map(|&(i, _)| i).collect()
+    }
+
+    /// Builds an outcome by fully ranking `scores` and keeping `k`.
+    pub fn from_scores(scores: Vec<f32>, k: usize) -> RankOutcome {
+        let mut idx: Vec<usize> = (0..scores.len()).collect();
+        idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let ranked = idx.into_iter().take(k).map(|i| (i, scores[i])).collect();
+        RankOutcome { ranked, scores }
+    }
+}
+
+/// A system that selects the top-K candidates of a packed batch.
+pub trait Reranker {
+    /// Human-readable system name (e.g. `"HF"`, `"PRISM"`).
+    fn name(&self) -> &str;
+
+    /// Ranks the batch and returns the top-`k`.
+    fn rerank(&mut self, batch: &SequenceBatch, k: usize) -> Result<RankOutcome>;
+}
+
+impl Reranker for PrismEngine {
+    fn name(&self) -> &str {
+        "PRISM"
+    }
+
+    fn rerank(&mut self, batch: &SequenceBatch, k: usize) -> Result<RankOutcome> {
+        let sel = self.select_top_k(batch, k)?;
+        Ok(RankOutcome {
+            ranked: sel.ranked.iter().map(|r| (r.id, r.score)).collect(),
+            scores: sel.last_scores,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_scores_ranks_descending() {
+        let o = RankOutcome::from_scores(vec![0.1, 0.9, 0.5], 2);
+        assert_eq!(o.top_ids(), vec![1, 2]);
+        assert_eq!(o.ranked[0], (1, 0.9));
+        assert_eq!(o.scores.len(), 3);
+    }
+
+    #[test]
+    fn k_larger_than_n_truncates() {
+        let o = RankOutcome::from_scores(vec![0.3, 0.2], 10);
+        assert_eq!(o.ranked.len(), 2);
+    }
+}

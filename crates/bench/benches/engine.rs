@@ -1,0 +1,83 @@
+//! End-to-end engine bench: PRISM (pruned, streamed, cached) versus the
+//! vanilla resident baseline on a real test-scale model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prism_baselines::{HfVanilla, Reranker};
+use prism_core::{EngineOptions, PrismEngine};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_storage::Container;
+use prism_workload::WorkloadGenerator;
+
+struct Fixture {
+    model: Model,
+    path: std::path::PathBuf,
+    batch: SequenceBatch,
+}
+
+fn fixture() -> Fixture {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-bench-engine-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+    let gen = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+    let batch = SequenceBatch::new(&gen.request(0, 20).sequences()).expect("batch");
+    Fixture { model, path, batch }
+}
+
+fn bench_systems(c: &mut Criterion) {
+    let fx = fixture();
+    let mut g = c.benchmark_group("rerank_top5_of_20");
+    g.sample_size(20);
+
+    g.bench_function("hf_vanilla", |bencher| {
+        let container = Container::open(&fx.path).expect("open");
+        let mut hf = HfVanilla::new(&container, fx.model.config.clone(), 8, MemoryMeter::new())
+            .expect("hf");
+        bencher.iter(|| hf.rerank(std::hint::black_box(&fx.batch), 5).unwrap());
+    });
+
+    g.bench_function("prism_default", |bencher| {
+        let container = Container::open(&fx.path).expect("open");
+        let mut engine = PrismEngine::new(
+            container,
+            fx.model.config.clone(),
+            EngineOptions::default(),
+            MemoryMeter::new(),
+        )
+        .expect("engine");
+        bencher.iter(|| engine.select_top_k(std::hint::black_box(&fx.batch), 5).unwrap());
+    });
+
+    g.bench_function("prism_no_pruning", |bencher| {
+        let container = Container::open(&fx.path).expect("open");
+        let options = EngineOptions { pruning: false, ..Default::default() };
+        let mut engine = PrismEngine::new(
+            container,
+            fx.model.config.clone(),
+            options,
+            MemoryMeter::new(),
+        )
+        .expect("engine");
+        bencher.iter(|| engine.select_top_k(std::hint::black_box(&fx.batch), 5).unwrap());
+    });
+
+    g.finish();
+    std::fs::remove_file(&fx.path).ok();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_systems
+}
+criterion_main!(benches);

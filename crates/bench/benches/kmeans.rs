@@ -1,0 +1,54 @@
+//! Criterion bench validating the paper's "~1 ms" clustering claim: the
+//! per-gate cost of CV + 1-D K-Means on realistic candidate counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prism_cluster::{coefficient_of_variation, kmeans_1d, kmeans_auto};
+
+fn scores(n: usize) -> Vec<f32> {
+    (0..n)
+        .map(|i| {
+            let band = i % 3;
+            0.15 + band as f32 * 0.3 + ((i * 37) % 11) as f32 * 0.006
+        })
+        .collect()
+}
+
+fn bench_gate(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pruning_gate");
+    for &n in &[20_usize, 60, 200] {
+        let s = scores(n);
+        g.bench_with_input(BenchmarkId::new("cv", n), &n, |bencher, _| {
+            bencher.iter(|| coefficient_of_variation(std::hint::black_box(&s)));
+        });
+        g.bench_with_input(BenchmarkId::new("kmeans_k3", n), &n, |bencher, _| {
+            bencher.iter(|| kmeans_1d(std::hint::black_box(&s), 3, 7));
+        });
+        g.bench_with_input(BenchmarkId::new("kmeans_auto", n), &n, |bencher, _| {
+            bencher.iter(|| kmeans_auto(std::hint::black_box(&s), 5, 7));
+        });
+    }
+    g.finish();
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let s = scores(20);
+    c.bench_function("route_candidates_20", |bencher| {
+        bencher.iter(|| {
+            prism_core::route_candidates(std::hint::black_box(&s), 10, 0.1, true, 5, 3)
+        });
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_gate, bench_routing
+}
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Layer-streaming bench: overlapped prefetch versus synchronous loads,
+//! the mechanism behind §4.2's "no latency penalty" claim.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use prism_storage::{Container, ContainerWriter, LayerStreamer, SectionKind, Throttle};
+
+const LAYERS: usize = 12;
+const LAYER_BYTES: usize = 128 * 1024;
+
+fn setup() -> (std::path::PathBuf, Container, Vec<String>) {
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-bench-stream-{}.prsm", std::process::id()));
+    let mut w = ContainerWriter::create(&path);
+    for i in 0..LAYERS {
+        w.add_raw(&format!("layer.{i}"), SectionKind::Raw, 0, 0, vec![i as u8; LAYER_BYTES]);
+    }
+    w.finish().expect("write");
+    let c = Container::open(&path).expect("open");
+    let names = (0..LAYERS).map(|i| format!("layer.{i}")).collect();
+    (path, c, names)
+}
+
+/// Busy-compute standing in for one layer's forward pass.
+fn fake_compute(ms: u64) -> u64 {
+    let start = Instant::now();
+    let mut acc = 0_u64;
+    while start.elapsed() < Duration::from_millis(ms) {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+    acc
+}
+
+fn bench_streaming(c: &mut Criterion) {
+    let (path, container, names) = setup();
+    // Throttle so each layer takes ~4 ms of I/O vs ~6 ms of compute: the
+    // overlapped variant should approach pure-compute time.
+    let throttle = Throttle::bandwidth((LAYER_BYTES * 250) as u64);
+    let mut g = c.benchmark_group("layer_streaming");
+    g.sample_size(10);
+
+    g.bench_function("overlapped_prefetch", |bencher| {
+        bencher.iter(|| {
+            let mut s = LayerStreamer::new(&container, &names, 2, throttle).expect("streamer");
+            let mut acc = 0_u64;
+            while let Some(sec) = s.next().expect("next") {
+                acc = acc.wrapping_add(fake_compute(6));
+                s.recycle(sec).expect("recycle");
+            }
+            acc
+        });
+    });
+
+    g.bench_function("synchronous_loads", |bencher| {
+        bencher.iter(|| {
+            let mut acc = 0_u64;
+            let mut buf = Vec::new();
+            for name in &names {
+                let start = Instant::now();
+                let meta = container.read_section_into(name, &mut buf).expect("read");
+                throttle.pace(start, meta.len);
+                acc = acc.wrapping_add(fake_compute(6));
+            }
+            acc
+        });
+    });
+
+    g.finish();
+    std::fs::remove_file(&path).ok();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_streaming
+}
+criterion_main!(benches);

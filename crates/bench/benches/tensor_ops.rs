@@ -1,0 +1,92 @@
+//! Criterion benches for the tensor kernels: matmul variants, softmax,
+//! normalization, and the W4A16 quantized matmul.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prism_tensor::{ops, QuantMatrix, Tensor};
+
+fn mat(rows: usize, cols: usize, seed: f32) -> Tensor {
+    Tensor::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) as f32 * seed).sin() * 0.5)
+}
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matmul");
+    for &n in &[32_usize, 64, 128] {
+        let a = mat(n, n, 0.013);
+        let b = mat(n, n, 0.017);
+        g.throughput(Throughput::Elements((n * n * n) as u64));
+        g.bench_with_input(BenchmarkId::new("square", n), &n, |bencher, _| {
+            bencher.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap());
+        });
+        g.bench_with_input(BenchmarkId::new("transb", n), &n, |bencher, _| {
+            bencher.iter(|| {
+                ops::matmul_transb(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_quant_matmul(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant_matmul");
+    // Weight shapes of the mini transformer layer.
+    let w = mat(64, 32, 0.011);
+    let q = QuantMatrix::quantize(&w).unwrap();
+    let x = mat(640, 32, 0.007); // 20 candidates x 32 tokens
+    g.bench_function("dense_transb_640x32x64", |bencher| {
+        bencher.iter(|| ops::matmul_transb(std::hint::black_box(&x), &w).unwrap());
+    });
+    g.bench_function("q4_transb_640x32x64", |bencher| {
+        bencher.iter(|| q.matmul_transb(std::hint::black_box(&x)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_rowwise_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rowwise");
+    let base = mat(640, 64, 0.019);
+    let gain = vec![1.0_f32; 64];
+    let bias = vec![0.0_f32; 64];
+    g.bench_function("softmax_640x64", |bencher| {
+        bencher.iter_batched(
+            || base.clone(),
+            |mut t| ops::softmax_rows_inplace(&mut t).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("rms_norm_640x64", |bencher| {
+        bencher.iter_batched(
+            || base.clone(),
+            |mut t| ops::rms_norm_inplace(&mut t, &gain, 1e-6).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("layer_norm_640x64", |bencher| {
+        bencher.iter_batched(
+            || base.clone(),
+            |mut t| ops::layer_norm_inplace(&mut t, &gain, &bias, 1e-6).unwrap(),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.bench_function("silu_640x64", |bencher| {
+        bencher.iter_batched(
+            || base.clone(),
+            |mut t| ops::silu_inplace(&mut t),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = quick();
+    targets = bench_matmul, bench_quant_matmul, bench_rowwise_ops
+}
+criterion_main!(benches);

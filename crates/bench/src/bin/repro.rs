@@ -1,0 +1,65 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p prism-bench --bin repro -- <experiment> [--fast]
+//!
+//! experiments:
+//!   table1 fig1 fig2          overview & motivation
+//!   table3 fig8 fig9 fig10    microbenchmarks (§6.2)
+//!   fig11 fig12 fig13 fig14 fig15   real-world applications (§6.3)
+//!   fig16 ablation-extra      ablations (§6.4 + DESIGN.md §5)
+//!   all                       everything above
+//! ```
+//!
+//! `--fast` trims dataset counts and sweep grids for quick smoke runs.
+//! Outputs are printed and written to `target/repro/<id>.{txt,json}`.
+
+use prism_bench::experiments::{ablation, apps, micro, overview};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let chosen: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let what = chosen.first().copied().unwrap_or("all");
+
+    let run = |name: &str| match name {
+        "table1" => overview::table1(),
+        "fig1" => overview::fig1(),
+        "fig2" => overview::fig2(fast),
+        "table3" => micro::table3(fast),
+        "fig8" => micro::fig8(),
+        "fig9" => micro::fig9(),
+        "fig10" => micro::fig10(fast),
+        "fig11" => apps::fig11(),
+        "fig12" | "fig13" => apps::fig12_13(),
+        "fig14" | "fig15" => apps::fig14_15(),
+        "fig16" => ablation::fig16(),
+        "ablation-extra" => ablation::ablation_extra(),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            std::process::exit(2);
+        }
+    };
+
+    if what == "all" {
+        for name in [
+            "table1",
+            "fig1",
+            "fig2",
+            "table3",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig14",
+            "fig16",
+            "ablation-extra",
+        ] {
+            run(name);
+            println!();
+        }
+    } else {
+        run(what);
+    }
+}

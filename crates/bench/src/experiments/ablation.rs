@@ -1,0 +1,254 @@
+//! Fig. 16: the incremental technique ablation, plus the extra
+//! design-choice ablations DESIGN.md §5 calls out.
+
+use serde::Serialize;
+
+use prism_cluster::kmeans_1d;
+use prism_core::{route_candidates, EngineOptions};
+use prism_device::{
+    simulate_hf, simulate_prism, BatchShape, DeviceSpec, PrismSimOptions,
+};
+use prism_metrics::precision_at_k;
+use prism_model::ModelConfig;
+use prism_workload::dataset_by_name;
+
+use crate::experiments::{run_system, SystemKind};
+use crate::fixtures::{mini_fixture, run_with_schedule};
+use crate::report::{fmt_mib, fmt_secs, Report};
+
+#[derive(Serialize)]
+struct Fig16Row {
+    variant: String,
+    latency_s: f64,
+    peak_mib: f64,
+    timeline: Vec<(f64, u64)>,
+}
+
+/// Fig. 16: apply the four techniques incrementally on Qwen3-0.6B ranking
+/// 60 candidates of average length 500 (NVIDIA platform).
+pub fn fig16() {
+    let mut report = Report::new("fig16");
+    let paper = ModelConfig::qwen3_0_6b();
+    let fx = mini_fixture(paper.clone());
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let shape = BatchShape { candidates: 60, seq_len: 500 };
+    let ds = dataset_by_name("wikipedia").expect("profile");
+    let (batch, _) = fx.request(&ds, 0, 60);
+
+    // Real pruning schedule for the monolithic variants.
+    // The paper's ablation prunes at a conservative setting (-49% latency,
+    // not the Low threshold's deeper cut).
+    let pruned =
+        run_system(&fx, SystemKind::Prism { threshold: 0.45 }, &batch, 10).schedule;
+    let unpruned = prism_device::PruneSchedule::no_pruning(paper.num_layers, 60);
+
+    let variants: Vec<(&str, Option<PrismSimOptions>, &prism_device::PruneSchedule)> = vec![
+        ("HF Rerank", None, &unpruned),
+        (
+            "+ Progressive Cluster Pruning",
+            Some(PrismSimOptions {
+                streaming: false,
+                chunked: None,
+                embed_cache_fraction: None,
+                hidden_offload: false,
+                quant: false,
+                gate_overhead_s: 1.0e-3,
+            }),
+            &pruned,
+        ),
+        (
+            "+ Chunked Execution",
+            Some(PrismSimOptions {
+                streaming: false,
+                chunked: Some(None),
+                embed_cache_fraction: None,
+                hidden_offload: false,
+                quant: false,
+                gate_overhead_s: 1.0e-3,
+            }),
+            &pruned,
+        ),
+        (
+            "+ Dual-Layer Sliding Window",
+            Some(PrismSimOptions {
+                streaming: true,
+                chunked: Some(None),
+                embed_cache_fraction: None,
+                hidden_offload: false,
+                quant: false,
+                gate_overhead_s: 1.0e-3,
+            }),
+            &pruned,
+        ),
+        (
+            "+ Embedding Table Caching",
+            Some(PrismSimOptions {
+                streaming: true,
+                chunked: Some(None),
+                embed_cache_fraction: Some(0.10),
+                hidden_offload: false,
+                quant: false,
+                gate_overhead_s: 1.0e-3,
+            }),
+            &pruned,
+        ),
+    ];
+
+    let mut rows = Vec::new();
+    let mut baseline: Option<(f64, u64)> = None;
+    for (name, opts, schedule) in variants {
+        let out = match opts {
+            None => simulate_hf(&paper, &rtx, shape),
+            Some(o) => simulate_prism(&paper, &rtx, shape, schedule, o),
+        };
+        let (base_lat, base_peak) = *baseline.get_or_insert((out.latency_s, out.peak_bytes));
+        report.line(&format!(
+            "{:<32} latency {:>9} ({:+.1}%)  peak {:>10} ({:+.1}%)",
+            name,
+            fmt_secs(out.latency_s),
+            (out.latency_s / base_lat - 1.0) * 100.0,
+            fmt_mib(out.peak_bytes),
+            (out.peak_bytes as f64 / base_peak as f64 - 1.0) * 100.0
+        ));
+        rows.push(Fig16Row {
+            variant: name.into(),
+            latency_s: out.latency_s,
+            peak_mib: out.peak_bytes as f64 / (1 << 20) as f64,
+            timeline: out.timeline,
+        });
+    }
+    let last = rows.last().expect("variants non-empty");
+    let first = rows.first().expect("variants non-empty");
+    report.line(&format!(
+        "combined: {:.1}% latency reduction, {:.1}% peak memory reduction (paper: 48.5% / 78.4%)",
+        (1.0 - last.latency_s / first.latency_s) * 100.0,
+        (1.0 - last.peak_mib / first.peak_mib) * 100.0
+    ));
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct ExtraAblationRow {
+    study: String,
+    variant: String,
+    metric: String,
+    value: f64,
+}
+
+/// Extra design-choice ablations (DESIGN.md §5): K-selection policy,
+/// CV gate vs always-cluster, and embedding-cache capacity sweep.
+pub fn ablation_extra() {
+    let mut report = Report::new("ablation_extra");
+    let mut rows = Vec::new();
+    let paper = ModelConfig::qwen3_0_6b();
+    let fx = mini_fixture(paper.clone());
+    let ds = dataset_by_name("wikipedia").expect("profile");
+    let requests = 4_u64;
+    let k = 5;
+
+    // --- (1) CV gate vs always-cluster: executed work and precision ---
+    report.line("(1) dispersion gate vs always-cluster");
+    for (variant, threshold) in [("cv-gate t=0.25", 0.25_f32), ("always-cluster t=0.0", 0.0)] {
+        let mut work = 0.0;
+        let mut precision = 0.0;
+        for r in 0..requests {
+            let (batch, req) = fx.request(&ds, r, 20);
+            let options =
+                EngineOptions { dispersion_threshold: threshold, ..Default::default() };
+            let mut engine = fx.engine(options, false);
+            let (sel, schedule) = run_with_schedule(&mut engine, &batch, k, paper.num_layers);
+            work += schedule.work_fraction(20);
+            precision += precision_at_k(&sel.top_ids(), &req.relevant, k);
+        }
+        let n = requests as f64;
+        report.line(&format!(
+            "  {variant:<22} work fraction {:.3}  precision {:.3}",
+            work / n,
+            precision / n
+        ));
+        rows.push(ExtraAblationRow {
+            study: "gate".into(),
+            variant: variant.into(),
+            metric: "work_fraction".into(),
+            value: work / n,
+        });
+        rows.push(ExtraAblationRow {
+            study: "gate".into(),
+            variant: variant.into(),
+            metric: "precision".into(),
+            value: precision / n,
+        });
+    }
+
+    // --- (2) silhouette-k vs fixed-k clustering quality on layer scores ---
+    report.line("(2) K-Means model selection (routing safety on a mid-layer probe)");
+    let (batch, _) = fx.request(&ds, 0, 20);
+    let trace = fx.model.layer_score_trace(&batch).expect("trace");
+    let mid = &trace[trace.len() / 2];
+    let fin = trace.last().expect("final");
+    for (variant, fixed_k) in [("silhouette-auto", None), ("fixed k=2", Some(2)), ("fixed k=5", Some(5))] {
+        let clustering = match fixed_k {
+            None => prism_cluster::kmeans_auto(mid, 5, 7),
+            Some(kk) => kmeans_1d(mid, kk, 7),
+        };
+        let cg = prism_metrics::cluster_gamma(mid, fin, &clustering.assignments);
+        report.line(&format!(
+            "  {variant:<16} clusters {}  cluster-γ {cg:.3}",
+            clustering.k()
+        ));
+        rows.push(ExtraAblationRow {
+            study: "k-selection".into(),
+            variant: variant.into(),
+            metric: "cluster_gamma".into(),
+            value: cg,
+        });
+    }
+
+    // --- (3) routing-mode safety check ---
+    report.line("(3) three-way routing vs losers-only on a synthetic boundary");
+    let scores = [0.9_f32, 0.88, 0.6, 0.58, 0.55, 0.2, 0.18, 0.15];
+    for (variant, prune_winners) in [("three-way", true), ("losers-only", false)] {
+        let d = route_candidates(&scores, 4, 0.1, prune_winners, 5, 3);
+        let active_after = d.deferred.len();
+        report.line(&format!(
+            "  {variant:<12} selected {} dropped {} deferred {active_after}",
+            d.selected.len(),
+            d.dropped.len()
+        ));
+        rows.push(ExtraAblationRow {
+            study: "routing-mode".into(),
+            variant: variant.into(),
+            metric: "deferred".into(),
+            value: active_after as f64,
+        });
+    }
+
+    // --- (4) embedding-cache capacity sweep at paper scale ---
+    report.line("(4) embedding-cache capacity sweep (paper-scale resident bytes)");
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let schedule = prism_device::PruneSchedule::no_pruning(paper.num_layers, 20);
+    for frac in [0.01_f64, 0.05, 0.10, 0.25, 1.0] {
+        let out = simulate_prism(
+            &paper,
+            &rtx,
+            BatchShape { candidates: 20, seq_len: 500 },
+            &schedule,
+            PrismSimOptions {
+                embed_cache_fraction: if frac >= 1.0 { None } else { Some(frac) },
+                ..Default::default()
+            },
+        );
+        report.line(&format!(
+            "  cache {:>4.0}% of vocab  peak {}",
+            frac * 100.0,
+            fmt_mib(out.peak_bytes)
+        ));
+        rows.push(ExtraAblationRow {
+            study: "cache-capacity".into(),
+            variant: format!("{:.0}%", frac * 100.0),
+            metric: "peak_mib".into(),
+            value: out.peak_bytes as f64 / (1 << 20) as f64,
+        });
+    }
+    report.finish(&rows);
+}

@@ -1,0 +1,388 @@
+//! Real-world application experiments: RAG (Fig. 11), agent memory
+//! (Figs. 12–13), long-context selection (Figs. 14–15).
+//!
+//! Behaviour (precision, success rates, cache hits, pruning schedules)
+//! comes from the real mini pipelines in `prism-apps`; stage latencies and
+//! memory at paper scale come from the device simulator, with the
+//! reranker's schedule taken from the actual PRISM run.
+
+use serde::Serialize;
+
+use prism_baselines::HfVanilla;
+use prism_core::EngineOptions;
+use prism_device::{cost, BatchShape, DeviceSpec, PruneSchedule, SimOutcome};
+use prism_metrics::MemoryMeter;
+use prism_model::ModelConfig;
+use prism_storage::Container;
+use prism_workload::dataset_by_name;
+
+use prism_apps::corpus::CorpusSpec;
+use prism_apps::{AgentMemory, AgentScenario, Corpus, LongContextSelector, RagPipeline};
+
+use crate::experiments::{run_system, simulate_system, thresholds_for, SystemKind};
+use crate::fixtures::{mini_fixture, MiniFixture};
+use crate::report::{fmt_mib, fmt_secs, Report};
+
+/// Records the PRISM schedule for an app-shaped rerank request.
+fn app_schedule(fx: &MiniFixture, candidates: usize, k: usize) -> PruneSchedule {
+    let ds = dataset_by_name("wikipedia").expect("profile");
+    let (batch, _) = fx.request(&ds, 0, candidates);
+    let (_, high_t) = thresholds_for(&fx.paper.name);
+    run_system(fx, SystemKind::Prism { threshold: high_t }, &batch, k).schedule
+}
+
+fn rerank_sims(
+    fx: &MiniFixture,
+    device: &DeviceSpec,
+    candidates: usize,
+    seq_len: usize,
+    k: usize,
+) -> (SimOutcome, SimOutcome) {
+    let shape = BatchShape { candidates, seq_len };
+    let schedule = app_schedule(fx, candidates, k);
+    let hf = simulate_system(SystemKind::Hf, &fx.paper, device, shape, &schedule);
+    let ours = simulate_system(
+        SystemKind::Prism { threshold: thresholds_for(&fx.paper.name).1 },
+        &fx.paper,
+        device,
+        shape,
+        &schedule,
+    );
+    (hf, ours)
+}
+
+fn rag_corpus(fx: &MiniFixture) -> Corpus {
+    Corpus::generate(CorpusSpec {
+        vocab_size: fx.mini.vocab_size,
+        doc_len: 32,
+        docs_per_query: 24,
+        queries: 6,
+        gold_per_query: 5,
+        seed: 17,
+    })
+}
+
+#[derive(Serialize)]
+struct Fig11Row {
+    platform: String,
+    system: String,
+    retrieve_s: f64,
+    rerank_s: f64,
+    first_token_s: f64,
+    total_s: f64,
+    accuracy: f64,
+    rerank_peak_mib: f64,
+    rerank_avg_mib: f64,
+    timeline: Vec<(f64, u64)>,
+}
+
+/// Fig. 11: the RAG pipeline — latency & precision (a) and memory
+/// footprint on both platforms (b, c).
+pub fn fig11() {
+    let mut report = Report::new("fig11");
+    let mut rows = Vec::new();
+    // Paper §6.3: Qwen3-0.6B reranker on Apple, BGE-MiniCPM on NVIDIA.
+    let assignments = [
+        (DeviceSpec::rtx5070_laptop(), ModelConfig::bge_minicpm()),
+        (DeviceSpec::apple_m2(), ModelConfig::qwen3_0_6b()),
+    ];
+    for (device, reranker_cfg) in assignments {
+        let fx = mini_fixture(reranker_cfg.clone());
+        // --- behaviour: mini RAG accuracy for both rerankers ---
+        let accuracy = |prism: bool| -> f64 {
+            let corpus = rag_corpus(&fx);
+            let queries = corpus.queries.len();
+            let mut total = 0.0;
+            if prism {
+                let engine = fx.engine(EngineOptions::default(), false);
+                let mut rag = RagPipeline::new(
+                    corpus,
+                    fx.model.weights.embedding.clone(),
+                    engine,
+                    fx.mini.max_seq,
+                    ModelConfig::qwen3_8b(),
+                    DeviceSpec::a800(),
+                )
+                .expect("pipeline");
+                for q in 0..queries {
+                    total += rag.answer(q, 10).expect("answer").gold_precision;
+                }
+            } else {
+                let container = Container::open(&fx.container_path).expect("container");
+                let hf = HfVanilla::new(&container, fx.mini.clone(), 20, MemoryMeter::new())
+                    .expect("hf");
+                let mut rag = RagPipeline::new(
+                    corpus,
+                    fx.model.weights.embedding.clone(),
+                    hf,
+                    fx.mini.max_seq,
+                    ModelConfig::qwen3_8b(),
+                    DeviceSpec::a800(),
+                )
+                .expect("pipeline");
+                for q in 0..queries {
+                    total += rag.answer(q, 10).expect("answer").gold_precision;
+                }
+            }
+            total / queries as f64
+        };
+        let acc_hf = accuracy(false);
+        let acc_ours = accuracy(true);
+
+        // --- paper-scale latency & memory ---
+        let (hf_sim, ours_sim) = rerank_sims(&fx, &device, 20, 500, 10);
+        let retrieve_s = 0.008; // Hybrid search (paper Fig. 1: ~8 ms).
+        let first_token_s =
+            cost::first_token_time_s(&ModelConfig::qwen3_8b(), &DeviceSpec::a800(), 6 * 512);
+        report.line(&format!("--- {} (reranker: {}) ---", device.name, reranker_cfg.name));
+        for (system, sim, acc) in
+            [("HF", &hf_sim, acc_hf), ("Ours", &ours_sim, acc_ours)]
+        {
+            let total = retrieve_s + sim.latency_s + first_token_s;
+            report.line(&format!(
+                "{:<5} total {} (retrieve {} + rerank {} + first-token {})  acc {:.3}  rerank peak {} avg {}",
+                system,
+                fmt_secs(total),
+                fmt_secs(retrieve_s),
+                fmt_secs(sim.latency_s),
+                fmt_secs(first_token_s),
+                acc,
+                fmt_mib(sim.peak_bytes),
+                fmt_mib(sim.avg_bytes)
+            ));
+            rows.push(Fig11Row {
+                platform: device.name.clone(),
+                system: system.into(),
+                retrieve_s,
+                rerank_s: sim.latency_s,
+                first_token_s,
+                total_s: total,
+                accuracy: acc,
+                rerank_peak_mib: sim.peak_bytes as f64 / (1 << 20) as f64,
+                rerank_avg_mib: sim.avg_bytes as f64 / (1 << 20) as f64,
+                timeline: sim.timeline.clone(),
+            });
+        }
+        let reduction = 1.0
+            - (retrieve_s + ours_sim.latency_s + first_token_s)
+                / (retrieve_s + hf_sim.latency_s + first_token_s);
+        report.line(&format!(
+            "latency reduction {:.1}% (paper: 51% NVIDIA / 31% Apple); rerank peak saving {:.1}%",
+            reduction * 100.0,
+            (1.0 - ours_sim.peak_bytes as f64 / hf_sim.peak_bytes as f64) * 100.0
+        ));
+        report.blank();
+    }
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct Fig12Row {
+    scenario: String,
+    system: String,
+    avg_latency_s: f64,
+    env_s: f64,
+    inference_s: f64,
+    rerank_s: f64,
+    success_rate: f64,
+}
+
+/// Figs. 12–13: agent memory — task latency & success rate, plus the
+/// memory footprint of a single cached action.
+pub fn fig12_13() {
+    let mut report = Report::new("fig12_13");
+    let fx = mini_fixture(ModelConfig::qwen3_0_6b());
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let mut rows = Vec::new();
+    let tasks = 16_u64;
+    for scenario in [AgentScenario::Video, AgentScenario::Community] {
+        report.line(&format!("--- {} ---", scenario.name()));
+        let n_mem = scenario.memory_size();
+        let (hf_rerank, ours_rerank) = rerank_sims(&fx, &rtx, n_mem, 300, 1);
+        for system in ["Disable AM", "HF", "Ours"] {
+            // Behaviour from the mini agent.
+            let with_memory = system != "Disable AM";
+            let reranker = with_memory.then(|| fx.engine(EngineOptions::default(), false));
+            let mut agent = AgentMemory::new(
+                scenario,
+                reranker,
+                fx.mini.vocab_size,
+                fx.mini.max_seq,
+                DeviceSpec::a800(),
+                9,
+            );
+            let mut success = 0_usize;
+            let mut vlm_total = 0.0;
+            let mut hits = 0_usize;
+            for t in 0..tasks {
+                let r = agent.run_task(t).expect("task");
+                if r.success {
+                    success += 1;
+                }
+                if r.cache_hit {
+                    hits += 1;
+                }
+                vlm_total += r.vlm_s;
+            }
+            let env_s = scenario.env_time_s();
+            // Every action consults the memory once.
+            let rerank_s = scenario.steps() as f64
+                * match system {
+                    "Disable AM" => 0.0,
+                    "HF" => hf_rerank.latency_s,
+                    _ => ours_rerank.latency_s,
+                };
+            let inference_s = vlm_total / tasks as f64;
+            let avg_latency = env_s + inference_s + rerank_s;
+            let success_rate = success as f64 / tasks as f64;
+            report.line(&format!(
+                "{:<10} avg {:>7} (env {} + VLM {} + rerank {})  success {:.3}  hits {hits}/{tasks}",
+                system,
+                fmt_secs(avg_latency),
+                fmt_secs(env_s),
+                fmt_secs(inference_s),
+                fmt_secs(rerank_s),
+                success_rate
+            ));
+            rows.push(Fig12Row {
+                scenario: scenario.name().into(),
+                system: system.into(),
+                avg_latency_s: avg_latency,
+                env_s,
+                inference_s,
+                rerank_s,
+                success_rate,
+            });
+        }
+        report.blank();
+    }
+    // Fig. 13: memory during one cached click (rerank phase only).
+    let (hf_rerank, ours_rerank) = rerank_sims(&fx, &rtx, AgentScenario::Video.memory_size(), 300, 1);
+    report.line(&format!(
+        "fig13: rerank peak HF {} vs Ours {} ({:.1}% saving; paper: 63.0%)",
+        fmt_mib(hf_rerank.peak_bytes),
+        fmt_mib(ours_rerank.peak_bytes),
+        (1.0 - ours_rerank.peak_bytes as f64 / hf_rerank.peak_bytes as f64) * 100.0
+    ));
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct Fig14Row {
+    system: String,
+    rerank_s: f64,
+    inference_s: f64,
+    total_s: f64,
+    precision: f64,
+    rerank_peak_mib: f64,
+}
+
+/// Figs. 14–15: LLM long-context selection — latency, precision and
+/// memory.
+pub fn fig14_15() {
+    let mut report = Report::new("fig14_15");
+    let fx = mini_fixture(ModelConfig::qwen3_0_6b());
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let segments = 32;
+    let window = 8;
+    let questions = 8_u64;
+    let gen_cfg = ModelConfig::qwen3_4b();
+
+    // Behaviour: mini selectors.
+    let run_selector = |mode: &str| -> f64 {
+        let mut precision = 0.0;
+        match mode {
+            "Ours" => {
+                let engine = fx.engine(EngineOptions::default(), false);
+                let mut sel = LongContextSelector::new(
+                    Some(engine),
+                    fx.mini.vocab_size,
+                    16,
+                    segments,
+                    5,
+                    window,
+                    gen_cfg.clone(),
+                    rtx.clone(),
+                );
+                for q in 0..questions {
+                    precision += sel.run(q).expect("run").segment_precision;
+                }
+            }
+            "HF Rerank" => {
+                let container = Container::open(&fx.container_path).expect("container");
+                let hf = HfVanilla::new(&container, fx.mini.clone(), 32, MemoryMeter::new())
+                    .expect("hf");
+                let mut sel = LongContextSelector::new(
+                    Some(hf),
+                    fx.mini.vocab_size,
+                    16,
+                    segments,
+                    5,
+                    window,
+                    gen_cfg.clone(),
+                    rtx.clone(),
+                );
+                for q in 0..questions {
+                    precision += sel.run(q).expect("run").segment_precision;
+                }
+            }
+            _ => {
+                let mut sel: LongContextSelector<HfVanilla> = LongContextSelector::new(
+                    None,
+                    fx.mini.vocab_size,
+                    16,
+                    segments,
+                    5,
+                    window,
+                    gen_cfg.clone(),
+                    rtx.clone(),
+                );
+                for q in 0..questions {
+                    precision += sel.run(q).expect("run").segment_precision;
+                }
+            }
+        }
+        precision / questions as f64
+    };
+
+    let (hf_sim, ours_sim) = rerank_sims(&fx, &rtx, segments, 500, window);
+    let gen_selected =
+        cost::prefill_time_s(&gen_cfg, &rtx, (window * 512) as u64) + cost::decode_time_s(&gen_cfg, &rtx, 64);
+    let gen_full = cost::prefill_time_s(&gen_cfg, &rtx, (segments * 512) as u64)
+        + cost::decode_time_s(&gen_cfg, &rtx, 64);
+
+    let mut rows = Vec::new();
+    for (system, rerank_s, inference_s, peak) in [
+        ("Ours", ours_sim.latency_s, gen_selected, ours_sim.peak_bytes),
+        ("HF Rerank", hf_sim.latency_s, gen_selected, hf_sim.peak_bytes),
+        ("Baseline (no rerank)", 0.0, gen_full, 0),
+    ] {
+        let precision = run_selector(system);
+        let total = rerank_s + inference_s;
+        report.line(&format!(
+            "{:<22} total {} (rerank {} + inference {})  precision {:.3}  rerank peak {}",
+            system,
+            fmt_secs(total),
+            fmt_secs(rerank_s),
+            fmt_secs(inference_s),
+            precision,
+            fmt_mib(peak)
+        ));
+        rows.push(Fig14Row {
+            system: system.into(),
+            rerank_s,
+            inference_s,
+            total_s: total,
+            precision,
+            rerank_peak_mib: peak as f64 / (1 << 20) as f64,
+        });
+    }
+    let vs_hf = 1.0 - rows[0].total_s / rows[1].total_s;
+    let vs_none = 1.0 - rows[0].total_s / rows[2].total_s;
+    report.line(&format!(
+        "ours vs HF Rerank: -{:.1}% latency (paper: 11.6%); vs no rerank: -{:.1}% (paper: 57.3%)",
+        vs_hf * 100.0,
+        vs_none * 100.0
+    ));
+    report.finish(&rows);
+}

@@ -1,0 +1,384 @@
+//! Microbenchmarks: Table 3, Fig. 8 (latency & precision), Fig. 9
+//! (memory), Fig. 10 (threshold sweep).
+
+use serde::Serialize;
+
+use prism_metrics::precision_at_k;
+use prism_model::ModelConfig;
+use prism_workload::{dataset_by_name, dataset_catalog};
+
+use crate::experiments::{
+    micro_batch_shape, platforms, run_system, simulate_system, thresholds_for, SystemKind,
+};
+use crate::fixtures::mini_fixture;
+use crate::report::{fmt_mib, fmt_secs, Report};
+
+/// Requests evaluated per (model, dataset) cell.
+const REQUESTS: u64 = 2;
+const CANDIDATES: usize = 20;
+
+#[derive(Serialize)]
+struct Table3Row {
+    model: String,
+    comparison: String,
+    k: usize,
+    latency_reduction_min: f64,
+    latency_reduction_max: f64,
+    latency_reduction_mean: f64,
+    precision_delta_mean: f64,
+    precision_delta_worst: f64,
+    baseline_oom: bool,
+}
+
+/// Table 3: mean latency reduction and precision deltas over all datasets
+/// and platforms, per model and K.
+pub fn table3(fast: bool) {
+    let mut report = Report::new("table3");
+    let datasets = if fast {
+        dataset_catalog().into_iter().take(4).collect::<Vec<_>>()
+    } else {
+        dataset_catalog()
+    };
+    let mut rows: Vec<Table3Row> = Vec::new();
+    for paper in ModelConfig::paper_catalog() {
+        let fx = mini_fixture(paper.clone());
+        let (_, high_t) = thresholds_for(&paper.name);
+        report.line(&format!("--- {} ---", paper.name));
+        for k in [1_usize, 5, 10] {
+            // Collect per-(dataset, platform) latency reductions and
+            // precision deltas.
+            let mut cmp_hf: Vec<f64> = Vec::new();
+            let mut cmp_off: Vec<f64> = Vec::new();
+            let mut cmp_quant: Vec<f64> = Vec::new();
+            let mut dp_hf: Vec<f64> = Vec::new();
+            let mut dp_quant: Vec<f64> = Vec::new();
+            let mut hf_oom = false;
+            for ds in &datasets {
+                let mut p_hf = 0.0;
+                let mut p_prism = 0.0;
+                let mut p_hfq = 0.0;
+                let mut p_prismq = 0.0;
+                let mut lat: Vec<(SystemKind, f64, f64)> = Vec::new();
+                for r in 0..REQUESTS {
+                    let (batch, req) = fx.request(ds, r, CANDIDATES);
+                    for system in [
+                        SystemKind::Hf,
+                        SystemKind::HfQuant,
+                        SystemKind::Prism { threshold: high_t },
+                        SystemKind::PrismQuant { threshold: high_t },
+                    ] {
+                        let run = run_system(&fx, system, &batch, k);
+                        let p = precision_at_k(&run.top_ids, &req.relevant, k);
+                        match system {
+                            SystemKind::Hf => p_hf += p,
+                            SystemKind::HfQuant => p_hfq += p,
+                            SystemKind::Prism { .. } => p_prism += p,
+                            SystemKind::PrismQuant { .. } => p_prismq += p,
+                            SystemKind::HfOffload => {}
+                        }
+                        if r == 0 {
+                            for dev in platforms() {
+                                let out = simulate_system(
+                                    system,
+                                    &paper,
+                                    &dev,
+                                    micro_batch_shape(),
+                                    &run.schedule,
+                                );
+                                if matches!(system, SystemKind::Hf) && out.oom {
+                                    hf_oom = true;
+                                }
+                                lat.push((system, out.latency_s, dev.compute_flops));
+                            }
+                            if matches!(system, SystemKind::Hf) {
+                                // HF Offload latency shares HF's behaviour run.
+                                for dev in platforms() {
+                                    let out = simulate_system(
+                                        SystemKind::HfOffload,
+                                        &paper,
+                                        &dev,
+                                        micro_batch_shape(),
+                                        &run.schedule,
+                                    );
+                                    lat.push((SystemKind::HfOffload, out.latency_s, dev.compute_flops));
+                                }
+                            }
+                        }
+                    }
+                }
+                let n = REQUESTS as f64;
+                dp_hf.push((p_prism - p_hf) / n);
+                dp_quant.push((p_prismq - p_hfq) / n);
+                // Latency reductions per platform.
+                for dev in platforms() {
+                    let find = |s: SystemKind| {
+                        lat.iter()
+                            .find(|(sys, _, flops)| *sys == s && *flops == dev.compute_flops)
+                            .map(|&(_, l, _)| l)
+                            .expect("latency recorded")
+                    };
+                    let prism = find(SystemKind::Prism { threshold: high_t });
+                    let prismq = find(SystemKind::PrismQuant { threshold: high_t });
+                    cmp_hf.push(1.0 - prism / find(SystemKind::Hf));
+                    cmp_off.push(1.0 - prism / find(SystemKind::HfOffload));
+                    cmp_quant.push(1.0 - prismq / find(SystemKind::HfQuant));
+                }
+            }
+            let summarize = |v: &[f64]| -> (f64, f64, f64) {
+                let min = v.iter().cloned().fold(f64::INFINITY, f64::min);
+                let max = v.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                (min, max, v.iter().sum::<f64>() / v.len() as f64)
+            };
+            let p_stats = |v: &[f64]| -> (f64, f64) {
+                let mean = v.iter().sum::<f64>() / v.len() as f64;
+                let worst = v.iter().cloned().fold(f64::INFINITY, f64::min);
+                (mean, worst)
+            };
+            for (name, lats, deltas, oom) in [
+                ("PRISM vs HF", &cmp_hf, &dp_hf, hf_oom),
+                ("PRISM vs HF Offload", &cmp_off, &dp_hf, false),
+                ("PRISM Quant vs HF Quant", &cmp_quant, &dp_quant, false),
+            ] {
+                let (min, max, mean) = summarize(lats);
+                let (dmean, dworst) = p_stats(deltas);
+                let base = if oom && name == "PRISM vs HF" {
+                    " [HF OOM at paper scale]"
+                } else {
+                    ""
+                };
+                report.line(&format!(
+                    "P@{k:<2} {name:<26} lat -{:.1}%..-{:.1}% (mean -{:.1}%)  dPrec mean {dmean:+.3} worst {dworst:+.3}{base}",
+                    min * 100.0,
+                    max * 100.0,
+                    mean * 100.0
+                ));
+                rows.push(Table3Row {
+                    model: paper.name.clone(),
+                    comparison: name.into(),
+                    k,
+                    latency_reduction_min: min,
+                    latency_reduction_max: max,
+                    latency_reduction_mean: mean,
+                    precision_delta_mean: dmean,
+                    precision_delta_worst: dworst,
+                    baseline_oom: oom,
+                });
+            }
+        }
+        report.blank();
+    }
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct Fig8Row {
+    model: String,
+    system: String,
+    latency_nvidia_s: f64,
+    latency_apple_s: f64,
+    nvidia_oom: bool,
+    precision_at: [f64; 3],
+}
+
+/// Fig. 8: detailed latency and precision on the Wikipedia dataset, seven
+/// systems, five models, both platforms.
+pub fn fig8() {
+    let mut report = Report::new("fig8");
+    let ds = dataset_by_name("wikipedia").expect("wikipedia profile");
+    let mut rows: Vec<Fig8Row> = Vec::new();
+    for paper in ModelConfig::paper_catalog() {
+        let fx = mini_fixture(paper.clone());
+        let (low_t, high_t) = thresholds_for(&paper.name);
+        let systems = [
+            SystemKind::Hf,
+            SystemKind::HfOffload,
+            SystemKind::HfQuant,
+            SystemKind::Prism { threshold: low_t },
+            SystemKind::Prism { threshold: high_t },
+            SystemKind::PrismQuant { threshold: low_t },
+            SystemKind::PrismQuant { threshold: high_t },
+        ];
+        report.line(&format!("--- {} (Wikipedia) ---", paper.name));
+        for system in systems {
+            let mut precision = [0.0_f64; 3];
+            let mut schedule = None;
+            for r in 0..REQUESTS {
+                // K = 10 runs produce the schedule; precision measured at
+                // each K with its own run for pruning systems.
+                for (ki, k) in [1_usize, 5, 10].iter().enumerate() {
+                    let (batch, req) = fx.request(&ds, r, CANDIDATES);
+                    let run = run_system(&fx, system, &batch, *k);
+                    precision[ki] += precision_at_k(&run.top_ids, &req.relevant, *k)
+                        / REQUESTS as f64;
+                    if *k == 10 && r == 0 {
+                        schedule = Some(run.schedule);
+                    }
+                }
+            }
+            let schedule = schedule.expect("schedule recorded");
+            let rtx = simulate_system(
+                system,
+                &paper,
+                &prism_device::DeviceSpec::rtx5070_laptop(),
+                micro_batch_shape(),
+                &schedule,
+            );
+            let m2 = simulate_system(
+                system,
+                &paper,
+                &prism_device::DeviceSpec::apple_m2(),
+                micro_batch_shape(),
+                &schedule,
+            );
+            report.line(&format!(
+                "{:<22} nvidia {}{}  apple {}  P@1/5/10 {:.3}/{:.3}/{:.3}",
+                system.name(),
+                fmt_secs(rtx.latency_s),
+                if rtx.oom { " (OOM)" } else { "" },
+                fmt_secs(m2.latency_s),
+                precision[0],
+                precision[1],
+                precision[2]
+            ));
+            rows.push(Fig8Row {
+                model: paper.name.clone(),
+                system: system.name(),
+                latency_nvidia_s: rtx.latency_s,
+                latency_apple_s: m2.latency_s,
+                nvidia_oom: rtx.oom,
+                precision_at: precision,
+            });
+        }
+        report.blank();
+    }
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct Fig9Row {
+    model: String,
+    system: String,
+    peak_mib: f64,
+    avg_mib: f64,
+    peak_ratio_vs_prism: f64,
+    oom_on_rtx: bool,
+    timeline: Vec<(f64, u64)>,
+}
+
+/// Fig. 9: memory footprint over time on the NVIDIA platform (A800 stands
+/// in for HF curves that OOM, as in the paper).
+pub fn fig9() {
+    let mut report = Report::new("fig9");
+    let ds = dataset_by_name("wikipedia").expect("wikipedia profile");
+    let rtx = prism_device::DeviceSpec::rtx5070_laptop();
+    let a800 = prism_device::DeviceSpec::a800();
+    let mut rows: Vec<Fig9Row> = Vec::new();
+    for paper in ModelConfig::paper_catalog() {
+        let fx = mini_fixture(paper.clone());
+        let (batch, _) = fx.request(&ds, 0, CANDIDATES);
+        let (_, high_t) = thresholds_for(&paper.name);
+        let prism_run = run_system(&fx, SystemKind::Prism { threshold: high_t }, &batch, 10);
+        let mut outcomes = Vec::new();
+        for system in [
+            SystemKind::Prism { threshold: high_t },
+            SystemKind::Hf,
+            SystemKind::HfOffload,
+            SystemKind::HfQuant,
+        ] {
+            let mut out =
+                simulate_system(system, &paper, &rtx, micro_batch_shape(), &prism_run.schedule);
+            let mut oom = false;
+            if out.oom && matches!(system, SystemKind::Hf) {
+                // Paper: 4B/8B HF curves measured on an A800 instead.
+                out = simulate_system(system, &paper, &a800, micro_batch_shape(), &prism_run.schedule);
+                oom = true;
+            }
+            outcomes.push((system, out, oom));
+        }
+        let prism_peak = outcomes[0].1.peak_bytes.max(1);
+        report.line(&format!("--- {} ---", paper.name));
+        for (system, out, oom) in &outcomes {
+            let ratio = out.peak_bytes as f64 / prism_peak as f64;
+            report.line(&format!(
+                "{:<22} peak {:>10}  avg {:>10}  peak/PRISM {ratio:.2}x{}",
+                system.name(),
+                fmt_mib(out.peak_bytes),
+                fmt_mib(out.avg_bytes),
+                if *oom { "  [measured on A800: OOM on laptop]" } else { "" }
+            ));
+            rows.push(Fig9Row {
+                model: paper.name.clone(),
+                system: system.name(),
+                peak_mib: out.peak_bytes as f64 / (1 << 20) as f64,
+                avg_mib: out.avg_bytes as f64 / (1 << 20) as f64,
+                peak_ratio_vs_prism: ratio,
+                oom_on_rtx: *oom,
+                timeline: out.timeline.clone(),
+            });
+        }
+        report.blank();
+    }
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct Fig10Point {
+    model: String,
+    threshold: f32,
+    k: usize,
+    precision: f64,
+    latency_s: f64,
+}
+
+/// Fig. 10: the latency–precision trade-off across dispersion thresholds.
+pub fn fig10(fast: bool) {
+    let mut report = Report::new("fig10");
+    let ds = dataset_by_name("wikipedia").expect("wikipedia profile");
+    let rtx = prism_device::DeviceSpec::rtx5070_laptop();
+    let thresholds: Vec<f32> = if fast {
+        vec![0.1, 0.3, 0.6]
+    } else {
+        vec![0.05, 0.12, 0.2, 0.3, 0.45, 0.7]
+    };
+    let mut rows: Vec<Fig10Point> = Vec::new();
+    for paper in ModelConfig::paper_catalog() {
+        let fx = mini_fixture(paper.clone());
+        report.line(&format!("--- {} ---", paper.name));
+        for &threshold in &thresholds {
+            for k in [1_usize, 5, 10] {
+                let mut precision = 0.0;
+                let mut schedule = None;
+                for r in 0..REQUESTS {
+                    let (batch, req) = fx.request(&ds, r, CANDIDATES);
+                    let run = run_system(&fx, SystemKind::Prism { threshold }, &batch, k);
+                    precision += precision_at_k(&run.top_ids, &req.relevant, k) / REQUESTS as f64;
+                    if r == 0 {
+                        schedule = Some(run.schedule);
+                    }
+                }
+                let out = simulate_system(
+                    SystemKind::Prism { threshold },
+                    &paper,
+                    &rtx,
+                    micro_batch_shape(),
+                    &schedule.expect("schedule"),
+                );
+                report.line(&format!(
+                    "t={threshold:<5} K={k:<2} precision {precision:.3}  latency {}",
+                    fmt_secs(out.latency_s)
+                ));
+                rows.push(Fig10Point {
+                    model: paper.name.clone(),
+                    threshold,
+                    k,
+                    precision,
+                    latency_s: out.latency_s,
+                });
+            }
+        }
+        report.blank();
+    }
+    // Sanity summary: higher threshold should not reduce precision much.
+    report.line("(expect: precision non-decreasing and latency increasing with threshold)");
+    report.finish(&rows);
+}

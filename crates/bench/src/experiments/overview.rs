@@ -1,0 +1,174 @@
+//! Fig. 1 (motivating pipeline costs), Fig. 2 (sequence-level sparsity)
+//! and Table 1 (model catalog).
+
+use serde::Serialize;
+
+use prism_cluster::{coefficient_of_variation, kmeans_auto};
+use prism_device::{simulate_hf, BatchShape, DeviceSpec};
+use prism_metrics::{cluster_gamma, goodman_kruskal_gamma};
+use prism_model::ModelConfig;
+use prism_workload::dataset_catalog;
+
+use crate::fixtures::mini_fixture;
+use crate::report::{fmt_mib, fmt_secs, Report};
+
+/// Table 1: the evaluated model catalog.
+pub fn table1() {
+    let mut report = Report::new("table1");
+    let mut rows = Vec::new();
+    report.line(&format!(
+        "{:<26} {:>8} {:>7} {:>8} {:>9}  arch",
+        "model", "params", "layers", "hidden", "weights"
+    ));
+    for cfg in ModelConfig::paper_catalog() {
+        report.line(&format!(
+            "{:<26} {:>7.2}B {:>7} {:>8} {:>9}  {:?}",
+            cfg.name,
+            cfg.total_params() as f64 / 1e9,
+            cfg.num_layers,
+            cfg.hidden_dim,
+            fmt_mib(cfg.total_weight_bytes()),
+            cfg.arch
+        ));
+        rows.push(cfg);
+    }
+    report.finish(&rows);
+}
+
+#[derive(Serialize)]
+struct Fig1Stage {
+    stage: String,
+    latency_ms: f64,
+    peak_mib: f64,
+}
+
+/// Fig. 1: per-stage cost of the semantic file search pipeline on the Mac
+/// Mini (keyword + embedding retrieval, top-5/20 rerank with the 0.6 B
+/// model, downstream LLM).
+pub fn fig1() {
+    let mut report = Report::new("fig1");
+    let m2 = DeviceSpec::apple_m2();
+    let cfg = ModelConfig::qwen3_0_6b();
+    // Retrieval stages: index scans over a personal corpus are
+    // millisecond-scale (paper: 8 ms / 50 MiB for both channels).
+    let retrieval = Fig1Stage {
+        stage: "keyword + embedding retrieve (10+10)".into(),
+        latency_ms: 8.0,
+        peak_mib: 50.0,
+    };
+    let rerank_sim = simulate_hf(&cfg, &m2, BatchShape { candidates: 20, seq_len: 512 });
+    let rerank = Fig1Stage {
+        stage: "reranker top-5 of 20 (Qwen3-0.6B, HF)".into(),
+        latency_ms: rerank_sim.latency_s * 1e3,
+        peak_mib: rerank_sim.peak_bytes as f64 / (1 << 20) as f64,
+    };
+    let gen_s = prism_device::cost::first_token_time_s(&ModelConfig::qwen3_0_6b(), &m2, 600);
+    let downstream = Fig1Stage {
+        stage: "downstream LLM first token".into(),
+        latency_ms: gen_s * 1e3,
+        peak_mib: 0.0,
+    };
+    let total_ms = retrieval.latency_ms + rerank.latency_ms + downstream.latency_ms;
+    let stages = vec![retrieval, rerank, downstream];
+    for s in &stages {
+        report.line(&format!(
+            "{:<42} {:>10}  {:>10}",
+            s.stage,
+            fmt_secs(s.latency_ms / 1e3),
+            fmt_mib((s.peak_mib * (1 << 20) as f64) as u64)
+        ));
+    }
+    let rerank_share = stages[1].latency_ms / total_ms;
+    report.line(&format!(
+        "reranker share of pipeline latency: {:.1}% (paper: 96.3%)",
+        rerank_share * 100.0
+    ));
+    report.finish(&stages);
+}
+
+#[derive(Serialize)]
+struct Fig2Out {
+    /// Per-candidate score trajectories (Fig. 2a), MiniCPM twin.
+    score_evolution: Vec<Vec<f32>>,
+    /// Per-model mean γ and cluster-γ by layer fraction (Fig. 2b).
+    gamma_curves: Vec<GammaCurve>,
+}
+
+#[derive(Serialize)]
+struct GammaCurve {
+    model: String,
+    layer_fraction: Vec<f64>,
+    gamma: Vec<f64>,
+    cluster_gamma: Vec<f64>,
+    cv: Vec<f64>,
+}
+
+/// Fig. 2: score evolution across layers and the γ / cluster-γ curves over
+/// all 18 datasets for the two BGE architectures.
+pub fn fig2(fast: bool) {
+    let mut report = Report::new("fig2");
+    let datasets = if fast {
+        dataset_catalog().into_iter().take(4).collect::<Vec<_>>()
+    } else {
+        dataset_catalog()
+    };
+
+    // (a) Score evolution of 20 candidates on the BGE-MiniCPM twin.
+    let minicpm = mini_fixture(ModelConfig::bge_minicpm());
+    let (batch, _) = minicpm.request(&datasets[0], 0, 20);
+    let evolution = minicpm.model.layer_score_trace(&batch).expect("trace");
+    report.line(&format!(
+        "(a) score evolution recorded: {} layers x {} candidates",
+        evolution.len(),
+        evolution[0].len()
+    ));
+
+    // (b) γ and cluster-γ per layer, averaged over datasets.
+    let mut curves = Vec::new();
+    for paper in [ModelConfig::bge_m3(), ModelConfig::bge_minicpm()] {
+        let fx = mini_fixture(paper.clone());
+        let layers = fx.mini.num_layers;
+        let mut gamma_acc = vec![0.0_f64; layers + 1];
+        let mut cgamma_acc = vec![0.0_f64; layers + 1];
+        let mut cv_acc = vec![0.0_f64; layers + 1];
+        for ds in &datasets {
+            let (batch, _) = fx.request(ds, 1, 20);
+            let trace = fx.model.layer_score_trace(&batch).expect("trace");
+            let final_scores = trace.last().expect("final layer").clone();
+            for (l, scores) in trace.iter().enumerate() {
+                gamma_acc[l] += goodman_kruskal_gamma(scores, &final_scores);
+                let clustering = kmeans_auto(scores, 5, 7);
+                cgamma_acc[l] +=
+                    cluster_gamma(scores, &final_scores, &clustering.assignments);
+                cv_acc[l] += coefficient_of_variation(scores) as f64;
+            }
+        }
+        let n = datasets.len() as f64;
+        let layer_fraction: Vec<f64> =
+            (0..=layers).map(|l| l as f64 / layers as f64).collect();
+        let gamma: Vec<f64> = gamma_acc.iter().map(|g| g / n).collect();
+        let cgamma: Vec<f64> = cgamma_acc.iter().map(|g| g / n).collect();
+        let cv: Vec<f64> = cv_acc.iter().map(|c| c / n).collect();
+        let mid = layers / 2;
+        report.line(&format!(
+            "(b) {:<26} γ@25% {:.3}  γ@50% {:.3}  γ@100% {:.3}  cluster-γ@50% {:.3}",
+            paper.name,
+            gamma[layers / 4],
+            gamma[mid],
+            gamma[layers],
+            cgamma[mid]
+        ));
+        curves.push(GammaCurve {
+            model: paper.name.clone(),
+            layer_fraction,
+            gamma,
+            cluster_gamma: cgamma,
+            cv,
+        });
+    }
+    report.line("(expect: γ rises with depth; cluster-γ ≈ 1.0 from early layers)");
+    report.finish(&Fig2Out {
+        score_evolution: evolution,
+        gamma_curves: curves,
+    });
+}

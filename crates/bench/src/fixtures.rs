@@ -1,0 +1,146 @@
+//! Shared fixtures: mini-scale model containers and trace conversion.
+
+use std::path::PathBuf;
+
+use prism_core::{EngineOptions, EngineTrace, PrismEngine, Selection};
+use prism_device::PruneSchedule;
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelConfig, SequenceBatch};
+use prism_storage::Container;
+use prism_workload::{DatasetProfile, RerankRequest, WorkloadGenerator};
+
+/// A mini-scale twin of one paper model, materialized on disk.
+pub struct MiniFixture {
+    /// Paper-scale config (for the device simulator).
+    pub paper: ModelConfig,
+    /// Executable mini config.
+    pub mini: ModelConfig,
+    /// The resident model (reference scoring).
+    pub model: Model,
+    /// Path of the dense weight container.
+    pub container_path: PathBuf,
+    /// Path of the 4-bit quantized container.
+    pub quant_container_path: PathBuf,
+}
+
+/// Directory where fixtures and experiment outputs live.
+pub fn repro_dir() -> PathBuf {
+    let mut p = PathBuf::from("target");
+    p.push("repro");
+    std::fs::create_dir_all(&p).expect("create target/repro");
+    p
+}
+
+/// Builds (or reuses from disk) the mini twin of a paper config.
+pub fn mini_fixture(paper: ModelConfig) -> MiniFixture {
+    let mini = paper.mini_twin();
+    let mut dir = repro_dir();
+    dir.push("models");
+    std::fs::create_dir_all(&dir).expect("create model dir");
+    let mut container_path = dir.clone();
+    container_path.push(format!("{}.prsm", mini.name));
+    let mut quant_container_path = dir;
+    quant_container_path.push(format!("{}-q4.prsm", mini.name));
+
+    let model = Model::generate(mini.clone(), 0xC0DE).expect("generate mini model");
+    if !container_path.exists() {
+        model.write_container(&container_path).expect("write container");
+    }
+    if !quant_container_path.exists() {
+        model
+            .quantized()
+            .expect("quantize")
+            .write_container(&quant_container_path)
+            .expect("write quant container");
+    }
+    MiniFixture {
+        paper,
+        mini,
+        model,
+        container_path,
+        quant_container_path,
+    }
+}
+
+impl MiniFixture {
+    /// Opens a PRISM engine over this fixture.
+    pub fn engine(&self, options: EngineOptions, quant: bool) -> PrismEngine {
+        let path = if quant { &self.quant_container_path } else { &self.container_path };
+        let container = Container::open(path).expect("open container");
+        PrismEngine::new(container, self.mini.clone(), options, MemoryMeter::new())
+            .expect("engine")
+    }
+
+    /// Generates request `idx` for a dataset profile.
+    pub fn request(
+        &self,
+        profile: &DatasetProfile,
+        idx: u64,
+        candidates: usize,
+    ) -> (SequenceBatch, RerankRequest) {
+        let gen = WorkloadGenerator::new(
+            profile.clone(),
+            self.mini.vocab_size,
+            self.mini.max_seq,
+            0xBEEF,
+        );
+        let req = gen.request(idx, candidates);
+        (
+            SequenceBatch::new(&req.sequences()).expect("batch"),
+            req,
+        )
+    }
+}
+
+/// Converts an engine trace into the simulator's pruning schedule, padding
+/// unexecuted layers with zeros (early termination).
+pub fn schedule_from_trace(trace: &EngineTrace, num_layers: usize) -> PruneSchedule {
+    let mut active = trace.active_per_layer.clone();
+    active.resize(num_layers, 0);
+    PruneSchedule { active_per_layer: active }
+}
+
+/// Runs one selection and returns it with the paper-scale schedule.
+pub fn run_with_schedule(
+    engine: &mut PrismEngine,
+    batch: &SequenceBatch,
+    k: usize,
+    paper_layers: usize,
+) -> (Selection, PruneSchedule) {
+    let sel = engine.select_top_k(batch, k).expect("selection");
+    let mini_layers = engine.config().num_layers;
+    // Mini and paper twins share layer counts by construction; guard
+    // anyway so a future config change cannot silently skew results.
+    assert_eq!(mini_layers, paper_layers, "mini twin must match paper depth");
+    let schedule = schedule_from_trace(&sel.trace, paper_layers);
+    (sel, schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prism_workload::dataset_catalog;
+
+    #[test]
+    fn fixture_round_trips() {
+        let fx = mini_fixture(ModelConfig::bge_m3());
+        assert_eq!(fx.mini.num_layers, fx.paper.num_layers);
+        assert!(fx.container_path.exists());
+        assert!(fx.quant_container_path.exists());
+        let profile = &dataset_catalog()[0];
+        let (batch, req) = fx.request(profile, 0, 8);
+        assert_eq!(batch.num_sequences(), 8);
+        assert_eq!(req.candidates.len(), 8);
+    }
+
+    #[test]
+    fn schedule_padding() {
+        let trace = EngineTrace {
+            active_per_layer: vec![10, 10, 4],
+            ..Default::default()
+        };
+        let s = schedule_from_trace(&trace, 6);
+        assert_eq!(s.active_per_layer, vec![10, 10, 4, 0, 0, 0]);
+        assert!(s.is_monotone());
+    }
+}

@@ -1,0 +1,21 @@
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation (§6).
+//!
+//! The measurement strategy (DESIGN.md §2): *behaviour* — pruning depth,
+//! routing decisions, precision, cache hit rates — comes from the **real**
+//! engine executing mini-scale twins of the paper's models; *latency and
+//! memory at paper scale* come from the calibrated device simulator
+//! (`prism-device`) replaying the recorded pruning schedules against the
+//! true model dimensions. Each experiment prints a human-readable table
+//! and writes JSON under `target/repro/`.
+//!
+//! Run `cargo run --release -p prism-bench --bin repro -- <experiment>`
+//! with one of: `fig1 fig2 table1 table3 fig8 fig9 fig10 fig11 fig12 fig13
+//! fig14 fig15 fig16 ablation-extra all`.
+
+pub mod experiments;
+pub mod fixtures;
+pub mod report;
+
+pub use fixtures::{mini_fixture, MiniFixture};
+pub use report::Report;

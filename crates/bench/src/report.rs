@@ -1,0 +1,91 @@
+//! Experiment output: pretty text plus JSON files under `target/repro/`.
+
+use std::io::Write;
+
+use serde::Serialize;
+
+use crate::fixtures::repro_dir;
+
+/// Accumulates one experiment's output.
+pub struct Report {
+    id: String,
+    lines: Vec<String>,
+}
+
+impl Report {
+    /// Starts a report for experiment `id` (e.g. `"fig9"`).
+    pub fn new(id: &str) -> Self {
+        let mut r = Report {
+            id: id.to_string(),
+            lines: Vec::new(),
+        };
+        r.line(&format!("=== {id} ==="));
+        r
+    }
+
+    /// Appends and echoes one line.
+    pub fn line(&mut self, s: &str) {
+        println!("{s}");
+        self.lines.push(s.to_string());
+    }
+
+    /// Appends a blank separator.
+    pub fn blank(&mut self) {
+        self.line("");
+    }
+
+    /// Writes the text log and a JSON payload, returning the JSON path.
+    pub fn finish<T: Serialize>(self, payload: &T) -> std::path::PathBuf {
+        let dir = repro_dir();
+        let mut txt = dir.clone();
+        txt.push(format!("{}.txt", self.id));
+        let mut f = std::fs::File::create(&txt).expect("create report txt");
+        for l in &self.lines {
+            writeln!(f, "{l}").expect("write report");
+        }
+        let mut json = dir;
+        json.push(format!("{}.json", self.id));
+        let data = serde_json::to_string_pretty(payload).expect("serialize payload");
+        std::fs::write(&json, data).expect("write json");
+        json
+    }
+}
+
+/// Formats seconds adaptively (ms below 1 s).
+pub fn fmt_secs(s: f64) -> String {
+    if s < 1.0 {
+        format!("{:.0} ms", s * 1e3)
+    } else {
+        format!("{s:.2} s")
+    }
+}
+
+/// Formats bytes as MiB.
+pub fn fmt_mib(bytes: u64) -> String {
+    format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_writes_files() {
+        let r = Report::new("unit-test-report");
+        let path = r.finish(&serde_json::json!({"ok": true}));
+        assert!(path.exists());
+        let txt = path.with_extension("txt");
+        assert!(txt.exists());
+        let content = std::fs::read_to_string(txt).unwrap();
+        assert!(content.contains("unit-test-report"));
+        std::fs::remove_file(path.with_extension("txt")).ok();
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_secs(0.5), "500 ms");
+        assert_eq!(fmt_secs(2.0), "2.00 s");
+        assert_eq!(fmt_mib(2 << 20), "2.0 MiB");
+    }
+}

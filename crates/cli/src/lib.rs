@@ -1,0 +1,378 @@
+//! `prsm`: operational tooling for PRISM deployments.
+//!
+//! ```text
+//! prsm inspect <container.prsm>
+//!     Section table of a weight container (names, kinds, sizes).
+//!
+//! prsm gen <out.prsm> --model <name> [--scale mini|test] [--seed N]
+//!     Generate a planted-semantics model container. Model names:
+//!     qwen3-0.6b qwen3-4b qwen3-8b bge-minicpm bge-m3.
+//!
+//! prsm quantize <in.prsm> <out.prsm> --model <name> [--scale mini|test]
+//!     4-bit quantize every transformer layer of a container.
+//!
+//! prsm simulate --model <name> [--device rtx5070|m2|a800]
+//!              [--candidates N] [--seq N] [--system hf|offload|quant|prism]
+//!     Paper-scale latency/memory of one rerank request.
+//!
+//! prsm rerank <container.prsm> --model <name> [--scale mini|test]
+//!            [--dataset wikipedia] [--candidates N] [--k N] [--threshold T]
+//!     Run the PRISM engine on a synthetic request and print the top-K.
+//! ```
+//!
+//! All commands return their output as a string (tested directly); the
+//! binary prints it.
+
+use std::fmt::Write as _;
+
+use prism_core::{EngineOptions, PrismEngine};
+use prism_device::{
+    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
+    DeviceSpec, PrismSimOptions, PruneSchedule,
+};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelConfig, SequenceBatch};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+/// Runs one CLI invocation and returns its stdout payload.
+pub fn run(args: &[String]) -> Result<String, String> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        Some("inspect") => inspect(&collect(it)),
+        Some("gen") => gen(&collect(it)),
+        Some("quantize") => quantize(&collect(it)),
+        Some("simulate") => simulate(&collect(it)),
+        Some("rerank") => rerank(&collect(it)),
+        Some("help") | None => Ok(usage()),
+        Some(other) => Err(format!("unknown command `{other}`; try `prsm help`")),
+    }
+}
+
+fn usage() -> String {
+    "usage: prsm <inspect|gen|quantize|simulate|rerank|help> [args]\n\
+     see `cargo doc -p prism-cli` or the crate docs for details\n"
+        .to_string()
+}
+
+fn collect<'a>(it: impl Iterator<Item = &'a str>) -> Vec<&'a str> {
+    it.collect()
+}
+
+/// Positional arguments and `--flag value` pairs.
+struct Parsed<'a> {
+    positional: Vec<&'a str>,
+    flags: Vec<(&'a str, &'a str)>,
+}
+
+fn parse<'a>(args: &[&'a str]) -> Result<Parsed<'a>, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| format!("flag --{name} needs a value"))?;
+            flags.push((name, *value));
+            i += 2;
+        } else {
+            positional.push(args[i]);
+            i += 1;
+        }
+    }
+    Ok(Parsed { positional, flags })
+}
+
+impl<'a> Parsed<'a> {
+    fn flag(&self, name: &str) -> Option<&'a str> {
+        self.flags
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    fn flag_parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value `{v}` for --{name}")),
+        }
+    }
+}
+
+/// Resolves a model name plus scale into a config.
+pub fn resolve_config(name: &str, scale: &str) -> Result<ModelConfig, String> {
+    let paper = match name.to_ascii_lowercase().as_str() {
+        "qwen3-0.6b" | "qwen3-reranker-0.6b" => ModelConfig::qwen3_0_6b(),
+        "qwen3-4b" | "qwen3-reranker-4b" => ModelConfig::qwen3_4b(),
+        "qwen3-8b" | "qwen3-reranker-8b" => ModelConfig::qwen3_8b(),
+        "bge-minicpm" | "bge-reranker-v2-minicpm" => ModelConfig::bge_minicpm(),
+        "bge-m3" | "bge-reranker-v2-m3" => ModelConfig::bge_m3(),
+        other => return Err(format!("unknown model `{other}`")),
+    };
+    match scale {
+        "paper" => Ok(paper),
+        "mini" => Ok(paper.mini_twin()),
+        "test" => Ok(ModelConfig::test_config(paper.arch, 6)),
+        other => Err(format!("unknown scale `{other}` (paper|mini|test)")),
+    }
+}
+
+fn resolve_device(name: &str) -> Result<DeviceSpec, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "rtx5070" | "nvidia" => Ok(DeviceSpec::rtx5070_laptop()),
+        "m2" | "apple" => Ok(DeviceSpec::apple_m2()),
+        "a800" | "server" => Ok(DeviceSpec::a800()),
+        other => Err(format!("unknown device `{other}` (rtx5070|m2|a800)")),
+    }
+}
+
+fn inspect(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let path = p
+        .positional
+        .first()
+        .ok_or("inspect needs a container path")?;
+    let container = Container::open(path).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:<16} {:>6} {:>8} {:>8} {:>12}", "section", "kind", "rows", "cols", "bytes");
+    let mut total = 0_u64;
+    for s in container.sections() {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>8} {:>8} {:>12}",
+            s.name,
+            format!("{:?}", s.kind),
+            s.rows,
+            s.cols,
+            s.len
+        );
+        total += s.len;
+    }
+    let _ = writeln!(out, "total payload: {total} bytes in {} sections", container.sections().len());
+    Ok(out)
+}
+
+fn gen(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let path = p.positional.first().ok_or("gen needs an output path")?;
+    let name = p.flag("model").ok_or("gen needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let seed: u64 = p.flag_parse("seed", 42)?;
+    let config = resolve_config(name, scale)?;
+    let model = Model::generate(config.clone(), seed).map_err(|e| e.to_string())?;
+    model.write_container(path).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "wrote {} ({} layers, hidden {}, vocab {}) to {path}\n",
+        config.name, config.num_layers, config.hidden_dim, config.vocab_size
+    ))
+}
+
+fn quantize(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let [input, output] = p.positional[..] else {
+        return Err("quantize needs <in.prsm> <out.prsm>".into());
+    };
+    let name = p.flag("model").ok_or("quantize needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    let container = Container::open(input).map_err(|e| e.to_string())?;
+    let model = Model::load_container(config, &container).map_err(|e| e.to_string())?;
+    let quant = model.quantized().map_err(|e| e.to_string())?;
+    quant.write_container(output).map_err(|e| e.to_string())?;
+    let before = std::fs::metadata(input).map_err(|e| e.to_string())?.len();
+    let after = std::fs::metadata(output).map_err(|e| e.to_string())?.len();
+    Ok(format!(
+        "quantized {input} -> {output}: {before} -> {after} bytes ({:.2}x)\n",
+        before as f64 / after as f64
+    ))
+}
+
+fn simulate(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let name = p.flag("model").ok_or("simulate needs --model <name>")?;
+    let config = resolve_config(name, "paper")?;
+    let device = resolve_device(p.flag("device").unwrap_or("rtx5070"))?;
+    let candidates: usize = p.flag_parse("candidates", 20)?;
+    let seq_len: usize = p.flag_parse("seq", 500)?;
+    let system = p.flag("system").unwrap_or("prism");
+    let shape = BatchShape { candidates, seq_len };
+    let outcome = match system {
+        "hf" => simulate_hf(&config, &device, shape),
+        "offload" => simulate_hf_offload(&config, &device, shape),
+        "quant" => simulate_hf_quant(&config, &device, shape),
+        "prism" => {
+            // A representative mid-depth schedule (prune to 40% at 1/3
+            // depth, terminate at 2/3) when no trace is supplied.
+            let l = config.num_layers;
+            let schedule = PruneSchedule {
+                active_per_layer: (0..l)
+                    .map(|i| {
+                        let f = i as f64 / l as f64;
+                        if f < 0.33 {
+                            candidates
+                        } else if f < 0.66 {
+                            (candidates as f64 * 0.4).ceil() as usize
+                        } else {
+                            0
+                        }
+                    })
+                    .collect(),
+            };
+            simulate_prism(&config, &device, shape, &schedule, PrismSimOptions::default())
+        }
+        other => return Err(format!("unknown system `{other}` (hf|offload|quant|prism)")),
+    };
+    Ok(format!(
+        "{} | {} | {} candidates x {} tokens\nlatency: {:.3} s\npeak memory: {:.1} MiB\navg memory: {:.1} MiB\noom: {}\n",
+        config.name,
+        device.name,
+        candidates,
+        seq_len,
+        outcome.latency_s,
+        outcome.peak_bytes as f64 / (1 << 20) as f64,
+        outcome.avg_bytes as f64 / (1 << 20) as f64,
+        outcome.oom
+    ))
+}
+
+fn rerank(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let path = p.positional.first().ok_or("rerank needs a container path")?;
+    let name = p.flag("model").ok_or("rerank needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    let dataset = p.flag("dataset").unwrap_or("wikipedia");
+    let candidates: usize = p.flag_parse("candidates", 20)?;
+    let k: usize = p.flag_parse("k", 5)?;
+    let threshold: f32 = p.flag_parse("threshold", 0.25)?;
+
+    let profile = dataset_by_name(dataset).ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 0xC11);
+    let request = generator.request(0, candidates);
+    let batch = SequenceBatch::new(&request.sequences()).map_err(|e| e.to_string())?;
+
+    let container = Container::open(path).map_err(|e| e.to_string())?;
+    let options = EngineOptions {
+        dispersion_threshold: threshold,
+        ..Default::default()
+    };
+    let mut engine = PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
+        .map_err(|e| e.to_string())?;
+    let selection = engine.select_top_k(&batch, k).map_err(|e| e.to_string())?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "top-{k} of {candidates} ({dataset}, threshold {threshold}):");
+    for r in &selection.ranked {
+        let gold = if request.relevant.contains(&r.id) { " [gold]" } else { "" };
+        let _ = writeln!(out, "  #{:<3} score {:.3} decided@L{}{gold}", r.id, r.score, r.decided_at_layer);
+    }
+    let t = &selection.trace;
+    let _ = writeln!(
+        out,
+        "executed {}/{} layers; active per layer {:?}",
+        t.executed_layers, config.num_layers, t.active_per_layer
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> String {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prsm-cli-{tag}-{}.prsm", std::process::id()));
+        p.to_string_lossy().into_owned()
+    }
+
+    fn run_strs(args: &[&str]) -> Result<String, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        run(&owned)
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run_strs(&[]).unwrap().contains("usage"));
+        assert!(run_strs(&["help"]).unwrap().contains("usage"));
+        assert!(run_strs(&["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn gen_inspect_quantize_rerank_round_trip() {
+        let dense = tmp("dense");
+        let out = run_strs(&["gen", &dense, "--model", "qwen3-0.6b", "--scale", "test", "--seed", "7"])
+            .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+
+        let out = run_strs(&["inspect", &dense]).unwrap();
+        assert!(out.contains("embedding"));
+        assert!(out.contains("layer.0"));
+        assert!(out.contains("total payload"));
+
+        let quant = tmp("quant");
+        let out =
+            run_strs(&["quantize", &dense, &quant, "--model", "qwen3-0.6b", "--scale", "test"])
+                .unwrap();
+        assert!(out.contains("quantized"), "{out}");
+        let shrink: f64 = out
+            .split('(')
+            .nth(1)
+            .and_then(|s| s.strip_suffix("x)\n"))
+            .and_then(|s| s.parse().ok())
+            .expect("shrink factor in output");
+        assert!(shrink > 1.5, "quantized container should be much smaller: {shrink}");
+
+        let out = run_strs(&[
+            "rerank", &dense, "--model", "qwen3-0.6b", "--scale", "test", "--k", "3",
+            "--candidates", "10",
+        ])
+        .unwrap();
+        assert!(out.contains("top-3 of 10"), "{out}");
+        assert!(out.contains("executed"));
+
+        std::fs::remove_file(&dense).unwrap();
+        std::fs::remove_file(&quant).unwrap();
+    }
+
+    #[test]
+    fn simulate_all_systems() {
+        for system in ["hf", "offload", "quant", "prism"] {
+            let out = run_strs(&[
+                "simulate", "--model", "bge-m3", "--device", "m2", "--system", system,
+            ])
+            .unwrap();
+            assert!(out.contains("latency"), "{system}: {out}");
+            assert!(out.contains("peak memory"));
+        }
+        // OOM flagged for 8B on the laptop.
+        let out = run_strs(&["simulate", "--model", "qwen3-8b", "--system", "hf"]).unwrap();
+        assert!(out.contains("oom: true"));
+    }
+
+    #[test]
+    fn flag_errors_are_reported() {
+        assert!(run_strs(&["gen", "/tmp/x.prsm"]).is_err(), "missing --model");
+        assert!(run_strs(&["simulate", "--model", "nope"]).is_err());
+        assert!(run_strs(&["simulate", "--model", "bge-m3", "--device", "np"]).is_err());
+        assert!(run_strs(&["simulate", "--model", "bge-m3", "--candidates", "abc"]).is_err());
+        assert!(run_strs(&["gen"]).is_err(), "missing path");
+        assert!(run_strs(&["inspect", "/nonexistent/file.prsm"]).is_err());
+        assert!(run_strs(&["gen", "/tmp/x.prsm", "--model"]).is_err(), "flag without value");
+    }
+
+    #[test]
+    fn resolve_config_names_and_scales() {
+        for name in ["qwen3-0.6b", "qwen3-4b", "qwen3-8b", "bge-minicpm", "bge-m3"] {
+            let paper = resolve_config(name, "paper").unwrap();
+            let mini = resolve_config(name, "mini").unwrap();
+            assert_eq!(paper.num_layers, mini.num_layers);
+            assert!(mini.hidden_dim < paper.hidden_dim);
+        }
+        assert!(resolve_config("gpt-5", "paper").is_err());
+        assert!(resolve_config("bge-m3", "huge").is_err());
+    }
+}

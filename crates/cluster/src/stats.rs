@@ -1,0 +1,79 @@
+//! Dispersion statistics for the pruning gate.
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().sum::<f32>() / values.len() as f32
+}
+
+/// Population standard deviation; `0.0` for fewer than two values.
+pub fn std_dev(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / values.len() as f32;
+    var.sqrt()
+}
+
+/// Coefficient of variation `|std / mean|` used as PRISM's dispersion gate.
+///
+/// The paper triggers clustering when this exceeds the *dispersion
+/// threshold*. A near-zero mean would make the ratio blow up even for tiny
+/// absolute spreads, so the denominator is floored; the floor only matters
+/// for scores that are all essentially zero, where pruning is pointless
+/// anyway.
+pub fn coefficient_of_variation(values: &[f32]) -> f32 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values).abs().max(1e-6);
+    (std_dev(values) / m).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_known_values() {
+        let v = [2.0_f32, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&v) - 5.0).abs() < 1e-6);
+        assert!((std_dev(&v) - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(std_dev(&[]), 0.0);
+        assert_eq!(std_dev(&[3.0]), 0.0);
+        assert_eq!(coefficient_of_variation(&[]), 0.0);
+        assert_eq!(coefficient_of_variation(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cv_is_scale_invariant() {
+        let v: Vec<f32> = vec![1.0, 2.0, 3.0, 4.0];
+        let scaled: Vec<f32> = v.iter().map(|x| x * 7.5).collect();
+        let a = coefficient_of_variation(&v);
+        let b = coefficient_of_variation(&scaled);
+        assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn cv_grows_with_dispersion() {
+        let tight = [0.50_f32, 0.51, 0.49, 0.50];
+        let spread = [0.1_f32, 0.9, 0.2, 0.8];
+        assert!(coefficient_of_variation(&spread) > coefficient_of_variation(&tight) * 5.0);
+    }
+
+    #[test]
+    fn cv_near_zero_mean_is_finite() {
+        let v = [-0.001_f32, 0.001, -0.002, 0.002];
+        let cv = coefficient_of_variation(&v);
+        assert!(cv.is_finite());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests for 1-D K-Means and dispersion statistics.
+
+use prism_cluster::{coefficient_of_variation, kmeans_1d, kmeans_auto};
+use proptest::prelude::*;
+
+fn values_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-10.0_f32..10.0, 1..48)
+}
+
+proptest! {
+    /// Every point is assigned to its nearest centroid (Lloyd fixpoint).
+    #[test]
+    fn assignments_are_nearest_centroid(values in values_strategy(), k in 1_usize..6) {
+        let c = kmeans_1d(&values, k, 42);
+        for (i, &v) in values.iter().enumerate() {
+            let assigned = c.centroids[c.assignments[i]];
+            let d_assigned = (v - assigned).abs();
+            for &cen in &c.centroids {
+                prop_assert!(
+                    d_assigned <= (v - cen).abs() + 1e-4,
+                    "point {v} assigned to {assigned} but {cen} is closer"
+                );
+            }
+        }
+    }
+
+    /// Inertia equals the sum of squared distances to assigned centroids.
+    #[test]
+    fn inertia_is_consistent(values in values_strategy(), k in 1_usize..6) {
+        let c = kmeans_1d(&values, k, 3);
+        let expect: f32 = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let d = v - c.centroids[c.assignments[i]];
+                d * d
+            })
+            .sum();
+        prop_assert!((c.inertia - expect).abs() <= expect.abs() * 1e-3 + 1e-4);
+    }
+
+    /// kmeans_auto returns a valid clustering whose k never exceeds the cap.
+    #[test]
+    fn auto_k_is_bounded(values in values_strategy(), max_k in 2_usize..7) {
+        let c = kmeans_auto(&values, max_k, 1);
+        prop_assert!(c.k() <= max_k.max(1));
+        prop_assert_eq!(c.assignments.len(), values.len());
+        for &a in &c.assignments {
+            prop_assert!(a < c.k().max(1));
+        }
+    }
+
+    /// CV is non-negative, finite, and scale-invariant.
+    #[test]
+    fn cv_properties(values in prop::collection::vec(0.05_f32..10.0, 2..32), scale in 0.5_f32..20.0) {
+        let cv = coefficient_of_variation(&values);
+        prop_assert!(cv.is_finite() && cv >= 0.0);
+        let scaled: Vec<f32> = values.iter().map(|v| v * scale).collect();
+        let cv2 = coefficient_of_variation(&scaled);
+        prop_assert!((cv - cv2).abs() < 0.05 * cv.max(0.01), "cv {cv} vs scaled {cv2}");
+    }
+
+    /// Cluster means lie within the range of their members' values.
+    #[test]
+    fn cluster_means_within_member_range(values in values_strategy(), k in 1_usize..5) {
+        let c = kmeans_1d(&values, k, 9);
+        for cluster in 0..c.k() {
+            let members = c.members(cluster);
+            if members.is_empty() {
+                continue;
+            }
+            let lo = members.iter().map(|&i| values[i]).fold(f32::INFINITY, f32::min);
+            let hi = members.iter().map(|&i| values[i]).fold(f32::NEG_INFINITY, f32::max);
+            let mean = c.cluster_mean(&values, cluster);
+            prop_assert!(mean >= lo - 1e-4 && mean <= hi + 1e-4);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! Automatic dispersion-threshold calibration (§4.1).
+//!
+//! Instead of hand-tuning the threshold, an application states a minimum
+//! precision target. The calibrator samples live requests, re-scores them
+//! with full (unpruned) inference "when the device is idle" to obtain
+//! ground truth, measures the sampled precision, and walks the threshold:
+//! below target → raise (more conservative); at/above target → lower
+//! (faster), staying within bounds. The engine exposes
+//! [`crate::PrismEngine::set_dispersion_threshold`] as the actuator.
+
+use prism_metrics::precision_at_k;
+
+/// Feedback controller over the dispersion threshold.
+#[derive(Debug, Clone)]
+pub struct ThresholdCalibrator {
+    target_precision: f64,
+    threshold: f32,
+    min_threshold: f32,
+    max_threshold: f32,
+    raise_factor: f32,
+    lower_factor: f32,
+    /// `(pruned top-K, ground-truth top-K, k)` samples since last update.
+    samples: Vec<(Vec<usize>, Vec<usize>, usize)>,
+    /// Minimum samples before an update fires.
+    min_samples: usize,
+}
+
+impl ThresholdCalibrator {
+    /// Creates a calibrator starting from `initial_threshold`.
+    pub fn new(target_precision: f64, initial_threshold: f32) -> Self {
+        ThresholdCalibrator {
+            target_precision: target_precision.clamp(0.0, 1.0),
+            threshold: initial_threshold,
+            min_threshold: 0.02,
+            max_threshold: 2.0,
+            raise_factor: 1.3,
+            lower_factor: 0.9,
+            samples: Vec::new(),
+            min_samples: 4,
+        }
+    }
+
+    /// Current threshold to run the engine with.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// The precision target.
+    pub fn target(&self) -> f64 {
+        self.target_precision
+    }
+
+    /// Number of samples pending.
+    pub fn pending_samples(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Records one sampled request: the pruned run's top-K and the
+    /// idle-time ground-truth top-K.
+    pub fn record_sample(&mut self, pruned_top_k: &[usize], ground_truth_top_k: &[usize], k: usize) {
+        self.samples
+            .push((pruned_top_k.to_vec(), ground_truth_top_k.to_vec(), k));
+    }
+
+    /// Measured precision of the pending samples (vs ground truth top-K).
+    pub fn measured_precision(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .samples
+            .iter()
+            .map(|(pruned, truth, k)| precision_at_k(pruned, truth, *k))
+            .sum();
+        Some(sum / self.samples.len() as f64)
+    }
+
+    /// Applies one feedback step if enough samples accumulated; returns
+    /// the (possibly updated) threshold.
+    pub fn update(&mut self) -> f32 {
+        if self.samples.len() < self.min_samples {
+            return self.threshold;
+        }
+        let measured = self.measured_precision().expect("samples non-empty");
+        if measured < self.target_precision {
+            self.threshold = (self.threshold * self.raise_factor).min(self.max_threshold);
+        } else {
+            self.threshold = (self.threshold * self.lower_factor).max(self.min_threshold);
+        }
+        self.samples.clear();
+        self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill_samples(c: &mut ThresholdCalibrator, precision_hits: usize, total: usize) {
+        // k=4; ground truth {0,1,2,3}; pruned gets `precision_hits` right.
+        for _ in 0..total {
+            let mut pruned: Vec<usize> = (0..precision_hits).collect();
+            pruned.extend(100..100 + (4 - precision_hits));
+            c.record_sample(&pruned, &[0, 1, 2, 3], 4);
+        }
+    }
+
+    #[test]
+    fn raises_threshold_when_below_target() {
+        let mut c = ThresholdCalibrator::new(0.95, 0.2);
+        fill_samples(&mut c, 2, 5); // 50% precision
+        let t = c.update();
+        assert!(t > 0.2);
+        assert_eq!(c.pending_samples(), 0, "samples consumed");
+    }
+
+    #[test]
+    fn lowers_threshold_when_target_met() {
+        let mut c = ThresholdCalibrator::new(0.75, 0.4);
+        fill_samples(&mut c, 4, 5); // 100% precision
+        let t = c.update();
+        assert!(t < 0.4);
+    }
+
+    #[test]
+    fn no_update_before_min_samples() {
+        let mut c = ThresholdCalibrator::new(0.9, 0.3);
+        fill_samples(&mut c, 0, 2);
+        assert_eq!(c.update(), 0.3);
+        assert_eq!(c.pending_samples(), 2, "samples retained until quorum");
+    }
+
+    #[test]
+    fn thresholds_stay_bounded() {
+        let mut c = ThresholdCalibrator::new(1.0, 1.9);
+        for _ in 0..20 {
+            fill_samples(&mut c, 0, 5);
+            c.update();
+        }
+        assert!(c.threshold() <= 2.0);
+
+        let mut c = ThresholdCalibrator::new(0.0, 0.05);
+        for _ in 0..20 {
+            fill_samples(&mut c, 4, 5);
+            c.update();
+        }
+        assert!(c.threshold() >= 0.02);
+    }
+
+    #[test]
+    fn converges_against_synthetic_monotone_system() {
+        // Simulated system: precision is a monotone function of threshold
+        // crossing the target at 0.35.
+        let precision_of = |t: f32| -> usize {
+            if t >= 0.35 {
+                4
+            } else if t >= 0.25 {
+                3
+            } else {
+                2
+            }
+        };
+        let mut c = ThresholdCalibrator::new(0.9, 0.05);
+        for _ in 0..30 {
+            let hits = precision_of(c.threshold());
+            fill_samples(&mut c, hits, 5);
+            c.update();
+        }
+        // Must hover around the crossing: high enough to meet target,
+        // pulled down whenever it overshoots.
+        let t = c.threshold();
+        assert!(
+            (0.2..0.7).contains(&t),
+            "threshold {t} should oscillate near the 0.35 crossing"
+        );
+    }
+
+    #[test]
+    fn measured_precision_math() {
+        let mut c = ThresholdCalibrator::new(0.9, 0.3);
+        assert!(c.measured_precision().is_none());
+        c.record_sample(&[0, 1], &[0, 2], 2);
+        assert!((c.measured_precision().unwrap() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,703 @@
+//! The monolithic-forwarding engine (Fig. 3).
+//!
+//! A [`PrismEngine`] is bound to one weight container plus configuration
+//! and serves top-K selections. Execution is chunk-major: the monolithic
+//! batch lives as a list of chunks whose hidden states may reside in
+//! memory or in a spill file, layer weights arrive from a resident set or
+//! the streaming prefetcher, candidates are scored at every layer boundary
+//! and routed by [`crate::routing`], and every decision is recorded in an
+//! [`EngineTrace`] the device simulator can replay at paper scale.
+
+use std::path::PathBuf;
+
+use prism_metrics::{LatencyRecorder, MemCategory, MemoryMeter};
+use prism_model::layer::{forward_layer, intermediate_bytes};
+use prism_model::model::{add_position, layer_section, SECTION_EMBEDDING, SECTION_HEAD};
+use prism_model::{HeadWeights, LayerWeights, ModelConfig, SequenceBatch};
+use prism_storage::{
+    Container, DiskRowSource, EmbeddingCache, EmbeddingCacheStats, LayerStreamer, SpillFile,
+    StreamStats, Throttle,
+};
+use prism_tensor::Tensor;
+use serde::Serialize;
+
+use crate::options::{EngineOptions, PruneMode};
+use crate::routing::route_candidates;
+use crate::{PrismError, Result};
+
+/// One member of the final top-K.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RankedCandidate {
+    /// Original candidate index in the request batch.
+    pub id: usize,
+    /// Score at the layer where the candidate's fate was decided.
+    pub score: f32,
+    /// Layer boundary at which the candidate was accepted (equals the
+    /// model depth when it survived to the end).
+    pub decided_at_layer: usize,
+}
+
+/// One routing event in the trace.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RouteEvent {
+    /// Layer boundary where the gate ran (before executing this layer).
+    pub layer: usize,
+    /// Measured coefficient of variation.
+    pub cv: f32,
+    /// Whether clustering ran (gate fired).
+    pub clustered: bool,
+    /// Original candidate ids accepted here.
+    pub selected: Vec<usize>,
+    /// Original candidate ids dropped here.
+    pub dropped: Vec<usize>,
+}
+
+/// Everything the engine observed during one selection.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct EngineTrace {
+    /// Active candidates entering each executed layer.
+    pub active_per_layer: Vec<usize>,
+    /// Number of transformer layers actually executed.
+    pub executed_layers: usize,
+    /// Routing events in order.
+    pub routes: Vec<RouteEvent>,
+    /// Per-layer scores aligned to original candidate ids (`None` once a
+    /// candidate is no longer active); present when
+    /// [`EngineOptions::record_score_trace`] is set. Index 0 is the
+    /// post-embedding probe.
+    pub score_trace: Vec<Vec<Option<f32>>>,
+    /// Weight-streaming statistics (zero when streaming is off).
+    #[serde(skip)]
+    pub stream_stats: StreamStats,
+    /// Embedding-cache statistics (zero when the cache is off).
+    #[serde(skip)]
+    pub cache_stats: EmbeddingCacheStats,
+    /// Named latency spans (embed / stream-wait / forward / gate / ...).
+    #[serde(skip)]
+    pub latency: LatencyRecorder,
+    /// Bytes moved to/from the hidden-state spill file.
+    pub spill_bytes: u64,
+}
+
+/// Result of one top-K selection.
+#[derive(Debug, Clone, Serialize)]
+pub struct Selection {
+    /// The top-K candidates, highest score first.
+    pub ranked: Vec<RankedCandidate>,
+    /// Last known score of every candidate in the request.
+    pub last_scores: Vec<f32>,
+    /// Execution trace.
+    pub trace: EngineTrace,
+}
+
+impl Selection {
+    /// Candidate ids of the top-K in rank order.
+    pub fn top_ids(&self) -> Vec<usize> {
+        self.ranked.iter().map(|r| r.id).collect()
+    }
+}
+
+enum EmbedSource {
+    Cache(Box<EmbeddingCache<DiskRowSource>>),
+    Resident(Tensor),
+}
+
+/// A slice of the monolithic batch processed as one unit.
+struct Chunk {
+    /// Original candidate ids, in chunk order.
+    ids: Vec<usize>,
+    /// Per-candidate sequence lengths.
+    seq_lens: Vec<usize>,
+    /// Hidden states when resident.
+    hidden: Option<Tensor>,
+    /// Slot in the spill file when offloaded.
+    spill_slot: Option<usize>,
+}
+
+impl Chunk {
+    fn local_ranges(&self) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::with_capacity(self.seq_lens.len());
+        let mut at = 0;
+        for &l in &self.seq_lens {
+            ranges.push((at, at + l));
+            at += l;
+        }
+        ranges
+    }
+
+    fn rows(&self) -> usize {
+        self.seq_lens.iter().sum()
+    }
+}
+
+/// The PRISM inference engine.
+pub struct PrismEngine {
+    config: ModelConfig,
+    options: EngineOptions,
+    container: Container,
+    head: HeadWeights,
+    embed: EmbedSource,
+    resident_layers: Option<Vec<LayerWeights>>,
+    meter: MemoryMeter,
+    spill_path: PathBuf,
+    request_counter: u64,
+}
+
+impl PrismEngine {
+    /// Opens an engine over a weight container.
+    pub fn new(
+        container: Container,
+        config: ModelConfig,
+        options: EngineOptions,
+        meter: MemoryMeter,
+    ) -> Result<Self> {
+        options.validate()?;
+        config.validate()?;
+        let throttle = options
+            .stream_throttle
+            .map_or(Throttle::unlimited(), Throttle::bandwidth);
+
+        let mut head_blob = Vec::new();
+        container.read_section_into(SECTION_HEAD, &mut head_blob)?;
+        let head = HeadWeights::from_bytes(&config, &head_blob)?;
+        meter.alloc(MemCategory::Head, head.size_bytes() as u64);
+
+        let embed = if options.embed_cache {
+            let source = DiskRowSource::new(&container, SECTION_EMBEDDING, throttle)?;
+            let capacity = ((config.vocab_size as f64 * options.embed_cache_fraction) as usize)
+                .max(config.max_seq);
+            let cache = EmbeddingCache::new(source, capacity);
+            meter.set(MemCategory::Embedding, cache.resident_bytes() as u64);
+            EmbedSource::Cache(Box::new(cache))
+        } else {
+            let table = container.read_f32(SECTION_EMBEDDING)?;
+            meter.set(MemCategory::Embedding, table.size_bytes() as u64);
+            EmbedSource::Resident(table)
+        };
+
+        let resident_layers = if options.streaming {
+            None
+        } else {
+            let mut layers = Vec::with_capacity(config.num_layers);
+            let mut blob = Vec::new();
+            let mut total = 0_u64;
+            for l in 0..config.num_layers {
+                container.read_section_into(&layer_section(l), &mut blob)?;
+                let w = LayerWeights::from_bytes(&config, &blob)?;
+                total += w.size_bytes() as u64;
+                layers.push(w);
+            }
+            meter.set(MemCategory::LayerWeights, total);
+            Some(layers)
+        };
+
+        let mut spill_path = std::env::temp_dir();
+        spill_path.push(format!("prism-hidden-spill-{}.bin", std::process::id()));
+
+        Ok(PrismEngine {
+            config,
+            options,
+            container,
+            head,
+            embed,
+            resident_layers,
+            meter,
+            spill_path,
+            request_counter: 0,
+        })
+    }
+
+    /// The engine's model configuration.
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The engine's options.
+    pub fn options(&self) -> &EngineOptions {
+        &self.options
+    }
+
+    /// Replaces the dispersion threshold (used by the auto-calibrator).
+    pub fn set_dispersion_threshold(&mut self, threshold: f32) {
+        self.options.dispersion_threshold = threshold;
+    }
+
+    /// The shared memory meter.
+    pub fn meter(&self) -> &MemoryMeter {
+        &self.meter
+    }
+
+    /// Selects the top-`k` candidates of `batch` (Fig. 3's workflow).
+    pub fn select_top_k(&mut self, batch: &SequenceBatch, k: usize) -> Result<Selection> {
+        let n = batch.num_sequences();
+        if n == 0 {
+            return Err(PrismError::InvalidRequest("empty batch".into()));
+        }
+        if k == 0 {
+            return Err(PrismError::InvalidRequest("k must be >= 1".into()));
+        }
+        if batch.max_seq_len() > self.config.max_seq {
+            return Err(PrismError::InvalidRequest(format!(
+                "sequence of {} tokens exceeds model max_seq {}",
+                batch.max_seq_len(),
+                self.config.max_seq
+            )));
+        }
+        let k = k.min(n);
+        self.request_counter += 1;
+        let mut trace = EngineTrace::default();
+        let mut latency = LatencyRecorder::new();
+
+        // ---- Embedding phase (§4.4) ----
+        let hidden_all = latency.time("embed", || self.embed_batch(batch))?;
+        let throttle = self
+            .options
+            .stream_throttle
+            .map_or(Throttle::unlimited(), Throttle::bandwidth);
+
+        // ---- Chunk geometry (§4.3) ----
+        let chunk_cands = if self.options.chunking {
+            match self.options.chunk_candidates {
+                Some(c) => c.max(1),
+                None => {
+                    let avg_len = (batch.total_tokens() / n).max(1);
+                    (self.options.chunk_target_tokens / avg_len).clamp(1, n)
+                }
+            }
+        } else {
+            n
+        };
+        let mut chunks = build_chunks(batch, &hidden_all, chunk_cands)?;
+        drop(hidden_all);
+
+        // Spill setup: only when offloading is on and there is something to
+        // offload.
+        let mut spill: Option<SpillFile> = None;
+        if self.options.hidden_offload && chunks.len() > 3 {
+            let slot_floats = chunks
+                .iter()
+                .map(|c| c.rows() * self.config.hidden_dim)
+                .max()
+                .unwrap_or(0);
+            let mut file = SpillFile::create(
+                &self.spill_path,
+                chunks.len(),
+                slot_floats,
+                throttle,
+            )?;
+            // Offload all but the first window of chunks.
+            for (i, chunk) in chunks.iter_mut().enumerate().skip(3) {
+                if let Some(t) = chunk.hidden.take() {
+                    file.offload(i, &t)?;
+                    chunk.spill_slot = Some(i);
+                }
+            }
+            spill = Some(file);
+        }
+        self.meter
+            .set(MemCategory::HiddenStates, resident_hidden_bytes(&chunks));
+
+        // ---- Streaming setup (§4.2) ----
+        let mut streamer = if self.options.streaming {
+            let sections: Vec<String> =
+                (0..self.config.num_layers).map(layer_section).collect();
+            Some(LayerStreamer::new(
+                &self.container,
+                &sections,
+                self.options.stream_depth,
+                throttle,
+            )?)
+        } else {
+            None
+        };
+
+        // ---- State ----
+        let mut last_scores = vec![0.0_f32; n];
+        let mut accepted: Vec<RankedCandidate> = Vec::new();
+        let mut terminated = false;
+
+        // Post-embedding probe.
+        let mut current_scores = self.score_chunks(&mut chunks, &mut spill, &mut trace)?;
+        for (id, s) in &current_scores {
+            last_scores[*id] = *s;
+        }
+        if self.options.record_score_trace {
+            trace.score_trace.push(aligned_scores(&current_scores, n));
+        }
+
+        for layer_idx in 0..self.config.num_layers {
+            // ---- Pruning gate (§4.1): uses scores from the previous
+            // boundary, routes before executing this layer. ----
+            if self.options.pruning
+                && layer_idx >= self.options.min_gate_layer.max(1)
+                && !current_scores.is_empty()
+            {
+                let k_remaining = k - accepted.len();
+                let scores_only: Vec<f32> = current_scores.iter().map(|(_, s)| *s).collect();
+                let decision = latency.time("gate", || {
+                    route_candidates(
+                        &scores_only,
+                        k_remaining,
+                        self.options.dispersion_threshold,
+                        self.options.mode == PruneMode::TopKOnly,
+                        self.options.max_clusters,
+                        self.options.seed ^ (layer_idx as u64) ^ self.request_counter,
+                    )
+                });
+                if decision.clustered || decision.terminate {
+                    let selected_ids: Vec<usize> =
+                        decision.selected.iter().map(|&i| current_scores[i].0).collect();
+                    let dropped_ids: Vec<usize> =
+                        decision.dropped.iter().map(|&i| current_scores[i].0).collect();
+                    for &i in &decision.selected {
+                        let (id, score) = current_scores[i];
+                        accepted.push(RankedCandidate {
+                            id,
+                            score,
+                            decided_at_layer: layer_idx,
+                        });
+                    }
+                    trace.routes.push(RouteEvent {
+                        layer: layer_idx,
+                        cv: decision.cv,
+                        clustered: decision.clustered,
+                        selected: selected_ids.clone(),
+                        dropped: dropped_ids.clone(),
+                    });
+                    if !selected_ids.is_empty() || !dropped_ids.is_empty() {
+                        let keep: Vec<usize> =
+                            decision.deferred.iter().map(|&i| current_scores[i].0).collect();
+                        retain_candidates(&mut chunks, &mut spill, &keep)?;
+                        self.meter
+                            .set(MemCategory::HiddenStates, resident_hidden_bytes(&chunks));
+                        current_scores.retain(|(id, _)| keep.contains(id));
+                    }
+                    if decision.terminate {
+                        terminated = true;
+                        break;
+                    }
+                }
+            }
+
+            let active: usize = chunks.iter().map(|c| c.ids.len()).sum();
+            if active == 0 {
+                terminated = true;
+                break;
+            }
+            trace.active_per_layer.push(active);
+
+            // ---- Acquire this layer's weights ----
+            let (weights, raw_section) = match (&self.resident_layers, streamer.as_mut()) {
+                (Some(layers), _) => (LayerRef::Borrowed(&layers[layer_idx]), None),
+                (None, Some(s)) => {
+                    let section = latency
+                        .time("stream-wait", || s.next())?
+                        .ok_or_else(|| {
+                            PrismError::InvalidRequest("streamer exhausted early".into())
+                        })?;
+                    self.meter
+                        .alloc(MemCategory::LayerWeights, section.meta.len);
+                    let decoded = LayerWeights::from_bytes(&self.config, &section.bytes)?;
+                    self.meter
+                        .alloc(MemCategory::LayerWeights, decoded.size_bytes() as u64);
+                    (LayerRef::Owned(Box::new(decoded)), Some(section))
+                }
+                (None, None) => {
+                    return Err(PrismError::InvalidRequest(
+                        "engine has neither resident nor streamed weights".into(),
+                    ))
+                }
+            };
+
+            // ---- Chunked forward (§4.3) ----
+            latency.time("forward", || {
+                self.forward_chunks(&mut chunks, &mut spill, weights.get(), layer_idx)
+            })?;
+
+            // Release this layer's weights; recycle the stream buffer
+            // (which immediately triggers the prefetch of layer+2).
+            if let Some(section) = raw_section {
+                let decoded_bytes = match &weights {
+                    LayerRef::Owned(w) => w.size_bytes() as u64,
+                    LayerRef::Borrowed(_) => 0,
+                };
+                self.meter
+                    .free(MemCategory::LayerWeights, section.meta.len + decoded_bytes);
+                if let Some(s) = streamer.as_mut() {
+                    s.recycle(section)?;
+                }
+            }
+            trace.executed_layers += 1;
+
+            // ---- Score at the layer boundary ----
+            current_scores = self.score_chunks(&mut chunks, &mut spill, &mut trace)?;
+            for (id, s) in &current_scores {
+                last_scores[*id] = *s;
+            }
+            if self.options.record_score_trace {
+                trace.score_trace.push(aligned_scores(&current_scores, n));
+            }
+        }
+
+        // ---- Finalize ----
+        if !terminated {
+            // Survivors compete for the remaining slots by final score.
+            let mut survivors = current_scores.clone();
+            survivors.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let slots = k - accepted.len();
+            for &(id, score) in survivors.iter().take(slots) {
+                accepted.push(RankedCandidate {
+                    id,
+                    score,
+                    decided_at_layer: self.config.num_layers,
+                });
+            }
+        }
+        accepted.sort_by(|a, b| b.score.total_cmp(&a.score));
+        accepted.truncate(k);
+
+        if let Some(s) = streamer.take() {
+            trace.stream_stats = s.stats();
+        }
+        if let EmbedSource::Cache(c) = &mut self.embed {
+            trace.cache_stats = c.stats();
+        }
+        if let Some(file) = spill.take() {
+            trace.spill_bytes = file.bytes_written() + file.bytes_read();
+            file.cleanup()?;
+        }
+        self.meter.set(MemCategory::HiddenStates, 0);
+        self.meter.set(MemCategory::Intermediate, 0);
+        trace.latency = latency;
+
+        Ok(Selection {
+            ranked: accepted,
+            last_scores,
+            trace,
+        })
+    }
+
+    fn embed_batch(&mut self, batch: &SequenceBatch) -> Result<Tensor> {
+        let d = self.config.hidden_dim;
+        let mut hidden = Tensor::zeros(batch.total_tokens(), d);
+        for &(start, end) in batch.ranges() {
+            for (pos, t) in (start..end).enumerate() {
+                let token = batch.tokens()[t];
+                let row = hidden.row_mut(t)?;
+                match &mut self.embed {
+                    EmbedSource::Cache(cache) => cache.lookup_into(token, row)?,
+                    EmbedSource::Resident(table) => {
+                        if token as usize >= table.rows() {
+                            return Err(PrismError::InvalidRequest(format!(
+                                "token {token} outside vocabulary"
+                            )));
+                        }
+                        let src = table.row(token as usize)?.to_vec();
+                        row.copy_from_slice(&src);
+                    }
+                }
+                add_position(row, pos, d);
+            }
+        }
+        Ok(hidden)
+    }
+
+    fn forward_chunks(
+        &self,
+        chunks: &mut [Chunk],
+        spill: &mut Option<SpillFile>,
+        weights: &LayerWeights,
+        layer_idx: usize,
+    ) -> Result<()> {
+        let max_seq = chunks
+            .iter()
+            .flat_map(|c| c.seq_lens.iter().copied())
+            .max()
+            .unwrap_or(0);
+        for i in 0..chunks.len() {
+            // Fetch if offloaded.
+            if chunks[i].hidden.is_none() {
+                if let (Some(slot), Some(file)) = (chunks[i].spill_slot, spill.as_mut()) {
+                    chunks[i].hidden = Some(file.fetch(slot)?);
+                    self.meter
+                        .set(MemCategory::HiddenStates, resident_hidden_bytes(chunks));
+                }
+            }
+            let chunk = &mut chunks[i];
+            let ranges = chunk.local_ranges();
+            let Some(hidden) = chunk.hidden.as_mut() else {
+                continue; // Empty chunk.
+            };
+            let inter =
+                intermediate_bytes(&self.config, hidden.rows(), max_seq.max(1));
+            self.meter.alloc(MemCategory::Intermediate, inter);
+            forward_layer(&self.config, weights, layer_idx, hidden, &ranges)?;
+            self.meter.free(MemCategory::Intermediate, inter);
+            // Offload back if in spill mode.
+            if chunk.spill_slot.is_some() {
+                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                    let t = chunk.hidden.take().expect("hidden present");
+                    file.offload(slot, &t)?;
+                }
+                self.meter
+                    .set(MemCategory::HiddenStates, resident_hidden_bytes(chunks));
+            }
+        }
+        Ok(())
+    }
+
+    /// Scores all active candidates; returns `(original_id, score)` pairs
+    /// in chunk order.
+    fn score_chunks(
+        &self,
+        chunks: &mut [Chunk],
+        spill: &mut Option<SpillFile>,
+        _trace: &mut EngineTrace,
+    ) -> Result<Vec<(usize, f32)>> {
+        let mut out = Vec::new();
+        for chunk in chunks.iter_mut() {
+            if chunk.ids.is_empty() {
+                continue;
+            }
+            let fetched_here = chunk.hidden.is_none();
+            if fetched_here {
+                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                    chunk.hidden = Some(file.fetch(slot)?);
+                }
+            }
+            let hidden = chunk.hidden.as_ref().ok_or_else(|| {
+                PrismError::InvalidRequest("chunk hidden state unavailable".into())
+            })?;
+            let ranges = chunk.local_ranges();
+            let scores = prism_model::classifier::score_sequences(
+                &self.config,
+                &self.head,
+                hidden,
+                &ranges,
+            )?;
+            for (id, s) in chunk.ids.iter().zip(scores) {
+                out.push((*id, s));
+            }
+            if fetched_here && chunk.spill_slot.is_some() {
+                // Scoring does not dirty hidden states; just release.
+                chunk.hidden = None;
+            }
+        }
+        Ok(out)
+    }
+}
+
+enum LayerRef<'a> {
+    Borrowed(&'a LayerWeights),
+    Owned(Box<LayerWeights>),
+}
+
+impl LayerRef<'_> {
+    fn get(&self) -> &LayerWeights {
+        match self {
+            LayerRef::Borrowed(w) => w,
+            LayerRef::Owned(w) => w,
+        }
+    }
+}
+
+fn build_chunks(
+    batch: &SequenceBatch,
+    hidden_all: &Tensor,
+    chunk_cands: usize,
+) -> Result<Vec<Chunk>> {
+    let n = batch.num_sequences();
+    let mut chunks = Vec::with_capacity(n.div_ceil(chunk_cands));
+    let mut i = 0;
+    while i < n {
+        let end = (i + chunk_cands).min(n);
+        let ids: Vec<usize> = (i..end).collect();
+        let seq_lens: Vec<usize> = ids
+            .iter()
+            .map(|&c| {
+                let (s, e) = batch.ranges()[c];
+                e - s
+            })
+            .collect();
+        let row_start = batch.ranges()[i].0;
+        let row_end = batch.ranges()[end - 1].1;
+        let hidden = hidden_all.slice_rows(row_start, row_end)?;
+        chunks.push(Chunk {
+            ids,
+            seq_lens,
+            hidden: Some(hidden),
+            spill_slot: None,
+        });
+        i = end;
+    }
+    Ok(chunks)
+}
+
+fn resident_hidden_bytes(chunks: &[Chunk]) -> u64 {
+    chunks
+        .iter()
+        .filter_map(|c| c.hidden.as_ref().map(|h| h.size_bytes() as u64))
+        .sum()
+}
+
+fn aligned_scores(scores: &[(usize, f32)], n: usize) -> Vec<Option<f32>> {
+    let mut out = vec![None; n];
+    for &(id, s) in scores {
+        out[id] = Some(s);
+    }
+    out
+}
+
+/// Removes all candidates not in `keep` from the chunks (fetching and
+/// re-offloading spilled chunks as needed).
+fn retain_candidates(
+    chunks: &mut Vec<Chunk>,
+    spill: &mut Option<SpillFile>,
+    keep: &[usize],
+) -> Result<()> {
+    for chunk in chunks.iter_mut() {
+        let keep_local: Vec<usize> = chunk
+            .ids
+            .iter()
+            .enumerate()
+            .filter_map(|(li, id)| keep.contains(id).then_some(li))
+            .collect();
+        if keep_local.len() == chunk.ids.len() {
+            continue;
+        }
+        let fetched_here = chunk.hidden.is_none();
+        if fetched_here {
+            if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                chunk.hidden = Some(file.fetch(slot)?);
+            }
+        }
+        let Some(hidden) = chunk.hidden.take() else {
+            // Nothing resident and no spill: chunk must be empty.
+            chunk.ids.clear();
+            chunk.seq_lens.clear();
+            continue;
+        };
+        let ranges = chunk.local_ranges();
+        let mut rows: Vec<usize> = Vec::new();
+        for &li in &keep_local {
+            let (s, e) = ranges[li];
+            rows.extend(s..e);
+        }
+        let new_hidden = hidden.gather_rows(&rows)?;
+        chunk.ids = keep_local.iter().map(|&li| chunk.ids[li]).collect();
+        chunk.seq_lens = keep_local.iter().map(|&li| chunk.seq_lens[li]).collect();
+        if let (Some(slot), Some(file), true) = (chunk.spill_slot, spill.as_mut(), fetched_here) {
+            if chunk.ids.is_empty() {
+                file.release(slot);
+                chunk.spill_slot = None;
+            } else {
+                file.offload(slot, &new_hidden)?;
+            }
+            chunk.hidden = None;
+        } else {
+            chunk.hidden = if chunk.ids.is_empty() { None } else { Some(new_hidden) };
+        }
+    }
+    chunks.retain(|c| !c.ids.is_empty());
+    Ok(())
+}

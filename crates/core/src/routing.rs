@@ -1,0 +1,320 @@
+//! Three-way candidate routing: the decision core of progressive cluster
+//! pruning (§4.1, Fig. 4).
+//!
+//! Given the active candidates' current scores, the number of top-K slots
+//! still unfilled, and the dispersion threshold, [`route_candidates`]
+//! decides which candidates are *selected* (accepted into the final top-K,
+//! computation ceases), *dropped* (no chance of reaching the top-K), and
+//! *deferred* (the boundary cluster — kept for more layers).
+//!
+//! The routing invariants, verified by unit and property tests:
+//!
+//! 1. selected ∪ dropped ∪ deferred is a partition of the active set,
+//! 2. `selected.len() + deferred.len() >= k_remaining` (we can always
+//!    still fill the top-K),
+//! 3. `selected.len() < k_remaining` unless routing terminates,
+//! 4. every selected candidate outscores every deferred candidate, and
+//!    every deferred candidate outscores every dropped one (clusters over
+//!    scalars are intervals).
+
+use prism_cluster::{coefficient_of_variation, kmeans_auto};
+
+/// Outcome of one routing decision over the active set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteDecision {
+    /// Active-set indices accepted into the final top-K.
+    pub selected: Vec<usize>,
+    /// Active-set indices pruned as hopeless.
+    pub dropped: Vec<usize>,
+    /// Active-set indices that continue to the next layer.
+    pub deferred: Vec<usize>,
+    /// Whether inference can stop: the deferred set exactly fills the
+    /// remaining top-K slots.
+    pub terminate: bool,
+    /// Measured coefficient of variation (for traces).
+    pub cv: f32,
+    /// Whether the dispersion gate fired (if `false`, everything is
+    /// deferred and no clustering ran).
+    pub clustered: bool,
+}
+
+impl RouteDecision {
+    fn defer_all(n: usize, cv: f32) -> Self {
+        RouteDecision {
+            selected: Vec::new(),
+            dropped: Vec::new(),
+            deferred: (0..n).collect(),
+            terminate: false,
+            cv,
+            clustered: false,
+        }
+    }
+}
+
+/// Routes the active candidates given their current `scores`.
+///
+/// * `k_remaining` — top-K slots not yet filled by earlier selections.
+/// * `threshold` — the dispersion (CV) gate.
+/// * `prune_winners` — `true` for [`crate::PruneMode::TopKOnly`]: selected
+///   clusters stop computing. `false` keeps winners in the deferred set so
+///   their exact order is resolved by full inference.
+/// * `max_clusters`, `seed` — K-Means parameters.
+///
+/// # Examples
+///
+/// ```
+/// use prism_core::route_candidates;
+/// // Two clear winners, three mid, three losers; K = 4.
+/// let scores = [0.95, 0.93, 0.55, 0.52, 0.50, 0.10, 0.08, 0.05];
+/// let d = route_candidates(&scores, 4, 0.1, true, 5, 7);
+/// assert_eq!(d.selected, vec![0, 1]);     // accepted into the top-K
+/// assert_eq!(d.dropped, vec![5, 6, 7]);   // hopeless
+/// assert_eq!(d.deferred, vec![2, 3, 4]);  // boundary cluster continues
+/// ```
+pub fn route_candidates(
+    scores: &[f32],
+    k_remaining: usize,
+    threshold: f32,
+    prune_winners: bool,
+    max_clusters: usize,
+    seed: u64,
+) -> RouteDecision {
+    let n = scores.len();
+    if n == 0 {
+        return RouteDecision {
+            selected: Vec::new(),
+            dropped: Vec::new(),
+            deferred: Vec::new(),
+            terminate: true,
+            cv: 0.0,
+            clustered: false,
+        };
+    }
+    if k_remaining == 0 {
+        // Nothing left to fill; everything else is dropped.
+        return RouteDecision {
+            selected: Vec::new(),
+            dropped: (0..n).collect(),
+            deferred: Vec::new(),
+            terminate: true,
+            cv: 0.0,
+            clustered: false,
+        };
+    }
+    if k_remaining >= n {
+        if prune_winners {
+            // Every active candidate is needed: select all, stop.
+            return RouteDecision {
+                selected: (0..n).collect(),
+                dropped: Vec::new(),
+                deferred: Vec::new(),
+                terminate: true,
+                cv: 0.0,
+                clustered: false,
+            };
+        }
+        // Exact-order mode: membership is settled but the order is not;
+        // keep computing.
+        return RouteDecision::defer_all(n, 0.0);
+    }
+
+    let cv = coefficient_of_variation(scores);
+    if cv <= threshold {
+        return RouteDecision::defer_all(n, cv);
+    }
+
+    let clustering = kmeans_auto(scores, max_clusters, seed);
+    if clustering.k() < 2 {
+        return RouteDecision::defer_all(n, cv);
+    }
+
+    // Rank clusters by mean score, descending.
+    let mut cluster_order: Vec<usize> = (0..clustering.k()).collect();
+    let means: Vec<f32> = (0..clustering.k())
+        .map(|c| clustering.cluster_mean(scores, c))
+        .collect();
+    cluster_order.sort_by(|&a, &b| means[b].total_cmp(&means[a]));
+
+    // Find the boundary cluster: the one containing the k_remaining-th
+    // ranked candidate.
+    let mut ranked: Vec<usize> = (0..n).collect();
+    ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+    let kth = ranked[k_remaining - 1];
+    let boundary = clustering.assignments[kth];
+
+    let mut selected = Vec::new();
+    let mut dropped = Vec::new();
+    let mut deferred = Vec::new();
+    let mut seen_boundary = false;
+    for &c in &cluster_order {
+        let members = clustering.members(c);
+        if c == boundary {
+            seen_boundary = true;
+            deferred.extend(members);
+        } else if !seen_boundary {
+            // Higher-mean cluster than the boundary: winners.
+            if prune_winners {
+                selected.extend(members);
+            } else {
+                deferred.extend(members);
+            }
+        } else {
+            dropped.extend(members);
+        }
+    }
+    selected.sort_unstable();
+    dropped.sort_unstable();
+    deferred.sort_unstable();
+
+    // Terminal condition (§4.5): deferred candidates exactly fill the
+    // remaining slots — they are all winners, stop immediately. Only valid
+    // when winners may be pruned; exact-order mode must keep refining
+    // their ranking through the full depth.
+    let slots_after_selection = k_remaining - selected.len();
+    let terminate = prune_winners && deferred.len() == slots_after_selection;
+    if terminate {
+        selected.append(&mut deferred);
+        selected.sort_unstable();
+    }
+
+    RouteDecision {
+        selected,
+        dropped,
+        deferred,
+        terminate,
+        cv,
+        clustered: true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_partition(d: &RouteDecision, n: usize) {
+        let mut all: Vec<usize> = d
+            .selected
+            .iter()
+            .chain(&d.dropped)
+            .chain(&d.deferred)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..n).collect();
+        assert_eq!(all, expect, "routing must partition the active set");
+    }
+
+    fn assert_score_ordering(d: &RouteDecision, scores: &[f32]) {
+        let min_sel = d.selected.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+        let max_def = d.deferred.iter().map(|&i| scores[i]).fold(f32::NEG_INFINITY, f32::max);
+        let min_def = d.deferred.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+        let max_drop = d.dropped.iter().map(|&i| scores[i]).fold(f32::NEG_INFINITY, f32::max);
+        if !d.selected.is_empty() && !d.deferred.is_empty() {
+            assert!(min_sel >= max_def, "selected must outscore deferred");
+        }
+        if !d.deferred.is_empty() && !d.dropped.is_empty() {
+            assert!(min_def >= max_drop, "deferred must outscore dropped");
+        }
+    }
+
+    #[test]
+    fn three_way_split_on_clear_clusters() {
+        // Scores in three clear clusters: 2 high, 3 mid, 3 low; K = 4.
+        // The 4th-ranked candidate sits in the mid cluster -> boundary.
+        let scores = [0.95, 0.93, 0.55, 0.52, 0.50, 0.10, 0.08, 0.05];
+        let d = route_candidates(&scores, 4, 0.1, true, 5, 7);
+        assert!(d.clustered);
+        assert_eq!(d.selected, vec![0, 1]);
+        assert_eq!(d.deferred, vec![2, 3, 4]);
+        assert_eq!(d.dropped, vec![5, 6, 7]);
+        assert!(!d.terminate);
+        assert_partition(&d, 8);
+        assert_score_ordering(&d, &scores);
+    }
+
+    #[test]
+    fn terminates_when_deferred_fills_slots() {
+        // 2 high, 2 mid, 4 low; K = 4: boundary (mid) has exactly
+        // 4 - 2 = 2 members -> terminate with all four winners.
+        let scores = [0.9, 0.88, 0.55, 0.53, 0.1, 0.09, 0.08, 0.07];
+        let d = route_candidates(&scores, 4, 0.1, true, 5, 3);
+        assert!(d.terminate);
+        assert_eq!(d.selected, vec![0, 1, 2, 3]);
+        assert!(d.deferred.is_empty());
+        assert_eq!(d.dropped, vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn low_cv_defers_everything() {
+        let scores = [0.50, 0.51, 0.49, 0.505, 0.495];
+        let d = route_candidates(&scores, 2, 0.25, true, 5, 1);
+        assert!(!d.clustered);
+        assert_eq!(d.deferred.len(), 5);
+        assert!(d.selected.is_empty() && d.dropped.is_empty());
+        assert!(!d.terminate);
+    }
+
+    #[test]
+    fn exact_order_mode_keeps_winners_running() {
+        let scores = [0.95, 0.93, 0.55, 0.52, 0.50, 0.10, 0.08, 0.05];
+        let d = route_candidates(&scores, 4, 0.1, false, 5, 7);
+        assert!(d.selected.is_empty(), "winners defer in ExactOrder mode");
+        assert_eq!(d.dropped, vec![5, 6, 7], "losers still pruned");
+        assert_eq!(d.deferred, vec![0, 1, 2, 3, 4]);
+        assert_partition(&d, 8);
+    }
+
+    #[test]
+    fn k_remaining_geq_active_selects_all() {
+        let scores = [0.3, 0.9, 0.5];
+        let d = route_candidates(&scores, 3, 0.1, true, 5, 2);
+        assert!(d.terminate);
+        assert_eq!(d.selected, vec![0, 1, 2]);
+        let d = route_candidates(&scores, 5, 0.1, true, 5, 2);
+        assert!(d.terminate);
+        assert_eq!(d.selected.len(), 3);
+    }
+
+    #[test]
+    fn zero_k_drops_everything() {
+        let scores = [0.3, 0.9];
+        let d = route_candidates(&scores, 0, 0.1, true, 5, 2);
+        assert!(d.terminate);
+        assert_eq!(d.dropped.len(), 2);
+    }
+
+    #[test]
+    fn empty_active_set_terminates() {
+        let d = route_candidates(&[], 3, 0.1, true, 5, 2);
+        assert!(d.terminate);
+        assert!(d.selected.is_empty() && d.dropped.is_empty() && d.deferred.is_empty());
+    }
+
+    #[test]
+    fn never_selects_more_than_k() {
+        // Two big high clusters: selection must stay below k_remaining.
+        let scores = [0.9, 0.89, 0.88, 0.87, 0.5, 0.49, 0.1, 0.09];
+        for k in 1..=7 {
+            let d = route_candidates(&scores, k, 0.05, true, 5, 11);
+            assert!(
+                d.selected.len() <= k,
+                "k={k}: selected {} > k",
+                d.selected.len()
+            );
+            assert!(
+                d.selected.len() + d.deferred.len() >= k,
+                "k={k}: cannot fill top-K anymore"
+            );
+            assert_partition(&d, 8);
+            assert_score_ordering(&d, &scores);
+        }
+    }
+
+    #[test]
+    fn identical_scores_defer() {
+        let scores = [0.5_f32; 10];
+        let d = route_candidates(&scores, 3, 0.1, true, 5, 0);
+        assert_eq!(d.deferred.len(), 10);
+        assert!(!d.terminate);
+    }
+}

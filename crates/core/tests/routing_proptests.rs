@@ -1,0 +1,94 @@
+//! Property-based tests of the routing invariants (§4.1).
+
+use prism_core::route_candidates;
+use proptest::prelude::*;
+
+fn scores_strategy() -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(0.0_f32..1.0, 2..64)
+}
+
+proptest! {
+    /// Routing always partitions the active set.
+    #[test]
+    fn routing_partitions(scores in scores_strategy(), k in 1_usize..20, t in 0.0_f32..0.8) {
+        let d = route_candidates(&scores, k, t, true, 5, 7);
+        let mut all: Vec<usize> = d.selected.iter()
+            .chain(&d.dropped)
+            .chain(&d.deferred)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), scores.len(), "partition lost or duplicated candidates");
+    }
+
+    /// The top-K remains fillable: selected + deferred >= k (when k <= n).
+    #[test]
+    fn top_k_remains_fillable(scores in scores_strategy(), k in 1_usize..20, t in 0.0_f32..0.8) {
+        let k = k.min(scores.len());
+        let d = route_candidates(&scores, k, t, true, 5, 3);
+        prop_assert!(
+            d.selected.len() + d.deferred.len() >= k,
+            "selected {} + deferred {} < k {k}",
+            d.selected.len(),
+            d.deferred.len()
+        );
+    }
+
+    /// Never select more than k, and termination implies exactly k.
+    #[test]
+    fn selection_bounded_by_k(scores in scores_strategy(), k in 1_usize..20, t in 0.0_f32..0.8) {
+        let k = k.min(scores.len());
+        let d = route_candidates(&scores, k, t, true, 5, 11);
+        prop_assert!(d.selected.len() <= k);
+        if d.terminate {
+            prop_assert_eq!(d.selected.len(), k, "termination must fill the top-K exactly");
+            prop_assert!(d.deferred.is_empty());
+        }
+    }
+
+    /// Score ordering across groups: min(selected) >= max(deferred) and
+    /// min(deferred) >= max(dropped) — clusters over scalars are intervals.
+    #[test]
+    fn groups_are_score_ordered(scores in scores_strategy(), k in 1_usize..20, t in 0.0_f32..0.5) {
+        let k = k.min(scores.len());
+        let d = route_candidates(&scores, k, t, true, 5, 5);
+        let min = |ids: &[usize]| ids.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
+        let max = |ids: &[usize]| ids.iter().map(|&i| scores[i]).fold(f32::NEG_INFINITY, f32::max);
+        if !d.selected.is_empty() && !d.deferred.is_empty() {
+            prop_assert!(min(&d.selected) >= max(&d.deferred));
+        }
+        if !d.deferred.is_empty() && !d.dropped.is_empty() {
+            prop_assert!(min(&d.deferred) >= max(&d.dropped));
+        }
+        if !d.selected.is_empty() && !d.dropped.is_empty() {
+            prop_assert!(min(&d.selected) >= max(&d.dropped));
+        }
+    }
+
+    /// Dropped candidates can never belong to the true top-k of the
+    /// *current* scores (pruning is safe w.r.t. the scores it saw).
+    #[test]
+    fn dropped_are_outside_current_top_k(scores in scores_strategy(), k in 1_usize..20, t in 0.0_f32..0.5) {
+        let k = k.min(scores.len());
+        let d = route_candidates(&scores, k, t, true, 5, 13);
+        let mut ranked: Vec<usize> = (0..scores.len()).collect();
+        ranked.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]));
+        let top: Vec<usize> = ranked[..k].to_vec();
+        for dropped in &d.dropped {
+            // Ties can straddle the boundary; only strict members count.
+            let kth = scores[ranked[k - 1]];
+            if scores[*dropped] > kth {
+                prop_assert!(!top.contains(dropped), "dropped {dropped} strictly inside top-{k}");
+            }
+        }
+    }
+
+    /// Exact-order mode never terminates early and never selects.
+    #[test]
+    fn exact_order_never_terminates(scores in scores_strategy(), k in 1_usize..20, t in 0.0_f32..0.5) {
+        let d = route_candidates(&scores, k.min(scores.len()), t, false, 5, 17);
+        prop_assert!(d.selected.is_empty());
+        prop_assert!(!d.terminate || scores.is_empty());
+    }
+}

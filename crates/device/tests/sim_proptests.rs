@@ -1,0 +1,96 @@
+//! Property-based tests of the device simulators: monotonicity and
+//! conservation laws that must hold for any request shape.
+
+use prism_device::{
+    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
+    DeviceSpec, PrismSimOptions, PruneSchedule,
+};
+use prism_model::ModelConfig;
+use proptest::prelude::*;
+
+fn any_shape() -> impl Strategy<Value = BatchShape> {
+    (1_usize..64, 32_usize..512).prop_map(|(candidates, seq_len)| BatchShape {
+        candidates,
+        seq_len,
+    })
+}
+
+fn any_model() -> impl Strategy<Value = ModelConfig> {
+    prop::sample::select(ModelConfig::paper_catalog())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// More candidates never reduce baseline latency or peak memory.
+    #[test]
+    fn hf_monotone_in_candidates(cfg in any_model(), shape in any_shape()) {
+        let rtx = DeviceSpec::rtx5070_laptop();
+        let bigger = BatchShape { candidates: shape.candidates + 8, ..shape };
+        let a = simulate_hf(&cfg, &rtx, shape);
+        let b = simulate_hf(&cfg, &rtx, bigger);
+        prop_assert!(b.latency_s >= a.latency_s * 0.999);
+        prop_assert!(b.peak_bytes >= a.peak_bytes);
+    }
+
+    /// Outcome sanity: non-negative latency, avg <= peak, timeline matches.
+    #[test]
+    fn outcomes_are_consistent(cfg in any_model(), shape in any_shape()) {
+        let rtx = DeviceSpec::rtx5070_laptop();
+        let sched = PruneSchedule::no_pruning(cfg.num_layers, shape.candidates);
+        for out in [
+            simulate_hf(&cfg, &rtx, shape),
+            simulate_hf_offload(&cfg, &rtx, shape),
+            simulate_hf_quant(&cfg, &rtx, shape),
+            simulate_prism(&cfg, &rtx, shape, &sched, PrismSimOptions::default()),
+        ] {
+            prop_assert!(out.latency_s.is_finite() && out.latency_s > 0.0);
+            prop_assert!(out.avg_bytes <= out.peak_bytes);
+            let curve_peak = out.timeline.iter().map(|&(_, b)| b).max().unwrap_or(0);
+            prop_assert_eq!(curve_peak, out.peak_bytes);
+            for w in out.timeline.windows(2) {
+                prop_assert!(w[1].0 >= w[0].0, "timeline must be time-ordered");
+            }
+        }
+    }
+
+    /// Pruning more aggressively never increases PRISM latency.
+    #[test]
+    fn prism_latency_monotone_in_schedule(cfg in any_model(), shape in any_shape(), cut in 0_usize..28) {
+        let rtx = DeviceSpec::rtx5070_laptop();
+        let full = PruneSchedule::no_pruning(cfg.num_layers, shape.candidates);
+        let cut_at = cut.min(cfg.num_layers);
+        let pruned = PruneSchedule {
+            active_per_layer: (0..cfg.num_layers)
+                .map(|l| if l < cut_at { shape.candidates } else { 0 })
+                .collect(),
+        };
+        let a = simulate_prism(&cfg, &rtx, shape, &full, PrismSimOptions::default());
+        let b = simulate_prism(&cfg, &rtx, shape, &pruned, PrismSimOptions::default());
+        prop_assert!(b.latency_s <= a.latency_s * 1.001);
+    }
+
+    /// The faster device is never slower for the same workload.
+    #[test]
+    fn device_ordering_preserved(cfg in any_model(), shape in any_shape()) {
+        let m2 = simulate_hf(&cfg, &DeviceSpec::apple_m2(), shape);
+        let a800 = simulate_hf(&cfg, &DeviceSpec::a800(), shape);
+        prop_assert!(a800.latency_s <= m2.latency_s);
+    }
+
+    /// Quantization never increases PRISM peak memory.
+    #[test]
+    fn quant_never_increases_memory(cfg in any_model(), shape in any_shape()) {
+        let rtx = DeviceSpec::rtx5070_laptop();
+        let sched = PruneSchedule::no_pruning(cfg.num_layers, shape.candidates);
+        let dense = simulate_prism(&cfg, &rtx, shape, &sched, PrismSimOptions::default());
+        let quant = simulate_prism(
+            &cfg,
+            &rtx,
+            shape,
+            &sched,
+            PrismSimOptions { quant: true, ..Default::default() },
+        );
+        prop_assert!(quant.peak_bytes <= dense.peak_bytes);
+    }
+}

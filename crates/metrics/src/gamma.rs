@@ -1,0 +1,131 @@
+//! Goodman and Kruskal's γ and the paper's cluster-γ (Fig. 2b).
+
+/// Goodman and Kruskal's γ between an intermediate and a final ranking.
+///
+/// Computed over all candidate pairs: pairs whose relative order agrees
+/// between `intermediate` and `final_scores` are concordant (`Nc`), reversed
+/// pairs are discordant (`Nd`); ties in either vector are skipped.
+/// `γ = (Nc − Nd) / (Nc + Nd)`; returns `1.0` when no comparable pairs
+/// exist (vacuously converged).
+///
+/// # Examples
+///
+/// ```
+/// use prism_metrics::goodman_kruskal_gamma;
+/// let mid = [0.2_f32, 0.5, 0.8];
+/// let fin = [0.1_f32, 0.6, 0.9];
+/// assert_eq!(goodman_kruskal_gamma(&mid, &fin), 1.0);
+/// ```
+pub fn goodman_kruskal_gamma(intermediate: &[f32], final_scores: &[f32]) -> f64 {
+    gamma_filtered(intermediate, final_scores, |_, _| true)
+}
+
+/// Cluster γ: γ restricted to pairs from *different* clusters.
+///
+/// This is the paper's direct measure of inter-cluster ranking stability;
+/// it staying ≈ 1.0 across layers is the evidence that whole clusters can
+/// be routed (pruned/accepted) early without precision loss.
+pub fn cluster_gamma(intermediate: &[f32], final_scores: &[f32], clusters: &[usize]) -> f64 {
+    gamma_filtered(intermediate, final_scores, |i, j| clusters[i] != clusters[j])
+}
+
+fn gamma_filtered(
+    intermediate: &[f32],
+    final_scores: &[f32],
+    include: impl Fn(usize, usize) -> bool,
+) -> f64 {
+    let n = intermediate.len().min(final_scores.len());
+    let mut concordant = 0_u64;
+    let mut discordant = 0_u64;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if !include(i, j) {
+                continue;
+            }
+            let a = intermediate[i] - intermediate[j];
+            let b = final_scores[i] - final_scores[j];
+            if a == 0.0 || b == 0.0 {
+                continue;
+            }
+            if (a > 0.0) == (b > 0.0) {
+                concordant += 1;
+            } else {
+                discordant += 1;
+            }
+        }
+    }
+    let total = concordant + discordant;
+    if total == 0 {
+        return 1.0;
+    }
+    (concordant as f64 - discordant as f64) / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_rankings_give_one() {
+        let s = [0.1_f32, 0.5, 0.9, 0.3];
+        assert_eq!(goodman_kruskal_gamma(&s, &s), 1.0);
+    }
+
+    #[test]
+    fn reversed_rankings_give_minus_one() {
+        let a = [1.0_f32, 2.0, 3.0];
+        let b = [3.0_f32, 2.0, 1.0];
+        assert_eq!(goodman_kruskal_gamma(&a, &b), -1.0);
+    }
+
+    #[test]
+    fn single_swap_partial_gamma() {
+        // Rankings 1,2,3,4 vs 2,1,3,4: one discordant pair out of six.
+        let a = [1.0_f32, 2.0, 3.0, 4.0];
+        let b = [2.0_f32, 1.0, 3.0, 4.0];
+        let g = goodman_kruskal_gamma(&a, &b);
+        assert!((g - (5.0 - 1.0) / 6.0).abs() < 1e-9, "{g}");
+    }
+
+    #[test]
+    fn ties_are_skipped() {
+        let a = [1.0_f32, 1.0, 2.0];
+        let b = [5.0_f32, 6.0, 7.0];
+        // Pair (0,1) tied in a -> skipped; remaining two pairs concordant.
+        assert_eq!(goodman_kruskal_gamma(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn no_comparable_pairs_vacuously_one() {
+        assert_eq!(goodman_kruskal_gamma(&[1.0], &[1.0]), 1.0);
+        assert_eq!(goodman_kruskal_gamma(&[], &[]), 1.0);
+        let a = [2.0_f32, 2.0];
+        assert_eq!(goodman_kruskal_gamma(&a, &[1.0, 3.0]), 1.0);
+    }
+
+    #[test]
+    fn cluster_gamma_ignores_intra_cluster_swaps() {
+        // Intermediate swaps candidates 0 and 1, but they share a cluster:
+        // cluster-γ must stay 1.0 while plain γ drops.
+        let inter = [0.55_f32, 0.50, 0.9, 0.1];
+        let fin = [0.50_f32, 0.55, 0.95, 0.05];
+        let clusters = [0, 0, 1, 2];
+        assert!(goodman_kruskal_gamma(&inter, &fin) < 1.0);
+        assert_eq!(cluster_gamma(&inter, &fin, &clusters), 1.0);
+    }
+
+    #[test]
+    fn cluster_gamma_detects_inter_cluster_reversal() {
+        let inter = [0.9_f32, 0.1];
+        let fin = [0.1_f32, 0.9];
+        let clusters = [0, 1];
+        assert_eq!(cluster_gamma(&inter, &fin, &clusters), -1.0);
+    }
+
+    #[test]
+    fn length_mismatch_uses_common_prefix() {
+        let a = [1.0_f32, 2.0, 3.0];
+        let b = [1.0_f32, 2.0];
+        assert_eq!(goodman_kruskal_gamma(&a, &b), 1.0);
+    }
+}

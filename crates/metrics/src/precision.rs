@@ -1,0 +1,69 @@
+//! Precision@K per the paper's definition (§6.1).
+
+use std::collections::HashSet;
+
+/// Precision@K: fraction of the top-K selection that is relevant.
+///
+/// When the ground-truth set is smaller than `k`, the denominator is the
+/// ground-truth size (the paper: "When the ground truth is less than K, we
+/// take the ratio between the number of relevant items contained in the
+/// top-K and the number of ground truth"). Returns `1.0` for an empty
+/// ground truth (nothing to find) and treats only the first `k` entries of
+/// `selected` as the selection.
+///
+/// # Examples
+///
+/// ```
+/// use prism_metrics::precision_at_k;
+/// assert_eq!(precision_at_k(&[3, 1, 4], &[1, 3], 3), 1.0);
+/// assert_eq!(precision_at_k(&[3, 9, 8], &[1, 3, 8], 3), 2.0 / 3.0);
+/// ```
+pub fn precision_at_k(selected: &[usize], relevant: &[usize], k: usize) -> f64 {
+    if relevant.is_empty() || k == 0 {
+        return 1.0;
+    }
+    let rel: HashSet<usize> = relevant.iter().copied().collect();
+    let hits = selected.iter().take(k).filter(|i| rel.contains(i)).count();
+    let denom = k.min(rel.len());
+    hits as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_selection() {
+        assert_eq!(precision_at_k(&[1, 2, 3], &[1, 2, 3], 3), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        assert_eq!(precision_at_k(&[1, 9, 8], &[1, 2, 3], 3), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn ground_truth_smaller_than_k() {
+        // 2 relevant items, K = 5, both found: precision 1.0 (paper rule).
+        assert_eq!(precision_at_k(&[7, 1, 4, 2, 9], &[1, 2], 5), 1.0);
+        // Only one found: 0.5.
+        assert_eq!(precision_at_k(&[7, 1, 4, 8, 9], &[1, 2], 5), 0.5);
+    }
+
+    #[test]
+    fn only_first_k_counted() {
+        assert_eq!(precision_at_k(&[9, 8, 1, 2, 3], &[1, 2, 3], 2), 0.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(precision_at_k(&[], &[1], 3), 0.0);
+        assert_eq!(precision_at_k(&[1], &[], 3), 1.0);
+        assert_eq!(precision_at_k(&[1], &[1], 0), 1.0);
+    }
+
+    #[test]
+    fn duplicates_in_ground_truth_collapse() {
+        assert_eq!(precision_at_k(&[1, 5], &[1, 1, 1], 2), 1.0);
+    }
+}

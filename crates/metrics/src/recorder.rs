@@ -1,0 +1,415 @@
+//! Latency spans and live-byte memory metering.
+//!
+//! [`MemoryMeter`] is the measurement backbone of the memory experiments:
+//! runtime components report allocation/release of weights, activations,
+//! hidden states and caches under a [`MemCategory`] tag; the meter keeps
+//! current and peak totals plus a `(time, bytes)` timeline for
+//! memory-over-time plots. Handles are cheap clones sharing one meter, so
+//! the I/O thread and compute thread report to the same ledger.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::Serialize;
+
+/// What a tracked allocation holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum MemCategory {
+    /// Transformer layer weights resident in memory.
+    LayerWeights,
+    /// Embedding table (full or cached subset).
+    Embedding,
+    /// Classifier / pooling head weights.
+    Head,
+    /// Per-chunk transient intermediate tensors (QKV, attention, FFN).
+    Intermediate,
+    /// Hidden states of all live chunks.
+    HiddenStates,
+    /// Everything else (tokenizer tables, bookkeeping).
+    Other,
+}
+
+impl MemCategory {
+    /// All categories, for iteration in reports.
+    pub const ALL: [MemCategory; 6] = [
+        MemCategory::LayerWeights,
+        MemCategory::Embedding,
+        MemCategory::Head,
+        MemCategory::Intermediate,
+        MemCategory::HiddenStates,
+        MemCategory::Other,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            MemCategory::LayerWeights => 0,
+            MemCategory::Embedding => 1,
+            MemCategory::Head => 2,
+            MemCategory::Intermediate => 3,
+            MemCategory::HiddenStates => 4,
+            MemCategory::Other => 5,
+        }
+    }
+}
+
+/// One point on the memory timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct MemorySample {
+    /// Microseconds since the meter was created (or last reset).
+    pub at_micros: u64,
+    /// Total live bytes across categories at that instant.
+    pub total_bytes: u64,
+}
+
+#[derive(Debug)]
+struct MeterInner {
+    start: Instant,
+    current: [u64; 6],
+    peak_total: u64,
+    peak_by_cat: [u64; 6],
+    timeline: Vec<MemorySample>,
+    /// Byte-seconds integral for average-memory reporting.
+    byte_micros: u128,
+    last_change: u64,
+}
+
+impl MeterInner {
+    fn total(&self) -> u64 {
+        self.current.iter().sum()
+    }
+
+    fn note_change(&mut self) {
+        let now = self.start.elapsed().as_micros() as u64;
+        let total = self.total();
+        self.byte_micros += u128::from(self.prev_total()) * u128::from(now - self.last_change);
+        self.last_change = now;
+        self.timeline.push(MemorySample {
+            at_micros: now,
+            total_bytes: total,
+        });
+        if total > self.peak_total {
+            self.peak_total = total;
+        }
+        for (i, &c) in self.current.iter().enumerate() {
+            if c > self.peak_by_cat[i] {
+                self.peak_by_cat[i] = c;
+            }
+        }
+    }
+
+    fn prev_total(&self) -> u64 {
+        self.timeline.last().map_or(0, |s| s.total_bytes)
+    }
+}
+
+/// Shared, thread-safe memory ledger.
+#[derive(Debug, Clone)]
+pub struct MemoryMeter {
+    inner: Arc<Mutex<MeterInner>>,
+}
+
+impl Default for MemoryMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemoryMeter {
+    /// Creates an empty meter with its clock starting now.
+    pub fn new() -> Self {
+        MemoryMeter {
+            inner: Arc::new(Mutex::new(MeterInner {
+                start: Instant::now(),
+                current: [0; 6],
+                peak_total: 0,
+                peak_by_cat: [0; 6],
+                timeline: Vec::new(),
+                byte_micros: 0,
+                last_change: 0,
+            })),
+        }
+    }
+
+    /// Records `bytes` newly resident under `cat`.
+    pub fn alloc(&self, cat: MemCategory, bytes: u64) {
+        let mut g = self.inner.lock();
+        g.current[cat.index()] += bytes;
+        g.note_change();
+    }
+
+    /// Records `bytes` released under `cat` (saturating).
+    pub fn free(&self, cat: MemCategory, bytes: u64) {
+        let mut g = self.inner.lock();
+        let c = &mut g.current[cat.index()];
+        *c = c.saturating_sub(bytes);
+        g.note_change();
+    }
+
+    /// Replaces the tracked size of `cat` (for components that resize).
+    pub fn set(&self, cat: MemCategory, bytes: u64) {
+        let mut g = self.inner.lock();
+        g.current[cat.index()] = bytes;
+        g.note_change();
+    }
+
+    /// Current live bytes across all categories.
+    pub fn current_total(&self) -> u64 {
+        self.inner.lock().total()
+    }
+
+    /// Current live bytes of one category.
+    pub fn current(&self, cat: MemCategory) -> u64 {
+        self.inner.lock().current[cat.index()]
+    }
+
+    /// Peak total live bytes observed.
+    pub fn peak_total(&self) -> u64 {
+        self.inner.lock().peak_total
+    }
+
+    /// Peak live bytes of one category.
+    pub fn peak(&self, cat: MemCategory) -> u64 {
+        self.inner.lock().peak_by_cat[cat.index()]
+    }
+
+    /// Time-weighted average of total live bytes since creation/reset.
+    pub fn average_total(&self) -> u64 {
+        let g = self.inner.lock();
+        let now = g.start.elapsed().as_micros() as u64;
+        if now == 0 {
+            return g.total();
+        }
+        let tail = u128::from(g.prev_total()) * u128::from(now - g.last_change);
+        ((g.byte_micros + tail) / u128::from(now)) as u64
+    }
+
+    /// Snapshot of the full `(time, bytes)` timeline.
+    pub fn timeline(&self) -> Vec<MemorySample> {
+        self.inner.lock().timeline.clone()
+    }
+
+    /// Clears totals, peaks and timeline; restarts the clock.
+    pub fn reset(&self) {
+        let mut g = self.inner.lock();
+        g.start = Instant::now();
+        g.current = [0; 6];
+        g.peak_total = 0;
+        g.peak_by_cat = [0; 6];
+        g.timeline.clear();
+        g.byte_micros = 0;
+        g.last_change = 0;
+    }
+}
+
+/// Summary of one named latency span.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SpanSummary {
+    /// Span name.
+    pub name: String,
+    /// Number of recordings.
+    pub count: u64,
+    /// Total microseconds across recordings.
+    pub total_micros: u64,
+    /// Minimum single recording.
+    pub min_micros: u64,
+    /// Maximum single recording.
+    pub max_micros: u64,
+}
+
+impl SpanSummary {
+    /// Mean microseconds per recording.
+    pub fn mean_micros(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_micros as f64 / self.count as f64
+        }
+    }
+}
+
+/// Accumulates named latency spans (e.g. `"embed"`, `"layer"`, `"cluster"`).
+#[derive(Debug, Clone, Default)]
+pub struct LatencyRecorder {
+    spans: Vec<SpanSummary>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed duration under `name`.
+    pub fn record(&mut self, name: &str, micros: u64) {
+        if let Some(s) = self.spans.iter_mut().find(|s| s.name == name) {
+            s.count += 1;
+            s.total_micros += micros;
+            s.min_micros = s.min_micros.min(micros);
+            s.max_micros = s.max_micros.max(micros);
+        } else {
+            self.spans.push(SpanSummary {
+                name: name.to_string(),
+                count: 1,
+                total_micros: micros,
+                min_micros: micros,
+                max_micros: micros,
+            });
+        }
+    }
+
+    /// Times `f` and records it under `name`, passing through its result.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.record(name, start.elapsed().as_micros() as u64);
+        out
+    }
+
+    /// Summary for one span, if recorded.
+    pub fn span(&self, name: &str) -> Option<&SpanSummary> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All spans in first-recorded order.
+    pub fn spans(&self) -> &[SpanSummary] {
+        &self.spans
+    }
+
+    /// Total microseconds across every span.
+    pub fn total_micros(&self) -> u64 {
+        self.spans.iter().map(|s| s.total_micros).sum()
+    }
+
+    /// Merges another recorder's spans into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        for s in &other.spans {
+            if let Some(dst) = self.spans.iter_mut().find(|d| d.name == s.name) {
+                dst.count += s.count;
+                dst.total_micros += s.total_micros;
+                dst.min_micros = dst.min_micros.min(s.min_micros);
+                dst.max_micros = dst.max_micros.max(s.max_micros);
+            } else {
+                self.spans.push(s.clone());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_tracks_current_and_peak() {
+        let m = MemoryMeter::new();
+        m.alloc(MemCategory::LayerWeights, 100);
+        m.alloc(MemCategory::Intermediate, 50);
+        assert_eq!(m.current_total(), 150);
+        assert_eq!(m.peak_total(), 150);
+        m.free(MemCategory::Intermediate, 50);
+        assert_eq!(m.current_total(), 100);
+        assert_eq!(m.peak_total(), 150, "peak must not decrease");
+        assert_eq!(m.current(MemCategory::LayerWeights), 100);
+        assert_eq!(m.peak(MemCategory::Intermediate), 50);
+    }
+
+    #[test]
+    fn free_saturates() {
+        let m = MemoryMeter::new();
+        m.alloc(MemCategory::Other, 10);
+        m.free(MemCategory::Other, 100);
+        assert_eq!(m.current_total(), 0);
+    }
+
+    #[test]
+    fn set_overrides() {
+        let m = MemoryMeter::new();
+        m.set(MemCategory::Embedding, 500);
+        m.set(MemCategory::Embedding, 200);
+        assert_eq!(m.current(MemCategory::Embedding), 200);
+        assert_eq!(m.peak(MemCategory::Embedding), 500);
+    }
+
+    #[test]
+    fn timeline_is_monotone_in_time() {
+        let m = MemoryMeter::new();
+        for i in 0..10 {
+            m.alloc(MemCategory::HiddenStates, i * 10);
+        }
+        let tl = m.timeline();
+        assert_eq!(tl.len(), 10);
+        for w in tl.windows(2) {
+            assert!(w[0].at_micros <= w[1].at_micros);
+        }
+        assert_eq!(tl.last().unwrap().total_bytes, (0..10).map(|i| i * 10).sum::<u64>());
+    }
+
+    #[test]
+    fn clones_share_ledger() {
+        let m = MemoryMeter::new();
+        let m2 = m.clone();
+        m2.alloc(MemCategory::Head, 42);
+        assert_eq!(m.current_total(), 42);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let m = MemoryMeter::new();
+        m.alloc(MemCategory::Other, 7);
+        m.reset();
+        assert_eq!(m.current_total(), 0);
+        assert_eq!(m.peak_total(), 0);
+        assert!(m.timeline().is_empty());
+    }
+
+    #[test]
+    fn average_reflects_holding_time() {
+        let m = MemoryMeter::new();
+        m.alloc(MemCategory::Other, 1000);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let avg = m.average_total();
+        assert!(avg > 500, "avg {avg} should approach 1000");
+        assert!(avg <= 1000);
+    }
+
+    #[test]
+    fn latency_recorder_aggregates() {
+        let mut r = LatencyRecorder::new();
+        r.record("layer", 100);
+        r.record("layer", 300);
+        r.record("embed", 50);
+        let s = r.span("layer").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total_micros, 400);
+        assert_eq!(s.min_micros, 100);
+        assert_eq!(s.max_micros, 300);
+        assert_eq!(s.mean_micros(), 200.0);
+        assert_eq!(r.total_micros(), 450);
+        assert!(r.span("missing").is_none());
+    }
+
+    #[test]
+    fn time_wraps_closure() {
+        let mut r = LatencyRecorder::new();
+        let v = r.time("work", || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            7
+        });
+        assert_eq!(v, 7);
+        assert!(r.span("work").unwrap().total_micros >= 4_000);
+    }
+
+    #[test]
+    fn merge_combines_spans() {
+        let mut a = LatencyRecorder::new();
+        a.record("x", 10);
+        let mut b = LatencyRecorder::new();
+        b.record("x", 30);
+        b.record("y", 5);
+        a.merge(&b);
+        assert_eq!(a.span("x").unwrap().count, 2);
+        assert_eq!(a.span("x").unwrap().max_micros, 30);
+        assert_eq!(a.span("y").unwrap().count, 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Property-based tests for ranking metrics.
+
+use prism_metrics::{cluster_gamma, goodman_kruskal_gamma, precision_at_k};
+use proptest::prelude::*;
+
+proptest! {
+    /// γ is symmetric under exchanging the two rankings.
+    #[test]
+    fn gamma_is_symmetric(a in prop::collection::vec(0.0_f32..1.0, 2..24)) {
+        let b: Vec<f32> = a.iter().rev().cloned().collect();
+        let g1 = goodman_kruskal_gamma(&a, &b);
+        let g2 = goodman_kruskal_gamma(&b, &a);
+        prop_assert!((g1 - g2).abs() < 1e-12);
+    }
+
+    /// γ against itself is 1; against its negation is -1 (no ties).
+    #[test]
+    fn gamma_extremes(mut a in prop::collection::vec(0.0_f32..1.0, 2..24)) {
+        a.sort_by(f32::total_cmp);
+        a.dedup();
+        prop_assume!(a.len() >= 2);
+        prop_assert_eq!(goodman_kruskal_gamma(&a, &a), 1.0);
+        let neg: Vec<f32> = a.iter().map(|x| -x).collect();
+        prop_assert_eq!(goodman_kruskal_gamma(&a, &neg), -1.0);
+    }
+
+    /// γ is bounded in [-1, 1]; cluster-γ too (any cluster labels).
+    #[test]
+    fn gamma_bounded(
+        a in prop::collection::vec(0.0_f32..1.0, 2..24),
+        seed in 0_u64..1000,
+    ) {
+        let b: Vec<f32> = a.iter().map(|x| (x * seed as f32).sin()).collect();
+        let g = goodman_kruskal_gamma(&a, &b);
+        prop_assert!((-1.0..=1.0).contains(&g));
+        let clusters: Vec<usize> = (0..a.len()).map(|i| i % 3).collect();
+        let cg = cluster_gamma(&a, &b, &clusters);
+        prop_assert!((-1.0..=1.0).contains(&cg));
+    }
+
+    /// precision@k is in [0, 1] and adding selected items to the ground
+    /// truth never lowers it.
+    #[test]
+    fn precision_bounded(
+        selected in prop::collection::vec(0_usize..50, 1..20),
+        relevant in prop::collection::vec(0_usize..50, 0..20),
+        k in 1_usize..15,
+    ) {
+        let p = precision_at_k(&selected, &relevant, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+        let mut more: Vec<usize> = relevant.clone();
+        more.extend(selected.iter().take(k));
+        let p2 = precision_at_k(&selected, &more, k);
+        prop_assert!(p2 >= p - 1e-12);
+    }
+
+    /// Cluster-γ over singleton clusters equals plain γ (every pair is
+    /// inter-cluster).
+    #[test]
+    fn cluster_gamma_singletons_match_gamma(a in prop::collection::vec(0.0_f32..1.0, 2..16)) {
+        let b: Vec<f32> = a.iter().map(|x| x * 0.7 + 0.1).collect();
+        let singletons: Vec<usize> = (0..a.len()).collect();
+        let g = goodman_kruskal_gamma(&a, &b);
+        let cg = cluster_gamma(&a, &b, &singletons);
+        prop_assert!((g - cg).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Pooling and the lightweight classifier head.
+//!
+//! The paper computes intermediate candidate scores by applying "the
+//! model's original classifier" to any layer's hidden states (§4.1) — so
+//! scoring is a pure function of `(head weights, hidden, ranges)` that the
+//! engine can invoke at every layer boundary.
+
+use prism_tensor::{ops, Tensor};
+
+use crate::layer::apply_norm;
+use crate::{HeadWeights, ModelArch, ModelConfig, Result};
+
+/// How per-token hidden states collapse into one vector per sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pooling {
+    /// Mean over tokens (encoder-only models).
+    Mean,
+    /// Last token (decoder-only models — the position that has attended to
+    /// the full pair under the causal mask).
+    LastToken,
+}
+
+impl Pooling {
+    /// The pooling an architecture uses.
+    pub fn for_arch(arch: ModelArch) -> Pooling {
+        match arch {
+            ModelArch::EncoderOnly => Pooling::Mean,
+            ModelArch::DecoderOnly => Pooling::LastToken,
+        }
+    }
+}
+
+/// Pools packed hidden states into `[num_sequences, D]`.
+pub fn pool(hidden: &Tensor, ranges: &[(usize, usize)], pooling: Pooling) -> Result<Tensor> {
+    let mut rows: Vec<Tensor> = Vec::with_capacity(ranges.len());
+    for &(start, end) in ranges {
+        let seq = hidden.slice_rows(start, end)?;
+        let pooled = match pooling {
+            Pooling::Mean => ops::mean_rows(&seq)?,
+            Pooling::LastToken => seq.slice_rows(seq.rows() - 1, seq.rows())?,
+        };
+        rows.push(pooled);
+    }
+    let refs: Vec<&Tensor> = rows.iter().collect();
+    Ok(Tensor::vcat(&refs)?)
+}
+
+/// Scores every sequence: final norm → pooled projection → sigmoid.
+///
+/// Returns one relevance score in `(0, 1)` per range, usable at any layer
+/// boundary (this is the intermediate-score probe of Fig. 2a).
+pub fn score_sequences(
+    config: &ModelConfig,
+    head: &HeadWeights,
+    hidden: &Tensor,
+    ranges: &[(usize, usize)],
+) -> Result<Vec<f32>> {
+    let pooling = Pooling::for_arch(config.arch);
+    let mut pooled = pool(hidden, ranges, pooling)?;
+    apply_norm(config, &mut pooled, &head.norm_gain, &head.norm_bias)?;
+    let mut scores = Vec::with_capacity(ranges.len());
+    for r in 0..pooled.rows() {
+        let logit = ops::dot(pooled.row(r)?, &head.w)? + head.bias;
+        scores.push(sigmoid(logit));
+    }
+    Ok(scores)
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelConfig;
+
+    #[test]
+    fn pooling_selection_matches_arch() {
+        assert_eq!(Pooling::for_arch(ModelArch::EncoderOnly), Pooling::Mean);
+        assert_eq!(Pooling::for_arch(ModelArch::DecoderOnly), Pooling::LastToken);
+    }
+
+    #[test]
+    fn mean_pool_averages() {
+        let h = Tensor::from_vec(4, 2, vec![1., 2., 3., 4., 10., 20., 30., 40.]).unwrap();
+        let p = pool(&h, &[(0, 2), (2, 4)], Pooling::Mean).unwrap();
+        assert_eq!(p.shape(), (2, 2));
+        assert_eq!(p.row(0).unwrap(), &[2.0, 3.0]);
+        assert_eq!(p.row(1).unwrap(), &[20.0, 30.0]);
+    }
+
+    #[test]
+    fn last_token_pool_takes_final_row() {
+        let h = Tensor::from_vec(3, 2, vec![1., 1., 2., 2., 9., 9.]).unwrap();
+        let p = pool(&h, &[(0, 3)], Pooling::LastToken).unwrap();
+        assert_eq!(p.row(0).unwrap(), &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn scores_are_probabilities_and_monotone_in_signal() {
+        let config = ModelConfig::test_config(ModelArch::DecoderOnly, 2);
+        let head = HeadWeights::generate(&config, 3);
+        let d = config.hidden_dim;
+        // Two single-token "sequences": one with strong positive signal,
+        // one with strong negative signal in the signal dimension.
+        let mut h = Tensor::zeros(2, d);
+        *h.at_mut(0, crate::semantics::SIGNAL_DIM) = 3.0;
+        *h.at_mut(1, crate::semantics::SIGNAL_DIM) = -3.0;
+        let scores = score_sequences(&config, &head, &h, &[(0, 1), (1, 2)]).unwrap();
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+        assert!(scores[0] > 0.5);
+        assert!(scores[1] < 0.5);
+        assert!(scores[0] > scores[1] + 0.3);
+    }
+
+    #[test]
+    fn bad_range_is_reported() {
+        let h = Tensor::zeros(3, 4);
+        assert!(pool(&h, &[(0, 5)], Pooling::Mean).is_err());
+    }
+}

@@ -1,0 +1,395 @@
+//! Model configurations: the paper's Table 1 catalog at two scales.
+
+use serde::{Deserialize, Serialize};
+
+/// Transformer architecture family (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ModelArch {
+    /// Bidirectional self-attention with mean pooling and LayerNorm
+    /// (BERT-style; BGE-Reranker-v2-M3).
+    EncoderOnly,
+    /// Causal self-attention with last-token pooling and RMSNorm
+    /// (GPT-style; Qwen3 rerankers, BGE-Reranker-v2-MiniCPM).
+    DecoderOnly,
+}
+
+/// Whether a config carries true (paper) dimensions or the executable mini
+/// dimensions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// True checkpoint dimensions — byte/FLOP accounting only.
+    Paper,
+    /// Shrunk widths, same depth — actually executed.
+    Mini,
+    /// Tiny dimensions for fast unit tests.
+    Test,
+}
+
+/// Full configuration of a reranker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Human-readable name (matches the paper's Table 1 where applicable).
+    pub name: String,
+    /// Architecture family.
+    pub arch: ModelArch,
+    /// Which scale this config represents.
+    pub scale: Scale,
+    /// Number of transformer layers.
+    pub num_layers: usize,
+    /// Hidden dimension.
+    pub hidden_dim: usize,
+    /// Attention heads (`hidden_dim % num_heads == 0`).
+    pub num_heads: usize,
+    /// FFN inner dimension.
+    pub ffn_dim: usize,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Maximum sequence length the model accepts.
+    pub max_seq: usize,
+    /// Bytes per weight element as stored/loaded (2 = bf16 checkpoints at
+    /// paper scale, 4 = f32 for executable scales).
+    pub weight_dtype_bytes: usize,
+    /// Bytes per activation element.
+    pub activation_dtype_bytes: usize,
+    /// Residual scale of the first layer (`α₀` in DESIGN.md §6).
+    pub residual_alpha: f32,
+    /// Per-layer geometric decay of the residual scale (`ρ`).
+    pub residual_decay: f32,
+}
+
+impl ModelConfig {
+    /// Residual scale applied at layer `l`.
+    pub fn alpha_at(&self, layer: usize) -> f32 {
+        self.residual_alpha * self.residual_decay.powi(layer as i32)
+    }
+
+    /// Parameters in one transformer layer (attention + FFN + norms).
+    pub fn layer_params(&self) -> u64 {
+        let d = self.hidden_dim as u64;
+        let f = self.ffn_dim as u64;
+        // Q, K, V, O projections + gate/up/down FFN + two norm gains/biases.
+        4 * d * d + 3 * d * f + 4 * d
+    }
+
+    /// Bytes of one layer's weights at the configured dtype.
+    pub fn layer_bytes(&self) -> u64 {
+        self.layer_params() * self.weight_dtype_bytes as u64
+    }
+
+    /// Bytes of one layer's weights after 4-bit quantization (4.5 bits per
+    /// weight including block metadata, matching `prism-tensor`'s format).
+    pub fn layer_bytes_q4(&self) -> u64 {
+        (self.layer_params() * 9).div_ceil(16)
+    }
+
+    /// Parameters in the embedding table.
+    pub fn embedding_params(&self) -> u64 {
+        self.vocab_size as u64 * self.hidden_dim as u64
+    }
+
+    /// Bytes of the embedding table at the configured dtype.
+    pub fn embedding_bytes(&self) -> u64 {
+        self.embedding_params() * self.weight_dtype_bytes as u64
+    }
+
+    /// Parameters of the classifier head (final norm + projection).
+    pub fn head_params(&self) -> u64 {
+        3 * self.hidden_dim as u64 + 1
+    }
+
+    /// Total parameter count.
+    pub fn total_params(&self) -> u64 {
+        self.embedding_params() + self.num_layers as u64 * self.layer_params() + self.head_params()
+    }
+
+    /// Total weight bytes at the configured dtype.
+    pub fn total_weight_bytes(&self) -> u64 {
+        (self.embedding_params() + self.num_layers as u64 * self.layer_params() + self.head_params())
+            * self.weight_dtype_bytes as u64
+    }
+
+    /// Multiply-accumulate operations for one layer over a batch of
+    /// sequences with `total_tokens` tokens and `seq_len` average length.
+    ///
+    /// Attention: 4 projections (`T·D²`) plus logits/weighted-sum
+    /// (`2·T·S·D`); FFN: gate/up/down (`3·T·D·F`).
+    pub fn layer_macs(&self, total_tokens: u64, seq_len: u64) -> u64 {
+        let d = self.hidden_dim as u64;
+        let f = self.ffn_dim as u64;
+        4 * total_tokens * d * d + 2 * total_tokens * seq_len * d + 3 * total_tokens * d * f
+    }
+
+    /// MACs for embedding lookup (row copies — negligible, counted as D per
+    /// token) plus classifier head per candidate.
+    pub fn head_macs(&self, candidates: u64) -> u64 {
+        candidates * self.hidden_dim as u64
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.hidden_dim == 0 || self.num_layers == 0 || self.vocab_size == 0 {
+            return Err(crate::Error::Config("zero-sized dimension".into()));
+        }
+        if self.hidden_dim % self.num_heads != 0 {
+            return Err(crate::Error::Config(format!(
+                "hidden_dim {} not divisible by num_heads {}",
+                self.hidden_dim, self.num_heads
+            )));
+        }
+        if !(0.0..=1.5).contains(&self.residual_decay) {
+            return Err(crate::Error::Config("residual_decay out of range".into()));
+        }
+        Ok(())
+    }
+
+    // ----- Paper-scale catalog (Table 1) -----
+
+    /// Qwen3-Reranker-0.6B: 28 decoder layers, hidden 1024.
+    pub fn qwen3_0_6b() -> Self {
+        ModelConfig {
+            name: "Qwen3-Reranker-0.6B".into(),
+            arch: ModelArch::DecoderOnly,
+            scale: Scale::Paper,
+            num_layers: 28,
+            hidden_dim: 1024,
+            num_heads: 16,
+            ffn_dim: 3072,
+            vocab_size: 151_669,
+            max_seq: 512,
+            weight_dtype_bytes: 2,
+            activation_dtype_bytes: 2,
+            residual_alpha: 0.8,
+            residual_decay: 0.90,
+        }
+    }
+
+    /// Qwen3-Reranker-4B: 36 decoder layers, hidden 2560.
+    pub fn qwen3_4b() -> Self {
+        ModelConfig {
+            name: "Qwen3-Reranker-4B".into(),
+            arch: ModelArch::DecoderOnly,
+            scale: Scale::Paper,
+            num_layers: 36,
+            hidden_dim: 2560,
+            num_heads: 32,
+            ffn_dim: 9728,
+            vocab_size: 151_669,
+            max_seq: 512,
+            weight_dtype_bytes: 2,
+            activation_dtype_bytes: 2,
+            residual_alpha: 0.8,
+            residual_decay: 0.92,
+        }
+    }
+
+    /// Qwen3-Reranker-8B: 36 decoder layers, hidden 4096.
+    pub fn qwen3_8b() -> Self {
+        ModelConfig {
+            name: "Qwen3-Reranker-8B".into(),
+            arch: ModelArch::DecoderOnly,
+            scale: Scale::Paper,
+            num_layers: 36,
+            hidden_dim: 4096,
+            num_heads: 32,
+            ffn_dim: 12288,
+            vocab_size: 151_669,
+            max_seq: 512,
+            weight_dtype_bytes: 2,
+            activation_dtype_bytes: 2,
+            residual_alpha: 0.8,
+            residual_decay: 0.92,
+        }
+    }
+
+    /// BGE-Reranker-v2-MiniCPM: 40 decoder layers, hidden 2304.
+    pub fn bge_minicpm() -> Self {
+        ModelConfig {
+            name: "Bge-Reranker-v2-MiniCPM".into(),
+            arch: ModelArch::DecoderOnly,
+            scale: Scale::Paper,
+            num_layers: 40,
+            hidden_dim: 2304,
+            num_heads: 36,
+            ffn_dim: 5760,
+            vocab_size: 122_753,
+            max_seq: 512,
+            weight_dtype_bytes: 2,
+            activation_dtype_bytes: 2,
+            residual_alpha: 0.8,
+            residual_decay: 0.90,
+        }
+    }
+
+    /// BGE-Reranker-v2-M3: 24 encoder layers, hidden 1024 (XLM-R large).
+    pub fn bge_m3() -> Self {
+        ModelConfig {
+            name: "Bge-Reranker-v2-M3".into(),
+            arch: ModelArch::EncoderOnly,
+            scale: Scale::Paper,
+            num_layers: 24,
+            hidden_dim: 1024,
+            num_heads: 16,
+            ffn_dim: 4096,
+            vocab_size: 250_002,
+            max_seq: 512,
+            weight_dtype_bytes: 2,
+            activation_dtype_bytes: 2,
+            residual_alpha: 0.8,
+            residual_decay: 0.88,
+        }
+    }
+
+    /// All five paper-scale configs in Table 1 order.
+    pub fn paper_catalog() -> Vec<ModelConfig> {
+        vec![
+            Self::qwen3_0_6b(),
+            Self::qwen3_4b(),
+            Self::qwen3_8b(),
+            Self::bge_minicpm(),
+            Self::bge_m3(),
+        ]
+    }
+
+    /// The executable mini-scale twin of this config: same depth,
+    /// architecture and residual schedule; shrunk widths and vocabulary.
+    pub fn mini_twin(&self) -> ModelConfig {
+        ModelConfig {
+            name: format!("{}-mini", self.name),
+            arch: self.arch,
+            scale: Scale::Mini,
+            num_layers: self.num_layers,
+            hidden_dim: 32,
+            num_heads: 4,
+            ffn_dim: 64,
+            vocab_size: 2048,
+            max_seq: 64,
+            weight_dtype_bytes: 4,
+            activation_dtype_bytes: 4,
+            residual_alpha: self.residual_alpha,
+            residual_decay: self.residual_decay,
+        }
+    }
+
+    /// A tiny config for unit tests: `layers` deep, everything else small.
+    pub fn test_config(arch: ModelArch, layers: usize) -> ModelConfig {
+        ModelConfig {
+            name: format!("test-{layers}l"),
+            arch,
+            scale: Scale::Test,
+            num_layers: layers,
+            hidden_dim: 16,
+            num_heads: 2,
+            ffn_dim: 32,
+            vocab_size: 256,
+            max_seq: 32,
+            weight_dtype_bytes: 4,
+            activation_dtype_bytes: 4,
+            residual_alpha: 0.8,
+            residual_decay: 0.8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalog_matches_table1() {
+        let cat = ModelConfig::paper_catalog();
+        assert_eq!(cat.len(), 5);
+        let qwen06 = &cat[0];
+        assert_eq!(qwen06.num_layers, 28);
+        assert_eq!(qwen06.arch, ModelArch::DecoderOnly);
+        // Paper: "28 Transformer layers (15 M weights each layer)".
+        let per_layer_m = qwen06.layer_params() as f64 / 1e6;
+        assert!((13.0..18.0).contains(&per_layer_m), "per-layer {per_layer_m} M");
+        // Paper: 0.6 B total.
+        let total_b = qwen06.total_params() as f64 / 1e9;
+        assert!((0.5..0.75).contains(&total_b), "total {total_b} B");
+        // Paper §4.4: embedding table ~296 MB at bf16.
+        let emb_mb = qwen06.embedding_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((280.0..320.0).contains(&emb_mb), "embedding {emb_mb} MiB");
+        // Layers dominate weights (paper: >70%).
+        let layer_frac = (qwen06.num_layers as u64 * qwen06.layer_params()) as f64
+            / qwen06.total_params() as f64;
+        assert!(layer_frac > 0.7, "layer fraction {layer_frac}");
+    }
+
+    #[test]
+    fn model_sizes_scale_as_expected() {
+        let b4 = ModelConfig::qwen3_4b().total_params() as f64 / 1e9;
+        let b8 = ModelConfig::qwen3_8b().total_params() as f64 / 1e9;
+        let b2 = ModelConfig::bge_minicpm().total_params() as f64 / 1e9;
+        let m3 = ModelConfig::bge_m3().total_params() as f64 / 1e9;
+        assert!((3.2..5.0).contains(&b4), "4B got {b4}");
+        assert!((6.5..9.5).contains(&b8), "8B got {b8}");
+        assert!((1.8..3.2).contains(&b2), "MiniCPM got {b2}");
+        assert!((0.4..0.8).contains(&m3), "M3 got {m3}");
+    }
+
+    #[test]
+    fn q4_bytes_much_smaller_than_dense() {
+        let c = ModelConfig::qwen3_0_6b();
+        // bf16 -> q4 should be roughly 3.5x smaller (16 bits -> 4.5 bits).
+        let ratio = c.layer_bytes() as f64 / c.layer_bytes_q4() as f64;
+        assert!((3.0..4.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn alpha_decays_geometrically() {
+        let c = ModelConfig::test_config(ModelArch::DecoderOnly, 4);
+        assert!(c.alpha_at(0) > c.alpha_at(1));
+        let r1 = c.alpha_at(1) / c.alpha_at(0);
+        let r2 = c.alpha_at(2) / c.alpha_at(1);
+        assert!((r1 - r2).abs() < 1e-6);
+        assert!((r1 - c.residual_decay).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mini_twin_keeps_depth_and_arch() {
+        let paper = ModelConfig::bge_minicpm();
+        let mini = paper.mini_twin();
+        assert_eq!(mini.num_layers, paper.num_layers);
+        assert_eq!(mini.arch, paper.arch);
+        assert_eq!(mini.scale, Scale::Mini);
+        assert!(mini.total_weight_bytes() < paper.total_weight_bytes() / 100);
+        mini.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_configs() {
+        let mut c = ModelConfig::test_config(ModelArch::EncoderOnly, 2);
+        c.validate().unwrap();
+        c.num_heads = 3;
+        assert!(c.validate().is_err());
+        let mut c = ModelConfig::test_config(ModelArch::EncoderOnly, 2);
+        c.hidden_dim = 0;
+        assert!(c.validate().is_err());
+        let mut c = ModelConfig::test_config(ModelArch::EncoderOnly, 2);
+        c.residual_decay = 2.0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn layer_macs_scale_with_tokens() {
+        let c = ModelConfig::qwen3_0_6b();
+        let one = c.layer_macs(500, 500);
+        let twenty = c.layer_macs(20 * 500, 500);
+        assert_eq!(twenty, 20 * one);
+        // FFN + projections dominate at seq 500 (paper: compute-bound).
+        let d = c.hidden_dim as u64;
+        let proj_ffn = 4 * 500 * d * d + 3 * 500 * d * c.ffn_dim as u64;
+        assert!(proj_ffn as f64 / one as f64 > 0.7);
+    }
+
+    #[test]
+    fn test_config_is_valid_and_tiny() {
+        for arch in [ModelArch::EncoderOnly, ModelArch::DecoderOnly] {
+            let c = ModelConfig::test_config(arch, 6);
+            c.validate().unwrap();
+            assert_eq!(c.num_layers, 6);
+            assert!(c.total_weight_bytes() < 1 << 20);
+        }
+    }
+}

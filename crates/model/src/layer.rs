@@ -1,0 +1,246 @@
+//! Per-layer transformer forward pass over a batch of packed sequences.
+//!
+//! Sequences are packed vertically into one `[total_tokens, D]` hidden
+//! tensor with explicit `(start, end)` row ranges; attention is computed
+//! per sequence (no cross-candidate attention — each query–candidate pair
+//! is an independent input, they merely share the batch). This function is
+//! deliberately free-standing: the PRISM engine calls it with *streamed*
+//! weights it owns for exactly one layer at a time.
+
+use prism_tensor::{ops, Tensor};
+
+use crate::{LayerWeights, ModelArch, ModelConfig, Result};
+
+/// Applies transformer layer `layer_idx` in place on `hidden`.
+///
+/// `ranges` lists each sequence's `[start, end)` rows in `hidden`. The
+/// residual update is scaled by the config's per-layer `α` (DESIGN.md §6),
+/// which is what makes score trajectories converge across depth.
+pub fn forward_layer(
+    config: &ModelConfig,
+    weights: &LayerWeights,
+    layer_idx: usize,
+    hidden: &mut Tensor,
+    ranges: &[(usize, usize)],
+) -> Result<()> {
+    let alpha = config.alpha_at(layer_idx);
+
+    // ---- Attention block (pre-norm) ----
+    let mut normed = hidden.clone();
+    apply_norm(config, &mut normed, &weights.norm1_gain, &weights.norm1_bias)?;
+    let q = weights.wq.apply(&normed)?;
+    let k = weights.wk.apply(&normed)?;
+    let v = weights.wv.apply(&normed)?;
+    let attn = multi_head_attention(config, &q, &k, &v, ranges)?;
+    let attn_out = weights.wo.apply(&attn)?;
+    ops::axpy_inplace(hidden, alpha, &attn_out)?;
+
+    // ---- FFN block (pre-norm, gated) ----
+    let mut normed2 = hidden.clone();
+    apply_norm(config, &mut normed2, &weights.norm2_gain, &weights.norm2_bias)?;
+    let mut gate = weights.w_gate.apply(&normed2)?;
+    let up = weights.w_up.apply(&normed2)?;
+    match config.arch {
+        ModelArch::DecoderOnly => ops::silu_inplace(&mut gate),
+        ModelArch::EncoderOnly => ops::gelu_inplace(&mut gate),
+    }
+    ops::hadamard_inplace(&mut gate, &up)?;
+    let ffn_out = weights.w_down.apply(&gate)?;
+    ops::axpy_inplace(hidden, alpha, &ffn_out)?;
+    Ok(())
+}
+
+/// Applies the architecture's normalization in place.
+pub fn apply_norm(
+    config: &ModelConfig,
+    x: &mut Tensor,
+    gain: &[f32],
+    bias: &[f32],
+) -> Result<()> {
+    match config.arch {
+        ModelArch::DecoderOnly => ops::rms_norm_inplace(x, gain, 1e-6)?,
+        ModelArch::EncoderOnly => ops::layer_norm_inplace(x, gain, bias, 1e-6)?,
+    }
+    Ok(())
+}
+
+fn multi_head_attention(
+    config: &ModelConfig,
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    ranges: &[(usize, usize)],
+) -> Result<Tensor> {
+    let d = config.hidden_dim;
+    let heads = config.num_heads;
+    let hd = d / heads;
+    let scale = 1.0 / (hd as f32).sqrt();
+    let mut out = Tensor::zeros(q.rows(), d);
+    for &(start, end) in ranges {
+        let q_seq = q.slice_rows(start, end)?;
+        let k_seq = k.slice_rows(start, end)?;
+        let v_seq = v.slice_rows(start, end)?;
+        let mut seq_out = Tensor::zeros(end - start, d);
+        for h in 0..heads {
+            let c0 = h * hd;
+            let c1 = c0 + hd;
+            let qh = q_seq.slice_cols(c0, c1)?;
+            let kh = k_seq.slice_cols(c0, c1)?;
+            let vh = v_seq.slice_cols(c0, c1)?;
+            let mut logits = ops::matmul_transb(&qh, &kh)?;
+            ops::scale_inplace(&mut logits, scale);
+            match config.arch {
+                ModelArch::DecoderOnly => ops::causal_softmax_inplace(&mut logits)?,
+                ModelArch::EncoderOnly => ops::softmax_rows_inplace(&mut logits)?,
+            }
+            let oh = ops::matmul(&logits, &vh)?;
+            seq_out.set_cols(c0, &oh)?;
+        }
+        // Copy the per-sequence result into the packed output.
+        for (i, r) in (start..end).enumerate() {
+            let row = seq_out.row(i)?.to_vec();
+            out.row_mut(r)?.copy_from_slice(&row);
+        }
+    }
+    Ok(out)
+}
+
+/// Transient intermediate-tensor bytes needed to run one layer over
+/// `total_tokens` packed tokens with maximum sequence length `max_seq`.
+///
+/// Counts the live set of the implementation above: normed copy, Q/K/V,
+/// per-sequence attention logits, attention output, FFN gate/up. This is
+/// the quantity chunked execution (§4.3) bounds.
+pub fn intermediate_bytes(config: &ModelConfig, total_tokens: usize, max_seq: usize) -> u64 {
+    let d = config.hidden_dim as u64;
+    let f = config.ffn_dim as u64;
+    let t = total_tokens as u64;
+    let s = max_seq as u64;
+    let act = config.activation_dtype_bytes as u64;
+    // normed + q + k + v + attn_concat + attn_out ~ 6 T*D, logits S*S per
+    // head (peak one head at a time) + gate/up 2 T*F.
+    (6 * t * d + s * s + 2 * t * f) * act
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LayerWeights, ModelArch, ModelConfig};
+
+    fn setup(arch: ModelArch) -> (ModelConfig, LayerWeights, Tensor, Vec<(usize, usize)>) {
+        let config = ModelConfig::test_config(arch, 2);
+        let w = LayerWeights::generate(&config, 0, 11);
+        let hidden = Tensor::from_fn(12, config.hidden_dim, |r, c| {
+            ((r * 7 + c * 3) as f32 * 0.13).sin() * 0.5
+        });
+        let ranges = vec![(0, 5), (5, 12)];
+        (config, w, hidden, ranges)
+    }
+
+    #[test]
+    fn forward_changes_hidden_finite() {
+        for arch in [ModelArch::DecoderOnly, ModelArch::EncoderOnly] {
+            let (config, w, mut hidden, ranges) = setup(arch);
+            let before = hidden.clone();
+            forward_layer(&config, &w, 0, &mut hidden, &ranges).unwrap();
+            assert!(hidden.max_abs_diff(&before).unwrap() > 1e-4);
+            assert!(hidden.data().iter().all(|x| x.is_finite()));
+        }
+    }
+
+    #[test]
+    fn sequences_are_independent() {
+        // Forwarding two sequences together must equal forwarding them
+        // separately: no information may leak across candidates.
+        let (config, w, hidden, ranges) = setup(ModelArch::DecoderOnly);
+        let mut joint = hidden.clone();
+        forward_layer(&config, &w, 0, &mut joint, &ranges).unwrap();
+
+        let mut first = hidden.slice_rows(0, 5).unwrap();
+        forward_layer(&config, &w, 0, &mut first, &[(0, 5)]).unwrap();
+        let mut second = hidden.slice_rows(5, 12).unwrap();
+        forward_layer(&config, &w, 0, &mut second, &[(0, 7)]).unwrap();
+
+        let sep = Tensor::vcat(&[&first, &second]).unwrap();
+        assert!(joint.max_abs_diff(&sep).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn causal_masking_blocks_future_influence() {
+        // For decoder models, perturbing the last token must not change
+        // earlier tokens' outputs.
+        let (config, w, hidden, _) = setup(ModelArch::DecoderOnly);
+        let ranges = vec![(0, 12)];
+        let mut a = hidden.clone();
+        forward_layer(&config, &w, 0, &mut a, &ranges).unwrap();
+
+        let mut perturbed = hidden.clone();
+        for c in 0..config.hidden_dim {
+            *perturbed.at_mut(11, c) += 1.0;
+        }
+        let mut b = perturbed.clone();
+        forward_layer(&config, &w, 0, &mut b, &ranges).unwrap();
+
+        let a_prefix = a.slice_rows(0, 11).unwrap();
+        let b_prefix = b.slice_rows(0, 11).unwrap();
+        assert!(a_prefix.max_abs_diff(&b_prefix).unwrap() < 1e-5);
+    }
+
+    #[test]
+    fn bidirectional_attention_propagates_everywhere() {
+        // For encoder models, perturbing the last token must change earlier
+        // tokens' outputs.
+        let (config, w, hidden, _) = setup(ModelArch::EncoderOnly);
+        let ranges = vec![(0, 12)];
+        let mut a = hidden.clone();
+        forward_layer(&config, &w, 0, &mut a, &ranges).unwrap();
+        let mut perturbed = hidden.clone();
+        // A single-dimension bump: LayerNorm is shift-invariant, so a
+        // uniform bump across all dims would be normalized away.
+        *perturbed.at_mut(11, 3) += 2.0;
+        let mut b = perturbed.clone();
+        forward_layer(&config, &w, 0, &mut b, &ranges).unwrap();
+        let a_prefix = a.slice_rows(0, 11).unwrap();
+        let b_prefix = b.slice_rows(0, 11).unwrap();
+        assert!(a_prefix.max_abs_diff(&b_prefix).unwrap() > 1e-5);
+    }
+
+    #[test]
+    fn residual_decay_shrinks_updates() {
+        let (config, w, hidden, ranges) = setup(ModelArch::DecoderOnly);
+        // Same weights at layer 0 vs layer 8: the deeper application must
+        // change hidden strictly less (alpha decays).
+        let mut early = hidden.clone();
+        forward_layer(&config, &w, 0, &mut early, &ranges).unwrap();
+        let mut late = hidden.clone();
+        forward_layer(&config, &w, 8, &mut late, &ranges).unwrap();
+        let delta_early = early.max_abs_diff(&hidden).unwrap();
+        let delta_late = late.max_abs_diff(&hidden).unwrap();
+        assert!(
+            delta_late < delta_early * 0.5,
+            "early {delta_early} late {delta_late}"
+        );
+    }
+
+    #[test]
+    fn quantized_layer_close_to_dense() {
+        let (config, w, hidden, ranges) = setup(ModelArch::DecoderOnly);
+        let wq = w.quantize().unwrap();
+        let mut dense = hidden.clone();
+        forward_layer(&config, &w, 0, &mut dense, &ranges).unwrap();
+        let mut quant = hidden.clone();
+        forward_layer(&config, &wq, 0, &mut quant, &ranges).unwrap();
+        let diff = dense.max_abs_diff(&quant).unwrap();
+        assert!(diff < 0.15, "quantization divergence {diff}");
+    }
+
+    #[test]
+    fn intermediate_bytes_scales_linearly_in_tokens() {
+        let config = ModelConfig::test_config(ModelArch::DecoderOnly, 2);
+        let one = intermediate_bytes(&config, 100, 50);
+        let ten = intermediate_bytes(&config, 1000, 50);
+        // Linear in tokens up to the fixed per-sequence logits term.
+        assert!(ten > one * 8, "one {one} ten {ten}");
+        assert!(ten < one * 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! The planted semantic convention shared by weight generation and the
+//! workload generator.
+//!
+//! Real rerankers learn to map token content to relevance. Without trained
+//! checkpoints we *plant* that mapping (DESIGN.md §2, §6): every vocabulary
+//! id carries a deterministic scalar signal; the candidate generator
+//! composes token sequences whose mean signal equals the intended
+//! relevance, and generated model weights amplify the signal dimension so
+//! the classifier can read it back. Both sides must agree on the
+//! convention, which is exactly what this module pins down.
+
+/// Hidden-state dimension the classifier reads (the *readout*). It starts
+/// at zero in the embedding and accumulates relevance evidence across
+/// layers, so scores begin homogeneous and progressively diverge —
+/// Fig. 2a's shape.
+pub const SIGNAL_DIM: usize = 0;
+
+/// Hidden-state dimension holding the raw token signal (the *source*
+/// reservoir). Planted at embedding time and kept stable across layers;
+/// attention averaging over it denoises token noise toward the
+/// candidate's mean relevance, and the value/output projections feed it
+/// into the readout with a per-layer gain. The source never feeds itself,
+/// so the dynamics are convergent rather than explosive.
+pub const SOURCE_DIM: usize = 1;
+
+/// Fraction of the vocabulary that is strongly on-topic (signal `+1`).
+pub const TOPIC_FRACTION: f64 = 0.10;
+
+/// Fraction of the vocabulary that is strongly off-topic (signal `-1`).
+pub const ANTI_TOPIC_FRACTION: f64 = 0.10;
+
+/// Scale applied to the signal when planted into the source dimension of
+/// embedding rows.
+pub const EMBED_SIGNAL_SCALE: f32 = 0.10;
+
+/// Per-layer gain of the source→readout path planted into the attention
+/// value/output projections (`Wo[SIGNAL_DIM][SOURCE_DIM] · Wv[SOURCE_DIM][SOURCE_DIM]`).
+pub const LAYER_SIGNAL_GAIN: f32 = 1.0;
+
+/// Magnitude of the per-token hash noise planted into the readout
+/// dimension of embedding rows. This is what makes stabilization
+/// *progressive* (coarse-to-fine): initial rankings are noise-dominated,
+/// and a candidate pair stays in flux until the accumulated relevance
+/// signal exceeds its noise gap — wide-gap pairs resolve in early layers,
+/// fine-gap pairs only deep in the stack (Fig. 2a).
+pub const EMBED_READOUT_NOISE: f32 = 0.02;
+
+/// Scale of the FFN's random contribution to the readout dimension —
+/// the per-layer "flux" that keeps close candidates reordering. It decays
+/// with the residual α, so rankings progressively stabilize; raising it
+/// pushes stabilization deeper into the stack.
+pub const READOUT_DRIFT_SCALE: f32 = 1.5;
+
+/// Deterministic per-token readout noise in `[-EMBED_READOUT_NOISE,
+/// EMBED_READOUT_NOISE]`.
+pub fn token_readout_noise(token: u32) -> f32 {
+    let mut x = u64::from(token).wrapping_mul(0xD134_2543_DE82_EF95);
+    x ^= x >> 29;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 32;
+    let unit = (x >> 11) as f64 / (1_u64 << 53) as f64;
+    ((unit * 2.0 - 1.0) as f32) * EMBED_READOUT_NOISE
+}
+
+/// Deterministic token signal in `[-1, 1]`.
+///
+/// Ids in the first [`TOPIC_FRACTION`] of the vocabulary are fully
+/// on-topic, the next [`ANTI_TOPIC_FRACTION`] fully off-topic, and the rest
+/// carry a small hash-derived residual signal so "background" text is noisy
+/// rather than neutral.
+pub fn token_signal(token: u32, vocab_size: usize) -> f32 {
+    let v = vocab_size.max(1) as u64;
+    let t = u64::from(token) % v;
+    let topic_end = (v as f64 * TOPIC_FRACTION) as u64;
+    let anti_end = topic_end + (v as f64 * ANTI_TOPIC_FRACTION) as u64;
+    if t < topic_end.max(1) {
+        1.0
+    } else if t < anti_end {
+        -1.0
+    } else {
+        // splitmix64-style hash -> [-0.3, 0.3].
+        let mut x = t.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        let unit = (x >> 11) as f64 / (1_u64 << 53) as f64; // [0, 1)
+        ((unit * 2.0 - 1.0) * 0.3) as f32
+    }
+}
+
+/// First token id that is on-topic (always 0) and one-past-the-last.
+pub fn topic_token_range(vocab_size: usize) -> (u32, u32) {
+    let v = vocab_size.max(1) as f64;
+    (0, (v * TOPIC_FRACTION).max(1.0) as u32)
+}
+
+/// Range of off-topic token ids.
+pub fn anti_topic_token_range(vocab_size: usize) -> (u32, u32) {
+    let (_, topic_end) = topic_token_range(vocab_size);
+    let v = vocab_size.max(1) as f64;
+    (topic_end, topic_end + (v * ANTI_TOPIC_FRACTION) as u32)
+}
+
+/// Range of background token ids (hash-signal residual).
+pub fn background_token_range(vocab_size: usize) -> (u32, u32) {
+    let (_, anti_end) = anti_topic_token_range(vocab_size);
+    (anti_end, vocab_size as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bands_are_consistent() {
+        let v = 1000;
+        let (t0, t1) = topic_token_range(v);
+        let (a0, a1) = anti_topic_token_range(v);
+        let (b0, b1) = background_token_range(v);
+        assert_eq!(t0, 0);
+        assert_eq!(t1, a0);
+        assert_eq!(a1, b0);
+        assert_eq!(b1, v as u32);
+        assert_eq!(t1, 100);
+        assert_eq!(a1, 200);
+    }
+
+    #[test]
+    fn signals_match_bands() {
+        let v = 1000;
+        assert_eq!(token_signal(5, v), 1.0);
+        assert_eq!(token_signal(99, v), 1.0);
+        assert_eq!(token_signal(150, v), -1.0);
+        let bg = token_signal(500, v);
+        assert!(bg.abs() <= 0.3);
+    }
+
+    #[test]
+    fn signal_is_deterministic() {
+        for t in [0_u32, 17, 250, 999] {
+            assert_eq!(token_signal(t, 1000), token_signal(t, 1000));
+        }
+    }
+
+    #[test]
+    fn background_signal_averages_near_zero() {
+        let v = 4096;
+        let (b0, b1) = background_token_range(v);
+        let mean: f32 =
+            (b0..b1).map(|t| token_signal(t, v)).sum::<f32>() / (b1 - b0) as f32;
+        assert!(mean.abs() < 0.02, "background mean {mean}");
+    }
+
+    #[test]
+    fn tiny_vocab_does_not_panic() {
+        assert_eq!(token_signal(0, 1), 1.0);
+        let (t0, t1) = topic_token_range(1);
+        assert!(t1 > t0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for storage operations.
+
+use std::fmt;
+
+/// Errors produced by container parsing, streaming and caching.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// The file does not start with the `PRSM` magic or is structurally
+    /// invalid.
+    BadFormat {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A requested section name is absent from the container.
+    MissingSection {
+        /// The section that was requested.
+        name: String,
+    },
+    /// A section exists but has the wrong kind/shape for the request.
+    SectionMismatch {
+        /// The section that was requested.
+        name: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The background I/O thread disappeared (panic or channel closed).
+    StreamerGone,
+    /// Tensor-level error while decoding a section.
+    Tensor(prism_tensor::TensorError),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "I/O error: {e}"),
+            StorageError::BadFormat { reason } => write!(f, "bad container format: {reason}"),
+            StorageError::MissingSection { name } => write!(f, "missing section: {name}"),
+            StorageError::SectionMismatch { name, reason } => {
+                write!(f, "section {name} mismatch: {reason}")
+            }
+            StorageError::StreamerGone => write!(f, "layer streamer I/O thread terminated"),
+            StorageError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            StorageError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+impl From<prism_tensor::TensorError> for StorageError {
+    fn from(e: prism_tensor::TensorError) -> Self {
+        StorageError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = StorageError::MissingSection { name: "layer.3".into() };
+        assert!(e.to_string().contains("layer.3"));
+        let e = StorageError::BadFormat { reason: "truncated".into() };
+        assert!(e.to_string().contains("truncated"));
+        let e = StorageError::StreamerGone;
+        assert!(e.to_string().contains("thread"));
+    }
+
+    #[test]
+    fn io_error_source_preserved() {
+        let inner = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e = StorageError::from(inner);
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,265 @@
+//! Slot-based spill files for offloaded hidden states (§4.3).
+//!
+//! Under extreme memory pressure PRISM offloads per-chunk hidden states to
+//! disk, keeping at most three chunks resident (computing / offloading /
+//! prefetching). [`SpillFile`] provides the disk side: fixed-size slots in a
+//! scratch file, written and read back with positioned I/O, with byte
+//! accounting for the memory model.
+
+use std::fs::{File, OpenOptions};
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use prism_tensor::Tensor;
+
+use crate::{Result, StorageError, Throttle};
+
+/// A scratch file divided into equal `f32` slots for spilled tensors.
+pub struct SpillFile {
+    path: PathBuf,
+    file: File,
+    slot_floats: usize,
+    slots: usize,
+    /// Shape of the tensor stored in each occupied slot.
+    shapes: Vec<Option<(usize, usize)>>,
+    throttle: Throttle,
+    write_micros: u64,
+    read_micros: u64,
+    bytes_written: u64,
+    bytes_read: u64,
+}
+
+impl SpillFile {
+    /// Creates a spill file at `path` with `slots` slots of `slot_floats`
+    /// `f32` elements each.
+    pub fn create(
+        path: impl AsRef<Path>,
+        slots: usize,
+        slot_floats: usize,
+        throttle: Throttle,
+    ) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        file.set_len((slots * slot_floats * 4) as u64)?;
+        Ok(SpillFile {
+            path,
+            file,
+            slot_floats,
+            slots,
+            shapes: vec![None; slots],
+            throttle,
+            write_micros: 0,
+            read_micros: 0,
+            bytes_written: 0,
+            bytes_read: 0,
+        })
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Capacity of each slot in `f32` elements.
+    pub fn slot_floats(&self) -> usize {
+        self.slot_floats
+    }
+
+    /// Total bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Total bytes read back so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Microseconds spent in spill writes.
+    pub fn write_micros(&self) -> u64 {
+        self.write_micros
+    }
+
+    /// Microseconds spent in spill reads.
+    pub fn read_micros(&self) -> u64 {
+        self.read_micros
+    }
+
+    /// Writes `tensor` into `slot`, replacing previous contents.
+    pub fn offload(&mut self, slot: usize, tensor: &Tensor) -> Result<()> {
+        if slot >= self.slots {
+            return Err(StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!("slot {slot} out of {}", self.slots),
+            });
+        }
+        if tensor.len() > self.slot_floats {
+            return Err(StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!(
+                    "tensor of {} floats exceeds slot capacity {}",
+                    tensor.len(),
+                    self.slot_floats
+                ),
+            });
+        }
+        let start = Instant::now();
+        let mut bytes = Vec::with_capacity(tensor.len() * 4);
+        for &v in tensor.data() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        write_at(&mut self.file, (slot * self.slot_floats * 4) as u64, &bytes)?;
+        self.throttle.pace(start, bytes.len() as u64);
+        self.write_micros += start.elapsed().as_micros() as u64;
+        self.bytes_written += bytes.len() as u64;
+        self.shapes[slot] = Some(tensor.shape());
+        Ok(())
+    }
+
+    /// Reads the tensor stored in `slot` back into memory.
+    pub fn fetch(&mut self, slot: usize) -> Result<Tensor> {
+        if slot >= self.slots {
+            return Err(StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!("slot {slot} out of {}", self.slots),
+            });
+        }
+        let (rows, cols) = self.shapes[slot].ok_or_else(|| StorageError::SectionMismatch {
+            name: "spill".into(),
+            reason: format!("slot {slot} is empty"),
+        })?;
+        let start = Instant::now();
+        let mut bytes = vec![0_u8; rows * cols * 4];
+        read_at(&self.file, (slot * self.slot_floats * 4) as u64, &mut bytes)?;
+        self.throttle.pace(start, bytes.len() as u64);
+        self.read_micros += start.elapsed().as_micros() as u64;
+        self.bytes_read += bytes.len() as u64;
+        let mut data = Vec::with_capacity(rows * cols);
+        for chunk in bytes.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
+        Ok(Tensor::from_vec(rows, cols, data)?)
+    }
+
+    /// Marks a slot empty (no I/O).
+    pub fn release(&mut self, slot: usize) {
+        if slot < self.slots {
+            self.shapes[slot] = None;
+        }
+    }
+
+    /// Removes the backing scratch file.
+    pub fn cleanup(self) -> Result<()> {
+        drop(self.file);
+        std::fs::remove_file(&self.path)?;
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+}
+
+#[cfg(unix)]
+fn write_at(file: &mut File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
+    use std::os::unix::fs::FileExt;
+    file.write_all_at(buf, offset)
+}
+
+#[cfg(not(unix))]
+fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.read_exact(buf)
+}
+
+#[cfg(not(unix))]
+fn write_at(file: &mut File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom};
+    file.seek(SeekFrom::Start(offset))?;
+    file.write_all(buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prism-spill-{}-{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn offload_fetch_round_trip() {
+        let path = tmp("rt");
+        let mut spill = SpillFile::create(&path, 3, 64, Throttle::unlimited()).unwrap();
+        let t = Tensor::from_fn(4, 8, |r, c| (r * 8 + c) as f32 * 0.25);
+        spill.offload(1, &t).unwrap();
+        let back = spill.fetch(1).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(spill.bytes_written(), 4 * 8 * 4);
+        assert_eq!(spill.bytes_read(), 4 * 8 * 4);
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn slots_are_independent() {
+        let path = tmp("indep");
+        let mut spill = SpillFile::create(&path, 2, 16, Throttle::unlimited()).unwrap();
+        let a = Tensor::full(2, 8, 1.0);
+        let b = Tensor::full(4, 4, 2.0);
+        spill.offload(0, &a).unwrap();
+        spill.offload(1, &b).unwrap();
+        assert_eq!(spill.fetch(0).unwrap(), a);
+        assert_eq!(spill.fetch(1).unwrap(), b);
+        // Overwrite keeps the new shape.
+        spill.offload(0, &b).unwrap();
+        assert_eq!(spill.fetch(0).unwrap(), b);
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn oversize_and_bad_slot_rejected() {
+        let path = tmp("bad");
+        let mut spill = SpillFile::create(&path, 1, 8, Throttle::unlimited()).unwrap();
+        let big = Tensor::zeros(3, 3);
+        assert!(spill.offload(0, &big).is_err());
+        let ok = Tensor::zeros(2, 4);
+        assert!(spill.offload(1, &ok).is_err());
+        assert!(spill.fetch(0).is_err(), "empty slot fetch must fail");
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn release_empties_slot() {
+        let path = tmp("release");
+        let mut spill = SpillFile::create(&path, 1, 8, Throttle::unlimited()).unwrap();
+        spill.offload(0, &Tensor::zeros(2, 4)).unwrap();
+        spill.release(0);
+        assert!(spill.fetch(0).is_err());
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn throttled_spill_takes_time() {
+        let path = tmp("throttle");
+        // 1 MB/s: a 1 KiB write should take ~1 ms.
+        let mut spill = SpillFile::create(&path, 1, 256, Throttle::bandwidth(1 << 20)).unwrap();
+        let t = Tensor::zeros(16, 16);
+        let start = Instant::now();
+        spill.offload(0, &t).unwrap();
+        assert!(start.elapsed().as_micros() >= 900);
+        assert!(spill.write_micros() >= 900);
+        spill.cleanup().unwrap();
+    }
+}

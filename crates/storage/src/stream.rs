@@ -1,0 +1,391 @@
+//! Overlapped layer streaming: the dual-buffer weight prefetcher (§4.2).
+//!
+//! A [`LayerStreamer`] owns a background I/O thread and a small pool of
+//! reusable byte buffers (two by default — the paper's "dual-layer sliding
+//! window"). Sections are prefetched in order: while the consumer computes
+//! on section *i*, the I/O thread fills a free buffer with section *i+1*.
+//! Returning a consumed section recycles its buffer, which immediately
+//! triggers the prefetch of section *i+2*.
+//!
+//! The streamer records how long the consumer actually blocked in
+//! [`LayerStreamer::next`] versus how long the I/O thread spent reading, so
+//! experiments can quantify the overlap window directly.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+
+use crate::{Container, Result, SectionMeta, StorageError, Throttle};
+
+/// A section payload handed to the consumer.
+#[derive(Debug)]
+pub struct LoadedSection {
+    /// Index into the streamed section list.
+    pub index: usize,
+    /// Metadata of the loaded section.
+    pub meta: SectionMeta,
+    /// The payload bytes (recycled buffer; length == `meta.len`).
+    pub bytes: Vec<u8>,
+    /// Time the I/O thread spent filling this buffer, in microseconds.
+    pub io_micros: u64,
+}
+
+/// Aggregate streaming statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// Sections delivered so far.
+    pub sections: u64,
+    /// Total bytes read from disk.
+    pub bytes: u64,
+    /// Total microseconds the I/O thread spent in reads.
+    pub io_micros: u64,
+    /// Total microseconds the consumer blocked waiting in `next()`.
+    pub wait_micros: u64,
+}
+
+impl StreamStats {
+    /// Fraction of I/O time hidden behind computation, in `[0, 1]`.
+    ///
+    /// `1.0` means the consumer never waited (perfect overlap, the paper's
+    /// "no latency penalty" claim); `0.0` means fully synchronous I/O.
+    pub fn overlap_efficiency(&self) -> f64 {
+        if self.io_micros == 0 {
+            return 1.0;
+        }
+        let hidden = self.io_micros.saturating_sub(self.wait_micros);
+        hidden as f64 / self.io_micros as f64
+    }
+}
+
+enum IoRequest {
+    Load { index: usize, buffer: Vec<u8> },
+    Shutdown,
+}
+
+struct IoResponse {
+    index: usize,
+    meta: SectionMeta,
+    bytes: Vec<u8>,
+    io_micros: u64,
+    error: Option<StorageError>,
+}
+
+/// Dual-buffer streaming prefetcher over an ordered list of sections.
+pub struct LayerStreamer {
+    req_tx: Sender<IoRequest>,
+    resp_rx: Receiver<IoResponse>,
+    io_thread: Option<std::thread::JoinHandle<()>>,
+    total_sections: usize,
+    next_to_schedule: usize,
+    next_to_deliver: usize,
+    buffer_bytes: usize,
+    stats: StreamStats,
+    /// Out-of-order arrivals parked until their turn.
+    parked: Vec<IoResponse>,
+}
+
+impl LayerStreamer {
+    /// Creates a streamer over the named sections of `container`, in order.
+    ///
+    /// `depth` is the number of in-flight buffers (the paper uses 2: one
+    /// computing, one loading). The container handle is reopened so the I/O
+    /// thread owns an independent file cursor.
+    pub fn new(
+        container: &Container,
+        section_names: &[String],
+        depth: usize,
+        throttle: Throttle,
+    ) -> Result<Self> {
+        let depth = depth.max(1);
+        let metas: Vec<SectionMeta> = section_names
+            .iter()
+            .map(|n| container.section(n).cloned())
+            .collect::<Result<_>>()?;
+        let io_container = container.reopen()?;
+        let metas = Arc::new(metas);
+        let (req_tx, req_rx) = bounded::<IoRequest>(depth + 1);
+        let (resp_tx, resp_rx) = bounded::<IoResponse>(depth + 1);
+        let thread_metas = Arc::clone(&metas);
+        let io_thread = std::thread::Builder::new()
+            .name("prism-io".into())
+            .spawn(move || {
+                io_loop(&io_container, &thread_metas, throttle, &req_rx, &resp_tx);
+            })
+            .map_err(StorageError::Io)?;
+
+        let mut streamer = LayerStreamer {
+            req_tx,
+            resp_rx,
+            io_thread: Some(io_thread),
+            total_sections: metas.len(),
+            next_to_schedule: 0,
+            next_to_deliver: 0,
+            buffer_bytes: 0,
+            stats: StreamStats::default(),
+            parked: Vec::new(),
+        };
+        // Prime the pipeline with `depth` buffers.
+        for _ in 0..depth {
+            streamer.schedule(Vec::new())?;
+        }
+        Ok(streamer)
+    }
+
+    fn schedule(&mut self, buffer: Vec<u8>) -> Result<()> {
+        if self.next_to_schedule >= self.total_sections {
+            // Nothing left; drop the buffer.
+            self.buffer_bytes = self.buffer_bytes.saturating_sub(buffer.capacity());
+            return Ok(());
+        }
+        self.buffer_bytes = self.buffer_bytes.saturating_sub(buffer.capacity());
+        let index = self.next_to_schedule;
+        self.next_to_schedule += 1;
+        self.req_tx
+            .send(IoRequest::Load { index, buffer })
+            .map_err(|_| StorageError::StreamerGone)
+    }
+
+    /// Delivers the next section in order, blocking until it is loaded.
+    ///
+    /// Returns `Ok(None)` once all sections have been delivered.
+    // The streamer is deliberately not an `Iterator`: `next` is fallible
+    // and buffers must flow back through `recycle`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<LoadedSection>> {
+        if self.next_to_deliver >= self.total_sections {
+            return Ok(None);
+        }
+        let wanted = self.next_to_deliver;
+        let wait_start = Instant::now();
+        let resp = loop {
+            if let Some(pos) = self.parked.iter().position(|r| r.index == wanted) {
+                break self.parked.swap_remove(pos);
+            }
+            let resp = self.resp_rx.recv().map_err(|_| StorageError::StreamerGone)?;
+            if resp.index == wanted {
+                break resp;
+            }
+            self.parked.push(resp);
+        };
+        self.stats.wait_micros += wait_start.elapsed().as_micros() as u64;
+        if let Some(err) = resp.error {
+            return Err(err);
+        }
+        self.next_to_deliver += 1;
+        self.stats.sections += 1;
+        self.stats.bytes += resp.meta.len;
+        self.stats.io_micros += resp.io_micros;
+        self.buffer_bytes += resp.bytes.capacity();
+        Ok(Some(LoadedSection {
+            index: resp.index,
+            meta: resp.meta,
+            bytes: resp.bytes,
+            io_micros: resp.io_micros,
+        }))
+    }
+
+    /// Returns a consumed section's buffer to the pool, immediately
+    /// scheduling the next outstanding section into it.
+    pub fn recycle(&mut self, section: LoadedSection) -> Result<()> {
+        self.schedule(section.bytes)
+    }
+
+    /// Streaming statistics so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// Peak bytes held in consumer-visible buffers right now.
+    pub fn buffered_bytes(&self) -> usize {
+        self.buffer_bytes
+    }
+}
+
+impl Drop for LayerStreamer {
+    fn drop(&mut self) {
+        let _ = self.req_tx.send(IoRequest::Shutdown);
+        // Drain any outstanding responses so the I/O thread can exit its send.
+        while self.resp_rx.try_recv().is_ok() {}
+        if let Some(handle) = self.io_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn io_loop(
+    container: &Container,
+    metas: &[SectionMeta],
+    throttle: Throttle,
+    req_rx: &Receiver<IoRequest>,
+    resp_tx: &Sender<IoResponse>,
+) {
+    while let Ok(req) = req_rx.recv() {
+        match req {
+            IoRequest::Shutdown => break,
+            IoRequest::Load { index, mut buffer } => {
+                let meta = metas[index].clone();
+                let start = Instant::now();
+                buffer.resize(meta.len as usize, 0);
+                let error = container.read_range(&meta, 0, &mut buffer).err();
+                throttle.pace(start, meta.len);
+                let io_micros = start.elapsed().as_micros() as u64;
+                let resp = IoResponse {
+                    index,
+                    meta,
+                    bytes: buffer,
+                    io_micros,
+                    error,
+                };
+                if resp_tx.send(resp).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ContainerWriter, SectionKind};
+    use std::path::PathBuf;
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("prism-stream-{}-{}", std::process::id(), name));
+        p
+    }
+
+    fn make_container(path: &PathBuf, layers: usize, bytes_per_layer: usize) -> Container {
+        let mut w = ContainerWriter::create(path);
+        for i in 0..layers {
+            let payload = vec![i as u8; bytes_per_layer];
+            w.add_raw(&format!("layer.{i}"), SectionKind::Raw, 0, 0, payload);
+        }
+        w.finish().unwrap();
+        Container::open(path).unwrap()
+    }
+
+    fn layer_names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("layer.{i}")).collect()
+    }
+
+    #[test]
+    fn streams_all_sections_in_order() {
+        let path = tmp("order");
+        let c = make_container(&path, 6, 128);
+        let mut s = LayerStreamer::new(&c, &layer_names(6), 2, Throttle::unlimited()).unwrap();
+        for i in 0..6 {
+            let sec = s.next().unwrap().expect("section available");
+            assert_eq!(sec.index, i);
+            assert_eq!(sec.meta.name, format!("layer.{i}"));
+            assert!(sec.bytes.iter().all(|&b| b == i as u8));
+            s.recycle(sec).unwrap();
+        }
+        assert!(s.next().unwrap().is_none());
+        assert_eq!(s.stats().sections, 6);
+        assert_eq!(s.stats().bytes, 6 * 128);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn overlap_hides_io_when_compute_dominates() {
+        let path = tmp("overlap");
+        let per_layer = 64 * 1024;
+        let c = make_container(&path, 8, per_layer);
+        // ~8 MB/s -> 8 ms per 64 KiB layer.
+        let throttle = Throttle::bandwidth(8 * 1024 * 1024);
+        let mut s = LayerStreamer::new(&c, &layer_names(8), 2, throttle).unwrap();
+        let mut checksum = 0_u64;
+        for _ in 0..8 {
+            let sec = s.next().unwrap().unwrap();
+            // "Compute" longer than one layer's I/O time.
+            let start = Instant::now();
+            while start.elapsed() < std::time::Duration::from_millis(12) {
+                checksum = checksum.wrapping_add(sec.bytes.iter().map(|&b| b as u64).sum::<u64>());
+            }
+            s.recycle(sec).unwrap();
+        }
+        let stats = s.stats();
+        // First layer is never hidden, the remaining seven should be.
+        assert!(
+            stats.overlap_efficiency() > 0.5,
+            "overlap efficiency too low: {:?} (checksum {checksum})",
+            stats
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn exposes_wait_when_io_dominates() {
+        let path = tmp("iowait");
+        let per_layer = 256 * 1024;
+        let c = make_container(&path, 4, per_layer);
+        // 2 MB/s -> 128 ms per layer, while compute is ~zero.
+        let throttle = Throttle::bandwidth(2 * 1024 * 1024);
+        let mut s = LayerStreamer::new(&c, &layer_names(4), 2, throttle).unwrap();
+        while let Some(sec) = s.next().unwrap() {
+            s.recycle(sec).unwrap();
+        }
+        let stats = s.stats();
+        assert!(stats.wait_micros > 100_000, "wait too small: {stats:?}");
+        assert!(stats.overlap_efficiency() < 0.9);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn depth_bounds_resident_buffers() {
+        let path = tmp("depth");
+        let per_layer = 32 * 1024;
+        let c = make_container(&path, 10, per_layer);
+        let mut s = LayerStreamer::new(&c, &layer_names(10), 2, Throttle::unlimited()).unwrap();
+        let mut max_live = 0_usize;
+        for _ in 0..10 {
+            let sec = s.next().unwrap().unwrap();
+            max_live = max_live.max(s.buffered_bytes());
+            s.recycle(sec).unwrap();
+        }
+        // Consumer-visible buffers never exceed ~one layer (the other buffer
+        // lives inside the I/O pipeline).
+        assert!(max_live <= 2 * per_layer, "max_live {max_live}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_section_fails_fast() {
+        let path = tmp("missing");
+        let c = make_container(&path, 2, 16);
+        let err = LayerStreamer::new(
+            &c,
+            &["layer.0".to_string(), "nope".to_string()],
+            2,
+            Throttle::unlimited(),
+        );
+        assert!(err.is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn drop_mid_stream_is_clean() {
+        let path = tmp("dropmid");
+        let c = make_container(&path, 8, 64 * 1024);
+        let mut s = LayerStreamer::new(&c, &layer_names(8), 2, Throttle::bandwidth(4 << 20)).unwrap();
+        let sec = s.next().unwrap().unwrap();
+        drop(sec);
+        drop(s); // Must join the I/O thread without deadlock.
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_overlap_efficiency_edge_cases() {
+        let empty = StreamStats::default();
+        assert_eq!(empty.overlap_efficiency(), 1.0);
+        let all_hidden = StreamStats { sections: 2, bytes: 10, io_micros: 100, wait_micros: 0 };
+        assert_eq!(all_hidden.overlap_efficiency(), 1.0);
+        let none_hidden = StreamStats { sections: 2, bytes: 10, io_micros: 100, wait_micros: 100 };
+        assert_eq!(none_hidden.overlap_efficiency(), 0.0);
+        let over = StreamStats { sections: 1, bytes: 1, io_micros: 50, wait_micros: 80 };
+        assert_eq!(over.overlap_efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Failure injection: corrupted containers, truncation, concurrent access.
+
+use prism_storage::{Container, ContainerWriter, LayerStreamer, SectionKind, Throttle};
+use prism_tensor::Tensor;
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("prism-failinj-{tag}-{}", std::process::id()));
+    p
+}
+
+fn write_container(path: &std::path::Path, layers: usize) {
+    let mut w = ContainerWriter::create(path);
+    for i in 0..layers {
+        w.add_raw(&format!("layer.{i}"), SectionKind::Raw, 0, 0, vec![i as u8; 4096]);
+    }
+    w.add_f32("embedding", &Tensor::from_fn(16, 4, |r, c| (r * 4 + c) as f32));
+    w.finish().unwrap();
+}
+
+#[test]
+fn every_truncation_point_fails_cleanly() {
+    // Truncating the file anywhere must produce an error from open or
+    // read, never a panic or silent garbage.
+    let path = tmp("trunc");
+    write_container(&path, 3);
+    let bytes = std::fs::read(&path).unwrap();
+    for cut in [1, 4, 9, 16, 40, bytes.len() / 2, bytes.len() - 1] {
+        let cut_path = tmp(&format!("trunc-cut{cut}"));
+        std::fs::write(&cut_path, &bytes[..cut]).unwrap();
+        match Container::open(&cut_path) {
+            Err(_) => {}
+            Ok(c) => {
+                // Header may fit; payload reads must then fail.
+                let mut failed = false;
+                let mut buf = Vec::new();
+                for s in c.sections().to_vec() {
+                    if c.read_section_into(&s.name, &mut buf).is_err() {
+                        failed = true;
+                    }
+                }
+                assert!(failed, "cut at {cut}: all reads succeeded on truncated file");
+            }
+        }
+        std::fs::remove_file(&cut_path).unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn bitflips_in_header_fail_cleanly() {
+    let path = tmp("bitflip");
+    write_container(&path, 2);
+    let bytes = std::fs::read(&path).unwrap();
+    for pos in [0_usize, 3, 8, 10, 13, 20] {
+        let mut corrupted = bytes.clone();
+        corrupted[pos] ^= 0xFF;
+        let bad = tmp(&format!("bitflip-{pos}"));
+        std::fs::write(&bad, &corrupted).unwrap();
+        // Must not panic; errors are fine, and a still-parsable header is
+        // also fine as long as section reads stay within bounds.
+        if let Ok(c) = Container::open(&bad) {
+            let mut buf = Vec::new();
+            for s in c.sections().to_vec() {
+                let _ = c.read_section_into(&s.name, &mut buf);
+            }
+        }
+        std::fs::remove_file(&bad).unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn streamer_surfaces_io_errors_without_hanging() {
+    // Delete the file mid-stream: next() must eventually error or finish,
+    // not deadlock (page cache may serve some reads).
+    let path = tmp("delete-mid");
+    write_container(&path, 8);
+    let c = Container::open(&path).unwrap();
+    let names: Vec<String> = (0..8).map(|i| format!("layer.{i}")).collect();
+    let mut s = LayerStreamer::new(&c, &names, 2, Throttle::unlimited()).unwrap();
+    let first = s.next().unwrap().expect("first section");
+    s.recycle(first).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    // Unix keeps the inode alive through the open fd; the stream should
+    // complete (or error) — either way, terminate.
+    let mut delivered = 1;
+    while let Ok(Some(sec)) = s.next() {
+        delivered += 1;
+        if s.recycle(sec).is_err() {
+            break;
+        }
+    }
+    assert!(delivered >= 1);
+}
+
+#[test]
+fn concurrent_streamers_share_one_container_file() {
+    // Two streamers over the same file must not interfere (independent
+    // handles, positioned reads).
+    let path = tmp("concurrent");
+    write_container(&path, 6);
+    let c = Container::open(&path).unwrap();
+    let names: Vec<String> = (0..6).map(|i| format!("layer.{i}")).collect();
+    let mut s1 = LayerStreamer::new(&c, &names, 2, Throttle::unlimited()).unwrap();
+    let mut s2 = LayerStreamer::new(&c, &names, 2, Throttle::unlimited()).unwrap();
+    for i in 0..6 {
+        let a = s1.next().unwrap().unwrap();
+        let b = s2.next().unwrap().unwrap();
+        assert_eq!(a.bytes, b.bytes, "section {i} diverged across streamers");
+        s1.recycle(a).unwrap();
+        s2.recycle(b).unwrap();
+    }
+    std::fs::remove_file(&path).unwrap();
+}

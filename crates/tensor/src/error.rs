@@ -1,0 +1,106 @@
+//! Error type shared by all tensor kernels.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+///
+/// All kernels are fallible and return [`crate::Result`]; shape problems are
+/// reported rather than panicking so the runtime can surface configuration
+/// mistakes (e.g. a mis-sized classifier head) as recoverable errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands disagree on a dimension.
+    ShapeMismatch {
+        /// Operation that failed (static name, e.g. `"matmul"`).
+        op: &'static str,
+        /// Shape of the left operand.
+        lhs: (usize, usize),
+        /// Shape of the right operand.
+        rhs: (usize, usize),
+    },
+    /// The provided buffer length does not match `rows * cols`.
+    DataLength {
+        /// Expected element count.
+        expected: usize,
+        /// Provided element count.
+        got: usize,
+    },
+    /// A row/column index is out of bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Bound that was exceeded.
+        bound: usize,
+    },
+    /// An operation requires a non-empty tensor.
+    Empty {
+        /// Operation that failed.
+        op: &'static str,
+    },
+    /// Quantization block constraints were violated.
+    Quantization {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(
+                    f,
+                    "shape mismatch in {op}: lhs {}x{}, rhs {}x{}",
+                    lhs.0, lhs.1, rhs.0, rhs.1
+                )
+            }
+            TensorError::DataLength { expected, got } => {
+                write!(f, "data length {got} does not match shape ({expected} expected)")
+            }
+            TensorError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound} required)")
+            }
+            TensorError::Empty { op } => write!(f, "{op} requires a non-empty tensor"),
+            TensorError::Quantization { reason } => write!(f, "quantization error: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul"));
+        assert!(s.contains("2x3"));
+        assert!(s.contains("4x5"));
+
+        let e = TensorError::DataLength { expected: 6, got: 5 };
+        assert!(e.to_string().contains('6'));
+        assert!(e.to_string().contains('5'));
+
+        let e = TensorError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+
+        let e = TensorError::Empty { op: "softmax" };
+        assert!(e.to_string().contains("softmax"));
+
+        let e = TensorError::Quantization { reason: "bad block".into() };
+        assert!(e.to_string().contains("bad block"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&TensorError::Empty { op: "x" });
+    }
+}

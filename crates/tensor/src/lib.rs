@@ -1,0 +1,27 @@
+//! Dense `f32` tensor kernels for the PRISM reranking runtime.
+//!
+//! This crate is the lowest substrate of the PRISM reproduction. It provides
+//! exactly the operations a prefill-only transformer cross-encoder needs:
+//!
+//! * a row-major 2-D [`Tensor`] with shape-checked, `Result`-based kernels,
+//! * matrix multiplication (plain and `B`-transposed) with optional
+//!   row-parallel execution,
+//! * row-wise softmax (with causal masking), RMS / layer normalization,
+//!   SiLU / GELU / tanh activations,
+//! * block-wise 4-bit weight quantization ([`quant::QuantMatrix`]) matching
+//!   the W4A16 setup the paper uses for its `HF Quant` / `PRISM Quant`
+//!   baselines.
+//!
+//! Everything is safe Rust; there is no `unsafe` in this crate.
+
+pub mod error;
+pub mod ops;
+pub mod quant;
+pub mod tensor;
+
+pub use error::TensorError;
+pub use quant::QuantMatrix;
+pub use tensor::Tensor;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

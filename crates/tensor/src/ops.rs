@@ -1,0 +1,503 @@
+//! Shape-checked kernels: matmul, softmax, normalization, activations.
+//!
+//! Kernels accept and return [`Tensor`]s; anything shape-dependent is
+//! validated up front and reported through [`TensorError`]. Matrix products
+//! switch to row-parallel execution above a FLOP threshold using scoped
+//! threads, which is the only concurrency in this crate.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Work threshold (in multiply-accumulate ops) above which matmul kernels
+/// fan out across threads. Tuned so mini-model layers stay single-threaded
+/// (they are cache-resident and tiny) while monolithic batches parallelize.
+const PAR_FLOP_THRESHOLD: usize = 1 << 22;
+
+fn num_threads_for(work: usize) -> usize {
+    if work < PAR_FLOP_THRESHOLD {
+        return 1;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Computes `A * B` for `A: m x k`, `B: k x n`.
+///
+/// # Examples
+///
+/// ```
+/// use prism_tensor::{ops, Tensor};
+/// let a = Tensor::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// let b = Tensor::from_vec(2, 1, vec![1.0, 1.0]).unwrap();
+/// let c = ops::matmul(&a, &b).unwrap();
+/// assert_eq!(c.data(), &[3.0, 7.0]);
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.cols() != b.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Tensor::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(out);
+    }
+    let threads = num_threads_for(m * k * n);
+    let bd = b.data();
+    let ad = a.data();
+    if threads <= 1 || m < 2 {
+        matmul_rows(ad, bd, out.data_mut(), 0, m, k, n);
+    } else {
+        let chunk = m.div_ceil(threads);
+        let out_slices = out.data_mut().chunks_mut(chunk * n);
+        std::thread::scope(|scope| {
+            for (idx, out_chunk) in out_slices.enumerate() {
+                let start = idx * chunk;
+                let rows = out_chunk.len() / n;
+                scope.spawn(move || {
+                    matmul_rows(&ad[start * k..(start + rows) * k], bd, out_chunk, 0, rows, k, n);
+                });
+            }
+        });
+    }
+    Ok(out)
+}
+
+fn matmul_rows(a: &[f32], b: &[f32], out: &mut [f32], r0: usize, r1: usize, k: usize, n: usize) {
+    for r in r0..r1 {
+        let arow = &a[r * k..(r + 1) * k];
+        let orow = &mut out[r * n..(r + 1) * n];
+        for (ki, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[ki * n..(ki + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Computes `A * B^T` for `A: m x k`, `B: n x k` without materializing `B^T`.
+///
+/// This is the kernel used for attention logits (`Q * K^T`) and for weight
+/// matrices stored output-major in checkpoint files.
+pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul_transb",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    let (m, k) = a.shape();
+    let n = b.rows();
+    let mut out = Tensor::zeros(m, n);
+    if m == 0 || n == 0 {
+        return Ok(out);
+    }
+    let threads = num_threads_for(m * k * n);
+    let ad = a.data();
+    let bd = b.data();
+    if threads <= 1 || m < 2 {
+        matmul_transb_rows(ad, bd, out.data_mut(), m, k, n);
+    } else {
+        let chunk = m.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (idx, out_chunk) in out.data_mut().chunks_mut(chunk * n).enumerate() {
+                let start = idx * chunk;
+                let rows = out_chunk.len() / n;
+                scope.spawn(move || {
+                    matmul_transb_rows(&ad[start * k..(start + rows) * k], bd, out_chunk, rows, k, n);
+                });
+            }
+        });
+    }
+    Ok(out)
+}
+
+fn matmul_transb_rows(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
+    for r in 0..m {
+        let arow = &a[r * k..(r + 1) * k];
+        for c in 0..n {
+            let brow = &b[c * k..(c + 1) * k];
+            let mut acc = 0.0_f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            out[r * n + c] = acc;
+        }
+    }
+}
+
+/// Adds `b` to `a` element-wise in place.
+pub fn add_inplace(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_inplace",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += y;
+    }
+    Ok(())
+}
+
+/// Adds `alpha * b` to `a` in place (the residual update used by model blocks).
+pub fn axpy_inplace(a: &mut Tensor, alpha: f32, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "axpy_inplace",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x += alpha * y;
+    }
+    Ok(())
+}
+
+/// Scales every element of `a` by `s` in place.
+pub fn scale_inplace(a: &mut Tensor, s: f32) {
+    for x in a.data_mut() {
+        *x *= s;
+    }
+}
+
+/// Adds a bias row vector to every row of `a` in place.
+pub fn add_bias_inplace(a: &mut Tensor, bias: &[f32]) -> Result<()> {
+    if bias.len() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "add_bias_inplace",
+            lhs: a.shape(),
+            rhs: (1, bias.len()),
+        });
+    }
+    let cols = a.cols();
+    for row in a.data_mut().chunks_mut(cols) {
+        for (x, b) in row.iter_mut().zip(bias) {
+            *x += b;
+        }
+    }
+    Ok(())
+}
+
+/// Row-wise numerically-stable softmax in place.
+pub fn softmax_rows_inplace(a: &mut Tensor) -> Result<()> {
+    if a.cols() == 0 {
+        return Err(TensorError::Empty { op: "softmax_rows" });
+    }
+    let cols = a.cols();
+    for row in a.data_mut().chunks_mut(cols) {
+        softmax_slice(row);
+    }
+    Ok(())
+}
+
+/// Row-wise causal softmax: row `r` may only attend to columns `0..=r`.
+///
+/// Used by decoder-only rerankers; `a` must be square per sequence, i.e. the
+/// caller passes the per-sequence logits block.
+pub fn causal_softmax_inplace(a: &mut Tensor) -> Result<()> {
+    if a.rows() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "causal_softmax",
+            lhs: a.shape(),
+            rhs: (a.cols(), a.rows()),
+        });
+    }
+    let cols = a.cols();
+    for (r, row) in a.data_mut().chunks_mut(cols).enumerate() {
+        for v in row.iter_mut().skip(r + 1) {
+            *v = f32::NEG_INFINITY;
+        }
+        softmax_slice(row);
+    }
+    Ok(())
+}
+
+fn softmax_slice(row: &mut [f32]) {
+    let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Row-wise RMS normalization with learned gain, in place.
+///
+/// `x <- x / sqrt(mean(x^2) + eps) * gain` — the normalization used by the
+/// decoder-only (Qwen-style) rerankers.
+pub fn rms_norm_inplace(a: &mut Tensor, gain: &[f32], eps: f32) -> Result<()> {
+    if gain.len() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "rms_norm",
+            lhs: a.shape(),
+            rhs: (1, gain.len()),
+        });
+    }
+    let cols = a.cols();
+    for row in a.data_mut().chunks_mut(cols) {
+        let ms = row.iter().map(|x| x * x).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (ms + eps).sqrt();
+        for (x, g) in row.iter_mut().zip(gain) {
+            *x = *x * inv * g;
+        }
+    }
+    Ok(())
+}
+
+/// Row-wise layer normalization with learned gain and bias, in place.
+///
+/// The normalization used by the encoder-only (BERT-style) rerankers.
+pub fn layer_norm_inplace(a: &mut Tensor, gain: &[f32], bias: &[f32], eps: f32) -> Result<()> {
+    if gain.len() != a.cols() || bias.len() != a.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "layer_norm",
+            lhs: a.shape(),
+            rhs: (1, gain.len()),
+        });
+    }
+    let cols = a.cols();
+    for row in a.data_mut().chunks_mut(cols) {
+        let mean = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / cols as f32;
+        let inv = 1.0 / (var + eps).sqrt();
+        for ((x, g), b) in row.iter_mut().zip(gain).zip(bias) {
+            *x = (*x - mean) * inv * g + b;
+        }
+    }
+    Ok(())
+}
+
+/// SiLU (swish) activation in place: `x * sigmoid(x)`.
+pub fn silu_inplace(a: &mut Tensor) {
+    for x in a.data_mut() {
+        *x = *x / (1.0 + (-*x).exp());
+    }
+}
+
+/// Tanh-approximated GELU activation in place.
+pub fn gelu_inplace(a: &mut Tensor) {
+    const C: f32 = 0.797_884_6; // sqrt(2/pi)
+    for x in a.data_mut() {
+        let x3 = *x * *x * *x;
+        *x = 0.5 * *x * (1.0 + (C * (*x + 0.044_715 * x3)).tanh());
+    }
+}
+
+/// Element-wise product in place (`a <- a ⊙ b`), used by gated FFNs.
+pub fn hadamard_inplace(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    if a.shape() != b.shape() {
+        return Err(TensorError::ShapeMismatch {
+            op: "hadamard",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    for (x, y) in a.data_mut().iter_mut().zip(b.data()) {
+        *x *= y;
+    }
+    Ok(())
+}
+
+/// Mean over rows, producing a single row (`1 x cols`).
+pub fn mean_rows(a: &Tensor) -> Result<Tensor> {
+    if a.rows() == 0 {
+        return Err(TensorError::Empty { op: "mean_rows" });
+    }
+    let mut out = Tensor::zeros(1, a.cols());
+    let cols = a.cols();
+    for row in a.data().chunks(cols) {
+        for (o, &x) in out.data_mut().iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    let inv = 1.0 / a.rows() as f32;
+    scale_inplace(&mut out, inv);
+    Ok(out)
+}
+
+/// Dot product of two equal-length slices.
+pub fn dot(a: &[f32], b: &[f32]) -> Result<f32> {
+    if a.len() != b.len() {
+        return Err(TensorError::ShapeMismatch {
+            op: "dot",
+            lhs: (1, a.len()),
+            rhs: (1, b.len()),
+        });
+    }
+    Ok(a.iter().zip(b).map(|(x, y)| x * y).sum())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(rows: usize, cols: usize, v: Vec<f32>) -> Tensor {
+        Tensor::from_vec(rows, cols, v).unwrap()
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = t(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch() {
+        let a = Tensor::zeros(2, 3);
+        let b = Tensor::zeros(2, 3);
+        assert!(matmul(&a, &b).is_err());
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let a = t(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = t(4, 3, (0..12).map(|x| x as f32 * 0.5).collect());
+        let via_t = matmul(&a, &b.transpose()).unwrap();
+        let direct = matmul_transb(&a, &b).unwrap();
+        assert!(via_t.max_abs_diff(&direct).unwrap() < 1e-6);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = t(3, 3, (0..9).map(|x| x as f32).collect());
+        let id = Tensor::from_fn(3, 3, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(matmul(&a, &id).unwrap(), a);
+    }
+
+    #[test]
+    fn parallel_matmul_matches_serial() {
+        // Exceed the FLOP threshold to force multi-threaded path.
+        let m = 64;
+        let k = 96;
+        let n = 1024;
+        let a = Tensor::from_fn(m, k, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.1 - 0.6);
+        let b = Tensor::from_fn(k, n, |r, c| ((r * 17 + c * 3) % 11) as f32 * 0.05 - 0.25);
+        assert!(m * k * n >= super::PAR_FLOP_THRESHOLD);
+        let par = matmul(&a, &b).unwrap();
+        // Serial reference.
+        let mut reference = Tensor::zeros(m, n);
+        super::matmul_rows(a.data(), b.data(), reference.data_mut(), 0, m, k, n);
+        assert!(par.max_abs_diff(&reference).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut a = t(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        softmax_rows_inplace(&mut a).unwrap();
+        for r in 0..2 {
+            let s: f32 = a.row(r).unwrap().iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+        }
+        // Monotone: larger logits larger probabilities.
+        assert!(a.at(0, 2) > a.at(0, 1));
+    }
+
+    #[test]
+    fn softmax_handles_extreme_logits() {
+        let mut a = t(1, 3, vec![1000., 1000., -1000.]);
+        softmax_rows_inplace(&mut a).unwrap();
+        assert!((a.at(0, 0) - 0.5).abs() < 1e-5);
+        assert!(a.at(0, 2) < 1e-6);
+        assert!(a.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn causal_softmax_masks_future() {
+        let mut a = Tensor::full(3, 3, 1.0);
+        causal_softmax_inplace(&mut a).unwrap();
+        assert_eq!(a.at(0, 1), 0.0);
+        assert_eq!(a.at(0, 2), 0.0);
+        assert_eq!(a.at(1, 2), 0.0);
+        assert!((a.at(1, 0) - 0.5).abs() < 1e-6);
+        let s: f32 = a.row(2).unwrap().iter().sum();
+        assert!((s - 1.0).abs() < 1e-6);
+        let mut bad = Tensor::zeros(2, 3);
+        assert!(causal_softmax_inplace(&mut bad).is_err());
+    }
+
+    #[test]
+    fn rms_norm_unit_scale() {
+        let mut a = t(1, 4, vec![2., 2., 2., 2.]);
+        rms_norm_inplace(&mut a, &[1., 1., 1., 1.], 0.0).unwrap();
+        for &x in a.data() {
+            assert!((x - 1.0).abs() < 1e-5);
+        }
+        let mut a = t(1, 2, vec![1., 1.]);
+        assert!(rms_norm_inplace(&mut a, &[1.0], 1e-6).is_err());
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut a = t(1, 4, vec![1., 2., 3., 4.]);
+        layer_norm_inplace(&mut a, &[1.; 4], &[0.; 4], 0.0).unwrap();
+        let mean: f32 = a.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn activations_known_values() {
+        let mut a = t(1, 3, vec![-1.0, 0.0, 1.0]);
+        silu_inplace(&mut a);
+        assert!((a.at(0, 1)).abs() < 1e-7);
+        assert!((a.at(0, 2) - 0.731_058_6).abs() < 1e-5);
+
+        let mut g = t(1, 3, vec![-1.0, 0.0, 1.0]);
+        gelu_inplace(&mut g);
+        assert!((g.at(0, 1)).abs() < 1e-7);
+        assert!((g.at(0, 2) - 0.841_192).abs() < 1e-3);
+    }
+
+    #[test]
+    fn residual_and_bias_updates() {
+        let mut a = t(1, 2, vec![1., 2.]);
+        let b = t(1, 2, vec![10., 20.]);
+        axpy_inplace(&mut a, 0.5, &b).unwrap();
+        assert_eq!(a.data(), &[6.0, 12.0]);
+        add_inplace(&mut a, &b).unwrap();
+        assert_eq!(a.data(), &[16.0, 32.0]);
+        add_bias_inplace(&mut a, &[1.0, -1.0]).unwrap();
+        assert_eq!(a.data(), &[17.0, 31.0]);
+        assert!(add_bias_inplace(&mut a, &[1.0]).is_err());
+        let c = Tensor::zeros(2, 2);
+        assert!(add_inplace(&mut a, &c).is_err());
+        assert!(axpy_inplace(&mut a, 1.0, &c).is_err());
+    }
+
+    #[test]
+    fn hadamard_and_mean_rows() {
+        let mut a = t(2, 2, vec![1., 2., 3., 4.]);
+        let b = t(2, 2, vec![2., 2., 2., 2.]);
+        hadamard_inplace(&mut a, &b).unwrap();
+        assert_eq!(a.data(), &[2., 4., 6., 8.]);
+        let m = mean_rows(&a).unwrap();
+        assert_eq!(m.data(), &[4.0, 6.0]);
+        assert!(mean_rows(&Tensor::zeros(0, 3)).is_err());
+        let c = Tensor::zeros(1, 2);
+        assert!(hadamard_inplace(&mut a, &c).is_err());
+    }
+
+    #[test]
+    fn dot_product() {
+        assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]).unwrap(), 32.0);
+        assert!(dot(&[1.], &[1., 2.]).is_err());
+    }
+}

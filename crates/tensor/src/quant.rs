@@ -1,0 +1,335 @@
+//! Block-wise 4-bit weight quantization (the W4A16 analogue).
+//!
+//! The paper's `HF Quant` and `PRISM Quant` baselines quantize model weights
+//! to 4 bits with GPTQ while keeping activations in 16-bit floats. We
+//! reproduce the storage/compute trade-off with asymmetric per-block
+//! min/scale quantization: each block of [`BLOCK`] consecutive weights in a
+//! row stores a 4-byte `min`, a 4-byte `scale` and [`BLOCK`]`/2` packed
+//! nibbles, i.e. 4.5 bits per weight at the default block size — the same
+//! ballpark as GPTQ-4bit checkpoints.
+
+use crate::{ops, Result, Tensor, TensorError};
+
+/// Number of weights per quantization block.
+pub const BLOCK: usize = 32;
+
+/// A 4-bit block-quantized matrix of shape `rows x cols`.
+///
+/// Rows are quantized independently so a row (one output feature of a weight
+/// matrix) can be dequantized in isolation during tiled matmuls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantMatrix {
+    rows: usize,
+    cols: usize,
+    blocks_per_row: usize,
+    /// `min` of each block, `rows * blocks_per_row` entries.
+    mins: Vec<f32>,
+    /// `scale` of each block (max-min)/15, same length as `mins`.
+    scales: Vec<f32>,
+    /// Packed nibbles, two weights per byte, row-major, padded per row.
+    packed: Vec<u8>,
+}
+
+impl QuantMatrix {
+    /// Quantizes a dense matrix.
+    ///
+    /// Returns [`TensorError::Quantization`] when the input is empty; any
+    /// column count is accepted (the last block of a row may be partial).
+    pub fn quantize(t: &Tensor) -> Result<Self> {
+        if t.is_empty() {
+            return Err(TensorError::Quantization {
+                reason: "cannot quantize an empty tensor".to_string(),
+            });
+        }
+        let (rows, cols) = t.shape();
+        let blocks_per_row = cols.div_ceil(BLOCK);
+        let mut mins = Vec::with_capacity(rows * blocks_per_row);
+        let mut scales = Vec::with_capacity(rows * blocks_per_row);
+        let bytes_per_row = blocks_per_row * BLOCK / 2;
+        let mut packed = vec![0_u8; rows * bytes_per_row];
+        for r in 0..rows {
+            let row = t.row(r)?;
+            for b in 0..blocks_per_row {
+                let start = b * BLOCK;
+                let end = (start + BLOCK).min(cols);
+                let chunk = &row[start..end];
+                let lo = chunk.iter().cloned().fold(f32::INFINITY, f32::min);
+                let hi = chunk.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let scale = if hi > lo { (hi - lo) / 15.0 } else { 0.0 };
+                mins.push(lo);
+                scales.push(scale);
+                for (i, &x) in chunk.iter().enumerate() {
+                    let q = if scale > 0.0 {
+                        ((x - lo) / scale).round().clamp(0.0, 15.0) as u8
+                    } else {
+                        0
+                    };
+                    let byte = r * bytes_per_row + (start + i) / 2;
+                    if (start + i) % 2 == 0 {
+                        packed[byte] |= q;
+                    } else {
+                        packed[byte] |= q << 4;
+                    }
+                }
+            }
+        }
+        Ok(QuantMatrix {
+            rows,
+            cols,
+            blocks_per_row,
+            mins,
+            scales,
+            packed,
+        })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage footprint in bytes (packed nibbles + block metadata).
+    pub fn size_bytes(&self) -> usize {
+        self.packed.len() + (self.mins.len() + self.scales.len()) * std::mem::size_of::<f32>()
+    }
+
+    /// Dequantizes a single row into `out` (must have length `cols`).
+    pub fn dequantize_row(&self, r: usize, out: &mut [f32]) -> Result<()> {
+        if r >= self.rows {
+            return Err(TensorError::IndexOutOfBounds {
+                index: r,
+                bound: self.rows,
+            });
+        }
+        if out.len() != self.cols {
+            return Err(TensorError::DataLength {
+                expected: self.cols,
+                got: out.len(),
+            });
+        }
+        let bytes_per_row = self.blocks_per_row * BLOCK / 2;
+        for (c, o) in out.iter_mut().enumerate() {
+            let block = r * self.blocks_per_row + c / BLOCK;
+            let byte = self.packed[r * bytes_per_row + c / 2];
+            let q = if c % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            *o = self.mins[block] + self.scales[block] * f32::from(q);
+        }
+        Ok(())
+    }
+
+    /// Dequantizes the whole matrix.
+    pub fn dequantize(&self) -> Result<Tensor> {
+        let mut out = Tensor::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let cols = self.cols;
+            let row = &mut out.data_mut()[r * cols..(r + 1) * cols];
+            self.dequantize_row_slice(r, row);
+        }
+        Ok(out)
+    }
+
+    fn dequantize_row_slice(&self, r: usize, out: &mut [f32]) {
+        let bytes_per_row = self.blocks_per_row * BLOCK / 2;
+        for (c, o) in out.iter_mut().enumerate() {
+            let block = r * self.blocks_per_row + c / BLOCK;
+            let byte = self.packed[r * bytes_per_row + c / 2];
+            let q = if c % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            *o = self.mins[block] + self.scales[block] * f32::from(q);
+        }
+    }
+
+    /// Computes `A * Self^T` where `Self` is an `n x k` quantized weight
+    /// matrix stored output-major (like checkpoint weight tensors).
+    ///
+    /// Dequantizes one weight row at a time so the live dequantized working
+    /// set stays at `O(k)` — this is what makes W4A16 memory-lean at
+    /// inference time.
+    pub fn matmul_transb(&self, a: &Tensor) -> Result<Tensor> {
+        if a.cols() != self.cols {
+            return Err(TensorError::ShapeMismatch {
+                op: "quant_matmul_transb",
+                lhs: a.shape(),
+                rhs: (self.rows, self.cols),
+            });
+        }
+        let m = a.rows();
+        let n = self.rows;
+        let mut out = Tensor::zeros(m, n);
+        let mut wrow = vec![0.0_f32; self.cols];
+        for c in 0..n {
+            self.dequantize_row_slice(c, &mut wrow);
+            for r in 0..m {
+                let arow = a.row(r)?;
+                out.data_mut()[r * n + c] = ops::dot(arow, &wrow)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Worst-case absolute reconstruction error bound: `scale / 2` per block,
+    /// maximized over blocks.
+    pub fn max_quantization_error(&self) -> f32 {
+        self.scales.iter().cloned().fold(0.0_f32, f32::max) / 2.0
+    }
+
+    /// Serializes into a self-describing little-endian byte blob.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.mins.len() * 8 + self.packed.len());
+        out.extend_from_slice(&(self.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(self.cols as u64).to_le_bytes());
+        for &m in &self.mins {
+            out.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in &self.scales {
+            out.extend_from_slice(&s.to_le_bytes());
+        }
+        out.extend_from_slice(&self.packed);
+        out
+    }
+
+    /// Deserializes a blob produced by [`QuantMatrix::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
+        let fail = |reason: &str| TensorError::Quantization { reason: reason.to_string() };
+        if bytes.len() < 16 {
+            return Err(fail("blob too short for header"));
+        }
+        let rows = u64::from_le_bytes(bytes[0..8].try_into().expect("slice of 8")) as usize;
+        let cols = u64::from_le_bytes(bytes[8..16].try_into().expect("slice of 8")) as usize;
+        if rows == 0 || cols == 0 {
+            return Err(fail("zero dimension"));
+        }
+        let blocks_per_row = cols.div_ceil(BLOCK);
+        let n_blocks = rows * blocks_per_row;
+        let packed_len = rows * blocks_per_row * BLOCK / 2;
+        let expected = 16 + n_blocks * 8 + packed_len;
+        if bytes.len() != expected {
+            return Err(fail(&format!("blob length {} != expected {expected}", bytes.len())));
+        }
+        let mut mins = Vec::with_capacity(n_blocks);
+        let mut scales = Vec::with_capacity(n_blocks);
+        let mut off = 16;
+        for _ in 0..n_blocks {
+            mins.push(f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")));
+            off += 4;
+        }
+        for _ in 0..n_blocks {
+            scales.push(f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")));
+            off += 4;
+        }
+        let packed = bytes[off..].to_vec();
+        Ok(QuantMatrix {
+            rows,
+            cols,
+            blocks_per_row,
+            mins,
+            scales,
+            packed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(rows: usize, cols: usize) -> Tensor {
+        Tensor::from_fn(rows, cols, |r, c| ((r * cols + c) as f32).sin() * 2.0)
+    }
+
+    #[test]
+    fn round_trip_error_is_bounded() {
+        let t = ramp(4, 70);
+        let q = QuantMatrix::quantize(&t).unwrap();
+        let d = q.dequantize().unwrap();
+        let bound = q.max_quantization_error() + 1e-6;
+        assert!(t.max_abs_diff(&d).unwrap() <= bound);
+    }
+
+    #[test]
+    fn constant_block_is_exact() {
+        let t = Tensor::full(2, BLOCK, 3.25);
+        let q = QuantMatrix::quantize(&t).unwrap();
+        let d = q.dequantize().unwrap();
+        assert!(t.max_abs_diff(&d).unwrap() < 1e-7);
+        assert_eq!(q.max_quantization_error(), 0.0);
+    }
+
+    #[test]
+    fn partial_last_block() {
+        let t = ramp(3, BLOCK + 5);
+        let q = QuantMatrix::quantize(&t).unwrap();
+        assert_eq!(q.cols(), BLOCK + 5);
+        let d = q.dequantize().unwrap();
+        assert!(t.max_abs_diff(&d).unwrap() <= q.max_quantization_error() + 1e-6);
+    }
+
+    #[test]
+    fn empty_rejected() {
+        assert!(QuantMatrix::quantize(&Tensor::zeros(0, 4)).is_err());
+    }
+
+    #[test]
+    fn storage_is_roughly_4_5_bits_per_weight() {
+        let t = ramp(64, 256);
+        let q = QuantMatrix::quantize(&t).unwrap();
+        let bits_per_weight = q.size_bytes() as f64 * 8.0 / (64.0 * 256.0);
+        assert!(bits_per_weight < 6.5, "got {bits_per_weight}");
+        assert!(bits_per_weight >= 4.0);
+        // And 5x+ smaller than f32.
+        assert!(q.size_bytes() * 5 <= t.size_bytes());
+    }
+
+    #[test]
+    fn quant_matmul_close_to_dense() {
+        let w = ramp(8, 64);
+        let a = Tensor::from_fn(3, 64, |r, c| ((r + c) as f32 * 0.1).cos());
+        let q = QuantMatrix::quantize(&w).unwrap();
+        let dense = ops::matmul_transb(&a, &w).unwrap();
+        let quant = q.matmul_transb(&a).unwrap();
+        // Error per output <= k * max_err * max|a|.
+        let tol = 64.0 * q.max_quantization_error() * 1.0 + 1e-4;
+        assert!(dense.max_abs_diff(&quant).unwrap() <= tol);
+    }
+
+    #[test]
+    fn quant_matmul_shape_check() {
+        let w = ramp(8, 64);
+        let q = QuantMatrix::quantize(&w).unwrap();
+        let a = Tensor::zeros(3, 63);
+        assert!(q.matmul_transb(&a).is_err());
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let t = ramp(5, 70);
+        let q = QuantMatrix::quantize(&t).unwrap();
+        let bytes = q.to_bytes();
+        let back = QuantMatrix::from_bytes(&bytes).unwrap();
+        assert_eq!(q, back);
+        assert!(QuantMatrix::from_bytes(&bytes[..10]).is_err());
+        assert!(QuantMatrix::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut zero = bytes.clone();
+        zero[0..8].copy_from_slice(&0_u64.to_le_bytes());
+        assert!(QuantMatrix::from_bytes(&zero).is_err());
+    }
+
+    #[test]
+    fn dequantize_row_accessors() {
+        let t = ramp(2, 40);
+        let q = QuantMatrix::quantize(&t).unwrap();
+        let mut buf = vec![0.0; 40];
+        q.dequantize_row(1, &mut buf).unwrap();
+        let full = q.dequantize().unwrap();
+        assert_eq!(buf.as_slice(), full.row(1).unwrap());
+        assert!(q.dequantize_row(2, &mut buf).is_err());
+        let mut short = vec![0.0; 39];
+        assert!(q.dequantize_row(0, &mut short).is_err());
+    }
+}

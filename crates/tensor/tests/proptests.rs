@@ -1,0 +1,110 @@
+//! Property-based tests for tensor kernels and quantization invariants.
+
+use prism_tensor::{ops, QuantMatrix, Tensor};
+use proptest::prelude::*;
+
+fn tensor_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-8.0_f32..8.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(r, c, v).expect("sized to shape"))
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_is_linear_in_lhs(
+        a in tensor_strategy(6, 6),
+        s in -4.0_f32..4.0,
+    ) {
+        let b = Tensor::from_fn(a.cols(), 5, |r, c| ((r * 5 + c) as f32 * 0.3).sin());
+        let mut sa = a.clone();
+        ops::scale_inplace(&mut sa, s);
+        let left = ops::matmul(&sa, &b).unwrap();
+        let mut right = ops::matmul(&a, &b).unwrap();
+        ops::scale_inplace(&mut right, s);
+        prop_assert!(left.max_abs_diff(&right).unwrap() < 1e-2);
+    }
+
+    #[test]
+    fn matmul_transb_agrees_with_transpose(a in tensor_strategy(5, 7)) {
+        let b = Tensor::from_fn(4, a.cols(), |r, c| ((r + 2 * c) as f32 * 0.2).cos());
+        let direct = ops::matmul_transb(&a, &b).unwrap();
+        let explicit = ops::matmul(&a, &b.transpose()).unwrap();
+        prop_assert!(direct.max_abs_diff(&explicit).unwrap() < 1e-3);
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(mut a in tensor_strategy(6, 9)) {
+        ops::softmax_rows_inplace(&mut a).unwrap();
+        for r in 0..a.rows() {
+            let row = a.row(r).unwrap();
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant(v in prop::collection::vec(-6.0_f32..6.0, 2..12), shift in -5.0_f32..5.0) {
+        let n = v.len();
+        let mut a = Tensor::from_vec(1, n, v.clone()).unwrap();
+        let mut b = Tensor::from_vec(1, n, v.iter().map(|x| x + shift).collect()).unwrap();
+        ops::softmax_rows_inplace(&mut a).unwrap();
+        ops::softmax_rows_inplace(&mut b).unwrap();
+        prop_assert!(a.max_abs_diff(&b).unwrap() < 1e-4);
+    }
+
+    #[test]
+    fn rms_norm_produces_unit_rms(mut a in tensor_strategy(4, 16)) {
+        // Avoid the degenerate all-zero row.
+        if a.data().iter().all(|&x| x.abs() < 1e-3) {
+            a.data_mut()[0] = 1.0;
+        }
+        let gain = vec![1.0_f32; a.cols()];
+        ops::rms_norm_inplace(&mut a, &gain, 1e-8).unwrap();
+        for r in 0..a.rows() {
+            let row = a.row(r).unwrap();
+            let ms = row.iter().map(|x| x * x).sum::<f32>() / row.len() as f32;
+            // Rows that were ~0 stay ~0; others normalize to unit RMS.
+            prop_assert!(ms < 1.0 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn quantization_error_within_block_bound(t in tensor_strategy(4, 40)) {
+        let q = QuantMatrix::quantize(&t).unwrap();
+        let d = q.dequantize().unwrap();
+        let bound = q.max_quantization_error() + 1e-5;
+        prop_assert!(t.max_abs_diff(&d).unwrap() <= bound);
+    }
+
+    #[test]
+    fn quantization_is_idempotent(t in tensor_strategy(3, 33)) {
+        // Quantizing an already-dequantized matrix must be lossless
+        // (all values land exactly on quantization grid points).
+        let q1 = QuantMatrix::quantize(&t).unwrap();
+        let d1 = q1.dequantize().unwrap();
+        let q2 = QuantMatrix::quantize(&d1).unwrap();
+        let d2 = q2.dequantize().unwrap();
+        prop_assert!(d1.max_abs_diff(&d2).unwrap() <= 2e-3);
+    }
+
+    #[test]
+    fn gather_then_vcat_round_trips(t in tensor_strategy(6, 4)) {
+        let top = t.slice_rows(0, t.rows() / 2).unwrap();
+        let bottom = t.slice_rows(t.rows() / 2, t.rows()).unwrap();
+        let back = Tensor::vcat(&[&top, &bottom]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    #[test]
+    fn mean_rows_within_minmax(t in tensor_strategy(5, 5)) {
+        let m = ops::mean_rows(&t).unwrap();
+        for c in 0..t.cols() {
+            let col: Vec<f32> = (0..t.rows()).map(|r| t.at(r, c)).collect();
+            let lo = col.iter().cloned().fold(f32::INFINITY, f32::min);
+            let hi = col.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(m.at(0, c) >= lo - 1e-4 && m.at(0, c) <= hi + 1e-4);
+        }
+    }
+}

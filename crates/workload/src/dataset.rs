@@ -1,0 +1,163 @@
+//! The 18 dataset profiles behind the paper's microbenchmarks (§6.1).
+//!
+//! Each profile is a compact statistical description of one benchmark
+//! dataset. Parameters were chosen to span the qualitative range the paper
+//! reports: highly separable corpora (Quora, ArguAna) prune early and keep
+//! precision at 1.0; reasoning-heavy corpora (HotpotQA, CodeRAG) have
+//! tighter score gaps, later pruning and sub-1.0 ceilings.
+
+use serde::{Deserialize, Serialize};
+
+/// Statistical profile of one retrieval dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetProfile {
+    /// Dataset name (as in the paper's benchmark list).
+    pub name: &'static str,
+    /// Benchmark family (`"beir"`, `"lotte"`, `"wikipedia"`, `"coderag"`).
+    pub family: &'static str,
+    /// How far apart relevant and irrelevant relevance levels sit, in
+    /// `(0, 1]`; larger = clusters separate earlier.
+    pub separability: f32,
+    /// Mean candidate length in tokens (scaled to the mini models'
+    /// `max_seq` by the generator).
+    pub candidate_len_mean: f32,
+    /// Relative std-dev of candidate length.
+    pub candidate_len_rel_std: f32,
+    /// Zipf exponent of the background-token distribution.
+    pub zipf_exponent: f64,
+    /// Mean number of truly relevant candidates per request.
+    pub relevant_per_request: f32,
+    /// Token-level noise: probability a token contradicts its candidate's
+    /// relevance level.
+    pub token_noise: f32,
+}
+
+/// The paper's 18 evaluation datasets.
+pub fn dataset_catalog() -> Vec<DatasetProfile> {
+    fn beir(
+        name: &'static str,
+        separability: f32,
+        len_mean: f32,
+        relevant: f32,
+        noise: f32,
+    ) -> DatasetProfile {
+        DatasetProfile {
+            name,
+            family: "beir",
+            separability,
+            candidate_len_mean: len_mean,
+            candidate_len_rel_std: 0.25,
+            zipf_exponent: 1.05,
+            relevant_per_request: relevant,
+            token_noise: noise,
+        }
+    }
+    vec![
+        // --- 15 BEIR tasks ---
+        beir("msmarco", 0.55, 0.75, 6.0, 0.18),
+        beir("trec-covid", 0.45, 0.95, 8.0, 0.22),
+        beir("nfcorpus", 0.50, 0.85, 5.0, 0.20),
+        beir("nq", 0.60, 0.80, 4.0, 0.16),
+        beir("hotpotqa", 0.35, 0.90, 5.0, 0.26),
+        beir("fiqa", 0.45, 0.85, 4.0, 0.22),
+        beir("arguana", 0.75, 0.95, 3.0, 0.10),
+        beir("webis-touche2020", 0.40, 1.00, 5.0, 0.24),
+        beir("cqadupstack", 0.55, 0.70, 4.0, 0.18),
+        beir("quora", 0.80, 0.40, 3.0, 0.08),
+        beir("dbpedia-entity", 0.50, 0.65, 6.0, 0.20),
+        beir("scidocs", 0.40, 0.90, 5.0, 0.24),
+        beir("fever", 0.65, 0.75, 4.0, 0.14),
+        beir("climate-fever", 0.45, 0.80, 5.0, 0.22),
+        beir("scifact", 0.60, 0.90, 3.0, 0.15),
+        // --- LoTTE ---
+        DatasetProfile {
+            name: "lotte",
+            family: "lotte",
+            separability: 0.50,
+            candidate_len_mean: 0.80,
+            candidate_len_rel_std: 0.35,
+            zipf_exponent: 1.00,
+            relevant_per_request: 5.0,
+            token_noise: 0.20,
+        },
+        // --- Wikipedia (the Fig. 8 zoom-in dataset) ---
+        DatasetProfile {
+            name: "wikipedia",
+            family: "wikipedia",
+            separability: 0.65,
+            candidate_len_mean: 0.90,
+            candidate_len_rel_std: 0.20,
+            zipf_exponent: 1.10,
+            relevant_per_request: 6.0,
+            token_noise: 0.14,
+        },
+        // --- CodeRAG ---
+        DatasetProfile {
+            name: "coderag",
+            family: "coderag",
+            separability: 0.38,
+            candidate_len_mean: 1.00,
+            candidate_len_rel_std: 0.40,
+            zipf_exponent: 1.30,
+            relevant_per_request: 4.0,
+            token_noise: 0.26,
+        },
+    ]
+}
+
+/// Looks up a profile by name.
+pub fn dataset_by_name(name: &str) -> Option<DatasetProfile> {
+    dataset_catalog().into_iter().find(|d| d.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_eighteen_datasets() {
+        let cat = dataset_catalog();
+        assert_eq!(cat.len(), 18);
+        assert_eq!(cat.iter().filter(|d| d.family == "beir").count(), 15);
+        assert!(cat.iter().any(|d| d.name == "lotte"));
+        assert!(cat.iter().any(|d| d.name == "wikipedia"));
+        assert!(cat.iter().any(|d| d.name == "coderag"));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let cat = dataset_catalog();
+        let mut names: Vec<_> = cat.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 18);
+    }
+
+    #[test]
+    fn parameters_in_sane_ranges() {
+        for d in dataset_catalog() {
+            assert!((0.0..=1.0).contains(&d.separability), "{}", d.name);
+            assert!(d.candidate_len_mean > 0.0);
+            assert!(d.relevant_per_request >= 1.0);
+            assert!((0.0..0.5).contains(&d.token_noise));
+            assert!(d.zipf_exponent > 0.5);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(dataset_by_name("wikipedia").is_some());
+        assert!(dataset_by_name("msmarco").is_some());
+        assert!(dataset_by_name("imaginary").is_none());
+    }
+
+    #[test]
+    fn difficulty_spread_exists() {
+        let cat = dataset_catalog();
+        let max = cat.iter().map(|d| d.separability).fold(0.0_f32, f32::max);
+        let min = cat.iter().map(|d| d.separability).fold(1.0_f32, f32::min);
+        // Catalog must span easy and hard datasets for the latency range
+        // experiments (Table 3 reports wide per-dataset ranges).
+        assert!(max - min > 0.3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Zipf-distributed token sampling.
+//!
+//! Natural-language token usage follows a rank-frequency power law; the
+//! paper's embedding-table cache (§4.4) depends on that skew. This sampler
+//! draws token *ranks* from a truncated Zipf(s) distribution via a
+//! precomputed inverse CDF so benchmark token streams are deterministic and
+//! cheap.
+
+use rand::Rng;
+
+/// Truncated Zipf sampler over ranks `0..n`.
+///
+/// # Examples
+///
+/// ```
+/// use prism_workload::ZipfSampler;
+/// let z = ZipfSampler::new(100, 1.0);
+/// assert!(z.pmf(0) > z.pmf(50)); // low ranks are more frequent
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Builds a sampler over `n` ranks with exponent `s` (`s ≈ 1` for
+    /// natural language). `n` is clamped to at least 1.
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the sampler has a single rank only.
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Samples a rank in `0..n` (rank 0 most frequent).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("finite cdf"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r >= self.cdf.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cdf_is_normalized_and_monotone() {
+        let z = ZipfSampler::new(100, 1.1);
+        assert_eq!(z.len(), 100);
+        let cdf_last = z.cdf.last().copied().unwrap();
+        assert!((cdf_last - 1.0).abs() < 1e-12);
+        for w in z.cdf.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn rank_zero_is_most_frequent() {
+        let z = ZipfSampler::new(50, 1.0);
+        assert!(z.pmf(0) > z.pmf(1));
+        assert!(z.pmf(1) > z.pmf(10));
+        assert!(z.pmf(99) == 0.0);
+        // pmf(0)/pmf(9) == 10 under s=1.
+        assert!((z.pmf(0) / z.pmf(9) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empirical_distribution_is_skewed() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = vec![0_usize; 1000];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // Top-10% of ranks should attract well over half the mass.
+        let head: usize = counts[..100].iter().sum();
+        assert!(head * 2 > draws, "head {head}/{draws}");
+        // All samples within range is implicit; spot-check the tail exists.
+        let tail: usize = counts[500..].iter().sum();
+        assert!(tail > 0);
+    }
+
+    #[test]
+    fn single_rank_always_zero() {
+        let z = ZipfSampler::new(1, 1.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+        let z0 = ZipfSampler::new(0, 1.0);
+        assert_eq!(z0.len(), 1, "clamped to one rank");
+    }
+
+    #[test]
+    fn higher_exponent_more_skew() {
+        let flat = ZipfSampler::new(100, 0.5);
+        let steep = ZipfSampler::new(100, 2.0);
+        assert!(steep.pmf(0) > flat.pmf(0));
+    }
+}

@@ -1,0 +1,54 @@
+//! The paper's agent-memory application (§6.3): a reranker-backed
+//! trajectory cache that skips expensive VLM calls on cache hits.
+//!
+//! ```text
+//! cargo run --release -p prism-apps --example agent_memory_cache
+//! ```
+
+use prism_apps::{AgentMemory, AgentScenario};
+use prism_core::{EngineOptions, PrismEngine};
+use prism_device::DeviceSpec;
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelConfig};
+use prism_storage::Container;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::qwen3_0_6b().mini_twin();
+    let model = Model::generate(config.clone(), 42)?;
+    let path = std::env::temp_dir().join("prism-agent.prsm");
+    model.write_container(&path)?;
+
+    for scenario in [AgentScenario::Video, AgentScenario::Community] {
+        let engine = PrismEngine::new(
+            Container::open(&path)?,
+            config.clone(),
+            EngineOptions::default(),
+            MemoryMeter::new(),
+        )?;
+        let mut agent = AgentMemory::new(
+            scenario,
+            Some(engine),
+            config.vocab_size,
+            config.max_seq,
+            DeviceSpec::a800(),
+            3,
+        );
+        let tasks = 12;
+        let mut hits = 0;
+        let mut ok = 0;
+        let mut total_s = 0.0;
+        for t in 0..tasks {
+            let r = agent.run_task(t)?;
+            hits += r.cache_hit as usize;
+            ok += r.success as usize;
+            total_s += r.total_s();
+        }
+        println!(
+            "{:<10} cache hits {hits}/{tasks}  success {ok}/{tasks}  avg task {:.2}s",
+            scenario.name(),
+            total_s / tasks as f64
+        );
+    }
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

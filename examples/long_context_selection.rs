@@ -1,0 +1,85 @@
+//! The paper's long-context selection application (§6.3): pick the most
+//! relevant context segments with PRISM before feeding an LLM, versus
+//! blindly truncating the context.
+//!
+//! ```text
+//! cargo run --release -p prism-apps --example long_context_selection
+//! ```
+
+use prism_apps::LongContextSelector;
+use prism_baselines::HfVanilla;
+use prism_core::{EngineOptions, PrismEngine};
+use prism_device::DeviceSpec;
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelConfig};
+use prism_storage::Container;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::qwen3_0_6b().mini_twin();
+    let model = Model::generate(config.clone(), 42)?;
+    let path = std::env::temp_dir().join("prism-lcs.prsm");
+    model.write_container(&path)?;
+    let gen_cfg = ModelConfig::qwen3_4b();
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let (segments, gold, window) = (32, 5, 8);
+
+    let questions = 6;
+    let run = |name: &str, use_prism: Option<bool>| -> Result<(), Box<dyn std::error::Error>> {
+        let mut precision = 0.0;
+        let mut total_s = 0.0;
+        match use_prism {
+            Some(true) => {
+                let engine = PrismEngine::new(
+                    Container::open(&path)?,
+                    config.clone(),
+                    EngineOptions::default(),
+                    MemoryMeter::new(),
+                )?;
+                let mut sel = LongContextSelector::new(
+                    Some(engine), config.vocab_size, 16, segments, gold, window,
+                    gen_cfg.clone(), rtx.clone(),
+                );
+                for q in 0..questions {
+                    let o = sel.run(q)?;
+                    precision += o.segment_precision;
+                    total_s += o.total_s();
+                }
+            }
+            Some(false) => {
+                let hf = HfVanilla::new(
+                    &Container::open(&path)?, config.clone(), 32, MemoryMeter::new())?;
+                let mut sel = LongContextSelector::new(
+                    Some(hf), config.vocab_size, 16, segments, gold, window,
+                    gen_cfg.clone(), rtx.clone(),
+                );
+                for q in 0..questions {
+                    let o = sel.run(q)?;
+                    precision += o.segment_precision;
+                    total_s += o.total_s();
+                }
+            }
+            None => {
+                let mut sel: LongContextSelector<HfVanilla> = LongContextSelector::new(
+                    None, config.vocab_size, 16, segments, gold, window,
+                    gen_cfg.clone(), rtx.clone(),
+                );
+                for q in 0..questions {
+                    let o = sel.run(q)?;
+                    precision += o.segment_precision;
+                    total_s += o.total_s();
+                }
+            }
+        }
+        println!(
+            "{name:<12} segment precision {:.2}  avg end-to-end {:.2}s",
+            precision / questions as f64,
+            total_s / questions as f64
+        );
+        Ok(())
+    };
+    run("PRISM", Some(true))?;
+    run("HF rerank", Some(false))?;
+    run("truncate", None)?;
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

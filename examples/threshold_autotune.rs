@@ -1,0 +1,60 @@
+//! The §4.1 feedback loop: give PRISM a precision target and let the
+//! calibrator find the lowest dispersion threshold that meets it.
+//!
+//! ```text
+//! cargo run --release -p prism-apps --example threshold_autotune
+//! ```
+
+use prism_core::{EngineOptions, PrismEngine, ThresholdCalibrator};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelConfig, SequenceBatch};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::qwen3_0_6b().mini_twin();
+    let model = Model::generate(config.clone(), 42)?;
+    let path = std::env::temp_dir().join("prism-autotune.prsm");
+    model.write_container(&path)?;
+    let profile = dataset_by_name("wikipedia").expect("catalog dataset");
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 9);
+
+    let mut engine = PrismEngine::new(
+        Container::open(&path)?,
+        config.clone(),
+        EngineOptions { dispersion_threshold: 0.05, ..Default::default() },
+        MemoryMeter::new(),
+    )?;
+    // Ground-truth engine: full inference, "re-executed when idle".
+    let mut oracle = PrismEngine::new(
+        Container::open(&path)?,
+        config.clone(),
+        EngineOptions::all_off(),
+        MemoryMeter::new(),
+    )?;
+
+    let k = 5;
+    let mut calibrator = ThresholdCalibrator::new(0.9, 0.05);
+    println!("target precision 0.90 vs full inference; starting threshold 0.05");
+    for round in 0..6 {
+        engine.set_dispersion_threshold(calibrator.threshold());
+        let mut work = 0.0;
+        for r in 0..4 {
+            let idx = round * 4 + r;
+            let batch = SequenceBatch::new(&generator.request(idx, 20).sequences())?;
+            let fast = engine.select_top_k(&batch, k)?;
+            let truth = oracle.select_top_k(&batch, k)?;
+            work += fast.trace.active_per_layer.iter().sum::<usize>() as f64
+                / (20 * config.num_layers) as f64;
+            calibrator.record_sample(&fast.top_ids(), &truth.top_ids(), k);
+        }
+        let measured = calibrator.measured_precision().unwrap_or(1.0);
+        let new_t = calibrator.update();
+        println!(
+            "round {round}: measured precision {measured:.3}  work fraction {:.2}  -> threshold {new_t:.3}",
+            work / 4.0
+        );
+    }
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

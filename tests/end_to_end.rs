@@ -1,0 +1,195 @@
+//! Cross-crate integration: the full PRISM stack — workload generation,
+//! weight containers, engine, baselines, calibrator and applications —
+//! exercised together at test scale.
+
+use prism_baselines::{HfOffload, HfVanilla, Reranker};
+use prism_core::{EngineOptions, PrismEngine, ThresholdCalibrator};
+use prism_metrics::{precision_at_k, MemCategory, MemoryMeter};
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_storage::{Container, Throttle};
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+fn fixture(tag: &str) -> (Model, std::path::PathBuf) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 8);
+    let model = Model::generate(config, 42).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-e2e-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    (model, path)
+}
+
+fn request(model: &Model, idx: u64, n: usize) -> (SequenceBatch, Vec<usize>) {
+    let profile = dataset_by_name("wikipedia").expect("profile");
+    let gen = WorkloadGenerator::new(profile, model.config.vocab_size, model.config.max_seq, 5);
+    let req = gen.request(idx, n);
+    (
+        SequenceBatch::new(&req.sequences()).expect("batch"),
+        req.relevant,
+    )
+}
+
+#[test]
+fn all_systems_agree_on_clear_winners() {
+    let (model, path) = fixture("agree");
+    let container = Container::open(&path).unwrap();
+    let (batch, _) = request(&model, 0, 12);
+    let k = 4;
+
+    let mut hf = HfVanilla::new(&container, model.config.clone(), 6, MemoryMeter::new()).unwrap();
+    let mut offload = HfOffload::new(
+        &container,
+        model.config.clone(),
+        6,
+        Throttle::unlimited(),
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let mut prism = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        model.config.clone(),
+        EngineOptions::default(),
+        MemoryMeter::new(),
+    )
+    .unwrap();
+
+    let truth = hf.rerank(&batch, k).unwrap();
+    let off = offload.rerank(&batch, k).unwrap();
+    assert_eq!(truth.scores, off.scores, "offload must be bit-exact");
+
+    let fast = Reranker::rerank(&mut prism, &batch, k).unwrap();
+    let mut t_ids = truth.top_ids();
+    let mut f_ids = fast.top_ids();
+    t_ids.sort_unstable();
+    f_ids.sort_unstable();
+    let overlap = f_ids.iter().filter(|i| t_ids.binary_search(i).is_ok()).count();
+    assert!(overlap >= k - 1, "PRISM top-{k} overlap {overlap} too low");
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn calibrator_converges_against_live_engine() {
+    let (model, path) = fixture("calib");
+    let mut engine = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        model.config.clone(),
+        EngineOptions { dispersion_threshold: 0.02, ..Default::default() },
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let mut oracle = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        model.config.clone(),
+        EngineOptions::all_off(),
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let mut calibrator = ThresholdCalibrator::new(0.85, 0.02);
+    let k = 4;
+    for round in 0..5_u64 {
+        engine.set_dispersion_threshold(calibrator.threshold());
+        for r in 0..4 {
+            let (batch, _) = request(&model, round * 4 + r, 12);
+            let fast = engine.select_top_k(&batch, k).unwrap();
+            let truth = oracle.select_top_k(&batch, k).unwrap();
+            calibrator.record_sample(&fast.top_ids(), &truth.top_ids(), k);
+        }
+        calibrator.update();
+    }
+    // The loop must keep the threshold within its bounds and adapt it away
+    // from the aggressive start when precision demands it.
+    let t = calibrator.threshold();
+    assert!((0.02..=2.0).contains(&t));
+    // And the engine at the calibrated threshold meets the target.
+    engine.set_dispersion_threshold(t);
+    let mut total = 0.0;
+    for r in 100..104 {
+        let (batch, _) = request(&model, r, 12);
+        let fast = engine.select_top_k(&batch, k).unwrap();
+        let truth = oracle.select_top_k(&batch, k).unwrap();
+        total += precision_at_k(&fast.top_ids(), &truth.top_ids(), k);
+    }
+    assert!(total / 4.0 >= 0.6, "calibrated precision {:.2}", total / 4.0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn precision_is_platform_and_technique_independent() {
+    // The same request through four engine configurations with identical
+    // pruning must produce identical top-K sets (memory techniques must
+    // not affect results).
+    let (model, path) = fixture("techniques");
+    let (batch, _) = request(&model, 3, 10);
+    let mut reference: Option<Vec<usize>> = None;
+    for (streaming, chunking, cache) in
+        [(false, false, false), (true, false, false), (false, true, true), (true, true, true)]
+    {
+        let options = EngineOptions {
+            streaming,
+            chunking,
+            chunk_candidates: chunking.then_some(3),
+            embed_cache: cache,
+            ..EngineOptions::default()
+        };
+        let mut engine = PrismEngine::new(
+            Container::open(&path).unwrap(),
+            model.config.clone(),
+            options,
+            MemoryMeter::new(),
+        )
+        .unwrap();
+        let ids = engine.select_top_k(&batch, 4).unwrap().top_ids();
+        match &reference {
+            None => reference = Some(ids),
+            Some(r) => assert_eq!(&ids, r, "streaming={streaming} chunking={chunking} cache={cache}"),
+        }
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn memory_categories_reconcile() {
+    let (model, path) = fixture("memcat");
+    let meter = MemoryMeter::new();
+    let mut engine = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        model.config.clone(),
+        EngineOptions::default(),
+        meter.clone(),
+    )
+    .unwrap();
+    let (batch, _) = request(&model, 1, 10);
+    engine.select_top_k(&batch, 3).unwrap();
+    // After a request: transient categories are back to zero, persistent
+    // ones (cache, head) remain.
+    assert_eq!(meter.current(MemCategory::Intermediate), 0);
+    assert_eq!(meter.current(MemCategory::HiddenStates), 0);
+    assert!(meter.current(MemCategory::Embedding) > 0);
+    assert!(meter.current(MemCategory::Head) > 0);
+    assert!(meter.peak(MemCategory::LayerWeights) > 0, "streamed layers were tracked");
+    assert!(meter.peak_total() > meter.current_total());
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn quantized_stack_end_to_end() {
+    let (model, path) = fixture("quant");
+    let qmodel = model.quantized().unwrap();
+    let mut qpath = std::env::temp_dir();
+    qpath.push(format!("prism-e2e-quant-q4-{}.prsm", std::process::id()));
+    qmodel.write_container(&qpath).unwrap();
+
+    let (batch, relevant) = request(&model, 2, 12);
+    let mut engine = PrismEngine::new(
+        Container::open(&qpath).unwrap(),
+        qmodel.config.clone(),
+        EngineOptions::default(),
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let sel = engine.select_top_k(&batch, 4).unwrap();
+    assert_eq!(sel.ranked.len(), 4);
+    let p = precision_at_k(&sel.top_ids(), &relevant, 4);
+    assert!(p > 0.0, "quantized engine found no relevant docs");
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&qpath).unwrap();
+}

@@ -1,0 +1,201 @@
+//! The paper's headline claims as executable invariants, checked against
+//! the calibrated device model and real mini-scale pruning schedules.
+
+use prism_device::{
+    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
+    DeviceSpec, PrismSimOptions, PruneSchedule,
+};
+use prism_model::ModelConfig;
+
+fn shape() -> BatchShape {
+    BatchShape { candidates: 20, seq_len: 500 }
+}
+
+/// A conservative mid-depth schedule (~45% of the layer-candidate work).
+fn schedule(cfg: &ModelConfig) -> PruneSchedule {
+    let l = cfg.num_layers;
+    let active = (0..l)
+        .map(|i| {
+            let f = i as f64 / l as f64;
+            if f < 0.4 {
+                20
+            } else if f < 0.7 {
+                8
+            } else {
+                0
+            }
+        })
+        .collect();
+    PruneSchedule { active_per_layer: active }
+}
+
+#[test]
+fn claim_latency_reduction_band() {
+    // Abstract: up to 89.2% latency reduction vs HF Offload. Shape claim:
+    // PRISM is substantially faster than every baseline on every model
+    // that fits, with the maximum reduction in the 60-95% band.
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let mut max_reduction: f64 = 0.0;
+    for cfg in ModelConfig::paper_catalog() {
+        let sched = schedule(&cfg);
+        let prism = simulate_prism(&cfg, &rtx, shape(), &sched, PrismSimOptions::default());
+        let offload = simulate_hf_offload(&cfg, &rtx, shape());
+        let reduction = 1.0 - prism.latency_s / offload.latency_s;
+        assert!(reduction > 0.3, "{}: reduction {reduction:.2} too small", cfg.name);
+        max_reduction = max_reduction.max(reduction);
+    }
+    assert!(
+        (0.6..0.97).contains(&max_reduction),
+        "max reduction {max_reduction:.2} outside the paper's band"
+    );
+}
+
+#[test]
+fn claim_peak_memory_reduction_band() {
+    // Abstract: up to 91.3% peak-memory reduction. Fig. 9: 5.34x-11.45x vs
+    // HF, 1.34x-3.83x vs offload, 2.77x-4.83x vs quant.
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let a800 = DeviceSpec::a800();
+    for cfg in ModelConfig::paper_catalog() {
+        let sched = schedule(&cfg);
+        let prism = simulate_prism(&cfg, &rtx, shape(), &sched, PrismSimOptions::default());
+        let mut hf = simulate_hf(&cfg, &rtx, shape());
+        if hf.oom {
+            hf = simulate_hf(&cfg, &a800, shape());
+        }
+        let offload = simulate_hf_offload(&cfg, &rtx, shape());
+        let quant = simulate_hf_quant(&cfg, &rtx, shape());
+        let r_hf = hf.peak_bytes as f64 / prism.peak_bytes as f64;
+        let r_off = offload.peak_bytes as f64 / prism.peak_bytes as f64;
+        let r_quant = quant.peak_bytes as f64 / prism.peak_bytes as f64;
+        assert!((3.0..16.0).contains(&r_hf), "{}: vs HF {r_hf:.2}", cfg.name);
+        assert!((1.2..5.0).contains(&r_off), "{}: vs offload {r_off:.2}", cfg.name);
+        assert!((2.0..6.5).contains(&r_quant), "{}: vs quant {r_quant:.2}", cfg.name);
+    }
+}
+
+#[test]
+fn claim_oom_matrix() {
+    // Table 3: vanilla HF OOMs for Qwen3-4B/8B on both platforms; PRISM
+    // runs everything everywhere.
+    for device in [DeviceSpec::rtx5070_laptop(), DeviceSpec::apple_m2()] {
+        for cfg in ModelConfig::paper_catalog() {
+            let hf = simulate_hf(&cfg, &device, shape());
+            let big = cfg.total_params() > 3_000_000_000;
+            assert_eq!(hf.oom, big, "{} on {}: oom={}", cfg.name, device.name, hf.oom);
+            let prism = simulate_prism(
+                &cfg,
+                &device,
+                shape(),
+                &schedule(&cfg),
+                PrismSimOptions::default(),
+            );
+            assert!(!prism.oom, "{} must fit under PRISM on {}", cfg.name, device.name);
+        }
+    }
+}
+
+#[test]
+fn claim_overlap_window() {
+    // §3.2: per-layer compute time covers per-layer weight I/O on both
+    // platforms, for every evaluated model.
+    for device in [DeviceSpec::rtx5070_laptop(), DeviceSpec::apple_m2()] {
+        for cfg in ModelConfig::paper_catalog() {
+            let tokens = shape().total_tokens();
+            let compute = device.compute_time_s(cfg.layer_macs(tokens, 500), tokens, false);
+            let io = device.ssd_read_time_s(cfg.layer_bytes());
+            assert!(
+                compute > io,
+                "{} on {}: compute {compute:.4}s < io {io:.4}s",
+                cfg.name,
+                device.name
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_streaming_no_latency_penalty() {
+    // §4.2: streaming weights costs (almost) no latency versus resident
+    // weights once the pipeline is warm.
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let cfg = ModelConfig::qwen3_0_6b();
+    let sched = PruneSchedule::no_pruning(cfg.num_layers, 20);
+    let streamed = simulate_prism(
+        &cfg,
+        &rtx,
+        shape(),
+        &sched,
+        PrismSimOptions { embed_cache_fraction: None, gate_overhead_s: 0.0, ..Default::default() },
+    );
+    let resident = simulate_prism(
+        &cfg,
+        &rtx,
+        shape(),
+        &sched,
+        PrismSimOptions {
+            streaming: false,
+            embed_cache_fraction: None,
+            gate_overhead_s: 0.0,
+            ..Default::default()
+        },
+    );
+    assert!(streamed.latency_s <= resident.latency_s * 1.05);
+}
+
+#[test]
+fn claim_fig16_ablation_shape() {
+    // Fig. 16's signature: pruning cuts latency but inflates memory
+    // (monolithic intermediates); chunking recovers the memory; streaming
+    // and the embedding cache each cut deeper without big latency cost.
+    let rtx = DeviceSpec::rtx5070_laptop();
+    let cfg = ModelConfig::qwen3_0_6b();
+    let big = BatchShape { candidates: 60, seq_len: 500 };
+    let sched = schedule(&cfg);
+    let sched60 = PruneSchedule {
+        active_per_layer: sched.active_per_layer.iter().map(|a| a * 3).collect(),
+    };
+    let hf = simulate_hf(&cfg, &rtx, big);
+    let pruned = simulate_prism(
+        &cfg,
+        &rtx,
+        big,
+        &sched60,
+        PrismSimOptions {
+            streaming: false,
+            chunked: None,
+            embed_cache_fraction: None,
+            ..Default::default()
+        },
+    );
+    let chunked = simulate_prism(
+        &cfg,
+        &rtx,
+        big,
+        &sched60,
+        PrismSimOptions {
+            streaming: false,
+            chunked: Some(None),
+            embed_cache_fraction: None,
+            ..Default::default()
+        },
+    );
+    let streamed = simulate_prism(
+        &cfg,
+        &rtx,
+        big,
+        &sched60,
+        PrismSimOptions { chunked: Some(None), embed_cache_fraction: None, ..Default::default() },
+    );
+    let cached = simulate_prism(&cfg, &rtx, big, &sched60, PrismSimOptions::default());
+
+    assert!(pruned.latency_s < hf.latency_s * 0.75, "pruning cuts latency");
+    assert!(pruned.peak_bytes > hf.peak_bytes, "monolithic batch inflates memory");
+    assert!(chunked.peak_bytes < pruned.peak_bytes, "chunking recovers memory");
+    assert!(streamed.peak_bytes < chunked.peak_bytes, "streaming cuts weights");
+    assert!(cached.peak_bytes < streamed.peak_bytes, "cache cuts embedding");
+    assert!(
+        cached.peak_bytes * 3 < hf.peak_bytes,
+        "combined reduction at least 3x (paper: 4.6x)"
+    );
+}
