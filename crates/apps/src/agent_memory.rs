@@ -207,8 +207,7 @@ impl<R: Reranker> AgentMemory<R> {
             let (top_slot, top_score) = outcome.ranked[0];
             let runner_up = outcome.ranked.get(1).map_or(0.0, |&(_, s)| s);
 
-            if top_score >= self.accept_threshold && top_score - runner_up >= self.accept_margin
-            {
+            if top_score >= self.accept_threshold && top_score - runner_up >= self.accept_margin {
                 cache_hits += 1;
                 if match_slot != Some(top_slot) {
                     success = false;
@@ -286,7 +285,10 @@ mod tests {
                 successes += 1;
             }
         }
-        assert!(hits * 3 >= step_total, "too few cache hits: {hits}/{step_total}");
+        assert!(
+            hits * 3 >= step_total,
+            "too few cache hits: {hits}/{step_total}"
+        );
         assert!(hits < step_total, "some misses expected");
         let rate = successes as f64 / tasks as f64;
         // Mini-scale scores are noisier than the paper's full models (which
@@ -331,7 +333,10 @@ mod tests {
                 7,
             );
             let tasks = 16;
-            (0..tasks).map(|t| agent.run_task(t).unwrap().total_s()).sum::<f64>() / tasks as f64
+            (0..tasks)
+                .map(|t| agent.run_task(t).unwrap().total_s())
+                .sum::<f64>()
+                / tasks as f64
         };
         let without = run(false);
         let with = run(true);

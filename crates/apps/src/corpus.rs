@@ -7,9 +7,7 @@
 //! channel the bi-encoder and cross-encoder key on). Gold labels follow
 //! the planted relevance.
 
-use prism_model::semantics::{
-    anti_topic_token_range, background_token_range, topic_token_range,
-};
+use prism_model::semantics::{anti_topic_token_range, background_token_range, topic_token_range};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -173,14 +171,20 @@ mod tests {
         let c = Corpus::generate(spec());
         let q = &c.queries[0];
         let qterms: std::collections::HashSet<u32> = q.tokens[..4].iter().copied().collect();
-        let overlap = |doc: &CorpusDoc| -> usize {
-            doc.tokens.iter().filter(|t| qterms.contains(t)).count()
-        };
-        let gold_avg: f64 = q.gold_ids.iter().map(|&g| overlap(&c.docs[g]) as f64).sum::<f64>()
+        let overlap =
+            |doc: &CorpusDoc| -> usize { doc.tokens.iter().filter(|t| qterms.contains(t)).count() };
+        let gold_avg: f64 = q
+            .gold_ids
+            .iter()
+            .map(|&g| overlap(&c.docs[g]) as f64)
+            .sum::<f64>()
             / q.gold_ids.len() as f64;
         let tail: Vec<usize> = q.doc_ids[q.doc_ids.len() - 4..].to_vec();
-        let low_avg: f64 =
-            tail.iter().map(|&g| overlap(&c.docs[g]) as f64).sum::<f64>() / 4.0;
+        let low_avg: f64 = tail
+            .iter()
+            .map(|&g| overlap(&c.docs[g]) as f64)
+            .sum::<f64>()
+            / 4.0;
         assert!(
             gold_avg > low_avg,
             "gold docs must contain more query terms ({gold_avg} vs {low_avg})"

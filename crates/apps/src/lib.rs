@@ -24,7 +24,7 @@ pub mod retrieval;
 
 pub use agent_memory::{AgentMemory, AgentScenario, AgentTaskResult};
 pub use corpus::{Corpus, CorpusDoc, CorpusQuery};
-pub use long_context::{LcsOutcome, LongContextSelector, LcsStrategy};
+pub use long_context::{LcsOutcome, LcsStrategy, LongContextSelector};
 pub use rag::{RagAnswer, RagPipeline, RagStageLatency};
 pub use retrieval::{Bm25Index, VectorIndex};
 

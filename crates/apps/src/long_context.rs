@@ -8,9 +8,7 @@
 
 use prism_baselines::Reranker;
 use prism_device::{cost, DeviceSpec};
-use prism_model::semantics::{
-    anti_topic_token_range, background_token_range, topic_token_range,
-};
+use prism_model::semantics::{anti_topic_token_range, background_token_range, topic_token_range};
 use prism_model::{ModelConfig, SequenceBatch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -193,7 +191,11 @@ mod tests {
         (model, path)
     }
 
-    fn selector(model: &Model, path: &std::path::Path, rerank: bool) -> LongContextSelector<HfVanilla> {
+    fn selector(
+        model: &Model,
+        path: &std::path::Path,
+        rerank: bool,
+    ) -> LongContextSelector<HfVanilla> {
         let reranker = rerank.then(|| {
             let container = Container::open(path).unwrap();
             HfVanilla::new(&container, model.config.clone(), 32, MemoryMeter::new()).unwrap()
@@ -259,6 +261,9 @@ mod tests {
         assert!(mean(&hi) > mean(&lo) + 0.3);
         // Deterministic and length-clamped.
         assert_eq!(relevance_sequence(0.5, 0, v, 9).len(), 2);
-        assert_eq!(relevance_sequence(0.5, 8, v, 9), relevance_sequence(0.5, 8, v, 9));
+        assert_eq!(
+            relevance_sequence(0.5, 8, v, 9),
+            relevance_sequence(0.5, 8, v, 9)
+        );
     }
 }

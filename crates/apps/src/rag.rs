@@ -156,7 +156,8 @@ impl<R: Reranker> RagPipeline<R> {
             + query.tokens.len();
         let scale = 512 / self.max_seq.max(1);
         let prompt_tokens = (mini_tokens * scale.max(1)) as u64;
-        let first_token_s = cost::first_token_time_s(&self.gen_model, &self.gen_device, prompt_tokens);
+        let first_token_s =
+            cost::first_token_time_s(&self.gen_model, &self.gen_device, prompt_tokens);
 
         let global_gold: Vec<usize> = self
             .corpus
@@ -213,8 +214,7 @@ mod tests {
         corpus: Corpus,
     ) -> RagPipeline<HfVanilla> {
         let container = Container::open(path).unwrap();
-        let hf =
-            HfVanilla::new(&container, model.config.clone(), 8, MemoryMeter::new()).unwrap();
+        let hf = HfVanilla::new(&container, model.config.clone(), 8, MemoryMeter::new()).unwrap();
         RagPipeline::new(
             corpus,
             model.weights.embedding.clone(),

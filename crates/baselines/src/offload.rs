@@ -133,8 +133,7 @@ impl crate::Reranker for HfOffload {
             let sub = batch.gather(&ids)?;
             let mut hidden = self.embed(&sub)?;
             let hidden_bytes = hidden.size_bytes() as u64;
-            let inter =
-                intermediate_bytes(&self.config, sub.total_tokens(), sub.max_seq_len());
+            let inter = intermediate_bytes(&self.config, sub.total_tokens(), sub.max_seq_len());
             self.meter.alloc(MemCategory::HiddenStates, hidden_bytes);
             self.meter.alloc(MemCategory::Intermediate, inter);
             for l in 0..self.config.num_layers {
@@ -263,7 +262,11 @@ mod tests {
         let stats = offload.stats();
         // Layer blobs are ~10 KiB each at test scale; 3 loads at 4 MiB/s
         // must take measurable time.
-        assert!(stats.load_micros > 1_000, "load_micros {}", stats.load_micros);
+        assert!(
+            stats.load_micros > 1_000,
+            "load_micros {}",
+            stats.load_micros
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

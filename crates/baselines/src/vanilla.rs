@@ -111,7 +111,10 @@ mod tests {
         let config = ModelConfig::test_config(ModelArch::DecoderOnly, layers);
         let model = Model::generate(config, 42).unwrap();
         let mut path = std::env::temp_dir();
-        path.push(format!("prism-vanilla-{}-{layers}.prsm", std::process::id()));
+        path.push(format!(
+            "prism-vanilla-{}-{layers}.prsm",
+            std::process::id()
+        ));
         model.write_container(&path).unwrap();
         (model, path)
     }
@@ -160,7 +163,12 @@ mod tests {
         let container = Container::open(&path).unwrap();
         let meter = MemoryMeter::new();
         let _hf = HfVanilla::new(&container, model.config.clone(), 4, meter.clone()).unwrap();
-        let layer_total: u64 = model.weights.layers.iter().map(|l| l.size_bytes() as u64).sum();
+        let layer_total: u64 = model
+            .weights
+            .layers
+            .iter()
+            .map(|l| l.size_bytes() as u64)
+            .sum();
         assert_eq!(meter.current(MemCategory::LayerWeights), layer_total);
         assert!(meter.current(MemCategory::Embedding) > 0);
         std::fs::remove_file(&path).unwrap();

@@ -10,7 +10,10 @@ use rand::SeedableRng;
 
 fn setup(vocab: usize, dim: usize) -> (std::path::PathBuf, Container) {
     let mut path = std::env::temp_dir();
-    path.push(format!("prism-bench-embcache-{}-{vocab}.prsm", std::process::id()));
+    path.push(format!(
+        "prism-bench-embcache-{}-{vocab}.prsm",
+        std::process::id()
+    ));
     let table = Tensor::from_fn(vocab, dim, |r, c| ((r * dim + c) as f32 * 0.001).sin());
     let mut w = ContainerWriter::create(&path);
     w.add_f32("embedding", &table);
@@ -26,8 +29,8 @@ fn bench_cache(c: &mut Criterion) {
     let mut g = c.benchmark_group("embedding_cache");
 
     for &capacity_pct in &[10_usize, 50] {
-        let source = DiskRowSource::new(&container, "embedding", Throttle::unlimited())
-            .expect("source");
+        let source =
+            DiskRowSource::new(&container, "embedding", Throttle::unlimited()).expect("source");
         let mut cache = EmbeddingCache::new(source, vocab * capacity_pct / 100);
         let zipf = ZipfSampler::new(vocab, 1.05);
         let mut rng = StdRng::seed_from_u64(5);
@@ -43,7 +46,9 @@ fn bench_cache(c: &mut Criterion) {
             |bencher, _| {
                 bencher.iter(|| {
                     for &t in &tokens {
-                        cache.lookup_into(std::hint::black_box(t), &mut buf).unwrap();
+                        cache
+                            .lookup_into(std::hint::black_box(t), &mut buf)
+                            .unwrap();
                     }
                 });
             },

@@ -34,8 +34,8 @@ fn bench_systems(c: &mut Criterion) {
 
     g.bench_function("hf_vanilla", |bencher| {
         let container = Container::open(&fx.path).expect("open");
-        let mut hf = HfVanilla::new(&container, fx.model.config.clone(), 8, MemoryMeter::new())
-            .expect("hf");
+        let mut hf =
+            HfVanilla::new(&container, fx.model.config.clone(), 8, MemoryMeter::new()).expect("hf");
         bencher.iter(|| hf.rerank(std::hint::black_box(&fx.batch), 5).unwrap());
     });
 
@@ -48,12 +48,19 @@ fn bench_systems(c: &mut Criterion) {
             MemoryMeter::new(),
         )
         .expect("engine");
-        bencher.iter(|| engine.select_top_k(std::hint::black_box(&fx.batch), 5).unwrap());
+        bencher.iter(|| {
+            engine
+                .select_top_k(std::hint::black_box(&fx.batch), 5)
+                .unwrap()
+        });
     });
 
     g.bench_function("prism_no_pruning", |bencher| {
         let container = Container::open(&fx.path).expect("open");
-        let options = EngineOptions { pruning: false, ..Default::default() };
+        let options = EngineOptions {
+            pruning: false,
+            ..Default::default()
+        };
         let mut engine = PrismEngine::new(
             container,
             fx.model.config.clone(),
@@ -61,7 +68,11 @@ fn bench_systems(c: &mut Criterion) {
             MemoryMeter::new(),
         )
         .expect("engine");
-        bencher.iter(|| engine.select_top_k(std::hint::black_box(&fx.batch), 5).unwrap());
+        bencher.iter(|| {
+            engine
+                .select_top_k(std::hint::black_box(&fx.batch), 5)
+                .unwrap()
+        });
     });
 
     g.finish();

@@ -33,9 +33,8 @@ fn bench_gate(c: &mut Criterion) {
 fn bench_routing(c: &mut Criterion) {
     let s = scores(20);
     c.bench_function("route_candidates_20", |bencher| {
-        bencher.iter(|| {
-            prism_core::route_candidates(std::hint::black_box(&s), 10, 0.1, true, 5, 3)
-        });
+        bencher
+            .iter(|| prism_core::route_candidates(std::hint::black_box(&s), 10, 0.1, true, 5, 3));
     });
 }
 

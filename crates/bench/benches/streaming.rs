@@ -14,7 +14,13 @@ fn setup() -> (std::path::PathBuf, Container, Vec<String>) {
     path.push(format!("prism-bench-stream-{}.prsm", std::process::id()));
     let mut w = ContainerWriter::create(&path);
     for i in 0..LAYERS {
-        w.add_raw(&format!("layer.{i}"), SectionKind::Raw, 0, 0, vec![i as u8; LAYER_BYTES]);
+        w.add_raw(
+            &format!("layer.{i}"),
+            SectionKind::Raw,
+            0,
+            0,
+            vec![i as u8; LAYER_BYTES],
+        );
     }
     w.finish().expect("write");
     let c = Container::open(&path).expect("open");

@@ -5,7 +5,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use prism_tensor::{ops, QuantMatrix, Tensor};
 
 fn mat(rows: usize, cols: usize, seed: f32) -> Tensor {
-    Tensor::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) as f32 * seed).sin() * 0.5)
+    Tensor::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 7) as f32 * seed).sin() * 0.5
+    })
 }
 
 fn bench_matmul(c: &mut Criterion) {
@@ -15,7 +17,8 @@ fn bench_matmul(c: &mut Criterion) {
         let b = mat(n, n, 0.017);
         g.throughput(Throughput::Elements((n * n * n) as u64));
         g.bench_with_input(BenchmarkId::new("square", n), &n, |bencher, _| {
-            bencher.iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap());
+            bencher
+                .iter(|| ops::matmul(std::hint::black_box(&a), std::hint::black_box(&b)).unwrap());
         });
         g.bench_with_input(BenchmarkId::new("transb", n), &n, |bencher, _| {
             bencher.iter(|| {

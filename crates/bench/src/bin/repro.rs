@@ -19,7 +19,11 @@ use prism_bench::experiments::{ablation, apps, micro, overview};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let fast = args.iter().any(|a| a == "--fast");
-    let chosen: Vec<&str> = args.iter().filter(|a| !a.starts_with("--")).map(|s| s.as_str()).collect();
+    let chosen: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
     let what = chosen.first().copied().unwrap_or("all");
 
     let run = |name: &str| match name {

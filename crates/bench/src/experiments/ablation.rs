@@ -5,9 +5,7 @@ use serde::Serialize;
 
 use prism_cluster::kmeans_1d;
 use prism_core::{route_candidates, EngineOptions};
-use prism_device::{
-    simulate_hf, simulate_prism, BatchShape, DeviceSpec, PrismSimOptions,
-};
+use prism_device::{simulate_hf, simulate_prism, BatchShape, DeviceSpec, PrismSimOptions};
 use prism_metrics::precision_at_k;
 use prism_model::ModelConfig;
 use prism_workload::dataset_by_name;
@@ -31,15 +29,17 @@ pub fn fig16() {
     let paper = ModelConfig::qwen3_0_6b();
     let fx = mini_fixture(paper.clone());
     let rtx = DeviceSpec::rtx5070_laptop();
-    let shape = BatchShape { candidates: 60, seq_len: 500 };
+    let shape = BatchShape {
+        candidates: 60,
+        seq_len: 500,
+    };
     let ds = dataset_by_name("wikipedia").expect("profile");
     let (batch, _) = fx.request(&ds, 0, 60);
 
     // Real pruning schedule for the monolithic variants.
     // The paper's ablation prunes at a conservative setting (-49% latency,
     // not the Low threshold's deeper cut).
-    let pruned =
-        run_system(&fx, SystemKind::Prism { threshold: 0.45 }, &batch, 10).schedule;
+    let pruned = run_system(&fx, SystemKind::Prism { threshold: 0.45 }, &batch, 10).schedule;
     let unpruned = prism_device::PruneSchedule::no_pruning(paper.num_layers, 60);
 
     let variants: Vec<(&str, Option<PrismSimOptions>, &prism_device::PruneSchedule)> = vec![
@@ -153,8 +153,10 @@ pub fn ablation_extra() {
         let mut precision = 0.0;
         for r in 0..requests {
             let (batch, req) = fx.request(&ds, r, 20);
-            let options =
-                EngineOptions { dispersion_threshold: threshold, ..Default::default() };
+            let options = EngineOptions {
+                dispersion_threshold: threshold,
+                ..Default::default()
+            };
             let mut engine = fx.engine(options, false);
             let (sel, schedule) = run_with_schedule(&mut engine, &batch, k, paper.num_layers);
             work += schedule.work_fraction(20);
@@ -186,7 +188,11 @@ pub fn ablation_extra() {
     let trace = fx.model.layer_score_trace(&batch).expect("trace");
     let mid = &trace[trace.len() / 2];
     let fin = trace.last().expect("final");
-    for (variant, fixed_k) in [("silhouette-auto", None), ("fixed k=2", Some(2)), ("fixed k=5", Some(5))] {
+    for (variant, fixed_k) in [
+        ("silhouette-auto", None),
+        ("fixed k=2", Some(2)),
+        ("fixed k=5", Some(5)),
+    ] {
         let clustering = match fixed_k {
             None => prism_cluster::kmeans_auto(mid, 5, 7),
             Some(kk) => kmeans_1d(mid, kk, 7),
@@ -231,7 +237,10 @@ pub fn ablation_extra() {
         let out = simulate_prism(
             &paper,
             &rtx,
-            BatchShape { candidates: 20, seq_len: 500 },
+            BatchShape {
+                candidates: 20,
+                seq_len: 500,
+            },
             &schedule,
             PrismSimOptions {
                 embed_cache_fraction: if frac >= 1.0 { None } else { Some(frac) },

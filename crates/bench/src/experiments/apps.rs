@@ -38,11 +38,16 @@ fn rerank_sims(
     seq_len: usize,
     k: usize,
 ) -> (SimOutcome, SimOutcome) {
-    let shape = BatchShape { candidates, seq_len };
+    let shape = BatchShape {
+        candidates,
+        seq_len,
+    };
     let schedule = app_schedule(fx, candidates, k);
     let hf = simulate_system(SystemKind::Hf, &fx.paper, device, shape, &schedule);
     let ours = simulate_system(
-        SystemKind::Prism { threshold: thresholds_for(&fx.paper.name).1 },
+        SystemKind::Prism {
+            threshold: thresholds_for(&fx.paper.name).1,
+        },
         &fx.paper,
         device,
         shape,
@@ -134,10 +139,11 @@ pub fn fig11() {
         let retrieve_s = 0.008; // Hybrid search (paper Fig. 1: ~8 ms).
         let first_token_s =
             cost::first_token_time_s(&ModelConfig::qwen3_8b(), &DeviceSpec::a800(), 6 * 512);
-        report.line(&format!("--- {} (reranker: {}) ---", device.name, reranker_cfg.name));
-        for (system, sim, acc) in
-            [("HF", &hf_sim, acc_hf), ("Ours", &ours_sim, acc_ours)]
-        {
+        report.line(&format!(
+            "--- {} (reranker: {}) ---",
+            device.name, reranker_cfg.name
+        ));
+        for (system, sim, acc) in [("HF", &hf_sim, acc_hf), ("Ours", &ours_sim, acc_ours)] {
             let total = retrieve_s + sim.latency_s + first_token_s;
             report.line(&format!(
                 "{:<5} total {} (retrieve {} + rerank {} + first-token {})  acc {:.3}  rerank peak {} avg {}",
@@ -257,7 +263,8 @@ pub fn fig12_13() {
         report.blank();
     }
     // Fig. 13: memory during one cached click (rerank phase only).
-    let (hf_rerank, ours_rerank) = rerank_sims(&fx, &rtx, AgentScenario::Video.memory_size(), 300, 1);
+    let (hf_rerank, ours_rerank) =
+        rerank_sims(&fx, &rtx, AgentScenario::Video.memory_size(), 300, 1);
     report.line(&format!(
         "fig13: rerank peak HF {} vs Ours {} ({:.1}% saving; paper: 63.0%)",
         fmt_mib(hf_rerank.peak_bytes),
@@ -346,15 +353,25 @@ pub fn fig14_15() {
     };
 
     let (hf_sim, ours_sim) = rerank_sims(&fx, &rtx, segments, 500, window);
-    let gen_selected =
-        cost::prefill_time_s(&gen_cfg, &rtx, (window * 512) as u64) + cost::decode_time_s(&gen_cfg, &rtx, 64);
+    let gen_selected = cost::prefill_time_s(&gen_cfg, &rtx, (window * 512) as u64)
+        + cost::decode_time_s(&gen_cfg, &rtx, 64);
     let gen_full = cost::prefill_time_s(&gen_cfg, &rtx, (segments * 512) as u64)
         + cost::decode_time_s(&gen_cfg, &rtx, 64);
 
     let mut rows = Vec::new();
     for (system, rerank_s, inference_s, peak) in [
-        ("Ours", ours_sim.latency_s, gen_selected, ours_sim.peak_bytes),
-        ("HF Rerank", hf_sim.latency_s, gen_selected, hf_sim.peak_bytes),
+        (
+            "Ours",
+            ours_sim.latency_s,
+            gen_selected,
+            ours_sim.peak_bytes,
+        ),
+        (
+            "HF Rerank",
+            hf_sim.latency_s,
+            gen_selected,
+            hf_sim.peak_bytes,
+        ),
         ("Baseline (no rerank)", 0.0, gen_full, 0),
     ] {
         let precision = run_selector(system);

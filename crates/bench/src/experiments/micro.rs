@@ -100,7 +100,11 @@ pub fn table3(fast: bool) {
                                         micro_batch_shape(),
                                         &run.schedule,
                                     );
-                                    lat.push((SystemKind::HfOffload, out.latency_s, dev.compute_flops));
+                                    lat.push((
+                                        SystemKind::HfOffload,
+                                        out.latency_s,
+                                        dev.compute_flops,
+                                    ));
                                 }
                             }
                         }
@@ -208,8 +212,8 @@ pub fn fig8() {
                 for (ki, k) in [1_usize, 5, 10].iter().enumerate() {
                     let (batch, req) = fx.request(&ds, r, CANDIDATES);
                     let run = run_system(&fx, system, &batch, *k);
-                    precision[ki] += precision_at_k(&run.top_ids, &req.relevant, *k)
-                        / REQUESTS as f64;
+                    precision[ki] +=
+                        precision_at_k(&run.top_ids, &req.relevant, *k) / REQUESTS as f64;
                     if *k == 10 && r == 0 {
                         schedule = Some(run.schedule);
                     }
@@ -285,12 +289,23 @@ pub fn fig9() {
             SystemKind::HfOffload,
             SystemKind::HfQuant,
         ] {
-            let mut out =
-                simulate_system(system, &paper, &rtx, micro_batch_shape(), &prism_run.schedule);
+            let mut out = simulate_system(
+                system,
+                &paper,
+                &rtx,
+                micro_batch_shape(),
+                &prism_run.schedule,
+            );
             let mut oom = false;
             if out.oom && matches!(system, SystemKind::Hf) {
                 // Paper: 4B/8B HF curves measured on an A800 instead.
-                out = simulate_system(system, &paper, &a800, micro_batch_shape(), &prism_run.schedule);
+                out = simulate_system(
+                    system,
+                    &paper,
+                    &a800,
+                    micro_batch_shape(),
+                    &prism_run.schedule,
+                );
                 oom = true;
             }
             outcomes.push((system, out, oom));
@@ -304,7 +319,11 @@ pub fn fig9() {
                 system.name(),
                 fmt_mib(out.peak_bytes),
                 fmt_mib(out.avg_bytes),
-                if *oom { "  [measured on A800: OOM on laptop]" } else { "" }
+                if *oom {
+                    "  [measured on A800: OOM on laptop]"
+                } else {
+                    ""
+                }
             ));
             rows.push(Fig9Row {
                 model: paper.name.clone(),

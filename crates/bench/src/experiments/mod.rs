@@ -6,11 +6,11 @@ pub mod micro;
 pub mod overview;
 
 use prism_core::EngineOptions;
+use prism_device::DeviceSpec;
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
     PrismSimOptions, PruneSchedule, SimOutcome,
 };
-use prism_device::DeviceSpec;
 use prism_model::{ModelConfig, SequenceBatch};
 
 use crate::fixtures::{run_with_schedule, MiniFixture};
@@ -51,7 +51,10 @@ impl SystemKind {
     /// Whether this system prunes (needs a real engine run for its
     /// schedule).
     pub fn is_prism(&self) -> bool {
-        matches!(self, SystemKind::Prism { .. } | SystemKind::PrismQuant { .. })
+        matches!(
+            self,
+            SystemKind::Prism { .. } | SystemKind::PrismQuant { .. }
+        )
     }
 }
 
@@ -111,7 +114,10 @@ pub fn run_system(
             }
         }
         SystemKind::Prism { threshold } => {
-            let options = EngineOptions { dispersion_threshold: threshold, ..Default::default() };
+            let options = EngineOptions {
+                dispersion_threshold: threshold,
+                ..Default::default()
+            };
             let mut engine = fx.engine(options, false);
             let (sel, schedule) = run_with_schedule(&mut engine, batch, k, fx.paper.num_layers);
             SystemRun {
@@ -120,7 +126,10 @@ pub fn run_system(
             }
         }
         SystemKind::PrismQuant { threshold } => {
-            let options = EngineOptions { dispersion_threshold: threshold, ..Default::default() };
+            let options = EngineOptions {
+                dispersion_threshold: threshold,
+                ..Default::default()
+            };
             let mut qengine = fx.engine(options.clone(), true);
             let sel = qengine.select_top_k(batch, k).expect("selection");
             let mut dense = fx.engine(options, false);
@@ -153,7 +162,10 @@ pub fn simulate_system(
             device,
             batch,
             schedule,
-            PrismSimOptions { quant: true, ..Default::default() },
+            PrismSimOptions {
+                quant: true,
+                ..Default::default()
+            },
         ),
     }
 }
@@ -169,7 +181,10 @@ pub fn top_k_ids(scores: &[f32], k: usize) -> Vec<usize> {
 /// Paper-scale request shape used by the microbenchmarks (20 candidates,
 /// average 500 tokens).
 pub fn micro_batch_shape() -> BatchShape {
-    BatchShape { candidates: 20, seq_len: 500 }
+    BatchShape {
+        candidates: 20,
+        seq_len: 500,
+    }
 }
 
 /// Both evaluation platforms.

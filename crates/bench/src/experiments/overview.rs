@@ -56,7 +56,14 @@ pub fn fig1() {
         latency_ms: 8.0,
         peak_mib: 50.0,
     };
-    let rerank_sim = simulate_hf(&cfg, &m2, BatchShape { candidates: 20, seq_len: 512 });
+    let rerank_sim = simulate_hf(
+        &cfg,
+        &m2,
+        BatchShape {
+            candidates: 20,
+            seq_len: 512,
+        },
+    );
     let rerank = Fig1Stage {
         stage: "reranker top-5 of 20 (Qwen3-0.6B, HF)".into(),
         latency_ms: rerank_sim.latency_s * 1e3,
@@ -138,14 +145,12 @@ pub fn fig2(fast: bool) {
             for (l, scores) in trace.iter().enumerate() {
                 gamma_acc[l] += goodman_kruskal_gamma(scores, &final_scores);
                 let clustering = kmeans_auto(scores, 5, 7);
-                cgamma_acc[l] +=
-                    cluster_gamma(scores, &final_scores, &clustering.assignments);
+                cgamma_acc[l] += cluster_gamma(scores, &final_scores, &clustering.assignments);
                 cv_acc[l] += coefficient_of_variation(scores) as f64;
             }
         }
         let n = datasets.len() as f64;
-        let layer_fraction: Vec<f64> =
-            (0..=layers).map(|l| l as f64 / layers as f64).collect();
+        let layer_fraction: Vec<f64> = (0..=layers).map(|l| l as f64 / layers as f64).collect();
         let gamma: Vec<f64> = gamma_acc.iter().map(|g| g / n).collect();
         let cgamma: Vec<f64> = cgamma_acc.iter().map(|g| g / n).collect();
         let cv: Vec<f64> = cv_acc.iter().map(|c| c / n).collect();

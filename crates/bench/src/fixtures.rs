@@ -44,7 +44,9 @@ pub fn mini_fixture(paper: ModelConfig) -> MiniFixture {
 
     let model = Model::generate(mini.clone(), 0xC0DE).expect("generate mini model");
     if !container_path.exists() {
-        model.write_container(&container_path).expect("write container");
+        model
+            .write_container(&container_path)
+            .expect("write container");
     }
     if !quant_container_path.exists() {
         model
@@ -65,10 +67,13 @@ pub fn mini_fixture(paper: ModelConfig) -> MiniFixture {
 impl MiniFixture {
     /// Opens a PRISM engine over this fixture.
     pub fn engine(&self, options: EngineOptions, quant: bool) -> PrismEngine {
-        let path = if quant { &self.quant_container_path } else { &self.container_path };
+        let path = if quant {
+            &self.quant_container_path
+        } else {
+            &self.container_path
+        };
         let container = Container::open(path).expect("open container");
-        PrismEngine::new(container, self.mini.clone(), options, MemoryMeter::new())
-            .expect("engine")
+        PrismEngine::new(container, self.mini.clone(), options, MemoryMeter::new()).expect("engine")
     }
 
     /// Generates request `idx` for a dataset profile.
@@ -85,10 +90,7 @@ impl MiniFixture {
             0xBEEF,
         );
         let req = gen.request(idx, candidates);
-        (
-            SequenceBatch::new(&req.sequences()).expect("batch"),
-            req,
-        )
+        (SequenceBatch::new(&req.sequences()).expect("batch"), req)
     }
 }
 
@@ -97,7 +99,9 @@ impl MiniFixture {
 pub fn schedule_from_trace(trace: &EngineTrace, num_layers: usize) -> PruneSchedule {
     let mut active = trace.active_per_layer.clone();
     active.resize(num_layers, 0);
-    PruneSchedule { active_per_layer: active }
+    PruneSchedule {
+        active_per_layer: active,
+    }
 }
 
 /// Runs one selection and returns it with the paper-scale schedule.
@@ -111,7 +115,10 @@ pub fn run_with_schedule(
     let mini_layers = engine.config().num_layers;
     // Mini and paper twins share layer counts by construction; guard
     // anyway so a future config change cannot silently skew results.
-    assert_eq!(mini_layers, paper_layers, "mini twin must match paper depth");
+    assert_eq!(
+        mini_layers, paper_layers,
+        "mini twin must match paper depth"
+    );
     let schedule = schedule_from_trace(&sel.trace, paper_layers);
     (sel, schedule)
 }

@@ -27,8 +27,8 @@ use std::fmt::Write as _;
 
 use prism_core::{EngineOptions, PrismEngine};
 use prism_device::{
-    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
-    DeviceSpec, PrismSimOptions, PruneSchedule,
+    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
+    PrismSimOptions, PruneSchedule,
 };
 use prism_metrics::MemoryMeter;
 use prism_model::{Model, ModelConfig, SequenceBatch};
@@ -138,7 +138,11 @@ fn inspect(args: &[&str]) -> Result<String, String> {
         .ok_or("inspect needs a container path")?;
     let container = Container::open(path).map_err(|e| e.to_string())?;
     let mut out = String::new();
-    let _ = writeln!(out, "{:<16} {:>6} {:>8} {:>8} {:>12}", "section", "kind", "rows", "cols", "bytes");
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>8} {:>8} {:>12}",
+        "section", "kind", "rows", "cols", "bytes"
+    );
     let mut total = 0_u64;
     for s in container.sections() {
         let _ = writeln!(
@@ -152,7 +156,11 @@ fn inspect(args: &[&str]) -> Result<String, String> {
         );
         total += s.len;
     }
-    let _ = writeln!(out, "total payload: {total} bytes in {} sections", container.sections().len());
+    let _ = writeln!(
+        out,
+        "total payload: {total} bytes in {} sections",
+        container.sections().len()
+    );
     Ok(out)
 }
 
@@ -199,7 +207,10 @@ fn simulate(args: &[&str]) -> Result<String, String> {
     let candidates: usize = p.flag_parse("candidates", 20)?;
     let seq_len: usize = p.flag_parse("seq", 500)?;
     let system = p.flag("system").unwrap_or("prism");
-    let shape = BatchShape { candidates, seq_len };
+    let shape = BatchShape {
+        candidates,
+        seq_len,
+    };
     let outcome = match system {
         "hf" => simulate_hf(&config, &device, shape),
         "offload" => simulate_hf_offload(&config, &device, shape),
@@ -222,7 +233,13 @@ fn simulate(args: &[&str]) -> Result<String, String> {
                     })
                     .collect(),
             };
-            simulate_prism(&config, &device, shape, &schedule, PrismSimOptions::default())
+            simulate_prism(
+                &config,
+                &device,
+                shape,
+                &schedule,
+                PrismSimOptions::default(),
+            )
         }
         other => return Err(format!("unknown system `{other}` (hf|offload|quant|prism)")),
     };
@@ -241,7 +258,10 @@ fn simulate(args: &[&str]) -> Result<String, String> {
 
 fn rerank(args: &[&str]) -> Result<String, String> {
     let p = parse(args)?;
-    let path = p.positional.first().ok_or("rerank needs a container path")?;
+    let path = p
+        .positional
+        .first()
+        .ok_or("rerank needs a container path")?;
     let name = p.flag("model").ok_or("rerank needs --model <name>")?;
     let scale = p.flag("scale").unwrap_or("mini");
     let config = resolve_config(name, scale)?;
@@ -265,10 +285,21 @@ fn rerank(args: &[&str]) -> Result<String, String> {
     let selection = engine.select_top_k(&batch, k).map_err(|e| e.to_string())?;
 
     let mut out = String::new();
-    let _ = writeln!(out, "top-{k} of {candidates} ({dataset}, threshold {threshold}):");
+    let _ = writeln!(
+        out,
+        "top-{k} of {candidates} ({dataset}, threshold {threshold}):"
+    );
     for r in &selection.ranked {
-        let gold = if request.relevant.contains(&r.id) { " [gold]" } else { "" };
-        let _ = writeln!(out, "  #{:<3} score {:.3} decided@L{}{gold}", r.id, r.score, r.decided_at_layer);
+        let gold = if request.relevant.contains(&r.id) {
+            " [gold]"
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  #{:<3} score {:.3} decided@L{}{gold}",
+            r.id, r.score, r.decided_at_layer
+        );
     }
     let t = &selection.trace;
     let _ = writeln!(
@@ -304,8 +335,17 @@ mod tests {
     #[test]
     fn gen_inspect_quantize_rerank_round_trip() {
         let dense = tmp("dense");
-        let out = run_strs(&["gen", &dense, "--model", "qwen3-0.6b", "--scale", "test", "--seed", "7"])
-            .unwrap();
+        let out = run_strs(&[
+            "gen",
+            &dense,
+            "--model",
+            "qwen3-0.6b",
+            "--scale",
+            "test",
+            "--seed",
+            "7",
+        ])
+        .unwrap();
         assert!(out.contains("wrote"), "{out}");
 
         let out = run_strs(&["inspect", &dense]).unwrap();
@@ -314,9 +354,16 @@ mod tests {
         assert!(out.contains("total payload"));
 
         let quant = tmp("quant");
-        let out =
-            run_strs(&["quantize", &dense, &quant, "--model", "qwen3-0.6b", "--scale", "test"])
-                .unwrap();
+        let out = run_strs(&[
+            "quantize",
+            &dense,
+            &quant,
+            "--model",
+            "qwen3-0.6b",
+            "--scale",
+            "test",
+        ])
+        .unwrap();
         assert!(out.contains("quantized"), "{out}");
         let shrink: f64 = out
             .split('(')
@@ -324,11 +371,22 @@ mod tests {
             .and_then(|s| s.strip_suffix("x)\n"))
             .and_then(|s| s.parse().ok())
             .expect("shrink factor in output");
-        assert!(shrink > 1.5, "quantized container should be much smaller: {shrink}");
+        assert!(
+            shrink > 1.5,
+            "quantized container should be much smaller: {shrink}"
+        );
 
         let out = run_strs(&[
-            "rerank", &dense, "--model", "qwen3-0.6b", "--scale", "test", "--k", "3",
-            "--candidates", "10",
+            "rerank",
+            &dense,
+            "--model",
+            "qwen3-0.6b",
+            "--scale",
+            "test",
+            "--k",
+            "3",
+            "--candidates",
+            "10",
         ])
         .unwrap();
         assert!(out.contains("top-3 of 10"), "{out}");
@@ -355,18 +413,30 @@ mod tests {
 
     #[test]
     fn flag_errors_are_reported() {
-        assert!(run_strs(&["gen", "/tmp/x.prsm"]).is_err(), "missing --model");
+        assert!(
+            run_strs(&["gen", "/tmp/x.prsm"]).is_err(),
+            "missing --model"
+        );
         assert!(run_strs(&["simulate", "--model", "nope"]).is_err());
         assert!(run_strs(&["simulate", "--model", "bge-m3", "--device", "np"]).is_err());
         assert!(run_strs(&["simulate", "--model", "bge-m3", "--candidates", "abc"]).is_err());
         assert!(run_strs(&["gen"]).is_err(), "missing path");
         assert!(run_strs(&["inspect", "/nonexistent/file.prsm"]).is_err());
-        assert!(run_strs(&["gen", "/tmp/x.prsm", "--model"]).is_err(), "flag without value");
+        assert!(
+            run_strs(&["gen", "/tmp/x.prsm", "--model"]).is_err(),
+            "flag without value"
+        );
     }
 
     #[test]
     fn resolve_config_names_and_scales() {
-        for name in ["qwen3-0.6b", "qwen3-4b", "qwen3-8b", "bge-minicpm", "bge-m3"] {
+        for name in [
+            "qwen3-0.6b",
+            "qwen3-4b",
+            "qwen3-8b",
+            "bge-minicpm",
+            "bge-m3",
+        ] {
             let paper = resolve_config(name, "paper").unwrap();
             let mini = resolve_config(name, "mini").unwrap();
             assert_eq!(paper.num_layers, mini.num_layers);

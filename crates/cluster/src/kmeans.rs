@@ -230,14 +230,19 @@ pub fn kmeans_auto(values: &[f32], max_k: usize, seed: u64) -> Clustering {
     }
     let mut best: Option<(f32, Clustering)> = None;
     for k in 2..=max_k.min(n) {
-        let c = kmeans_1d(values, k, seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let c = kmeans_1d(
+            values,
+            k,
+            seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         let s = c.silhouette(values);
         match &best {
             Some((bs, _)) if s <= *bs => {}
             _ => best = Some((s, c)),
         }
     }
-    best.map(|(_, c)| c).unwrap_or_else(|| kmeans_1d(values, 1, seed))
+    best.map(|(_, c)| c)
+        .unwrap_or_else(|| kmeans_1d(values, 1, seed))
 }
 
 #[cfg(test)]

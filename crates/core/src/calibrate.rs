@@ -57,7 +57,12 @@ impl ThresholdCalibrator {
 
     /// Records one sampled request: the pruned run's top-K and the
     /// idle-time ground-truth top-K.
-    pub fn record_sample(&mut self, pruned_top_k: &[usize], ground_truth_top_k: &[usize], k: usize) {
+    pub fn record_sample(
+        &mut self,
+        pruned_top_k: &[usize],
+        ground_truth_top_k: &[usize],
+        k: usize,
+    ) {
         self.samples
             .push((pruned_top_k.to_vec(), ground_truth_top_k.to_vec(), k));
     }

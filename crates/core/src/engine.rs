@@ -279,12 +279,8 @@ impl PrismEngine {
                 .map(|c| c.rows() * self.config.hidden_dim)
                 .max()
                 .unwrap_or(0);
-            let mut file = SpillFile::create(
-                &self.spill_path,
-                chunks.len(),
-                slot_floats,
-                throttle,
-            )?;
+            let mut file =
+                SpillFile::create(&self.spill_path, chunks.len(), slot_floats, throttle)?;
             // Offload all but the first window of chunks.
             for (i, chunk) in chunks.iter_mut().enumerate().skip(3) {
                 if let Some(t) = chunk.hidden.take() {
@@ -299,8 +295,7 @@ impl PrismEngine {
 
         // ---- Streaming setup (§4.2) ----
         let mut streamer = if self.options.streaming {
-            let sections: Vec<String> =
-                (0..self.config.num_layers).map(layer_section).collect();
+            let sections: Vec<String> = (0..self.config.num_layers).map(layer_section).collect();
             Some(LayerStreamer::new(
                 &self.container,
                 &sections,
@@ -345,10 +340,16 @@ impl PrismEngine {
                     )
                 });
                 if decision.clustered || decision.terminate {
-                    let selected_ids: Vec<usize> =
-                        decision.selected.iter().map(|&i| current_scores[i].0).collect();
-                    let dropped_ids: Vec<usize> =
-                        decision.dropped.iter().map(|&i| current_scores[i].0).collect();
+                    let selected_ids: Vec<usize> = decision
+                        .selected
+                        .iter()
+                        .map(|&i| current_scores[i].0)
+                        .collect();
+                    let dropped_ids: Vec<usize> = decision
+                        .dropped
+                        .iter()
+                        .map(|&i| current_scores[i].0)
+                        .collect();
                     for &i in &decision.selected {
                         let (id, score) = current_scores[i];
                         accepted.push(RankedCandidate {
@@ -365,8 +366,11 @@ impl PrismEngine {
                         dropped: dropped_ids.clone(),
                     });
                     if !selected_ids.is_empty() || !dropped_ids.is_empty() {
-                        let keep: Vec<usize> =
-                            decision.deferred.iter().map(|&i| current_scores[i].0).collect();
+                        let keep: Vec<usize> = decision
+                            .deferred
+                            .iter()
+                            .map(|&i| current_scores[i].0)
+                            .collect();
                         retain_candidates(&mut chunks, &mut spill, &keep)?;
                         self.meter
                             .set(MemCategory::HiddenStates, resident_hidden_bytes(&chunks));
@@ -390,11 +394,9 @@ impl PrismEngine {
             let (weights, raw_section) = match (&self.resident_layers, streamer.as_mut()) {
                 (Some(layers), _) => (LayerRef::Borrowed(&layers[layer_idx]), None),
                 (None, Some(s)) => {
-                    let section = latency
-                        .time("stream-wait", || s.next())?
-                        .ok_or_else(|| {
-                            PrismError::InvalidRequest("streamer exhausted early".into())
-                        })?;
+                    let section = latency.time("stream-wait", || s.next())?.ok_or_else(|| {
+                        PrismError::InvalidRequest("streamer exhausted early".into())
+                    })?;
                     self.meter
                         .alloc(MemCategory::LayerWeights, section.meta.len);
                     let decoded = LayerWeights::from_bytes(&self.config, &section.bytes)?;
@@ -528,8 +530,7 @@ impl PrismEngine {
             let Some(hidden) = chunk.hidden.as_mut() else {
                 continue; // Empty chunk.
             };
-            let inter =
-                intermediate_bytes(&self.config, hidden.rows(), max_seq.max(1));
+            let inter = intermediate_bytes(&self.config, hidden.rows(), max_seq.max(1));
             self.meter.alloc(MemCategory::Intermediate, inter);
             forward_layer(&self.config, weights, layer_idx, hidden, &ranges)?;
             self.meter.free(MemCategory::Intermediate, inter);
@@ -695,7 +696,11 @@ fn retain_candidates(
             }
             chunk.hidden = None;
         } else {
-            chunk.hidden = if chunk.ids.is_empty() { None } else { Some(new_hidden) };
+            chunk.hidden = if chunk.ids.is_empty() {
+                None
+            } else {
+                Some(new_hidden)
+            };
         }
     }
     chunks.retain(|c| !c.ids.is_empty());

@@ -141,14 +141,20 @@ impl EngineOptions {
             ));
         }
         if self.stream_depth == 0 {
-            return Err(crate::PrismError::InvalidRequest("stream depth must be >= 1".into()));
+            return Err(crate::PrismError::InvalidRequest(
+                "stream depth must be >= 1".into(),
+            ));
         }
         if self.max_clusters < 2 {
-            return Err(crate::PrismError::InvalidRequest("max_clusters must be >= 2".into()));
+            return Err(crate::PrismError::InvalidRequest(
+                "max_clusters must be >= 2".into(),
+            ));
         }
         if let Some(c) = self.chunk_candidates {
             if c == 0 {
-                return Err(crate::PrismError::InvalidRequest("chunk size must be >= 1".into()));
+                return Err(crate::PrismError::InvalidRequest(
+                    "chunk size must be >= 1".into(),
+                ));
             }
         }
         Ok(())
@@ -193,11 +199,26 @@ mod tests {
     #[test]
     fn validation_catches_bad_values() {
         let bad = [
-            EngineOptions { dispersion_threshold: -1.0, ..Default::default() },
-            EngineOptions { embed_cache_fraction: 2.0, ..Default::default() },
-            EngineOptions { stream_depth: 0, ..Default::default() },
-            EngineOptions { max_clusters: 1, ..Default::default() },
-            EngineOptions { chunk_candidates: Some(0), ..Default::default() },
+            EngineOptions {
+                dispersion_threshold: -1.0,
+                ..Default::default()
+            },
+            EngineOptions {
+                embed_cache_fraction: 2.0,
+                ..Default::default()
+            },
+            EngineOptions {
+                stream_depth: 0,
+                ..Default::default()
+            },
+            EngineOptions {
+                max_clusters: 1,
+                ..Default::default()
+            },
+            EngineOptions {
+                chunk_candidates: Some(0),
+                ..Default::default()
+            },
         ];
         for o in bad {
             assert!(o.validate().is_err(), "{o:?} must be rejected");

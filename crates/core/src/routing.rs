@@ -205,10 +205,26 @@ mod tests {
     }
 
     fn assert_score_ordering(d: &RouteDecision, scores: &[f32]) {
-        let min_sel = d.selected.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
-        let max_def = d.deferred.iter().map(|&i| scores[i]).fold(f32::NEG_INFINITY, f32::max);
-        let min_def = d.deferred.iter().map(|&i| scores[i]).fold(f32::INFINITY, f32::min);
-        let max_drop = d.dropped.iter().map(|&i| scores[i]).fold(f32::NEG_INFINITY, f32::max);
+        let min_sel = d
+            .selected
+            .iter()
+            .map(|&i| scores[i])
+            .fold(f32::INFINITY, f32::min);
+        let max_def = d
+            .deferred
+            .iter()
+            .map(|&i| scores[i])
+            .fold(f32::NEG_INFINITY, f32::max);
+        let min_def = d
+            .deferred
+            .iter()
+            .map(|&i| scores[i])
+            .fold(f32::INFINITY, f32::min);
+        let max_drop = d
+            .dropped
+            .iter()
+            .map(|&i| scores[i])
+            .fold(f32::NEG_INFINITY, f32::max);
         if !d.selected.is_empty() && !d.deferred.is_empty() {
             assert!(min_sel >= max_def, "selected must outscore deferred");
         }

@@ -131,10 +131,7 @@ fn all_memory_techniques_are_bit_exact() {
             "{name}: top-K must match vanilla"
         );
         for (a, b) in got.last_scores.iter().zip(&reference.last_scores) {
-            assert!(
-                (a - b).abs() < 1e-5,
-                "{name}: scores diverged ({a} vs {b})"
-            );
+            assert!((a - b).abs() < 1e-5, "{name}: scores diverged ({a} vs {b})");
         }
     }
 }
@@ -219,7 +216,11 @@ fn trace_active_counts_are_monotone_and_consistent() {
     let t = &sel.trace;
     assert!(!t.active_per_layer.is_empty());
     for w in t.active_per_layer.windows(2) {
-        assert!(w[1] <= w[0], "active counts must never grow: {:?}", t.active_per_layer);
+        assert!(
+            w[1] <= w[0],
+            "active counts must never grow: {:?}",
+            t.active_per_layer
+        );
     }
     assert_eq!(t.executed_layers, t.active_per_layer.len());
     // Every routed id must be a valid candidate and routed at most once.
@@ -238,7 +239,10 @@ fn trace_active_counts_are_monotone_and_consistent() {
 #[test]
 fn streaming_stats_and_cache_stats_populate() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 6, "stats");
-    let o = EngineOptions { pruning: false, ..Default::default() };
+    let o = EngineOptions {
+        pruning: false,
+        ..Default::default()
+    };
     let mut engine = fx.engine(o);
     let (batch, _) = fx.batch(0, 8);
     let sel = engine.select_top_k(&batch, 2).unwrap();
@@ -246,8 +250,10 @@ fn streaming_stats_and_cache_stats_populate() {
     assert!(sel.trace.stream_stats.bytes > 0);
     let cs = sel.trace.cache_stats;
     assert!(cs.hits + cs.misses > 0, "cache was exercised");
-    // Second request hits the warm cache more.
-    let (batch2, _) = fx.batch(1, 8);
+    // Re-issuing the same request hits the warm cache, so the cumulative
+    // hit rate must rise. (A distinct second request is not guaranteed to:
+    // its token draw may overlap the cached rows arbitrarily little.)
+    let (batch2, _) = fx.batch(0, 8);
     let sel2 = engine.select_top_k(&batch2, 2).unwrap();
     assert!(sel2.trace.cache_stats.hit_rate() >= cs.hit_rate());
 }
@@ -310,13 +316,17 @@ fn memory_meter_shows_streaming_savings() {
 
     let mut resident = fx.engine(EngineOptions::all_off());
     resident.select_top_k(&batch, 4).unwrap();
-    let resident_peak = resident.meter().peak(prism_metrics::MemCategory::LayerWeights);
+    let resident_peak = resident
+        .meter()
+        .peak(prism_metrics::MemCategory::LayerWeights);
 
     let mut o = EngineOptions::all_off();
     o.streaming = true;
     let mut streamed = fx.engine(o);
     streamed.select_top_k(&batch, 4).unwrap();
-    let streamed_peak = streamed.meter().peak(prism_metrics::MemCategory::LayerWeights);
+    let streamed_peak = streamed
+        .meter()
+        .peak(prism_metrics::MemCategory::LayerWeights);
 
     assert!(
         streamed_peak * 3 < resident_peak,
@@ -417,7 +427,10 @@ fn quantized_container_runs_and_roughly_agrees() {
     // Write a quantized container alongside.
     let qmodel = fx.model.quantized().unwrap();
     let mut qpath = std::env::temp_dir();
-    qpath.push(format!("prism-engine-test-quant-{}.prsm", std::process::id()));
+    qpath.push(format!(
+        "prism-engine-test-quant-{}.prsm",
+        std::process::id()
+    ));
     qmodel.write_container(&qpath).unwrap();
 
     let (batch, _) = fx.batch(0, 12);
@@ -436,7 +449,11 @@ fn quantized_container_runs_and_roughly_agrees() {
     // Quantization perturbs scores; the top-4 sets must still mostly
     // overlap (the paper reports small but nonzero precision deltas).
     let d_ids = sorted(d.top_ids());
-    let overlap = q.top_ids().iter().filter(|i| d_ids.binary_search(i).is_ok()).count();
+    let overlap = q
+        .top_ids()
+        .iter()
+        .filter(|i| d_ids.binary_search(i).is_ok())
+        .count();
     assert!(overlap >= 2, "quant/dense top-4 overlap {overlap}");
     assert!(q.last_scores.iter().all(|s| s.is_finite()));
     std::fs::remove_file(&qpath).unwrap();

@@ -125,7 +125,11 @@ impl TimelineBuilder {
             timeline.push((t, cur.max(0) as u64));
         }
         integral += cur as f64 * (end_s - last_t).max(0.0);
-        let avg = if end_s > 0.0 { (integral / end_s) as u64 } else { cur.max(0) as u64 };
+        let avg = if end_s > 0.0 {
+            (integral / end_s) as u64
+        } else {
+            cur.max(0) as u64
+        };
         SimOutcome {
             latency_s: end_s,
             peak_bytes: peak.max(0) as u64,
@@ -320,7 +324,11 @@ pub fn simulate_prism(
 
     let act = cfg.activation_dtype_bytes as u64;
     let d = cfg.hidden_dim as u64;
-    let layer_bytes = if opts.quant { cfg.layer_bytes_q4() } else { cfg.layer_bytes() };
+    let layer_bytes = if opts.quant {
+        cfg.layer_bytes_q4()
+    } else {
+        cfg.layer_bytes()
+    };
 
     // --- Embedding phase ---
     let head_bytes = cfg.head_params() * cfg.weight_dtype_bytes as u64;
@@ -407,11 +415,19 @@ pub fn simulate_prism(
         }
         compute_s += opts.gate_overhead_s;
 
-        let start = compute_free.max(if opts.streaming { this_io_done } else { t_start_layers });
+        let start = compute_free.max(if opts.streaming {
+            this_io_done
+        } else {
+            t_start_layers
+        });
         let end = start + compute_s;
 
         // Transient tensors for one chunk live during this layer.
-        let inter = intermediate_bytes(cfg, chunk_tokens.min((active * batch.seq_len) as u64) as usize, batch.seq_len);
+        let inter = intermediate_bytes(
+            cfg,
+            chunk_tokens.min((active * batch.seq_len) as u64) as usize,
+            batch.seq_len,
+        );
         tl.hold(start, end, inter);
 
         // Hidden states of all active candidates (or 3 chunks if offloaded).
@@ -448,7 +464,10 @@ mod tests {
     use super::*;
 
     fn batch20() -> BatchShape {
-        BatchShape { candidates: 20, seq_len: 500 }
+        BatchShape {
+            candidates: 20,
+            seq_len: 500,
+        }
     }
 
     /// A representative mid-depth pruning schedule: full batch until layer
@@ -468,7 +487,9 @@ mod tests {
             };
             active.push(a);
         }
-        PruneSchedule { active_per_layer: active }
+        PruneSchedule {
+            active_per_layer: active,
+        }
     }
 
     #[test]
@@ -531,15 +552,28 @@ mod tests {
         let rtx = DeviceSpec::rtx5070_laptop();
         let b = batch20();
         let sched = PruneSchedule::no_pruning(cfg.num_layers, b.candidates);
-        let mut resident = PrismSimOptions { streaming: false, gate_overhead_s: 0.0, ..Default::default() };
+        let mut resident = PrismSimOptions {
+            streaming: false,
+            gate_overhead_s: 0.0,
+            ..Default::default()
+        };
         resident.embed_cache_fraction = None;
-        let mut streamed = PrismSimOptions { streaming: true, gate_overhead_s: 0.0, ..Default::default() };
+        let mut streamed = PrismSimOptions {
+            streaming: true,
+            gate_overhead_s: 0.0,
+            ..Default::default()
+        };
         streamed.embed_cache_fraction = None;
         let r = simulate_prism(&cfg, &rtx, b, &sched, resident);
         let s = simulate_prism(&cfg, &rtx, b, &sched, streamed);
         // §4.2: no latency penalty (the resident variant pays a big
         // up-front load, so streaming should actually be no slower).
-        assert!(s.latency_s <= r.latency_s * 1.02, "streamed {} resident {}", s.latency_s, r.latency_s);
+        assert!(
+            s.latency_s <= r.latency_s * 1.02,
+            "streamed {} resident {}",
+            s.latency_s,
+            r.latency_s
+        );
     }
 
     #[test]
@@ -603,7 +637,10 @@ mod tests {
             &rtx,
             b,
             &sched,
-            PrismSimOptions { quant: true, ..Default::default() },
+            PrismSimOptions {
+                quant: true,
+                ..Default::default()
+            },
         );
         assert!(quant.peak_bytes < dense.peak_bytes);
         // Quant kernels are slightly slower on this compute-bound workload.
@@ -614,14 +651,20 @@ mod tests {
     fn chunking_bounds_intermediates() {
         let cfg = ModelConfig::qwen3_0_6b();
         let rtx = DeviceSpec::rtx5070_laptop();
-        let b = BatchShape { candidates: 60, seq_len: 500 };
+        let b = BatchShape {
+            candidates: 60,
+            seq_len: 500,
+        };
         let sched = PruneSchedule::no_pruning(cfg.num_layers, 60);
         let unchunked = simulate_prism(
             &cfg,
             &rtx,
             b,
             &sched,
-            PrismSimOptions { chunked: None, ..Default::default() },
+            PrismSimOptions {
+                chunked: None,
+                ..Default::default()
+            },
         );
         let chunked = simulate_prism(&cfg, &rtx, b, &sched, PrismSimOptions::default());
         // Fig. 16: chunked execution strips most of the monolithic
@@ -635,7 +678,10 @@ mod tests {
     fn hidden_offload_caps_hidden_growth() {
         let cfg = ModelConfig::qwen3_0_6b();
         let rtx = DeviceSpec::rtx5070_laptop();
-        let big = BatchShape { candidates: 512, seq_len: 500 };
+        let big = BatchShape {
+            candidates: 512,
+            seq_len: 500,
+        };
         let sched = PruneSchedule::no_pruning(cfg.num_layers, 512);
         let keep = simulate_prism(&cfg, &rtx, big, &sched, PrismSimOptions::default());
         let spill = simulate_prism(
@@ -643,7 +689,10 @@ mod tests {
             &rtx,
             big,
             &sched,
-            PrismSimOptions { hidden_offload: true, ..Default::default() },
+            PrismSimOptions {
+                hidden_offload: true,
+                ..Default::default()
+            },
         );
         assert!(spill.peak_bytes < keep.peak_bytes);
     }
@@ -660,7 +709,10 @@ mod tests {
             &rtx,
             b,
             &sched,
-            PrismSimOptions { embed_cache_fraction: None, ..Default::default() },
+            PrismSimOptions {
+                embed_cache_fraction: None,
+                ..Default::default()
+            },
         );
         // §4.4: the full table is ~296 MB; a 10% cache cuts ~266 MB.
         let saved = full.peak_bytes.saturating_sub(cached.peak_bytes);
@@ -690,18 +742,31 @@ mod tests {
         let s = PruneSchedule::no_pruning(4, 10);
         assert!(s.is_monotone());
         assert_eq!(s.work_fraction(10), 1.0);
-        let p = PruneSchedule { active_per_layer: vec![10, 10, 5, 0] };
+        let p = PruneSchedule {
+            active_per_layer: vec![10, 10, 5, 0],
+        };
         assert!(p.is_monotone());
         assert!((p.work_fraction(10) - 0.625).abs() < 1e-9);
-        let bad = PruneSchedule { active_per_layer: vec![5, 10] };
+        let bad = PruneSchedule {
+            active_per_layer: vec![5, 10],
+        };
         assert!(!bad.is_monotone());
-        assert_eq!(PruneSchedule { active_per_layer: vec![] }.work_fraction(5), 1.0);
+        assert_eq!(
+            PruneSchedule {
+                active_per_layer: vec![]
+            }
+            .work_fraction(5),
+            1.0
+        );
     }
 
     #[test]
     fn micro_batch_shrinks_for_big_models() {
         let rtx = DeviceSpec::rtx5070_laptop();
-        let b = BatchShape { candidates: 60, seq_len: 500 };
+        let b = BatchShape {
+            candidates: 60,
+            seq_len: 500,
+        };
         let small = default_micro_batch(&ModelConfig::qwen3_0_6b(), &rtx, b);
         let large = default_micro_batch(&ModelConfig::qwen3_8b(), &rtx, b);
         assert!(large <= small);

@@ -183,8 +183,9 @@ mod tests {
         let d = DeviceSpec::apple_m2();
         let tokens = 20 * 512_u64;
         let per_layer = cfg.layer_macs(tokens, 512);
-        let total_s: f64 =
-            (0..cfg.num_layers).map(|_| d.compute_time_s(per_layer, tokens, false)).sum();
+        let total_s: f64 = (0..cfg.num_layers)
+            .map(|_| d.compute_time_s(per_layer, tokens, false))
+            .sum();
         assert!(
             (4.5..7.5).contains(&total_s),
             "Mac Mini 0.6B full forward {total_s:.2}s should be near the paper's 5.75s"

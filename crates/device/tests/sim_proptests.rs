@@ -2,8 +2,8 @@
 //! conservation laws that must hold for any request shape.
 
 use prism_device::{
-    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
-    DeviceSpec, PrismSimOptions, PruneSchedule,
+    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
+    PrismSimOptions, PruneSchedule,
 };
 use prism_model::ModelConfig;
 use proptest::prelude::*;

@@ -26,7 +26,9 @@ pub fn goodman_kruskal_gamma(intermediate: &[f32], final_scores: &[f32]) -> f64 
 /// it staying ≈ 1.0 across layers is the evidence that whole clusters can
 /// be routed (pruned/accepted) early without precision loss.
 pub fn cluster_gamma(intermediate: &[f32], final_scores: &[f32], clusters: &[usize]) -> f64 {
-    gamma_filtered(intermediate, final_scores, |i, j| clusters[i] != clusters[j])
+    gamma_filtered(intermediate, final_scores, |i, j| {
+        clusters[i] != clusters[j]
+    })
 }
 
 fn gamma_filtered(

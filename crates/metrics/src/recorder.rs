@@ -342,7 +342,10 @@ mod tests {
         for w in tl.windows(2) {
             assert!(w[0].at_micros <= w[1].at_micros);
         }
-        assert_eq!(tl.last().unwrap().total_bytes, (0..10).map(|i| i * 10).sum::<u64>());
+        assert_eq!(
+            tl.last().unwrap().total_bytes,
+            (0..10).map(|i| i * 10).sum::<u64>()
+        );
     }
 
     #[test]

@@ -78,7 +78,10 @@ mod tests {
     #[test]
     fn pooling_selection_matches_arch() {
         assert_eq!(Pooling::for_arch(ModelArch::EncoderOnly), Pooling::Mean);
-        assert_eq!(Pooling::for_arch(ModelArch::DecoderOnly), Pooling::LastToken);
+        assert_eq!(
+            Pooling::for_arch(ModelArch::DecoderOnly),
+            Pooling::LastToken
+        );
     }
 
     #[test]

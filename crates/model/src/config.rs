@@ -104,7 +104,9 @@ impl ModelConfig {
 
     /// Total weight bytes at the configured dtype.
     pub fn total_weight_bytes(&self) -> u64 {
-        (self.embedding_params() + self.num_layers as u64 * self.layer_params() + self.head_params())
+        (self.embedding_params()
+            + self.num_layers as u64 * self.layer_params()
+            + self.head_params())
             * self.weight_dtype_bytes as u64
     }
 
@@ -130,7 +132,7 @@ impl ModelConfig {
         if self.hidden_dim == 0 || self.num_layers == 0 || self.vocab_size == 0 {
             return Err(crate::Error::Config("zero-sized dimension".into()));
         }
-        if self.hidden_dim % self.num_heads != 0 {
+        if !self.hidden_dim.is_multiple_of(self.num_heads) {
             return Err(crate::Error::Config(format!(
                 "hidden_dim {} not divisible by num_heads {}",
                 self.hidden_dim, self.num_heads
@@ -303,7 +305,10 @@ mod tests {
         assert_eq!(qwen06.arch, ModelArch::DecoderOnly);
         // Paper: "28 Transformer layers (15 M weights each layer)".
         let per_layer_m = qwen06.layer_params() as f64 / 1e6;
-        assert!((13.0..18.0).contains(&per_layer_m), "per-layer {per_layer_m} M");
+        assert!(
+            (13.0..18.0).contains(&per_layer_m),
+            "per-layer {per_layer_m} M"
+        );
         // Paper: 0.6 B total.
         let total_b = qwen06.total_params() as f64 / 1e9;
         assert!((0.5..0.75).contains(&total_b), "total {total_b} B");

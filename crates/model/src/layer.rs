@@ -27,7 +27,12 @@ pub fn forward_layer(
 
     // ---- Attention block (pre-norm) ----
     let mut normed = hidden.clone();
-    apply_norm(config, &mut normed, &weights.norm1_gain, &weights.norm1_bias)?;
+    apply_norm(
+        config,
+        &mut normed,
+        &weights.norm1_gain,
+        &weights.norm1_bias,
+    )?;
     let q = weights.wq.apply(&normed)?;
     let k = weights.wk.apply(&normed)?;
     let v = weights.wv.apply(&normed)?;
@@ -37,7 +42,12 @@ pub fn forward_layer(
 
     // ---- FFN block (pre-norm, gated) ----
     let mut normed2 = hidden.clone();
-    apply_norm(config, &mut normed2, &weights.norm2_gain, &weights.norm2_bias)?;
+    apply_norm(
+        config,
+        &mut normed2,
+        &weights.norm2_gain,
+        &weights.norm2_bias,
+    )?;
     let mut gate = weights.w_gate.apply(&normed2)?;
     let up = weights.w_up.apply(&normed2)?;
     match config.arch {
@@ -51,12 +61,7 @@ pub fn forward_layer(
 }
 
 /// Applies the architecture's normalization in place.
-pub fn apply_norm(
-    config: &ModelConfig,
-    x: &mut Tensor,
-    gain: &[f32],
-    bias: &[f32],
-) -> Result<()> {
+pub fn apply_norm(config: &ModelConfig, x: &mut Tensor, gain: &[f32], bias: &[f32]) -> Result<()> {
     match config.arch {
         ModelArch::DecoderOnly => ops::rms_norm_inplace(x, gain, 1e-6)?,
         ModelArch::EncoderOnly => ops::layer_norm_inplace(x, gain, bias, 1e-6)?,

@@ -198,7 +198,13 @@ impl Model {
             let blob = layer.to_bytes();
             w.add_raw(&layer_section(i), SectionKind::Raw, 0, 0, blob);
         }
-        w.add_raw(SECTION_HEAD, SectionKind::Raw, 0, 0, self.weights.head.to_bytes());
+        w.add_raw(
+            SECTION_HEAD,
+            SectionKind::Raw,
+            0,
+            0,
+            self.weights.head.to_bytes(),
+        );
         w.finish()?;
         Ok(())
     }
@@ -224,7 +230,11 @@ impl Model {
         let head = HeadWeights::from_bytes(&config, &blob)?;
         Ok(Model {
             config,
-            weights: ModelWeights { embedding, layers, head },
+            weights: ModelWeights {
+                embedding,
+                layers,
+                head,
+            },
         })
     }
 
@@ -304,8 +314,8 @@ mod tests {
     #[test]
     fn forward_full_is_deterministic() {
         let m = test_model(ModelArch::DecoderOnly, 4);
-        let b = SequenceBatch::new(&[candidate(0.8, 12, 256, 1), candidate(0.2, 12, 256, 2)])
-            .unwrap();
+        let b =
+            SequenceBatch::new(&[candidate(0.8, 12, 256, 1), candidate(0.2, 12, 256, 2)]).unwrap();
         let s1 = m.forward_full(&b).unwrap();
         let s2 = m.forward_full(&b).unwrap();
         assert_eq!(s1, s2);
@@ -335,8 +345,9 @@ mod tests {
     #[test]
     fn score_trace_converges_with_depth() {
         let m = test_model(ModelArch::DecoderOnly, 8);
-        let seqs: Vec<Vec<u32>> =
-            (0..6).map(|i| candidate(0.1 + 0.15 * i as f32, 16, 256, i as u64)).collect();
+        let seqs: Vec<Vec<u32>> = (0..6)
+            .map(|i| candidate(0.1 + 0.15 * i as f32, 16, 256, i as u64))
+            .collect();
         let b = SequenceBatch::new(&seqs).unwrap();
         let trace = m.layer_score_trace(&b).unwrap();
         assert_eq!(trace.len(), 9);
@@ -391,7 +402,10 @@ mod tests {
         assert_eq!(loaded.weights, m.weights);
         // Scores agree exactly.
         let b = SequenceBatch::new(&[candidate(0.5, 10, 256, 3)]).unwrap();
-        assert_eq!(m.forward_full(&b).unwrap(), loaded.forward_full(&b).unwrap());
+        assert_eq!(
+            m.forward_full(&b).unwrap(),
+            loaded.forward_full(&b).unwrap()
+        );
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -146,8 +146,7 @@ mod tests {
     fn background_signal_averages_near_zero() {
         let v = 4096;
         let (b0, b1) = background_token_range(v);
-        let mean: f32 =
-            (b0..b1).map(|t| token_signal(t, v)).sum::<f32>() / (b1 - b0) as f32;
+        let mean: f32 = (b0..b1).map(|t| token_signal(t, v)).sum::<f32>() / (b1 - b0) as f32;
         assert!(mean.abs() < 0.02, "background mean {mean}");
     }
 

@@ -194,7 +194,15 @@ impl LayerWeights {
         push_f32s(&mut out, &self.norm1_bias);
         push_f32s(&mut out, &self.norm2_gain);
         push_f32s(&mut out, &self.norm2_bias);
-        for m in [&self.wq, &self.wk, &self.wv, &self.wo, &self.w_gate, &self.w_up, &self.w_down] {
+        for m in [
+            &self.wq,
+            &self.wk,
+            &self.wv,
+            &self.wo,
+            &self.w_gate,
+            &self.w_up,
+            &self.w_down,
+        ] {
             match m {
                 MatRef::Dense(t) => {
                     out.push(0);
@@ -310,7 +318,12 @@ impl HeadWeights {
         if cur.off != bytes.len() {
             return Err(Error::Config("head blob has trailing bytes".into()));
         }
-        Ok(HeadWeights { norm_gain, norm_bias, w, bias })
+        Ok(HeadWeights {
+            norm_gain,
+            norm_bias,
+            w,
+            bias,
+        })
     }
 }
 
@@ -339,8 +352,7 @@ impl ModelWeights {
             // The readout starts as small per-token noise: early rankings
             // are noise-dominated and progressively yield to accumulated
             // relevance evidence (coarse-to-fine, Fig. 2a).
-            *embedding.at_mut(t, SIGNAL_DIM) =
-                crate::semantics::token_readout_noise(t as u32);
+            *embedding.at_mut(t, SIGNAL_DIM) = crate::semantics::token_readout_noise(t as u32);
         }
         let layers = (0..config.num_layers)
             .map(|l| LayerWeights::generate(config, l, seed))
@@ -369,7 +381,11 @@ impl ModelWeights {
     /// Total resident bytes.
     pub fn size_bytes(&self) -> usize {
         self.embedding.size_bytes()
-            + self.layers.iter().map(LayerWeights::size_bytes).sum::<usize>()
+            + self
+                .layers
+                .iter()
+                .map(LayerWeights::size_bytes)
+                .sum::<usize>()
             + self.head.size_bytes()
     }
 }
@@ -472,8 +488,9 @@ mod tests {
         assert!((w.embedding.at((t1 - 1) as usize, SOURCE_DIM) - EMBED_SIGNAL_SCALE).abs() < 1e-6);
         assert!((w.embedding.at(a0 as usize, SOURCE_DIM) + EMBED_SIGNAL_SCALE).abs() < 1e-6);
         // The readout dim carries only small planted noise.
-        assert!(w.embedding.at(t0 as usize, SIGNAL_DIM).abs()
-            <= crate::semantics::EMBED_READOUT_NOISE);
+        assert!(
+            w.embedding.at(t0 as usize, SIGNAL_DIM).abs() <= crate::semantics::EMBED_READOUT_NOISE
+        );
     }
 
     #[test]
@@ -485,7 +502,11 @@ mod tests {
         };
         assert!((wv.at(SOURCE_DIM, SOURCE_DIM) - 1.0).abs() < 1e-6);
         assert!(wo.at(SIGNAL_DIM, SOURCE_DIM) > 0.5, "source feeds readout");
-        assert_eq!(wo.at(SIGNAL_DIM, SIGNAL_DIM), 0.0, "no readout self-feedback");
+        assert_eq!(
+            wo.at(SIGNAL_DIM, SIGNAL_DIM),
+            0.0,
+            "no readout self-feedback"
+        );
         // Nothing writes the source reservoir through attention.
         for cidx in 0..c.hidden_dim {
             assert_eq!(wo.at(SOURCE_DIM, cidx), 0.0);

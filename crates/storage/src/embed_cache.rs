@@ -202,8 +202,7 @@ impl<S: RowSource> EmbeddingCache<S> {
             let slot = self.ensure_resident(t)?;
             let src = slot as usize * cols;
             let data = out.data_mut();
-            data[i * cols..(i + 1) * cols]
-                .copy_from_slice(&self.arena_range(src));
+            data[i * cols..(i + 1) * cols].copy_from_slice(&self.arena_range(src));
         }
         Ok(out)
     }

@@ -74,9 +74,13 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = StorageError::MissingSection { name: "layer.3".into() };
+        let e = StorageError::MissingSection {
+            name: "layer.3".into(),
+        };
         assert!(e.to_string().contains("layer.3"));
-        let e = StorageError::BadFormat { reason: "truncated".into() };
+        let e = StorageError::BadFormat {
+            reason: "truncated".into(),
+        };
         assert!(e.to_string().contains("truncated"));
         let e = StorageError::StreamerGone;
         assert!(e.to_string().contains("thread"));

@@ -123,7 +123,14 @@ impl ContainerWriter {
     }
 
     /// Adds an opaque byte section.
-    pub fn add_raw(&mut self, name: &str, kind: SectionKind, rows: u64, cols: u64, bytes: Vec<u8>) -> &mut Self {
+    pub fn add_raw(
+        &mut self,
+        name: &str,
+        kind: SectionKind,
+        rows: u64,
+        cols: u64,
+        bytes: Vec<u8>,
+    ) -> &mut Self {
         self.sections.push((
             SectionMeta {
                 name: name.to_string(),
@@ -190,22 +197,31 @@ impl Container {
         let mut file = File::open(&path)?;
         let mut magic = [0_u8; 8];
         file.read_exact(&mut magic)
-            .map_err(|_| StorageError::BadFormat { reason: "file too short for magic".into() })?;
+            .map_err(|_| StorageError::BadFormat {
+                reason: "file too short for magic".into(),
+            })?;
         if &magic != MAGIC {
-            return Err(StorageError::BadFormat { reason: "bad magic".into() });
+            return Err(StorageError::BadFormat {
+                reason: "bad magic".into(),
+            });
         }
         let count = read_u32(&mut file)? as usize;
         if count > 1 << 20 {
-            return Err(StorageError::BadFormat { reason: format!("absurd section count {count}") });
+            return Err(StorageError::BadFormat {
+                reason: format!("absurd section count {count}"),
+            });
         }
         let mut sections = Vec::with_capacity(count);
         for _ in 0..count {
             let name_len = read_u16(&mut file)? as usize;
             let mut name = vec![0_u8; name_len];
             file.read_exact(&mut name)
-                .map_err(|_| StorageError::BadFormat { reason: "truncated section name".into() })?;
-            let name = String::from_utf8(name)
-                .map_err(|_| StorageError::BadFormat { reason: "non-utf8 section name".into() })?;
+                .map_err(|_| StorageError::BadFormat {
+                    reason: "truncated section name".into(),
+                })?;
+            let name = String::from_utf8(name).map_err(|_| StorageError::BadFormat {
+                reason: "non-utf8 section name".into(),
+            })?;
             let mut kind = [0_u8; 1];
             file.read_exact(&mut kind)?;
             let kind = SectionKind::from_u8(kind[0])?;
@@ -213,7 +229,14 @@ impl Container {
             let cols = read_u64(&mut file)?;
             let offset = read_u64(&mut file)?;
             let len = read_u64(&mut file)?;
-            sections.push(SectionMeta { name, kind, rows, cols, offset, len });
+            sections.push(SectionMeta {
+                name,
+                kind,
+                rows,
+                cols,
+                offset,
+                len,
+            });
         }
         let total = file.metadata()?.len();
         for s in &sections {
@@ -223,7 +246,11 @@ impl Container {
                 });
             }
         }
-        Ok(Container { path, file, sections })
+        Ok(Container {
+            path,
+            file,
+            sections,
+        })
     }
 
     /// Opens an independent handle to the same container (own file cursor).
@@ -246,12 +273,18 @@ impl Container {
         self.sections
             .iter()
             .find(|s| s.name == name)
-            .ok_or_else(|| StorageError::MissingSection { name: name.to_string() })
+            .ok_or_else(|| StorageError::MissingSection {
+                name: name.to_string(),
+            })
     }
 
     /// Total payload bytes across sections whose name matches `pred`.
     pub fn payload_bytes(&self, pred: impl Fn(&str) -> bool) -> u64 {
-        self.sections.iter().filter(|s| pred(&s.name)).map(|s| s.len).sum()
+        self.sections
+            .iter()
+            .filter(|s| pred(&s.name))
+            .map(|s| s.len)
+            .sum()
     }
 
     /// Reads an arbitrary byte range of a section via positioned read.
@@ -303,7 +336,7 @@ impl Container {
             });
         }
         let cols = meta.cols as usize;
-        if cols == 0 || out.len() % cols != 0 {
+        if cols == 0 || !out.len().is_multiple_of(cols) {
             return Err(StorageError::SectionMismatch {
                 name: meta.name.clone(),
                 reason: "output buffer not a whole number of rows".into(),
@@ -313,7 +346,11 @@ impl Container {
         if row_start + row_count > meta.rows {
             return Err(StorageError::SectionMismatch {
                 name: meta.name.clone(),
-                reason: format!("rows {row_start}..{} exceed {}", row_start + row_count, meta.rows),
+                reason: format!(
+                    "rows {row_start}..{} exceed {}",
+                    row_start + row_count,
+                    meta.rows
+                ),
             });
         }
         let byte_start = row_start * meta.cols * 4;
@@ -343,7 +380,11 @@ pub fn decode_f32_tensor(meta: &SectionMeta, bytes: &[u8]) -> Result<Tensor> {
     for chunk in bytes.chunks_exact(4) {
         data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
     }
-    Ok(Tensor::from_vec(meta.rows as usize, meta.cols as usize, data)?)
+    Ok(Tensor::from_vec(
+        meta.rows as usize,
+        meta.cols as usize,
+        data,
+    )?)
 }
 
 #[cfg(unix)]

@@ -202,7 +202,9 @@ mod tests {
         let mut attached = vec![false; cap];
         let mut x = 123_456_789_u64;
         for step in 0..10_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let slot = (x >> 33) as usize % cap;
             match step % 3 {
                 0 if !attached[slot] => {

@@ -162,7 +162,10 @@ impl LayerStreamer {
             if let Some(pos) = self.parked.iter().position(|r| r.index == wanted) {
                 break self.parked.swap_remove(pos);
             }
-            let resp = self.resp_rx.recv().map_err(|_| StorageError::StreamerGone)?;
+            let resp = self
+                .resp_rx
+                .recv()
+                .map_err(|_| StorageError::StreamerGone)?;
             if resp.index == wanted {
                 break resp;
             }
@@ -370,7 +373,8 @@ mod tests {
     fn drop_mid_stream_is_clean() {
         let path = tmp("dropmid");
         let c = make_container(&path, 8, 64 * 1024);
-        let mut s = LayerStreamer::new(&c, &layer_names(8), 2, Throttle::bandwidth(4 << 20)).unwrap();
+        let mut s =
+            LayerStreamer::new(&c, &layer_names(8), 2, Throttle::bandwidth(4 << 20)).unwrap();
         let sec = s.next().unwrap().unwrap();
         drop(sec);
         drop(s); // Must join the I/O thread without deadlock.
@@ -381,11 +385,26 @@ mod tests {
     fn stats_overlap_efficiency_edge_cases() {
         let empty = StreamStats::default();
         assert_eq!(empty.overlap_efficiency(), 1.0);
-        let all_hidden = StreamStats { sections: 2, bytes: 10, io_micros: 100, wait_micros: 0 };
+        let all_hidden = StreamStats {
+            sections: 2,
+            bytes: 10,
+            io_micros: 100,
+            wait_micros: 0,
+        };
         assert_eq!(all_hidden.overlap_efficiency(), 1.0);
-        let none_hidden = StreamStats { sections: 2, bytes: 10, io_micros: 100, wait_micros: 100 };
+        let none_hidden = StreamStats {
+            sections: 2,
+            bytes: 10,
+            io_micros: 100,
+            wait_micros: 100,
+        };
         assert_eq!(none_hidden.overlap_efficiency(), 0.0);
-        let over = StreamStats { sections: 1, bytes: 1, io_micros: 50, wait_micros: 80 };
+        let over = StreamStats {
+            sections: 1,
+            bytes: 1,
+            io_micros: 50,
+            wait_micros: 80,
+        };
         assert_eq!(over.overlap_efficiency(), 0.0);
     }
 }

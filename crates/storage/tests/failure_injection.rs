@@ -12,9 +12,18 @@ fn tmp(tag: &str) -> std::path::PathBuf {
 fn write_container(path: &std::path::Path, layers: usize) {
     let mut w = ContainerWriter::create(path);
     for i in 0..layers {
-        w.add_raw(&format!("layer.{i}"), SectionKind::Raw, 0, 0, vec![i as u8; 4096]);
+        w.add_raw(
+            &format!("layer.{i}"),
+            SectionKind::Raw,
+            0,
+            0,
+            vec![i as u8; 4096],
+        );
     }
-    w.add_f32("embedding", &Tensor::from_fn(16, 4, |r, c| (r * 4 + c) as f32));
+    w.add_f32(
+        "embedding",
+        &Tensor::from_fn(16, 4, |r, c| (r * 4 + c) as f32),
+    );
     w.finish().unwrap();
 }
 
@@ -39,7 +48,10 @@ fn every_truncation_point_fails_cleanly() {
                         failed = true;
                     }
                 }
-                assert!(failed, "cut at {cut}: all reads succeeded on truncated file");
+                assert!(
+                    failed,
+                    "cut at {cut}: all reads succeeded on truncated file"
+                );
             }
         }
         std::fs::remove_file(&cut_path).unwrap();

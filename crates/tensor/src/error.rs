@@ -55,7 +55,10 @@ impl fmt::Display for TensorError {
                 )
             }
             TensorError::DataLength { expected, got } => {
-                write!(f, "data length {got} does not match shape ({expected} expected)")
+                write!(
+                    f,
+                    "data length {got} does not match shape ({expected} expected)"
+                )
             }
             TensorError::IndexOutOfBounds { index, bound } => {
                 write!(f, "index {index} out of bounds (< {bound} required)")
@@ -84,7 +87,10 @@ mod tests {
         assert!(s.contains("2x3"));
         assert!(s.contains("4x5"));
 
-        let e = TensorError::DataLength { expected: 6, got: 5 };
+        let e = TensorError::DataLength {
+            expected: 6,
+            got: 5,
+        };
         assert!(e.to_string().contains('6'));
         assert!(e.to_string().contains('5'));
 
@@ -94,7 +100,9 @@ mod tests {
         let e = TensorError::Empty { op: "softmax" };
         assert!(e.to_string().contains("softmax"));
 
-        let e = TensorError::Quantization { reason: "bad block".into() };
+        let e = TensorError::Quantization {
+            reason: "bad block".into(),
+        };
         assert!(e.to_string().contains("bad block"));
     }
 

@@ -57,7 +57,15 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 let start = idx * chunk;
                 let rows = out_chunk.len() / n;
                 scope.spawn(move || {
-                    matmul_rows(&ad[start * k..(start + rows) * k], bd, out_chunk, 0, rows, k, n);
+                    matmul_rows(
+                        &ad[start * k..(start + rows) * k],
+                        bd,
+                        out_chunk,
+                        0,
+                        rows,
+                        k,
+                        n,
+                    );
                 });
             }
         });
@@ -111,7 +119,14 @@ pub fn matmul_transb(a: &Tensor, b: &Tensor) -> Result<Tensor> {
                 let start = idx * chunk;
                 let rows = out_chunk.len() / n;
                 scope.spawn(move || {
-                    matmul_transb_rows(&ad[start * k..(start + rows) * k], bd, out_chunk, rows, k, n);
+                    matmul_transb_rows(
+                        &ad[start * k..(start + rows) * k],
+                        bd,
+                        out_chunk,
+                        rows,
+                        k,
+                        n,
+                    );
                 });
             }
         });
@@ -448,7 +463,12 @@ mod tests {
         let mut a = t(1, 4, vec![1., 2., 3., 4.]);
         layer_norm_inplace(&mut a, &[1.; 4], &[0.; 4], 0.0).unwrap();
         let mean: f32 = a.data().iter().sum::<f32>() / 4.0;
-        let var: f32 = a.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 4.0;
+        let var: f32 = a
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 4.0;
         assert!(mean.abs() < 1e-5);
         assert!((var - 1.0).abs() < 1e-4);
     }

@@ -65,7 +65,7 @@ impl QuantMatrix {
                         0
                     };
                     let byte = r * bytes_per_row + (start + i) / 2;
-                    if (start + i) % 2 == 0 {
+                    if (start + i).is_multiple_of(2) {
                         packed[byte] |= q;
                     } else {
                         packed[byte] |= q << 4;
@@ -196,7 +196,9 @@ impl QuantMatrix {
 
     /// Deserializes a blob produced by [`QuantMatrix::to_bytes`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self> {
-        let fail = |reason: &str| TensorError::Quantization { reason: reason.to_string() };
+        let fail = |reason: &str| TensorError::Quantization {
+            reason: reason.to_string(),
+        };
         if bytes.len() < 16 {
             return Err(fail("blob too short for header"));
         }
@@ -210,17 +212,24 @@ impl QuantMatrix {
         let packed_len = rows * blocks_per_row * BLOCK / 2;
         let expected = 16 + n_blocks * 8 + packed_len;
         if bytes.len() != expected {
-            return Err(fail(&format!("blob length {} != expected {expected}", bytes.len())));
+            return Err(fail(&format!(
+                "blob length {} != expected {expected}",
+                bytes.len()
+            )));
         }
         let mut mins = Vec::with_capacity(n_blocks);
         let mut scales = Vec::with_capacity(n_blocks);
         let mut off = 16;
         for _ in 0..n_blocks {
-            mins.push(f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")));
+            mins.push(f32::from_le_bytes(
+                bytes[off..off + 4].try_into().expect("4"),
+            ));
             off += 4;
         }
         for _ in 0..n_blocks {
-            scales.push(f32::from_le_bytes(bytes[off..off + 4].try_into().expect("4")));
+            scales.push(f32::from_le_bytes(
+                bytes[off..off + 4].try_into().expect("4"),
+            ));
             off += 4;
         }
         let packed = bytes[off..].to_vec();

@@ -293,7 +293,10 @@ mod tests {
         assert!(Tensor::from_vec(2, 2, vec![1.0; 4]).is_ok());
         assert!(matches!(
             Tensor::from_vec(2, 2, vec![1.0; 3]),
-            Err(TensorError::DataLength { expected: 4, got: 3 })
+            Err(TensorError::DataLength {
+                expected: 4,
+                got: 3
+            })
         ));
     }
 

@@ -7,9 +7,7 @@
 //! `r` and gaps scaled by the dataset's separability. Everything is
 //! deterministic per `(profile, seed, request index)`.
 
-use prism_model::semantics::{
-    anti_topic_token_range, background_token_range, topic_token_range,
-};
+use prism_model::semantics::{anti_topic_token_range, background_token_range, topic_token_range};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -88,17 +86,24 @@ impl WorkloadGenerator {
     /// Generates request number `index` with `num_candidates` candidates.
     pub fn request(&self, index: u64, num_candidates: usize) -> RerankRequest {
         let mut rng = StdRng::seed_from_u64(
-            self.seed ^ index.wrapping_mul(0xD6E8_FEB8_6659_FD93).wrapping_add(0x2545_F491_4F6C_DD1D),
+            self.seed
+                ^ index
+                    .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D),
         );
         let query_len = (self.max_seq / 8).clamp(2, 12);
-        let query: Vec<u32> = (0..query_len).map(|_| self.background_token(&mut rng)).collect();
+        let query: Vec<u32> = (0..query_len)
+            .map(|_| self.background_token(&mut rng))
+            .collect();
 
         // Relevance levels in three bands whose spacing scales with
         // separability; band populations follow the profile's ground-truth
         // density.
         let sep = self.profile.separability;
         let n_rel = sample_count(&mut rng, self.profile.relevant_per_request, num_candidates);
-        let n_mid = ((num_candidates - n_rel) / 2).max(1).min(num_candidates - n_rel);
+        let n_mid = ((num_candidates - n_rel) / 2)
+            .max(1)
+            .min(num_candidates - n_rel);
         let mut levels = Vec::with_capacity(num_candidates);
         for i in 0..num_candidates {
             let (base, spread) = if i < n_rel {

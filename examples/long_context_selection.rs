@@ -36,8 +36,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     MemoryMeter::new(),
                 )?;
                 let mut sel = LongContextSelector::new(
-                    Some(engine), config.vocab_size, 16, segments, gold, window,
-                    gen_cfg.clone(), rtx.clone(),
+                    Some(engine),
+                    config.vocab_size,
+                    16,
+                    segments,
+                    gold,
+                    window,
+                    gen_cfg.clone(),
+                    rtx.clone(),
                 );
                 for q in 0..questions {
                     let o = sel.run(q)?;
@@ -47,10 +53,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             Some(false) => {
                 let hf = HfVanilla::new(
-                    &Container::open(&path)?, config.clone(), 32, MemoryMeter::new())?;
+                    &Container::open(&path)?,
+                    config.clone(),
+                    32,
+                    MemoryMeter::new(),
+                )?;
                 let mut sel = LongContextSelector::new(
-                    Some(hf), config.vocab_size, 16, segments, gold, window,
-                    gen_cfg.clone(), rtx.clone(),
+                    Some(hf),
+                    config.vocab_size,
+                    16,
+                    segments,
+                    gold,
+                    window,
+                    gen_cfg.clone(),
+                    rtx.clone(),
                 );
                 for q in 0..questions {
                     let o = sel.run(q)?;
@@ -60,8 +76,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             None => {
                 let mut sel: LongContextSelector<HfVanilla> = LongContextSelector::new(
-                    None, config.vocab_size, 16, segments, gold, window,
-                    gen_cfg.clone(), rtx.clone(),
+                    None,
+                    config.vocab_size,
+                    16,
+                    segments,
+                    gold,
+                    window,
+                    gen_cfg.clone(),
+                    rtx.clone(),
                 );
                 for q in 0..questions {
                     let o = sel.run(q)?;

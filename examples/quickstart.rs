@@ -19,9 +19,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = Model::generate(config.clone(), 42)?;
     let path = std::env::temp_dir().join("prism-quickstart.prsm");
     model.write_container(&path)?;
-    println!("model: {} ({} layers, container {} KiB)",
-        config.name, config.num_layers,
-        std::fs::metadata(&path)?.len() / 1024);
+    println!(
+        "model: {} ({} layers, container {} KiB)",
+        config.name,
+        config.num_layers,
+        std::fs::metadata(&path)?.len() / 1024
+    );
 
     // 2. The engine: streaming + chunking + embedding cache + pruning all
     //    on by default. The memory meter tracks live bytes by category.
@@ -45,20 +48,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let selection = engine.select_top_k(&batch, 5)?;
     println!("\ntop-5 candidates (id, score, decided at layer):");
     for r in &selection.ranked {
-        let marker = if request.relevant.contains(&r.id) { " <- relevant" } else { "" };
-        println!("  #{:<2} score {:.3} @L{}{}", r.id, r.score, r.decided_at_layer, marker);
+        let marker = if request.relevant.contains(&r.id) {
+            " <- relevant"
+        } else {
+            ""
+        };
+        println!(
+            "  #{:<2} score {:.3} @L{}{}",
+            r.id, r.score, r.decided_at_layer, marker
+        );
     }
 
     // 5. What monolithic forwarding bought us.
     let t = &selection.trace;
-    println!("\nexecution: {} of {} layers, active per layer {:?}",
-        t.executed_layers, config.num_layers, t.active_per_layer);
+    println!(
+        "\nexecution: {} of {} layers, active per layer {:?}",
+        t.executed_layers, config.num_layers, t.active_per_layer
+    );
     // Overlap efficiency needs >1 CPU (compute and I/O threads run
     // concurrently); single-core CI machines will report ~0%.
-    println!("stream: {} sections / {} KiB, overlap efficiency {:.0}%",
-        t.stream_stats.sections, t.stream_stats.bytes / 1024,
-        t.stream_stats.overlap_efficiency() * 100.0);
-    println!("embedding cache hit rate {:.0}%", t.cache_stats.hit_rate() * 100.0);
+    println!(
+        "stream: {} sections / {} KiB, overlap efficiency {:.0}%",
+        t.stream_stats.sections,
+        t.stream_stats.bytes / 1024,
+        t.stream_stats.overlap_efficiency() * 100.0
+    );
+    println!(
+        "embedding cache hit rate {:.0}%",
+        t.cache_stats.hit_rate() * 100.0
+    );
     println!("peak tracked memory {} KiB", meter.peak_total() / 1024);
 
     std::fs::remove_file(&path)?;

@@ -29,7 +29,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         gold_per_query: 5,
         seed: 11,
     });
-    println!("indexed {} documents (BM25 + IVF vector index)", corpus.docs.len());
+    println!(
+        "indexed {} documents (BM25 + IVF vector index)",
+        corpus.docs.len()
+    );
 
     let meter = MemoryMeter::new();
     let engine = PrismEngine::new(
@@ -61,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             answer.stages.first_token_s
         );
     }
-    println!("\npeak tracked reranker memory: {} KiB", meter.peak_total() / 1024);
+    println!(
+        "\npeak tracked reranker memory: {} KiB",
+        meter.peak_total() / 1024
+    );
     std::fs::remove_file(&path)?;
     Ok(())
 }

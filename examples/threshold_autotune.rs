@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut engine = PrismEngine::new(
         Container::open(&path)?,
         config.clone(),
-        EngineOptions { dispersion_threshold: 0.05, ..Default::default() },
+        EngineOptions {
+            dispersion_threshold: 0.05,
+            ..Default::default()
+        },
         MemoryMeter::new(),
     )?;
     // Ground-truth engine: full inference, "re-executed when idle".

@@ -8,7 +8,11 @@ use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
 use prism_storage::Container;
 use prism_workload::{dataset_catalog, WorkloadGenerator};
 
-fn run_once(path: &std::path::Path, config: &ModelConfig, batch: &SequenceBatch) -> Vec<(usize, String)> {
+fn run_once(
+    path: &std::path::Path,
+    config: &ModelConfig,
+    batch: &SequenceBatch,
+) -> Vec<(usize, String)> {
     let options = EngineOptions {
         chunk_candidates: Some(3),
         hidden_offload: true,

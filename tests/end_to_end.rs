@@ -61,7 +61,10 @@ fn all_systems_agree_on_clear_winners() {
     let mut f_ids = fast.top_ids();
     t_ids.sort_unstable();
     f_ids.sort_unstable();
-    let overlap = f_ids.iter().filter(|i| t_ids.binary_search(i).is_ok()).count();
+    let overlap = f_ids
+        .iter()
+        .filter(|i| t_ids.binary_search(i).is_ok())
+        .count();
     assert!(overlap >= k - 1, "PRISM top-{k} overlap {overlap} too low");
     std::fs::remove_file(&path).unwrap();
 }
@@ -72,7 +75,10 @@ fn calibrator_converges_against_live_engine() {
     let mut engine = PrismEngine::new(
         Container::open(&path).unwrap(),
         model.config.clone(),
-        EngineOptions { dispersion_threshold: 0.02, ..Default::default() },
+        EngineOptions {
+            dispersion_threshold: 0.02,
+            ..Default::default()
+        },
         MemoryMeter::new(),
     )
     .unwrap();
@@ -108,7 +114,11 @@ fn calibrator_converges_against_live_engine() {
         let truth = oracle.select_top_k(&batch, k).unwrap();
         total += precision_at_k(&fast.top_ids(), &truth.top_ids(), k);
     }
-    assert!(total / 4.0 >= 0.6, "calibrated precision {:.2}", total / 4.0);
+    assert!(
+        total / 4.0 >= 0.6,
+        "calibrated precision {:.2}",
+        total / 4.0
+    );
     std::fs::remove_file(&path).unwrap();
 }
 
@@ -120,9 +130,12 @@ fn precision_is_platform_and_technique_independent() {
     let (model, path) = fixture("techniques");
     let (batch, _) = request(&model, 3, 10);
     let mut reference: Option<Vec<usize>> = None;
-    for (streaming, chunking, cache) in
-        [(false, false, false), (true, false, false), (false, true, true), (true, true, true)]
-    {
+    for (streaming, chunking, cache) in [
+        (false, false, false),
+        (true, false, false),
+        (false, true, true),
+        (true, true, true),
+    ] {
         let options = EngineOptions {
             streaming,
             chunking,
@@ -140,7 +153,10 @@ fn precision_is_platform_and_technique_independent() {
         let ids = engine.select_top_k(&batch, 4).unwrap().top_ids();
         match &reference {
             None => reference = Some(ids),
-            Some(r) => assert_eq!(&ids, r, "streaming={streaming} chunking={chunking} cache={cache}"),
+            Some(r) => assert_eq!(
+                &ids, r,
+                "streaming={streaming} chunking={chunking} cache={cache}"
+            ),
         }
     }
     std::fs::remove_file(&path).unwrap();
@@ -165,7 +181,10 @@ fn memory_categories_reconcile() {
     assert_eq!(meter.current(MemCategory::HiddenStates), 0);
     assert!(meter.current(MemCategory::Embedding) > 0);
     assert!(meter.current(MemCategory::Head) > 0);
-    assert!(meter.peak(MemCategory::LayerWeights) > 0, "streamed layers were tracked");
+    assert!(
+        meter.peak(MemCategory::LayerWeights) > 0,
+        "streamed layers were tracked"
+    );
     assert!(meter.peak_total() > meter.current_total());
     std::fs::remove_file(&path).unwrap();
 }

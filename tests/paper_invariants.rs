@@ -2,13 +2,16 @@
 //! the calibrated device model and real mini-scale pruning schedules.
 
 use prism_device::{
-    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape,
-    DeviceSpec, PrismSimOptions, PruneSchedule,
+    simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
+    PrismSimOptions, PruneSchedule,
 };
 use prism_model::ModelConfig;
 
 fn shape() -> BatchShape {
-    BatchShape { candidates: 20, seq_len: 500 }
+    BatchShape {
+        candidates: 20,
+        seq_len: 500,
+    }
 }
 
 /// A conservative mid-depth schedule (~45% of the layer-candidate work).
@@ -26,7 +29,9 @@ fn schedule(cfg: &ModelConfig) -> PruneSchedule {
             }
         })
         .collect();
-    PruneSchedule { active_per_layer: active }
+    PruneSchedule {
+        active_per_layer: active,
+    }
 }
 
 #[test]
@@ -41,7 +46,11 @@ fn claim_latency_reduction_band() {
         let prism = simulate_prism(&cfg, &rtx, shape(), &sched, PrismSimOptions::default());
         let offload = simulate_hf_offload(&cfg, &rtx, shape());
         let reduction = 1.0 - prism.latency_s / offload.latency_s;
-        assert!(reduction > 0.3, "{}: reduction {reduction:.2} too small", cfg.name);
+        assert!(
+            reduction > 0.3,
+            "{}: reduction {reduction:.2} too small",
+            cfg.name
+        );
         max_reduction = max_reduction.max(reduction);
     }
     assert!(
@@ -69,8 +78,16 @@ fn claim_peak_memory_reduction_band() {
         let r_off = offload.peak_bytes as f64 / prism.peak_bytes as f64;
         let r_quant = quant.peak_bytes as f64 / prism.peak_bytes as f64;
         assert!((3.0..16.0).contains(&r_hf), "{}: vs HF {r_hf:.2}", cfg.name);
-        assert!((1.2..5.0).contains(&r_off), "{}: vs offload {r_off:.2}", cfg.name);
-        assert!((2.0..6.5).contains(&r_quant), "{}: vs quant {r_quant:.2}", cfg.name);
+        assert!(
+            (1.2..5.0).contains(&r_off),
+            "{}: vs offload {r_off:.2}",
+            cfg.name
+        );
+        assert!(
+            (2.0..6.5).contains(&r_quant),
+            "{}: vs quant {r_quant:.2}",
+            cfg.name
+        );
     }
 }
 
@@ -82,7 +99,11 @@ fn claim_oom_matrix() {
         for cfg in ModelConfig::paper_catalog() {
             let hf = simulate_hf(&cfg, &device, shape());
             let big = cfg.total_params() > 3_000_000_000;
-            assert_eq!(hf.oom, big, "{} on {}: oom={}", cfg.name, device.name, hf.oom);
+            assert_eq!(
+                hf.oom, big,
+                "{} on {}: oom={}",
+                cfg.name, device.name, hf.oom
+            );
             let prism = simulate_prism(
                 &cfg,
                 &device,
@@ -90,7 +111,11 @@ fn claim_oom_matrix() {
                 &schedule(&cfg),
                 PrismSimOptions::default(),
             );
-            assert!(!prism.oom, "{} must fit under PRISM on {}", cfg.name, device.name);
+            assert!(
+                !prism.oom,
+                "{} must fit under PRISM on {}",
+                cfg.name, device.name
+            );
         }
     }
 }
@@ -126,7 +151,11 @@ fn claim_streaming_no_latency_penalty() {
         &rtx,
         shape(),
         &sched,
-        PrismSimOptions { embed_cache_fraction: None, gate_overhead_s: 0.0, ..Default::default() },
+        PrismSimOptions {
+            embed_cache_fraction: None,
+            gate_overhead_s: 0.0,
+            ..Default::default()
+        },
     );
     let resident = simulate_prism(
         &cfg,
@@ -150,7 +179,10 @@ fn claim_fig16_ablation_shape() {
     // and the embedding cache each cut deeper without big latency cost.
     let rtx = DeviceSpec::rtx5070_laptop();
     let cfg = ModelConfig::qwen3_0_6b();
-    let big = BatchShape { candidates: 60, seq_len: 500 };
+    let big = BatchShape {
+        candidates: 60,
+        seq_len: 500,
+    };
     let sched = schedule(&cfg);
     let sched60 = PruneSchedule {
         active_per_layer: sched.active_per_layer.iter().map(|a| a * 3).collect(),
@@ -185,15 +217,34 @@ fn claim_fig16_ablation_shape() {
         &rtx,
         big,
         &sched60,
-        PrismSimOptions { chunked: Some(None), embed_cache_fraction: None, ..Default::default() },
+        PrismSimOptions {
+            chunked: Some(None),
+            embed_cache_fraction: None,
+            ..Default::default()
+        },
     );
     let cached = simulate_prism(&cfg, &rtx, big, &sched60, PrismSimOptions::default());
 
-    assert!(pruned.latency_s < hf.latency_s * 0.75, "pruning cuts latency");
-    assert!(pruned.peak_bytes > hf.peak_bytes, "monolithic batch inflates memory");
-    assert!(chunked.peak_bytes < pruned.peak_bytes, "chunking recovers memory");
-    assert!(streamed.peak_bytes < chunked.peak_bytes, "streaming cuts weights");
-    assert!(cached.peak_bytes < streamed.peak_bytes, "cache cuts embedding");
+    assert!(
+        pruned.latency_s < hf.latency_s * 0.75,
+        "pruning cuts latency"
+    );
+    assert!(
+        pruned.peak_bytes > hf.peak_bytes,
+        "monolithic batch inflates memory"
+    );
+    assert!(
+        chunked.peak_bytes < pruned.peak_bytes,
+        "chunking recovers memory"
+    );
+    assert!(
+        streamed.peak_bytes < chunked.peak_bytes,
+        "streaming cuts weights"
+    );
+    assert!(
+        cached.peak_bytes < streamed.peak_bytes,
+        "cache cuts embedding"
+    );
     assert!(
         cached.peak_bytes * 3 < hf.peak_bytes,
         "combined reduction at least 3x (paper: 4.6x)"

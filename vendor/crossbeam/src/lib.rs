@@ -1,0 +1,76 @@
+//! Offline stand-in for the `crossbeam` channel subset PRISM uses,
+//! backed by `std::sync::mpsc::sync_channel`.
+//!
+//! Covers `channel::bounded` with blocking `send`/`recv` and `try_recv`.
+//! Semantics PRISM relies on are preserved: a bounded channel blocks the
+//! sender when full, and dropping either endpoint makes the peer's
+//! operations return `Err`, which the layer streamer uses for clean
+//! shutdown of its I/O thread.
+
+/// Multi-producer single-consumer channels (crossbeam-channel shape).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned when the receiving side is gone.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned when the sending side is gone.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug)]
+    pub enum TryRecvError {
+        /// No message available right now.
+        Empty,
+        /// All senders are gone.
+        Disconnected,
+    }
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T> {
+        inner: mpsc::SyncSender<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender {
+                inner: self.inner.clone(),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the message is enqueued or the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.inner.send(value).map_err(|e| SendError(e.0))
+        }
+    }
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T> {
+        inner: mpsc::Receiver<T>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.inner.recv().map_err(|_| RecvError)
+        }
+
+        /// Returns a pending message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.inner.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+    }
+
+    /// Creates a channel holding at most `capacity` in-flight messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(capacity);
+        (Sender { inner: tx }, Receiver { inner: rx })
+    }
+}

@@ -1,0 +1,34 @@
+//! Offline stand-in for `parking_lot`, backed by `std::sync`.
+//!
+//! Only [`Mutex`] is provided. The API difference that matters to callers
+//! is preserved: `lock()` returns the guard directly (no `Result`). Unlike
+//! real parking_lot this inherits std's poisoning, which is surfaced as a
+//! panic on lock-after-poison — acceptable for PRISM's metrics recorder,
+//! whose critical sections never panic.
+
+use std::sync::MutexGuard;
+
+/// Mutual exclusion primitive with parking_lot's panic-free `lock()` shape.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().expect("mutex poisoned")
+    }
+}

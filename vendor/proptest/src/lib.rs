@@ -1,0 +1,241 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest), covering
+//! the subset PRISM's property tests use.
+//!
+//! Provided: the [`proptest!`] macro (including `#![proptest_config(..)]`),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assume!`], a [`Strategy`]
+//! trait with `prop_map` / `prop_flat_map`, range and tuple strategies,
+//! `prop::collection::vec`, and `prop::sample::select`.
+//!
+//! Differences from real proptest, by design:
+//!
+//! - **No shrinking.** A failing case reports its inputs via the assertion
+//!   message and the deterministic case number instead of a minimized
+//!   counterexample.
+//! - **Deterministic seeding.** Each test's RNG is seeded from a hash of
+//!   the test function's name, so failures reproduce exactly across runs
+//!   and machines. Set `PROPTEST_SEED=<u64>` to explore other streams.
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Run-time configuration for a `proptest!` block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Strategy combinators namespace, mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// Everything a property-test file needs, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that samples its strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+            let mut __passed: u32 = 0;
+            let mut __attempts: u32 = 0;
+            // Rejections (prop_assume!) retry with fresh inputs, but a
+            // too-selective filter must fail loudly rather than spin.
+            let __max_attempts = __config.cases.saturating_mul(16).max(64);
+            while __passed < __config.cases {
+                __attempts += 1;
+                assert!(
+                    __attempts <= __max_attempts,
+                    "proptest {}: gave up after {} attempts ({} passed); \
+                     prop_assume! rejects too much",
+                    stringify!($name),
+                    __attempts,
+                    __passed
+                );
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $(let $pat = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __passed += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject) => continue,
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(__msg)) => {
+                        panic!(
+                            "proptest {} failed at case {}: {}",
+                            stringify!($name),
+                            __passed,
+                            __msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: {} == {} (left: {:?}, right: {:?})",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "{} (left: {:?}, right: {:?})",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+// Strategy implementations for plain range expressions used directly in
+// `proptest!` argument position (e.g. `k in 1_usize..6`).
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_strategy_for_float_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let v = self.start + (rng.unit_f64() as $t) * (self.end - self.start);
+                // The scale-and-shift can round up to the excluded bound
+                // (e.g. a unit draw of 1 - 2⁻⁵⁴ widened to f32); clamp to
+                // keep the half-open contract.
+                v.min(self.end.next_down())
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_float_range!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs_stay_in_bounds(
+            x in 2_usize..9,
+            v in prop::collection::vec(-1.0_f32..1.0, 1..12),
+        ) {
+            prop_assert!((2..9).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 12);
+            prop_assert!(v.iter().all(|e| (-1.0..1.0).contains(e)));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_and_combinators_work(
+            t in (1_usize..4, 1_usize..4).prop_flat_map(|(r, c)| {
+                prop::collection::vec(0_u8..255, r * c).prop_map(move |v| (r, c, v))
+            }),
+            pick in prop::sample::select(vec![10, 20, 30]),
+        ) {
+            let (r, c, v) = t;
+            prop_assert_eq!(v.len(), r * c);
+            prop_assume!(pick != 0);
+            prop_assert!(pick % 10 == 0);
+        }
+    }
+}

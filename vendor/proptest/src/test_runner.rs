@@ -1,0 +1,66 @@
+//! Deterministic RNG and case outcome types for the proptest shim.
+
+/// Outcome of one generated test case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner retries.
+    Reject,
+    /// `prop_assert!`-family failure with its message.
+    Fail(String),
+}
+
+/// SplitMix64-based test RNG, seeded from the test name (or
+/// `PROPTEST_SEED`) so every run of a given test sees the same stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Builds the RNG for the named test.
+    pub fn for_test(name: &str) -> Self {
+        let base = match std::env::var("PROPTEST_SEED") {
+            Ok(s) => s.parse::<u64>().unwrap_or_else(|_| fnv1a(s.as_bytes())),
+            Err(_) => 0x5EED_0000_0000_0000,
+        };
+        TestRng {
+            state: base ^ fnv1a(name.as_bytes()),
+        }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in `[lo, hi]` (inclusive); panics when `lo > hi`.
+    pub fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = (hi - lo + 1) as u128;
+        lo + (self.next_u64() as u128 % span) as i128
+    }
+
+    /// Uniform index in `[0, len)`; panics on empty collections.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "cannot sample from an empty collection");
+        self.int_in(0, len as i128 - 1) as usize
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xCBF2_9CE4_8422_2325_u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}

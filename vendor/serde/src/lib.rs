@@ -1,0 +1,226 @@
+//! Offline stand-in for [`serde`](https://serde.rs), exposing exactly the
+//! subset PRISM uses.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors minimal, API-compatible shims for its external dependencies.
+//! This crate provides:
+//!
+//! - a self-describing JSON-style [`Value`] data model,
+//! - a [`Serialize`] trait (`serialize_value(&self) -> Value`) with impls
+//!   for the primitive, tuple, slice, vector, option and map types PRISM
+//!   serializes,
+//! - a marker [`Deserialize`] trait, and
+//! - (behind the `derive` feature) `#[derive(Serialize, Deserialize)]`
+//!   proc-macros that understand `#[serde(skip)]` on named-struct fields
+//!   and unit-only enums.
+//!
+//! The real serde's serializer/visitor machinery is intentionally absent:
+//! PRISM only ever serializes concrete report/config structs to JSON via
+//! `serde_json::to_string_pretty`, and this data-model approach covers
+//! that with two orders of magnitude less code.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A JSON-style self-describing value.
+///
+/// Object keys keep insertion order (a `Vec` of pairs, not a map) so that
+/// derived struct serialization is stable and mirrors field declaration
+/// order, which keeps report diffs readable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for non-finite floats).
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer that does not fit `i64`.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    String(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can turn themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON data model.
+    fn serialize_value(&self) -> Value;
+}
+
+/// Marker trait emitted by `#[derive(Deserialize)]`.
+///
+/// Nothing in PRISM parses JSON back into Rust yet; the derive exists so
+/// that config structs can keep the idiomatic
+/// `#[derive(Serialize, Deserialize)]` pair until a real reader lands.
+pub trait Deserialize: Sized {}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn serialize_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn serialize_value(&self) -> Value {
+        (*self as u64).serialize_value()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        (*self as f64).serialize_value()
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        if self.is_finite() {
+            Value::Float(*self)
+        } else {
+            Value::Null
+        }
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_value(&self) -> Value {
+        self.as_slice().serialize_value()
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.serialize_value()),+])
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Serialize, S> Serialize for HashMap<String, V, S> {
+    fn serialize_value(&self) -> Value {
+        let mut pairs: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.clone(), v.serialize_value()))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(pairs)
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_map_to_expected_variants() {
+        assert_eq!(3_u32.serialize_value(), Value::Int(3));
+        assert_eq!(u64::MAX.serialize_value(), Value::UInt(u64::MAX));
+        assert_eq!(true.serialize_value(), Value::Bool(true));
+        assert_eq!(f64::NAN.serialize_value(), Value::Null);
+        assert_eq!("x".serialize_value(), Value::String("x".into()));
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1.5_f64, 2_u64)];
+        assert_eq!(
+            v.serialize_value(),
+            Value::Array(vec![Value::Array(vec![Value::Float(1.5), Value::Int(2)])])
+        );
+        assert_eq!(Option::<u8>::None.serialize_value(), Value::Null);
+    }
+}

@@ -1,0 +1,165 @@
+//! Offline stand-in for `serde_json`, covering the subset PRISM uses:
+//! [`to_string`], [`to_string_pretty`], and the [`json!`] macro over the
+//! shim's [`Value`] data model.
+//!
+//! Output is real JSON: strings are escaped, non-finite floats were
+//! already mapped to `null` by the `serde` shim, and object key order is
+//! the struct's field declaration order.
+
+use std::fmt::Write as _;
+
+use serde::Serialize;
+pub use serde::Value;
+
+/// Error type kept for API compatibility; serialization here cannot fail.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json shim error (unreachable)")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-looking literal.
+///
+/// Supports nested objects (string-literal keys), arrays, `null`, and any
+/// expression implementing the shim's `Serialize` as a leaf.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($elem) ),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {
+        $crate::Value::Object(vec![ $( ($key.to_string(), $crate::json!($val)) ),* ])
+    };
+    ($other:expr) => { $crate::__private_serialize(&$other) };
+}
+
+/// Implementation detail of [`json!`].
+#[doc(hidden)]
+pub fn __private_serialize<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize_value()
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::UInt(u) => {
+            let _ = write!(out, "{u}");
+        }
+        Value::Float(f) => {
+            // `{}` prints integral floats without a dot; force one so the
+            // value round-trips as a float.
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                let _ = write!(out, "{f:.1}");
+            } else {
+                let _ = write!(out, "{f}");
+            }
+        }
+        Value::String(s) => write_escaped(out, s),
+        Value::Array(items) => write_seq(out, indent, depth, b'[', items.iter(), |out, item, d| {
+            write_value(out, item, indent, d)
+        }),
+        Value::Object(pairs) => {
+            write_seq(out, indent, depth, b'{', pairs.iter(), |out, (k, v), d| {
+                write_escaped(out, k);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, v, indent, d);
+            })
+        }
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: u8,
+    items: impl ExactSizeIterator<Item = T>,
+    mut write_item: impl FnMut(&mut String, T, usize),
+) {
+    let (open, close) = if open == b'[' { ('[', ']') } else { ('{', '}') };
+    out.push(open);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_agree_on_structure() {
+        let v = json!({"ok": true, "xs": [1, 2.5, null], "s": "a\"b"});
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"ok":true,"xs":[1,2.5,null],"s":"a\"b"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"ok\": true"));
+    }
+
+    #[test]
+    fn integral_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0_f64).unwrap(), "2.0");
+    }
+}
