@@ -9,7 +9,7 @@
 use prism_core::Result;
 use prism_metrics::{MemCategory, MemoryMeter};
 use prism_model::classifier::score_sequences;
-use prism_model::layer::{forward_layer, intermediate_bytes};
+use prism_model::layer::{forward_layer_with, intermediate_bytes, ForwardScratch};
 use prism_model::model::{layer_section, SECTION_EMBEDDING, SECTION_HEAD};
 use prism_model::{HeadWeights, LayerWeights, ModelConfig, SequenceBatch};
 use prism_storage::{Container, Throttle};
@@ -95,9 +95,8 @@ impl HfOffload {
                         "token {token} outside vocabulary"
                     )));
                 }
-                let src = self.embedding.row(token)?.to_vec();
                 let row = hidden.row_mut(t)?;
-                row.copy_from_slice(&src);
+                row.copy_from_slice(self.embedding.row(token)?);
                 prism_model::model::add_position(row, pos, d);
             }
         }
@@ -126,6 +125,9 @@ impl crate::Reranker for HfOffload {
     fn rerank(&mut self, batch: &SequenceBatch, k: usize) -> Result<crate::RankOutcome> {
         let n = batch.num_sequences();
         let mut scores = vec![0.0_f32; n];
+        // One scratch workspace serves every micro-batch and layer.
+        let max_tokens = batch.max_micro_batch_tokens(self.micro_batch);
+        let mut scratch = ForwardScratch::new(&self.config, max_tokens);
         let mut start = 0;
         while start < n {
             let end = (start + self.micro_batch).min(n);
@@ -142,7 +144,14 @@ impl crate::Reranker for HfOffload {
                 let weights = self.load_layer(l)?;
                 let wbytes = weights.size_bytes() as u64;
                 self.meter.alloc(MemCategory::LayerWeights, wbytes);
-                forward_layer(&self.config, &weights, l, &mut hidden, sub.ranges())?;
+                forward_layer_with(
+                    &self.config,
+                    &weights,
+                    l,
+                    &mut hidden,
+                    sub.ranges(),
+                    &mut scratch,
+                )?;
                 self.meter.free(MemCategory::LayerWeights, wbytes);
             }
             let sub_scores = score_sequences(&self.config, &self.head, &hidden, sub.ranges())?;

@@ -75,6 +75,9 @@ impl Reranker for HfVanilla {
     fn rerank(&mut self, batch: &SequenceBatch, k: usize) -> Result<RankOutcome> {
         let n = batch.num_sequences();
         let mut scores = vec![0.0_f32; n];
+        // One scratch workspace serves every micro-batch and layer.
+        let max_tokens = batch.max_micro_batch_tokens(self.micro_batch);
+        let mut scratch = prism_model::layer::ForwardScratch::new(&self.model.config, max_tokens);
         let mut start = 0;
         while start < n {
             let end = (start + self.micro_batch).min(n);
@@ -87,7 +90,8 @@ impl Reranker for HfVanilla {
             self.meter.alloc(MemCategory::HiddenStates, hidden_bytes);
             self.meter.alloc(MemCategory::Intermediate, inter);
             for l in 0..self.model.config.num_layers {
-                self.model.forward_layer(l, &mut hidden, sub.ranges())?;
+                self.model
+                    .forward_layer_with(l, &mut hidden, sub.ranges(), &mut scratch)?;
             }
             let sub_scores = self.model.score(&hidden, sub.ranges())?;
             self.meter.free(MemCategory::Intermediate, inter);

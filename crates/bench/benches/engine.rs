@@ -75,8 +75,91 @@ fn bench_systems(c: &mut Criterion) {
         });
     });
 
+    // The perf-trajectory acceptance configuration: all weights resident,
+    // pruning on, chunked execution across the parallel worker pool.
+    g.bench_function("prism_resident_pruned", |bencher| {
+        let container = Container::open(&fx.path).expect("open");
+        let options = EngineOptions {
+            streaming: false,
+            embed_cache: false,
+            ..Default::default()
+        };
+        let mut engine = PrismEngine::new(
+            container,
+            fx.model.config.clone(),
+            options,
+            MemoryMeter::new(),
+        )
+        .expect("engine");
+        bencher.iter(|| {
+            engine
+                .select_top_k(std::hint::black_box(&fx.batch), 5)
+                .unwrap()
+        });
+    });
+
     g.finish();
     std::fs::remove_file(&fx.path).ok();
+}
+
+/// Paper-mini scale: the bge-m3 mini twin (24 layers, hidden 32) over 20
+/// candidates — the geometry `repro perf` tracks in `BENCH_kernels.json`.
+fn bench_paper_mini(c: &mut Criterion) {
+    let config = prism_model::ModelConfig::bge_m3().mini_twin();
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "prism-bench-engine-mini-{}.prsm",
+        std::process::id()
+    ));
+    model.write_container(&path).expect("container");
+    let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+    let gen = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+    let batch = SequenceBatch::new(&gen.request(0, 20).sequences()).expect("batch");
+
+    let mut g = c.benchmark_group("rerank_top5_of_20_paper_mini");
+    g.sample_size(10);
+    for (name, quant) in [
+        ("prism_resident_pruned", false),
+        ("prism_resident_q4", true),
+    ] {
+        let run_path = if quant {
+            let mut qp = std::env::temp_dir();
+            qp.push(format!(
+                "prism-bench-engine-mini-q4-{}.prsm",
+                std::process::id()
+            ));
+            model
+                .quantized()
+                .expect("quantize")
+                .write_container(&qp)
+                .expect("quant container");
+            qp
+        } else {
+            path.clone()
+        };
+        g.bench_function(name, |bencher| {
+            let container = Container::open(&run_path).expect("open");
+            let options = EngineOptions {
+                streaming: false,
+                embed_cache: false,
+                ..Default::default()
+            };
+            let mut engine =
+                PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
+                    .expect("engine");
+            bencher.iter(|| {
+                engine
+                    .select_top_k(std::hint::black_box(&batch), 5)
+                    .unwrap()
+            });
+        });
+        if quant {
+            std::fs::remove_file(&run_path).ok();
+        }
+    }
+    g.finish();
+    std::fs::remove_file(&path).ok();
 }
 
 fn quick() -> Criterion {
@@ -89,6 +172,6 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_systems
+    targets = bench_systems, bench_paper_mini
 }
 criterion_main!(benches);

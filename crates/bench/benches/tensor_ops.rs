@@ -12,7 +12,9 @@ fn mat(rows: usize, cols: usize, seed: f32) -> Tensor {
 
 fn bench_matmul(c: &mut Criterion) {
     let mut g = c.benchmark_group("matmul");
-    for &n in &[32_usize, 64, 128] {
+    // 256 exceeds every tile boundary (KC=64 k-panels, NB=64 column
+    // panels), exercising the full cache-blocked path.
+    for &n in &[32_usize, 64, 128, 256] {
         let a = mat(n, n, 0.013);
         let b = mat(n, n, 0.017);
         g.throughput(Throughput::Elements((n * n * n) as u64));
@@ -26,6 +28,15 @@ fn bench_matmul(c: &mut Criterion) {
             });
         });
     }
+    // Allocation-free `_into` variant with a reused output tensor.
+    let a = mat(640, 64, 0.013);
+    let b = mat(64, 64, 0.017);
+    let mut out = prism_tensor::Tensor::zeros(640, 64);
+    g.bench_function("transb_into_640x64x64_reused", |bencher| {
+        bencher.iter(|| {
+            ops::matmul_transb_into(std::hint::black_box(&a), &b, &mut out).unwrap();
+        });
+    });
     g.finish();
 }
 
@@ -40,6 +51,59 @@ fn bench_quant_matmul(c: &mut Criterion) {
     });
     g.bench_function("q4_transb_640x32x64", |bencher| {
         bencher.iter(|| q.matmul_transb(std::hint::black_box(&x)).unwrap());
+    });
+    // Paper-mini projection: the fused nibble-decode panel path across
+    // many k-panels.
+    let wl = mat(256, 256, 0.003);
+    let ql = QuantMatrix::quantize(&wl).unwrap();
+    let xl = mat(512, 256, 0.005);
+    g.bench_function("dense_transb_512x256x256", |bencher| {
+        bencher.iter(|| ops::matmul_transb(std::hint::black_box(&xl), &wl).unwrap());
+    });
+    g.bench_function("q4_fused_transb_512x256x256", |bencher| {
+        bencher.iter(|| ql.matmul_transb(std::hint::black_box(&xl)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_strided_attention_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("strided");
+    // One attention head's shapes at mini scale: s=32 tokens, hd=8, packed
+    // into a [tokens, 32] buffer (row stride 32, column offset 8).
+    let d = 32;
+    let q = mat(32, d, 0.019);
+    let k = mat(32, d, 0.023);
+    let mut logits = vec![0.0_f32; 32 * 32];
+    g.bench_function("qk_logits_32x8x32", |bencher| {
+        bencher.iter(|| {
+            ops::gemm_transb_strided(
+                std::hint::black_box(&q.data()[8..]),
+                d,
+                std::hint::black_box(&k.data()[8..]),
+                d,
+                &mut logits,
+                32,
+                32,
+                8,
+                32,
+            );
+        });
+    });
+    let mut out = mat(32, d, 0.0);
+    g.bench_function("attn_value_32x32x8", |bencher| {
+        bencher.iter(|| {
+            ops::gemm_strided(
+                std::hint::black_box(&logits),
+                32,
+                std::hint::black_box(&q.data()[8..]),
+                d,
+                &mut out.data_mut()[8..],
+                d,
+                32,
+                32,
+                8,
+            );
+        });
     });
     g.finish();
 }
@@ -77,6 +141,44 @@ fn bench_rowwise_ops(c: &mut Criterion) {
             criterion::BatchSize::SmallInput,
         );
     });
+    g.bench_function("gelu_640x64", |bencher| {
+        bencher.iter_batched(
+            || base.clone(),
+            |mut t| ops::gelu_inplace(&mut t),
+            criterion::BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+fn bench_forward_layer(c: &mut Criterion) {
+    use prism_model::layer::{forward_layer_with, ForwardScratch};
+    use prism_model::{LayerWeights, ModelConfig};
+
+    let mut g = c.benchmark_group("forward_layer");
+    // Paper-mini twin: 20 candidates x 32 tokens through one layer.
+    let config = ModelConfig::bge_m3().mini_twin();
+    let weights = LayerWeights::generate(&config, 0, 11);
+    let qweights = weights.quantize().unwrap();
+    let tokens = 20 * 32;
+    let base = Tensor::from_fn(tokens, config.hidden_dim, |r, c| {
+        ((r * 7 + c * 3) as f32 * 0.13).sin() * 0.5
+    });
+    let ranges: Vec<(usize, usize)> = (0..20).map(|i| (i * 32, (i + 1) * 32)).collect();
+    let mut scratch = ForwardScratch::new(&config, tokens);
+    let mut hidden = base.clone();
+    g.bench_function("mini_640tok_scratch", |bencher| {
+        bencher.iter(|| {
+            hidden.data_mut().copy_from_slice(base.data());
+            forward_layer_with(&config, &weights, 0, &mut hidden, &ranges, &mut scratch).unwrap();
+        });
+    });
+    g.bench_function("mini_640tok_scratch_q4", |bencher| {
+        bencher.iter(|| {
+            hidden.data_mut().copy_from_slice(base.data());
+            forward_layer_with(&config, &qweights, 0, &mut hidden, &ranges, &mut scratch).unwrap();
+        });
+    });
     g.finish();
 }
 
@@ -90,6 +192,7 @@ fn quick() -> Criterion {
 criterion_group! {
     name = benches;
     config = quick();
-    targets = bench_matmul, bench_quant_matmul, bench_rowwise_ops
+    targets = bench_matmul, bench_quant_matmul, bench_strided_attention_kernels,
+        bench_rowwise_ops, bench_forward_layer
 }
 criterion_main!(benches);

@@ -8,13 +8,14 @@
 //!   table3 fig8 fig9 fig10    microbenchmarks (§6.2)
 //!   fig11 fig12 fig13 fig14 fig15   real-world applications (§6.3)
 //!   fig16 ablation-extra      ablations (§6.4 + DESIGN.md §5)
+//!   perf                      kernel/engine perf trajectory (BENCH_kernels.json)
 //!   all                       everything above
 //! ```
 //!
 //! `--fast` trims dataset counts and sweep grids for quick smoke runs.
 //! Outputs are printed and written to `target/repro/<id>.{txt,json}`.
 
-use prism_bench::experiments::{ablation, apps, micro, overview};
+use prism_bench::experiments::{ablation, apps, micro, overview, perf};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,6 +40,7 @@ fn main() {
         "fig14" | "fig15" => apps::fig14_15(),
         "fig16" => ablation::fig16(),
         "ablation-extra" => ablation::ablation_extra(),
+        "perf" => perf::perf(fast),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod apps;
 pub mod micro;
 pub mod overview;
+pub mod perf;
 
 use prism_core::EngineOptions;
 use prism_device::DeviceSpec;

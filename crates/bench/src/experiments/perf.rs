@@ -1,0 +1,366 @@
+//! `repro perf`: the kernel / forward-path performance trajectory.
+//!
+//! Times the hot compute spine — dense GEMM, quantized GEMM, one
+//! transformer layer, and an end-to-end `select_top_k` on the resident
+//! pruning engine — and writes the numbers to `BENCH_kernels.json` at the
+//! workspace root. The first ever run becomes the frozen `baseline`
+//! section; later runs refresh `current` and the per-bench `speedup`
+//! ratios, so kernel regressions show up as a diff of one committed file.
+//! CI runs `repro perf --fast` to refresh the artifact cheaply.
+
+use std::time::Instant;
+
+use prism_core::{EngineOptions, PrismEngine};
+use prism_metrics::MemoryMeter;
+use prism_model::layer::{forward_layer, ForwardScratch};
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_storage::Container;
+use prism_tensor::{ops, QuantMatrix, Tensor};
+use prism_workload::WorkloadGenerator;
+use serde::Serialize;
+
+use crate::report::Report;
+
+/// Committed trajectory file at the workspace root.
+pub const KERNELS_FILE: &str = "BENCH_kernels.json";
+
+/// One timed benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct PerfEntry {
+    /// Stable benchmark name (`group/case`).
+    pub name: String,
+    /// Median wall time per iteration in nanoseconds.
+    pub median_ns: f64,
+}
+
+/// One full measurement pass.
+#[derive(Debug, Serialize)]
+pub struct PerfSnapshot {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// All benchmark results of this pass.
+    pub entries: Vec<PerfEntry>,
+}
+
+#[derive(Debug, Serialize)]
+struct SpeedupEntry {
+    name: String,
+    baseline_ns: f64,
+    current_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct KernelsFile {
+    schema: String,
+    baseline: PerfSnapshot,
+    current: PerfSnapshot,
+    speedup: Vec<SpeedupEntry>,
+}
+
+/// Times `f`, returning the median of `reps` samples in nanoseconds.
+fn time_median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    // One untimed warmup iteration.
+    f();
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        f();
+        samples.push(t.elapsed().as_nanos() as f64);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn mat(rows: usize, cols: usize, seed: f32) -> Tensor {
+    Tensor::from_fn(rows, cols, |r, c| {
+        ((r * 31 + c * 7) as f32 * seed).sin() * 0.5
+    })
+}
+
+fn gemm_benches(fast: bool, entries: &mut Vec<PerfEntry>) {
+    let reps = if fast { 5 } else { 25 };
+    // Square GEMM above the cache-blocking scale.
+    let a = mat(256, 256, 0.013);
+    let b = mat(256, 256, 0.017);
+    entries.push(PerfEntry {
+        name: "gemm/matmul_256x256x256".into(),
+        median_ns: time_median_ns(reps, || {
+            std::hint::black_box(ops::matmul(&a, &b).unwrap());
+        }),
+    });
+    // Mini-scale FFN projection: 640 packed tokens, d=32 -> f=64.
+    let x = mat(640, 32, 0.007);
+    let w = mat(64, 32, 0.011);
+    entries.push(PerfEntry {
+        name: "gemm/matmul_transb_640x32x64".into(),
+        median_ns: time_median_ns(reps * 4, || {
+            std::hint::black_box(ops::matmul_transb(&x, &w).unwrap());
+        }),
+    });
+    // Paper-mini projection: 1024 tokens, d=256 -> 256.
+    let xl = mat(1024, 256, 0.009);
+    let wl = mat(256, 256, 0.003);
+    entries.push(PerfEntry {
+        name: "gemm/matmul_transb_1024x256x256".into(),
+        median_ns: time_median_ns(reps, || {
+            std::hint::black_box(ops::matmul_transb(&xl, &wl).unwrap());
+        }),
+    });
+    // Quantized (W4A16) variants of both transb shapes.
+    let q = QuantMatrix::quantize(&w).unwrap();
+    entries.push(PerfEntry {
+        name: "quant/matmul_transb_640x32x64".into(),
+        median_ns: time_median_ns(reps * 4, || {
+            std::hint::black_box(q.matmul_transb(&x).unwrap());
+        }),
+    });
+    let ql = QuantMatrix::quantize(&wl).unwrap();
+    let xq = mat(512, 256, 0.005);
+    entries.push(PerfEntry {
+        name: "quant/matmul_transb_512x256x256".into(),
+        median_ns: time_median_ns(reps, || {
+            std::hint::black_box(ql.matmul_transb(&xq).unwrap());
+        }),
+    });
+}
+
+fn forward_layer_bench(fast: bool, entries: &mut Vec<PerfEntry>) {
+    let reps = if fast { 5 } else { 25 };
+    // One layer of the paper-mini twin over 20 candidates x 32 tokens.
+    let config = ModelConfig::bge_m3().mini_twin();
+    let weights = prism_model::LayerWeights::generate(&config, 0, 11);
+    let tokens = 20 * 32;
+    let base = Tensor::from_fn(tokens, config.hidden_dim, |r, c| {
+        ((r * 7 + c * 3) as f32 * 0.13).sin() * 0.5
+    });
+    let ranges: Vec<(usize, usize)> = (0..20).map(|i| (i * 32, (i + 1) * 32)).collect();
+    let mut hidden = base.clone();
+    entries.push(PerfEntry {
+        name: "model/forward_layer_mini_640tok".into(),
+        median_ns: time_median_ns(reps, || {
+            hidden.data_mut().copy_from_slice(base.data());
+            forward_layer(&config, &weights, 0, &mut hidden, &ranges).unwrap();
+        }),
+    });
+    // Same layer through a reused scratch workspace (the engine's path).
+    let mut scratch = ForwardScratch::new(&config, tokens);
+    entries.push(PerfEntry {
+        name: "model/forward_layer_scratch_mini_640tok".into(),
+        median_ns: time_median_ns(reps, || {
+            hidden.data_mut().copy_from_slice(base.data());
+            prism_model::layer::forward_layer_with(
+                &config,
+                &weights,
+                0,
+                &mut hidden,
+                &ranges,
+                &mut scratch,
+            )
+            .unwrap();
+        }),
+    });
+}
+
+/// The acceptance-gate engine configuration: all weights resident,
+/// pruning on (the criterion `engine` bench's geometry).
+fn resident_pruned_options() -> EngineOptions {
+    EngineOptions {
+        streaming: false,
+        embed_cache: false,
+        ..Default::default()
+    }
+}
+
+fn engine_bench(config: ModelConfig, tag: &str, fast: bool, entries: &mut Vec<PerfEntry>) {
+    let reps = if fast { 5 } else { 20 };
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-perf-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+    let gen = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+    let batch = SequenceBatch::new(&gen.request(0, 20).sequences()).expect("batch");
+    let container = Container::open(&path).expect("open");
+    let mut engine = PrismEngine::new(
+        container,
+        config,
+        resident_pruned_options(),
+        MemoryMeter::new(),
+    )
+    .expect("engine");
+    entries.push(PerfEntry {
+        name: format!("engine/select_top_k_resident_pruned_{tag}"),
+        median_ns: time_median_ns(reps, || {
+            std::hint::black_box(engine.select_top_k(&batch, 5).unwrap());
+        }),
+    });
+    std::fs::remove_file(&path).ok();
+}
+
+/// Extracts `(name, median_ns)` pairs from one named section of a
+/// previously written `BENCH_kernels.json` (the serde shim has no
+/// deserializer, so this is a purpose-built scanner for our own output).
+pub fn parse_section_entries(text: &str, section: &str) -> Vec<(String, f64)> {
+    let Some(start) = text.find(&format!("\"{section}\"")) else {
+        return Vec::new();
+    };
+    // The section's entry list ends where the next top-level section
+    // begins ("current" / "speedup" follow "baseline" in our layout).
+    let tail = &text[start..];
+    let end = ["\"current\"", "\"speedup\""]
+        .iter()
+        .filter_map(|marker| {
+            let pos = tail[1..].find(marker)?;
+            Some(pos + 1)
+        })
+        .min()
+        .unwrap_or(tail.len());
+    let body = &tail[..end];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(npos) = rest.find("\"name\":") {
+        let after = &rest[npos + 7..];
+        let Some(q0) = after.find('"') else { break };
+        let Some(q1) = after[q0 + 1..].find('"') else {
+            break;
+        };
+        let name = after[q0 + 1..q0 + 1 + q1].to_string();
+        let Some(mpos) = after.find("\"median_ns\":") else {
+            break;
+        };
+        let num = after[mpos + 12..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect::<String>();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = &after[mpos + 12..];
+    }
+    out
+}
+
+/// Runs every perf bench and writes `BENCH_kernels.json` + the report.
+pub fn perf(fast: bool) {
+    let mut report = Report::new("perf");
+    let mode = if fast { "fast" } else { "full" };
+    report.line(&format!("kernel & engine perf trajectory ({mode} mode)"));
+    let mut entries = Vec::new();
+    gemm_benches(fast, &mut entries);
+    forward_layer_bench(fast, &mut entries);
+    engine_bench(
+        ModelConfig::test_config(ModelArch::DecoderOnly, 12),
+        "test12",
+        fast,
+        &mut entries,
+    );
+    engine_bench(
+        ModelConfig::bge_m3().mini_twin(),
+        "mini_m3",
+        fast,
+        &mut entries,
+    );
+
+    for e in &entries {
+        report.line(&format!("{:<45} {:>12.1} us", e.name, e.median_ns / 1e3));
+    }
+
+    // Preserve the frozen baseline if one exists; otherwise this run
+    // becomes the baseline (the pre-optimization seed numbers).
+    let previous = std::fs::read_to_string(KERNELS_FILE).unwrap_or_default();
+    let mut baseline = parse_section_entries(&previous, "baseline");
+    if baseline.is_empty() {
+        baseline = entries
+            .iter()
+            .map(|e| (e.name.clone(), e.median_ns))
+            .collect();
+        report.line("no existing baseline: freezing this run as baseline");
+    }
+    let speedup: Vec<SpeedupEntry> = entries
+        .iter()
+        .filter_map(|e| {
+            let (_, base_ns) = baseline.iter().find(|(n, _)| *n == e.name)?;
+            Some(SpeedupEntry {
+                name: e.name.clone(),
+                baseline_ns: *base_ns,
+                current_ns: e.median_ns,
+                speedup: base_ns / e.median_ns,
+            })
+        })
+        .collect();
+    report.blank();
+    for s in &speedup {
+        report.line(&format!("{:<45} {:>8.2}x vs baseline", s.name, s.speedup));
+    }
+    let file = KernelsFile {
+        schema: "prism-kernel-perf-v1".into(),
+        baseline: PerfSnapshot {
+            mode: "frozen".into(),
+            entries: baseline
+                .into_iter()
+                .map(|(name, median_ns)| PerfEntry { name, median_ns })
+                .collect(),
+        },
+        current: PerfSnapshot {
+            mode: mode.into(),
+            entries,
+        },
+        speedup,
+    };
+    let json = serde_json::to_string_pretty(&file).expect("serialize kernels file");
+    std::fs::write(KERNELS_FILE, json).expect("write BENCH_kernels.json");
+    report.line(&format!("wrote {KERNELS_FILE}"));
+    report.finish(&file);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_parser_round_trips_serializer_output() {
+        let file = KernelsFile {
+            schema: "s".into(),
+            baseline: PerfSnapshot {
+                mode: "frozen".into(),
+                entries: vec![
+                    PerfEntry {
+                        name: "gemm/a".into(),
+                        median_ns: 1500.0,
+                    },
+                    PerfEntry {
+                        name: "engine/b".into(),
+                        median_ns: 2.5e6,
+                    },
+                ],
+            },
+            current: PerfSnapshot {
+                mode: "full".into(),
+                entries: vec![PerfEntry {
+                    name: "gemm/a".into(),
+                    median_ns: 700.0,
+                }],
+            },
+            speedup: Vec::new(),
+        };
+        let text = serde_json::to_string_pretty(&file).unwrap();
+        let base = parse_section_entries(&text, "baseline");
+        assert_eq!(base.len(), 2);
+        assert_eq!(base[0].0, "gemm/a");
+        assert!((base[0].1 - 1500.0).abs() < 1e-9);
+        assert!((base[1].1 - 2.5e6).abs() < 1.0);
+        let cur = parse_section_entries(&text, "current");
+        assert_eq!(cur, vec![("gemm/a".to_string(), 700.0)]);
+        assert!(parse_section_entries("", "baseline").is_empty());
+    }
+
+    #[test]
+    fn median_timer_returns_positive() {
+        let ns = time_median_ns(3, || {
+            std::hint::black_box((0..100).sum::<u64>());
+        });
+        assert!(ns > 0.0);
+    }
+}

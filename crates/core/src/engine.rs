@@ -11,7 +11,7 @@
 use std::path::PathBuf;
 
 use prism_metrics::{LatencyRecorder, MemCategory, MemoryMeter};
-use prism_model::layer::{forward_layer, intermediate_bytes};
+use prism_model::layer::{forward_layer_with, intermediate_bytes, ForwardScratch};
 use prism_model::model::{add_position, layer_section, SECTION_EMBEDDING, SECTION_HEAD};
 use prism_model::{HeadWeights, LayerWeights, ModelConfig, SequenceBatch};
 use prism_storage::{
@@ -108,6 +108,9 @@ struct Chunk {
     ids: Vec<usize>,
     /// Per-candidate sequence lengths.
     seq_lens: Vec<usize>,
+    /// Per-candidate `[start, end)` row ranges local to this chunk,
+    /// cached so the per-layer forward loop does not rebuild them.
+    ranges: Vec<(usize, usize)>,
     /// Hidden states when resident.
     hidden: Option<Tensor>,
     /// Slot in the spill file when offloaded.
@@ -115,10 +118,10 @@ struct Chunk {
 }
 
 impl Chunk {
-    fn local_ranges(&self) -> Vec<(usize, usize)> {
-        let mut ranges = Vec::with_capacity(self.seq_lens.len());
+    fn ranges_from(seq_lens: &[usize]) -> Vec<(usize, usize)> {
+        let mut ranges = Vec::with_capacity(seq_lens.len());
         let mut at = 0;
-        for &l in &self.seq_lens {
+        for &l in seq_lens {
             ranges.push((at, at + l));
             at += l;
         }
@@ -141,6 +144,10 @@ pub struct PrismEngine {
     meter: MemoryMeter,
     spill_path: PathBuf,
     request_counter: u64,
+    /// Reusable forward workspaces, one per parallel chunk worker. Sized
+    /// on first use from the request's chunk geometry and kept across
+    /// requests so the steady-state forward path never allocates.
+    scratch_pool: Vec<ForwardScratch>,
 }
 
 impl PrismEngine {
@@ -204,6 +211,7 @@ impl PrismEngine {
             meter,
             spill_path,
             request_counter: 0,
+            scratch_pool: Vec::new(),
         })
     }
 
@@ -269,6 +277,9 @@ impl PrismEngine {
         };
         let mut chunks = build_chunks(batch, &hidden_all, chunk_cands)?;
         drop(hidden_all);
+        // Borrow the engine's scratch pool for this request (restored on
+        // the success path; an error simply re-sizes it next request).
+        let mut scratch_pool = std::mem::take(&mut self.scratch_pool);
 
         // Spill setup: only when offloading is on and there is something to
         // offload.
@@ -312,7 +323,9 @@ impl PrismEngine {
         let mut terminated = false;
 
         // Post-embedding probe.
-        let mut current_scores = self.score_chunks(&mut chunks, &mut spill, &mut trace)?;
+        let mut current_scores = latency.time("score", || {
+            self.score_chunks(&mut chunks, &mut spill, &mut trace)
+        })?;
         for (id, s) in &current_scores {
             last_scores[*id] = *s;
         }
@@ -366,15 +379,19 @@ impl PrismEngine {
                         dropped: dropped_ids.clone(),
                     });
                     if !selected_ids.is_empty() || !dropped_ids.is_empty() {
-                        let keep: Vec<usize> = decision
-                            .deferred
-                            .iter()
-                            .map(|&i| current_scores[i].0)
-                            .collect();
-                        retain_candidates(&mut chunks, &mut spill, &keep)?;
+                        // A boolean mask keyed by candidate id turns every
+                        // membership probe below into O(1) instead of the
+                        // former O(|keep|) scans.
+                        let mut keep_mask = vec![false; n];
+                        for &i in &decision.deferred {
+                            keep_mask[current_scores[i].0] = true;
+                        }
+                        latency.time("prune", || {
+                            retain_candidates(&mut chunks, &mut spill, &keep_mask)
+                        })?;
                         self.meter
                             .set(MemCategory::HiddenStates, resident_hidden_bytes(&chunks));
-                        current_scores.retain(|(id, _)| keep.contains(id));
+                        current_scores.retain(|(id, _)| keep_mask[*id]);
                     }
                     if decision.terminate {
                         terminated = true;
@@ -413,7 +430,13 @@ impl PrismEngine {
 
             // ---- Chunked forward (§4.3) ----
             latency.time("forward", || {
-                self.forward_chunks(&mut chunks, &mut spill, weights.get(), layer_idx)
+                self.forward_chunks(
+                    &mut chunks,
+                    &mut spill,
+                    weights.get(),
+                    layer_idx,
+                    &mut scratch_pool,
+                )
             })?;
 
             // Release this layer's weights; recycle the stream buffer
@@ -432,7 +455,9 @@ impl PrismEngine {
             trace.executed_layers += 1;
 
             // ---- Score at the layer boundary ----
-            current_scores = self.score_chunks(&mut chunks, &mut spill, &mut trace)?;
+            current_scores = latency.time("score", || {
+                self.score_chunks(&mut chunks, &mut spill, &mut trace)
+            })?;
             for (id, s) in &current_scores {
                 last_scores[*id] = *s;
             }
@@ -471,6 +496,7 @@ impl PrismEngine {
         self.meter.set(MemCategory::HiddenStates, 0);
         self.meter.set(MemCategory::Intermediate, 0);
         trace.latency = latency;
+        self.scratch_pool = scratch_pool;
 
         Ok(Selection {
             ranked: accepted,
@@ -482,42 +508,71 @@ impl PrismEngine {
     fn embed_batch(&mut self, batch: &SequenceBatch) -> Result<Tensor> {
         let d = self.config.hidden_dim;
         let mut hidden = Tensor::zeros(batch.total_tokens(), d);
-        for &(start, end) in batch.ranges() {
-            for (pos, t) in (start..end).enumerate() {
-                let token = batch.tokens()[t];
-                let row = hidden.row_mut(t)?;
-                match &mut self.embed {
-                    EmbedSource::Cache(cache) => cache.lookup_into(token, row)?,
-                    EmbedSource::Resident(table) => {
-                        if token as usize >= table.rows() {
+        // Match on the source once; the resident path copies straight from
+        // the table row into the hidden row (no per-token heap traffic).
+        match &mut self.embed {
+            EmbedSource::Cache(cache) => {
+                for &(start, end) in batch.ranges() {
+                    for (pos, t) in (start..end).enumerate() {
+                        let row = hidden.row_mut(t)?;
+                        cache.lookup_into(batch.tokens()[t], row)?;
+                        add_position(row, pos, d);
+                    }
+                }
+            }
+            EmbedSource::Resident(table) => {
+                for &(start, end) in batch.ranges() {
+                    for (pos, t) in (start..end).enumerate() {
+                        let token = batch.tokens()[t] as usize;
+                        if token >= table.rows() {
                             return Err(PrismError::InvalidRequest(format!(
                                 "token {token} outside vocabulary"
                             )));
                         }
-                        let src = table.row(token as usize)?.to_vec();
-                        row.copy_from_slice(&src);
+                        let row = hidden.row_mut(t)?;
+                        row.copy_from_slice(table.row(token)?);
+                        add_position(row, pos, d);
                     }
                 }
-                add_position(row, pos, d);
             }
         }
         Ok(hidden)
     }
 
+    /// Forwards every chunk through one layer.
+    ///
+    /// Resident (non-spilled) chunks run in parallel across a scoped
+    /// thread pool — each worker owns one [`ForwardScratch`] — while the
+    /// spill window stays sequential: spilled chunks share the spill file
+    /// and are fetched, forwarded and written back one at a time, exactly
+    /// as the §4.3 memory bound assumes. Chunks are data-independent and
+    /// each is computed with a deterministic per-row accumulation order,
+    /// so the parallel schedule cannot change results.
     fn forward_chunks(
         &self,
         chunks: &mut [Chunk],
         spill: &mut Option<SpillFile>,
         weights: &LayerWeights,
         layer_idx: usize,
+        pool: &mut Vec<ForwardScratch>,
     ) -> Result<()> {
         let max_seq = chunks
             .iter()
             .flat_map(|c| c.seq_lens.iter().copied())
             .max()
-            .unwrap_or(0);
+            .unwrap_or(0)
+            .max(1);
+        let max_rows = chunks.iter().map(Chunk::rows).max().unwrap_or(0);
+        let workers = self.chunk_workers(chunks, max_rows);
+        while pool.len() < workers.max(1) {
+            pool.push(ForwardScratch::new(&self.config, max_rows));
+        }
+
+        // ---- Sequential spill window ----
         for i in 0..chunks.len() {
-            // Fetch if offloaded.
+            if chunks[i].spill_slot.is_none() {
+                continue;
+            }
             if chunks[i].hidden.is_none() {
                 if let (Some(slot), Some(file)) = (chunks[i].spill_slot, spill.as_mut()) {
                     chunks[i].hidden = Some(file.fetch(slot)?);
@@ -526,25 +581,106 @@ impl PrismEngine {
                 }
             }
             let chunk = &mut chunks[i];
-            let ranges = chunk.local_ranges();
             let Some(hidden) = chunk.hidden.as_mut() else {
-                continue; // Empty chunk.
+                continue;
             };
-            let inter = intermediate_bytes(&self.config, hidden.rows(), max_seq.max(1));
+            let inter = intermediate_bytes(&self.config, hidden.rows(), max_seq);
             self.meter.alloc(MemCategory::Intermediate, inter);
-            forward_layer(&self.config, weights, layer_idx, hidden, &ranges)?;
+            forward_layer_with(
+                &self.config,
+                weights,
+                layer_idx,
+                hidden,
+                &chunk.ranges,
+                &mut pool[0],
+            )?;
             self.meter.free(MemCategory::Intermediate, inter);
-            // Offload back if in spill mode.
-            if chunk.spill_slot.is_some() {
-                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
-                    let t = chunk.hidden.take().expect("hidden present");
-                    file.offload(slot, &t)?;
-                }
-                self.meter
-                    .set(MemCategory::HiddenStates, resident_hidden_bytes(chunks));
+            if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                let t = chunk.hidden.take().expect("hidden present");
+                file.offload(slot, &t)?;
             }
+            self.meter
+                .set(MemCategory::HiddenStates, resident_hidden_bytes(chunks));
         }
-        Ok(())
+
+        // ---- Parallel resident chunks ----
+        let mut resident: Vec<&mut Chunk> = chunks
+            .iter_mut()
+            .filter(|c| c.spill_slot.is_none() && c.hidden.is_some())
+            .collect();
+        if resident.is_empty() {
+            return Ok(());
+        }
+        // Each live worker holds one scratch sized for the largest chunk;
+        // that product is the true concurrent intermediate footprint.
+        let inter = workers.max(1) as u64 * intermediate_bytes(&self.config, max_rows, max_seq);
+        self.meter.alloc(MemCategory::Intermediate, inter);
+        let result: Result<()> = if workers <= 1 {
+            let scratch = &mut pool[0];
+            resident.iter_mut().try_for_each(|chunk| -> Result<()> {
+                let hidden = chunk.hidden.as_mut().expect("resident chunk");
+                forward_layer_with(
+                    &self.config,
+                    weights,
+                    layer_idx,
+                    hidden,
+                    &chunk.ranges,
+                    scratch,
+                )?;
+                Ok(())
+            })
+        } else {
+            let group = resident.len().div_ceil(workers);
+            let results: Vec<Result<()>> = std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for (chunk_group, scratch) in resident.chunks_mut(group).zip(pool.iter_mut()) {
+                    handles.push(scope.spawn(move || -> Result<()> {
+                        for chunk in chunk_group.iter_mut() {
+                            let hidden = chunk.hidden.as_mut().expect("resident chunk");
+                            forward_layer_with(
+                                &self.config,
+                                weights,
+                                layer_idx,
+                                hidden,
+                                &chunk.ranges,
+                                scratch,
+                            )?;
+                        }
+                        Ok(())
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("chunk worker panicked"))
+                    .collect()
+            });
+            results.into_iter().collect()
+        };
+        self.meter.free(MemCategory::Intermediate, inter);
+        result
+    }
+
+    /// How many workers the resident chunks of this request justify: one
+    /// unless there are several chunks *and* enough per-layer work for the
+    /// thread fan-out to beat its own overhead.
+    fn chunk_workers(&self, chunks: &[Chunk], max_rows: usize) -> usize {
+        /// Per-chunk multiply-accumulate work below which spawning scoped
+        /// threads costs more than it saves.
+        const PAR_MAC_THRESHOLD: usize = 1 << 19;
+        let resident = chunks
+            .iter()
+            .filter(|c| c.spill_slot.is_none() && c.hidden.is_some())
+            .count();
+        let d = self.config.hidden_dim;
+        let f = self.config.ffn_dim;
+        let macs = max_rows * d * (4 * d + 3 * f);
+        if resident < 2 || macs < PAR_MAC_THRESHOLD {
+            return 1;
+        }
+        std::thread::available_parallelism()
+            .map_or(1, |n| n.get())
+            .min(resident)
+            .min(8)
     }
 
     /// Scores all active candidates; returns `(original_id, score)` pairs
@@ -569,12 +705,11 @@ impl PrismEngine {
             let hidden = chunk.hidden.as_ref().ok_or_else(|| {
                 PrismError::InvalidRequest("chunk hidden state unavailable".into())
             })?;
-            let ranges = chunk.local_ranges();
             let scores = prism_model::classifier::score_sequences(
                 &self.config,
                 &self.head,
                 hidden,
-                &ranges,
+                &chunk.ranges,
             )?;
             for (id, s) in chunk.ids.iter().zip(scores) {
                 out.push((*id, s));
@@ -623,9 +758,11 @@ fn build_chunks(
         let row_start = batch.ranges()[i].0;
         let row_end = batch.ranges()[end - 1].1;
         let hidden = hidden_all.slice_rows(row_start, row_end)?;
+        let ranges = Chunk::ranges_from(&seq_lens);
         chunks.push(Chunk {
             ids,
             seq_lens,
+            ranges,
             hidden: Some(hidden),
             spill_slot: None,
         });
@@ -649,19 +786,20 @@ fn aligned_scores(scores: &[(usize, f32)], n: usize) -> Vec<Option<f32>> {
     out
 }
 
-/// Removes all candidates not in `keep` from the chunks (fetching and
-/// re-offloading spilled chunks as needed).
+/// Removes all candidates whose id is unset in the `keep` mask (indexed
+/// by original candidate id), fetching and re-offloading spilled chunks
+/// as needed.
 fn retain_candidates(
     chunks: &mut Vec<Chunk>,
     spill: &mut Option<SpillFile>,
-    keep: &[usize],
+    keep: &[bool],
 ) -> Result<()> {
     for chunk in chunks.iter_mut() {
         let keep_local: Vec<usize> = chunk
             .ids
             .iter()
             .enumerate()
-            .filter_map(|(li, id)| keep.contains(id).then_some(li))
+            .filter_map(|(li, id)| keep[*id].then_some(li))
             .collect();
         if keep_local.len() == chunk.ids.len() {
             continue;
@@ -676,17 +814,18 @@ fn retain_candidates(
             // Nothing resident and no spill: chunk must be empty.
             chunk.ids.clear();
             chunk.seq_lens.clear();
+            chunk.ranges.clear();
             continue;
         };
-        let ranges = chunk.local_ranges();
         let mut rows: Vec<usize> = Vec::new();
         for &li in &keep_local {
-            let (s, e) = ranges[li];
+            let (s, e) = chunk.ranges[li];
             rows.extend(s..e);
         }
         let new_hidden = hidden.gather_rows(&rows)?;
         chunk.ids = keep_local.iter().map(|&li| chunk.ids[li]).collect();
         chunk.seq_lens = keep_local.iter().map(|&li| chunk.seq_lens[li]).collect();
+        chunk.ranges = Chunk::ranges_from(&chunk.seq_lens);
         if let (Some(slot), Some(file), true) = (chunk.spill_slot, spill.as_mut(), fetched_here) {
             if chunk.ids.is_empty() {
                 file.release(slot);

@@ -31,18 +31,38 @@ impl Pooling {
 }
 
 /// Pools packed hidden states into `[num_sequences, D]`.
+///
+/// Fills the output rows directly from the packed buffer — no per-sequence
+/// slice copies. This runs at every layer boundary (once per chunk), so it
+/// sits on the engine's scoring hot path.
 pub fn pool(hidden: &Tensor, ranges: &[(usize, usize)], pooling: Pooling) -> Result<Tensor> {
-    let mut rows: Vec<Tensor> = Vec::with_capacity(ranges.len());
-    for &(start, end) in ranges {
-        let seq = hidden.slice_rows(start, end)?;
-        let pooled = match pooling {
-            Pooling::Mean => ops::mean_rows(&seq)?,
-            Pooling::LastToken => seq.slice_rows(seq.rows() - 1, seq.rows())?,
-        };
-        rows.push(pooled);
+    let cols = hidden.cols();
+    let mut out = Tensor::zeros(ranges.len(), cols);
+    for (i, &(start, end)) in ranges.iter().enumerate() {
+        if start >= end || end > hidden.rows() {
+            return Err(prism_tensor::TensorError::IndexOutOfBounds {
+                index: end,
+                bound: hidden.rows(),
+            }
+            .into());
+        }
+        let dst = out.row_mut(i)?;
+        match pooling {
+            Pooling::Mean => {
+                for r in start..end {
+                    for (o, &x) in dst.iter_mut().zip(hidden.row(r)?) {
+                        *o += x;
+                    }
+                }
+                let inv = 1.0 / (end - start) as f32;
+                for o in dst.iter_mut() {
+                    *o *= inv;
+                }
+            }
+            Pooling::LastToken => dst.copy_from_slice(hidden.row(end - 1)?),
+        }
     }
-    let refs: Vec<&Tensor> = rows.iter().collect();
-    Ok(Tensor::vcat(&refs)?)
+    Ok(out)
 }
 
 /// Scores every sequence: final norm → pooled projection → sigmoid.

@@ -6,16 +6,98 @@
 //! is an independent input, they merely share the batch). This function is
 //! deliberately free-standing: the PRISM engine calls it with *streamed*
 //! weights it owns for exactly one layer at a time.
+//!
+//! The hot path is [`forward_layer_with`], which threads a reusable
+//! [`ForwardScratch`] workspace through the layer so steady-state
+//! execution performs **zero heap allocations**: projections land in
+//! preallocated buffers via the `_into` kernels, and attention reads
+//! per-head Q/K/V column slices and writes its output through strided
+//! GEMMs instead of slicing, concatenating and re-copying tensors.
 
-use prism_tensor::{ops, Tensor};
+use prism_tensor::{ops, Tensor, TensorError};
 
 use crate::{LayerWeights, ModelArch, ModelConfig, Result};
 
+/// Reusable per-worker workspace for [`forward_layer_with`].
+///
+/// Holds every intermediate the layer needs — the normed copy, Q/K/V,
+/// the attention output, the projection result, FFN gate/up and the
+/// per-sequence logits — sized once (typically from the engine's chunk
+/// geometry) and re-dressed per call with [`Tensor::resize`], which never
+/// reallocates while shapes stay within the original capacity. One
+/// scratch serves one worker thread; parallel chunk execution gives each
+/// worker its own.
+#[derive(Debug)]
+pub struct ForwardScratch {
+    normed: Tensor,
+    q: Tensor,
+    k: Tensor,
+    v: Tensor,
+    attn: Tensor,
+    proj: Tensor,
+    gate: Tensor,
+    up: Tensor,
+    logits: Vec<f32>,
+}
+
+impl ForwardScratch {
+    /// Allocates a workspace able to forward up to `max_tokens` packed
+    /// tokens (and sequences up to `config.max_seq`) without reallocating.
+    pub fn new(config: &ModelConfig, max_tokens: usize) -> Self {
+        let d = config.hidden_dim;
+        let f = config.ffn_dim;
+        let s = config.max_seq;
+        ForwardScratch {
+            normed: Tensor::zeros(max_tokens, d),
+            q: Tensor::zeros(max_tokens, d),
+            k: Tensor::zeros(max_tokens, d),
+            v: Tensor::zeros(max_tokens, d),
+            attn: Tensor::zeros(max_tokens, d),
+            proj: Tensor::zeros(max_tokens, d),
+            gate: Tensor::zeros(max_tokens, f),
+            up: Tensor::zeros(max_tokens, f),
+            logits: vec![0.0; s * s],
+        }
+    }
+
+    /// Re-dresses the buffers for `tokens` packed rows with longest
+    /// sequence `max_seq`; grows (allocating) only when a request exceeds
+    /// the capacity chosen at construction.
+    fn prepare(&mut self, config: &ModelConfig, tokens: usize, max_seq: usize) {
+        let d = config.hidden_dim;
+        let f = config.ffn_dim;
+        self.normed.resize(tokens, d);
+        self.q.resize(tokens, d);
+        self.k.resize(tokens, d);
+        self.v.resize(tokens, d);
+        self.attn.resize(tokens, d);
+        self.proj.resize(tokens, d);
+        self.gate.resize(tokens, f);
+        self.up.resize(tokens, f);
+        if self.logits.len() < max_seq * max_seq {
+            self.logits.resize(max_seq * max_seq, 0.0);
+        }
+    }
+
+    /// Resident bytes of the workspace at its current shape.
+    pub fn size_bytes(&self) -> usize {
+        self.normed.size_bytes()
+            + self.q.size_bytes()
+            + self.k.size_bytes()
+            + self.v.size_bytes()
+            + self.attn.size_bytes()
+            + self.proj.size_bytes()
+            + self.gate.size_bytes()
+            + self.up.size_bytes()
+            + self.logits.len() * std::mem::size_of::<f32>()
+    }
+}
+
 /// Applies transformer layer `layer_idx` in place on `hidden`.
 ///
-/// `ranges` lists each sequence's `[start, end)` rows in `hidden`. The
-/// residual update is scaled by the config's per-layer `α` (DESIGN.md §6),
-/// which is what makes score trajectories converge across depth.
+/// Convenience wrapper over [`forward_layer_with`] that allocates a
+/// throwaway [`ForwardScratch`]; callers on a hot path (the engine, the
+/// baselines) keep a scratch alive across layers and chunks instead.
 pub fn forward_layer(
     config: &ModelConfig,
     weights: &LayerWeights,
@@ -23,40 +105,85 @@ pub fn forward_layer(
     hidden: &mut Tensor,
     ranges: &[(usize, usize)],
 ) -> Result<()> {
+    let mut scratch = ForwardScratch::new(config, hidden.rows());
+    forward_layer_with(config, weights, layer_idx, hidden, ranges, &mut scratch)
+}
+
+/// Applies transformer layer `layer_idx` in place on `hidden`, using a
+/// caller-provided scratch workspace (zero heap allocations in steady
+/// state).
+///
+/// `ranges` lists each sequence's `[start, end)` rows in `hidden`. The
+/// residual update is scaled by the config's per-layer `α` (DESIGN.md §6),
+/// which is what makes score trajectories converge across depth.
+pub fn forward_layer_with(
+    config: &ModelConfig,
+    weights: &LayerWeights,
+    layer_idx: usize,
+    hidden: &mut Tensor,
+    ranges: &[(usize, usize)],
+    scratch: &mut ForwardScratch,
+) -> Result<()> {
+    if hidden.cols() != config.hidden_dim {
+        return Err(TensorError::ShapeMismatch {
+            op: "forward_layer",
+            lhs: hidden.shape(),
+            rhs: (hidden.rows(), config.hidden_dim),
+        }
+        .into());
+    }
+    let max_seq = ranges
+        .iter()
+        .map(|&(s, e)| e.saturating_sub(s))
+        .max()
+        .unwrap_or(0);
+    scratch.prepare(config, hidden.rows(), max_seq);
     let alpha = config.alpha_at(layer_idx);
 
     // ---- Attention block (pre-norm) ----
-    let mut normed = hidden.clone();
+    scratch.normed.data_mut().copy_from_slice(hidden.data());
     apply_norm(
         config,
-        &mut normed,
+        &mut scratch.normed,
         &weights.norm1_gain,
         &weights.norm1_bias,
     )?;
-    let q = weights.wq.apply(&normed)?;
-    let k = weights.wk.apply(&normed)?;
-    let v = weights.wv.apply(&normed)?;
-    let attn = multi_head_attention(config, &q, &k, &v, ranges)?;
-    let attn_out = weights.wo.apply(&attn)?;
-    ops::axpy_inplace(hidden, alpha, &attn_out)?;
+    weights.wq.apply_into(&scratch.normed, &mut scratch.q)?;
+    weights.wk.apply_into(&scratch.normed, &mut scratch.k)?;
+    weights.wv.apply_into(&scratch.normed, &mut scratch.v)?;
+    multi_head_attention_into(
+        config,
+        &scratch.q,
+        &scratch.k,
+        &scratch.v,
+        ranges,
+        &mut scratch.attn,
+        &mut scratch.logits,
+    )?;
+    weights.wo.apply_into(&scratch.attn, &mut scratch.proj)?;
+    ops::axpy_inplace(hidden, alpha, &scratch.proj)?;
 
     // ---- FFN block (pre-norm, gated) ----
-    let mut normed2 = hidden.clone();
+    scratch.normed.data_mut().copy_from_slice(hidden.data());
     apply_norm(
         config,
-        &mut normed2,
+        &mut scratch.normed,
         &weights.norm2_gain,
         &weights.norm2_bias,
     )?;
-    let mut gate = weights.w_gate.apply(&normed2)?;
-    let up = weights.w_up.apply(&normed2)?;
+    weights
+        .w_gate
+        .apply_into(&scratch.normed, &mut scratch.gate)?;
+    weights.w_up.apply_into(&scratch.normed, &mut scratch.up)?;
     match config.arch {
-        ModelArch::DecoderOnly => ops::silu_inplace(&mut gate),
-        ModelArch::EncoderOnly => ops::gelu_inplace(&mut gate),
+        ModelArch::DecoderOnly => ops::silu_inplace(&mut scratch.gate),
+        ModelArch::EncoderOnly => ops::gelu_inplace(&mut scratch.gate),
     }
-    ops::hadamard_inplace(&mut gate, &up)?;
-    let ffn_out = weights.w_down.apply(&gate)?;
-    ops::axpy_inplace(hidden, alpha, &ffn_out)?;
+    ops::hadamard_inplace(&mut scratch.gate, &scratch.up)?;
+    weights
+        .w_down
+        .apply_into(&scratch.gate, &mut scratch.proj)?;
+    ops::axpy_inplace(hidden, alpha, &scratch.proj)?;
     Ok(())
 }
 
@@ -69,61 +196,106 @@ pub fn apply_norm(config: &ModelConfig, x: &mut Tensor, gain: &[f32], bias: &[f3
     Ok(())
 }
 
-fn multi_head_attention(
+/// Multi-head attention over packed sequences, written directly into
+/// `out` through strided GEMMs.
+///
+/// Per-head Q/K/V column blocks are read in place from the packed
+/// `[tokens, D]` buffers (row stride `D`), logits live in the scratch
+/// `logits` slice, and each head's output lands in its own column block
+/// of `out` — no per-head copies, no per-row shuffles.
+fn multi_head_attention_into(
     config: &ModelConfig,
     q: &Tensor,
     k: &Tensor,
     v: &Tensor,
     ranges: &[(usize, usize)],
-) -> Result<Tensor> {
+    out: &mut Tensor,
+    logits: &mut [f32],
+) -> Result<()> {
     let d = config.hidden_dim;
     let heads = config.num_heads;
     let hd = d / heads;
     let scale = 1.0 / (hd as f32).sqrt();
-    let mut out = Tensor::zeros(q.rows(), d);
+    let total = q.rows();
+    // Rows not covered by any range must stay zero (pre-scratch
+    // behavior); when the ranges tile the buffer end to end — the engine
+    // always packs them that way — every row is overwritten and the
+    // clear can be skipped.
+    let contiguous = ranges
+        .iter()
+        .try_fold(0_usize, |at, &(s, e)| (s == at && e >= s).then_some(e))
+        == Some(total);
+    if !contiguous {
+        out.data_mut().fill(0.0);
+    }
     for &(start, end) in ranges {
-        let q_seq = q.slice_rows(start, end)?;
-        let k_seq = k.slice_rows(start, end)?;
-        let v_seq = v.slice_rows(start, end)?;
-        let mut seq_out = Tensor::zeros(end - start, d);
+        if start > end || end > total {
+            return Err(TensorError::IndexOutOfBounds {
+                index: end,
+                bound: total,
+            }
+            .into());
+        }
+        let s = end - start;
+        if s == 0 {
+            continue;
+        }
+        let lg = &mut logits[..s * s];
         for h in 0..heads {
             let c0 = h * hd;
-            let c1 = c0 + hd;
-            let qh = q_seq.slice_cols(c0, c1)?;
-            let kh = k_seq.slice_cols(c0, c1)?;
-            let vh = v_seq.slice_cols(c0, c1)?;
-            let mut logits = ops::matmul_transb(&qh, &kh)?;
-            ops::scale_inplace(&mut logits, scale);
-            match config.arch {
-                ModelArch::DecoderOnly => ops::causal_softmax_inplace(&mut logits)?,
-                ModelArch::EncoderOnly => ops::softmax_rows_inplace(&mut logits)?,
+            ops::gemm_transb_strided(
+                &q.data()[start * d + c0..],
+                d,
+                &k.data()[start * d + c0..],
+                d,
+                lg,
+                s,
+                s,
+                hd,
+                s,
+            );
+            for (r, row) in lg.chunks_mut(s).enumerate() {
+                if config.arch == ModelArch::DecoderOnly {
+                    // Causal: position r attends to 0..=r. Softmax of the
+                    // valid prefix plus explicit zeros is bit-identical to
+                    // masking the tail with -inf (whose exp flushes to 0)
+                    // and halves the softmax work.
+                    ops::softmax_scaled_in_place(&mut row[..=r], scale);
+                    row[r + 1..].fill(0.0);
+                } else {
+                    ops::softmax_scaled_in_place(row, scale);
+                }
             }
-            let oh = ops::matmul(&logits, &vh)?;
-            seq_out.set_cols(c0, &oh)?;
-        }
-        // Copy the per-sequence result into the packed output.
-        for (i, r) in (start..end).enumerate() {
-            let row = seq_out.row(i)?.to_vec();
-            out.row_mut(r)?.copy_from_slice(&row);
+            ops::gemm_strided(
+                lg,
+                s,
+                &v.data()[start * d + c0..],
+                d,
+                &mut out.data_mut()[start * d + c0..],
+                d,
+                s,
+                s,
+                hd,
+            );
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Transient intermediate-tensor bytes needed to run one layer over
 /// `total_tokens` packed tokens with maximum sequence length `max_seq`.
 ///
-/// Counts the live set of the implementation above: normed copy, Q/K/V,
-/// per-sequence attention logits, attention output, FFN gate/up. This is
-/// the quantity chunked execution (§4.3) bounds.
+/// Counts the [`ForwardScratch`] working set — which is now *actually
+/// resident* for the whole layer: normed copy, Q/K/V, attention output,
+/// projection buffer (6 `T x D` tensors), FFN gate/up (2 `T x F`) and the
+/// `S x S` logits buffer. This is the quantity chunked execution (§4.3)
+/// bounds.
 pub fn intermediate_bytes(config: &ModelConfig, total_tokens: usize, max_seq: usize) -> u64 {
     let d = config.hidden_dim as u64;
     let f = config.ffn_dim as u64;
     let t = total_tokens as u64;
     let s = max_seq as u64;
     let act = config.activation_dtype_bytes as u64;
-    // normed + q + k + v + attn_concat + attn_out ~ 6 T*D, logits S*S per
-    // head (peak one head at a time) + gate/up 2 T*F.
     (6 * t * d + s * s + 2 * t * f) * act
 }
 

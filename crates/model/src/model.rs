@@ -6,7 +6,7 @@ use prism_storage::{Container, ContainerWriter, SectionKind};
 use prism_tensor::Tensor;
 
 use crate::classifier::score_sequences;
-use crate::layer::forward_layer;
+use crate::layer::{forward_layer_with, ForwardScratch};
 use crate::semantics::{SIGNAL_DIM, SOURCE_DIM};
 use crate::weights::{HeadWeights, LayerWeights, ModelWeights};
 use crate::{Error, ModelConfig, Result};
@@ -79,6 +79,17 @@ impl SequenceBatch {
         &self.tokens[s..e]
     }
 
+    /// Largest total token count of any window of `micro_batch`
+    /// consecutive sequences — the capacity a scratch workspace needs to
+    /// serve every micro-batch of this batch without reallocating.
+    pub fn max_micro_batch_tokens(&self, micro_batch: usize) -> usize {
+        self.ranges
+            .chunks(micro_batch.max(1))
+            .map(|w| w.iter().map(|(s, e)| e - s).sum::<usize>())
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Builds a new batch holding only the given sequences (in order).
     pub fn gather(&self, indices: &[usize]) -> Result<SequenceBatch> {
         let seqs: Vec<Vec<u32>> = indices
@@ -135,9 +146,8 @@ impl Model {
                         self.config.vocab_size
                     )));
                 }
-                let row = self.weights.embedding.row(token)?.to_vec();
                 let dst = hidden.row_mut(t)?;
-                dst.copy_from_slice(&row);
+                dst.copy_from_slice(self.weights.embedding.row(token)?);
                 add_position(dst, pos, d);
             }
         }
@@ -151,12 +161,25 @@ impl Model {
         hidden: &mut Tensor,
         ranges: &[(usize, usize)],
     ) -> Result<()> {
+        let mut scratch = ForwardScratch::new(&self.config, hidden.rows());
+        self.forward_layer_with(layer_idx, hidden, ranges, &mut scratch)
+    }
+
+    /// Applies transformer layer `layer_idx` in place through a reused
+    /// scratch workspace (the allocation-free hot path).
+    pub fn forward_layer_with(
+        &self,
+        layer_idx: usize,
+        hidden: &mut Tensor,
+        ranges: &[(usize, usize)],
+        scratch: &mut ForwardScratch,
+    ) -> Result<()> {
         let w = self
             .weights
             .layers
             .get(layer_idx)
             .ok_or_else(|| Error::Config(format!("layer {layer_idx} out of range")))?;
-        forward_layer(&self.config, w, layer_idx, hidden, ranges)
+        forward_layer_with(&self.config, w, layer_idx, hidden, ranges, scratch)
     }
 
     /// Scores every sequence from the current hidden states.
@@ -170,8 +193,9 @@ impl Model {
     /// results are compared against.
     pub fn forward_full(&self, batch: &SequenceBatch) -> Result<Vec<f32>> {
         let mut hidden = self.embed(batch)?;
+        let mut scratch = ForwardScratch::new(&self.config, hidden.rows());
         for l in 0..self.config.num_layers {
-            self.forward_layer(l, &mut hidden, batch.ranges())?;
+            self.forward_layer_with(l, &mut hidden, batch.ranges(), &mut scratch)?;
         }
         self.score(&hidden, batch.ranges())
     }
@@ -180,10 +204,11 @@ impl Model {
     /// `num_layers + 1` score vectors, index 0 = post-embedding.
     pub fn layer_score_trace(&self, batch: &SequenceBatch) -> Result<Vec<Vec<f32>>> {
         let mut hidden = self.embed(batch)?;
+        let mut scratch = ForwardScratch::new(&self.config, hidden.rows());
         let mut trace = Vec::with_capacity(self.config.num_layers + 1);
         trace.push(self.score(&hidden, batch.ranges())?);
         for l in 0..self.config.num_layers {
-            self.forward_layer(l, &mut hidden, batch.ranges())?;
+            self.forward_layer_with(l, &mut hidden, batch.ranges(), &mut scratch)?;
             trace.push(self.score(&hidden, batch.ranges())?);
         }
         Ok(trace)
@@ -250,11 +275,18 @@ impl Model {
 /// Exposed so runtimes that source embedding rows from a cache (PRISM's
 /// §4.4 path) produce bit-identical hidden states to [`Model::embed`].
 pub fn add_position(row: &mut [f32], pos: usize, d: usize) {
+    // inv_freq(i) = 10000^(-2*(i/2)/d), advanced multiplicatively every
+    // dimension pair — one `powf` per row instead of one per element.
+    let step = 10_000_f32.powf(-2.0 / d as f32);
+    let mut inv_freq = 1.0_f32;
     for (i, x) in row.iter_mut().enumerate() {
+        if i % 2 == 0 && i > 0 {
+            inv_freq *= step;
+        }
         if i == SIGNAL_DIM || i == SOURCE_DIM {
             continue;
         }
-        let rate = (pos as f32) / 10_000_f32.powf(2.0 * (i / 2) as f32 / d as f32);
+        let rate = (pos as f32) * inv_freq;
         *x += 0.1 * if i % 2 == 0 { rate.sin() } else { rate.cos() };
     }
 }

@@ -32,6 +32,16 @@ impl MatRef {
         }
     }
 
+    /// Applies the matrix into a caller-owned output tensor, reusing its
+    /// allocation (the zero-allocation path [`crate::layer::forward_layer_with`]
+    /// runs on). Quantized matrices take the fused nibble-decode kernel.
+    pub fn apply_into(&self, x: &Tensor, out: &mut Tensor) -> Result<()> {
+        match self {
+            MatRef::Dense(w) => Ok(ops::matmul_transb_into(x, w, out)?),
+            MatRef::Quant(q) => Ok(q.matmul_transb_into(x, out)?),
+        }
+    }
+
     /// Output dimension.
     pub fn out_dim(&self) -> usize {
         match self {

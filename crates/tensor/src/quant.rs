@@ -148,10 +148,25 @@ impl QuantMatrix {
     /// Computes `A * Self^T` where `Self` is an `n x k` quantized weight
     /// matrix stored output-major (like checkpoint weight tensors).
     ///
-    /// Dequantizes one weight row at a time so the live dequantized working
-    /// set stays at `O(k)` — this is what makes W4A16 memory-lean at
-    /// inference time.
+    /// See [`QuantMatrix::matmul_transb_into`]; this variant allocates the
+    /// output tensor.
     pub fn matmul_transb(&self, a: &Tensor) -> Result<Tensor> {
+        let mut out = Tensor::zeros(0, 0);
+        self.matmul_transb_into(a, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fused nibble-decode matmul: `out = A * Self^T` without ever
+    /// materializing a dequantized row.
+    ///
+    /// Weights are decoded straight from packed nibbles into the tiled
+    /// GEMM driver's stack-resident `KC x NB` panel — each nibble is
+    /// decoded once per row-parallel worker pass (once total below the
+    /// threading threshold) and the live dequantized working set stays at
+    /// the fixed panel size, which is what keeps W4A16 memory-lean at
+    /// inference time. Accumulation order matches the dense kernel, so
+    /// results equal `dequantize()` + dense matmul bit-for-bit.
+    pub fn matmul_transb_into(&self, a: &Tensor, out: &mut Tensor) -> Result<()> {
         if a.cols() != self.cols {
             return Err(TensorError::ShapeMismatch {
                 op: "quant_matmul_transb",
@@ -161,16 +176,33 @@ impl QuantMatrix {
         }
         let m = a.rows();
         let n = self.rows;
-        let mut out = Tensor::zeros(m, n);
-        let mut wrow = vec![0.0_f32; self.cols];
-        for c in 0..n {
-            self.dequantize_row_slice(c, &mut wrow);
-            for r in 0..m {
-                let arow = a.row(r)?;
-                out.data_mut()[r * n + c] = ops::dot(arow, &wrow)?;
-            }
+        out.resize(m, n);
+        if m == 0 || n == 0 {
+            return Ok(());
         }
-        Ok(out)
+        let bytes_per_row = self.blocks_per_row * BLOCK / 2;
+        let pack =
+            |p0: usize, kc: usize, j0: usize, jn: usize, panel: &mut [f32; ops::KC * ops::NB]| {
+                for j in 0..jn {
+                    let row = j0 + j;
+                    let row_block = row * self.blocks_per_row;
+                    let row_bytes = &self.packed[row * bytes_per_row..(row + 1) * bytes_per_row];
+                    for p in 0..kc {
+                        let c = p0 + p;
+                        let block = row_block + c / BLOCK;
+                        let byte = row_bytes[c / 2];
+                        let q = if c.is_multiple_of(2) {
+                            byte & 0x0F
+                        } else {
+                            byte >> 4
+                        };
+                        panel[p * ops::NB + j] =
+                            self.mins[block] + self.scales[block] * f32::from(q);
+                    }
+                }
+            };
+        ops::gemm_parallel(a.data(), out.data_mut(), m, self.cols, n, &pack);
+        Ok(())
     }
 
     /// Worst-case absolute reconstruction error bound: `scale / 2` per block,

@@ -112,6 +112,19 @@ impl Tensor {
         self.data
     }
 
+    /// Reshapes the tensor to `rows x cols` in place, reusing the backing
+    /// buffer (no reallocation while the new size fits its capacity).
+    ///
+    /// The retained prefix of the buffer keeps its old values and any
+    /// grown region is zero-filled, so callers that do not overwrite every
+    /// element must clear the tensor themselves. This is the primitive
+    /// scratch workspaces use to re-dress one allocation for many shapes.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
     /// Element accessor with bounds checks folded into debug assertions.
     #[inline]
     pub fn at(&self, r: usize, c: usize) -> f32 {
