@@ -41,7 +41,7 @@ fn bench_systems(c: &mut Criterion) {
 
     g.bench_function("prism_default", |bencher| {
         let container = Container::open(&fx.path).expect("open");
-        let mut engine = PrismEngine::new(
+        let engine = PrismEngine::new(
             container,
             fx.model.config.clone(),
             EngineOptions::default(),
@@ -61,7 +61,7 @@ fn bench_systems(c: &mut Criterion) {
             pruning: false,
             ..Default::default()
         };
-        let mut engine = PrismEngine::new(
+        let engine = PrismEngine::new(
             container,
             fx.model.config.clone(),
             options,
@@ -84,7 +84,7 @@ fn bench_systems(c: &mut Criterion) {
             embed_cache: false,
             ..Default::default()
         };
-        let mut engine = PrismEngine::new(
+        let engine = PrismEngine::new(
             container,
             fx.model.config.clone(),
             options,
@@ -145,9 +145,8 @@ fn bench_paper_mini(c: &mut Criterion) {
                 embed_cache: false,
                 ..Default::default()
             };
-            let mut engine =
-                PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
-                    .expect("engine");
+            let engine = PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
+                .expect("engine");
             bencher.iter(|| {
                 engine
                     .select_top_k(std::hint::black_box(&batch), 5)

@@ -131,7 +131,7 @@ pub fn run_system(
                 dispersion_threshold: threshold,
                 ..Default::default()
             };
-            let mut qengine = fx.engine(options.clone(), true);
+            let qengine = fx.engine(options.clone(), true);
             let sel = qengine.select_top_k(batch, k).expect("selection");
             let mut dense = fx.engine(options, false);
             let (_, schedule) = run_with_schedule(&mut dense, batch, k, fx.paper.num_layers);

@@ -14,6 +14,7 @@ use prism_core::{EngineOptions, PrismEngine};
 use prism_metrics::MemoryMeter;
 use prism_model::layer::{forward_layer, ForwardScratch};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_serve::{run_closed_loop, LoadReport, LoadSpec, PrismServer, ServeConfig};
 use prism_storage::Container;
 use prism_tensor::{ops, QuantMatrix, Tensor};
 use prism_workload::WorkloadGenerator;
@@ -56,6 +57,59 @@ struct KernelsFile {
     baseline: PerfSnapshot,
     current: PerfSnapshot,
     speedup: Vec<SpeedupEntry>,
+    serving: ServingSection,
+}
+
+/// One serving configuration's closed-loop measurement.
+#[derive(Debug, Serialize)]
+pub struct ServingConfigResult {
+    /// Configuration label.
+    pub label: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Coalescing cap (requests per batch).
+    pub max_batch_requests: usize,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// The `prsm bench-serve` acceptance measurement: closed-loop serving
+/// throughput/latency of the batched scheduler (and session-cache
+/// replay) against the 1-worker/no-batching reference, on a streamed
+/// engine with an emulated-SSD throttle.
+#[derive(Debug, Serialize)]
+pub struct ServingSection {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// Emulated SSD bandwidth for weight streaming, bytes/s.
+    pub throttle_bytes_per_sec: u64,
+    /// Requests per configuration run.
+    pub requests: usize,
+    /// Candidates per request.
+    pub candidates: usize,
+    /// Top-K per request.
+    pub k: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// 1 worker, 1 request per batch, no cache.
+    pub serial: ServingConfigResult,
+    /// 1 worker, coalescing up to 8 requests, no cache.
+    pub batched: ServingConfigResult,
+    /// Batched plus session cache, repeat-heavy corpus stream.
+    pub cached: ServingConfigResult,
+    /// `batched.throughput / serial.throughput` — the acceptance gate
+    /// (>= 2x from batching amortization alone).
+    pub batching_throughput_gain: f64,
+    /// `cached.throughput / serial.throughput`.
+    pub cached_throughput_gain: f64,
 }
 
 /// Times `f`, returning the median of `reps` samples in nanoseconds.
@@ -182,7 +236,7 @@ fn engine_bench(config: ModelConfig, tag: &str, fast: bool, entries: &mut Vec<Pe
     let gen = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
     let batch = SequenceBatch::new(&gen.request(0, 20).sequences()).expect("batch");
     let container = Container::open(&path).expect("open");
-    let mut engine = PrismEngine::new(
+    let engine = PrismEngine::new(
         container,
         config,
         resident_pruned_options(),
@@ -196,6 +250,100 @@ fn engine_bench(config: ModelConfig, tag: &str, fast: bool, entries: &mut Vec<Pe
         }),
     });
     std::fs::remove_file(&path).ok();
+}
+
+fn serving_result(label: &str, config: &ServeConfig, report: &LoadReport) -> ServingConfigResult {
+    ServingConfigResult {
+        label: label.to_string(),
+        workers: config.workers,
+        max_batch_requests: config.max_batch_requests,
+        throughput_rps: report.throughput_rps,
+        mean_us: report.mean_us,
+        p50_us: report.p50_us,
+        p95_us: report.p95_us,
+        p99_us: report.p99_us,
+    }
+}
+
+/// Measures the serving configurations for the `serving` section.
+fn serving_bench(fast: bool) -> ServingSection {
+    const THROTTLE: u64 = 16_000_000; // Emulated 16 MB/s streaming SSD.
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-perf-serve-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    let engine = || {
+        PrismEngine::new(
+            Container::open(&path).expect("open"),
+            config.clone(),
+            EngineOptions {
+                stream_throttle: Some(THROTTLE),
+                // Serving pins the embedding table; layers still stream.
+                embed_cache: false,
+                ..Default::default()
+            },
+            MemoryMeter::new(),
+        )
+        .expect("engine")
+    };
+    let spec = LoadSpec {
+        requests: if fast { 16 } else { 48 },
+        clients: 8,
+        candidates: 12,
+        k: 4,
+        ..Default::default()
+    };
+
+    let serial_config = ServeConfig::serial();
+    let server = PrismServer::start(engine(), serial_config.clone()).expect("server");
+    let serial_report = run_closed_loop(&server, &spec);
+    server.shutdown();
+
+    let batched_config = ServeConfig {
+        workers: 1,
+        max_batch_requests: 8,
+        session_cache_capacity: 0,
+        ..Default::default()
+    };
+    let server = PrismServer::start(engine(), batched_config.clone()).expect("server");
+    let batched_report = run_closed_loop(&server, &spec);
+    server.shutdown();
+
+    let cached_config = ServeConfig {
+        workers: 1,
+        max_batch_requests: 8,
+        ..Default::default()
+    };
+    let cached_spec = LoadSpec {
+        corpus_repeat: 4,
+        ..spec.clone()
+    };
+    let server = PrismServer::start(engine(), cached_config.clone()).expect("server");
+    let cached_report = run_closed_loop(&server, &cached_spec);
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    let gain = |r: &LoadReport| {
+        if serial_report.throughput_rps > 0.0 {
+            r.throughput_rps / serial_report.throughput_rps
+        } else {
+            0.0
+        }
+    };
+    ServingSection {
+        mode: if fast { "fast" } else { "full" }.into(),
+        throttle_bytes_per_sec: THROTTLE,
+        requests: spec.requests,
+        candidates: spec.candidates,
+        k: spec.k,
+        clients: spec.clients,
+        batching_throughput_gain: gain(&batched_report),
+        cached_throughput_gain: gain(&cached_report),
+        serial: serving_result("serial_1w_nobatch", &serial_config, &serial_report),
+        batched: serving_result("batched_1w_8req", &batched_config, &batched_report),
+        cached: serving_result("cached_1w_8req_repeat4", &cached_config, &cached_report),
+    }
 }
 
 /// Extracts `(name, median_ns)` pairs from one named section of a
@@ -267,6 +415,20 @@ pub fn perf(fast: bool) {
         report.line(&format!("{:<45} {:>12.1} us", e.name, e.median_ns / 1e3));
     }
 
+    let serving = serving_bench(fast);
+    report.blank();
+    report.line("serving (closed loop, emulated 16 MB/s streaming SSD):");
+    for r in [&serving.serial, &serving.batched, &serving.cached] {
+        report.line(&format!(
+            "{:<28} {:>8.1} req/s  p50 {:>7} us  p95 {:>7} us  p99 {:>7} us",
+            r.label, r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
+        ));
+    }
+    report.line(&format!(
+        "batching gain {:.2}x, cached gain {:.2}x over serial",
+        serving.batching_throughput_gain, serving.cached_throughput_gain
+    ));
+
     // Preserve the frozen baseline if one exists; otherwise this run
     // becomes the baseline (the pre-optimization seed numbers).
     let previous = std::fs::read_to_string(KERNELS_FILE).unwrap_or_default();
@@ -295,7 +457,8 @@ pub fn perf(fast: bool) {
         report.line(&format!("{:<45} {:>8.2}x vs baseline", s.name, s.speedup));
     }
     let file = KernelsFile {
-        schema: "prism-kernel-perf-v1".into(),
+        schema: "prism-kernel-perf-v2".into(),
+        serving,
         baseline: PerfSnapshot {
             mode: "frozen".into(),
             entries: baseline
@@ -318,6 +481,19 @@ pub fn perf(fast: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn dummy_result(label: &str) -> ServingConfigResult {
+        ServingConfigResult {
+            label: label.into(),
+            workers: 1,
+            max_batch_requests: 1,
+            throughput_rps: 1.0,
+            mean_us: 1.0,
+            p50_us: 1,
+            p95_us: 1,
+            p99_us: 1,
+        }
+    }
 
     #[test]
     fn section_parser_round_trips_serializer_output() {
@@ -344,6 +520,19 @@ mod tests {
                 }],
             },
             speedup: Vec::new(),
+            serving: ServingSection {
+                mode: "fast".into(),
+                throttle_bytes_per_sec: 1,
+                requests: 1,
+                candidates: 1,
+                k: 1,
+                clients: 1,
+                serial: dummy_result("serial"),
+                batched: dummy_result("batched"),
+                cached: dummy_result("cached"),
+                batching_throughput_gain: 1.0,
+                cached_throughput_gain: 1.0,
+            },
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let base = parse_section_entries(&text, "baseline");

@@ -18,6 +18,25 @@
 //! prsm rerank <container.prsm> --model <name> [--scale mini|test]
 //!            [--dataset wikipedia] [--candidates N] [--k N] [--threshold T]
 //!     Run the PRISM engine on a synthetic request and print the top-K.
+//!
+//! prsm serve <container.prsm> --model <name> [--scale mini|test]
+//!           [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
+//!           [--cache-sessions N] [--throttle BYTES_PER_S]
+//!           [--requests N] [--clients N] [--candidates N] [--k N]
+//!           [--sessions N] [--repeat N] [--dataset wikipedia]
+//!     Start the serving front-end over a container, drive a closed-loop
+//!     synthetic workload through it, and print latency percentiles plus
+//!     queue/batch/cache telemetry. `--throttle` caps weight-streaming
+//!     bandwidth to emulate a device SSD (default 0 = native).
+//!
+//! prsm bench-serve <container.prsm> --model <name> [--scale mini|test]
+//!                 [--requests N] [--clients N] [--candidates N] [--k N]
+//!                 [--batch N] [--workers N] [--repeat N]
+//!                 [--throttle BYTES_PER_S]
+//!     Closed-loop load comparison: the 1-worker/no-batching reference vs
+//!     the batched scheduler, reporting p50/p95/p99 and the throughput
+//!     gain from cross-request coalescing. Streaming runs against an
+//!     emulated 16 MB/s SSD by default (`--throttle 0` = native disk).
 //! ```
 //!
 //! All commands return their output as a string (tested directly); the
@@ -32,6 +51,7 @@ use prism_device::{
 };
 use prism_metrics::MemoryMeter;
 use prism_model::{Model, ModelConfig, SequenceBatch};
+use prism_serve::{run_closed_loop, LoadReport, LoadSpec, PrismServer, ServeConfig};
 use prism_storage::Container;
 use prism_workload::{dataset_by_name, WorkloadGenerator};
 
@@ -44,13 +64,15 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("quantize") => quantize(&collect(it)),
         Some("simulate") => simulate(&collect(it)),
         Some("rerank") => rerank(&collect(it)),
+        Some("serve") => serve(&collect(it)),
+        Some("bench-serve") => bench_serve(&collect(it)),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`; try `prsm help`")),
     }
 }
 
 fn usage() -> String {
-    "usage: prsm <inspect|gen|quantize|simulate|rerank|help> [args]\n\
+    "usage: prsm <inspect|gen|quantize|simulate|rerank|serve|bench-serve|help> [args]\n\
      see `cargo doc -p prism-cli` or the crate docs for details\n"
         .to_string()
 }
@@ -280,7 +302,7 @@ fn rerank(args: &[&str]) -> Result<String, String> {
         dispersion_threshold: threshold,
         ..Default::default()
     };
-    let mut engine = PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
+    let engine = PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
         .map_err(|e| e.to_string())?;
     let selection = engine.select_top_k(&batch, k).map_err(|e| e.to_string())?;
 
@@ -307,6 +329,192 @@ fn rerank(args: &[&str]) -> Result<String, String> {
         "executed {}/{} layers; active per layer {:?}",
         t.executed_layers, config.num_layers, t.active_per_layer
     );
+    Ok(out)
+}
+
+/// Opens a serving engine over a container path (shared by `serve` and
+/// `bench-serve`). `throttle` caps streaming bandwidth in bytes/s to
+/// emulate a device SSD (`0` = native speed).
+fn serving_engine(path: &str, config: &ModelConfig, throttle: u64) -> Result<PrismEngine, String> {
+    let container = Container::open(path).map_err(|e| e.to_string())?;
+    let options = EngineOptions {
+        stream_throttle: (throttle > 0).then_some(throttle),
+        // A serving deployment pins the embedding table in memory (the
+        // §4.4 disk-backed cache targets one-shot on-device flows);
+        // layer weights still stream per batch.
+        embed_cache: false,
+        ..Default::default()
+    };
+    PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
+        .map_err(|e| e.to_string())
+}
+
+fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
+    let defaults = LoadSpec::default();
+    let dataset = p.flag("dataset").unwrap_or("wikipedia");
+    dataset_by_name(dataset).ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+    Ok(LoadSpec {
+        requests: p.flag_parse("requests", defaults.requests)?,
+        clients: p.flag_parse("clients", defaults.clients)?,
+        candidates: p.flag_parse("candidates", defaults.candidates)?,
+        k: p.flag_parse("k", defaults.k)?,
+        dataset: dataset.to_string(),
+        seed: p.flag_parse("seed", defaults.seed)?,
+        sessions: p.flag_parse("sessions", defaults.sessions)?,
+        corpus_repeat: p.flag_parse("repeat", defaults.corpus_repeat)?,
+    })
+}
+
+fn write_load_report(out: &mut String, report: &LoadReport) {
+    let _ = writeln!(
+        out,
+        "completed {} requests in {:.3} s -> {:.1} req/s ({} errors, {} backpressure retries)",
+        report.completed,
+        report.elapsed_s,
+        report.throughput_rps,
+        report.errors,
+        report.backpressure_retries
+    );
+    let _ = writeln!(
+        out,
+        "latency us: p50 {}  p95 {}  p99 {}  max {}  mean {:.0}",
+        report.p50_us, report.p95_us, report.p99_us, report.max_us, report.mean_us
+    );
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "queue depth peak {}; {} batches (mean {:.2} requests / {:.0} tokens)",
+        s.queue_depth_peak, s.batches, s.batch_size.mean, s.batch_tokens.mean
+    );
+    let _ = writeln!(
+        out,
+        "session cache: {} selection hits, {} embed hits, {} misses (hit rate {:.1}%)",
+        s.cache_selection_hits,
+        s.cache_embed_hits,
+        s.cache_misses,
+        s.cache_hit_rate * 100.0
+    );
+}
+
+fn serve(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let path = p.positional.first().ok_or("serve needs a container path")?;
+    let name = p.flag("model").ok_or("serve needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    let serve_defaults = ServeConfig::default();
+    let serve_config = ServeConfig {
+        workers: p.flag_parse("workers", serve_defaults.workers)?,
+        max_batch_requests: p.flag_parse("batch", serve_defaults.max_batch_requests)?,
+        max_batch_tokens: p.flag_parse("batch-tokens", serve_defaults.max_batch_tokens)?,
+        max_batch_wait: std::time::Duration::from_micros(
+            p.flag_parse("wait-us", serve_defaults.max_batch_wait.as_micros() as u64)?,
+        ),
+        session_cache_capacity: p
+            .flag_parse("cache-sessions", serve_defaults.session_cache_capacity)?,
+        ..serve_defaults
+    };
+    let spec = load_spec_from(&p)?;
+    let throttle: u64 = p.flag_parse("throttle", 0)?;
+
+    let engine = serving_engine(path, &config, throttle)?;
+    let server = PrismServer::start(engine, serve_config.clone()).map_err(|e| e.to_string())?;
+    let report = run_closed_loop(&server, &spec);
+    server.shutdown();
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serving {} from {path}: {} workers, batches <= {} requests / {} tokens, wait {} us",
+        config.name,
+        serve_config.workers,
+        serve_config.max_batch_requests,
+        serve_config.max_batch_tokens,
+        serve_config.max_batch_wait.as_micros()
+    );
+    let _ = writeln!(
+        out,
+        "load: {} requests x {} candidates (top-{}), {} clients, {} sessions, corpus repeat {}",
+        spec.requests, spec.candidates, spec.k, spec.clients, spec.sessions, spec.corpus_repeat
+    );
+    write_load_report(&mut out, &report);
+    Ok(out)
+}
+
+fn bench_serve(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let path = p
+        .positional
+        .first()
+        .ok_or("bench-serve needs a container path")?;
+    let name = p.flag("model").ok_or("bench-serve needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    // Default to 8 closed-loop clients (enough concurrency to fill
+    // batches) while still honouring an explicit --clients.
+    let mut spec = load_spec_from(&p)?;
+    if p.flag("clients").is_none() {
+        spec.clients = 8;
+    }
+    let batch: usize = p.flag_parse("batch", 8)?;
+    let workers: usize = p.flag_parse("workers", 1)?;
+    // Weight streaming runs against an emulated device SSD by default —
+    // that is the regime cross-request batching amortizes; `--throttle 0`
+    // measures native disk speed instead.
+    let throttle: u64 = p.flag_parse("throttle", 16_000_000)?;
+
+    // Reference: one worker, no coalescing, no cache.
+    let serial_server = PrismServer::start(
+        serving_engine(path, &config, throttle)?,
+        ServeConfig::serial(),
+    )
+    .map_err(|e| e.to_string())?;
+    let serial = run_closed_loop(&serial_server, &spec);
+    serial_server.shutdown();
+
+    // Batched: same worker count budget, coalescing + session cache on.
+    let batched_config = ServeConfig {
+        workers,
+        max_batch_requests: batch,
+        ..Default::default()
+    };
+    let batched_server = PrismServer::start(
+        serving_engine(path, &config, throttle)?,
+        batched_config.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let batched = run_closed_loop(&batched_server, &spec);
+    batched_server.shutdown();
+
+    let gain = if serial.throughput_rps > 0.0 {
+        batched.throughput_rps / serial.throughput_rps
+    } else {
+        0.0
+    };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench-serve {} ({} requests x {} candidates, top-{}, {} clients, throttle {})",
+        config.name,
+        spec.requests,
+        spec.candidates,
+        spec.k,
+        spec.clients,
+        if throttle > 0 {
+            format!("{:.0} MB/s", throttle as f64 / 1e6)
+        } else {
+            "native".into()
+        }
+    );
+    let _ = writeln!(out, "--- serial reference (1 worker, no batching) ---");
+    write_load_report(&mut out, &serial);
+    let _ = writeln!(
+        out,
+        "--- batched ({} workers, <= {} requests/batch) ---",
+        batched_config.workers, batched_config.max_batch_requests
+    );
+    write_load_report(&mut out, &batched);
+    let _ = writeln!(out, "batching throughput gain: {gain:.2}x");
     Ok(out)
 }
 
@@ -426,6 +634,63 @@ mod tests {
             run_strs(&["gen", "/tmp/x.prsm", "--model"]).is_err(),
             "flag without value"
         );
+    }
+
+    #[test]
+    fn serve_and_bench_serve_round_trip() {
+        let dense = tmp("serve");
+        run_strs(&[
+            "gen", &dense, "--model", "bge-m3", "--scale", "test", "--seed", "11",
+        ])
+        .unwrap();
+
+        let out = run_strs(&[
+            "serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--requests",
+            "12",
+            "--clients",
+            "3",
+            "--candidates",
+            "8",
+            "--k",
+            "3",
+            "--repeat",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("completed 12 requests"), "{out}");
+        assert!(out.contains("latency us: p50"), "{out}");
+        assert!(out.contains("session cache:"), "{out}");
+
+        let out = run_strs(&[
+            "bench-serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--requests",
+            "16",
+            "--candidates",
+            "8",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("serial reference"), "{out}");
+        assert!(out.contains("batching throughput gain:"), "{out}");
+
+        assert!(
+            run_strs(&["serve", "--model", "bge-m3"]).is_err(),
+            "missing path"
+        );
+        assert!(run_strs(&["bench-serve", &dense]).is_err(), "missing model");
+        std::fs::remove_file(&dense).unwrap();
     }
 
     #[test]

@@ -7,8 +7,23 @@
 //! the streaming prefetcher, candidates are scored at every layer boundary
 //! and routed by [`crate::routing`], and every decision is recorded in an
 //! [`EngineTrace`] the device simulator can replay at paper scale.
+//!
+//! Since the serving front-end (`prism-serve`) landed, the engine is
+//! **shared-state free on the request path**: [`PrismEngine::select_top_k`]
+//! takes `&self`, so the engine is `Sync` and one instance can serve many
+//! worker threads at once. A selection is decomposed into explicit phases —
+//! [`PrismEngine::plan_request`] (embed + chunk + post-embedding probe),
+//! a per-layer gate/forward/score advance, and
+//! [`PrismEngine::finalize_request`] — and [`PrismEngine::select_batch`]
+//! drives several planned requests through those phases in lockstep so one
+//! streamed pass over the layer weights is amortized across every request
+//! of a scheduler batch. Each request's own computation is performed in
+//! exactly the order the single-request path uses, so batched results are
+//! bit-identical to sequential ones.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use prism_metrics::{LatencyRecorder, MemCategory, MemoryMeter};
 use prism_model::layer::{forward_layer_with, intermediate_bytes, ForwardScratch};
@@ -66,7 +81,9 @@ pub struct EngineTrace {
     /// [`EngineOptions::record_score_trace`] is set. Index 0 is the
     /// post-embedding probe.
     pub score_trace: Vec<Vec<Option<f32>>>,
-    /// Weight-streaming statistics (zero when streaming is off).
+    /// Weight-streaming statistics (zero when streaming is off). For a
+    /// batched selection the streamer is shared, so every member request
+    /// reports the batch-level stats.
     #[serde(skip)]
     pub stream_stats: StreamStats,
     /// Embedding-cache statistics (zero when the cache is off).
@@ -95,6 +112,72 @@ impl Selection {
     pub fn top_ids(&self) -> Vec<usize> {
         self.ranked.iter().map(|r| r.id).collect()
     }
+}
+
+/// Per-request selection parameters.
+///
+/// `k` is mandatory; the remaining fields optionally override the
+/// engine-level [`EngineOptions`] knobs that only influence *routing* (not
+/// execution strategy), which lets a multi-tenant server honour per-request
+/// pruning preferences without rebuilding the engine. `tag` pins the
+/// request's routing-RNG stream: two selections with the same batch,
+/// options and tag produce bit-identical results regardless of what else
+/// the engine served in between — the property the serving conformance
+/// suite is built on. When `tag` is `None` the engine assigns the next
+/// value of its internal request counter (the historical behaviour).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct RequestOptions {
+    /// Number of candidates to select.
+    pub k: usize,
+    /// Explicit routing-seed tag; `None` draws from the engine's counter.
+    pub tag: Option<u64>,
+    /// Override of [`EngineOptions::dispersion_threshold`].
+    pub dispersion_threshold: Option<f32>,
+    /// Override of [`EngineOptions::mode`].
+    pub mode: Option<PruneMode>,
+    /// Override of [`EngineOptions::pruning`].
+    pub pruning: Option<bool>,
+}
+
+impl RequestOptions {
+    /// Plain top-`k` with every engine default.
+    pub fn top_k(k: usize) -> Self {
+        RequestOptions {
+            k,
+            tag: None,
+            dispersion_threshold: None,
+            mode: None,
+            pruning: None,
+        }
+    }
+
+    /// Same as [`RequestOptions::top_k`] with an explicit routing tag.
+    pub fn tagged(k: usize, tag: u64) -> Self {
+        RequestOptions {
+            tag: Some(tag),
+            ..RequestOptions::top_k(k)
+        }
+    }
+}
+
+/// One request of a batched selection: a borrowed batch plus its options.
+#[derive(Debug)]
+pub struct RequestSpec<'a> {
+    /// The candidate batch to select from.
+    pub batch: &'a SequenceBatch,
+    /// Per-request parameters.
+    pub options: RequestOptions,
+}
+
+/// Routing parameters resolved for one request (engine defaults plus
+/// [`RequestOptions`] overrides).
+#[derive(Debug, Clone)]
+struct GateParams {
+    pruning: bool,
+    dispersion_threshold: f32,
+    top_k_only: bool,
+    max_clusters: usize,
+    min_gate_layer: usize,
 }
 
 enum EmbedSource {
@@ -133,21 +216,118 @@ impl Chunk {
     }
 }
 
+/// In-flight state of one planned selection.
+///
+/// Produced by [`PrismEngine::plan_request`], advanced layer by layer by
+/// [`PrismEngine::select_batch_with`]'s loop, consumed by
+/// [`PrismEngine::finalize_request`]. Owning this state outside the engine
+/// is what lets a serving scheduler interleave many requests over one
+/// weight stream.
+pub struct ActiveRequest {
+    n: usize,
+    k: usize,
+    tag: u64,
+    gate: GateParams,
+    record_score_trace: bool,
+    chunks: Vec<Chunk>,
+    /// Meter handle for drop-time release of this request's bytes.
+    meter: MemoryMeter,
+    spill: Option<SpillFile>,
+    /// Live hidden-state bytes this request currently contributes to the
+    /// shared meter (delta-tracked so concurrent requests don't clobber
+    /// each other's ledger entries).
+    metered_hidden: u64,
+    current_scores: Vec<(usize, f32)>,
+    last_scores: Vec<f32>,
+    accepted: Vec<RankedCandidate>,
+    terminated: bool,
+    trace: EngineTrace,
+    latency: LatencyRecorder,
+}
+
+impl ActiveRequest {
+    /// Whether the request needs no further layers.
+    pub fn is_done(&self) -> bool {
+        self.terminated
+    }
+
+    /// Number of candidates in the originating batch.
+    pub fn num_candidates(&self) -> usize {
+        self.n
+    }
+
+    /// The routing-seed tag this request was planned with.
+    pub fn tag(&self) -> u64 {
+        self.tag
+    }
+
+    fn active_candidates(&self) -> usize {
+        self.chunks.iter().map(|c| c.ids.len()).sum()
+    }
+
+    fn resident_hidden_bytes(&self) -> u64 {
+        self.chunks
+            .iter()
+            .filter_map(|c| c.hidden.as_ref().map(|h| h.size_bytes() as u64))
+            .sum()
+    }
+
+    /// Re-syncs the shared meter with this request's resident hidden
+    /// bytes using alloc/free deltas (safe under concurrency).
+    fn meter_hidden(&mut self, meter: &MemoryMeter) {
+        let now = self.resident_hidden_bytes();
+        match now.cmp(&self.metered_hidden) {
+            std::cmp::Ordering::Greater => {
+                meter.alloc(MemCategory::HiddenStates, now - self.metered_hidden)
+            }
+            std::cmp::Ordering::Less => {
+                meter.free(MemCategory::HiddenStates, self.metered_hidden - now)
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        self.metered_hidden = now;
+    }
+}
+
+/// A request abandoned mid-flight (plan or run error, caller bailing
+/// out) must not leak its spill temp file or leave its hidden-state
+/// bytes on the shared meter; `finalize_request` clears both, making
+/// this a no-op on the success path.
+impl Drop for ActiveRequest {
+    fn drop(&mut self) {
+        if self.metered_hidden > 0 {
+            self.meter
+                .free(MemCategory::HiddenStates, self.metered_hidden);
+            self.metered_hidden = 0;
+        }
+        if let Some(file) = self.spill.take() {
+            let _ = file.cleanup();
+        }
+    }
+}
+
 /// The PRISM inference engine.
+///
+/// `Sync`: the request path takes `&self`, interior-mutable pieces (the
+/// embedding LRU, the scratch-workspace pool, the request counter) sit
+/// behind their own locks, and per-request state lives in
+/// [`ActiveRequest`] values owned by the caller. One engine can therefore
+/// be shared across serving workers behind an `Arc`.
 pub struct PrismEngine {
     config: ModelConfig,
     options: EngineOptions,
     container: Container,
     head: HeadWeights,
-    embed: EmbedSource,
+    embed: Mutex<EmbedSource>,
     resident_layers: Option<Vec<LayerWeights>>,
     meter: MemoryMeter,
-    spill_path: PathBuf,
-    request_counter: u64,
-    /// Reusable forward workspaces, one per parallel chunk worker. Sized
-    /// on first use from the request's chunk geometry and kept across
-    /// requests so the steady-state forward path never allocates.
-    scratch_pool: Vec<ForwardScratch>,
+    spill_dir: PathBuf,
+    request_counter: AtomicU64,
+    spill_counter: AtomicU64,
+    /// Reusable forward workspaces handed to the convenience selection
+    /// APIs. Serving workers keep their own pools and bypass this lock via
+    /// [`PrismEngine::select_batch_with`].
+    scratch_pool: Mutex<Vec<ForwardScratch>>,
 }
 
 impl PrismEngine {
@@ -198,20 +378,18 @@ impl PrismEngine {
             Some(layers)
         };
 
-        let mut spill_path = std::env::temp_dir();
-        spill_path.push(format!("prism-hidden-spill-{}.bin", std::process::id()));
-
         Ok(PrismEngine {
             config,
             options,
             container,
             head,
-            embed,
+            embed: Mutex::new(embed),
             resident_layers,
             meter,
-            spill_path,
-            request_counter: 0,
-            scratch_pool: Vec::new(),
+            spill_dir: std::env::temp_dir(),
+            request_counter: AtomicU64::new(0),
+            spill_counter: AtomicU64::new(0),
+            scratch_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -236,76 +414,72 @@ impl PrismEngine {
     }
 
     /// Selects the top-`k` candidates of `batch` (Fig. 3's workflow).
-    pub fn select_top_k(&mut self, batch: &SequenceBatch, k: usize) -> Result<Selection> {
-        let n = batch.num_sequences();
-        if n == 0 {
-            return Err(PrismError::InvalidRequest("empty batch".into()));
-        }
-        if k == 0 {
-            return Err(PrismError::InvalidRequest("k must be >= 1".into()));
-        }
-        if batch.max_seq_len() > self.config.max_seq {
-            return Err(PrismError::InvalidRequest(format!(
-                "sequence of {} tokens exceeds model max_seq {}",
-                batch.max_seq_len(),
-                self.config.max_seq
-            )));
-        }
-        let k = k.min(n);
-        self.request_counter += 1;
-        let mut trace = EngineTrace::default();
-        let mut latency = LatencyRecorder::new();
+    pub fn select_top_k(&self, batch: &SequenceBatch, k: usize) -> Result<Selection> {
+        self.select_with(batch, RequestOptions::top_k(k))
+    }
 
-        // ---- Embedding phase (§4.4) ----
-        let hidden_all = latency.time("embed", || self.embed_batch(batch))?;
-        let throttle = self
-            .options
-            .stream_throttle
-            .map_or(Throttle::unlimited(), Throttle::bandwidth);
+    /// Selects with per-request routing options.
+    pub fn select_with(&self, batch: &SequenceBatch, options: RequestOptions) -> Result<Selection> {
+        let mut out = self.select_batch(&[RequestSpec { batch, options }])?;
+        Ok(out.pop().expect("one selection per request"))
+    }
 
-        // ---- Chunk geometry (§4.3) ----
-        let chunk_cands = if self.options.chunking {
-            match self.options.chunk_candidates {
-                Some(c) => c.max(1),
-                None => {
-                    let avg_len = (batch.total_tokens() / n).max(1);
-                    (self.options.chunk_target_tokens / avg_len).clamp(1, n)
-                }
-            }
-        } else {
-            n
-        };
-        let mut chunks = build_chunks(batch, &hidden_all, chunk_cands)?;
-        drop(hidden_all);
-        // Borrow the engine's scratch pool for this request (restored on
-        // the success path; an error simply re-sizes it next request).
-        let mut scratch_pool = std::mem::take(&mut self.scratch_pool);
-
-        // Spill setup: only when offloading is on and there is something to
-        // offload.
-        let mut spill: Option<SpillFile> = None;
-        if self.options.hidden_offload && chunks.len() > 3 {
-            let slot_floats = chunks
-                .iter()
-                .map(|c| c.rows() * self.config.hidden_dim)
-                .max()
-                .unwrap_or(0);
-            let mut file =
-                SpillFile::create(&self.spill_path, chunks.len(), slot_floats, throttle)?;
-            // Offload all but the first window of chunks.
-            for (i, chunk) in chunks.iter_mut().enumerate().skip(3) {
-                if let Some(t) = chunk.hidden.take() {
-                    file.offload(i, &t)?;
-                    chunk.spill_slot = Some(i);
-                }
-            }
-            spill = Some(file);
+    /// Runs several selections through one pass over the layer weights.
+    ///
+    /// Requests advance in lockstep: per layer boundary every live request
+    /// runs its pruning gate, then — if anyone still needs the layer — the
+    /// weights are acquired **once** (borrowed from the resident set, or
+    /// streamed and decoded a single time instead of once per request) and
+    /// each live request forwards and re-scores its own chunks. Per-request
+    /// compute order is identical to the single-request path, so results
+    /// are bit-identical to running the requests one by one.
+    pub fn select_batch(&self, specs: &[RequestSpec<'_>]) -> Result<Vec<Selection>> {
+        let mut pool = std::mem::take(&mut *self.scratch_pool.lock().expect("scratch pool lock"));
+        let result = self.select_batch_with(specs, &mut pool);
+        let mut shared = self.scratch_pool.lock().expect("scratch pool lock");
+        if shared.is_empty() {
+            *shared = pool;
         }
-        self.meter
-            .set(MemCategory::HiddenStates, resident_hidden_bytes(&chunks));
+        result
+    }
 
-        // ---- Streaming setup (§4.2) ----
+    /// [`PrismEngine::select_batch`] with a caller-owned scratch pool (the
+    /// serving worker path: no pool-lock contention between workers).
+    pub fn select_batch_with(
+        &self,
+        specs: &[RequestSpec<'_>],
+        pool: &mut Vec<ForwardScratch>,
+    ) -> Result<Vec<Selection>> {
+        if specs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut requests = Vec::with_capacity(specs.len());
+        for spec in specs {
+            requests.push(self.plan_request(spec.batch, spec.options.clone())?);
+        }
+        self.run_planned(&mut requests, pool)?;
+        let mut out = Vec::with_capacity(requests.len());
+        for req in requests {
+            out.push(self.finalize_request(req)?);
+        }
+        Ok(out)
+    }
+
+    /// Drives planned requests through the transformer, acquiring each
+    /// layer's weights exactly once. Public so a serving scheduler can
+    /// plan requests itself (e.g. with session-cached embeddings) and
+    /// still share one weight pass; after this returns every request is
+    /// ready for [`PrismEngine::finalize_request`].
+    pub fn run_planned(
+        &self,
+        requests: &mut [ActiveRequest],
+        pool: &mut Vec<ForwardScratch>,
+    ) -> Result<()> {
         let mut streamer = if self.options.streaming {
+            let throttle = self
+                .options
+                .stream_throttle
+                .map_or(Throttle::unlimited(), Throttle::bandwidth);
             let sections: Vec<String> = (0..self.config.num_layers).map(layer_section).collect();
             Some(LayerStreamer::new(
                 &self.container,
@@ -317,103 +491,30 @@ impl PrismEngine {
             None
         };
 
-        // ---- State ----
-        let mut last_scores = vec![0.0_f32; n];
-        let mut accepted: Vec<RankedCandidate> = Vec::new();
-        let mut terminated = false;
-
-        // Post-embedding probe.
-        let mut current_scores = latency.time("score", || {
-            self.score_chunks(&mut chunks, &mut spill, &mut trace)
-        })?;
-        for (id, s) in &current_scores {
-            last_scores[*id] = *s;
-        }
-        if self.options.record_score_trace {
-            trace.score_trace.push(aligned_scores(&current_scores, n));
-        }
-
         for layer_idx in 0..self.config.num_layers {
-            // ---- Pruning gate (§4.1): uses scores from the previous
-            // boundary, routes before executing this layer. ----
-            if self.options.pruning
-                && layer_idx >= self.options.min_gate_layer.max(1)
-                && !current_scores.is_empty()
-            {
-                let k_remaining = k - accepted.len();
-                let scores_only: Vec<f32> = current_scores.iter().map(|(_, s)| *s).collect();
-                let decision = latency.time("gate", || {
-                    route_candidates(
-                        &scores_only,
-                        k_remaining,
-                        self.options.dispersion_threshold,
-                        self.options.mode == PruneMode::TopKOnly,
-                        self.options.max_clusters,
-                        self.options.seed ^ (layer_idx as u64) ^ self.request_counter,
-                    )
-                });
-                if decision.clustered || decision.terminate {
-                    let selected_ids: Vec<usize> = decision
-                        .selected
-                        .iter()
-                        .map(|&i| current_scores[i].0)
-                        .collect();
-                    let dropped_ids: Vec<usize> = decision
-                        .dropped
-                        .iter()
-                        .map(|&i| current_scores[i].0)
-                        .collect();
-                    for &i in &decision.selected {
-                        let (id, score) = current_scores[i];
-                        accepted.push(RankedCandidate {
-                            id,
-                            score,
-                            decided_at_layer: layer_idx,
-                        });
-                    }
-                    trace.routes.push(RouteEvent {
-                        layer: layer_idx,
-                        cv: decision.cv,
-                        clustered: decision.clustered,
-                        selected: selected_ids.clone(),
-                        dropped: dropped_ids.clone(),
-                    });
-                    if !selected_ids.is_empty() || !dropped_ids.is_empty() {
-                        // A boolean mask keyed by candidate id turns every
-                        // membership probe below into O(1) instead of the
-                        // former O(|keep|) scans.
-                        let mut keep_mask = vec![false; n];
-                        for &i in &decision.deferred {
-                            keep_mask[current_scores[i].0] = true;
-                        }
-                        latency.time("prune", || {
-                            retain_candidates(&mut chunks, &mut spill, &keep_mask)
-                        })?;
-                        self.meter
-                            .set(MemCategory::HiddenStates, resident_hidden_bytes(&chunks));
-                        current_scores.retain(|(id, _)| keep_mask[*id]);
-                    }
-                    if decision.terminate {
-                        terminated = true;
-                        break;
-                    }
-                }
+            for req in requests.iter_mut() {
+                self.gate_request(req, layer_idx)?;
             }
-
-            let active: usize = chunks.iter().map(|c| c.ids.len()).sum();
-            if active == 0 {
-                terminated = true;
+            if requests.iter().all(|r| r.terminated) {
                 break;
             }
-            trace.active_per_layer.push(active);
 
-            // ---- Acquire this layer's weights ----
+            // ---- Acquire this layer's weights, once for the batch ----
             let (weights, raw_section) = match (&self.resident_layers, streamer.as_mut()) {
                 (Some(layers), _) => (LayerRef::Borrowed(&layers[layer_idx]), None),
                 (None, Some(s)) => {
-                    let section = latency.time("stream-wait", || s.next())?.ok_or_else(|| {
-                        PrismError::InvalidRequest("streamer exhausted early".into())
-                    })?;
+                    // The wait is physically shared; attribute it to the
+                    // first live request so span totals stay meaningful.
+                    let wait_req = requests
+                        .iter_mut()
+                        .find(|r| !r.terminated)
+                        .expect("some request live");
+                    let section = wait_req
+                        .latency
+                        .time("stream-wait", || s.next())?
+                        .ok_or_else(|| {
+                            PrismError::InvalidRequest("streamer exhausted early".into())
+                        })?;
                     self.meter
                         .alloc(MemCategory::LayerWeights, section.meta.len);
                     let decoded = LayerWeights::from_bytes(&self.config, &section.bytes)?;
@@ -428,19 +529,20 @@ impl PrismEngine {
                 }
             };
 
-            // ---- Chunked forward (§4.3) ----
-            latency.time("forward", || {
-                self.forward_chunks(
-                    &mut chunks,
-                    &mut spill,
-                    weights.get(),
-                    layer_idx,
-                    &mut scratch_pool,
-                )
-            })?;
+            let mut layer_result: Result<()> = Ok(());
+            for req in requests.iter_mut() {
+                if req.terminated {
+                    continue;
+                }
+                if let Err(e) = self.forward_and_score(req, layer_idx, weights.get(), pool) {
+                    layer_result = Err(e);
+                    break;
+                }
+            }
 
-            // Release this layer's weights; recycle the stream buffer
-            // (which immediately triggers the prefetch of layer+2).
+            // Release this layer's weights — also on a failed forward, so
+            // the shared meter stays balanced; then recycle the stream
+            // buffer (which immediately triggers the prefetch of layer+2).
             if let Some(section) = raw_section {
                 let decoded_bytes = match &weights {
                     LayerRef::Owned(w) => w.size_bytes() as u64,
@@ -448,69 +550,370 @@ impl PrismEngine {
                 };
                 self.meter
                     .free(MemCategory::LayerWeights, section.meta.len + decoded_bytes);
-                if let Some(s) = streamer.as_mut() {
-                    s.recycle(section)?;
+                if layer_result.is_ok() {
+                    if let Some(s) = streamer.as_mut() {
+                        s.recycle(section)?;
+                    }
                 }
             }
-            trace.executed_layers += 1;
+            layer_result?;
+        }
 
-            // ---- Score at the layer boundary ----
-            current_scores = latency.time("score", || {
-                self.score_chunks(&mut chunks, &mut spill, &mut trace)
-            })?;
-            for (id, s) in &current_scores {
-                last_scores[*id] = *s;
+        if let Some(s) = streamer.take() {
+            let stats = s.stats();
+            for req in requests.iter_mut() {
+                req.trace.stream_stats = stats;
             }
-            if self.options.record_score_trace {
-                trace.score_trace.push(aligned_scores(&current_scores, n));
+        }
+        Ok(())
+    }
+
+    /// Plans one selection: validates the request, embeds the batch,
+    /// builds the chunk geometry (with optional spill), and runs the
+    /// post-embedding score probe.
+    pub fn plan_request(
+        &self,
+        batch: &SequenceBatch,
+        options: RequestOptions,
+    ) -> Result<ActiveRequest> {
+        self.plan_request_with_embed(batch, options, None)
+    }
+
+    /// [`PrismEngine::plan_request`] with an optional precomputed
+    /// embedding (`[total_tokens, hidden_dim]`, as returned by
+    /// [`PrismEngine::embed_batch`]). Embedding is a pure function of the
+    /// token content, so a serving-layer session cache can replay it
+    /// across requests without changing results.
+    pub fn plan_request_with_embed(
+        &self,
+        batch: &SequenceBatch,
+        options: RequestOptions,
+        embed: Option<&Tensor>,
+    ) -> Result<ActiveRequest> {
+        let n = batch.num_sequences();
+        if n == 0 {
+            return Err(PrismError::InvalidRequest("empty batch".into()));
+        }
+        if options.k == 0 {
+            return Err(PrismError::InvalidRequest("k must be >= 1".into()));
+        }
+        if batch.max_seq_len() > self.config.max_seq {
+            return Err(PrismError::InvalidRequest(format!(
+                "sequence of {} tokens exceeds model max_seq {}",
+                batch.max_seq_len(),
+                self.config.max_seq
+            )));
+        }
+        let k = options.k.min(n);
+        let tag = options
+            .tag
+            .unwrap_or_else(|| self.request_counter.fetch_add(1, Ordering::Relaxed) + 1);
+        let gate = GateParams {
+            pruning: options.pruning.unwrap_or(self.options.pruning),
+            dispersion_threshold: options
+                .dispersion_threshold
+                .unwrap_or(self.options.dispersion_threshold),
+            top_k_only: options.mode.unwrap_or(self.options.mode) == PruneMode::TopKOnly,
+            max_clusters: self.options.max_clusters,
+            min_gate_layer: self.options.min_gate_layer,
+        };
+        let mut latency = LatencyRecorder::new();
+
+        // ---- Chunk geometry (§4.3) ----
+        let chunk_cands = if self.options.chunking {
+            match self.options.chunk_candidates {
+                Some(c) => c.max(1),
+                None => {
+                    let avg_len = (batch.total_tokens() / n).max(1);
+                    (self.options.chunk_target_tokens / avg_len).clamp(1, n)
+                }
+            }
+        } else {
+            n
+        };
+
+        // ---- Embedding phase (§4.4): chunks slice the embedded rows, so
+        // a caller-provided tensor is read in place (no copy). ----
+        let mut chunks = match embed {
+            Some(t) => {
+                if t.rows() != batch.total_tokens() || t.cols() != self.config.hidden_dim {
+                    return Err(PrismError::InvalidRequest(format!(
+                        "precomputed embedding is {}x{}, batch needs {}x{}",
+                        t.rows(),
+                        t.cols(),
+                        batch.total_tokens(),
+                        self.config.hidden_dim
+                    )));
+                }
+                build_chunks(batch, t, chunk_cands)?
+            }
+            None => {
+                let hidden_all = latency.time("embed", || self.embed_batch(batch))?;
+                build_chunks(batch, &hidden_all, chunk_cands)?
+            }
+        };
+
+        // Spill setup: only when offloading is on and there is something to
+        // offload. The spill file name is unique per request so concurrent
+        // selections on one engine never share a slot file.
+        let mut spill: Option<SpillFile> = None;
+        if self.options.hidden_offload && chunks.len() > 3 {
+            let throttle = self
+                .options
+                .stream_throttle
+                .map_or(Throttle::unlimited(), Throttle::bandwidth);
+            let slot_floats = chunks
+                .iter()
+                .map(|c| c.rows() * self.config.hidden_dim)
+                .max()
+                .unwrap_or(0);
+            let mut path = self.spill_dir.clone();
+            path.push(format!(
+                "prism-hidden-spill-{}-{}.bin",
+                std::process::id(),
+                self.spill_counter.fetch_add(1, Ordering::Relaxed)
+            ));
+            let mut file = SpillFile::create(&path, chunks.len(), slot_floats, throttle)?;
+            // Offload all but the first window of chunks. A failed write
+            // (disk full — the regime spilling targets) must remove the
+            // temp file: the per-request unique names would otherwise
+            // accumulate one orphan per failure for the process lifetime.
+            let mut setup: Result<()> = Ok(());
+            for (i, chunk) in chunks.iter_mut().enumerate().skip(3) {
+                if let Some(t) = chunk.hidden.take() {
+                    if let Err(e) = file.offload(i, &t) {
+                        chunk.hidden = Some(t);
+                        setup = Err(e.into());
+                        break;
+                    }
+                    chunk.spill_slot = Some(i);
+                }
+            }
+            if let Err(e) = setup {
+                let _ = file.cleanup();
+                return Err(e);
+            }
+            spill = Some(file);
+        }
+
+        let mut req = ActiveRequest {
+            n,
+            k,
+            tag,
+            gate,
+            record_score_trace: self.options.record_score_trace,
+            chunks,
+            meter: self.meter.clone(),
+            spill,
+            metered_hidden: 0,
+            current_scores: Vec::new(),
+            last_scores: vec![0.0_f32; n],
+            accepted: Vec::new(),
+            terminated: false,
+            trace: EngineTrace::default(),
+            latency,
+        };
+        req.meter_hidden(&self.meter);
+
+        // Post-embedding probe.
+        req.current_scores = {
+            let ActiveRequest {
+                chunks,
+                spill,
+                latency,
+                ..
+            } = &mut req;
+            latency.time("score", || self.score_chunks(chunks, spill))?
+        };
+        for (id, s) in &req.current_scores {
+            req.last_scores[*id] = *s;
+        }
+        if req.record_score_trace {
+            req.trace
+                .score_trace
+                .push(aligned_scores(&req.current_scores, n));
+        }
+        Ok(req)
+    }
+
+    /// Runs the pruning gate for `layer_idx` (§4.1): routes clusters using
+    /// scores from the previous boundary, prunes routed candidates, and
+    /// records the per-layer active count. May terminate the request.
+    fn gate_request(&self, req: &mut ActiveRequest, layer_idx: usize) -> Result<()> {
+        if req.terminated {
+            return Ok(());
+        }
+        if req.gate.pruning
+            && layer_idx >= req.gate.min_gate_layer.max(1)
+            && !req.current_scores.is_empty()
+        {
+            let k_remaining = req.k - req.accepted.len();
+            let scores_only: Vec<f32> = req.current_scores.iter().map(|(_, s)| *s).collect();
+            let decision = req.latency.time("gate", || {
+                route_candidates(
+                    &scores_only,
+                    k_remaining,
+                    req.gate.dispersion_threshold,
+                    req.gate.top_k_only,
+                    req.gate.max_clusters,
+                    self.options.seed ^ (layer_idx as u64) ^ req.tag,
+                )
+            });
+            if decision.clustered || decision.terminate {
+                let selected_ids: Vec<usize> = decision
+                    .selected
+                    .iter()
+                    .map(|&i| req.current_scores[i].0)
+                    .collect();
+                let dropped_ids: Vec<usize> = decision
+                    .dropped
+                    .iter()
+                    .map(|&i| req.current_scores[i].0)
+                    .collect();
+                for &i in &decision.selected {
+                    let (id, score) = req.current_scores[i];
+                    req.accepted.push(RankedCandidate {
+                        id,
+                        score,
+                        decided_at_layer: layer_idx,
+                    });
+                }
+                req.trace.routes.push(RouteEvent {
+                    layer: layer_idx,
+                    cv: decision.cv,
+                    clustered: decision.clustered,
+                    selected: selected_ids.clone(),
+                    dropped: dropped_ids.clone(),
+                });
+                if !selected_ids.is_empty() || !dropped_ids.is_empty() {
+                    // A boolean mask keyed by candidate id turns every
+                    // membership probe below into O(1) instead of the
+                    // former O(|keep|) scans.
+                    let mut keep_mask = vec![false; req.n];
+                    for &i in &decision.deferred {
+                        keep_mask[req.current_scores[i].0] = true;
+                    }
+                    {
+                        let ActiveRequest {
+                            chunks,
+                            spill,
+                            latency,
+                            ..
+                        } = req;
+                        latency.time("prune", || retain_candidates(chunks, spill, &keep_mask))?;
+                    }
+                    req.meter_hidden(&self.meter);
+                    req.current_scores.retain(|(id, _)| keep_mask[*id]);
+                }
+                if decision.terminate {
+                    req.terminated = true;
+                    return Ok(());
+                }
             }
         }
 
-        // ---- Finalize ----
-        if !terminated {
+        let active = req.active_candidates();
+        if active == 0 {
+            req.terminated = true;
+            return Ok(());
+        }
+        req.trace.active_per_layer.push(active);
+        Ok(())
+    }
+
+    /// Forwards one request's chunks through `layer_idx` and re-scores at
+    /// the layer boundary.
+    fn forward_and_score(
+        &self,
+        req: &mut ActiveRequest,
+        layer_idx: usize,
+        weights: &LayerWeights,
+        pool: &mut Vec<ForwardScratch>,
+    ) -> Result<()> {
+        {
+            let ActiveRequest {
+                chunks,
+                spill,
+                latency,
+                ..
+            } = req;
+            latency.time("forward", || {
+                self.forward_chunks(chunks, spill, weights, layer_idx, pool)
+            })?;
+        }
+        req.meter_hidden(&self.meter);
+        req.trace.executed_layers += 1;
+
+        // ---- Score at the layer boundary ----
+        req.current_scores = {
+            let ActiveRequest {
+                chunks,
+                spill,
+                latency,
+                ..
+            } = req;
+            latency.time("score", || self.score_chunks(chunks, spill))?
+        };
+        for (id, s) in &req.current_scores {
+            req.last_scores[*id] = *s;
+        }
+        if req.record_score_trace {
+            req.trace
+                .score_trace
+                .push(aligned_scores(&req.current_scores, req.n));
+        }
+        Ok(())
+    }
+
+    /// Ranks survivors, closes the spill file, and assembles the
+    /// [`Selection`].
+    pub fn finalize_request(&self, mut req: ActiveRequest) -> Result<Selection> {
+        if !req.terminated {
             // Survivors compete for the remaining slots by final score.
-            let mut survivors = current_scores.clone();
+            let mut survivors = req.current_scores.clone();
             survivors.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let slots = k - accepted.len();
+            let slots = req.k - req.accepted.len();
             for &(id, score) in survivors.iter().take(slots) {
-                accepted.push(RankedCandidate {
+                req.accepted.push(RankedCandidate {
                     id,
                     score,
                     decided_at_layer: self.config.num_layers,
                 });
             }
         }
-        accepted.sort_by(|a, b| b.score.total_cmp(&a.score));
-        accepted.truncate(k);
+        req.accepted.sort_by(|a, b| b.score.total_cmp(&a.score));
+        req.accepted.truncate(req.k);
 
-        if let Some(s) = streamer.take() {
-            trace.stream_stats = s.stats();
+        if let EmbedSource::Cache(c) = &mut *self.embed.lock().expect("embed lock") {
+            req.trace.cache_stats = c.stats();
         }
-        if let EmbedSource::Cache(c) = &mut self.embed {
-            trace.cache_stats = c.stats();
-        }
-        if let Some(file) = spill.take() {
-            trace.spill_bytes = file.bytes_written() + file.bytes_read();
+        if let Some(file) = req.spill.take() {
+            req.trace.spill_bytes = file.bytes_written() + file.bytes_read();
             file.cleanup()?;
         }
-        self.meter.set(MemCategory::HiddenStates, 0);
-        self.meter.set(MemCategory::Intermediate, 0);
-        trace.latency = latency;
-        self.scratch_pool = scratch_pool;
+        req.chunks.clear();
+        req.meter_hidden(&self.meter);
+        // `ActiveRequest` has a cleanup `Drop`, so fields move out via
+        // take; spill/meter state is already cleared above, making the
+        // drop a no-op.
+        req.trace.latency = std::mem::take(&mut req.latency);
 
         Ok(Selection {
-            ranked: accepted,
-            last_scores,
-            trace,
+            ranked: std::mem::take(&mut req.accepted),
+            last_scores: std::mem::take(&mut req.last_scores),
+            trace: std::mem::take(&mut req.trace),
         })
     }
 
-    fn embed_batch(&mut self, batch: &SequenceBatch) -> Result<Tensor> {
+    /// Embeds a batch: one `[total_tokens, hidden_dim]` tensor with
+    /// positional encoding applied. Pure in the token content — the
+    /// serving session cache reuses the result across repeat corpora.
+    pub fn embed_batch(&self, batch: &SequenceBatch) -> Result<Tensor> {
         let d = self.config.hidden_dim;
         let mut hidden = Tensor::zeros(batch.total_tokens(), d);
         // Match on the source once; the resident path copies straight from
         // the table row into the hidden row (no per-token heap traffic).
-        match &mut self.embed {
+        match &mut *self.embed.lock().expect("embed lock") {
             EmbedSource::Cache(cache) => {
                 for &(start, end) in batch.ranges() {
                     for (pos, t) in (start..end).enumerate() {
@@ -569,38 +972,50 @@ impl PrismEngine {
         }
 
         // ---- Sequential spill window ----
-        for i in 0..chunks.len() {
-            if chunks[i].spill_slot.is_none() {
+        for chunk in chunks.iter_mut() {
+            if chunk.spill_slot.is_none() {
                 continue;
             }
-            if chunks[i].hidden.is_none() {
-                if let (Some(slot), Some(file)) = (chunks[i].spill_slot, spill.as_mut()) {
-                    chunks[i].hidden = Some(file.fetch(slot)?);
-                    self.meter
-                        .set(MemCategory::HiddenStates, resident_hidden_bytes(chunks));
+            // The fetched chunk's bytes are metered for exactly the
+            // fetch→offload window (alloc/free deltas, so concurrent
+            // requests' ledgers stay untouched): the §4.3 peak is
+            // "resident chunks + the one in-flight spilled chunk".
+            let mut fetched_bytes = 0_u64;
+            if chunk.hidden.is_none() {
+                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                    let t = file.fetch(slot)?;
+                    fetched_bytes = t.size_bytes() as u64;
+                    self.meter.alloc(MemCategory::HiddenStates, fetched_bytes);
+                    chunk.hidden = Some(t);
                 }
             }
-            let chunk = &mut chunks[i];
             let Some(hidden) = chunk.hidden.as_mut() else {
                 continue;
             };
+            // Meter alloc/free pairs stay balanced on the error path
+            // (`?` only after the frees): a failed request on a
+            // long-running server must not inflate the shared ledger.
             let inter = intermediate_bytes(&self.config, hidden.rows(), max_seq);
             self.meter.alloc(MemCategory::Intermediate, inter);
-            forward_layer_with(
+            let step = forward_layer_with(
                 &self.config,
                 weights,
                 layer_idx,
                 hidden,
                 &chunk.ranges,
                 &mut pool[0],
-            )?;
+            )
+            .map_err(PrismError::from)
+            .and_then(|()| {
+                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                    let t = chunk.hidden.take().expect("hidden present");
+                    file.offload(slot, &t)?;
+                }
+                Ok(())
+            });
             self.meter.free(MemCategory::Intermediate, inter);
-            if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
-                let t = chunk.hidden.take().expect("hidden present");
-                file.offload(slot, &t)?;
-            }
-            self.meter
-                .set(MemCategory::HiddenStates, resident_hidden_bytes(chunks));
+            self.meter.free(MemCategory::HiddenStates, fetched_bytes);
+            step?;
         }
 
         // ---- Parallel resident chunks ----
@@ -689,7 +1104,6 @@ impl PrismEngine {
         &self,
         chunks: &mut [Chunk],
         spill: &mut Option<SpillFile>,
-        _trace: &mut EngineTrace,
     ) -> Result<Vec<(usize, f32)>> {
         let mut out = Vec::new();
         for chunk in chunks.iter_mut() {
@@ -771,13 +1185,6 @@ fn build_chunks(
     Ok(chunks)
 }
 
-fn resident_hidden_bytes(chunks: &[Chunk]) -> u64 {
-    chunks
-        .iter()
-        .filter_map(|c| c.hidden.as_ref().map(|h| h.size_bytes() as u64))
-        .sum()
-}
-
 fn aligned_scores(scores: &[(usize, f32)], n: usize) -> Vec<Option<f32>> {
     let mut out = vec![None; n];
     for &(id, s) in scores {
@@ -844,4 +1251,24 @@ fn retain_candidates(
     }
     chunks.retain(|c| !c.ids.is_empty());
     Ok(())
+}
+
+#[cfg(test)]
+mod sync_tests {
+    use super::*;
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_bounds<T: Send + Sync>() {}
+        assert_bounds::<PrismEngine>();
+    }
+
+    #[test]
+    fn request_options_defaults() {
+        let o = RequestOptions::top_k(5);
+        assert_eq!(o.k, 5);
+        assert!(o.tag.is_none() && o.dispersion_threshold.is_none());
+        let t = RequestOptions::tagged(3, 42);
+        assert_eq!(t.tag, Some(42));
+    }
 }

@@ -31,7 +31,10 @@ pub mod options;
 pub mod routing;
 
 pub use calibrate::ThresholdCalibrator;
-pub use engine::{EngineTrace, PrismEngine, RankedCandidate, Selection};
+pub use engine::{
+    ActiveRequest, EngineTrace, PrismEngine, RankedCandidate, RequestOptions, RequestSpec,
+    Selection,
+};
 pub use options::{EngineOptions, PruneMode};
 pub use routing::{route_candidates, RouteDecision};
 

@@ -84,7 +84,7 @@ fn all_memory_techniques_are_bit_exact() {
     let k = 4;
 
     // Reference: no techniques, no pruning.
-    let mut vanilla = fx.engine(EngineOptions::all_off());
+    let vanilla = fx.engine(EngineOptions::all_off());
     let reference = vanilla.select_top_k(&batch, k).unwrap();
 
     let cases: Vec<(&str, EngineOptions)> = vec![
@@ -123,7 +123,7 @@ fn all_memory_techniques_are_bit_exact() {
     ];
 
     for (name, options) in cases {
-        let mut engine = fx.engine(options);
+        let engine = fx.engine(options);
         let got = engine.select_top_k(&batch, k).unwrap();
         assert_eq!(
             got.top_ids(),
@@ -140,7 +140,7 @@ fn all_memory_techniques_are_bit_exact() {
 fn engine_matches_model_forward_full() {
     let fx = Fixture::new(ModelArch::EncoderOnly, 5, "refmatch");
     let (batch, _) = fx.batch(1, 10);
-    let mut engine = fx.engine(EngineOptions::all_off());
+    let engine = fx.engine(EngineOptions::all_off());
     let sel = engine.select_top_k(&batch, 10).unwrap();
     let direct = fx.model.forward_full(&batch).unwrap();
     for (i, s) in direct.iter().enumerate() {
@@ -155,8 +155,8 @@ fn engine_matches_model_forward_full() {
 #[test]
 fn pruning_preserves_top_k_on_separable_workload() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 8, "precision");
-    let mut full = fx.engine(EngineOptions::all_off());
-    let mut pruned = fx.engine(EngineOptions::default());
+    let full = fx.engine(EngineOptions::all_off());
+    let pruned = fx.engine(EngineOptions::default());
 
     let mut matches = 0_usize;
     let mut total = 0_usize;
@@ -194,7 +194,7 @@ fn pruning_preserves_top_k_on_separable_workload() {
 #[test]
 fn early_termination_happens_on_easy_requests() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 10, "earlyterm");
-    let mut engine = fx.engine(EngineOptions::low_threshold());
+    let engine = fx.engine(EngineOptions::low_threshold());
     let mut any_early = false;
     for r in 0..10 {
         let (batch, _) = fx.batch(r, 16);
@@ -210,7 +210,7 @@ fn early_termination_happens_on_easy_requests() {
 #[test]
 fn trace_active_counts_are_monotone_and_consistent() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 8, "trace");
-    let mut engine = fx.engine(EngineOptions::default());
+    let engine = fx.engine(EngineOptions::default());
     let (batch, _) = fx.batch(3, 20);
     let sel = engine.select_top_k(&batch, 5).unwrap();
     let t = &sel.trace;
@@ -243,7 +243,7 @@ fn streaming_stats_and_cache_stats_populate() {
         pruning: false,
         ..Default::default()
     };
-    let mut engine = fx.engine(o);
+    let engine = fx.engine(o);
     let (batch, _) = fx.batch(0, 8);
     let sel = engine.select_top_k(&batch, 2).unwrap();
     assert_eq!(sel.trace.stream_stats.sections, 6, "all layers streamed");
@@ -261,8 +261,8 @@ fn streaming_stats_and_cache_stats_populate() {
 #[test]
 fn exact_order_mode_matches_full_inference_order() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 8, "exactorder");
-    let mut full = fx.engine(EngineOptions::all_off());
-    let mut exact = fx.engine(EngineOptions {
+    let full = fx.engine(EngineOptions::all_off());
+    let exact = fx.engine(EngineOptions {
         mode: PruneMode::ExactOrder,
         ..EngineOptions::default()
     });
@@ -285,8 +285,8 @@ fn exact_order_mode_matches_full_inference_order() {
 #[test]
 fn precision_against_planted_ground_truth() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 8, "planted");
-    let mut engine = fx.engine(EngineOptions::default());
-    let mut full = fx.engine(EngineOptions::all_off());
+    let engine = fx.engine(EngineOptions::default());
+    let full = fx.engine(EngineOptions::all_off());
     let mut p_pruned = 0.0;
     let mut p_full = 0.0;
     let n_req = 8;
@@ -314,7 +314,7 @@ fn memory_meter_shows_streaming_savings() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 12, "memmeter");
     let (batch, _) = fx.batch(0, 12);
 
-    let mut resident = fx.engine(EngineOptions::all_off());
+    let resident = fx.engine(EngineOptions::all_off());
     resident.select_top_k(&batch, 4).unwrap();
     let resident_peak = resident
         .meter()
@@ -322,7 +322,7 @@ fn memory_meter_shows_streaming_savings() {
 
     let mut o = EngineOptions::all_off();
     o.streaming = true;
-    let mut streamed = fx.engine(o);
+    let streamed = fx.engine(o);
     streamed.select_top_k(&batch, 4).unwrap();
     let streamed_peak = streamed
         .meter()
@@ -338,14 +338,14 @@ fn memory_meter_shows_streaming_savings() {
 fn embed_cache_reduces_embedding_footprint() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 4, "embmem");
     let (batch, _) = fx.batch(0, 8);
-    let mut full = fx.engine(EngineOptions::all_off());
+    let full = fx.engine(EngineOptions::all_off());
     full.select_top_k(&batch, 2).unwrap();
     let full_bytes = full.meter().peak(prism_metrics::MemCategory::Embedding);
 
     let mut o = EngineOptions::all_off();
     o.embed_cache = true;
     o.embed_cache_fraction = 0.10;
-    let mut cached = fx.engine(o);
+    let cached = fx.engine(o);
     cached.select_top_k(&batch, 2).unwrap();
     let cached_bytes = cached.meter().peak(prism_metrics::MemCategory::Embedding);
     assert!(
@@ -361,7 +361,7 @@ fn hidden_offload_spills_and_restores() {
     o.chunking = true;
     o.chunk_candidates = Some(2);
     o.hidden_offload = true;
-    let mut engine = fx.engine(o);
+    let engine = fx.engine(o);
     let (batch, _) = fx.batch(2, 12);
     let sel = engine.select_top_k(&batch, 3).unwrap();
     assert!(sel.trace.spill_bytes > 0, "spill file must be exercised");
@@ -373,7 +373,7 @@ fn hidden_offload_spills_and_restores() {
 #[test]
 fn invalid_requests_rejected() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 3, "invalid");
-    let mut engine = fx.engine(EngineOptions::default());
+    let engine = fx.engine(EngineOptions::default());
     let (batch, _) = fx.batch(0, 4);
     assert!(engine.select_top_k(&batch, 0).is_err());
     // Over-long sequence rejected.
@@ -384,7 +384,7 @@ fn invalid_requests_rejected() {
 #[test]
 fn k_larger_than_candidates_returns_all() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 4, "bigk");
-    let mut engine = fx.engine(EngineOptions::default());
+    let engine = fx.engine(EngineOptions::default());
     let (batch, _) = fx.batch(0, 5);
     let sel = engine.select_top_k(&batch, 50).unwrap();
     assert_eq!(sel.ranked.len(), 5);
@@ -394,7 +394,7 @@ fn k_larger_than_candidates_returns_all() {
 #[test]
 fn works_across_all_dataset_profiles() {
     let fx = Fixture::new(ModelArch::DecoderOnly, 6, "alldatasets");
-    let mut engine = fx.engine(EngineOptions::default());
+    let engine = fx.engine(EngineOptions::default());
     for profile in dataset_catalog() {
         let gen = WorkloadGenerator::new(
             profile,
@@ -413,7 +413,7 @@ fn works_across_all_dataset_profiles() {
 fn encoder_and_decoder_archs_both_run() {
     for arch in [ModelArch::EncoderOnly, ModelArch::DecoderOnly] {
         let fx = Fixture::new(arch, 5, "archs");
-        let mut engine = fx.engine(EngineOptions::default());
+        let engine = fx.engine(EngineOptions::default());
         let (batch, _) = fx.batch(0, 10);
         let sel = engine.select_top_k(&batch, 3).unwrap();
         assert_eq!(sel.ranked.len(), 3, "{arch:?}");
@@ -434,9 +434,9 @@ fn quantized_container_runs_and_roughly_agrees() {
     qmodel.write_container(&qpath).unwrap();
 
     let (batch, _) = fx.batch(0, 12);
-    let mut dense = fx.engine(EngineOptions::all_off());
+    let dense = fx.engine(EngineOptions::all_off());
     let container = Container::open(&qpath).unwrap();
-    let mut quant = PrismEngine::new(
+    let quant = PrismEngine::new(
         container,
         qmodel.config.clone(),
         EngineOptions::all_off(),

@@ -6,12 +6,17 @@
 //!   restricted to inter-cluster pairs (Fig. 2b),
 //! * [`recorder`] — a span-based latency recorder and a category-tagged
 //!   [`recorder::MemoryMeter`] that tracks live bytes over time, yielding
-//!   the memory-vs-time curves behind Figs. 9/11/13/15/16.
+//!   the memory-vs-time curves behind Figs. 9/11/13/15/16,
+//! * [`gauge`] — atomic gauges/counters and a log₂-bucketed latency
+//!   histogram for the serving front-end's queue-depth, batch-size and
+//!   cache-hit telemetry.
 
 pub mod gamma;
+pub mod gauge;
 pub mod precision;
 pub mod recorder;
 
 pub use gamma::{cluster_gamma, goodman_kruskal_gamma};
+pub use gauge::{Counter, Gauge, Histogram, HistogramSummary};
 pub use precision::precision_at_k;
 pub use recorder::{LatencyRecorder, MemCategory, MemoryMeter, MemorySample, SpanSummary};

@@ -1,0 +1,59 @@
+//! `prism-serve`: a concurrent, multi-tenant serving front-end over the
+//! PRISM engine.
+//!
+//! The engine itself answers one selection per call; real deployments see
+//! *streams* of requests from many sessions. This crate turns the engine
+//! into a serving system:
+//!
+//! ```text
+//!  clients ──submit──▶ [SubmissionQueue]            (bounded, backpressure)
+//!                            │
+//!                      [BatchPlanner]               (token budget + age bound)
+//!                            │ coalesced FIFO prefix
+//!                  ┌─────────┴─────────┐
+//!            [worker 0]  ...     [worker W-1]       (own ForwardScratch pool)
+//!                  │                   │
+//!            [SessionCache] ◀──▶ Arc<PrismEngine>   (one engine, Sync)
+//!                  │
+//!              reply channels ──▶ ResponseHandle::wait
+//! ```
+//!
+//! * **Bounded submission queue** ([`queue`]): `submit` fails fast with
+//!   [`ServeError::Backpressure`] when the queue is full instead of
+//!   buffering unboundedly.
+//! * **Batched scheduler** ([`scheduler`]): workers pop a *contiguous FIFO
+//!   prefix* of the queue whose total token count fits a budget derived
+//!   from the device's memory spec; an under-full batch waits at most the
+//!   configured age bound for more arrivals. One streamed pass over the
+//!   layer weights is then shared by every request of the batch
+//!   ([`prism_core::PrismEngine::select_batch`]), which is where the
+//!   throughput win over request-at-a-time serving comes from.
+//! * **Session cache** ([`session`]): an LRU over sessions reuses
+//!   candidate embeddings for repeat corpora and memoizes whole selections
+//!   for exact repeats; hit/miss counters surface through [`ServeStats`].
+//! * **Conformance by construction**: per-request computation inside a
+//!   coalesced batch happens in exactly the single-request order, and the
+//!   routing RNG is pinned by a per-request tag, so serving results are
+//!   bit-identical to direct [`prism_core::PrismEngine::select_top_k`]
+//!   calls — the property `tests/serve_conformance.rs` locks in across
+//!   batch sizes and worker counts.
+
+pub mod config;
+pub mod load;
+pub mod queue;
+pub mod request;
+pub mod scheduler;
+pub mod server;
+pub mod session;
+pub mod stats;
+
+pub use config::ServeConfig;
+pub use load::{run_closed_loop, LoadReport, LoadSpec};
+pub use request::{CacheOutcome, ResponseHandle, ServeError, ServeRequest, ServeResponse};
+pub use scheduler::{BatchPlanner, PlanDecision};
+pub use server::{PrismServer, ServeSession};
+pub use session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
+pub use stats::{ServeStats, ServeStatsSnapshot};
+
+/// Result alias for serving-path operations.
+pub type Result<T> = std::result::Result<T, ServeError>;

@@ -1,0 +1,210 @@
+//! Closed-loop load generation against a [`PrismServer`].
+//!
+//! `clients` threads each own a slice of the request stream and submit
+//! synchronously (submit → wait → next), the classic closed-loop model:
+//! offered load adapts to service rate, so the measured quantity is
+//! per-request latency at full utilization. Latencies are collected
+//! exactly (client-side, sorted) rather than from the server's bucketed
+//! histograms. `prsm serve`, `prsm bench-serve` and the `repro perf`
+//! serving section all drive this one generator.
+
+use std::time::{Duration, Instant};
+
+use prism_core::RequestOptions;
+use prism_model::SequenceBatch;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+use serde::Serialize;
+
+use crate::request::ServeError;
+use crate::server::PrismServer;
+use crate::stats::ServeStatsSnapshot;
+
+/// Shape of one synthetic serving workload.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Total requests to send.
+    pub requests: usize,
+    /// Closed-loop client threads.
+    pub clients: usize,
+    /// Candidates per request.
+    pub candidates: usize,
+    /// Top-K per request.
+    pub k: usize,
+    /// Workload dataset profile (e.g. `"wikipedia"`).
+    pub dataset: String,
+    /// Base RNG seed for request generation.
+    pub seed: u64,
+    /// Distinct sessions the stream cycles through.
+    pub sessions: usize,
+    /// Consecutive same-session requests sharing one corpus: `1` makes
+    /// every request a fresh corpus (no cache reuse), `r > 1` lets the
+    /// session cache serve `r - 1` of every `r` requests.
+    pub corpus_repeat: usize,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            requests: 32,
+            clients: 4,
+            candidates: 12,
+            k: 4,
+            dataset: "wikipedia".into(),
+            seed: 0xC0FFEE,
+            sessions: 4,
+            corpus_repeat: 1,
+        }
+    }
+}
+
+/// Outcome of one closed-loop run. Latency percentiles are exact
+/// (client-side measurements, sorted).
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadReport {
+    /// Requests sent (and answered — the loop is closed).
+    pub completed: usize,
+    /// Requests that came back as errors.
+    pub errors: usize,
+    /// Backpressure rejections absorbed by retry.
+    pub backpressure_retries: u64,
+    /// Wall-clock seconds for the whole run.
+    pub elapsed_s: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Mean end-to-end latency, microseconds.
+    pub mean_us: f64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+    /// Worst request, microseconds.
+    pub max_us: u64,
+    /// Server-side telemetry snapshot at the end of the run.
+    pub stats: ServeStatsSnapshot,
+}
+
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs `spec` against `server` and reports exact latency percentiles.
+pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
+    let profile = dataset_by_name(&spec.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset `{}`", spec.dataset));
+    let config = server.engine().config();
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, spec.seed);
+    let sessions = spec.sessions.max(1);
+    let repeat = spec.corpus_repeat.max(1);
+    let clients = spec.clients.max(1).min(spec.requests.max(1));
+
+    let started = Instant::now();
+    let mut all_latencies: Vec<u64> = Vec::with_capacity(spec.requests);
+    let mut errors = 0_usize;
+    let mut retries = 0_u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let generator = &generator;
+            let spec_ref = &spec;
+            let handle = scope.spawn(move || {
+                let mut latencies = Vec::new();
+                let mut errors = 0_usize;
+                let mut retries = 0_u64;
+                let mut i = c;
+                while i < spec_ref.requests {
+                    let session_idx = i % sessions;
+                    let round = i / sessions;
+                    // Requests of one session advance to a fresh corpus
+                    // every `repeat` rounds; in between they repeat it.
+                    let corpus = (session_idx as u64) << 32 | (round / repeat) as u64;
+                    let request = generator.request(corpus, spec_ref.candidates);
+                    let batch = SequenceBatch::new(&request.sequences()).expect("load batch");
+                    // Tag by corpus so repeats are exact (cacheable) and
+                    // results stay independent of arrival interleaving.
+                    let options = RequestOptions::tagged(spec_ref.k, corpus ^ 0x5E55_1011);
+                    let t0 = Instant::now();
+                    let handle = loop {
+                        match server.submit(crate::ServeRequest {
+                            session: format!("session-{session_idx}"),
+                            batch: batch.clone(),
+                            options: options.clone(),
+                        }) {
+                            Ok(h) => break Some(h),
+                            Err(ServeError::Backpressure { .. }) => {
+                                retries += 1;
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(_) => break None,
+                        }
+                    };
+                    match handle.map(|h| h.wait()) {
+                        Some(Ok(_)) => latencies.push(t0.elapsed().as_micros() as u64),
+                        _ => errors += 1,
+                    }
+                    i += clients;
+                }
+                (latencies, errors, retries)
+            });
+            handles.push(handle);
+        }
+        for h in handles {
+            let (lat, err, rts) = h.join().expect("load client panicked");
+            all_latencies.extend(lat);
+            errors += err;
+            retries += rts;
+        }
+    });
+    let elapsed_s = started.elapsed().as_secs_f64();
+
+    all_latencies.sort_unstable();
+    let completed = all_latencies.len();
+    let mean_us = if completed == 0 {
+        0.0
+    } else {
+        all_latencies.iter().sum::<u64>() as f64 / completed as f64
+    };
+    LoadReport {
+        completed,
+        errors,
+        backpressure_retries: retries,
+        elapsed_s,
+        throughput_rps: if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        },
+        mean_us,
+        p50_us: exact_quantile(&all_latencies, 0.50),
+        p95_us: exact_quantile(&all_latencies, 0.95),
+        p99_us: exact_quantile(&all_latencies, 0.99),
+        max_us: all_latencies.last().copied().unwrap_or(0),
+        stats: server.stats().snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_on_small_samples() {
+        assert_eq!(exact_quantile(&[], 0.5), 0);
+        assert_eq!(exact_quantile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(exact_quantile(&v, 0.0), 1);
+        assert_eq!(exact_quantile(&v, 0.5), 51);
+        assert_eq!(exact_quantile(&v, 1.0), 100);
+    }
+
+    #[test]
+    fn default_spec_is_sane() {
+        let s = LoadSpec::default();
+        assert!(s.requests > 0 && s.clients > 0 && s.corpus_repeat >= 1);
+    }
+}

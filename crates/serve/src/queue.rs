@@ -1,0 +1,237 @@
+//! The bounded submission queue workers coalesce batches from.
+//!
+//! One `Mutex<VecDeque>` + `Condvar` pair serves both sides: producers
+//! fail fast with backpressure when the queue is at capacity, consumers
+//! block until the [`BatchPlanner`] tells them to
+//! flush a FIFO prefix (waiting out the age bound for under-full
+//! batches). Closing the queue wakes every waiter; queued requests are
+//! still drained so accepted work is never dropped.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use prism_core::RequestOptions;
+use prism_metrics::Gauge;
+use prism_model::SequenceBatch;
+
+use crate::request::{ServeError, ServeResponse};
+use crate::scheduler::{BatchPlanner, PlanDecision};
+
+/// One queued request, carrying everything a worker needs to execute and
+/// answer it.
+#[derive(Debug)]
+pub struct Pending {
+    /// Global submission index (1-based) — doubles as the routing tag
+    /// unless the caller pinned one.
+    pub ticket: u64,
+    /// Session key for cache affinity.
+    pub session: String,
+    /// The candidate batch.
+    pub batch: SequenceBatch,
+    /// Resolved per-request options (tag always set by the server).
+    pub options: RequestOptions,
+    /// FNV-1a fingerprint of the batch content (session-cache key).
+    pub fingerprint: u64,
+    /// Total packed tokens (the planner's budget unit).
+    pub tokens: usize,
+    /// When the request entered the queue.
+    pub enqueued: Instant,
+    /// Reply channel back to the caller's [`crate::ResponseHandle`].
+    pub reply: mpsc::SyncSender<Result<ServeResponse, ServeError>>,
+}
+
+struct QueueState {
+    deque: VecDeque<Pending>,
+    closed: bool,
+}
+
+/// Bounded MPMC queue with planner-driven batch consumption.
+pub struct SubmissionQueue {
+    state: Mutex<QueueState>,
+    notify: Condvar,
+    capacity: usize,
+    depth: Gauge,
+}
+
+impl SubmissionQueue {
+    /// Creates a queue holding at most `capacity` pending requests;
+    /// `depth` is updated on every push/pop.
+    pub fn new(capacity: usize, depth: Gauge) -> Self {
+        SubmissionQueue {
+            state: Mutex::new(QueueState {
+                deque: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            notify: Condvar::new(),
+            capacity: capacity.max(1),
+            depth,
+        }
+    }
+
+    /// Enqueues a request, failing fast when full or closed.
+    pub fn push(&self, pending: Pending) -> Result<(), ServeError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if state.deque.len() >= self.capacity {
+            return Err(ServeError::Backpressure {
+                capacity: self.capacity,
+            });
+        }
+        state.deque.push_back(pending);
+        self.depth.set(state.deque.len() as u64);
+        drop(state);
+        self.notify.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until a batch is ready and pops it (a contiguous FIFO
+    /// prefix chosen by `planner`). Returns `None` once the queue is
+    /// closed *and* drained.
+    pub fn next_batch(&self, planner: &BatchPlanner) -> Option<Vec<Pending>> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.deque.is_empty() {
+                if state.closed {
+                    return None;
+                }
+                state = self.notify.wait(state).expect("queue lock");
+                continue;
+            }
+            let now = Instant::now();
+            let snapshot: Vec<(usize, u64)> = state
+                .deque
+                .iter()
+                .map(|p| (p.tokens, now.duration_since(p.enqueued).as_micros() as u64))
+                .collect();
+            let take = match planner.decide(&snapshot) {
+                PlanDecision::Flush(n) => n,
+                // A closing queue flushes what it has instead of waiting
+                // for arrivals that will never come.
+                PlanDecision::Wait(_) if state.closed => planner.coalesce(&snapshot),
+                PlanDecision::Wait(us) => {
+                    let (next, timeout) = self
+                        .notify
+                        .wait_timeout(state, Duration::from_micros(us))
+                        .expect("queue lock");
+                    state = next;
+                    let _ = timeout;
+                    continue;
+                }
+            };
+            let take = take.min(state.deque.len());
+            let batch: Vec<Pending> = state.deque.drain(..take).collect();
+            self.depth.set(state.deque.len() as u64);
+            return Some(batch);
+        }
+    }
+
+    /// Marks the queue closed and wakes all waiters. Already-queued
+    /// requests are still served by subsequent [`Self::next_batch`] calls.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.notify.notify_all();
+    }
+
+    /// Number of requests currently queued.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").deque.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(
+        ticket: u64,
+        tokens: usize,
+    ) -> (Pending, mpsc::Receiver<Result<ServeResponse, ServeError>>) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let p = Pending {
+            ticket,
+            session: "s".into(),
+            batch: SequenceBatch::new(&[vec![1; tokens]]).unwrap(),
+            options: RequestOptions::tagged(1, ticket),
+            fingerprint: 0,
+            tokens,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        (p, rx)
+    }
+
+    fn eager_planner(max_requests: usize) -> BatchPlanner {
+        BatchPlanner {
+            max_requests,
+            max_tokens: usize::MAX,
+            max_wait_micros: 0,
+        }
+    }
+
+    #[test]
+    fn backpressure_when_full() {
+        let q = SubmissionQueue::new(2, Gauge::new());
+        let (a, _ra) = pending(1, 4);
+        let (b, _rb) = pending(2, 4);
+        let (c, _rc) = pending(3, 4);
+        q.push(a).unwrap();
+        q.push(b).unwrap();
+        match q.push(c) {
+            Err(ServeError::Backpressure { capacity }) => assert_eq!(capacity, 2),
+            other => panic!("expected backpressure, got {other:?}"),
+        }
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn next_batch_pops_fifo_prefix() {
+        let q = SubmissionQueue::new(8, Gauge::new());
+        let mut keep = Vec::new();
+        for t in 1..=5 {
+            let (p, rx) = pending(t, 2);
+            keep.push(rx);
+            q.push(p).unwrap();
+        }
+        let batch = q.next_batch(&eager_planner(3)).unwrap();
+        assert_eq!(
+            batch.iter().map(|p| p.ticket).collect::<Vec<_>>(),
+            [1, 2, 3]
+        );
+        let batch = q.next_batch(&eager_planner(3)).unwrap();
+        assert_eq!(batch.iter().map(|p| p.ticket).collect::<Vec<_>>(), [4, 5]);
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = SubmissionQueue::new(8, Gauge::new());
+        let (p, _rx) = pending(1, 2);
+        q.push(p).unwrap();
+        q.close();
+        // Closed queue flushes the waiting request instead of aging it.
+        let planner = BatchPlanner {
+            max_requests: 8,
+            max_tokens: usize::MAX,
+            max_wait_micros: u64::MAX,
+        };
+        assert_eq!(q.next_batch(&planner).unwrap().len(), 1);
+        assert!(q.next_batch(&planner).is_none());
+        let (p2, _rx2) = pending(2, 2);
+        assert!(matches!(q.push(p2), Err(ServeError::ShuttingDown)));
+    }
+
+    #[test]
+    fn waiting_consumer_wakes_on_push() {
+        let q = std::sync::Arc::new(SubmissionQueue::new(8, Gauge::new()));
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || q2.next_batch(&eager_planner(4)));
+        std::thread::sleep(Duration::from_millis(10));
+        let (p, _rx) = pending(7, 1);
+        q.push(p).unwrap();
+        let batch = consumer.join().unwrap().unwrap();
+        assert_eq!(batch[0].ticket, 7);
+    }
+}

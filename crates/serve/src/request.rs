@@ -1,0 +1,174 @@
+//! Request/response types of the serving API.
+
+use std::sync::mpsc;
+
+use prism_core::{RequestOptions, Selection};
+use prism_model::SequenceBatch;
+use serde::Serialize;
+
+/// A serving request: one candidate batch to select from, bound to a
+/// session.
+///
+/// The session identifies the tenant for cache affinity and FIFO
+/// guarantees; the [`RequestOptions`] carry `k`, per-request routing
+/// overrides, and optionally an explicit routing `tag`. When no tag is
+/// given the server assigns the request's ticket number (its global
+/// submission index, starting at 1), which makes a serving run
+/// reproducible against a sequential reference that processes the same
+/// requests in submission order.
+#[derive(Debug, Clone)]
+pub struct ServeRequest {
+    /// Session (tenant) key.
+    pub session: String,
+    /// The packed candidate batch.
+    pub batch: SequenceBatch,
+    /// Per-request selection parameters.
+    pub options: RequestOptions,
+}
+
+impl ServeRequest {
+    /// A plain top-`k` request for `session`.
+    pub fn new(session: impl Into<String>, batch: SequenceBatch, k: usize) -> Self {
+        ServeRequest {
+            session: session.into(),
+            batch,
+            options: RequestOptions::top_k(k),
+        }
+    }
+
+    /// Replaces the request options.
+    pub fn with_options(mut self, options: RequestOptions) -> Self {
+        self.options = options;
+        self
+    }
+}
+
+/// How the session cache participated in answering a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum CacheOutcome {
+    /// Corpus not cached (or cache disabled): full execution.
+    Miss,
+    /// Candidate embeddings replayed from the session cache; transformer
+    /// layers still executed.
+    EmbedHit,
+    /// Exact repeat: the whole [`Selection`] was served from the cache.
+    SelectionHit,
+}
+
+/// A completed serving response.
+#[derive(Debug, Clone)]
+pub struct ServeResponse {
+    /// The selection, bit-identical to a direct engine call with the same
+    /// batch, options and tag.
+    pub selection: Selection,
+    /// Global submission index of the request (1-based).
+    pub ticket: u64,
+    /// Number of requests coalesced into the executing batch.
+    pub batch_size: usize,
+    /// Microseconds spent queued before a worker picked the request up.
+    pub queued_us: u64,
+    /// Microseconds of batch execution (shared across the batch).
+    pub service_us: u64,
+    /// Session-cache participation.
+    pub cache: CacheOutcome,
+}
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The bounded submission queue is full — the caller should retry
+    /// later or shed load.
+    Backpressure {
+        /// Queue capacity that was exhausted.
+        capacity: usize,
+    },
+    /// The server is shutting down (or has shut down).
+    ShuttingDown,
+    /// The engine rejected or failed the request.
+    Engine(String),
+    /// The worker serving this request disappeared before replying.
+    Disconnected,
+    /// Invalid serving configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Backpressure { capacity } => {
+                write!(f, "submission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::Engine(e) => write!(f, "engine: {e}"),
+            ServeError::Disconnected => write!(f, "worker disconnected before replying"),
+            ServeError::Config(e) => write!(f, "config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Waits for the response to one submitted request.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    pub(crate) ticket: u64,
+    pub(crate) rx: mpsc::Receiver<std::result::Result<ServeResponse, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// The request's global submission index (1-based; also its routing
+    /// tag unless one was set explicitly).
+    pub fn ticket(&self) -> u64 {
+        self.ticket
+    }
+
+    /// Blocks until the response arrives.
+    pub fn wait(self) -> crate::Result<ServeResponse> {
+        match self.rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(ServeError::Disconnected),
+        }
+    }
+
+    /// Returns the response if it is already available.
+    pub fn try_wait(&self) -> Option<crate::Result<ServeResponse>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Disconnected)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builder_defaults() {
+        let batch = SequenceBatch::new(&[vec![1, 2, 3]]).unwrap();
+        let r = ServeRequest::new("tenant-a", batch, 2);
+        assert_eq!(r.session, "tenant-a");
+        assert_eq!(r.options.k, 2);
+        assert!(r.options.tag.is_none());
+        let r = r.with_options(RequestOptions::tagged(1, 9));
+        assert_eq!(r.options.tag, Some(9));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = ServeError::Backpressure { capacity: 4 };
+        assert!(e.to_string().contains("capacity 4"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
+    }
+
+    #[test]
+    fn handle_try_wait_reports_states() {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let h = ResponseHandle { ticket: 3, rx };
+        assert_eq!(h.ticket(), 3);
+        assert!(h.try_wait().is_none());
+        drop(tx);
+        assert!(matches!(h.try_wait(), Some(Err(ServeError::Disconnected))));
+    }
+}

@@ -1,0 +1,131 @@
+//! The batching policy: which FIFO prefix of the queue runs next.
+//!
+//! [`BatchPlanner`] is a pure function from a queue snapshot to a
+//! decision, so its invariants — never exceed the token budget, never
+//! starve a request past the age bound, always take a contiguous FIFO
+//! prefix — are property-tested directly (`tests/scheduler_props.rs`)
+//! without threads or clocks.
+
+/// What a worker should do with the current queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanDecision {
+    /// Pop the first `n` queued requests and execute them as one batch.
+    Flush(usize),
+    /// Wait at most this many microseconds for more arrivals (the batch
+    /// is under-full and the oldest request is still within the age
+    /// bound), then re-evaluate.
+    Wait(u64),
+}
+
+/// Coalescing policy parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchPlanner {
+    /// Maximum requests per coalesced batch.
+    pub max_requests: usize,
+    /// Maximum *total* packed tokens per batch (the §4.3-style memory
+    /// budget; a single request larger than the budget still runs, alone).
+    pub max_tokens: usize,
+    /// Longest a queued request may age before an under-full batch is
+    /// flushed anyway, in microseconds.
+    pub max_wait_micros: u64,
+}
+
+impl BatchPlanner {
+    /// Decides on a queue snapshot: `(tokens, age_micros)` per pending
+    /// request in FIFO order (front first).
+    ///
+    /// Returns [`PlanDecision::Wait`] only when *growing* the batch is
+    /// both possible (caps not hit, whole queue fits) and permitted (the
+    /// oldest request is younger than the age bound).
+    pub fn decide(&self, queue: &[(usize, u64)]) -> PlanDecision {
+        assert!(!queue.is_empty(), "decide() needs a non-empty queue");
+        let max_requests = self.max_requests.max(1);
+        let prefix = self.coalesce(queue);
+
+        let could_grow = prefix == queue.len()
+            && prefix < max_requests
+            && queue.iter().take(prefix).map(|&(t, _)| t).sum::<usize>() < self.max_tokens;
+        if could_grow {
+            let oldest_age = queue[0].1;
+            if oldest_age < self.max_wait_micros {
+                return PlanDecision::Wait(self.max_wait_micros - oldest_age);
+            }
+        }
+        PlanDecision::Flush(prefix)
+    }
+
+    /// Length of the longest FIFO prefix within both caps (at least 1:
+    /// an oversized head request forms a singleton batch).
+    pub fn coalesce(&self, queue: &[(usize, u64)]) -> usize {
+        let max_requests = self.max_requests.max(1);
+        let mut tokens = 0_usize;
+        let mut n = 0_usize;
+        for &(t, _) in queue.iter().take(max_requests) {
+            if n > 0 && tokens + t > self.max_tokens {
+                break;
+            }
+            tokens += t;
+            n += 1;
+        }
+        n.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planner() -> BatchPlanner {
+        BatchPlanner {
+            max_requests: 4,
+            max_tokens: 100,
+            max_wait_micros: 1_000,
+        }
+    }
+
+    #[test]
+    fn full_batch_flushes_immediately() {
+        let q = vec![(30, 0), (30, 0), (30, 0), (30, 0), (30, 0)];
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(3));
+    }
+
+    #[test]
+    fn request_cap_limits_prefix() {
+        let q = vec![(1, 0); 10];
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(4));
+    }
+
+    #[test]
+    fn underfull_young_queue_waits_out_remaining_age() {
+        let q = vec![(10, 400)];
+        assert_eq!(planner().decide(&q), PlanDecision::Wait(600));
+    }
+
+    #[test]
+    fn aged_head_flushes_underfull_batch() {
+        let q = vec![(10, 1_000)];
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(1));
+        let q = vec![(10, 5_000), (10, 100)];
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(2));
+    }
+
+    #[test]
+    fn oversized_request_runs_alone() {
+        let q = vec![(500, 0), (10, 0)];
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(1));
+    }
+
+    #[test]
+    fn budget_is_respected_midway() {
+        // 60 + 30 fits, adding 20 would overflow 100.
+        let q = vec![(60, 0), (30, 0), (20, 0)];
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(2));
+    }
+
+    #[test]
+    fn exact_budget_fill_flushes() {
+        let q = vec![(50, 0), (50, 0)];
+        // Budget exactly consumed: nothing more could join, flush now.
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(2));
+    }
+}

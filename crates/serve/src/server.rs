@@ -1,0 +1,381 @@
+//! The serving runtime: worker pool over one shared engine.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use prism_baselines::{RankOutcome, Reranker};
+use prism_core::{ActiveRequest, PrismEngine, PrismError, RequestOptions, Selection};
+use prism_model::layer::ForwardScratch;
+use prism_model::SequenceBatch;
+
+use crate::config::ServeConfig;
+use crate::queue::{Pending, SubmissionQueue};
+use crate::request::{CacheOutcome, ResponseHandle, ServeError, ServeRequest, ServeResponse};
+use crate::scheduler::BatchPlanner;
+use crate::session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
+use crate::stats::ServeStats;
+
+struct ServerShared {
+    engine: Arc<PrismEngine>,
+    queue: SubmissionQueue,
+    planner: BatchPlanner,
+    cache: Option<Mutex<SessionCache>>,
+    stats: ServeStats,
+    ticket: AtomicU64,
+}
+
+/// A running PRISM serving instance.
+///
+/// Owns the worker threads; dropping (or [`PrismServer::shutdown`])
+/// closes the submission queue, drains already-accepted requests and
+/// joins the workers. Request handles obtained before shutdown remain
+/// valid — accepted work is always answered.
+pub struct PrismServer {
+    shared: Arc<ServerShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PrismServer {
+    /// Starts `config.workers` worker threads over `engine`.
+    pub fn start(engine: PrismEngine, config: ServeConfig) -> crate::Result<Self> {
+        config.validate()?;
+        let stats = ServeStats::new();
+        let shared = Arc::new(ServerShared {
+            engine: Arc::new(engine),
+            queue: SubmissionQueue::new(config.queue_capacity, stats.queue_depth.clone()),
+            planner: config.planner(),
+            cache: (config.session_cache_capacity > 0)
+                .then(|| Mutex::new(SessionCache::new(config.session_cache_capacity))),
+            stats,
+            ticket: AtomicU64::new(0),
+        });
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("prism-serve-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .map_err(|e| ServeError::Config(format!("spawning worker {i}: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(PrismServer { shared, workers })
+    }
+
+    /// Submits a request; fails fast with [`ServeError::Backpressure`]
+    /// when the queue is full.
+    pub fn submit(&self, request: ServeRequest) -> crate::Result<ResponseHandle> {
+        self.shared.submit(request)
+    }
+
+    /// Live serving telemetry (shared handles — cheap to clone).
+    pub fn stats(&self) -> &ServeStats {
+        &self.shared.stats
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &PrismEngine {
+        &self.shared.engine
+    }
+
+    /// A lightweight per-session submission handle (usable as a
+    /// [`Reranker`] by the application pipelines).
+    pub fn session(&self, name: impl Into<String>) -> ServeSession {
+        ServeSession {
+            shared: Arc::clone(&self.shared),
+            session: name.into(),
+        }
+    }
+
+    /// Stops accepting requests, drains the queue and joins the workers.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for PrismServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl ServerShared {
+    fn submit(&self, request: ServeRequest) -> crate::Result<ResponseHandle> {
+        let ticket = self.ticket.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut options = request.options;
+        if options.tag.is_none() {
+            // Pin the routing stream to the submission order so a serving
+            // run is reproducible against a sequential reference.
+            options.tag = Some(ticket);
+        }
+        let tokens = request.batch.total_tokens();
+        // Only the cache reads the fingerprint; skip the O(tokens) hash
+        // for cache-off deployments.
+        let fingerprint = if self.cache.is_some() {
+            fingerprint_batch(&request.batch)
+        } else {
+            0
+        };
+        let (tx, rx) = mpsc::sync_channel(1);
+        let pending = Pending {
+            ticket,
+            session: request.session,
+            batch: request.batch,
+            options,
+            fingerprint,
+            tokens,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        match self.queue.push(pending) {
+            Ok(()) => {
+                self.stats.submitted.inc();
+                Ok(ResponseHandle { ticket, rx })
+            }
+            Err(e) => {
+                if matches!(e, ServeError::Backpressure { .. }) {
+                    self.stats.rejected.inc();
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: &ServerShared) {
+    let mut scratch: Vec<ForwardScratch> = Vec::new();
+    while let Some(batch) = shared.queue.next_batch(&shared.planner) {
+        execute_batch(shared, batch, &mut scratch);
+    }
+}
+
+/// One request bound for engine execution (cache probes resolved).
+struct RunItem {
+    pending: Pending,
+    outcome: CacheOutcome,
+    queued_us: u64,
+}
+
+fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<ForwardScratch>) {
+    let picked_at = Instant::now();
+    let size = batch.len();
+    let stats = &shared.stats;
+    stats.batches.inc();
+    stats.batch_size.record(size as u64);
+    stats
+        .batch_tokens
+        .record(batch.iter().map(|p| p.tokens as u64).sum());
+    stats.in_flight.add(size as u64);
+
+    let mut items: Vec<RunItem> = Vec::with_capacity(size);
+    let mut planned: Vec<ActiveRequest> = Vec::with_capacity(size);
+    for pending in batch {
+        let queued_us = picked_at.duration_since(pending.enqueued).as_micros() as u64;
+        stats.queued_us.record(queued_us);
+        let key = SelectionKey::from_options(&pending.options);
+
+        // ---- Session-cache probe ----
+        let lookup = match &shared.cache {
+            Some(cache) => cache.lock().expect("session cache lock").lookup(
+                &pending.session,
+                pending.fingerprint,
+                &pending.batch,
+                &key,
+            ),
+            None => CacheLookup::Miss,
+        };
+        if let CacheLookup::Selection(sel) = lookup {
+            stats.cache_selection_hits.inc();
+            stats.service_us.record(0);
+            stats.completed.inc();
+            reply(
+                &pending,
+                Ok(ServeResponse {
+                    selection: *sel,
+                    ticket: pending.ticket,
+                    batch_size: size,
+                    queued_us,
+                    service_us: 0,
+                    cache: CacheOutcome::SelectionHit,
+                }),
+            );
+            continue;
+        }
+
+        // ---- Plan (embed replayed or computed-and-cached) ----
+        let plan = match lookup {
+            CacheLookup::Embed(embed) => {
+                stats.cache_embed_hits.inc();
+                shared
+                    .engine
+                    .plan_request_with_embed(&pending.batch, pending.options.clone(), Some(&embed))
+                    .map(|p| (p, CacheOutcome::EmbedHit))
+            }
+            _ => {
+                stats.cache_misses.inc();
+                match &shared.cache {
+                    Some(cache) => shared.engine.embed_batch(&pending.batch).and_then(|embed| {
+                        let p = shared.engine.plan_request_with_embed(
+                            &pending.batch,
+                            pending.options.clone(),
+                            Some(&embed),
+                        )?;
+                        cache.lock().expect("session cache lock").store_embed(
+                            &pending.session,
+                            pending.fingerprint,
+                            &pending.batch,
+                            embed,
+                        );
+                        Ok(p)
+                    }),
+                    None => shared
+                        .engine
+                        .plan_request(&pending.batch, pending.options.clone()),
+                }
+                .map(|p| (p, CacheOutcome::Miss))
+            }
+        };
+        match plan {
+            Ok((p, outcome)) => {
+                planned.push(p);
+                items.push(RunItem {
+                    pending,
+                    outcome,
+                    queued_us,
+                });
+            }
+            Err(e) => {
+                stats.completed.inc();
+                reply(&pending, Err(ServeError::Engine(e.to_string())));
+            }
+        }
+    }
+
+    // ---- Execute the coalesced batch: one pass over the weights ----
+    if !planned.is_empty() {
+        let t0 = Instant::now();
+        let run = shared.engine.run_planned(&mut planned, scratch);
+        let service_us = t0.elapsed().as_micros() as u64;
+        match run {
+            Ok(()) => {
+                for (item, req) in items.into_iter().zip(planned) {
+                    stats.service_us.record(service_us);
+                    stats.completed.inc();
+                    let result = shared
+                        .engine
+                        .finalize_request(req)
+                        .map_err(|e| ServeError::Engine(e.to_string()));
+                    match result {
+                        Ok(selection) => {
+                            store_selection(shared, &item, &selection);
+                            reply(
+                                &item.pending,
+                                Ok(ServeResponse {
+                                    selection,
+                                    ticket: item.pending.ticket,
+                                    batch_size: size,
+                                    queued_us: item.queued_us,
+                                    service_us,
+                                    cache: item.outcome,
+                                }),
+                            );
+                        }
+                        Err(e) => reply(&item.pending, Err(e)),
+                    }
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string();
+                for item in items {
+                    stats.completed.inc();
+                    reply(&item.pending, Err(ServeError::Engine(msg.clone())));
+                }
+            }
+        }
+    }
+    stats.in_flight.sub(size as u64);
+}
+
+fn store_selection(shared: &ServerShared, item: &RunItem, selection: &Selection) {
+    if let Some(cache) = &shared.cache {
+        cache.lock().expect("session cache lock").store_selection(
+            &item.pending.session,
+            item.pending.fingerprint,
+            &item.pending.batch,
+            SelectionKey::from_options(&item.pending.options),
+            selection,
+        );
+    }
+}
+
+fn reply(pending: &Pending, result: Result<ServeResponse, ServeError>) {
+    // The caller may have dropped its handle; that is not an error.
+    let _ = pending.reply.send(result);
+}
+
+/// A per-session handle: submissions inherit the session key, and the
+/// blocking [`ServeSession::select`] makes the server a drop-in
+/// [`Reranker`] for the application pipelines (RAG, agent memory).
+#[derive(Clone)]
+pub struct ServeSession {
+    shared: Arc<ServerShared>,
+    session: String,
+}
+
+impl ServeSession {
+    /// The session key.
+    pub fn name(&self) -> &str {
+        &self.session
+    }
+
+    /// Submits a batch under this session.
+    pub fn submit(
+        &self,
+        batch: SequenceBatch,
+        options: RequestOptions,
+    ) -> crate::Result<ResponseHandle> {
+        self.shared.submit(ServeRequest {
+            session: self.session.clone(),
+            batch,
+            options,
+        })
+    }
+
+    /// Submits and blocks for the response.
+    pub fn select(
+        &self,
+        batch: SequenceBatch,
+        options: RequestOptions,
+    ) -> crate::Result<ServeResponse> {
+        self.submit(batch, options)?.wait()
+    }
+}
+
+impl Reranker for ServeSession {
+    fn name(&self) -> &str {
+        "PRISM-SERVE"
+    }
+
+    fn rerank(&mut self, batch: &SequenceBatch, k: usize) -> prism_core::Result<RankOutcome> {
+        let response = self
+            .select(batch.clone(), RequestOptions::top_k(k))
+            .map_err(|e| PrismError::InvalidRequest(format!("serving: {e}")))?;
+        Ok(RankOutcome {
+            ranked: response
+                .selection
+                .ranked
+                .iter()
+                .map(|r| (r.id, r.score))
+                .collect(),
+            scores: response.selection.last_scores,
+        })
+    }
+}

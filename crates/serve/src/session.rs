@@ -1,0 +1,397 @@
+//! Per-session LRU cache of candidate embeddings and whole selections.
+//!
+//! Motivated by SMTM-style semantic-memory serving: agents and RAG
+//! pipelines re-rank the *same* candidate corpus many times (per step /
+//! per query). Embedding a batch is a pure function of its token content,
+//! and a selection is a pure function of `(content, k, tag, routing
+//! overrides)` — so both can be replayed bit-identically. The cache keeps
+//! one corpus per session: the embedded hidden states (always reusable)
+//! plus a small memo of finished [`Selection`]s for exact repeats.
+
+use std::collections::HashMap;
+
+use prism_core::{PruneMode, RequestOptions, Selection};
+use prism_model::SequenceBatch;
+use prism_tensor::Tensor;
+
+/// FNV-1a over the packed tokens and sequence ranges: the identity of a
+/// candidate corpus for caching purposes.
+pub fn fingerprint_batch(batch: &SequenceBatch) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(batch.num_sequences() as u64);
+    for &(s, e) in batch.ranges() {
+        eat(s as u64);
+        eat(e as u64);
+    }
+    for &t in batch.tokens() {
+        eat(u64::from(t));
+    }
+    h
+}
+
+/// Everything besides the corpus content that a selection result depends
+/// on — the memo key next to a content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SelectionKey {
+    k: usize,
+    tag: Option<u64>,
+    threshold_bits: Option<u32>,
+    mode: Option<u8>,
+    pruning: Option<bool>,
+}
+
+impl SelectionKey {
+    /// Builds the memo key for one request's options.
+    pub fn from_options(options: &RequestOptions) -> Self {
+        SelectionKey {
+            k: options.k,
+            tag: options.tag,
+            threshold_bits: options.dispersion_threshold.map(f32::to_bits),
+            mode: options.mode.map(|m| match m {
+                PruneMode::TopKOnly => 0,
+                PruneMode::ExactOrder => 1,
+            }),
+            pruning: options.pruning,
+        }
+    }
+}
+
+/// Result of a cache probe.
+#[derive(Debug, Clone)]
+pub enum CacheLookup {
+    /// Exact repeat: the finished selection, replayed.
+    Selection(Box<Selection>),
+    /// Same corpus, different parameters: the embedded hidden states.
+    Embed(Tensor),
+    /// Corpus unknown (or changed) for this session.
+    Miss,
+}
+
+/// Selections memoized per session; repeats beyond this evict the oldest.
+const MEMO_PER_SESSION: usize = 8;
+
+struct SessionEntry {
+    fingerprint: u64,
+    /// The actual corpus, kept to verify hits: a 64-bit fingerprint
+    /// alone could collide and silently replay the wrong corpus.
+    corpus: SequenceBatch,
+    embed: Option<Tensor>,
+    selections: Vec<(SelectionKey, Selection)>,
+    last_used: u64,
+}
+
+/// LRU map from session key to its cached corpus state.
+///
+/// Not internally synchronized — the server wraps it in a `Mutex` and
+/// holds the lock only around probes/stores, never during execution.
+pub struct SessionCache {
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, SessionEntry>,
+}
+
+impl SessionCache {
+    /// Creates a cache holding at most `capacity` sessions.
+    pub fn new(capacity: usize) -> Self {
+        SessionCache {
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    /// Number of cached sessions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes (embeddings dominate).
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries
+            .values()
+            .filter_map(|e| e.embed.as_ref().map(|t| t.size_bytes() as u64))
+            .sum()
+    }
+
+    /// Probes the cache for `session` + request `key`, refreshing
+    /// recency on a hit. The fingerprint gates cheaply; the stored
+    /// corpus is then compared in full so a hash collision can never
+    /// replay another corpus's results.
+    pub fn lookup(
+        &mut self,
+        session: &str,
+        fingerprint: u64,
+        batch: &SequenceBatch,
+        key: &SelectionKey,
+    ) -> CacheLookup {
+        self.tick += 1;
+        let Some(entry) = self.entries.get_mut(session) else {
+            return CacheLookup::Miss;
+        };
+        if entry.fingerprint != fingerprint || entry.corpus != *batch {
+            return CacheLookup::Miss;
+        }
+        entry.last_used = self.tick;
+        if let Some((_, sel)) = entry.selections.iter().find(|(k, _)| k == key) {
+            return CacheLookup::Selection(Box::new(sel.clone()));
+        }
+        match &entry.embed {
+            Some(t) => CacheLookup::Embed(t.clone()),
+            None => CacheLookup::Miss,
+        }
+    }
+
+    /// Records the embedded hidden states of `session`'s current corpus.
+    /// A new corpus resets the entry.
+    pub fn store_embed(
+        &mut self,
+        session: &str,
+        fingerprint: u64,
+        batch: &SequenceBatch,
+        embed: Tensor,
+    ) {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(session) {
+            Some(entry) => {
+                if entry.fingerprint != fingerprint || entry.corpus != *batch {
+                    entry.fingerprint = fingerprint;
+                    entry.corpus = batch.clone();
+                    entry.selections.clear();
+                }
+                entry.embed = Some(embed);
+                entry.last_used = tick;
+            }
+            None => {
+                self.entries.insert(
+                    session.to_string(),
+                    SessionEntry {
+                        fingerprint,
+                        corpus: batch.clone(),
+                        embed: Some(embed),
+                        selections: Vec::new(),
+                        last_used: tick,
+                    },
+                );
+                self.evict_over_capacity();
+            }
+        }
+    }
+
+    /// Memoizes a finished selection for exact-repeat replay.
+    pub fn store_selection(
+        &mut self,
+        session: &str,
+        fingerprint: u64,
+        batch: &SequenceBatch,
+        key: SelectionKey,
+        selection: &Selection,
+    ) {
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self
+            .entries
+            .entry(session.to_string())
+            .or_insert_with(|| SessionEntry {
+                fingerprint,
+                corpus: batch.clone(),
+                embed: None,
+                selections: Vec::new(),
+                last_used: tick,
+            });
+        if entry.fingerprint != fingerprint || entry.corpus != *batch {
+            entry.fingerprint = fingerprint;
+            entry.corpus = batch.clone();
+            entry.embed = None;
+            entry.selections.clear();
+        }
+        entry.last_used = tick;
+        if let Some(slot) = entry.selections.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = selection.clone();
+        } else {
+            if entry.selections.len() >= MEMO_PER_SESSION {
+                entry.selections.remove(0);
+            }
+            entry.selections.push((key, selection.clone()));
+        }
+        self.evict_over_capacity();
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                return;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(tokens: &[u32]) -> SequenceBatch {
+        SequenceBatch::new(&[tokens.to_vec()]).unwrap()
+    }
+
+    fn key(k: usize, tag: u64) -> SelectionKey {
+        SelectionKey::from_options(&RequestOptions::tagged(k, tag))
+    }
+
+    fn selection(score: f32) -> Selection {
+        Selection {
+            ranked: vec![prism_core::RankedCandidate {
+                id: 0,
+                score,
+                decided_at_layer: 1,
+            }],
+            last_scores: vec![score],
+            trace: Default::default(),
+        }
+    }
+
+    #[test]
+    fn fingerprint_separates_content_and_shape() {
+        let a = fingerprint_batch(&SequenceBatch::new(&[vec![1, 2], vec![3]]).unwrap());
+        let b = fingerprint_batch(&SequenceBatch::new(&[vec![1], vec![2, 3]]).unwrap());
+        let c = fingerprint_batch(&SequenceBatch::new(&[vec![1, 2], vec![3]]).unwrap());
+        assert_ne!(a, b, "same tokens, different packing must differ");
+        assert_eq!(a, c, "identical batches must agree");
+        assert_ne!(a, fingerprint_batch(&batch(&[1, 2, 4])));
+    }
+
+    #[test]
+    fn selection_key_distinguishes_options() {
+        assert_ne!(key(2, 1), key(2, 2));
+        assert_ne!(key(2, 1), key(3, 1));
+        let mut o = RequestOptions::tagged(2, 1);
+        o.dispersion_threshold = Some(0.3);
+        assert_ne!(SelectionKey::from_options(&o), key(2, 1));
+    }
+
+    #[test]
+    fn embed_then_selection_hit_progression() {
+        let mut cache = SessionCache::new(4);
+        let b = batch(&[1, 2, 3]);
+        let fp = fingerprint_batch(&b);
+        assert!(matches!(
+            cache.lookup("s", fp, &b, &key(2, 1)),
+            CacheLookup::Miss
+        ));
+        cache.store_embed("s", fp, &b, Tensor::zeros(3, 2));
+        match cache.lookup("s", fp, &b, &key(2, 1)) {
+            CacheLookup::Embed(t) => assert_eq!(t.rows(), 3),
+            other => panic!("expected embed hit, got {other:?}"),
+        }
+        cache.store_selection("s", fp, &b, key(2, 1), &selection(0.5));
+        match cache.lookup("s", fp, &b, &key(2, 1)) {
+            CacheLookup::Selection(sel) => assert_eq!(sel.ranked[0].score, 0.5),
+            other => panic!("expected selection hit, got {other:?}"),
+        }
+        // Different options on the same corpus still reuse the embedding.
+        assert!(matches!(
+            cache.lookup("s", fp, &b, &key(2, 2)),
+            CacheLookup::Embed(_)
+        ));
+    }
+
+    #[test]
+    fn fingerprint_collision_is_caught_by_corpus_compare() {
+        let mut cache = SessionCache::new(4);
+        let b = batch(&[1, 2, 3]);
+        let fp = fingerprint_batch(&b);
+        cache.store_embed("s", fp, &b, Tensor::zeros(3, 2));
+        // A colliding fingerprint with different content must MISS.
+        let imposter = batch(&[9, 9, 9]);
+        assert!(matches!(
+            cache.lookup("s", fp, &imposter, &key(2, 1)),
+            CacheLookup::Miss
+        ));
+    }
+
+    #[test]
+    fn corpus_change_invalidates_session() {
+        let mut cache = SessionCache::new(4);
+        let b1 = batch(&[1, 2]);
+        let b2 = batch(&[3, 4]);
+        let (fp1, fp2) = (fingerprint_batch(&b1), fingerprint_batch(&b2));
+        cache.store_embed("s", fp1, &b1, Tensor::zeros(2, 2));
+        cache.store_selection("s", fp1, &b1, key(1, 1), &selection(0.1));
+        cache.store_embed("s", fp2, &b2, Tensor::zeros(2, 2));
+        assert!(matches!(
+            cache.lookup("s", fp1, &b1, &key(1, 1)),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup("s", fp2, &b2, &key(1, 1)),
+            CacheLookup::Embed(_)
+        ));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_session() {
+        let mut cache = SessionCache::new(2);
+        let (ba, bb, bc) = (batch(&[1]), batch(&[2]), batch(&[3]));
+        cache.store_embed("a", 1, &ba, Tensor::zeros(1, 1));
+        cache.store_embed("b", 2, &bb, Tensor::zeros(1, 1));
+        // Touch "a" so "b" is the eviction victim.
+        let _ = cache.lookup("a", 1, &ba, &key(1, 1));
+        cache.store_embed("c", 3, &bc, Tensor::zeros(1, 1));
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(
+            cache.lookup("b", 2, &bb, &key(1, 1)),
+            CacheLookup::Miss
+        ));
+        assert!(matches!(
+            cache.lookup("a", 1, &ba, &key(1, 1)),
+            CacheLookup::Embed(_)
+        ));
+    }
+
+    #[test]
+    fn memo_is_bounded_per_session() {
+        let mut cache = SessionCache::new(2);
+        let b = batch(&[5, 6]);
+        for tag in 0..20_u64 {
+            cache.store_selection("s", 9, &b, key(1, tag), &selection(tag as f32));
+        }
+        // Oldest memos evicted; the most recent still hits.
+        assert!(matches!(
+            cache.lookup("s", 9, &b, &key(1, 19)),
+            CacheLookup::Selection(_)
+        ));
+        assert!(!matches!(
+            cache.lookup("s", 9, &b, &key(1, 0)),
+            CacheLookup::Selection(_)
+        ));
+    }
+
+    #[test]
+    fn resident_bytes_tracks_embeddings() {
+        let mut cache = SessionCache::new(4);
+        let b = batch(&[1, 2, 3, 4]);
+        assert_eq!(cache.resident_bytes(), 0);
+        cache.store_embed("s", 1, &b, Tensor::zeros(4, 8));
+        assert_eq!(cache.resident_bytes(), 4 * 8 * 4);
+        assert!(!cache.is_empty());
+    }
+}

@@ -1,0 +1,137 @@
+//! Serving telemetry: queue, batch, latency and cache instruments.
+
+use prism_metrics::{Counter, Gauge, Histogram, HistogramSummary};
+use serde::Serialize;
+
+/// Live instruments of one [`crate::PrismServer`]. Clones share state.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Requests currently queued (gauge with high-water mark).
+    pub queue_depth: Gauge,
+    /// Requests currently executing across all workers.
+    pub in_flight: Gauge,
+    /// Requests accepted into the queue.
+    pub submitted: Counter,
+    /// Requests rejected with backpressure.
+    pub rejected: Counter,
+    /// Requests answered (including errors).
+    pub completed: Counter,
+    /// Coalesced batches executed.
+    pub batches: Counter,
+    /// Requests per executed batch.
+    pub batch_size: Histogram,
+    /// Total packed tokens per executed batch.
+    pub batch_tokens: Histogram,
+    /// Microseconds a request spent queued.
+    pub queued_us: Histogram,
+    /// Microseconds of batch execution, recorded once per request.
+    pub service_us: Histogram,
+    /// Session-cache: full-selection replays.
+    pub cache_selection_hits: Counter,
+    /// Session-cache: embedding replays.
+    pub cache_embed_hits: Counter,
+    /// Session-cache: misses (including cache-disabled requests).
+    pub cache_misses: Counter,
+}
+
+impl ServeStats {
+    /// Creates zeroed instruments.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fraction of cache probes that hit (selection or embedding), in
+    /// `[0, 1]`; zero when nothing was probed.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_selection_hits.get() + self.cache_embed_hits.get();
+        let total = hits + self.cache_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// A serializable point-in-time snapshot.
+    pub fn snapshot(&self) -> ServeStatsSnapshot {
+        ServeStatsSnapshot {
+            queue_depth: self.queue_depth.get(),
+            queue_depth_peak: self.queue_depth.peak(),
+            submitted: self.submitted.get(),
+            rejected: self.rejected.get(),
+            completed: self.completed.get(),
+            batches: self.batches.get(),
+            batch_size: self.batch_size.summary(),
+            batch_tokens: self.batch_tokens.summary(),
+            queued_us: self.queued_us.summary(),
+            service_us: self.service_us.summary(),
+            cache_selection_hits: self.cache_selection_hits.get(),
+            cache_embed_hits: self.cache_embed_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            cache_hit_rate: self.cache_hit_rate(),
+        }
+    }
+}
+
+/// Serializable snapshot of [`ServeStats`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ServeStatsSnapshot {
+    /// Requests queued right now.
+    pub queue_depth: u64,
+    /// Deepest the queue ever got.
+    pub queue_depth_peak: u64,
+    /// Requests accepted.
+    pub submitted: u64,
+    /// Requests rejected with backpressure.
+    pub rejected: u64,
+    /// Requests answered.
+    pub completed: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Distribution of requests per batch.
+    pub batch_size: HistogramSummary,
+    /// Distribution of tokens per batch.
+    pub batch_tokens: HistogramSummary,
+    /// Distribution of queue wait times (µs).
+    pub queued_us: HistogramSummary,
+    /// Distribution of execution times (µs).
+    pub service_us: HistogramSummary,
+    /// Selection replays served from the session cache.
+    pub cache_selection_hits: u64,
+    /// Embedding replays served from the session cache.
+    pub cache_embed_hits: u64,
+    /// Session-cache misses.
+    pub cache_misses: u64,
+    /// Hit fraction across all probes.
+    pub cache_hit_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_counts_both_hit_kinds() {
+        let s = ServeStats::new();
+        assert_eq!(s.cache_hit_rate(), 0.0);
+        s.cache_selection_hits.inc();
+        s.cache_embed_hits.inc();
+        s.cache_misses.inc_by(2);
+        assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_reflects_instruments() {
+        let s = ServeStats::new();
+        s.submitted.inc_by(3);
+        s.queue_depth.set(2);
+        s.batch_size.record(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.queue_depth, 2);
+        assert_eq!(snap.batch_size.count, 1);
+        // Snapshot serializes (shim serde): smoke-check a field name.
+        let json = serde_json::to_string(&snap);
+        assert!(json.is_ok());
+    }
+}

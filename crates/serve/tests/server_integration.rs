@@ -1,0 +1,276 @@
+//! End-to-end serving behaviour over a real engine: parity with direct
+//! engine calls, session-cache replay, backpressure and clean shutdown.
+
+use std::time::Duration;
+
+use prism_core::{EngineOptions, PrismEngine, RequestOptions};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_serve::{CacheOutcome, PrismServer, ServeConfig, ServeRequest};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+fn fixture(tag: &str) -> (ModelConfig, std::path::PathBuf) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+    let model = Model::generate(config.clone(), 42).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-serve-it-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).unwrap();
+    (config, path)
+}
+
+fn engine(config: &ModelConfig, path: &std::path::Path) -> PrismEngine {
+    PrismEngine::new(
+        Container::open(path).unwrap(),
+        config.clone(),
+        EngineOptions::default(),
+        MemoryMeter::new(),
+    )
+    .unwrap()
+}
+
+fn batches(config: &ModelConfig, n: usize, candidates: usize) -> Vec<SequenceBatch> {
+    let profile = dataset_by_name("wikipedia").unwrap();
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 7);
+    (0..n)
+        .map(|i| SequenceBatch::new(&generator.request(i as u64, candidates).sequences()).unwrap())
+        .collect()
+}
+
+fn scores_bits(sel: &prism_core::Selection) -> Vec<(usize, u32, usize)> {
+    sel.ranked
+        .iter()
+        .map(|r| (r.id, r.score.to_bits(), r.decided_at_layer))
+        .collect()
+}
+
+#[test]
+fn serving_matches_direct_engine_calls() {
+    let (config, path) = fixture("parity");
+    let requests = batches(&config, 6, 10);
+
+    // Sequential reference: tags 1..=6 on a fresh engine.
+    let reference: Vec<_> = {
+        let eng = engine(&config, &path);
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                eng.select_with(b, RequestOptions::tagged(4, i as u64 + 1))
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    // Served: two workers, coalescing up to 4 requests.
+    let server = PrismServer::start(
+        engine(&config, &path),
+        ServeConfig {
+            workers: 2,
+            max_batch_requests: 4,
+            max_batch_wait: Duration::from_millis(1),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|b| {
+            server
+                .submit(ServeRequest::new("tenant", b.clone(), 4))
+                .unwrap()
+        })
+        .collect();
+    for (handle, reference) in handles.into_iter().zip(&reference) {
+        let resp = handle.wait().unwrap();
+        assert_eq!(
+            scores_bits(&resp.selection),
+            scores_bits(reference),
+            "ticket {} diverged from the sequential reference",
+            resp.ticket
+        );
+        assert_eq!(
+            resp.selection
+                .last_scores
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>(),
+            reference
+                .last_scores
+                .iter()
+                .map(|s| s.to_bits())
+                .collect::<Vec<_>>()
+        );
+    }
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.submitted, 6);
+    assert_eq!(snap.completed, 6);
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn session_cache_replays_repeats_bit_identically() {
+    let (config, path) = fixture("cache");
+    let batch = batches(&config, 1, 8).pop().unwrap();
+    let server = PrismServer::start(engine(&config, &path), ServeConfig::default()).unwrap();
+
+    let opts = RequestOptions::tagged(3, 99);
+    let first = server
+        .submit(ServeRequest::new("s", batch.clone(), 3).with_options(opts.clone()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(first.cache, CacheOutcome::Miss);
+
+    // Exact repeat: replayed selection, no execution.
+    let second = server
+        .submit(ServeRequest::new("s", batch.clone(), 3).with_options(opts.clone()))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(second.cache, CacheOutcome::SelectionHit);
+    assert_eq!(
+        scores_bits(&second.selection),
+        scores_bits(&first.selection)
+    );
+
+    // Same corpus, different tag: embedding replayed, fresh execution,
+    // still identical to a direct call with that tag.
+    let third = server
+        .submit(
+            ServeRequest::new("s", batch.clone(), 3).with_options(RequestOptions::tagged(3, 100)),
+        )
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(third.cache, CacheOutcome::EmbedHit);
+    let direct = engine(&config, &path)
+        .select_with(&batch, RequestOptions::tagged(3, 100))
+        .unwrap();
+    assert_eq!(scores_bits(&third.selection), scores_bits(&direct));
+
+    // Different session: its own cache entry (miss).
+    let other = server
+        .submit(ServeRequest::new("other", batch.clone(), 3).with_options(opts))
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(other.cache, CacheOutcome::Miss);
+
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.cache_selection_hits, 1);
+    assert_eq!(snap.cache_embed_hits, 1);
+    assert!(snap.cache_hit_rate > 0.0);
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn shutdown_answers_accepted_requests() {
+    let (config, path) = fixture("drain");
+    let requests = batches(&config, 4, 8);
+    let server = PrismServer::start(
+        engine(&config, &path),
+        ServeConfig {
+            workers: 1,
+            max_batch_requests: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let handles: Vec<_> = requests
+        .iter()
+        .map(|b| server.submit(ServeRequest::new("t", b.clone(), 2)).unwrap())
+        .collect();
+    server.shutdown();
+    for h in handles {
+        assert!(h.wait().is_ok(), "accepted work must be answered");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn invalid_requests_fail_without_poisoning_the_batch() {
+    let (config, path) = fixture("invalid");
+    let good = batches(&config, 1, 6).pop().unwrap();
+    // A sequence longer than max_seq is rejected at plan time.
+    let bad = SequenceBatch::new(&[vec![1_u32; config.max_seq + 1]]).unwrap();
+    let server = PrismServer::start(
+        engine(&config, &path),
+        ServeConfig {
+            workers: 1,
+            max_batch_requests: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let h_bad = server.submit(ServeRequest::new("t", bad, 1)).unwrap();
+    let h_good = server.submit(ServeRequest::new("t", good, 2)).unwrap();
+    assert!(h_bad.wait().is_err(), "oversized sequence must error");
+    assert!(h_good.wait().is_ok(), "batch-mate must still succeed");
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn per_request_option_overrides_match_dedicated_engines() {
+    let (config, path) = fixture("overrides");
+    let batch = batches(&config, 1, 12).pop().unwrap();
+    let server = PrismServer::start(engine(&config, &path), ServeConfig::default()).unwrap();
+
+    // Served with a per-request threshold/pruning override...
+    let mut opts = RequestOptions::tagged(4, 5);
+    opts.dispersion_threshold = Some(0.45);
+    let served_conservative = server
+        .submit(ServeRequest::new("t", batch.clone(), 4).with_options(opts))
+        .unwrap()
+        .wait()
+        .unwrap();
+    let mut opts = RequestOptions::tagged(4, 5);
+    opts.pruning = Some(false);
+    let served_unpruned = server
+        .submit(ServeRequest::new("t", batch.clone(), 4).with_options(opts))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // ...must equal engines *configured* with those options.
+    let conservative_engine = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        config.clone(),
+        EngineOptions {
+            dispersion_threshold: 0.45,
+            ..Default::default()
+        },
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let direct = conservative_engine
+        .select_with(&batch, RequestOptions::tagged(4, 5))
+        .unwrap();
+    assert_eq!(
+        scores_bits(&served_conservative.selection),
+        scores_bits(&direct)
+    );
+
+    let unpruned_engine = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        config.clone(),
+        EngineOptions {
+            pruning: false,
+            ..Default::default()
+        },
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let direct = unpruned_engine
+        .select_with(&batch, RequestOptions::tagged(4, 5))
+        .unwrap();
+    assert_eq!(
+        scores_bits(&served_unpruned.selection),
+        scores_bits(&direct)
+    );
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}

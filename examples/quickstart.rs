@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stream_throttle: Some(100 << 20), // 100 MiB/s
         ..Default::default()
     };
-    let mut engine = PrismEngine::new(container, config.clone(), options, meter.clone())?;
+    let engine = PrismEngine::new(container, config.clone(), options, meter.clone())?;
 
     // 3. A request: 20 query-candidate pairs (planted-relevance workload).
     let profile = dataset_by_name("wikipedia").expect("catalog dataset");

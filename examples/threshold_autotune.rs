@@ -29,7 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MemoryMeter::new(),
     )?;
     // Ground-truth engine: full inference, "re-executed when idle".
-    let mut oracle = PrismEngine::new(
+    let oracle = PrismEngine::new(
         Container::open(&path)?,
         config.clone(),
         EngineOptions::all_off(),

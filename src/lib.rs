@@ -22,6 +22,7 @@ pub use prism_core as core;
 pub use prism_device as device;
 pub use prism_metrics as metrics;
 pub use prism_model as model;
+pub use prism_serve as serve;
 pub use prism_storage as storage;
 pub use prism_tensor as tensor;
 pub use prism_workload as workload;

@@ -18,7 +18,7 @@ fn run_once(
         hidden_offload: true,
         ..Default::default()
     };
-    let mut engine = PrismEngine::new(
+    let engine = PrismEngine::new(
         Container::open(path).unwrap(),
         config.clone(),
         options,

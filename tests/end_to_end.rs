@@ -82,7 +82,7 @@ fn calibrator_converges_against_live_engine() {
         MemoryMeter::new(),
     )
     .unwrap();
-    let mut oracle = PrismEngine::new(
+    let oracle = PrismEngine::new(
         Container::open(&path).unwrap(),
         model.config.clone(),
         EngineOptions::all_off(),
@@ -143,7 +143,7 @@ fn precision_is_platform_and_technique_independent() {
             embed_cache: cache,
             ..EngineOptions::default()
         };
-        let mut engine = PrismEngine::new(
+        let engine = PrismEngine::new(
             Container::open(&path).unwrap(),
             model.config.clone(),
             options,
@@ -166,7 +166,7 @@ fn precision_is_platform_and_technique_independent() {
 fn memory_categories_reconcile() {
     let (model, path) = fixture("memcat");
     let meter = MemoryMeter::new();
-    let mut engine = PrismEngine::new(
+    let engine = PrismEngine::new(
         Container::open(&path).unwrap(),
         model.config.clone(),
         EngineOptions::default(),
@@ -198,7 +198,7 @@ fn quantized_stack_end_to_end() {
     qmodel.write_container(&qpath).unwrap();
 
     let (batch, relevant) = request(&model, 2, 12);
-    let mut engine = PrismEngine::new(
+    let engine = PrismEngine::new(
         Container::open(&qpath).unwrap(),
         qmodel.config.clone(),
         EngineOptions::default(),

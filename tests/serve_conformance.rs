@@ -1,0 +1,271 @@
+//! Golden conformance suite for the serving path.
+//!
+//! Locks in two properties:
+//!
+//! 1. **Golden stability** — direct `select_top_k` results (ids +
+//!    quantized scores) for a fixed seed corpus match the committed
+//!    `tests/golden/serve_conformance.json`, so engine refactors cannot
+//!    silently change selections. Scores are quantized to 1e-4 so the
+//!    file is robust to sub-ulp kernel-dispatch differences across hosts;
+//!    regenerate with
+//!    `cargo test --test serve_conformance -- --ignored regenerate`.
+//! 2. **Serving parity** — the `prism-serve` path (queue → scheduler →
+//!    coalesced batch → worker) returns **bit-identical** selections to
+//!    direct engine calls for the same requests, at every batch size
+//!    1..=8 and across worker counts, with and without the session cache.
+
+use prism::core::{EngineOptions, PrismEngine, RequestOptions, Selection};
+use prism::metrics::MemoryMeter;
+use prism::model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism::serve::{PrismServer, ServeConfig, ServeRequest};
+use prism::storage::Container;
+use prism::workload::{dataset_by_name, WorkloadGenerator};
+use serde::Serialize;
+
+const GOLDEN_PATH: &str = "tests/golden/serve_conformance.json";
+const MODEL_SEED: u64 = 4242;
+const WORKLOAD_SEED: u64 = 0x60D1;
+const DATASET: &str = "wikipedia";
+const NUM_REQUESTS: usize = 8;
+const CANDIDATES: usize = 10;
+const K: usize = 4;
+
+#[derive(Serialize)]
+struct GoldenRanked {
+    id: usize,
+    layer: usize,
+    score_q: i64,
+}
+
+#[derive(Serialize)]
+struct GoldenRequest {
+    tag: u64,
+    k: usize,
+    candidates: usize,
+    ranked: Vec<GoldenRanked>,
+    last_scores_q: Vec<i64>,
+}
+
+#[derive(Serialize)]
+struct GoldenFile {
+    schema: String,
+    model: String,
+    model_seed: u64,
+    dataset: String,
+    workload_seed: u64,
+    requests: Vec<GoldenRequest>,
+}
+
+fn quantize(score: f32) -> i64 {
+    (f64::from(score) * 1e4).round() as i64
+}
+
+fn fixture(tag: &str) -> (ModelConfig, std::path::PathBuf, Vec<SequenceBatch>) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+    let model = Model::generate(config.clone(), MODEL_SEED).unwrap();
+    let mut path = std::env::temp_dir();
+    // Per-test file: libtest runs these tests concurrently in one
+    // process, so a shared path would race create/open/delete.
+    path.push(format!("prism-golden-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).unwrap();
+    let profile = dataset_by_name(DATASET).unwrap();
+    let generator =
+        WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, WORKLOAD_SEED);
+    let batches = (0..NUM_REQUESTS)
+        .map(|i| SequenceBatch::new(&generator.request(i as u64, CANDIDATES).sequences()).unwrap())
+        .collect();
+    (config, path, batches)
+}
+
+fn engine(config: &ModelConfig, path: &std::path::Path) -> PrismEngine {
+    PrismEngine::new(
+        Container::open(path).unwrap(),
+        config.clone(),
+        EngineOptions::default(),
+        MemoryMeter::new(),
+    )
+    .unwrap()
+}
+
+/// The sequential reference: a fresh engine answering the requests in
+/// order with pinned tags 1..=N.
+fn reference_selections(
+    config: &ModelConfig,
+    path: &std::path::Path,
+    batches: &[SequenceBatch],
+) -> Vec<Selection> {
+    let eng = engine(config, path);
+    batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            eng.select_with(b, RequestOptions::tagged(K, i as u64 + 1))
+                .unwrap()
+        })
+        .collect()
+}
+
+fn golden_encoding(selections: &[Selection]) -> String {
+    let file = GoldenFile {
+        schema: "prism-serve-golden-v1".into(),
+        model: "test-6l-decoder".into(),
+        model_seed: MODEL_SEED,
+        dataset: DATASET.into(),
+        workload_seed: WORKLOAD_SEED,
+        requests: selections
+            .iter()
+            .enumerate()
+            .map(|(i, sel)| GoldenRequest {
+                tag: i as u64 + 1,
+                k: K,
+                candidates: CANDIDATES,
+                ranked: sel
+                    .ranked
+                    .iter()
+                    .map(|r| GoldenRanked {
+                        id: r.id,
+                        layer: r.decided_at_layer,
+                        score_q: quantize(r.score),
+                    })
+                    .collect(),
+                last_scores_q: sel.last_scores.iter().copied().map(quantize).collect(),
+            })
+            .collect(),
+    };
+    let mut text = serde_json::to_string_pretty(&file).unwrap();
+    text.push('\n');
+    text
+}
+
+fn exact_bits(sel: &Selection) -> (Vec<(usize, u32, usize)>, Vec<u32>) {
+    (
+        sel.ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits(), r.decided_at_layer))
+            .collect(),
+        sel.last_scores.iter().map(|s| s.to_bits()).collect(),
+    )
+}
+
+#[test]
+fn direct_engine_matches_committed_golden() {
+    let (config, path, batches) = fixture("golden");
+    let reference = reference_selections(&config, &path, &batches);
+    let encoded = golden_encoding(&reference);
+    let committed = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("committed golden file (regenerate with `-- --ignored regenerate`)");
+    assert_eq!(
+        encoded.trim(),
+        committed.trim(),
+        "direct selections diverged from the golden file; if the change \
+         is intentional, regenerate with \
+         `cargo test --test serve_conformance -- --ignored regenerate`"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn serving_is_bit_identical_at_every_batch_size() {
+    let (config, path, batches) = fixture("batch-sizes");
+    let reference = reference_selections(&config, &path, &batches);
+
+    for batch_size in 1..=NUM_REQUESTS {
+        let server = PrismServer::start(
+            engine(&config, &path),
+            ServeConfig {
+                workers: 1,
+                max_batch_requests: batch_size,
+                session_cache_capacity: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let handles: Vec<_> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                server
+                    .submit(
+                        ServeRequest::new("conformance", b.clone(), K)
+                            .with_options(RequestOptions::tagged(K, i as u64 + 1)),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let resp = handle.wait().unwrap();
+            assert_eq!(
+                exact_bits(&resp.selection),
+                exact_bits(&reference[i]),
+                "request {i} diverged at batch size {batch_size}"
+            );
+        }
+        server.shutdown();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn serving_is_bit_identical_across_worker_counts_and_cache() {
+    let (config, path, batches) = fixture("workers");
+    let reference = reference_selections(&config, &path, &batches);
+
+    for (workers, cache_sessions) in [(2, 0), (3, 0), (2, 16)] {
+        let server = PrismServer::start(
+            engine(&config, &path),
+            ServeConfig {
+                workers,
+                max_batch_requests: 4,
+                session_cache_capacity: cache_sessions,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Two passes: with the cache on, the second pass replays
+        // memoized selections and must still be bit-identical.
+        for pass in 0..2 {
+            let handles: Vec<_> = batches
+                .iter()
+                .enumerate()
+                .map(|(i, b)| {
+                    server
+                        .submit(
+                            ServeRequest::new(format!("session-{i}"), b.clone(), K)
+                                .with_options(RequestOptions::tagged(K, i as u64 + 1)),
+                        )
+                        .unwrap()
+                })
+                .collect();
+            for (i, handle) in handles.into_iter().enumerate() {
+                let resp = handle.wait().unwrap();
+                assert_eq!(
+                    exact_bits(&resp.selection),
+                    exact_bits(&reference[i]),
+                    "request {i} diverged (workers {workers}, cache {cache_sessions}, pass {pass})"
+                );
+            }
+        }
+        if cache_sessions > 0 {
+            let snap = server.stats().snapshot();
+            assert!(
+                snap.cache_selection_hits >= NUM_REQUESTS as u64,
+                "second pass should replay from the session cache: {snap:?}"
+            );
+        }
+        server.shutdown();
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Regenerates `tests/golden/serve_conformance.json`. Run explicitly:
+/// `cargo test --test serve_conformance -- --ignored regenerate`.
+#[test]
+#[ignore]
+fn regenerate() {
+    let (config, path, batches) = fixture("regen");
+    let reference = reference_selections(&config, &path, &batches);
+    std::fs::create_dir_all("tests/golden").unwrap();
+    std::fs::write(GOLDEN_PATH, golden_encoding(&reference)).unwrap();
+    std::fs::remove_file(&path).unwrap();
+    println!("wrote {GOLDEN_PATH}");
+}

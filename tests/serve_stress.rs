@@ -1,0 +1,194 @@
+//! Concurrency stress: interleaved multi-client serving must reproduce
+//! the sequential reference per request — results bit-identical, traces
+//! never cross-wired between sessions (extends `tests/determinism.rs` to
+//! the concurrent serving path).
+
+use prism::core::{EngineOptions, EngineTrace, PrismEngine, PruneMode, RequestOptions, Selection};
+use prism::metrics::MemoryMeter;
+use prism::model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism::serve::{PrismServer, ServeConfig, ServeRequest};
+use prism::storage::Container;
+use prism::workload::{dataset_by_name, WorkloadGenerator};
+
+fn fixture(tag: &str) -> (ModelConfig, std::path::PathBuf) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+    let model = Model::generate(config.clone(), 99).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-stress-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).unwrap();
+    (config, path)
+}
+
+fn engine(config: &ModelConfig, path: &std::path::Path) -> PrismEngine {
+    PrismEngine::new(
+        Container::open(path).unwrap(),
+        config.clone(),
+        EngineOptions::default(),
+        MemoryMeter::new(),
+    )
+    .unwrap()
+}
+
+/// One synthetic client request with per-request option mix.
+struct StressCase {
+    client: usize,
+    batch: SequenceBatch,
+    options: RequestOptions,
+}
+
+/// Builds `clients x per_client` requests with mixed per-request options
+/// (k, threshold, mode, pruning) and *distinct candidate counts per
+/// client* so a cross-wired response is structurally detectable.
+fn stress_cases(config: &ModelConfig, clients: usize, per_client: usize) -> Vec<StressCase> {
+    let profile = dataset_by_name("msmarco").unwrap();
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 0xABCD);
+    let mut cases = Vec::new();
+    for client in 0..clients {
+        for i in 0..per_client {
+            let candidates = 8 + client; // Client-specific batch shape.
+            let request_idx = (client * per_client + i) as u64;
+            let batch = SequenceBatch::new(&generator.request(request_idx, candidates).sequences())
+                .unwrap();
+            let mut options = RequestOptions::tagged(2 + (i % 3), request_idx * 7 + 1);
+            match i % 4 {
+                0 => {}
+                1 => options.dispersion_threshold = Some(0.12),
+                2 => options.mode = Some(PruneMode::ExactOrder),
+                _ => options.pruning = Some(false),
+            }
+            cases.push(StressCase {
+                client,
+                batch,
+                options,
+            });
+        }
+    }
+    cases
+}
+
+fn trace_fingerprint(trace: &EngineTrace) -> (Vec<usize>, usize, String) {
+    (
+        trace.active_per_layer.clone(),
+        trace.executed_layers,
+        format!("{:?}", trace.routes),
+    )
+}
+
+fn assert_matches_reference(case: &StressCase, got: &Selection, want: &Selection, label: &str) {
+    assert_eq!(
+        got.last_scores.len(),
+        case.batch.num_sequences(),
+        "{label}: response shape does not match the request's batch \
+         (cross-wired sessions?)"
+    );
+    let bits = |sel: &Selection| {
+        sel.ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits(), r.decided_at_layer))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(bits(got), bits(want), "{label}: ranked diverged");
+    assert_eq!(
+        got.last_scores
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
+        want.last_scores
+            .iter()
+            .map(|s| s.to_bits())
+            .collect::<Vec<_>>(),
+        "{label}: last_scores diverged"
+    );
+    assert_eq!(
+        trace_fingerprint(&got.trace),
+        trace_fingerprint(&want.trace),
+        "{label}: trace diverged (cross-wired events?)"
+    );
+}
+
+fn run_stress(clients: usize, per_client: usize, workers: usize, tag: &str) {
+    let (config, path) = fixture(tag);
+    let cases = stress_cases(&config, clients, per_client);
+
+    // Sequential reference, one fresh engine, submission order.
+    let reference: Vec<Selection> = {
+        let eng = engine(&config, &path);
+        cases
+            .iter()
+            .map(|c| eng.select_with(&c.batch, c.options.clone()).unwrap())
+            .collect()
+    };
+
+    let server = PrismServer::start(
+        engine(&config, &path),
+        ServeConfig {
+            workers,
+            max_batch_requests: 4,
+            queue_capacity: cases.len() + 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+
+    // Interleaved submission: one thread per client, each submitting its
+    // own requests (distinct sessions) and validating its own replies.
+    let cases = &cases;
+    let reference = &reference;
+    let server_ref = &server;
+    std::thread::scope(|scope| {
+        for client in 0..clients {
+            let client_cases: Vec<usize> = cases
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.client == client)
+                .map(|(i, _)| i)
+                .collect();
+            scope.spawn(move || {
+                let mut handles = Vec::new();
+                for &global_idx in &client_cases {
+                    let case = &cases[global_idx];
+                    let handle = server_ref
+                        .submit(
+                            ServeRequest::new(
+                                format!("client-{client}"),
+                                case.batch.clone(),
+                                case.options.k,
+                            )
+                            .with_options(case.options.clone()),
+                        )
+                        .unwrap();
+                    handles.push((global_idx, handle));
+                }
+                for (global_idx, handle) in handles {
+                    let resp = handle.wait().unwrap();
+                    assert_matches_reference(
+                        &cases[global_idx],
+                        &resp.selection,
+                        &reference[global_idx],
+                        &format!("client {client} request {global_idx}"),
+                    );
+                }
+            });
+        }
+    });
+
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.completed, cases.len() as u64);
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn interleaved_clients_match_sequential_reference() {
+    run_stress(4, 5, 2, "short");
+}
+
+/// Nightly-scale soak: more clients, more requests, more workers. Gated
+/// behind `--ignored` (CI runs it in the scheduled long-stress job).
+#[test]
+#[ignore]
+fn long_interleaved_stress() {
+    for round in 0..3 {
+        run_stress(6, 12, 3, &format!("long-{round}"));
+    }
+}
