@@ -21,11 +21,13 @@ pub mod corpus;
 pub mod long_context;
 pub mod rag;
 pub mod retrieval;
+pub mod service;
 
 pub use agent_memory::{AgentMemory, AgentScenario, AgentTaskResult};
 pub use corpus::{Corpus, CorpusDoc, CorpusQuery};
 pub use long_context::{LcsOutcome, LcsStrategy, LongContextSelector};
 pub use rag::{RagAnswer, RagPipeline, RagStageLatency};
 pub use retrieval::{Bm25Index, VectorIndex};
+pub use service::ServiceReranker;
 
 pub use prism_core::{PrismError, Result};

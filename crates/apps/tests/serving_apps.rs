@@ -172,3 +172,58 @@ fn agent_memory_over_serving_session() {
     srv.shutdown();
     std::fs::remove_file(&path).unwrap();
 }
+
+/// The RAG pipeline over the unified facade: `ServiceReranker` on a
+/// `LocalService` and on the server's `RemoteService` must both produce
+/// exactly the rankings of a pipeline holding a dedicated engine.
+#[test]
+fn rag_over_the_facade_matches_dedicated_engine() {
+    use prism_api::LocalService;
+    use prism_apps::ServiceReranker;
+
+    let (model, path) = fixture("facade");
+
+    fn run<R: prism_baselines::Reranker>(rag: &mut RagPipeline<R>) -> Vec<Vec<usize>> {
+        (0..4).map(|q| rag.answer(q, 4).unwrap().top_docs).collect()
+    }
+    let engine = |path: &std::path::Path| {
+        PrismEngine::new(
+            Container::open(path).unwrap(),
+            model.config.clone(),
+            EngineOptions::default(),
+            MemoryMeter::new(),
+        )
+        .unwrap()
+    };
+    fn pipeline<R: prism_baselines::Reranker>(model: &Model, reranker: R) -> RagPipeline<R> {
+        RagPipeline::new(
+            corpus(model),
+            model.weights.embedding.clone(),
+            reranker,
+            model.config.max_seq,
+            ModelConfig::qwen3_8b(),
+            DeviceSpec::a800(),
+        )
+        .unwrap()
+    }
+
+    let dedicated = run(&mut pipeline(&model, engine(&path)));
+
+    let local = ServiceReranker::new(LocalService::new(engine(&path)));
+    assert_eq!(
+        run(&mut pipeline(&model, local)),
+        dedicated,
+        "LocalService diverged"
+    );
+
+    let srv = server(&model, &path);
+    let remote = ServiceReranker::new(srv.service("facade-tenant"));
+    assert_eq!(
+        run(&mut pipeline(&model, remote)),
+        dedicated,
+        "RemoteService diverged"
+    );
+    srv.shutdown();
+
+    std::fs::remove_file(&path).unwrap();
+}

@@ -14,7 +14,7 @@ use prism_core::{EngineOptions, PrismEngine};
 use prism_metrics::MemoryMeter;
 use prism_model::layer::{forward_layer, ForwardScratch};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
-use prism_serve::{run_closed_loop, LoadReport, LoadSpec, PrismServer, ServeConfig};
+use prism_serve::{run_closed_loop, ClassReport, LoadReport, LoadSpec, PrismServer, ServeConfig};
 use prism_storage::Container;
 use prism_tensor::{ops, QuantMatrix, Tensor};
 use prism_workload::WorkloadGenerator;
@@ -58,6 +58,7 @@ struct KernelsFile {
     current: PerfSnapshot,
     speedup: Vec<SpeedupEntry>,
     serving: ServingSection,
+    scheduling: SchedulingSection,
 }
 
 /// One serving configuration's closed-loop measurement.
@@ -110,6 +111,53 @@ pub struct ServingSection {
     pub batching_throughput_gain: f64,
     /// `cached.throughput / serial.throughput`.
     pub cached_throughput_gain: f64,
+}
+
+/// One scheduler's closed-loop result on the mixed-priority workload.
+#[derive(Debug, Serialize)]
+pub struct SchedulingConfigResult {
+    /// `"fifo"` or `"priority_edf"`.
+    pub label: String,
+    /// Completed requests per second (whole mixed stream).
+    pub throughput_rps: f64,
+    /// Overall p99 latency, microseconds.
+    pub p99_us: u64,
+    /// High-priority class summary.
+    pub high: Option<ClassReport>,
+    /// Bulk class summary.
+    pub bulk: Option<ClassReport>,
+}
+
+/// The scheduler-policy acceptance measurement: a mixed workload (10%
+/// High-priority with deadlines, 90% bulk) on the emulated streaming
+/// SSD, served by the pure-FIFO baseline and by priority-then-EDF under
+/// identical budgets. The gate: high-priority p99 improves >= 3x at
+/// equal total throughput (within 10%).
+#[derive(Debug, Serialize)]
+pub struct SchedulingSection {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// Emulated SSD bandwidth for weight streaming, bytes/s.
+    pub throttle_bytes_per_sec: u64,
+    /// Requests per scheduler run.
+    pub requests: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Fraction of the stream submitted as High priority.
+    pub high_fraction: f64,
+    /// Relative deadline on High requests, microseconds.
+    pub high_deadline_us: u64,
+    /// Coalescing cap both schedulers run under.
+    pub max_batch_requests: usize,
+    /// Pure-FIFO baseline.
+    pub fifo: SchedulingConfigResult,
+    /// Priority-then-EDF scheduler.
+    pub priority: SchedulingConfigResult,
+    /// `fifo.high.p99 / priority.high.p99` — the acceptance gate (>= 3x).
+    pub high_p99_improvement: f64,
+    /// `priority.throughput / fifo.throughput` — must stay within 10%
+    /// of 1.0 (priority reorders work, it must not shed throughput).
+    pub throughput_ratio: f64,
 }
 
 /// Times `f`, returning the median of `reps` samples in nanoseconds.
@@ -346,6 +394,102 @@ fn serving_bench(fast: bool) -> ServingSection {
     }
 }
 
+/// Measures the mixed-priority scheduling comparison.
+fn scheduling_bench(fast: bool) -> SchedulingSection {
+    const THROTTLE: u64 = 16_000_000; // Emulated 16 MB/s streaming SSD.
+    const HIGH_DEADLINE_US: u64 = 30_000_000; // Generous: no shedding.
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-perf-sched-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    let engine = || {
+        PrismEngine::new(
+            Container::open(&path).expect("open"),
+            config.clone(),
+            EngineOptions {
+                stream_throttle: Some(THROTTLE),
+                embed_cache: false,
+                ..Default::default()
+            },
+            MemoryMeter::new(),
+        )
+        .expect("engine")
+    };
+    // A small batch cap under many closed-loop clients keeps the queue
+    // deep, so admission *order* (not coalescing) dominates waiting
+    // time — the regime the priority scheduler targets: FIFO makes a
+    // High request wait out half the queue, priority-then-EDF only the
+    // in-flight batch.
+    let max_batch_requests = 2;
+    let spec = LoadSpec {
+        requests: if fast { 42 } else { 84 },
+        clients: 14,
+        candidates: 12,
+        k: 4,
+        high_fraction: 0.1,
+        high_deadline_us: Some(HIGH_DEADLINE_US),
+        ..Default::default()
+    };
+
+    let mut results = Vec::new();
+    for (label, priority_scheduling) in [("fifo", false), ("priority_edf", true)] {
+        let server = PrismServer::start(
+            engine(),
+            ServeConfig {
+                workers: 1,
+                max_batch_requests,
+                session_cache_capacity: 0,
+                priority_scheduling,
+                // On the emulated SSD a full queue takes ~100 ms to
+                // drain; the starvation guard must sit above that or
+                // every aged bulk request outranks High and the policy
+                // degrades back to FIFO.
+                starvation_age: std::time::Duration::from_secs(2),
+                ..Default::default()
+            },
+        )
+        .expect("server");
+        let report = run_closed_loop(&server, &spec);
+        server.shutdown();
+        results.push(SchedulingConfigResult {
+            label: label.into(),
+            throughput_rps: report.throughput_rps,
+            p99_us: report.p99_us,
+            high: report.class("high").cloned(),
+            bulk: report.class("bulk").cloned(),
+        });
+    }
+    std::fs::remove_file(&path).ok();
+    let priority = results.pop().expect("priority result");
+    let fifo = results.pop().expect("fifo result");
+
+    let p99 = |r: &SchedulingConfigResult| r.high.as_ref().map_or(0, |c| c.p99_us);
+    let high_p99_improvement = if p99(&priority) > 0 {
+        p99(&fifo) as f64 / p99(&priority) as f64
+    } else {
+        0.0
+    };
+    let throughput_ratio = if fifo.throughput_rps > 0.0 {
+        priority.throughput_rps / fifo.throughput_rps
+    } else {
+        0.0
+    };
+    SchedulingSection {
+        mode: if fast { "fast" } else { "full" }.into(),
+        throttle_bytes_per_sec: THROTTLE,
+        requests: spec.requests,
+        clients: spec.clients,
+        high_fraction: spec.high_fraction,
+        high_deadline_us: HIGH_DEADLINE_US,
+        max_batch_requests,
+        fifo,
+        priority,
+        high_p99_improvement,
+        throughput_ratio,
+    }
+}
+
 /// Extracts `(name, median_ns)` pairs from one named section of a
 /// previously written `BENCH_kernels.json` (the serde shim has no
 /// deserializer, so this is a purpose-built scanner for our own output).
@@ -429,6 +573,28 @@ pub fn perf(fast: bool) {
         serving.batching_throughput_gain, serving.cached_throughput_gain
     ));
 
+    let scheduling = scheduling_bench(fast);
+    report.blank();
+    report.line(&format!(
+        "scheduling (mixed {:.0}% high-priority, {} requests, batch cap {}):",
+        scheduling.high_fraction * 100.0,
+        scheduling.requests,
+        scheduling.max_batch_requests
+    ));
+    for r in [&scheduling.fifo, &scheduling.priority] {
+        let class = |c: &Option<ClassReport>| c.as_ref().map_or((0, 0), |c| (c.p50_us, c.p99_us));
+        let (hp50, hp99) = class(&r.high);
+        let (bp50, bp99) = class(&r.bulk);
+        report.line(&format!(
+            "{:<14} {:>7.1} req/s  high p50 {:>7} p99 {:>7} us  bulk p50 {:>7} p99 {:>7} us",
+            r.label, r.throughput_rps, hp50, hp99, bp50, bp99
+        ));
+    }
+    report.line(&format!(
+        "high-priority p99 improvement {:.2}x at throughput ratio {:.2}",
+        scheduling.high_p99_improvement, scheduling.throughput_ratio
+    ));
+
     // Preserve the frozen baseline if one exists; otherwise this run
     // becomes the baseline (the pre-optimization seed numbers).
     let previous = std::fs::read_to_string(KERNELS_FILE).unwrap_or_default();
@@ -457,8 +623,9 @@ pub fn perf(fast: bool) {
         report.line(&format!("{:<45} {:>8.2}x vs baseline", s.name, s.speedup));
     }
     let file = KernelsFile {
-        schema: "prism-kernel-perf-v2".into(),
+        schema: "prism-kernel-perf-v3".into(),
         serving,
+        scheduling,
         baseline: PerfSnapshot {
             mode: "frozen".into(),
             entries: baseline
@@ -492,6 +659,16 @@ mod tests {
             p50_us: 1,
             p95_us: 1,
             p99_us: 1,
+        }
+    }
+
+    fn dummy_sched(label: &str) -> SchedulingConfigResult {
+        SchedulingConfigResult {
+            label: label.into(),
+            throughput_rps: 1.0,
+            p99_us: 1,
+            high: None,
+            bulk: None,
         }
     }
 
@@ -532,6 +709,19 @@ mod tests {
                 cached: dummy_result("cached"),
                 batching_throughput_gain: 1.0,
                 cached_throughput_gain: 1.0,
+            },
+            scheduling: SchedulingSection {
+                mode: "fast".into(),
+                throttle_bytes_per_sec: 1,
+                requests: 1,
+                clients: 1,
+                high_fraction: 0.1,
+                high_deadline_us: 1,
+                max_batch_requests: 1,
+                fifo: dummy_sched("fifo"),
+                priority: dummy_sched("priority_edf"),
+                high_p99_improvement: 1.0,
+                throughput_ratio: 1.0,
             },
         };
         let text = serde_json::to_string_pretty(&file).unwrap();

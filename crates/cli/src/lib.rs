@@ -24,19 +24,29 @@
 //!           [--cache-sessions N] [--throttle BYTES_PER_S]
 //!           [--requests N] [--clients N] [--candidates N] [--k N]
 //!           [--sessions N] [--repeat N] [--dataset wikipedia]
+//!           [--starvation-ms N] [--priority high|normal|bulk] [--deadline-ms N]
+//!           [--high-frac F]
 //!     Start the serving front-end over a container, drive a closed-loop
 //!     synthetic workload through it, and print latency percentiles plus
 //!     queue/batch/cache telemetry. `--throttle` caps weight-streaming
-//!     bandwidth to emulate a device SSD (default 0 = native).
+//!     bandwidth to emulate a device SSD (default 0 = native);
+//!     `--priority` sets the scheduling class of the generated load,
+//!     `--deadline-ms` attaches a per-request deadline, and
+//!     `--high-frac` promotes that fraction of the stream to High
+//!     priority (per-class percentiles are reported).
 //!
 //! prsm bench-serve <container.prsm> --model <name> [--scale mini|test]
 //!                 [--requests N] [--clients N] [--candidates N] [--k N]
 //!                 [--batch N] [--workers N] [--repeat N]
-//!                 [--throttle BYTES_PER_S]
+//!                 [--throttle BYTES_PER_S] [--high-frac F]
+//!                 [--deadline-ms N] [--mixed-batch N]
 //!     Closed-loop load comparison: the 1-worker/no-batching reference vs
 //!     the batched scheduler, reporting p50/p95/p99 and the throughput
-//!     gain from cross-request coalescing. Streaming runs against an
-//!     emulated 16 MB/s SSD by default (`--throttle 0` = native disk).
+//!     gain from cross-request coalescing, plus a mixed-priority scenario
+//!     (`--high-frac`, default 10% High with deadlines) comparing the
+//!     FIFO and priority-then-EDF schedulers on high-priority p99.
+//!     Streaming runs against an emulated 16 MB/s SSD by default
+//!     (`--throttle 0` = native disk).
 //! ```
 //!
 //! All commands return their output as a string (tested directly); the
@@ -44,7 +54,7 @@
 
 use std::fmt::Write as _;
 
-use prism_core::{EngineOptions, PrismEngine};
+use prism_core::{EngineOptions, Priority, PrismEngine};
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
     PrismSimOptions, PruneSchedule,
@@ -349,10 +359,25 @@ fn serving_engine(path: &str, config: &ModelConfig, throttle: u64) -> Result<Pri
         .map_err(|e| e.to_string())
 }
 
+fn resolve_priority(name: &str) -> Result<Priority, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "high" => Ok(Priority::High),
+        "normal" => Ok(Priority::Normal),
+        "bulk" | "low" => Ok(Priority::Bulk),
+        other => Err(format!("unknown priority `{other}` (high|normal|bulk)")),
+    }
+}
+
 fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
     let defaults = LoadSpec::default();
     let dataset = p.flag("dataset").unwrap_or("wikipedia");
     dataset_by_name(dataset).ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+    let priority = resolve_priority(p.flag("priority").unwrap_or("normal"))?;
+    // `--deadline-ms` puts a deadline on every generated request;
+    // `--high-frac` additionally promotes that fraction of the stream to
+    // High priority (spread evenly).
+    let deadline_ms: u64 = p.flag_parse("deadline-ms", 0)?;
+    let deadline_us = (deadline_ms > 0).then_some(deadline_ms * 1_000);
     Ok(LoadSpec {
         requests: p.flag_parse("requests", defaults.requests)?,
         clients: p.flag_parse("clients", defaults.clients)?,
@@ -362,6 +387,10 @@ fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
         seed: p.flag_parse("seed", defaults.seed)?,
         sessions: p.flag_parse("sessions", defaults.sessions)?,
         corpus_repeat: p.flag_parse("repeat", defaults.corpus_repeat)?,
+        priority,
+        high_fraction: p.flag_parse("high-frac", 0.0_f64)?,
+        high_deadline_us: deadline_us,
+        deadline_us,
     })
 }
 
@@ -394,6 +423,20 @@ fn write_load_report(out: &mut String, report: &LoadReport) {
         s.cache_misses,
         s.cache_hit_rate * 100.0
     );
+    if s.cancelled + s.deadline_rejected + s.deadline_missed + s.priority_inversions > 0 {
+        let _ = writeln!(
+            out,
+            "lifecycle: {} cancelled, {} deadline-rejected, {} deadline-missed, {} priority inversions",
+            s.cancelled, s.deadline_rejected, s.deadline_missed, s.priority_inversions
+        );
+    }
+    for c in &report.classes {
+        let _ = writeln!(
+            out,
+            "  class {:<6} {:>4} ok / {:>3} err  p50 {:>7} us  p95 {:>7} us  p99 {:>7} us",
+            c.label, c.completed, c.errors, c.p50_us, c.p95_us, c.p99_us
+        );
+    }
 }
 
 fn serve(args: &[&str]) -> Result<String, String> {
@@ -403,15 +446,24 @@ fn serve(args: &[&str]) -> Result<String, String> {
     let scale = p.flag("scale").unwrap_or("mini");
     let config = resolve_config(name, scale)?;
     let serve_defaults = ServeConfig::default();
+    let max_batch_wait = std::time::Duration::from_micros(
+        p.flag_parse("wait-us", serve_defaults.max_batch_wait.as_micros() as u64)?,
+    );
+    // The starvation bound must sit at or above the batch wait
+    // (`ServeConfig::validate`); follow a raised `--wait-us` unless
+    // `--starvation-ms` pins it explicitly.
+    let starvation_age = match p.flag("starvation-ms") {
+        Some(_) => std::time::Duration::from_millis(p.flag_parse("starvation-ms", 0_u64)?),
+        None => serve_defaults.starvation_age.max(max_batch_wait),
+    };
     let serve_config = ServeConfig {
         workers: p.flag_parse("workers", serve_defaults.workers)?,
         max_batch_requests: p.flag_parse("batch", serve_defaults.max_batch_requests)?,
         max_batch_tokens: p.flag_parse("batch-tokens", serve_defaults.max_batch_tokens)?,
-        max_batch_wait: std::time::Duration::from_micros(
-            p.flag_parse("wait-us", serve_defaults.max_batch_wait.as_micros() as u64)?,
-        ),
+        max_batch_wait,
         session_cache_capacity: p
             .flag_parse("cache-sessions", serve_defaults.session_cache_capacity)?,
+        starvation_age,
         ..serve_defaults
     };
     let spec = load_spec_from(&p)?;
@@ -456,6 +508,13 @@ fn bench_serve(args: &[&str]) -> Result<String, String> {
     if p.flag("clients").is_none() {
         spec.clients = 8;
     }
+    // `--high-frac` / `--deadline-ms` parameterize only the mixed-
+    // priority scenario below; the serial-vs-batched headline must stay
+    // a uniform, deadline-free load or a tight deadline would shed most
+    // of the slow serial reference and inflate the batching gain.
+    spec.high_fraction = 0.0;
+    spec.deadline_us = None;
+    spec.high_deadline_us = None;
     let batch: usize = p.flag_parse("batch", 8)?;
     let workers: usize = p.flag_parse("workers", 1)?;
     // Weight streaming runs against an emulated device SSD by default —
@@ -515,6 +574,65 @@ fn bench_serve(args: &[&str]) -> Result<String, String> {
     );
     write_load_report(&mut out, &batched);
     let _ = writeln!(out, "batching throughput gain: {gain:.2}x");
+
+    // ---- Mixed-priority scenario: FIFO vs priority-then-EDF ----
+    // `--high-frac 0` skips it; by default 10% of the stream runs High
+    // with a generous deadline, and the same workload is measured under
+    // both schedulers at a small batch cap (so the queue stays deep
+    // enough for admission order to matter).
+    let high_frac: f64 = p.flag_parse("high-frac", 0.1)?;
+    if high_frac > 0.0 {
+        let mixed_spec = LoadSpec {
+            high_fraction: high_frac,
+            high_deadline_us: Some(p.flag_parse("deadline-ms", 2_000_u64)? * 1_000),
+            ..spec.clone()
+        };
+        let mixed_batch: usize = p.flag_parse("mixed-batch", 2)?;
+        let mut results = Vec::new();
+        for (label, priority_scheduling) in [("fifo", false), ("priority", true)] {
+            let serve_cfg = ServeConfig {
+                workers,
+                max_batch_requests: mixed_batch,
+                session_cache_capacity: 0,
+                priority_scheduling,
+                // Throttled queues drain slowly; a starvation bound above
+                // the drain time keeps the comparison about priority, not
+                // the anti-starvation fallback.
+                starvation_age: std::time::Duration::from_millis(
+                    p.flag_parse("starvation-ms", 2_000_u64)?,
+                ),
+                ..Default::default()
+            };
+            let server = PrismServer::start(serving_engine(path, &config, throttle)?, serve_cfg)
+                .map_err(|e| e.to_string())?;
+            let report = run_closed_loop(&server, &mixed_spec);
+            server.shutdown();
+            let _ = writeln!(
+                out,
+                "--- mixed priority, {label} scheduler ({} workers, <= {mixed_batch} requests/batch) ---",
+                workers
+            );
+            write_load_report(&mut out, &report);
+            results.push(report);
+        }
+        let (fifo, priority) = (&results[0], &results[1]);
+        if let (Some(f), Some(p)) = (fifo.class("high"), priority.class("high")) {
+            let improvement = if p.p99_us > 0 {
+                f.p99_us as f64 / p.p99_us as f64
+            } else {
+                0.0
+            };
+            let throughput_ratio = if fifo.throughput_rps > 0.0 {
+                priority.throughput_rps / fifo.throughput_rps
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "high-priority p99 improvement: {improvement:.2}x (throughput ratio {throughput_ratio:.2})"
+            );
+        }
+    }
     Ok(out)
 }
 
@@ -684,12 +802,67 @@ mod tests {
         .unwrap();
         assert!(out.contains("serial reference"), "{out}");
         assert!(out.contains("batching throughput gain:"), "{out}");
+        // The default mixed-priority scenario compares both schedulers.
+        assert!(out.contains("mixed priority, fifo scheduler"), "{out}");
+        assert!(out.contains("mixed priority, priority scheduler"), "{out}");
+        assert!(out.contains("high-priority p99 improvement:"), "{out}");
+        assert!(out.contains("class high"), "{out}");
 
         assert!(
             run_strs(&["serve", "--model", "bge-m3"]).is_err(),
             "missing path"
         );
         assert!(run_strs(&["bench-serve", &dense]).is_err(), "missing model");
+        std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
+    fn serve_with_priority_and_deadline_flags() {
+        let dense = tmp("serve-prio");
+        run_strs(&[
+            "gen", &dense, "--model", "bge-m3", "--scale", "test", "--seed", "5",
+        ])
+        .unwrap();
+        let out = run_strs(&[
+            "serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--requests",
+            "10",
+            "--clients",
+            "2",
+            "--candidates",
+            "6",
+            "--k",
+            "2",
+            "--priority",
+            "bulk",
+            "--deadline-ms",
+            "30000",
+            "--high-frac",
+            "0.2",
+        ])
+        .unwrap();
+        assert!(out.contains("completed 10 requests"), "{out}");
+        assert!(out.contains("class high"), "{out}");
+        assert!(out.contains("class bulk"), "{out}");
+        assert!(
+            run_strs(&[
+                "serve",
+                &dense,
+                "--model",
+                "bge-m3",
+                "--scale",
+                "test",
+                "--priority",
+                "urgent",
+            ])
+            .is_err(),
+            "unknown priority must be rejected"
+        );
         std::fs::remove_file(&dense).unwrap();
     }
 

@@ -5,8 +5,11 @@
 //! with full (unpruned) inference "when the device is idle" to obtain
 //! ground truth, measures the sampled precision, and walks the threshold:
 //! below target → raise (more conservative); at/above target → lower
-//! (faster), staying within bounds. The engine exposes
-//! [`crate::PrismEngine::set_dispersion_threshold`] as the actuator.
+//! (faster), staying within bounds. The actuator is the per-request
+//! threshold override,
+//! [`crate::RequestOptions::with_dispersion_threshold`] — the engine is
+//! `Sync` and shared behind an `Arc`, so calibration adjusts requests,
+//! not engine state.
 
 use prism_metrics::precision_at_k;
 

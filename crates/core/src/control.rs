@@ -1,0 +1,99 @@
+//! Request-lifecycle control: cancellation tokens, deadlines and
+//! layer-granularity progress reporting.
+//!
+//! These are the engine-side hooks behind the `prism-api` facade's
+//! [`SelectionHandle`]: a handle's `cancel()` flips a [`CancelToken`]
+//! shared with the engine, which observes it at every layer boundary (the
+//! gap between the gate, forward and score phases) and aborts the request
+//! there — releasing its spill file and hidden-state bytes immediately
+//! instead of at the end of the pass. Deadlines reuse the same boundary:
+//! a request whose deadline has passed aborts with
+//! [`crate::PrismError::DeadlineExceeded`]. Progress flows the other way:
+//! after each boundary the engine pushes a [`ProgressUpdate`] through an
+//! optional [`ProgressFn`], so callers can watch layers execute and
+//! candidates get pruned without polling the engine.
+//!
+//! All three hooks are opt-in and observation-only: attaching them never
+//! changes the compute order, so results stay bit-identical with or
+//! without them.
+//!
+//! [`SelectionHandle`]: https://docs.rs/prism-api
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use serde::Serialize;
+
+/// A shared cancellation flag: cloned between a caller-facing handle and
+/// the in-flight request. Cheap to clone and check (one relaxed atomic
+/// load per layer boundary).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; the engine observes it at the
+    /// next layer boundary of the request the token is attached to.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One layer-boundary progress report for an in-flight selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ProgressUpdate {
+    /// Layer boundary this update was emitted at (0-based; the gate for
+    /// layer `layer` has just run).
+    pub layer: usize,
+    /// Transformer layers fully forwarded so far.
+    pub layers_forwarded: usize,
+    /// Candidates still being forwarded (neither accepted nor pruned).
+    pub active: usize,
+    /// Candidates already accepted into the top-K.
+    pub accepted: usize,
+    /// Candidates pruned (dropped) so far.
+    pub pruned: usize,
+}
+
+/// Callback receiving [`ProgressUpdate`]s; invoked from the thread
+/// driving the request, so it must be cheap and non-blocking.
+pub type ProgressFn = Arc<dyn Fn(ProgressUpdate) + Send + Sync>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_round_trip() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        let t2 = t.clone();
+        t2.cancel();
+        assert!(t.is_cancelled(), "clones share the flag");
+        t.cancel();
+        assert!(t.is_cancelled(), "cancel is idempotent");
+    }
+
+    #[test]
+    fn progress_update_serializes() {
+        let u = ProgressUpdate {
+            layer: 3,
+            layers_forwarded: 3,
+            active: 7,
+            accepted: 1,
+            pruned: 4,
+        };
+        assert!(serde_json::to_string(&u).is_ok());
+    }
+}

@@ -24,6 +24,7 @@
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use prism_metrics::{LatencyRecorder, MemCategory, MemoryMeter};
 use prism_model::layer::{forward_layer_with, intermediate_bytes, ForwardScratch};
@@ -36,7 +37,8 @@ use prism_storage::{
 use prism_tensor::Tensor;
 use serde::Serialize;
 
-use crate::options::{EngineOptions, PruneMode};
+use crate::control::{CancelToken, ProgressFn, ProgressUpdate};
+use crate::options::{EngineOptions, Priority, PruneMode};
 use crate::routing::route_candidates;
 use crate::{PrismError, Result};
 
@@ -137,6 +139,17 @@ pub struct RequestOptions {
     pub mode: Option<PruneMode>,
     /// Override of [`EngineOptions::pruning`].
     pub pruning: Option<bool>,
+    /// Scheduling class: consumed by the serving layer's priority-aware
+    /// batch planner, ignored by direct engine calls. Never influences
+    /// the computed selection.
+    pub priority: Priority,
+    /// Relative deadline budget in microseconds, measured from
+    /// submission. The serving layer rejects requests whose deadline has
+    /// already passed at admission and sheds them from the queue when it
+    /// passes while they wait; an in-flight request aborts at the next
+    /// layer boundary with [`PrismError::DeadlineExceeded`]. `None`
+    /// (default) means no deadline.
+    pub deadline_us: Option<u64>,
 }
 
 impl RequestOptions {
@@ -148,6 +161,8 @@ impl RequestOptions {
             dispersion_threshold: None,
             mode: None,
             pruning: None,
+            priority: Priority::Normal,
+            deadline_us: None,
         }
     }
 
@@ -157,6 +172,25 @@ impl RequestOptions {
             tag: Some(tag),
             ..RequestOptions::top_k(k)
         }
+    }
+
+    /// Returns a copy with the given scheduling class.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Returns a copy with a relative deadline budget.
+    pub fn with_deadline_us(mut self, deadline_us: u64) -> Self {
+        self.deadline_us = Some(deadline_us);
+        self
+    }
+
+    /// Returns a copy with a per-request dispersion-threshold override
+    /// (the calibrator's actuator since the engine became `Sync`).
+    pub fn with_dispersion_threshold(mut self, threshold: f32) -> Self {
+        self.dispersion_threshold = Some(threshold);
+        self
     }
 }
 
@@ -243,6 +277,23 @@ pub struct ActiveRequest {
     terminated: bool,
     trace: EngineTrace,
     latency: LatencyRecorder,
+    /// Cooperative cancellation flag, checked at every layer boundary.
+    cancel: CancelToken,
+    /// Absolute deadline, checked at every layer boundary.
+    deadline: Option<Instant>,
+    /// Layer-granularity progress sink.
+    progress: Option<ProgressFn>,
+    /// Why the request stopped early, if it did.
+    abort: Option<AbortReason>,
+    /// Candidates dropped by the gate so far (progress reporting).
+    dropped_total: usize,
+}
+
+/// Why an in-flight request was aborted at a layer boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AbortReason {
+    Cancelled,
+    DeadlineExceeded,
 }
 
 impl ActiveRequest {
@@ -259,6 +310,61 @@ impl ActiveRequest {
     /// The routing-seed tag this request was planned with.
     pub fn tag(&self) -> u64 {
         self.tag
+    }
+
+    /// Attaches a cancellation token. The engine observes it at every
+    /// layer boundary; on cancellation the request's spill file and
+    /// hidden-state bytes are released immediately and
+    /// [`PrismEngine::finalize_request`] returns
+    /// [`PrismError::Cancelled`].
+    pub fn attach_cancel(&mut self, token: CancelToken) {
+        self.cancel = token;
+    }
+
+    /// Attaches an absolute deadline, enforced at every layer boundary;
+    /// past it the request aborts like a cancellation and
+    /// [`PrismEngine::finalize_request`] returns
+    /// [`PrismError::DeadlineExceeded`].
+    pub fn attach_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Attaches a progress sink receiving one [`ProgressUpdate`] per
+    /// layer boundary (after the gate) and after each forwarded layer.
+    pub fn attach_progress(&mut self, progress: ProgressFn) {
+        self.progress = Some(progress);
+    }
+
+    /// Whether the request was aborted (cancelled / deadline) mid-flight.
+    pub fn is_aborted(&self) -> bool {
+        self.abort.is_some()
+    }
+
+    /// Aborts at a layer boundary: releases every resource the request
+    /// holds *now* — resident hidden states come off the shared meter,
+    /// the spill file is deleted — instead of when the batch finishes.
+    fn abort(&mut self, reason: AbortReason, meter: &MemoryMeter) {
+        self.chunks.clear();
+        self.current_scores.clear();
+        self.meter_hidden(meter);
+        if let Some(file) = self.spill.take() {
+            let _ = file.cleanup();
+        }
+        self.terminated = true;
+        self.abort = Some(reason);
+    }
+
+    /// Emits a progress update if a sink is attached.
+    fn emit_progress(&self, layer: usize) {
+        if let Some(progress) = &self.progress {
+            progress(ProgressUpdate {
+                layer,
+                layers_forwarded: self.trace.executed_layers,
+                active: self.active_candidates(),
+                accepted: self.accepted.len(),
+                pruned: self.dropped_total,
+            });
+        }
     }
 
     fn active_candidates(&self) -> usize {
@@ -403,9 +509,12 @@ impl PrismEngine {
         &self.options
     }
 
-    /// Replaces the dispersion threshold (used by the auto-calibrator).
-    pub fn set_dispersion_threshold(&mut self, threshold: f32) {
-        self.options.dispersion_threshold = threshold;
+    /// Returns the engine with hidden-state spill files created under
+    /// `dir` instead of the system temp directory (tests and deployments
+    /// that audit spill cleanup point this at a private directory).
+    pub fn with_spill_dir(mut self, dir: PathBuf) -> Self {
+        self.spill_dir = dir;
+        self
     }
 
     /// The shared memory meter.
@@ -712,6 +821,11 @@ impl PrismEngine {
             terminated: false,
             trace: EngineTrace::default(),
             latency,
+            cancel: CancelToken::new(),
+            deadline: None,
+            progress: None,
+            abort: None,
+            dropped_total: 0,
         };
         req.meter_hidden(&self.meter);
 
@@ -741,6 +855,15 @@ impl PrismEngine {
     /// records the per-layer active count. May terminate the request.
     fn gate_request(&self, req: &mut ActiveRequest, layer_idx: usize) -> Result<()> {
         if req.terminated {
+            return Ok(());
+        }
+        // ---- Cancellation / deadline points between phases ----
+        if req.cancel.is_cancelled() {
+            req.abort(AbortReason::Cancelled, &self.meter);
+            return Ok(());
+        }
+        if req.deadline.is_some_and(|d| Instant::now() >= d) {
+            req.abort(AbortReason::DeadlineExceeded, &self.meter);
             return Ok(());
         }
         if req.gate.pruning
@@ -778,6 +901,7 @@ impl PrismEngine {
                         decided_at_layer: layer_idx,
                     });
                 }
+                req.dropped_total += dropped_ids.len();
                 req.trace.routes.push(RouteEvent {
                     layer: layer_idx,
                     cv: decision.cv,
@@ -807,6 +931,7 @@ impl PrismEngine {
                 }
                 if decision.terminate {
                     req.terminated = true;
+                    req.emit_progress(layer_idx);
                     return Ok(());
                 }
             }
@@ -815,9 +940,11 @@ impl PrismEngine {
         let active = req.active_candidates();
         if active == 0 {
             req.terminated = true;
+            req.emit_progress(layer_idx);
             return Ok(());
         }
         req.trace.active_per_layer.push(active);
+        req.emit_progress(layer_idx);
         Ok(())
     }
 
@@ -862,12 +989,22 @@ impl PrismEngine {
                 .score_trace
                 .push(aligned_scores(&req.current_scores, req.n));
         }
+        req.emit_progress(layer_idx);
         Ok(())
     }
 
     /// Ranks survivors, closes the spill file, and assembles the
     /// [`Selection`].
+    ///
+    /// A request aborted mid-flight comes back as
+    /// [`PrismError::Cancelled`] / [`PrismError::DeadlineExceeded`]; its
+    /// resources were already released at the aborting layer boundary.
     pub fn finalize_request(&self, mut req: ActiveRequest) -> Result<Selection> {
+        match req.abort {
+            Some(AbortReason::Cancelled) => return Err(PrismError::Cancelled),
+            Some(AbortReason::DeadlineExceeded) => return Err(PrismError::DeadlineExceeded),
+            None => {}
+        }
         if !req.terminated {
             // Survivors compete for the remaining slots by final score.
             let mut survivors = req.current_scores.clone();
@@ -1268,7 +1405,23 @@ mod sync_tests {
         let o = RequestOptions::top_k(5);
         assert_eq!(o.k, 5);
         assert!(o.tag.is_none() && o.dispersion_threshold.is_none());
+        assert_eq!(o.priority, Priority::Normal);
+        assert!(o.deadline_us.is_none());
         let t = RequestOptions::tagged(3, 42);
         assert_eq!(t.tag, Some(42));
+        let p = RequestOptions::top_k(2)
+            .with_priority(Priority::High)
+            .with_deadline_us(5_000)
+            .with_dispersion_threshold(0.4);
+        assert_eq!(p.priority, Priority::High);
+        assert_eq!(p.deadline_us, Some(5_000));
+        assert_eq!(p.dispersion_threshold, Some(0.4));
+    }
+
+    #[test]
+    fn priority_orders_urgency() {
+        assert!(Priority::High > Priority::Normal);
+        assert!(Priority::Normal > Priority::Bulk);
+        assert_eq!(Priority::default(), Priority::Normal);
     }
 }

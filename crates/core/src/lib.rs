@@ -26,16 +26,18 @@
 //! and cache statistics) that the device simulator replays at paper scale.
 
 pub mod calibrate;
+pub mod control;
 pub mod engine;
 pub mod options;
 pub mod routing;
 
 pub use calibrate::ThresholdCalibrator;
+pub use control::{CancelToken, ProgressFn, ProgressUpdate};
 pub use engine::{
     ActiveRequest, EngineTrace, PrismEngine, RankedCandidate, RequestOptions, RequestSpec,
     Selection,
 };
-pub use options::{EngineOptions, PruneMode};
+pub use options::{EngineOptions, Priority, PruneMode};
 pub use routing::{route_candidates, RouteDecision};
 
 /// Errors surfaced by the engine.
@@ -49,6 +51,14 @@ pub enum PrismError {
     Tensor(prism_tensor::TensorError),
     /// Invalid engine configuration or request.
     InvalidRequest(String),
+    /// The request was cancelled mid-flight via its
+    /// [`control::CancelToken`]; its spill file and hidden-state bytes
+    /// were released at the layer boundary where cancellation was
+    /// observed.
+    Cancelled,
+    /// The request's attached deadline passed before it finished; it was
+    /// aborted at a layer boundary like a cancellation.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for PrismError {
@@ -58,6 +68,8 @@ impl std::fmt::Display for PrismError {
             PrismError::Storage(e) => write!(f, "storage: {e}"),
             PrismError::Tensor(e) => write!(f, "tensor: {e}"),
             PrismError::InvalidRequest(s) => write!(f, "invalid request: {s}"),
+            PrismError::Cancelled => write!(f, "request cancelled"),
+            PrismError::DeadlineExceeded => write!(f, "request deadline exceeded"),
         }
     }
 }

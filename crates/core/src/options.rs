@@ -14,6 +14,24 @@ pub enum PruneMode {
     ExactOrder,
 }
 
+/// Scheduling class of a request (used by the serving layer's
+/// priority-then-EDF batch planner; ignored by direct engine calls).
+///
+/// Ordered: `Bulk < Normal < High`, so `Ord` comparisons pick the more
+/// urgent class. Priority never influences *what* a selection computes —
+/// only *when* a multi-tenant scheduler runs it — so it is deliberately
+/// excluded from result-cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize)]
+pub enum Priority {
+    /// Throughput-oriented background work; may wait for coalescing.
+    Bulk,
+    /// Interactive default.
+    #[default]
+    Normal,
+    /// Latency-critical: jumps ahead of `Normal`/`Bulk` work.
+    High,
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineOptions {

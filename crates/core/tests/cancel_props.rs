@@ -1,0 +1,249 @@
+//! Cancellation safety: aborting a request at *any* phase must release
+//! every resource it holds — no orphaned spill files in the spill
+//! directory, no hidden-state or intermediate bytes left on the shared
+//! meter, no scratch-pool growth beyond the worker bound.
+//!
+//! The proptest drives a spill-heavy engine (hidden offload on, small
+//! chunks) and cancels at a random layer boundary through the progress
+//! callback — exercising cancellation before the first layer, between
+//! arbitrary layers, and after natural termination (where cancel loses
+//! the race and the selection completes normally). Both outcomes are
+//! legal; leaked resources never are.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use prism_core::{CancelToken, EngineOptions, PrismEngine, PrismError, RequestOptions};
+use prism_metrics::{MemCategory, MemoryMeter};
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+use proptest::prelude::*;
+
+struct Fixture {
+    engine: PrismEngine,
+    meter: MemoryMeter,
+    spill_dir: std::path::PathBuf,
+    container_path: std::path::PathBuf,
+    config: ModelConfig,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Self {
+        let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+        let model = Model::generate(config.clone(), 0xCA9CE1).unwrap();
+        let mut container_path = std::env::temp_dir();
+        container_path.push(format!("prism-cancel-{tag}-{}.prsm", std::process::id()));
+        model.write_container(&container_path).unwrap();
+        let mut spill_dir = std::env::temp_dir();
+        spill_dir.push(format!("prism-cancel-spill-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&spill_dir).unwrap();
+        let meter = MemoryMeter::new();
+        let options = EngineOptions {
+            streaming: false,
+            embed_cache: false,
+            // Spill-heavy geometry: 2 candidates per chunk means any
+            // batch over 6 candidates offloads chunks 3.. to disk.
+            hidden_offload: true,
+            chunk_candidates: Some(2),
+            ..Default::default()
+        };
+        let engine = PrismEngine::new(
+            Container::open(&container_path).unwrap(),
+            config.clone(),
+            options,
+            meter.clone(),
+        )
+        .unwrap()
+        .with_spill_dir(spill_dir.clone());
+        Fixture {
+            engine,
+            meter,
+            spill_dir,
+            container_path,
+            config,
+        }
+    }
+
+    fn batch(&self, corpus: u64, candidates: usize) -> SequenceBatch {
+        let profile = dataset_by_name("wikipedia").unwrap();
+        let generator =
+            WorkloadGenerator::new(profile, self.config.vocab_size, self.config.max_seq, 0xF00D);
+        SequenceBatch::new(&generator.request(corpus, candidates).sequences()).unwrap()
+    }
+
+    fn spill_files(&self) -> Vec<String> {
+        std::fs::read_dir(&self.spill_dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect()
+    }
+
+    fn assert_clean(&self, context: &str) {
+        assert_eq!(
+            self.spill_files(),
+            Vec::<String>::new(),
+            "{context}: spill dir must be empty"
+        );
+        assert_eq!(
+            self.meter.current(MemCategory::HiddenStates),
+            0,
+            "{context}: hidden-state bytes leaked on the meter"
+        );
+        assert_eq!(
+            self.meter.current(MemCategory::Intermediate),
+            0,
+            "{context}: intermediate bytes leaked on the meter"
+        );
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.spill_dir);
+        let _ = std::fs::remove_file(&self.container_path);
+    }
+}
+
+proptest! {
+    // Each case runs a full (small) selection; keep the count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cancelling_at_any_phase_leaks_nothing(
+        cancel_layer in 0_usize..8,
+        candidates in 8_usize..16,
+        corpus in 0_u64..1_000,
+    ) {
+        let fx = Fixture::new("prop");
+        let batch = fx.batch(corpus, candidates);
+
+        let token = CancelToken::new();
+        let mut req = fx
+            .engine
+            .plan_request(&batch, RequestOptions::tagged(4, corpus + 1))
+            .unwrap();
+        req.attach_cancel(token.clone());
+        // Fire the cancellation from the progress callback once the
+        // request has forwarded `cancel_layer` layers: the engine must
+        // observe it at the next phase boundary.
+        let fired = Arc::new(AtomicUsize::new(0));
+        {
+            let fired = Arc::clone(&fired);
+            req.attach_progress(Arc::new(move |u| {
+                if u.layers_forwarded >= cancel_layer {
+                    token.cancel();
+                    fired.fetch_add(1, Ordering::Relaxed);
+                }
+            }));
+        }
+        let mut pool = Vec::new();
+        fx.engine.run_planned(std::slice::from_mut(&mut req), &mut pool).unwrap();
+        let pool_size = pool.len();
+        match fx.engine.finalize_request(req) {
+            Ok(selection) => {
+                // Cancel fired too late (or never): a complete selection.
+                prop_assert!(!selection.ranked.is_empty());
+            }
+            Err(PrismError::Cancelled) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+        fx.assert_clean("after finalize");
+        prop_assert!(pool_size <= 8, "scratch pool grew past the worker bound");
+
+        // The engine must stay fully usable: the same request completes
+        // normally afterwards, with the same hygiene.
+        let again = fx
+            .engine
+            .select_with(&batch, RequestOptions::tagged(4, corpus + 1))
+            .unwrap();
+        prop_assert!(!again.ranked.is_empty());
+        fx.assert_clean("after post-cancel reuse");
+    }
+}
+
+#[test]
+fn immediate_cancellation_releases_spill_before_any_layer() {
+    let fx = Fixture::new("immediate");
+    let batch = fx.batch(7, 12);
+    let token = CancelToken::new();
+    token.cancel(); // cancelled before the run even starts
+    let mut req = fx
+        .engine
+        .plan_request(&batch, RequestOptions::top_k(3))
+        .unwrap();
+    assert!(
+        !fx.spill_files().is_empty(),
+        "fixture must actually spill (12 candidates / 2 per chunk)"
+    );
+    req.attach_cancel(token);
+    let mut pool = Vec::new();
+    fx.engine
+        .run_planned(std::slice::from_mut(&mut req), &mut pool)
+        .unwrap();
+    // The abort at the first gate released the spill file already —
+    // before finalize ran.
+    fx.assert_clean("after run_planned with pre-cancelled token");
+    assert!(matches!(
+        fx.engine.finalize_request(req),
+        Err(PrismError::Cancelled)
+    ));
+}
+
+#[test]
+fn dropping_a_planned_request_cleans_up() {
+    let fx = Fixture::new("drop");
+    let batch = fx.batch(3, 12);
+    let req = fx
+        .engine
+        .plan_request(&batch, RequestOptions::top_k(3))
+        .unwrap();
+    assert!(!fx.spill_files().is_empty(), "plan must have spilled");
+    drop(req);
+    fx.assert_clean("after dropping the planned request");
+}
+
+#[test]
+fn cancelled_request_does_not_disturb_batch_mates() {
+    let fx = Fixture::new("mates");
+    let batch_a = fx.batch(11, 10);
+    let batch_b = fx.batch(12, 10);
+    let direct_b = fx
+        .engine
+        .select_with(&batch_b, RequestOptions::tagged(3, 200))
+        .unwrap();
+
+    let token = CancelToken::new();
+    token.cancel();
+    let mut reqs = vec![
+        fx.engine
+            .plan_request(&batch_a, RequestOptions::tagged(3, 100))
+            .unwrap(),
+        fx.engine
+            .plan_request(&batch_b, RequestOptions::tagged(3, 200))
+            .unwrap(),
+    ];
+    reqs[0].attach_cancel(token);
+    let mut pool = Vec::new();
+    fx.engine.run_planned(&mut reqs, &mut pool).unwrap();
+    let survivor = reqs.pop().unwrap();
+    let cancelled = reqs.pop().unwrap();
+    assert!(matches!(
+        fx.engine.finalize_request(cancelled),
+        Err(PrismError::Cancelled)
+    ));
+    let b = fx.engine.finalize_request(survivor).unwrap();
+    assert_eq!(
+        b.ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        direct_b
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        "a cancelled batch-mate must not perturb surviving results"
+    );
+    fx.assert_clean("after mixed batch");
+}

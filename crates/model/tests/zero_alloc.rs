@@ -5,9 +5,15 @@
 //! binary only; after one warm-up call sizes every scratch buffer, further
 //! `forward_layer_with` calls must not touch the allocator at all — no
 //! matter the architecture, dense or quantized weights.
+//!
+//! The count is **per thread**: libtest runs tests on parallel threads
+//! and the harness itself allocates (result reporting), so a process-
+//! global counter would flakily attribute foreign allocations to a
+//! test's measuring window. Each test only ever reads its own thread's
+//! counter.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::Cell;
 
 use prism_model::layer::{forward_layer_with, ForwardScratch};
 use prism_model::{LayerWeights, ModelArch, ModelConfig};
@@ -15,22 +21,34 @@ use prism_tensor::Tensor;
 
 struct CountingAllocator;
 
-static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+std::thread_local! {
+    // Const-initialized and destructor-free, so counting from inside the
+    // allocator can neither allocate nor recurse.
+    static THREAD_ALLOCATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn count_one() {
+    let _ = THREAD_ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+}
+
+fn thread_allocations() -> u64 {
+    THREAD_ALLOCATIONS.with(Cell::get)
+}
 
 // SAFETY: delegates every operation to `System`, only counting calls.
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc(layout) }
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.alloc_zeroed(layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        count_one();
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 
@@ -57,7 +75,7 @@ fn steady_state_alloc_count(arch: ModelArch, quantized: bool) -> u64 {
     // Warm-up: dresses every scratch buffer to its steady-state shape.
     forward_layer_with(&config, &weights, 0, &mut hidden, &ranges, &mut scratch).unwrap();
 
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = thread_allocations();
     for layer_idx in 0..4 {
         hidden.data_mut().copy_from_slice(hidden0.data());
         forward_layer_with(
@@ -70,7 +88,7 @@ fn steady_state_alloc_count(arch: ModelArch, quantized: bool) -> u64 {
         )
         .unwrap();
     }
-    ALLOCATIONS.load(Ordering::SeqCst) - before
+    thread_allocations() - before
 }
 
 #[test]
@@ -96,12 +114,12 @@ fn scratch_grows_only_beyond_capacity() {
     let base = Tensor::from_fn(8, config.hidden_dim, |r, c| ((r + c) as f32 * 0.1).cos());
     let mut hidden = base.clone();
     forward_layer_with(&config, &weights, 0, &mut hidden, &[(0, 8)], &mut scratch).unwrap();
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = thread_allocations();
     let mut hidden = base.clone();
-    let after_clone = ALLOCATIONS.load(Ordering::SeqCst);
+    let after_clone = thread_allocations();
     forward_layer_with(&config, &weights, 0, &mut hidden, &[(0, 8)], &mut scratch).unwrap();
     assert_eq!(
-        ALLOCATIONS.load(Ordering::SeqCst) - after_clone,
+        thread_allocations() - after_clone,
         0,
         "smaller-than-capacity forward must reuse the scratch"
     );

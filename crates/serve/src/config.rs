@@ -25,10 +25,18 @@ pub struct ServeConfig {
     /// memory budget (see [`ServeConfig::for_device`]).
     pub max_batch_tokens: usize,
     /// Longest an under-full batch waits for more arrivals before
-    /// flushing (the anti-starvation age bound).
+    /// flushing (the coalescing age bound).
     pub max_batch_wait: Duration,
     /// Sessions retained by the LRU session cache; `0` disables caching.
     pub session_cache_capacity: usize,
+    /// Queue age past which a request outranks every priority class —
+    /// the anti-starvation guard keeping bulk work alive under sustained
+    /// high-priority load.
+    pub starvation_age: Duration,
+    /// `true` schedules priority-then-EDF (with the starvation guard);
+    /// `false` keeps the historical pure-FIFO planner — the measurable
+    /// baseline for `bench-serve --high-frac` and `repro perf`.
+    pub priority_scheduling: bool,
 }
 
 impl Default for ServeConfig {
@@ -40,6 +48,8 @@ impl Default for ServeConfig {
             max_batch_tokens: 4096,
             max_batch_wait: Duration::from_millis(2),
             session_cache_capacity: 64,
+            starvation_age: Duration::from_millis(50),
+            priority_scheduling: true,
         }
     }
 }
@@ -107,6 +117,11 @@ impl ServeConfig {
         if self.max_batch_tokens == 0 {
             return Err(ServeError::Config("token budget must be >= 1".into()));
         }
+        if self.starvation_age < self.max_batch_wait {
+            return Err(ServeError::Config(
+                "starvation age must be >= the batch wait bound".into(),
+            ));
+        }
         Ok(())
     }
 
@@ -116,6 +131,8 @@ impl ServeConfig {
             max_requests: self.max_batch_requests,
             max_tokens: self.max_batch_tokens,
             max_wait_micros: self.max_batch_wait.as_micros() as u64,
+            starvation_age_micros: self.starvation_age.as_micros() as u64,
+            priority_aware: self.priority_scheduling,
         }
     }
 }
@@ -149,6 +166,10 @@ mod tests {
             },
             ServeConfig {
                 max_batch_tokens: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                starvation_age: Duration::from_micros(1),
                 ..Default::default()
             },
         ] {
@@ -197,5 +218,7 @@ mod tests {
         assert_eq!(p.max_requests, 3);
         assert_eq!(p.max_tokens, 99);
         assert_eq!(p.max_wait_micros, 250);
+        assert_eq!(p.starvation_age_micros, 50_000);
+        assert!(p.priority_aware);
     }
 }

@@ -6,36 +6,48 @@
 //! into a serving system:
 //!
 //! ```text
-//!  clients ──submit──▶ [SubmissionQueue]            (bounded, backpressure)
-//!                            │
-//!                      [BatchPlanner]               (token budget + age bound)
-//!                            │ coalesced FIFO prefix
-//!                  ┌─────────┴─────────┐
-//!            [worker 0]  ...     [worker W-1]       (own ForwardScratch pool)
-//!                  │                   │
-//!            [SessionCache] ◀──▶ Arc<PrismEngine>   (one engine, Sync)
-//!                  │
-//!              reply channels ──▶ ResponseHandle::wait
+//!  clients ──submit──▶ [SubmissionQueue]            (bounded, backpressure;
+//!      │                     │                       sheds cancelled/expired)
+//!      │               [BatchPlanner]               (priority → EDF → FIFO,
+//!      │                     │ admissible set        token budget, starvation
+//!      │           ┌─────────┴─────────┐             guard)
+//!      │     [worker 0]  ...     [worker W-1]       (own ForwardScratch pool)
+//!      │           │                   │
+//!      │     [SessionCache] ◀──▶ Arc<PrismEngine>   (one engine, Sync;
+//!      │           │                                 cancel/deadline checked
+//!      │           ▼                                 at every layer boundary)
+//!      └──▶ ResponseHandle::wait  /  prism_api::SelectionHandle
+//!                                    (poll · wait · cancel · progress)
 //! ```
 //!
 //! * **Bounded submission queue** ([`queue`]): `submit` fails fast with
-//!   [`ServeError::Backpressure`] when the queue is full instead of
-//!   buffering unboundedly.
-//! * **Batched scheduler** ([`scheduler`]): workers pop a *contiguous FIFO
-//!   prefix* of the queue whose total token count fits a budget derived
-//!   from the device's memory spec; an under-full batch waits at most the
-//!   configured age bound for more arrivals. One streamed pass over the
-//!   layer weights is then shared by every request of the batch
+//!   [`ServiceError::Backpressure`] (carrying a `retry_after` hint
+//!   derived from queue depth and service rate) when the queue is full
+//!   instead of buffering unboundedly, and answers cancelled or
+//!   deadline-expired entries with their typed error before a worker
+//!   wastes a weight pass on them.
+//! * **Priority scheduler** ([`scheduler`]): workers pop the maximal
+//!   admissible prefix of the priority-then-EDF order (FIFO ties, aged
+//!   requests boosted by the starvation guard) whose total token count
+//!   fits a budget derived from the device's memory spec; an under-full
+//!   batch waits at most the configured age bound unless something
+//!   urgent is queued. One streamed pass over the layer weights is then
+//!   shared by every request of the batch
 //!   ([`prism_core::PrismEngine::select_batch`]), which is where the
 //!   throughput win over request-at-a-time serving comes from.
 //! * **Session cache** ([`session`]): an LRU over sessions reuses
 //!   candidate embeddings for repeat corpora and memoizes whole selections
 //!   for exact repeats; hit/miss counters surface through [`ServeStats`].
+//! * **Facade backend** ([`RemoteService`]): the server implements
+//!   `prism_api::SelectionService`, so facade callers get non-blocking
+//!   handles with mid-flight cancellation and layer-granularity progress
+//!   over the same queue and scheduler.
 //! * **Conformance by construction**: per-request computation inside a
-//!   coalesced batch happens in exactly the single-request order, and the
-//!   routing RNG is pinned by a per-request tag, so serving results are
+//!   coalesced batch happens in exactly the single-request order, the
+//!   routing RNG is pinned by a per-request tag, and uniform-priority
+//!   queues schedule as a pure FIFO prefix — so serving results are
 //!   bit-identical to direct [`prism_core::PrismEngine::select_top_k`]
-//!   calls — the property `tests/serve_conformance.rs` locks in across
+//!   calls, the property `tests/serve_conformance.rs` locks in across
 //!   batch sizes and worker counts.
 
 pub mod config;
@@ -48,10 +60,12 @@ pub mod session;
 pub mod stats;
 
 pub use config::ServeConfig;
-pub use load::{run_closed_loop, LoadReport, LoadSpec};
-pub use request::{CacheOutcome, ResponseHandle, ServeError, ServeRequest, ServeResponse};
-pub use scheduler::{BatchPlanner, PlanDecision};
-pub use server::{PrismServer, ServeSession};
+pub use load::{run_closed_loop, ClassReport, LoadReport, LoadSpec};
+pub use request::{
+    CacheOutcome, Replier, ResponseHandle, ServeError, ServeRequest, ServeResponse, ServiceError,
+};
+pub use scheduler::{BatchPlanner, PlanDecision, QueueItem};
+pub use server::{PrismServer, RemoteService, ServeSession};
 pub use session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
 pub use stats::{ServeStats, ServeStatsSnapshot};
 

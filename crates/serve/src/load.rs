@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use prism_core::RequestOptions;
+use prism_core::{Priority, RequestOptions};
 use prism_model::SequenceBatch;
 use prism_workload::{dataset_by_name, WorkloadGenerator};
 use serde::Serialize;
@@ -40,6 +40,17 @@ pub struct LoadSpec {
     /// every request a fresh corpus (no cache reuse), `r > 1` lets the
     /// session cache serve `r - 1` of every `r` requests.
     pub corpus_repeat: usize,
+    /// Base scheduling class of every request.
+    pub priority: Priority,
+    /// Fraction of requests submitted as [`Priority::High`] instead of
+    /// the base class (`0.0` = uniform load). High requests are spread
+    /// evenly through the stream.
+    pub high_fraction: f64,
+    /// Relative deadline attached to every *high-priority* request,
+    /// microseconds (`None` = no deadline).
+    pub high_deadline_us: Option<u64>,
+    /// Relative deadline attached to every *base-class* request.
+    pub deadline_us: Option<u64>,
 }
 
 impl Default for LoadSpec {
@@ -53,7 +64,83 @@ impl Default for LoadSpec {
             seed: 0xC0FFEE,
             sessions: 4,
             corpus_repeat: 1,
+            priority: Priority::Normal,
+            high_fraction: 0.0,
+            high_deadline_us: None,
+            deadline_us: None,
         }
+    }
+}
+
+impl LoadSpec {
+    /// Whether global request index `i` runs as [`Priority::High`]
+    /// (high requests are spaced evenly: one every
+    /// `round(1 / high_fraction)` submissions).
+    pub fn is_high(&self, i: usize) -> bool {
+        if self.high_fraction <= 0.0 {
+            return false;
+        }
+        if self.high_fraction >= 1.0 {
+            return true;
+        }
+        let every = (1.0 / self.high_fraction).round().max(1.0) as usize;
+        i.is_multiple_of(every)
+    }
+
+    /// The resolved options decoration for request `i` (class +
+    /// deadline on top of the routing options).
+    fn decorate(&self, i: usize, options: RequestOptions) -> RequestOptions {
+        if self.is_high(i) {
+            let o = options.with_priority(Priority::High);
+            match self.high_deadline_us {
+                Some(us) => o.with_deadline_us(us),
+                None => o,
+            }
+        } else {
+            let o = options.with_priority(self.priority);
+            match self.deadline_us {
+                Some(us) => o.with_deadline_us(us),
+                None => o,
+            }
+        }
+    }
+}
+
+/// Latency summary of one scheduling class within a mixed run.
+#[derive(Debug, Clone, Serialize)]
+pub struct ClassReport {
+    /// `"high"` or `"bulk"` (the base class).
+    pub label: String,
+    /// Requests of the class that completed.
+    pub completed: usize,
+    /// Requests of the class that errored (deadline misses included).
+    pub errors: usize,
+    /// Mean latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99_us: u64,
+}
+
+fn class_report(label: &str, mut latencies: Vec<u64>, errors: usize) -> ClassReport {
+    latencies.sort_unstable();
+    let completed = latencies.len();
+    let mean_us = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / completed as f64
+    };
+    ClassReport {
+        label: label.to_string(),
+        completed,
+        errors,
+        mean_us,
+        p50_us: exact_quantile(&latencies, 0.50),
+        p95_us: exact_quantile(&latencies, 0.95),
+        p99_us: exact_quantile(&latencies, 0.99),
     }
 }
 
@@ -81,8 +168,18 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Worst request, microseconds.
     pub max_us: u64,
+    /// Per-class latency breakdown for mixed-priority runs (empty when
+    /// `high_fraction` is 0: the run is uniform).
+    pub classes: Vec<ClassReport>,
     /// Server-side telemetry snapshot at the end of the run.
     pub stats: ServeStatsSnapshot,
+}
+
+impl LoadReport {
+    /// The class summary with this label, if the run was mixed.
+    pub fn class(&self, label: &str) -> Option<&ClassReport> {
+        self.classes.iter().find(|c| c.label == label)
+    }
 }
 
 fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
@@ -104,8 +201,9 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
     let clients = spec.clients.max(1).min(spec.requests.max(1));
 
     let started = Instant::now();
-    let mut all_latencies: Vec<u64> = Vec::with_capacity(spec.requests);
+    let mut all_samples: Vec<(bool, u64)> = Vec::with_capacity(spec.requests);
     let mut errors = 0_usize;
+    let mut high_errors = 0_usize;
     let mut retries = 0_u64;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(clients);
@@ -113,8 +211,9 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
             let generator = &generator;
             let spec_ref = &spec;
             let handle = scope.spawn(move || {
-                let mut latencies = Vec::new();
+                let mut samples: Vec<(bool, u64)> = Vec::new();
                 let mut errors = 0_usize;
+                let mut high_errors = 0_usize;
                 let mut retries = 0_u64;
                 let mut i = c;
                 while i < spec_ref.requests {
@@ -127,7 +226,9 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
                     let batch = SequenceBatch::new(&request.sequences()).expect("load batch");
                     // Tag by corpus so repeats are exact (cacheable) and
                     // results stay independent of arrival interleaving.
-                    let options = RequestOptions::tagged(spec_ref.k, corpus ^ 0x5E55_1011);
+                    let is_high = spec_ref.is_high(i);
+                    let options = spec_ref
+                        .decorate(i, RequestOptions::tagged(spec_ref.k, corpus ^ 0x5E55_1011));
                     let t0 = Instant::now();
                     let handle = loop {
                         match server.submit(crate::ServeRequest {
@@ -144,24 +245,49 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
                         }
                     };
                     match handle.map(|h| h.wait()) {
-                        Some(Ok(_)) => latencies.push(t0.elapsed().as_micros() as u64),
-                        _ => errors += 1,
+                        Some(Ok(_)) => samples.push((is_high, t0.elapsed().as_micros() as u64)),
+                        _ => {
+                            errors += 1;
+                            if is_high {
+                                high_errors += 1;
+                            }
+                        }
                     }
                     i += clients;
                 }
-                (latencies, errors, retries)
+                (samples, errors, high_errors, retries)
             });
             handles.push(handle);
         }
         for h in handles {
-            let (lat, err, rts) = h.join().expect("load client panicked");
-            all_latencies.extend(lat);
+            let (s, err, herr, rts) = h.join().expect("load client panicked");
+            all_samples.extend(s);
             errors += err;
+            high_errors += herr;
             retries += rts;
         }
     });
     let elapsed_s = started.elapsed().as_secs_f64();
 
+    let classes = if spec.high_fraction > 0.0 {
+        let high: Vec<u64> = all_samples
+            .iter()
+            .filter(|(h, _)| *h)
+            .map(|&(_, l)| l)
+            .collect();
+        let bulk: Vec<u64> = all_samples
+            .iter()
+            .filter(|(h, _)| !*h)
+            .map(|&(_, l)| l)
+            .collect();
+        vec![
+            class_report("high", high, high_errors),
+            class_report("bulk", bulk, errors - high_errors),
+        ]
+    } else {
+        Vec::new()
+    };
+    let mut all_latencies: Vec<u64> = all_samples.into_iter().map(|(_, l)| l).collect();
     all_latencies.sort_unstable();
     let completed = all_latencies.len();
     let mean_us = if completed == 0 {
@@ -184,6 +310,7 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
         p95_us: exact_quantile(&all_latencies, 0.95),
         p99_us: exact_quantile(&all_latencies, 0.99),
         max_us: all_latencies.last().copied().unwrap_or(0),
+        classes,
         stats: server.stats().snapshot(),
     }
 }
@@ -206,5 +333,37 @@ mod tests {
     fn default_spec_is_sane() {
         let s = LoadSpec::default();
         assert!(s.requests > 0 && s.clients > 0 && s.corpus_repeat >= 1);
+        assert_eq!(s.high_fraction, 0.0);
+        assert!(s.deadline_us.is_none() && s.high_deadline_us.is_none());
+    }
+
+    #[test]
+    fn high_fraction_spaces_requests_evenly() {
+        let spec = LoadSpec {
+            high_fraction: 0.1,
+            ..Default::default()
+        };
+        let high = (0..100).filter(|&i| spec.is_high(i)).count();
+        assert_eq!(high, 10, "10% of 100 requests");
+        assert!(spec.is_high(0) && spec.is_high(10) && !spec.is_high(5));
+        let uniform = LoadSpec::default();
+        assert!((0..100).all(|i| !uniform.is_high(i)));
+        let all = LoadSpec {
+            high_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!((0..10).all(|i| all.is_high(i)));
+    }
+
+    #[test]
+    fn class_report_math() {
+        let r = class_report("high", vec![30, 10, 20], 2);
+        assert_eq!(r.completed, 3);
+        assert_eq!(r.errors, 2);
+        assert_eq!(r.p50_us, 20);
+        assert!((r.mean_us - 20.0).abs() < 1e-9);
+        let empty = class_report("bulk", Vec::new(), 0);
+        assert_eq!(empty.completed, 0);
+        assert_eq!(empty.p99_us, 0);
     }
 }

@@ -2,22 +2,25 @@
 //!
 //! One `Mutex<VecDeque>` + `Condvar` pair serves both sides: producers
 //! fail fast with backpressure when the queue is at capacity, consumers
-//! block until the [`BatchPlanner`] tells them to
-//! flush a FIFO prefix (waiting out the age bound for under-full
-//! batches). Closing the queue wakes every waiter; queued requests are
-//! still drained so accepted work is never dropped.
+//! block until the [`BatchPlanner`] tells them to flush an admissible
+//! set (waiting out the age bound for under-full batches). Before every
+//! planning pass the queue *sheds* dead entries — requests whose caller
+//! cancelled and requests whose deadline passed while they waited — and
+//! answers them immediately with the typed error, so a worker never
+//! spends a weight pass on work nobody wants. Closing the queue wakes
+//! every waiter; queued requests are still drained so accepted work is
+//! never dropped.
 
 use std::collections::VecDeque;
-use std::sync::mpsc;
 use std::sync::{Condvar, Mutex};
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-use prism_core::RequestOptions;
-use prism_metrics::Gauge;
+use prism_core::{CancelToken, Priority, RequestOptions};
 use prism_model::SequenceBatch;
 
-use crate::request::{ServeError, ServeResponse};
-use crate::scheduler::{BatchPlanner, PlanDecision};
+use crate::request::{Replier, ServeError};
+use crate::scheduler::{BatchPlanner, PlanDecision, QueueItem};
+use crate::stats::ServeStats;
 
 /// One queued request, carrying everything a worker needs to execute and
 /// answer it.
@@ -38,8 +41,20 @@ pub struct Pending {
     pub tokens: usize,
     /// When the request entered the queue.
     pub enqueued: Instant,
-    /// Reply channel back to the caller's [`crate::ResponseHandle`].
-    pub reply: mpsc::SyncSender<Result<ServeResponse, ServeError>>,
+    /// Absolute deadline resolved at admission, if any.
+    pub deadline: Option<Instant>,
+    /// Caller-side cancellation flag (always present; inert unless the
+    /// caller holds a facade handle).
+    pub cancel: CancelToken,
+    /// Reply transport back to the caller.
+    pub reply: Replier,
+}
+
+impl Pending {
+    /// The scheduling class (from the resolved options).
+    pub fn priority(&self) -> Priority {
+        self.options.priority
+    }
 }
 
 struct QueueState {
@@ -52,13 +67,15 @@ pub struct SubmissionQueue {
     state: Mutex<QueueState>,
     notify: Condvar,
     capacity: usize,
-    depth: Gauge,
+    stats: ServeStats,
+    workers: usize,
 }
 
 impl SubmissionQueue {
     /// Creates a queue holding at most `capacity` pending requests;
-    /// `depth` is updated on every push/pop.
-    pub fn new(capacity: usize, depth: Gauge) -> Self {
+    /// `stats` receives depth updates and shed/inversion counts, and
+    /// `workers` scales the backpressure retry hint.
+    pub fn new(capacity: usize, stats: ServeStats, workers: usize) -> Self {
         SubmissionQueue {
             state: Mutex::new(QueueState {
                 deque: VecDeque::with_capacity(capacity),
@@ -66,7 +83,8 @@ impl SubmissionQueue {
             }),
             notify: Condvar::new(),
             capacity: capacity.max(1),
-            depth,
+            stats,
+            workers: workers.max(1),
         }
     }
 
@@ -77,54 +95,125 @@ impl SubmissionQueue {
             return Err(ServeError::ShuttingDown);
         }
         if state.deque.len() >= self.capacity {
+            // Dead entries (cancelled / expired while no worker was
+            // popping) must not hold capacity against live work.
+            self.shed_dead(&mut state, Instant::now());
+        }
+        if state.deque.len() >= self.capacity {
             return Err(ServeError::Backpressure {
                 capacity: self.capacity,
+                queue_depth: state.deque.len(),
+                retry_after: self
+                    .stats
+                    .retry_after_hint(state.deque.len(), self.workers)
+                    .min(std::time::Duration::from_secs(1)),
             });
         }
         state.deque.push_back(pending);
-        self.depth.set(state.deque.len() as u64);
+        self.stats.queue_depth.set(state.deque.len() as u64);
         drop(state);
         self.notify.notify_all();
         Ok(())
     }
 
-    /// Blocks until a batch is ready and pops it (a contiguous FIFO
-    /// prefix chosen by `planner`). Returns `None` once the queue is
-    /// closed *and* drained.
+    /// Answers and removes every queued request that is already dead:
+    /// cancelled by its caller, or past its deadline.
+    fn shed_dead(&self, state: &mut QueueState, now: Instant) {
+        let mut i = 0;
+        while i < state.deque.len() {
+            let p = &state.deque[i];
+            let verdict = if p.cancel.is_cancelled() {
+                Some((ServeError::Cancelled, &self.stats.cancelled))
+            } else if p.deadline.is_some_and(|d| now >= d) {
+                Some((ServeError::DeadlineExceeded, &self.stats.deadline_missed))
+            } else {
+                None
+            };
+            match verdict {
+                Some((err, counter)) => {
+                    let mut dead = state.deque.remove(i).expect("index in bounds");
+                    counter.inc();
+                    dead.reply.send(Err(err));
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    /// Blocks until a batch is ready and pops it (an admissible set
+    /// chosen by `planner`, in scheduling order). Returns `None` once
+    /// the queue is closed *and* drained.
     pub fn next_batch(&self, planner: &BatchPlanner) -> Option<Vec<Pending>> {
         let mut state = self.state.lock().expect("queue lock");
         loop {
+            let now = Instant::now();
+            self.shed_dead(&mut state, now);
             if state.deque.is_empty() {
+                self.stats.queue_depth.set(0);
                 if state.closed {
                     return None;
                 }
                 state = self.notify.wait(state).expect("queue lock");
                 continue;
             }
-            let now = Instant::now();
-            let snapshot: Vec<(usize, u64)> = state
+            let snapshot: Vec<QueueItem> = state
                 .deque
                 .iter()
-                .map(|p| (p.tokens, now.duration_since(p.enqueued).as_micros() as u64))
+                .map(|p| QueueItem {
+                    tokens: p.tokens,
+                    age_micros: now.duration_since(p.enqueued).as_micros() as u64,
+                    priority: p.priority(),
+                    deadline_micros: p
+                        .deadline
+                        .map(|d| d.saturating_duration_since(now).as_micros() as u64),
+                })
                 .collect();
             let take = match planner.decide(&snapshot) {
-                PlanDecision::Flush(n) => n,
+                PlanDecision::Flush(set) => set,
                 // A closing queue flushes what it has instead of waiting
                 // for arrivals that will never come.
                 PlanDecision::Wait(_) if state.closed => planner.coalesce(&snapshot),
                 PlanDecision::Wait(us) => {
                     let (next, timeout) = self
                         .notify
-                        .wait_timeout(state, Duration::from_micros(us))
+                        .wait_timeout(state, std::time::Duration::from_micros(us))
                         .expect("queue lock");
                     state = next;
                     let _ = timeout;
                     continue;
                 }
             };
-            let take = take.min(state.deque.len());
-            let batch: Vec<Pending> = state.deque.drain(..take).collect();
-            self.depth.set(state.deque.len() as u64);
+            // The starvation guard may admit an aged request past a
+            // higher-priority waiter: surface those as inversions. Only
+            // meaningful under the priority policy — the FIFO baseline
+            // ignores priorities by design and would report noise.
+            if planner.priority_aware {
+                let floor = take
+                    .iter()
+                    .map(|&i| snapshot[i].priority)
+                    .min()
+                    .unwrap_or(Priority::Bulk);
+                let waiting_above =
+                    (0..snapshot.len()).any(|i| !take.contains(&i) && snapshot[i].priority > floor);
+                if waiting_above {
+                    self.stats.priority_inversions.inc();
+                }
+            }
+            // Drain the selected positions, preserving scheduling order.
+            let mut slots: Vec<Option<Pending>> = take.iter().map(|_| None).collect();
+            let mut kept = VecDeque::with_capacity(state.deque.len());
+            for (pos, p) in state.deque.drain(..).enumerate() {
+                match take.iter().position(|&t| t == pos) {
+                    Some(slot) => slots[slot] = Some(p),
+                    None => kept.push_back(p),
+                }
+            }
+            state.deque = kept;
+            self.stats.queue_depth.set(state.deque.len() as u64);
+            let batch: Vec<Pending> = slots
+                .into_iter()
+                .map(|p| p.expect("selected position drained"))
+                .collect();
             return Some(batch);
         }
     }
@@ -145,6 +234,10 @@ impl SubmissionQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    use crate::request::ServeResponse;
 
     fn pending(
         ticket: u64,
@@ -159,7 +252,9 @@ mod tests {
             fingerprint: 0,
             tokens,
             enqueued: Instant::now(),
-            reply: tx,
+            deadline: None,
+            cancel: CancelToken::new(),
+            reply: Replier::Channel(tx),
         };
         (p, rx)
     }
@@ -169,19 +264,29 @@ mod tests {
             max_requests,
             max_tokens: usize::MAX,
             max_wait_micros: 0,
+            starvation_age_micros: u64::MAX,
+            priority_aware: true,
         }
     }
 
     #[test]
     fn backpressure_when_full() {
-        let q = SubmissionQueue::new(2, Gauge::new());
+        let q = SubmissionQueue::new(2, ServeStats::new(), 1);
         let (a, _ra) = pending(1, 4);
         let (b, _rb) = pending(2, 4);
         let (c, _rc) = pending(3, 4);
         q.push(a).unwrap();
         q.push(b).unwrap();
         match q.push(c) {
-            Err(ServeError::Backpressure { capacity }) => assert_eq!(capacity, 2),
+            Err(ServeError::Backpressure {
+                capacity,
+                queue_depth,
+                retry_after,
+            }) => {
+                assert_eq!(capacity, 2);
+                assert_eq!(queue_depth, 2);
+                assert!(retry_after > Duration::ZERO);
+            }
             other => panic!("expected backpressure, got {other:?}"),
         }
         assert_eq!(q.depth(), 2);
@@ -189,7 +294,7 @@ mod tests {
 
     #[test]
     fn next_batch_pops_fifo_prefix() {
-        let q = SubmissionQueue::new(8, Gauge::new());
+        let q = SubmissionQueue::new(8, ServeStats::new(), 1);
         let mut keep = Vec::new();
         for t in 1..=5 {
             let (p, rx) = pending(t, 2);
@@ -206,8 +311,77 @@ mod tests {
     }
 
     #[test]
+    fn high_priority_pops_first() {
+        let q = SubmissionQueue::new(8, ServeStats::new(), 1);
+        let mut keep = Vec::new();
+        for t in 1..=3 {
+            let (mut p, rx) = pending(t, 2);
+            if t == 3 {
+                p.options.priority = Priority::High;
+            }
+            keep.push(rx);
+            q.push(p).unwrap();
+        }
+        let batch = q.next_batch(&eager_planner(2)).unwrap();
+        assert_eq!(batch.iter().map(|p| p.ticket).collect::<Vec<_>>(), [3, 1]);
+    }
+
+    #[test]
+    fn cancelled_requests_are_shed_with_cancelled_error() {
+        let stats = ServeStats::new();
+        let q = SubmissionQueue::new(8, stats.clone(), 1);
+        let (p1, rx1) = pending(1, 2);
+        let (p2, rx2) = pending(2, 2);
+        let cancel = p1.cancel.clone();
+        q.push(p1).unwrap();
+        q.push(p2).unwrap();
+        cancel.cancel();
+        let batch = q.next_batch(&eager_planner(8)).unwrap();
+        assert_eq!(batch.iter().map(|p| p.ticket).collect::<Vec<_>>(), [2]);
+        assert!(matches!(rx1.recv(), Ok(Err(ServeError::Cancelled))));
+        assert!(rx2.try_recv().is_err(), "live request still unanswered");
+        assert_eq!(stats.cancelled.get(), 1);
+    }
+
+    #[test]
+    fn push_sheds_dead_entries_before_reporting_backpressure() {
+        let stats = ServeStats::new();
+        let q = SubmissionQueue::new(2, stats.clone(), 1);
+        let (p1, rx1) = pending(1, 2);
+        let (p2, rx2) = pending(2, 2);
+        let (c1, c2) = (p1.cancel.clone(), p2.cancel.clone());
+        q.push(p1).unwrap();
+        q.push(p2).unwrap();
+        c1.cancel();
+        c2.cancel();
+        // The queue is nominally full, but only with dead entries: live
+        // work must be admitted, not bounced with backpressure.
+        let (p3, _rx3) = pending(3, 2);
+        q.push(p3).unwrap();
+        assert!(matches!(rx1.recv(), Ok(Err(ServeError::Cancelled))));
+        assert!(matches!(rx2.recv(), Ok(Err(ServeError::Cancelled))));
+        assert_eq!(stats.cancelled.get(), 2);
+        assert_eq!(q.depth(), 1);
+    }
+
+    #[test]
+    fn expired_deadlines_are_shed_with_deadline_error() {
+        let stats = ServeStats::new();
+        let q = SubmissionQueue::new(8, stats.clone(), 1);
+        let (mut p1, rx1) = pending(1, 2);
+        p1.deadline = Some(Instant::now() - Duration::from_millis(1));
+        let (p2, _rx2) = pending(2, 2);
+        q.push(p1).unwrap();
+        q.push(p2).unwrap();
+        let batch = q.next_batch(&eager_planner(8)).unwrap();
+        assert_eq!(batch.iter().map(|p| p.ticket).collect::<Vec<_>>(), [2]);
+        assert!(matches!(rx1.recv(), Ok(Err(ServeError::DeadlineExceeded))));
+        assert_eq!(stats.deadline_missed.get(), 1);
+    }
+
+    #[test]
     fn close_drains_then_ends() {
-        let q = SubmissionQueue::new(8, Gauge::new());
+        let q = SubmissionQueue::new(8, ServeStats::new(), 1);
         let (p, _rx) = pending(1, 2);
         q.push(p).unwrap();
         q.close();
@@ -216,6 +390,8 @@ mod tests {
             max_requests: 8,
             max_tokens: usize::MAX,
             max_wait_micros: u64::MAX,
+            starvation_age_micros: u64::MAX,
+            priority_aware: true,
         };
         assert_eq!(q.next_batch(&planner).unwrap().len(), 1);
         assert!(q.next_batch(&planner).is_none());
@@ -225,7 +401,7 @@ mod tests {
 
     #[test]
     fn waiting_consumer_wakes_on_push() {
-        let q = std::sync::Arc::new(SubmissionQueue::new(8, Gauge::new()));
+        let q = std::sync::Arc::new(SubmissionQueue::new(8, ServeStats::new(), 1));
         let q2 = q.clone();
         let consumer = std::thread::spawn(move || q2.next_batch(&eager_planner(4)));
         std::thread::sleep(Duration::from_millis(10));

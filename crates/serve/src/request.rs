@@ -1,18 +1,31 @@
 //! Request/response types of the serving API.
+//!
+//! Since the `prism-api` facade landed, the serving layer's error type
+//! *is* the facade's [`ServiceError`] (the old ad-hoc `ServeError` enum
+//! survives only as a type alias), and a request can be answered through
+//! either transport: the legacy [`ResponseHandle`] channel or a facade
+//! `SelectionHandle` completion ([`Replier`]).
 
 use std::sync::mpsc;
 
+use prism_api::{Completion, SelectionOutcome};
 use prism_core::{RequestOptions, Selection};
 use prism_model::SequenceBatch;
 use serde::Serialize;
+
+pub use prism_api::ServiceError;
+
+/// The serving layer's historical error name, now the facade hierarchy.
+pub type ServeError = ServiceError;
 
 /// A serving request: one candidate batch to select from, bound to a
 /// session.
 ///
 /// The session identifies the tenant for cache affinity and FIFO
 /// guarantees; the [`RequestOptions`] carry `k`, per-request routing
-/// overrides, and optionally an explicit routing `tag`. When no tag is
-/// given the server assigns the request's ticket number (its global
+/// overrides, the scheduling `priority`, an optional relative
+/// `deadline_us`, and optionally an explicit routing `tag`. When no tag
+/// is given the server assigns the request's ticket number (its global
 /// submission index, starting at 1), which makes a serving run
 /// reproducible against a sequential reference that processes the same
 /// requests in submission order.
@@ -73,40 +86,46 @@ pub struct ServeResponse {
     pub cache: CacheOutcome,
 }
 
-/// Errors surfaced by the serving layer.
-#[derive(Debug)]
-pub enum ServeError {
-    /// The bounded submission queue is full — the caller should retry
-    /// later or shed load.
-    Backpressure {
-        /// Queue capacity that was exhausted.
-        capacity: usize,
-    },
-    /// The server is shutting down (or has shut down).
-    ShuttingDown,
-    /// The engine rejected or failed the request.
-    Engine(String),
-    /// The worker serving this request disappeared before replying.
-    Disconnected,
-    /// Invalid serving configuration.
-    Config(String),
-}
-
-impl std::fmt::Display for ServeError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            ServeError::Backpressure { capacity } => {
-                write!(f, "submission queue full (capacity {capacity})")
-            }
-            ServeError::ShuttingDown => write!(f, "server is shutting down"),
-            ServeError::Engine(e) => write!(f, "engine: {e}"),
-            ServeError::Disconnected => write!(f, "worker disconnected before replying"),
-            ServeError::Config(e) => write!(f, "config: {e}"),
+impl ServeResponse {
+    /// Converts into the facade's backend-independent outcome.
+    pub fn into_outcome(self) -> SelectionOutcome {
+        SelectionOutcome {
+            served_from_cache: self.cache != CacheOutcome::Miss,
+            selection: self.selection,
+            ticket: self.ticket,
+            queued_us: self.queued_us,
+            service_us: self.service_us,
+            batch_size: self.batch_size,
         }
     }
 }
 
-impl std::error::Error for ServeError {}
+/// The way one request's answer travels back to its caller: the legacy
+/// sync-channel behind [`ResponseHandle`], or a facade completion
+/// behind a `prism_api::SelectionHandle`.
+#[derive(Debug)]
+pub enum Replier {
+    /// Legacy channel transport.
+    Channel(mpsc::SyncSender<std::result::Result<ServeResponse, ServeError>>),
+    /// Facade handle transport.
+    Handle(Completion),
+}
+
+impl Replier {
+    /// Delivers the result. Safe to call once per request from whichever
+    /// component resolves it first (queue shed or worker); a dropped
+    /// caller-side handle is not an error.
+    pub fn send(&mut self, result: std::result::Result<ServeResponse, ServeError>) {
+        match self {
+            Replier::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Replier::Handle(completion) => {
+                completion.complete(result.map(ServeResponse::into_outcome));
+            }
+        }
+    }
+}
 
 /// Waits for the response to one submitted request.
 #[derive(Debug)]
@@ -143,6 +162,7 @@ impl ResponseHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prism_core::Priority;
 
     #[test]
     fn request_builder_defaults() {
@@ -151,14 +171,20 @@ mod tests {
         assert_eq!(r.session, "tenant-a");
         assert_eq!(r.options.k, 2);
         assert!(r.options.tag.is_none());
-        let r = r.with_options(RequestOptions::tagged(1, 9));
+        assert_eq!(r.options.priority, Priority::Normal);
+        let r = r.with_options(RequestOptions::tagged(1, 9).with_priority(Priority::High));
         assert_eq!(r.options.tag, Some(9));
+        assert_eq!(r.options.priority, Priority::High);
     }
 
     #[test]
     fn errors_display() {
-        let e = ServeError::Backpressure { capacity: 4 };
-        assert!(e.to_string().contains("capacity 4"));
+        let e = ServeError::Backpressure {
+            capacity: 4,
+            queue_depth: 4,
+            retry_after: std::time::Duration::from_millis(3),
+        };
+        assert!(e.to_string().contains("4/4"));
         assert!(ServeError::ShuttingDown.to_string().contains("shutting"));
     }
 
@@ -170,5 +196,25 @@ mod tests {
         assert!(h.try_wait().is_none());
         drop(tx);
         assert!(matches!(h.try_wait(), Some(Err(ServeError::Disconnected))));
+    }
+
+    #[test]
+    fn response_converts_to_outcome() {
+        let response = ServeResponse {
+            selection: Selection {
+                ranked: Vec::new(),
+                last_scores: Vec::new(),
+                trace: Default::default(),
+            },
+            ticket: 11,
+            batch_size: 3,
+            queued_us: 5,
+            service_us: 9,
+            cache: CacheOutcome::SelectionHit,
+        };
+        let outcome = response.into_outcome();
+        assert_eq!(outcome.ticket, 11);
+        assert_eq!(outcome.batch_size, 3);
+        assert!(outcome.served_from_cache);
     }
 }

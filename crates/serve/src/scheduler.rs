@@ -1,19 +1,75 @@
-//! The batching policy: which FIFO prefix of the queue runs next.
+//! The batching policy: which queued requests run next.
 //!
 //! [`BatchPlanner`] is a pure function from a queue snapshot to a
 //! decision, so its invariants — never exceed the token budget, never
-//! starve a request past the age bound, always take a contiguous FIFO
-//! prefix — are property-tested directly (`tests/scheduler_props.rs`)
-//! without threads or clocks.
+//! starve a request past the starvation bound, honour priority-then-EDF
+//! order, degrade to a contiguous FIFO prefix for uniform workloads —
+//! are property-tested directly (`tests/scheduler_props.rs`) without
+//! threads or clocks.
+//!
+//! ## Policy
+//!
+//! Admission order is **priority, then earliest deadline, then FIFO**:
+//!
+//! 1. *Starvation guard*: any request older than
+//!    [`BatchPlanner::starvation_age_micros`] outranks everything (FIFO
+//!    among the starved), so sustained high-priority load cannot park
+//!    bulk work forever.
+//! 2. [`Priority::High`] before [`Priority::Normal`] before
+//!    [`Priority::Bulk`].
+//! 3. Within a class, requests with deadlines run earliest-deadline-first
+//!    ahead of deadline-free ones.
+//! 4. Ties keep submission order (the sort is stable), which makes the
+//!    policy collapse to exactly the historical contiguous-FIFO-prefix
+//!    behaviour when every request shares one class and no deadlines —
+//!    the case the serving conformance suite pins bit-identical to
+//!    direct engine calls.
+//!
+//! The flush set is the maximal *prefix of that order* under the token
+//! budget and request cap (never skipping over a too-big request to
+//! reach a smaller one behind it; an oversized head still runs as a
+//! mandatory singleton). An under-full batch waits out the age bound for
+//! more arrivals unless something urgent (a `High` request, or a
+//! deadline tighter than the bound) is queued.
+
+use prism_core::Priority;
+
+/// One queued request as the planner sees it.
+#[derive(Debug, Clone, Copy)]
+pub struct QueueItem {
+    /// Total packed tokens (the budget unit).
+    pub tokens: usize,
+    /// Microseconds spent queued so far.
+    pub age_micros: u64,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Microseconds until the deadline (`None` = no deadline). Expired
+    /// requests are shed by the queue before planning and never reach
+    /// the planner.
+    pub deadline_micros: Option<u64>,
+}
+
+impl QueueItem {
+    /// A deadline-free item of the default class (tests, uniform loads).
+    pub fn plain(tokens: usize, age_micros: u64) -> Self {
+        QueueItem {
+            tokens,
+            age_micros,
+            priority: Priority::Normal,
+            deadline_micros: None,
+        }
+    }
+}
 
 /// What a worker should do with the current queue.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum PlanDecision {
-    /// Pop the first `n` queued requests and execute them as one batch.
-    Flush(usize),
+    /// Pop these queue positions (in scheduling order) and execute them
+    /// as one batch.
+    Flush(Vec<usize>),
     /// Wait at most this many microseconds for more arrivals (the batch
-    /// is under-full and the oldest request is still within the age
-    /// bound), then re-evaluate.
+    /// is under-full, nothing urgent is queued, and the oldest request
+    /// is still within the age bound), then re-evaluate.
     Wait(u64),
 }
 
@@ -28,46 +84,92 @@ pub struct BatchPlanner {
     /// Longest a queued request may age before an under-full batch is
     /// flushed anyway, in microseconds.
     pub max_wait_micros: u64,
+    /// Age past which a request outranks every scheduling class (the
+    /// anti-starvation guard of the priority policy).
+    pub starvation_age_micros: u64,
+    /// `false` ignores priorities and deadlines entirely — the historical
+    /// pure-FIFO scheduler (kept as the measurable baseline for
+    /// `bench-serve` and `repro perf`).
+    pub priority_aware: bool,
 }
 
 impl BatchPlanner {
-    /// Decides on a queue snapshot: `(tokens, age_micros)` per pending
-    /// request in FIFO order (front first).
+    /// The scheduling order: queue positions sorted priority-then-EDF
+    /// with the starvation guard; pure FIFO when `priority_aware` is off.
+    pub fn order(&self, queue: &[QueueItem]) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..queue.len()).collect();
+        if !self.priority_aware {
+            return order;
+        }
+        // Stable sort: ties (same class, same deadline presence) keep
+        // submission order, so a uniform queue stays exactly FIFO.
+        // Starved requests neutralize their class and deadline keys —
+        // they run strictly FIFO among themselves (the oldest wait ends
+        // first), ahead of everything unstarved.
+        order.sort_by_key(|&i| {
+            let q = &queue[i];
+            let starved = q.age_micros >= self.starvation_age_micros;
+            if starved {
+                (false, std::cmp::Reverse(Priority::High), 0)
+            } else {
+                (
+                    true,
+                    std::cmp::Reverse(q.priority),
+                    q.deadline_micros.unwrap_or(u64::MAX),
+                )
+            }
+        });
+        order
+    }
+
+    /// Decides on a queue snapshot (front of the queue first).
     ///
     /// Returns [`PlanDecision::Wait`] only when *growing* the batch is
-    /// both possible (caps not hit, whole queue fits) and permitted (the
-    /// oldest request is younger than the age bound).
-    pub fn decide(&self, queue: &[(usize, u64)]) -> PlanDecision {
+    /// both possible (caps not hit, whole queue fits) and permitted (no
+    /// urgent work queued, oldest request younger than the age bound).
+    pub fn decide(&self, queue: &[QueueItem]) -> PlanDecision {
         assert!(!queue.is_empty(), "decide() needs a non-empty queue");
-        let max_requests = self.max_requests.max(1);
-        let prefix = self.coalesce(queue);
+        let flush = self.coalesce(queue);
 
-        let could_grow = prefix == queue.len()
-            && prefix < max_requests
-            && queue.iter().take(prefix).map(|&(t, _)| t).sum::<usize>() < self.max_tokens;
-        if could_grow {
-            let oldest_age = queue[0].1;
+        let tokens: usize = flush.iter().map(|&i| queue[i].tokens).sum();
+        let could_grow = flush.len() == queue.len()
+            && flush.len() < self.max_requests.max(1)
+            && tokens < self.max_tokens;
+        if could_grow && !self.has_urgent(queue) {
+            // The queue is FIFO by arrival, so position 0 is oldest.
+            let oldest_age = queue[0].age_micros;
             if oldest_age < self.max_wait_micros {
                 return PlanDecision::Wait(self.max_wait_micros - oldest_age);
             }
         }
-        PlanDecision::Flush(prefix)
+        PlanDecision::Flush(flush)
     }
 
-    /// Length of the longest FIFO prefix within both caps (at least 1:
-    /// an oversized head request forms a singleton batch).
-    pub fn coalesce(&self, queue: &[(usize, u64)]) -> usize {
+    /// The maximal admissible prefix of the scheduling order (at least
+    /// one request: an oversized head forms a mandatory singleton).
+    pub fn coalesce(&self, queue: &[QueueItem]) -> Vec<usize> {
         let max_requests = self.max_requests.max(1);
+        let order = self.order(queue);
+        let mut flush = Vec::new();
         let mut tokens = 0_usize;
-        let mut n = 0_usize;
-        for &(t, _) in queue.iter().take(max_requests) {
-            if n > 0 && tokens + t > self.max_tokens {
+        for &i in order.iter().take(max_requests) {
+            if !flush.is_empty() && tokens + queue[i].tokens > self.max_tokens {
                 break;
             }
-            tokens += t;
-            n += 1;
+            tokens += queue[i].tokens;
+            flush.push(i);
         }
-        n.max(1)
+        flush
+    }
+
+    /// Whether anything queued should not wait out the age bound: a
+    /// `High`-priority request, or a deadline due within the bound.
+    fn has_urgent(&self, queue: &[QueueItem]) -> bool {
+        self.priority_aware
+            && queue.iter().any(|q| {
+                q.priority == Priority::High
+                    || q.deadline_micros.is_some_and(|d| d <= self.max_wait_micros)
+            })
     }
 }
 
@@ -80,52 +182,130 @@ mod tests {
             max_requests: 4,
             max_tokens: 100,
             max_wait_micros: 1_000,
+            starvation_age_micros: 50_000,
+            priority_aware: true,
         }
+    }
+
+    fn plain(queue: &[(usize, u64)]) -> Vec<QueueItem> {
+        queue.iter().map(|&(t, a)| QueueItem::plain(t, a)).collect()
     }
 
     #[test]
     fn full_batch_flushes_immediately() {
-        let q = vec![(30, 0), (30, 0), (30, 0), (30, 0), (30, 0)];
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(3));
+        let q = plain(&[(30, 0), (30, 0), (30, 0), (30, 0), (30, 0)]);
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1, 2]));
     }
 
     #[test]
     fn request_cap_limits_prefix() {
-        let q = vec![(1, 0); 10];
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(4));
+        let q = plain(&[(1, 0); 10]);
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1, 2, 3]));
     }
 
     #[test]
     fn underfull_young_queue_waits_out_remaining_age() {
-        let q = vec![(10, 400)];
+        let q = plain(&[(10, 400)]);
         assert_eq!(planner().decide(&q), PlanDecision::Wait(600));
     }
 
     #[test]
     fn aged_head_flushes_underfull_batch() {
-        let q = vec![(10, 1_000)];
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(1));
-        let q = vec![(10, 5_000), (10, 100)];
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(2));
+        let q = plain(&[(10, 1_000)]);
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+        let q = plain(&[(10, 5_000), (10, 100)]);
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1]));
     }
 
     #[test]
     fn oversized_request_runs_alone() {
-        let q = vec![(500, 0), (10, 0)];
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(1));
+        let q = plain(&[(500, 0), (10, 0)]);
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
     }
 
     #[test]
     fn budget_is_respected_midway() {
         // 60 + 30 fits, adding 20 would overflow 100.
-        let q = vec![(60, 0), (30, 0), (20, 0)];
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(2));
+        let q = plain(&[(60, 0), (30, 0), (20, 0)]);
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1]));
     }
 
     #[test]
     fn exact_budget_fill_flushes() {
-        let q = vec![(50, 0), (50, 0)];
+        let q = plain(&[(50, 0), (50, 0)]);
         // Budget exactly consumed: nothing more could join, flush now.
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(2));
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1]));
+    }
+
+    #[test]
+    fn high_priority_jumps_the_queue() {
+        let mut q = plain(&[(30, 30), (30, 20), (30, 10), (30, 0), (30, 0)]);
+        q[3].priority = Priority::High;
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![3, 0, 1]));
+    }
+
+    #[test]
+    fn bulk_yields_to_normal() {
+        let mut q = plain(&[(30, 10), (30, 5), (30, 0)]);
+        q[0].priority = Priority::Bulk;
+        // Normal before Bulk, FIFO within class; the batch is full at
+        // three requests only if the budget allows — 90 <= 100, and the
+        // whole queue fits, so it waits for more arrivals.
+        assert_eq!(planner().order(&q), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn edf_orders_within_a_class() {
+        let mut q = plain(&[(10, 0), (10, 0), (10, 0)]);
+        q[0].deadline_micros = Some(9_000);
+        q[2].deadline_micros = Some(4_000);
+        // Deadline-bearing first (EDF), deadline-free last.
+        assert_eq!(planner().order(&q), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn starved_bulk_outranks_fresh_high() {
+        let mut q = plain(&[(10, 60_000), (10, 0)]);
+        q[0].priority = Priority::Bulk;
+        q[1].priority = Priority::High;
+        assert_eq!(planner().order(&q), vec![0, 1]);
+    }
+
+    #[test]
+    fn starved_requests_run_fifo_among_themselves() {
+        // Submission order: starved Bulk, starved High (with a tight
+        // deadline), fresh High. The starved pair keeps FIFO order —
+        // class and deadline are neutralized past the starvation bound,
+        // so the longest wait ends first.
+        let mut q = plain(&[(10, 70_000), (10, 60_000), (10, 0)]);
+        q[0].priority = Priority::Bulk;
+        q[1].priority = Priority::High;
+        q[1].deadline_micros = Some(5);
+        q[2].priority = Priority::High;
+        assert_eq!(planner().order(&q), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn urgent_work_never_waits() {
+        let mut q = plain(&[(10, 0)]);
+        q[0].priority = Priority::High;
+        // A lone High request flushes instead of aging toward a batch.
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+        let mut q = plain(&[(10, 0)]);
+        q[0].deadline_micros = Some(500); // due within the age bound
+        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+    }
+
+    #[test]
+    fn fifo_mode_ignores_priorities() {
+        let mut q = plain(&[(30, 0), (30, 0)]);
+        q[1].priority = Priority::High;
+        let fifo = BatchPlanner {
+            priority_aware: false,
+            max_wait_micros: 0,
+            ..planner()
+        };
+        assert_eq!(fifo.decide(&q), PlanDecision::Flush(vec![0, 1]));
+        assert_eq!(fifo.order(&q), vec![0, 1]);
     }
 }

@@ -5,6 +5,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
+use prism_api::{SelectionHandle, SelectionService, ServiceError};
 use prism_baselines::{RankOutcome, Reranker};
 use prism_core::{ActiveRequest, PrismEngine, PrismError, RequestOptions, Selection};
 use prism_model::layer::ForwardScratch;
@@ -12,7 +13,7 @@ use prism_model::SequenceBatch;
 
 use crate::config::ServeConfig;
 use crate::queue::{Pending, SubmissionQueue};
-use crate::request::{CacheOutcome, ResponseHandle, ServeError, ServeRequest, ServeResponse};
+use crate::request::{CacheOutcome, Replier, ResponseHandle, ServeRequest, ServeResponse};
 use crate::scheduler::BatchPlanner;
 use crate::session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
 use crate::stats::ServeStats;
@@ -24,6 +25,7 @@ struct ServerShared {
     cache: Option<Mutex<SessionCache>>,
     stats: ServeStats,
     ticket: AtomicU64,
+    workers: usize,
 }
 
 /// A running PRISM serving instance.
@@ -44,12 +46,13 @@ impl PrismServer {
         let stats = ServeStats::new();
         let shared = Arc::new(ServerShared {
             engine: Arc::new(engine),
-            queue: SubmissionQueue::new(config.queue_capacity, stats.queue_depth.clone()),
+            queue: SubmissionQueue::new(config.queue_capacity, stats.clone(), config.workers),
             planner: config.planner(),
             cache: (config.session_cache_capacity > 0)
                 .then(|| Mutex::new(SessionCache::new(config.session_cache_capacity))),
             stats,
             ticket: AtomicU64::new(0),
+            workers: config.workers,
         });
         let mut workers = Vec::with_capacity(config.workers);
         for i in 0..config.workers {
@@ -57,14 +60,15 @@ impl PrismServer {
             let handle = std::thread::Builder::new()
                 .name(format!("prism-serve-{i}"))
                 .spawn(move || worker_loop(&shared))
-                .map_err(|e| ServeError::Config(format!("spawning worker {i}: {e}")))?;
+                .map_err(|e| ServiceError::Config(format!("spawning worker {i}: {e}")))?;
             workers.push(handle);
         }
         Ok(PrismServer { shared, workers })
     }
 
-    /// Submits a request; fails fast with [`ServeError::Backpressure`]
-    /// when the queue is full.
+    /// Submits a request; fails fast with [`ServiceError::Backpressure`]
+    /// when the queue is full and [`ServiceError::DeadlineExceeded`] when
+    /// the request's deadline has already passed at admission.
     pub fn submit(&self, request: ServeRequest) -> crate::Result<ResponseHandle> {
         self.shared.submit(request)
     }
@@ -88,6 +92,16 @@ impl PrismServer {
         }
     }
 
+    /// The `prism-api` facade over this server: a cloneable
+    /// [`SelectionService`] whose submissions return non-blocking
+    /// `SelectionHandle`s with cancellation, deadlines and progress.
+    pub fn service(&self, session: impl Into<String>) -> RemoteService {
+        RemoteService {
+            shared: Arc::clone(&self.shared),
+            session: session.into(),
+        }
+    }
+
     /// Stops accepting requests, drains the queue and joins the workers.
     pub fn shutdown(mut self) {
         self.stop();
@@ -108,45 +122,92 @@ impl Drop for PrismServer {
 }
 
 impl ServerShared {
-    fn submit(&self, request: ServeRequest) -> crate::Result<ResponseHandle> {
+    /// Resolves ticket/tag/deadline for one submission; `None` when the
+    /// deadline already passed (counted and rejected).
+    fn admit(
+        &self,
+        options: &mut RequestOptions,
+        now: Instant,
+    ) -> Result<(u64, Option<Instant>), ServiceError> {
+        // One admission rule for every backend (prism-api owns it).
+        let deadline = prism_api::admission_deadline(options, now).inspect_err(|_| {
+            self.stats.deadline_rejected.inc();
+        })?;
         let ticket = self.ticket.fetch_add(1, Ordering::Relaxed) + 1;
-        let mut options = request.options;
         if options.tag.is_none() {
             // Pin the routing stream to the submission order so a serving
             // run is reproducible against a sequential reference.
             options.tag = Some(ticket);
         }
-        let tokens = request.batch.total_tokens();
+        Ok((ticket, deadline))
+    }
+
+    fn enqueue(&self, mut pending: Pending) -> crate::Result<()> {
+        pending.tokens = pending.batch.total_tokens();
         // Only the cache reads the fingerprint; skip the O(tokens) hash
         // for cache-off deployments.
-        let fingerprint = if self.cache.is_some() {
-            fingerprint_batch(&request.batch)
+        pending.fingerprint = if self.cache.is_some() {
+            fingerprint_batch(&pending.batch)
         } else {
             0
-        };
-        let (tx, rx) = mpsc::sync_channel(1);
-        let pending = Pending {
-            ticket,
-            session: request.session,
-            batch: request.batch,
-            options,
-            fingerprint,
-            tokens,
-            enqueued: Instant::now(),
-            reply: tx,
         };
         match self.queue.push(pending) {
             Ok(()) => {
                 self.stats.submitted.inc();
-                Ok(ResponseHandle { ticket, rx })
+                Ok(())
             }
             Err(e) => {
-                if matches!(e, ServeError::Backpressure { .. }) {
+                if matches!(e, ServiceError::Backpressure { .. }) {
                     self.stats.rejected.inc();
                 }
                 Err(e)
             }
         }
+    }
+
+    fn submit(&self, request: ServeRequest) -> crate::Result<ResponseHandle> {
+        let now = Instant::now();
+        let mut options = request.options;
+        let (ticket, deadline) = self.admit(&mut options, now)?;
+        let (tx, rx) = mpsc::sync_channel(1);
+        self.enqueue(Pending {
+            ticket,
+            session: request.session,
+            batch: request.batch,
+            options,
+            fingerprint: 0,
+            tokens: 0,
+            enqueued: now,
+            deadline,
+            cancel: prism_core::CancelToken::new(),
+            reply: Replier::Channel(tx),
+        })?;
+        Ok(ResponseHandle { ticket, rx })
+    }
+
+    fn submit_handle(
+        &self,
+        session: String,
+        batch: SequenceBatch,
+        options: RequestOptions,
+    ) -> Result<SelectionHandle, ServiceError> {
+        let now = Instant::now();
+        let mut options = options;
+        let (ticket, deadline) = self.admit(&mut options, now)?;
+        let (handle, completion) = SelectionHandle::channel(ticket, deadline);
+        self.enqueue(Pending {
+            ticket,
+            session,
+            batch,
+            options,
+            fingerprint: 0,
+            tokens: 0,
+            enqueued: now,
+            deadline,
+            cancel: handle.cancel_token(),
+            reply: Replier::Handle(completion),
+        })?;
+        Ok(handle)
     }
 }
 
@@ -166,8 +227,32 @@ struct RunItem {
 
 fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<ForwardScratch>) {
     let picked_at = Instant::now();
-    let size = batch.len();
     let stats = &shared.stats;
+
+    // Last pre-execution cancellation/deadline point: the queue shed
+    // dead work when the batch was popped, but the caller may have
+    // acted in the window since. Shed first so the batch telemetry and
+    // per-response `batch_size` describe what actually executes.
+    let batch: Vec<Pending> = batch
+        .into_iter()
+        .filter_map(|mut pending| {
+            if pending.cancel.is_cancelled() {
+                stats.cancelled.inc();
+                pending.reply.send(Err(ServiceError::Cancelled));
+                return None;
+            }
+            if pending.deadline.is_some_and(|d| picked_at >= d) {
+                stats.deadline_missed.inc();
+                pending.reply.send(Err(ServiceError::DeadlineExceeded));
+                return None;
+            }
+            Some(pending)
+        })
+        .collect();
+    if batch.is_empty() {
+        return;
+    }
+    let size = batch.len();
     stats.batches.inc();
     stats.batch_size.record(size as u64);
     stats
@@ -177,7 +262,7 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
 
     let mut items: Vec<RunItem> = Vec::with_capacity(size);
     let mut planned: Vec<ActiveRequest> = Vec::with_capacity(size);
-    for pending in batch {
+    for mut pending in batch {
         let queued_us = picked_at.duration_since(pending.enqueued).as_micros() as u64;
         stats.queued_us.record(queued_us);
         let key = SelectionKey::from_options(&pending.options);
@@ -196,17 +281,15 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
             stats.cache_selection_hits.inc();
             stats.service_us.record(0);
             stats.completed.inc();
-            reply(
-                &pending,
-                Ok(ServeResponse {
-                    selection: *sel,
-                    ticket: pending.ticket,
-                    batch_size: size,
-                    queued_us,
-                    service_us: 0,
-                    cache: CacheOutcome::SelectionHit,
-                }),
-            );
+            let response = ServeResponse {
+                selection: *sel,
+                ticket: pending.ticket,
+                batch_size: size,
+                queued_us,
+                service_us: 0,
+                cache: CacheOutcome::SelectionHit,
+            };
+            pending.reply.send(Ok(response));
             continue;
         }
 
@@ -244,7 +327,17 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
             }
         };
         match plan {
-            Ok((p, outcome)) => {
+            Ok((mut p, outcome)) => {
+                // Wire the caller's controls into the engine: cancel and
+                // deadline abort at layer boundaries, progress streams
+                // back through the facade handle.
+                p.attach_cancel(pending.cancel.clone());
+                if let Some(d) = pending.deadline {
+                    p.attach_deadline(d);
+                }
+                if let Replier::Handle(completion) = &pending.reply {
+                    p.attach_progress(completion.progress_fn());
+                }
                 planned.push(p);
                 items.push(RunItem {
                     pending,
@@ -254,7 +347,7 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
             }
             Err(e) => {
                 stats.completed.inc();
-                reply(&pending, Err(ServeError::Engine(e.to_string())));
+                pending.reply.send(Err(ServiceError::from(e)));
             }
         }
     }
@@ -266,37 +359,45 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
         let service_us = t0.elapsed().as_micros() as u64;
         match run {
             Ok(()) => {
-                for (item, req) in items.into_iter().zip(planned) {
-                    stats.service_us.record(service_us);
-                    stats.completed.inc();
-                    let result = shared
-                        .engine
-                        .finalize_request(req)
-                        .map_err(|e| ServeError::Engine(e.to_string()));
-                    match result {
+                for (mut item, req) in items.into_iter().zip(planned) {
+                    // Finalize per request: an aborted member of the
+                    // batch (cancelled / past deadline) surfaces as its
+                    // typed error without failing its batch-mates.
+                    match shared.engine.finalize_request(req) {
                         Ok(selection) => {
+                            stats.service_us.record(service_us);
+                            stats.completed.inc();
                             store_selection(shared, &item, &selection);
-                            reply(
-                                &item.pending,
-                                Ok(ServeResponse {
-                                    selection,
-                                    ticket: item.pending.ticket,
-                                    batch_size: size,
-                                    queued_us: item.queued_us,
-                                    service_us,
-                                    cache: item.outcome,
-                                }),
-                            );
+                            let response = ServeResponse {
+                                selection,
+                                ticket: item.pending.ticket,
+                                batch_size: size,
+                                queued_us: item.queued_us,
+                                service_us,
+                                cache: item.outcome,
+                            };
+                            item.pending.reply.send(Ok(response));
                         }
-                        Err(e) => reply(&item.pending, Err(e)),
+                        Err(PrismError::Cancelled) => {
+                            stats.cancelled.inc();
+                            item.pending.reply.send(Err(ServiceError::Cancelled));
+                        }
+                        Err(PrismError::DeadlineExceeded) => {
+                            stats.deadline_missed.inc();
+                            item.pending.reply.send(Err(ServiceError::DeadlineExceeded));
+                        }
+                        Err(e) => {
+                            stats.completed.inc();
+                            item.pending.reply.send(Err(ServiceError::from(e)));
+                        }
                     }
                 }
             }
             Err(e) => {
-                let msg = e.to_string();
-                for item in items {
+                let err = ServiceError::from(e);
+                for mut item in items {
                     stats.completed.inc();
-                    reply(&item.pending, Err(ServeError::Engine(msg.clone())));
+                    item.pending.reply.send(Err(err.clone()));
                 }
             }
         }
@@ -314,11 +415,6 @@ fn store_selection(shared: &ServerShared, item: &RunItem, selection: &Selection)
             selection,
         );
     }
-}
-
-fn reply(pending: &Pending, result: Result<ServeResponse, ServeError>) {
-    // The caller may have dropped its handle; that is not an error.
-    let _ = pending.reply.send(result);
 }
 
 /// A per-session handle: submissions inherit the session key, and the
@@ -377,5 +473,39 @@ impl Reranker for ServeSession {
                 .collect(),
             scores: response.selection.last_scores,
         })
+    }
+}
+
+/// The serving backend of the `prism-api` facade: a cloneable
+/// [`SelectionService`] bound to one session of a [`PrismServer`].
+/// Submissions flow through the bounded queue and priority-then-EDF
+/// scheduler like every other request; the returned `SelectionHandle`
+/// adds mid-flight cancellation and layer-granularity progress on top.
+#[derive(Clone)]
+pub struct RemoteService {
+    shared: Arc<ServerShared>,
+    session: String,
+}
+
+impl RemoteService {
+    /// The session key submissions run under.
+    pub fn session(&self) -> &str {
+        &self.session
+    }
+
+    /// Server-side worker count (used by backoff heuristics).
+    pub fn workers(&self) -> usize {
+        self.shared.workers
+    }
+}
+
+impl SelectionService for RemoteService {
+    fn submit(
+        &self,
+        batch: SequenceBatch,
+        options: RequestOptions,
+    ) -> Result<SelectionHandle, ServiceError> {
+        self.shared
+            .submit_handle(self.session.clone(), batch, options)
     }
 }

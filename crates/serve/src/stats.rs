@@ -14,7 +14,21 @@ pub struct ServeStats {
     pub submitted: Counter,
     /// Requests rejected with backpressure.
     pub rejected: Counter,
-    /// Requests answered (including errors).
+    /// Requests rejected at admission because their deadline had already
+    /// passed.
+    pub deadline_rejected: Counter,
+    /// Accepted requests shed later (while queued or mid-flight) because
+    /// their deadline passed.
+    pub deadline_missed: Counter,
+    /// Requests cancelled by their caller (queued or mid-flight). Never
+    /// counted in `completed`.
+    pub cancelled: Counter,
+    /// Batches whose admission skipped over a higher-priority request
+    /// (the anti-starvation guard promoting aged bulk work) — the
+    /// priority-inversion gauge of the scheduler.
+    pub priority_inversions: Counter,
+    /// Requests answered with a selection or an engine error (cancelled
+    /// and deadline-shed requests are excluded).
     pub completed: Counter,
     /// Coalesced batches executed.
     pub batches: Counter,
@@ -52,6 +66,19 @@ impl ServeStats {
         }
     }
 
+    /// Backpressure retry hint derived from the current queue depth and
+    /// the observed service rate: roughly how long until `queue_depth`
+    /// requests drain across `workers` workers. Falls back to 1 ms per
+    /// queued request before any service time was observed.
+    pub fn retry_after_hint(&self, queue_depth: usize, workers: usize) -> std::time::Duration {
+        let per_request_us = match self.service_us.mean() {
+            m if m > 0.0 => m,
+            _ => 1_000.0,
+        };
+        let us = (queue_depth.max(1) as f64 / workers.max(1) as f64) * per_request_us;
+        std::time::Duration::from_micros(us.ceil() as u64)
+    }
+
     /// A serializable point-in-time snapshot.
     pub fn snapshot(&self) -> ServeStatsSnapshot {
         ServeStatsSnapshot {
@@ -59,6 +86,10 @@ impl ServeStats {
             queue_depth_peak: self.queue_depth.peak(),
             submitted: self.submitted.get(),
             rejected: self.rejected.get(),
+            deadline_rejected: self.deadline_rejected.get(),
+            deadline_missed: self.deadline_missed.get(),
+            cancelled: self.cancelled.get(),
+            priority_inversions: self.priority_inversions.get(),
             completed: self.completed.get(),
             batches: self.batches.get(),
             batch_size: self.batch_size.summary(),
@@ -84,7 +115,15 @@ pub struct ServeStatsSnapshot {
     pub submitted: u64,
     /// Requests rejected with backpressure.
     pub rejected: u64,
-    /// Requests answered.
+    /// Requests rejected at admission with an already-expired deadline.
+    pub deadline_rejected: u64,
+    /// Accepted requests later shed on a passed deadline.
+    pub deadline_missed: u64,
+    /// Requests cancelled by their caller.
+    pub cancelled: u64,
+    /// Batches admitted past a higher-priority waiter (starvation guard).
+    pub priority_inversions: u64,
+    /// Requests answered (selections and engine errors only).
     pub completed: u64,
     /// Batches executed.
     pub batches: u64,
@@ -118,6 +157,38 @@ mod tests {
         s.cache_embed_hits.inc();
         s.cache_misses.inc_by(2);
         assert!((s.cache_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_hint_scales_with_depth_and_service_rate() {
+        let s = ServeStats::new();
+        // No observations yet: 1 ms per queued request.
+        assert_eq!(
+            s.retry_after_hint(4, 1),
+            std::time::Duration::from_millis(4)
+        );
+        s.service_us.record(10_000);
+        let one_worker = s.retry_after_hint(4, 1);
+        let two_workers = s.retry_after_hint(4, 2);
+        assert!(
+            one_worker > two_workers,
+            "{one_worker:?} vs {two_workers:?}"
+        );
+        assert!(one_worker >= std::time::Duration::from_millis(40));
+    }
+
+    #[test]
+    fn lifecycle_counters_snapshot() {
+        let s = ServeStats::new();
+        s.cancelled.inc();
+        s.deadline_rejected.inc_by(2);
+        s.deadline_missed.inc();
+        s.priority_inversions.inc();
+        let snap = s.snapshot();
+        assert_eq!(snap.cancelled, 1);
+        assert_eq!(snap.deadline_rejected, 2);
+        assert_eq!(snap.deadline_missed, 1);
+        assert_eq!(snap.priority_inversions, 1);
     }
 
     #[test]

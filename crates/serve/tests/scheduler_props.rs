@@ -1,48 +1,107 @@
-//! Property tests for the scheduler invariants the serving layer
-//! guarantees:
+//! Property tests for the priority-then-EDF scheduler invariants:
 //!
 //! 1. coalesced batches never exceed the token budget (except a
-//!    mandatory singleton for an oversized request),
-//! 2. no request starves past the age bound,
-//! 3. batches are contiguous FIFO prefixes (so per-session order is
-//!    submission order),
-//! 4. a full queue answers with backpressure instead of panicking.
+//!    mandatory singleton for an oversized request) or the request cap,
+//! 2. the flush set is a maximal prefix of the scheduling order
+//!    (priority, then earliest deadline, then FIFO),
+//! 3. with a uniform queue (one class, no deadlines) the policy is
+//!    exactly the historical contiguous FIFO prefix — the property the
+//!    serving conformance suite's bit-identical guarantee rides on,
+//! 4. no request starves: anything older than the starvation bound
+//!    outranks every class,
+//! 5. waiting is only allowed when the whole queue fits, nothing is
+//!    urgent, and the oldest request is inside the age bound.
 
-use prism_serve::{BatchPlanner, PlanDecision};
+use prism_core::Priority;
+use prism_serve::{BatchPlanner, PlanDecision, QueueItem};
 use proptest::prelude::*;
+
+/// Builds queue items from flat tuples: `(tokens, age, class, deadline)`
+/// with `class % 3` mapping to a priority and `deadline == 0` meaning
+/// none.
+fn items(raw: &[(usize, u64, u8, u64)]) -> Vec<QueueItem> {
+    raw.iter()
+        .map(|&(tokens, age_micros, class, deadline)| QueueItem {
+            tokens,
+            age_micros,
+            priority: match class % 3 {
+                0 => Priority::Bulk,
+                1 => Priority::Normal,
+                _ => Priority::High,
+            },
+            deadline_micros: (deadline > 0).then_some(deadline),
+        })
+        .collect()
+}
+
+/// The reference FIFO-prefix policy (the pre-priority scheduler).
+fn fifo_prefix(queue: &[QueueItem], max_requests: usize, max_tokens: usize) -> usize {
+    let mut tokens = 0_usize;
+    let mut n = 0_usize;
+    for q in queue.iter().take(max_requests.max(1)) {
+        if n > 0 && tokens + q.tokens > max_tokens {
+            break;
+        }
+        tokens += q.tokens;
+        n += 1;
+    }
+    n.max(1)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(256))]
 
     #[test]
     fn budget_and_caps_respected(
-        queue in prop::collection::vec((1_usize..400, 0_u64..5_000), 1..24),
+        raw in prop::collection::vec(
+            (1_usize..400, 0_u64..5_000, 0_u8..3, 0_u64..8_000), 1..24),
         max_requests in 1_usize..10,
         max_tokens in 1_usize..600,
         max_wait in 0_u64..3_000,
     ) {
-        let planner = BatchPlanner { max_requests, max_tokens, max_wait_micros: max_wait };
+        let queue = items(&raw);
+        let planner = BatchPlanner {
+            max_requests,
+            max_tokens,
+            max_wait_micros: max_wait,
+            starvation_age_micros: 4_000,
+            priority_aware: true,
+        };
         match planner.decide(&queue) {
-            PlanDecision::Flush(n) => {
-                prop_assert!(n >= 1, "a non-empty queue must never flush nothing");
-                prop_assert!(n <= queue.len());
-                prop_assert!(n <= max_requests, "request cap violated: {n} > {max_requests}");
-                let tokens: usize = queue[..n].iter().map(|&(t, _)| t).sum();
+            PlanDecision::Flush(set) => {
+                prop_assert!(!set.is_empty(), "a non-empty queue must never flush nothing");
+                prop_assert!(set.len() <= queue.len());
+                prop_assert!(set.len() <= max_requests, "request cap violated");
+                let mut sorted = set.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                prop_assert_eq!(sorted.len(), set.len(), "duplicate positions in flush set");
+                prop_assert!(*sorted.last().unwrap() < queue.len(), "position out of range");
+                let tokens: usize = set.iter().map(|&i| queue[i].tokens).sum();
                 // The token budget may only be exceeded by a mandatory
                 // singleton (one request alone larger than the budget).
                 prop_assert!(
-                    tokens <= max_tokens || n == 1,
-                    "token budget violated: {tokens} > {max_tokens} with n={n}"
+                    tokens <= max_tokens || set.len() == 1,
+                    "token budget violated: {} > {} with n={}",
+                    tokens, max_tokens, set.len()
                 );
             }
             PlanDecision::Wait(w) => {
                 // Waiting is only allowed while the whole queue fits and
                 // could still grow...
-                let total: usize = queue.iter().map(|&(t, _)| t).sum();
+                let total: usize = queue.iter().map(|q| q.tokens).sum();
                 prop_assert!(queue.len() < max_requests);
                 prop_assert!(total < max_tokens);
+                // ...nothing urgent is queued...
+                for q in &queue {
+                    prop_assert!(q.priority != Priority::High, "High must not wait");
+                    prop_assert!(
+                        q.deadline_micros.is_none_or(|d| d > max_wait),
+                        "deadline inside the bound must not wait"
+                    );
+                }
                 // ...and never beyond the age bound of the oldest request.
-                let oldest = queue[0].1;
+                let oldest = queue[0].age_micros;
                 prop_assert!(oldest < max_wait, "aged request must flush, not wait");
                 prop_assert_eq!(oldest + w, max_wait, "wait must end exactly at the bound");
             }
@@ -50,16 +109,119 @@ proptest! {
     }
 
     #[test]
+    fn flush_is_a_maximal_prefix_of_the_scheduling_order(
+        raw in prop::collection::vec(
+            (1_usize..400, 0_u64..5_000, 0_u8..3, 0_u64..8_000), 1..24),
+        max_requests in 1_usize..10,
+        max_tokens in 1_usize..600,
+    ) {
+        let queue = items(&raw);
+        let planner = BatchPlanner {
+            max_requests,
+            max_tokens,
+            max_wait_micros: 0,
+            starvation_age_micros: 4_000,
+            priority_aware: true,
+        };
+        let order = planner.order(&queue);
+        match planner.decide(&queue) {
+            PlanDecision::Flush(set) => {
+                // The flush set is a *prefix* of the scheduling order:
+                // the planner never skips over an inadmissible request
+                // to admit one scheduled behind it.
+                prop_assert_eq!(&set[..], &order[..set.len()],
+                    "flush set must be the leading slice of the order");
+                if set.len() < order.len() && set.len() < max_requests {
+                    let tokens: usize = set.iter().map(|&i| queue[i].tokens).sum();
+                    let next = queue[order[set.len()]].tokens;
+                    prop_assert!(
+                        tokens + next > max_tokens,
+                        "prefix not maximal: {} + {} <= {}", tokens, next, max_tokens
+                    );
+                }
+            }
+            PlanDecision::Wait(_) => prop_assert!(false, "zero wait allowance must flush"),
+        }
+    }
+
+    #[test]
+    fn uniform_queue_degrades_to_exact_fifo_prefix(
+        raw in prop::collection::vec((1_usize..400, 0_u64..3_000), 1..24),
+        max_requests in 1_usize..10,
+        max_tokens in 1_usize..600,
+    ) {
+        // One class, no deadlines, nobody starved: the priority policy
+        // must be indistinguishable from the historical FIFO scheduler.
+        let queue: Vec<QueueItem> =
+            raw.iter().map(|&(t, a)| QueueItem::plain(t, a)).collect();
+        let planner = BatchPlanner {
+            max_requests,
+            max_tokens,
+            max_wait_micros: 0,
+            starvation_age_micros: 1_000_000,
+            priority_aware: true,
+        };
+        match planner.decide(&queue) {
+            PlanDecision::Flush(set) => {
+                let expected: Vec<usize> =
+                    (0..fifo_prefix(&queue, max_requests, max_tokens)).collect();
+                prop_assert_eq!(set, expected, "uniform load must stay pure FIFO");
+            }
+            PlanDecision::Wait(_) => prop_assert!(false, "zero wait allowance must flush"),
+        }
+    }
+
+    #[test]
+    fn priority_order_is_priority_then_edf_then_fifo(
+        raw in prop::collection::vec(
+            (1_usize..400, 0_u64..3_000, 0_u8..3, 0_u64..8_000), 2..24),
+    ) {
+        let queue = items(&raw);
+        let planner = BatchPlanner {
+            max_requests: 8,
+            max_tokens: 600,
+            max_wait_micros: 0,
+            starvation_age_micros: u64::MAX,
+            priority_aware: true,
+        };
+        let order = planner.order(&queue);
+        for pair in order.windows(2) {
+            let (a, b) = (&queue[pair[0]], &queue[pair[1]]);
+            // Priority classes never interleave out of order...
+            prop_assert!(a.priority >= b.priority,
+                "{:?} scheduled after {:?}", b.priority, a.priority);
+            if a.priority == b.priority {
+                // ...EDF within a class (None = infinitely late)...
+                let da = a.deadline_micros.unwrap_or(u64::MAX);
+                let db = b.deadline_micros.unwrap_or(u64::MAX);
+                prop_assert!(da <= db, "EDF violated: {da} after {db}");
+                // ...and FIFO on exact ties.
+                if da == db {
+                    prop_assert!(pair[0] < pair[1], "FIFO tie-break violated");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn aged_head_never_waits(
-        queue in prop::collection::vec((1_usize..400, 0_u64..5_000), 1..24),
+        raw in prop::collection::vec(
+            (1_usize..400, 0_u64..5_000, 0_u8..3, 0_u64..8_000), 1..24),
         max_requests in 1_usize..10,
         max_tokens in 1_usize..600,
         max_wait in 0_u64..2_000,
     ) {
         // Force the head request to be at (or past) the age bound.
-        let mut queue = queue;
-        queue[0].1 = max_wait + queue[0].1 % 7;
-        let planner = BatchPlanner { max_requests, max_tokens, max_wait_micros: max_wait };
+        let mut raw = raw;
+        raw[0].1 = max_wait + raw[0].1 % 7;
+        let queue = items(&raw);
+        let planner = BatchPlanner {
+            max_requests,
+            max_tokens,
+            max_wait_micros: max_wait,
+            starvation_age_micros: 1_000_000,
+            priority_aware: true,
+        };
         prop_assert!(
             matches!(planner.decide(&queue), PlanDecision::Flush(_)),
             "a request at the age bound must be flushed"
@@ -67,28 +229,28 @@ proptest! {
     }
 
     #[test]
-    fn flush_is_the_maximal_admissible_prefix(
-        queue in prop::collection::vec((1_usize..400, 0_u64..5_000), 1..24),
-        max_requests in 1_usize..10,
-        max_tokens in 1_usize..600,
+    fn starved_requests_are_admitted_first(
+        raw in prop::collection::vec(
+            (1_usize..100, 0_u64..5_000, 0_u8..3, 0_u64..8_000), 1..24),
+        starved_at in 0_usize..24,
     ) {
-        // With no wait allowance the planner must flush immediately, and
-        // the prefix must be maximal: the next request (if any) would
-        // break a cap. FIFO/contiguity holds by construction — the
-        // decision is a prefix length, never a subset.
-        let planner = BatchPlanner { max_requests, max_tokens, max_wait_micros: 0 };
+        let mut raw = raw;
+        let starved_at = starved_at % raw.len();
+        raw[starved_at].1 = 60_000; // far past the starvation bound
+        raw[starved_at].2 = 0; // even as Bulk
+        let queue = items(&raw);
+        let planner = BatchPlanner {
+            max_requests: 4,
+            max_tokens: 600,
+            max_wait_micros: 0,
+            starvation_age_micros: 50_000,
+            priority_aware: true,
+        };
         match planner.decide(&queue) {
-            PlanDecision::Flush(n) => {
-                if n < queue.len() {
-                    let tokens: usize = queue[..n].iter().map(|&(t, _)| t).sum();
-                    let next = queue[n].0;
-                    prop_assert!(
-                        n == max_requests || tokens + next > max_tokens,
-                        "prefix of {n} not maximal: caps {max_requests}/{max_tokens}, \
-                         tokens {tokens}, next {next}"
-                    );
-                }
-            }
+            PlanDecision::Flush(set) => prop_assert!(
+                set.contains(&starved_at),
+                "starved request {} missing from flush set {:?}", starved_at, set
+            ),
             PlanDecision::Wait(_) => prop_assert!(false, "zero wait allowance must flush"),
         }
     }

@@ -274,3 +274,70 @@ fn per_request_option_overrides_match_dedicated_engines() {
     server.shutdown();
     std::fs::remove_file(&path).unwrap();
 }
+
+/// Under a busy single worker, a later High-priority submission must be
+/// served before earlier Bulk submissions that are still queued.
+#[test]
+fn high_priority_overtakes_queued_bulk() {
+    use std::sync::{Arc, Mutex};
+
+    let (config, path) = fixture("priority");
+    // Throttled streaming keeps each batch slow enough that the queue
+    // stays populated while the worker is busy.
+    let slow = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        config.clone(),
+        EngineOptions {
+            stream_throttle: Some(4_000_000),
+            embed_cache: false,
+            ..Default::default()
+        },
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let server = PrismServer::start(
+        slow,
+        ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let requests = batches(&config, 5, 8);
+
+    // Occupy the worker, then queue three Bulk requests and one High.
+    let head = server
+        .submit(ServeRequest::new("p", requests[0].clone(), 3))
+        .unwrap();
+    let completion_order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+    let mut waiters = Vec::new();
+    for (i, label) in [(1, "bulk"), (2, "bulk"), (3, "bulk"), (4, "high")] {
+        let options = RequestOptions::tagged(3, i as u64 + 1).with_priority(if label == "high" {
+            prism_core::Priority::High
+        } else {
+            prism_core::Priority::Bulk
+        });
+        let handle = server
+            .submit(ServeRequest::new("p", requests[i].clone(), 3).with_options(options))
+            .unwrap();
+        let order = Arc::clone(&completion_order);
+        waiters.push(std::thread::spawn(move || {
+            handle.wait().unwrap();
+            order.lock().unwrap().push(label);
+        }));
+    }
+    head.wait().unwrap();
+    for w in waiters {
+        w.join().unwrap();
+    }
+    let order = completion_order.lock().unwrap().clone();
+    server.shutdown();
+    assert_eq!(
+        order.first(),
+        Some(&"high"),
+        "High must be served before the queued Bulk requests: {order:?}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}

@@ -5,7 +5,7 @@
 //! cargo run --release -p prism-apps --example threshold_autotune
 //! ```
 
-use prism_core::{EngineOptions, PrismEngine, ThresholdCalibrator};
+use prism_core::{EngineOptions, PrismEngine, RequestOptions, ThresholdCalibrator};
 use prism_metrics::MemoryMeter;
 use prism_model::{Model, ModelConfig, SequenceBatch};
 use prism_storage::Container;
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = dataset_by_name("wikipedia").expect("catalog dataset");
     let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 9);
 
-    let mut engine = PrismEngine::new(
+    let engine = PrismEngine::new(
         Container::open(&path)?,
         config.clone(),
         EngineOptions {
@@ -40,12 +40,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut calibrator = ThresholdCalibrator::new(0.9, 0.05);
     println!("target precision 0.90 vs full inference; starting threshold 0.05");
     for round in 0..6 {
-        engine.set_dispersion_threshold(calibrator.threshold());
+        // The calibrator's actuator is the per-request threshold
+        // override: the engine is `Sync` (shared behind `Arc` when
+        // serving), so calibration adjusts requests, not engine state.
+        let options = RequestOptions::top_k(k).with_dispersion_threshold(calibrator.threshold());
         let mut work = 0.0;
         for r in 0..4 {
             let idx = round * 4 + r;
             let batch = SequenceBatch::new(&generator.request(idx, 20).sequences())?;
-            let fast = engine.select_top_k(&batch, k)?;
+            let fast = engine.select_with(&batch, options.clone())?;
             let truth = oracle.select_top_k(&batch, k)?;
             work += fast.trace.active_per_layer.iter().sum::<usize>() as f64
                 / (20 * config.num_layers) as f64;

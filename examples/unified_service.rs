@@ -1,0 +1,135 @@
+//! The unified `SelectionService` facade: one API over the direct
+//! engine and the multi-tenant server.
+//!
+//! ```text
+//! cargo run --release --example unified_service
+//! ```
+//!
+//! Demonstrates the full surface on both backends:
+//! * non-blocking submit → `SelectionHandle` (`poll` / `wait` /
+//!   `wait_timeout`),
+//! * layer-granularity progress (layers forwarded, candidates pruned),
+//! * per-request `Priority` and deadlines honoured by the server's
+//!   priority-then-EDF scheduler,
+//! * mid-flight cancellation releasing resources at a layer boundary,
+//! * bit-identical results across backends for the same batch and tag.
+
+use std::time::Duration;
+
+use prism_api::{LocalService, Priority, RequestOptions, SelectionService, ServiceError};
+use prism_core::{EngineOptions, PrismEngine};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelConfig, SequenceBatch};
+use prism_serve::{PrismServer, ServeConfig};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = ModelConfig::qwen3_0_6b().mini_twin();
+    let model = Model::generate(config.clone(), 42)?;
+    let path = std::env::temp_dir().join("prism-unified-service.prsm");
+    model.write_container(&path)?;
+    let engine = |streaming: bool| -> Result<PrismEngine, Box<dyn std::error::Error>> {
+        Ok(PrismEngine::new(
+            Container::open(&path)?,
+            config.clone(),
+            EngineOptions {
+                streaming,
+                embed_cache: false,
+                ..Default::default()
+            },
+            MemoryMeter::new(),
+        )?)
+    };
+    let profile = dataset_by_name("wikipedia").expect("catalog dataset");
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 17);
+    let batch = SequenceBatch::new(&generator.request(0, 20).sequences())?;
+
+    // ---- LocalService: non-blocking handle + progress over a direct
+    //      engine ----
+    let local = LocalService::new(engine(false)?);
+    let handle = local.submit(batch.clone(), RequestOptions::tagged(5, 1))?;
+    let mut polls = 0_u32;
+    let outcome = loop {
+        if let Some(result) = handle.wait_timeout(Duration::from_millis(2)) {
+            break result?;
+        }
+        polls += 1;
+        let p = handle.progress();
+        println!(
+            "  in flight: {} layers forwarded, {} active / {} pruned",
+            p.layers_forwarded, p.candidates_active, p.candidates_pruned
+        );
+    };
+    let local_top = outcome.selection.top_ids();
+    println!(
+        "local   top-5 {:?} after {} layers ({} progress polls)",
+        local_top, outcome.selection.trace.executed_layers, polls
+    );
+
+    // ---- RemoteService: the same facade over the batched server ----
+    let server = PrismServer::start(
+        engine(true)?,
+        ServeConfig {
+            workers: 2,
+            max_batch_requests: 4,
+            ..Default::default()
+        },
+    )?;
+    let remote = server.service("example-tenant");
+
+    // High priority with a generous deadline: scheduled ahead of bulk
+    // work, aborted at a layer boundary if the deadline ever passed.
+    let urgent = remote.submit(
+        batch.clone(),
+        RequestOptions::tagged(5, 1)
+            .with_priority(Priority::High)
+            .with_deadline_us(30_000_000),
+    )?;
+    // A bulk request we immediately regret: cancellation releases its
+    // spill/scratch at the next layer boundary (or sheds it in-queue).
+    let regretted = remote.submit(
+        batch.clone(),
+        RequestOptions::top_k(5).with_priority(Priority::Bulk),
+    )?;
+    regretted.cancel();
+
+    let remote_outcome = urgent.wait()?;
+    println!(
+        "remote  top-5 {:?} (ticket {}, batched {}-wide)",
+        remote_outcome.selection.top_ids(),
+        remote_outcome.ticket,
+        remote_outcome.batch_size
+    );
+    match regretted.wait() {
+        Err(ServiceError::Cancelled) => println!("regretted request: cancelled, as asked"),
+        Ok(_) => println!("regretted request: finished before the cancel landed"),
+        Err(e) => return Err(e.into()),
+    }
+
+    // An already-expired deadline is rejected at admission with the
+    // typed error (and a `retry_after` hint rides on backpressure).
+    match remote.submit(batch.clone(), RequestOptions::top_k(5).with_deadline_us(0)) {
+        Err(ServiceError::DeadlineExceeded) => {
+            println!("expired deadline: rejected at admission")
+        }
+        other => println!("unexpected admission outcome: {other:?}"),
+    }
+
+    // ---- One facade, one answer: backends agree bit-for-bit ----
+    assert_eq!(
+        remote_outcome.selection.top_ids(),
+        local_top,
+        "backends must agree on the same batch and tag"
+    );
+    println!("local and remote backends returned identical selections");
+
+    let snap = server.stats().snapshot();
+    println!(
+        "server: {} completed, {} cancelled, {} deadline-rejected, {} inversions",
+        snap.completed, snap.cancelled, snap.deadline_rejected, snap.priority_inversions
+    );
+    server.shutdown();
+    std::fs::remove_file(&path)?;
+    Ok(())
+}

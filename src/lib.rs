@@ -15,6 +15,7 @@
 //! memory-bounded chunks with optional hidden-state spill (§4.3), and hot
 //! embedding rows are served from an LRU cache (§4.4).
 
+pub use prism_api as api;
 pub use prism_apps as apps;
 pub use prism_baselines as baselines;
 pub use prism_cluster as cluster;

@@ -3,7 +3,7 @@
 //! exercised together at test scale.
 
 use prism_baselines::{HfOffload, HfVanilla, Reranker};
-use prism_core::{EngineOptions, PrismEngine, ThresholdCalibrator};
+use prism_core::{EngineOptions, PrismEngine, RequestOptions, ThresholdCalibrator};
 use prism_metrics::{precision_at_k, MemCategory, MemoryMeter};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
 use prism_storage::{Container, Throttle};
@@ -72,7 +72,7 @@ fn all_systems_agree_on_clear_winners() {
 #[test]
 fn calibrator_converges_against_live_engine() {
     let (model, path) = fixture("calib");
-    let mut engine = PrismEngine::new(
+    let engine = PrismEngine::new(
         Container::open(&path).unwrap(),
         model.config.clone(),
         EngineOptions {
@@ -92,10 +92,12 @@ fn calibrator_converges_against_live_engine() {
     let mut calibrator = ThresholdCalibrator::new(0.85, 0.02);
     let k = 4;
     for round in 0..5_u64 {
-        engine.set_dispersion_threshold(calibrator.threshold());
+        // Per-request override: the calibrator's actuator since the
+        // engine became `Sync` (no `&mut` threshold setter).
+        let options = RequestOptions::top_k(k).with_dispersion_threshold(calibrator.threshold());
         for r in 0..4 {
             let (batch, _) = request(&model, round * 4 + r, 12);
-            let fast = engine.select_top_k(&batch, k).unwrap();
+            let fast = engine.select_with(&batch, options.clone()).unwrap();
             let truth = oracle.select_top_k(&batch, k).unwrap();
             calibrator.record_sample(&fast.top_ids(), &truth.top_ids(), k);
         }
@@ -106,11 +108,11 @@ fn calibrator_converges_against_live_engine() {
     let t = calibrator.threshold();
     assert!((0.02..=2.0).contains(&t));
     // And the engine at the calibrated threshold meets the target.
-    engine.set_dispersion_threshold(t);
+    let calibrated = RequestOptions::top_k(k).with_dispersion_threshold(t);
     let mut total = 0.0;
     for r in 100..104 {
         let (batch, _) = request(&model, r, 12);
-        let fast = engine.select_top_k(&batch, k).unwrap();
+        let fast = engine.select_with(&batch, calibrated.clone()).unwrap();
         let truth = oracle.select_top_k(&batch, k).unwrap();
         total += precision_at_k(&fast.top_ids(), &truth.top_ids(), k);
     }

@@ -14,6 +14,7 @@
 //!    direct engine calls for the same requests, at every batch size
 //!    1..=8 and across worker counts, with and without the session cache.
 
+use prism::api::{SelectionService, ServiceError};
 use prism::core::{EngineOptions, PrismEngine, RequestOptions, Selection};
 use prism::metrics::MemoryMeter;
 use prism::model::{Model, ModelArch, ModelConfig, SequenceBatch};
@@ -254,6 +255,142 @@ fn serving_is_bit_identical_across_worker_counts_and_cache() {
         }
         server.shutdown();
     }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The `prism-api` facade over the server must return the same bits as
+/// both the legacy submission path and direct engine calls.
+#[test]
+fn facade_handles_are_bit_identical_to_direct_calls() {
+    let (config, path, batches) = fixture("facade");
+    let reference = reference_selections(&config, &path, &batches);
+    let server = PrismServer::start(
+        engine(&config, &path),
+        ServeConfig {
+            workers: 2,
+            max_batch_requests: 4,
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let service = server.service("facade");
+    let handles: Vec<_> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            service
+                .submit(b.clone(), RequestOptions::tagged(K, i as u64 + 1))
+                .unwrap()
+        })
+        .collect();
+    for (i, handle) in handles.into_iter().enumerate() {
+        let outcome = handle.wait().unwrap();
+        assert_eq!(
+            exact_bits(&outcome.selection),
+            exact_bits(&reference[i]),
+            "facade request {i} diverged"
+        );
+    }
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Satellite conformance case: cancelled requests are answered with
+/// `ServiceError::Cancelled`, counted on the `cancelled` gauge, and
+/// never appear in `ServeStats` completions.
+#[test]
+fn cancelled_requests_never_appear_in_completions() {
+    let (config, path, batches) = fixture("cancel-stats");
+    // A slow streamed engine (emulated-SSD throttle) keeps the single
+    // worker busy on the first request long enough for the cancellations
+    // of the queued ones to land deterministically.
+    let slow_engine = PrismEngine::new(
+        Container::open(&path).unwrap(),
+        config.clone(),
+        EngineOptions {
+            stream_throttle: Some(2_000_000),
+            embed_cache: false,
+            ..Default::default()
+        },
+        MemoryMeter::new(),
+    )
+    .unwrap();
+    let server = PrismServer::start(
+        slow_engine,
+        ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let service = server.service("cancel");
+
+    // Occupy the worker, then queue the cancellation targets behind it.
+    let running = service
+        .submit(batches[0].clone(), RequestOptions::tagged(K, 1))
+        .unwrap();
+    let targets: Vec<_> = batches[1..5]
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            service
+                .submit(b.clone(), RequestOptions::tagged(K, i as u64 + 2))
+                .unwrap()
+        })
+        .collect();
+    for t in &targets {
+        t.cancel();
+    }
+    let mut cancelled = 0_u64;
+    let mut finished = 1_u64; // the running request
+    running.wait().unwrap();
+    for t in targets {
+        match t.wait() {
+            Err(ServiceError::Cancelled) => cancelled += 1,
+            Ok(_) => finished += 1,
+            other => panic!("expected Cancelled or success, got {other:?}"),
+        }
+    }
+    let snap = server.stats().snapshot();
+    server.shutdown();
+    assert!(cancelled > 0, "at least one queued request must cancel");
+    assert_eq!(
+        snap.completed, finished,
+        "completions must count exactly the finished requests"
+    );
+    assert_eq!(
+        snap.cancelled, cancelled,
+        "every cancellation must land on the cancelled gauge"
+    );
+    assert_eq!(
+        snap.completed + snap.cancelled,
+        5,
+        "all five submissions accounted for, disjointly"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Expired deadlines are rejected at admission with the typed error and
+/// counted separately from completions.
+#[test]
+fn expired_deadline_rejected_at_admission() {
+    let (config, path, batches) = fixture("deadline-adm");
+    let server = PrismServer::start(engine(&config, &path), ServeConfig::default()).unwrap();
+    let service = server.service("deadline");
+    let err = service
+        .submit(
+            batches[0].clone(),
+            RequestOptions::top_k(K).with_deadline_us(0),
+        )
+        .unwrap_err();
+    assert!(matches!(err, ServiceError::DeadlineExceeded));
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.deadline_rejected, 1);
+    assert_eq!(snap.submitted, 0, "rejected request was never admitted");
+    server.shutdown();
     std::fs::remove_file(&path).unwrap();
 }
 
