@@ -9,6 +9,11 @@
 //!   fig11 fig12 fig13 fig14 fig15   real-world applications (§6.3)
 //!   fig16 ablation-extra      ablations (§6.4 + DESIGN.md §5)
 //!   perf                      kernel/engine perf trajectory (BENCH_kernels.json)
+//!   perf-guard [--min F]      fail (exit 1) if any BENCH_kernels.json speedup
+//!                             entry sits below F (default 0.9, i.e. 1.0 minus a
+//!                             10% bench-noise allowance) or any offload scale
+//!                             sits below 2.7 (the 3x acceptance gate minus the
+//!                             same allowance)
 //!   all                       everything above
 //! ```
 //!
@@ -26,6 +31,23 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     let what = chosen.first().copied().unwrap_or("all");
+
+    if what == "perf-guard" {
+        let min = args
+            .iter()
+            .position(|a| a == "--min")
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(0.9);
+        match perf::perf_guard(min) {
+            Ok(msg) => println!("{msg}"),
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let run = |name: &str| match name {
         "table1" => overview::table1(),

@@ -22,6 +22,7 @@
 //! prsm serve <container.prsm> --model <name> [--scale mini|test]
 //!           [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
 //!           [--cache-sessions N] [--throttle BYTES_PER_S]
+//!           [--offload on|off] [--spill int8|f32]
 //!           [--requests N] [--clients N] [--candidates N] [--k N]
 //!           [--sessions N] [--repeat N] [--dataset wikipedia]
 //!           [--starvation-ms N] [--priority high|normal|bulk] [--deadline-ms N]
@@ -54,7 +55,7 @@
 
 use std::fmt::Write as _;
 
-use prism_core::{EngineOptions, Priority, PrismEngine};
+use prism_core::{EngineOptions, Priority, PrismEngine, SpillPrecision};
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
     PrismSimOptions, PruneSchedule,
@@ -344,8 +345,16 @@ fn rerank(args: &[&str]) -> Result<String, String> {
 
 /// Opens a serving engine over a container path (shared by `serve` and
 /// `bench-serve`). `throttle` caps streaming bandwidth in bytes/s to
-/// emulate a device SSD (`0` = native speed).
-fn serving_engine(path: &str, config: &ModelConfig, throttle: u64) -> Result<PrismEngine, String> {
+/// emulate a device SSD (`0` = native speed); `offload` additionally
+/// spills non-active chunk hidden states to disk (the §4.3 extreme
+/// memory-pressure regime, where the per-request `--spill` precision
+/// becomes observable).
+fn serving_engine(
+    path: &str,
+    config: &ModelConfig,
+    throttle: u64,
+    offload: bool,
+) -> Result<PrismEngine, String> {
     let container = Container::open(path).map_err(|e| e.to_string())?;
     let options = EngineOptions {
         stream_throttle: (throttle > 0).then_some(throttle),
@@ -353,6 +362,7 @@ fn serving_engine(path: &str, config: &ModelConfig, throttle: u64) -> Result<Pri
         // §4.4 disk-backed cache targets one-shot on-device flows);
         // layer weights still stream per batch.
         embed_cache: false,
+        hidden_offload: offload,
         ..Default::default()
     };
     PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
@@ -365,6 +375,26 @@ fn resolve_priority(name: &str) -> Result<Priority, String> {
         "normal" => Ok(Priority::Normal),
         "bulk" | "low" => Ok(Priority::Bulk),
         other => Err(format!("unknown priority `{other}` (high|normal|bulk)")),
+    }
+}
+
+fn resolve_spill(name: &str) -> Result<SpillPrecision, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "int8" => Ok(SpillPrecision::Int8),
+        "f32" => Ok(SpillPrecision::F32),
+        other => Err(format!("unknown spill precision `{other}` (int8|f32)")),
+    }
+}
+
+/// Parses an `--NAME on|off` switch (absent = off).
+fn resolve_switch(p: &Parsed<'_>, name: &str) -> Result<bool, String> {
+    match p.flag(name) {
+        None => Ok(false),
+        Some(v) => match v.to_ascii_lowercase().as_str() {
+            "on" | "true" | "1" => Ok(true),
+            "off" | "false" | "0" => Ok(false),
+            other => Err(format!("--{name} takes on|off, got `{other}`")),
+        },
     }
 }
 
@@ -391,6 +421,7 @@ fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
         high_fraction: p.flag_parse("high-frac", 0.0_f64)?,
         high_deadline_us: deadline_us,
         deadline_us,
+        spill_precision: resolve_spill(p.flag("spill").unwrap_or("int8"))?,
     })
 }
 
@@ -468,8 +499,9 @@ fn serve(args: &[&str]) -> Result<String, String> {
     };
     let spec = load_spec_from(&p)?;
     let throttle: u64 = p.flag_parse("throttle", 0)?;
+    let offload = resolve_switch(&p, "offload")?;
 
-    let engine = serving_engine(path, &config, throttle)?;
+    let engine = serving_engine(path, &config, throttle, offload)?;
     let server = PrismServer::start(engine, serve_config.clone()).map_err(|e| e.to_string())?;
     let report = run_closed_loop(&server, &spec);
     server.shutdown();
@@ -521,10 +553,11 @@ fn bench_serve(args: &[&str]) -> Result<String, String> {
     // that is the regime cross-request batching amortizes; `--throttle 0`
     // measures native disk speed instead.
     let throttle: u64 = p.flag_parse("throttle", 16_000_000)?;
+    let offload = resolve_switch(&p, "offload")?;
 
     // Reference: one worker, no coalescing, no cache.
     let serial_server = PrismServer::start(
-        serving_engine(path, &config, throttle)?,
+        serving_engine(path, &config, throttle, offload)?,
         ServeConfig::serial(),
     )
     .map_err(|e| e.to_string())?;
@@ -538,7 +571,7 @@ fn bench_serve(args: &[&str]) -> Result<String, String> {
         ..Default::default()
     };
     let batched_server = PrismServer::start(
-        serving_engine(path, &config, throttle)?,
+        serving_engine(path, &config, throttle, offload)?,
         batched_config.clone(),
     )
     .map_err(|e| e.to_string())?;
@@ -603,8 +636,9 @@ fn bench_serve(args: &[&str]) -> Result<String, String> {
                 ),
                 ..Default::default()
             };
-            let server = PrismServer::start(serving_engine(path, &config, throttle)?, serve_cfg)
-                .map_err(|e| e.to_string())?;
+            let server =
+                PrismServer::start(serving_engine(path, &config, throttle, offload)?, serve_cfg)
+                    .map_err(|e| e.to_string())?;
             let report = run_closed_loop(&server, &mixed_spec);
             server.shutdown();
             let _ = writeln!(

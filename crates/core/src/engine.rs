@@ -32,7 +32,7 @@ use prism_model::model::{add_position, layer_section, SECTION_EMBEDDING, SECTION
 use prism_model::{HeadWeights, LayerWeights, ModelConfig, SequenceBatch};
 use prism_storage::{
     Container, DiskRowSource, EmbeddingCache, EmbeddingCacheStats, LayerStreamer, SpillFile,
-    StreamStats, Throttle,
+    SpillPipeline, SpillPrecision, SpillStats, StreamStats, Throttle,
 };
 use prism_tensor::Tensor;
 use serde::Serialize;
@@ -91,6 +91,11 @@ pub struct EngineTrace {
     /// Embedding-cache statistics (zero when the cache is off).
     #[serde(skip)]
     pub cache_stats: EmbeddingCacheStats,
+    /// Spill-pipeline statistics (zero when hidden offload is off):
+    /// bytes through the spill file, I/O time, and how much of it the
+    /// overlapped window hid behind computation.
+    #[serde(skip)]
+    pub spill_stats: SpillStats,
     /// Named latency spans (embed / stream-wait / forward / gate / ...).
     #[serde(skip)]
     pub latency: LatencyRecorder,
@@ -150,6 +155,13 @@ pub struct RequestOptions {
     /// layer boundary with [`PrismError::DeadlineExceeded`]. `None`
     /// (default) means no deadline.
     pub deadline_us: Option<u64>,
+    /// Precision of hidden states spilled under the offload regime. The
+    /// default [`SpillPrecision::Int8`] moves 4x fewer bytes through the
+    /// spill throttle (per-candidate scores shift within the row-quant
+    /// error bound but top-K membership is preserved in practice);
+    /// [`SpillPrecision::F32`] opts out for a bit-exact spill round trip.
+    /// Ignored when the engine does not offload hidden states.
+    pub spill_precision: SpillPrecision,
 }
 
 impl RequestOptions {
@@ -163,6 +175,7 @@ impl RequestOptions {
             pruning: None,
             priority: Priority::Normal,
             deadline_us: None,
+            spill_precision: SpillPrecision::default(),
         }
     }
 
@@ -190,6 +203,12 @@ impl RequestOptions {
     /// (the calibrator's actuator since the engine became `Sync`).
     pub fn with_dispersion_threshold(mut self, threshold: f32) -> Self {
         self.dispersion_threshold = Some(threshold);
+        self
+    }
+
+    /// Returns a copy with the given hidden-state spill precision.
+    pub fn with_spill_precision(mut self, precision: SpillPrecision) -> Self {
+        self.spill_precision = precision;
         self
     }
 }
@@ -266,7 +285,7 @@ pub struct ActiveRequest {
     chunks: Vec<Chunk>,
     /// Meter handle for drop-time release of this request's bytes.
     meter: MemoryMeter,
-    spill: Option<SpillFile>,
+    spill: Option<SpillPipeline>,
     /// Live hidden-state bytes this request currently contributes to the
     /// shared meter (delta-tracked so concurrent requests don't clobber
     /// each other's ledger entries).
@@ -342,14 +361,17 @@ impl ActiveRequest {
 
     /// Aborts at a layer boundary: releases every resource the request
     /// holds *now* — resident hidden states come off the shared meter,
-    /// the spill file is deleted — instead of when the batch finishes.
+    /// the spill pipeline is stopped (in-flight background I/O joined)
+    /// and its file deleted — instead of when the batch finishes.
     fn abort(&mut self, reason: AbortReason, meter: &MemoryMeter) {
         self.chunks.clear();
         self.current_scores.clear();
-        self.meter_hidden(meter);
-        if let Some(file) = self.spill.take() {
-            let _ = file.cleanup();
+        // Stop the pipeline before re-syncing the meter: its held bytes
+        // count as resident until the lanes have drained.
+        if let Some(pipe) = self.spill.take() {
+            let _ = pipe.cleanup();
         }
+        self.meter_hidden(meter);
         self.terminated = true;
         self.abort = Some(reason);
     }
@@ -372,10 +394,17 @@ impl ActiveRequest {
     }
 
     fn resident_hidden_bytes(&self) -> u64 {
-        self.chunks
+        let in_chunks: u64 = self
+            .chunks
             .iter()
             .filter_map(|c| c.hidden.as_ref().map(|h| h.size_bytes() as u64))
-            .sum()
+            .sum();
+        // Tensors the overlapped pipeline still holds (queued/in-flight
+        // write-backs, parked prefetch results) are just as resident as
+        // the chunks' own state; without this term the §4.3 peak would
+        // under-report by up to the pipeline's lane depth.
+        let in_pipeline = self.spill.as_ref().map_or(0, SpillPipeline::held_bytes);
+        in_chunks + in_pipeline
     }
 
     /// Re-syncs the shared meter with this request's resident hidden
@@ -406,8 +435,8 @@ impl Drop for ActiveRequest {
                 .free(MemCategory::HiddenStates, self.metered_hidden);
             self.metered_hidden = 0;
         }
-        if let Some(file) = self.spill.take() {
-            let _ = file.cleanup();
+        if let Some(pipe) = self.spill.take() {
+            let _ = pipe.cleanup();
         }
     }
 }
@@ -762,47 +791,68 @@ impl PrismEngine {
             }
         };
 
+        // Post-embedding probe, while every chunk is still resident: the
+        // probe scores are computed from the exact embedded hidden states
+        // (bit-identical to the pre-pipeline fetch-back path in f32 mode,
+        // quantization-free in int8 mode) and the offload regime saves
+        // one full read of every spilled chunk.
+        let probe_scores = latency.time("score", || self.probe_scores(&chunks))?;
+
         // Spill setup: only when offloading is on and there is something to
         // offload. The spill file name is unique per request so concurrent
         // selections on one engine never share a slot file.
-        let mut spill: Option<SpillFile> = None;
+        let mut spill: Option<SpillPipeline> = None;
         if self.options.hidden_offload && chunks.len() > 3 {
             let throttle = self
                 .options
                 .stream_throttle
                 .map_or(Throttle::unlimited(), Throttle::bandwidth);
-            let slot_floats = chunks
-                .iter()
-                .map(|c| c.rows() * self.config.hidden_dim)
-                .max()
-                .unwrap_or(0);
+            let max_rows = chunks.iter().map(Chunk::rows).max().unwrap_or(0);
             let mut path = self.spill_dir.clone();
             path.push(format!(
                 "prism-hidden-spill-{}-{}.bin",
                 std::process::id(),
                 self.spill_counter.fetch_add(1, Ordering::Relaxed)
             ));
-            let mut file = SpillFile::create(&path, chunks.len(), slot_floats, throttle)?;
-            // Offload all but the first window of chunks. A failed write
-            // (disk full — the regime spilling targets) must remove the
-            // temp file: the per-request unique names would otherwise
-            // accumulate one orphan per failure for the process lifetime.
+            let file = SpillFile::create(
+                &path,
+                chunks.len(),
+                max_rows,
+                self.config.hidden_dim,
+                options.spill_precision,
+                throttle,
+            )?;
+            let mut pipe = if self.options.spill_pipeline {
+                SpillPipeline::overlapped(file)?
+            } else {
+                SpillPipeline::synchronous(file)
+            };
+            // Offload all but the first window of chunks (queued on the
+            // writer lane when overlapped, so the initial offload hides
+            // behind planning's remaining work). A failed write (disk
+            // full — the regime spilling targets) must remove the temp
+            // file: the per-request unique names would otherwise
+            // accumulate one orphan per failure for the process
+            // lifetime; `SpillPipeline::cleanup` (also run by the
+            // `ActiveRequest` drop guard for deferred lane errors)
+            // guarantees that.
             let mut setup: Result<()> = Ok(());
             for (i, chunk) in chunks.iter_mut().enumerate().skip(3) {
                 if let Some(t) = chunk.hidden.take() {
-                    if let Err(e) = file.offload(i, &t) {
-                        chunk.hidden = Some(t);
-                        setup = Err(e.into());
-                        break;
+                    match pipe.write_back(i, t) {
+                        Ok(()) => chunk.spill_slot = Some(i),
+                        Err(e) => {
+                            setup = Err(e.into());
+                            break;
+                        }
                     }
-                    chunk.spill_slot = Some(i);
                 }
             }
             if let Err(e) = setup {
-                let _ = file.cleanup();
+                let _ = pipe.cleanup();
                 return Err(e);
             }
-            spill = Some(file);
+            spill = Some(pipe);
         }
 
         let mut req = ActiveRequest {
@@ -829,16 +879,7 @@ impl PrismEngine {
         };
         req.meter_hidden(&self.meter);
 
-        // Post-embedding probe.
-        req.current_scores = {
-            let ActiveRequest {
-                chunks,
-                spill,
-                latency,
-                ..
-            } = &mut req;
-            latency.time("score", || self.score_chunks(chunks, spill))?
-        };
+        req.current_scores = probe_scores;
         for (id, s) in &req.current_scores {
             req.last_scores[*id] = *s;
         }
@@ -949,7 +990,8 @@ impl PrismEngine {
     }
 
     /// Forwards one request's chunks through `layer_idx` and re-scores at
-    /// the layer boundary.
+    /// the layer boundary (fused: spilled chunks are scored while still
+    /// resident, so the boundary score costs no extra spill read).
     fn forward_and_score(
         &self,
         req: &mut ActiveRequest,
@@ -957,21 +999,6 @@ impl PrismEngine {
         weights: &LayerWeights,
         pool: &mut Vec<ForwardScratch>,
     ) -> Result<()> {
-        {
-            let ActiveRequest {
-                chunks,
-                spill,
-                latency,
-                ..
-            } = req;
-            latency.time("forward", || {
-                self.forward_chunks(chunks, spill, weights, layer_idx, pool)
-            })?;
-        }
-        req.meter_hidden(&self.meter);
-        req.trace.executed_layers += 1;
-
-        // ---- Score at the layer boundary ----
         req.current_scores = {
             let ActiveRequest {
                 chunks,
@@ -979,8 +1006,10 @@ impl PrismEngine {
                 latency,
                 ..
             } = req;
-            latency.time("score", || self.score_chunks(chunks, spill))?
+            self.forward_and_score_chunks(chunks, spill, weights, layer_idx, pool, latency)?
         };
+        req.meter_hidden(&self.meter);
+        req.trace.executed_layers += 1;
         for (id, s) in &req.current_scores {
             req.last_scores[*id] = *s;
         }
@@ -1024,9 +1053,15 @@ impl PrismEngine {
         if let EmbedSource::Cache(c) = &mut *self.embed.lock().expect("embed lock") {
             req.trace.cache_stats = c.stats();
         }
-        if let Some(file) = req.spill.take() {
-            req.trace.spill_bytes = file.bytes_written() + file.bytes_read();
-            file.cleanup()?;
+        if let Some(mut pipe) = req.spill.take() {
+            // Drain first so deferred background-write errors surface as
+            // this request's error (cleanup still removes the file).
+            let drained = pipe.drain();
+            let stats = pipe.stats();
+            req.trace.spill_stats = stats;
+            req.trace.spill_bytes = stats.bytes();
+            let cleaned = pipe.cleanup();
+            drained.and(cleaned)?;
         }
         req.chunks.clear();
         req.meter_hidden(&self.meter);
@@ -1079,23 +1114,29 @@ impl PrismEngine {
         Ok(hidden)
     }
 
-    /// Forwards every chunk through one layer.
+    /// Forwards every chunk through one layer and scores it at the
+    /// boundary, returning `(original_id, score)` pairs in chunk order.
     ///
     /// Resident (non-spilled) chunks run in parallel across a scoped
     /// thread pool — each worker owns one [`ForwardScratch`] — while the
-    /// spill window stays sequential: spilled chunks share the spill file
-    /// and are fetched, forwarded and written back one at a time, exactly
-    /// as the §4.3 memory bound assumes. Chunks are data-independent and
-    /// each is computed with a deterministic per-row accumulation order,
-    /// so the parallel schedule cannot change results.
-    fn forward_chunks(
+    /// spill window runs the paper's three-stage overlap: while chunk *i*
+    /// computes, chunk *i+1* prefetches on the pipeline's reader lane and
+    /// chunk *i-1*'s write-back drains on the writer lane, keeping at
+    /// most three spilled chunks in flight exactly as the §4.3 memory
+    /// bound assumes. Each spilled chunk is scored while still resident,
+    /// which saves the separate per-layer scoring read the synchronous
+    /// path paid. Chunks are data-independent and each is computed with a
+    /// deterministic per-row accumulation order, so neither the parallel
+    /// schedule nor the overlap can change results.
+    fn forward_and_score_chunks(
         &self,
         chunks: &mut [Chunk],
-        spill: &mut Option<SpillFile>,
+        spill: &mut Option<SpillPipeline>,
         weights: &LayerWeights,
         layer_idx: usize,
         pool: &mut Vec<ForwardScratch>,
-    ) -> Result<()> {
+        latency: &mut LatencyRecorder,
+    ) -> Result<Vec<(usize, f32)>> {
         let max_seq = chunks
             .iter()
             .flat_map(|c| c.seq_lens.iter().copied())
@@ -1107,26 +1148,45 @@ impl PrismEngine {
         while pool.len() < workers.max(1) {
             pool.push(ForwardScratch::new(&self.config, max_rows));
         }
+        let mut chunk_scores: Vec<Option<Vec<f32>>> = (0..chunks.len()).map(|_| None).collect();
 
-        // ---- Sequential spill window ----
-        for chunk in chunks.iter_mut() {
-            if chunk.spill_slot.is_none() {
-                continue;
+        // ---- Overlapped spill window ----
+        let spilled: Vec<usize> = (0..chunks.len())
+            .filter(|&i| chunks[i].spill_slot.is_some())
+            .collect();
+        if let (Some(pipe), Some(&first)) = (spill.as_mut(), spilled.first()) {
+            if chunks[first].hidden.is_none() {
+                pipe.prefetch(chunks[first].spill_slot.expect("spilled chunk"))?;
             }
+        }
+        for (pos, &ci) in spilled.iter().enumerate() {
+            let slot = chunks[ci].spill_slot.expect("spilled chunk");
+            let pipe = spill.as_mut().ok_or_else(|| {
+                PrismError::InvalidRequest("chunk spilled without a spill file".into())
+            })?;
             // The fetched chunk's bytes are metered for exactly the
-            // fetch→offload window (alloc/free deltas, so concurrent
-            // requests' ledgers stay untouched): the §4.3 peak is
-            // "resident chunks + the one in-flight spilled chunk".
+            // fetch→write-back window (alloc/free deltas, so concurrent
+            // requests' ledgers stay untouched).
             let mut fetched_bytes = 0_u64;
-            if chunk.hidden.is_none() {
-                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
-                    let t = file.fetch(slot)?;
-                    fetched_bytes = t.size_bytes() as u64;
-                    self.meter.alloc(MemCategory::HiddenStates, fetched_bytes);
-                    chunk.hidden = Some(t);
+            if chunks[ci].hidden.is_none() {
+                let t = latency.time("spill-wait", || pipe.fetch(slot))?;
+                fetched_bytes = t.size_bytes() as u64;
+                self.meter.alloc(MemCategory::HiddenStates, fetched_bytes);
+                chunks[ci].hidden = Some(t);
+            }
+            // Kick off the next chunk's read before computing this one.
+            if let Some(&next) = spilled.get(pos + 1) {
+                if chunks[next].hidden.is_none() {
+                    let next_slot = chunks[next].spill_slot.expect("spilled chunk");
+                    spill
+                        .as_mut()
+                        .expect("spill file present")
+                        .prefetch(next_slot)?;
                 }
             }
-            let Some(hidden) = chunk.hidden.as_mut() else {
+            let chunk = &mut chunks[ci];
+            let Chunk { hidden, ranges, .. } = chunk;
+            let Some(hidden) = hidden.as_mut() else {
                 continue;
             };
             // Meter alloc/free pairs stay balanced on the error path
@@ -1134,28 +1194,97 @@ impl PrismEngine {
             // long-running server must not inflate the shared ledger.
             let inter = intermediate_bytes(&self.config, hidden.rows(), max_seq);
             self.meter.alloc(MemCategory::Intermediate, inter);
-            let step = forward_layer_with(
-                &self.config,
-                weights,
-                layer_idx,
-                hidden,
-                &chunk.ranges,
-                &mut pool[0],
-            )
-            .map_err(PrismError::from)
-            .and_then(|()| {
-                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
-                    let t = chunk.hidden.take().expect("hidden present");
-                    file.offload(slot, &t)?;
-                }
-                Ok(())
-            });
+            let step = latency
+                .time("forward", || {
+                    forward_layer_with(
+                        &self.config,
+                        weights,
+                        layer_idx,
+                        hidden,
+                        ranges,
+                        &mut pool[0],
+                    )
+                })
+                .map_err(PrismError::from)
+                .and_then(|()| {
+                    // Score while resident: no extra spill read.
+                    latency
+                        .time("score", || {
+                            prism_model::classifier::score_sequences(
+                                &self.config,
+                                &self.head,
+                                hidden,
+                                ranges,
+                            )
+                        })
+                        .map_err(PrismError::from)
+                });
             self.meter.free(MemCategory::Intermediate, inter);
-            self.meter.free(MemCategory::HiddenStates, fetched_bytes);
-            step?;
+            match step {
+                Ok(scores) => {
+                    chunk_scores[ci] = Some(scores);
+                    let t = chunk.hidden.take().expect("hidden present");
+                    let wb = spill
+                        .as_mut()
+                        .expect("spill file present")
+                        .write_back(slot, t);
+                    self.meter.free(MemCategory::HiddenStates, fetched_bytes);
+                    wb?;
+                }
+                Err(e) => {
+                    self.meter.free(MemCategory::HiddenStates, fetched_bytes);
+                    return Err(e);
+                }
+            }
         }
 
         // ---- Parallel resident chunks ----
+        self.forward_resident_chunks(chunks, weights, layer_idx, pool, workers, max_seq, latency)?;
+
+        // ---- Score resident chunks at the boundary ----
+        latency.time("score", || -> Result<()> {
+            for (ci, chunk) in chunks.iter().enumerate() {
+                if chunk.spill_slot.is_some() || chunk.ids.is_empty() {
+                    continue;
+                }
+                let Some(hidden) = chunk.hidden.as_ref() else {
+                    continue;
+                };
+                chunk_scores[ci] = Some(prism_model::classifier::score_sequences(
+                    &self.config,
+                    &self.head,
+                    hidden,
+                    &chunk.ranges,
+                )?);
+            }
+            Ok(())
+        })?;
+
+        let mut out = Vec::new();
+        for (ci, chunk) in chunks.iter().enumerate() {
+            if let Some(scores) = chunk_scores[ci].take() {
+                for (id, s) in chunk.ids.iter().zip(scores) {
+                    out.push((*id, s));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Runs the resident (non-spilled) chunks of one layer, in parallel
+    /// when the per-layer work justifies the thread fan-out.
+    #[allow(clippy::too_many_arguments)] // internal driver: shapes + pools
+    fn forward_resident_chunks(
+        &self,
+        chunks: &mut [Chunk],
+        weights: &LayerWeights,
+        layer_idx: usize,
+        pool: &mut [ForwardScratch],
+        workers: usize,
+        max_seq: usize,
+        latency: &mut LatencyRecorder,
+    ) -> Result<()> {
+        let max_rows = chunks.iter().map(Chunk::rows).max().unwrap_or(0);
         let mut resident: Vec<&mut Chunk> = chunks
             .iter_mut()
             .filter(|c| c.spill_slot.is_none() && c.hidden.is_some())
@@ -1163,6 +1292,7 @@ impl PrismEngine {
         if resident.is_empty() {
             return Ok(());
         }
+        let forward_start = Instant::now();
         // Each live worker holds one scratch sized for the largest chunk;
         // that product is the true concurrent intermediate footprint.
         let inter = workers.max(1) as u64 * intermediate_bytes(&self.config, max_rows, max_seq);
@@ -1209,6 +1339,7 @@ impl PrismEngine {
             results.into_iter().collect()
         };
         self.meter.free(MemCategory::Intermediate, inter);
+        latency.record("forward", forward_start.elapsed().as_micros() as u64);
         result
     }
 
@@ -1235,23 +1366,17 @@ impl PrismEngine {
             .min(8)
     }
 
-    /// Scores all active candidates; returns `(original_id, score)` pairs
-    /// in chunk order.
-    fn score_chunks(
-        &self,
-        chunks: &mut [Chunk],
-        spill: &mut Option<SpillFile>,
-    ) -> Result<Vec<(usize, f32)>> {
+    /// The post-embedding score probe: every chunk is still resident at
+    /// this point (spilling happens after the probe), so this is a pure
+    /// read over the embedded hidden states. Returns
+    /// `(original_id, score)` pairs in chunk order; layer-boundary
+    /// scoring is fused into
+    /// [`PrismEngine::forward_and_score_chunks`].
+    fn probe_scores(&self, chunks: &[Chunk]) -> Result<Vec<(usize, f32)>> {
         let mut out = Vec::new();
-        for chunk in chunks.iter_mut() {
+        for chunk in chunks {
             if chunk.ids.is_empty() {
                 continue;
-            }
-            let fetched_here = chunk.hidden.is_none();
-            if fetched_here {
-                if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
-                    chunk.hidden = Some(file.fetch(slot)?);
-                }
             }
             let hidden = chunk.hidden.as_ref().ok_or_else(|| {
                 PrismError::InvalidRequest("chunk hidden state unavailable".into())
@@ -1264,10 +1389,6 @@ impl PrismEngine {
             )?;
             for (id, s) in chunk.ids.iter().zip(scores) {
                 out.push((*id, s));
-            }
-            if fetched_here && chunk.spill_slot.is_some() {
-                // Scoring does not dirty hidden states; just release.
-                chunk.hidden = None;
             }
         }
         Ok(out)
@@ -1333,9 +1454,14 @@ fn aligned_scores(scores: &[(usize, f32)], n: usize) -> Vec<Option<f32>> {
 /// Removes all candidates whose id is unset in the `keep` mask (indexed
 /// by original candidate id), fetching and re-offloading spilled chunks
 /// as needed.
+///
+/// Two fast paths avoid spill I/O entirely: a chunk whose keep-mask is
+/// all-true is untouched (no read-back + rewrite when nothing is
+/// pruned), and a chunk whose keep-mask is all-false releases its slot
+/// without ever fetching the doomed rows.
 fn retain_candidates(
     chunks: &mut Vec<Chunk>,
-    spill: &mut Option<SpillFile>,
+    spill: &mut Option<SpillPipeline>,
     keep: &[bool],
 ) -> Result<()> {
     for chunk in chunks.iter_mut() {
@@ -1346,6 +1472,19 @@ fn retain_candidates(
             .filter_map(|(li, id)| keep[*id].then_some(li))
             .collect();
         if keep_local.len() == chunk.ids.len() {
+            continue;
+        }
+        if keep_local.is_empty() {
+            // Everything in this chunk was pruned: drop the data where
+            // it lives, no fetch required.
+            if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                file.release(slot)?;
+            }
+            chunk.spill_slot = None;
+            chunk.hidden = None;
+            chunk.ids.clear();
+            chunk.seq_lens.clear();
+            chunk.ranges.clear();
             continue;
         }
         let fetched_here = chunk.hidden.is_none();
@@ -1371,19 +1510,10 @@ fn retain_candidates(
         chunk.seq_lens = keep_local.iter().map(|&li| chunk.seq_lens[li]).collect();
         chunk.ranges = Chunk::ranges_from(&chunk.seq_lens);
         if let (Some(slot), Some(file), true) = (chunk.spill_slot, spill.as_mut(), fetched_here) {
-            if chunk.ids.is_empty() {
-                file.release(slot);
-                chunk.spill_slot = None;
-            } else {
-                file.offload(slot, &new_hidden)?;
-            }
+            file.write_back(slot, new_hidden)?;
             chunk.hidden = None;
         } else {
-            chunk.hidden = if chunk.ids.is_empty() {
-                None
-            } else {
-                Some(new_hidden)
-            };
+            chunk.hidden = Some(new_hidden);
         }
     }
     chunks.retain(|c| !c.ids.is_empty());

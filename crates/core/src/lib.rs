@@ -39,6 +39,9 @@ pub use engine::{
 };
 pub use options::{EngineOptions, Priority, PruneMode};
 pub use routing::{route_candidates, RouteDecision};
+// Re-exported so serving/API layers can thread the spill-precision knob
+// without depending on `prism-storage` directly.
+pub use prism_storage::{SpillPrecision, SpillStats};
 
 /// Errors surfaced by the engine.
 #[derive(Debug)]

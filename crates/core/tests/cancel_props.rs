@@ -30,6 +30,13 @@ struct Fixture {
 
 impl Fixture {
     fn new(tag: &str) -> Self {
+        Fixture::with_spill_throttle(tag, None)
+    }
+
+    /// A fixture whose spill I/O is bandwidth-throttled, so the
+    /// overlapped pipeline's background lanes are genuinely mid-transfer
+    /// when a cancellation lands.
+    fn with_spill_throttle(tag: &str, throttle: Option<u64>) -> Self {
         let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
         let model = Model::generate(config.clone(), 0xCA9CE1).unwrap();
         let mut container_path = std::env::temp_dir();
@@ -46,6 +53,7 @@ impl Fixture {
             // batch over 6 candidates offloads chunks 3.. to disk.
             hidden_offload: true,
             chunk_candidates: Some(2),
+            stream_throttle: throttle,
             ..Default::default()
         };
         let engine = PrismEngine::new(
@@ -159,6 +167,47 @@ proptest! {
             .unwrap();
         prop_assert!(!again.ranked.is_empty());
         fx.assert_clean("after post-cancel reuse");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The spill pipeline adds background reader/writer lanes; a
+    // throttled spill file keeps them mid-transfer when the abort
+    // fires, so this exercises "cancel with I/O in flight": the abort
+    // must join the lanes, drop queued work, release metered bytes and
+    // delete the spill file before returning.
+    #[test]
+    fn cancelling_with_inflight_background_spill_io_leaks_nothing(
+        cancel_layer in 0_usize..4,
+        candidates in 10_usize..16,
+        corpus in 0_u64..500,
+    ) {
+        // 2 MB/s: each spilled-chunk transfer takes ~0.5 ms, so several
+        // prefetches/write-backs are queued at any boundary.
+        let fx = Fixture::with_spill_throttle("inflight", Some(2_000_000));
+        let batch = fx.batch(corpus, candidates);
+        let token = CancelToken::new();
+        let mut req = fx
+            .engine
+            .plan_request(&batch, RequestOptions::tagged(4, corpus + 1))
+            .unwrap();
+        prop_assert!(!fx.spill_files().is_empty(), "fixture must spill");
+        req.attach_cancel(token.clone());
+        req.attach_progress(Arc::new(move |u| {
+            if u.layers_forwarded >= cancel_layer {
+                token.cancel();
+            }
+        }));
+        let mut pool = Vec::new();
+        fx.engine.run_planned(std::slice::from_mut(&mut req), &mut pool).unwrap();
+        match fx.engine.finalize_request(req) {
+            Ok(selection) => prop_assert!(!selection.ranked.is_empty()),
+            Err(PrismError::Cancelled) => {}
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+        fx.assert_clean("after mid-pipeline cancel");
     }
 }
 

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use prism_core::{Priority, RequestOptions};
+use prism_core::{Priority, RequestOptions, SpillPrecision};
 use prism_model::SequenceBatch;
 use prism_workload::{dataset_by_name, WorkloadGenerator};
 use serde::Serialize;
@@ -51,6 +51,9 @@ pub struct LoadSpec {
     pub high_deadline_us: Option<u64>,
     /// Relative deadline attached to every *base-class* request.
     pub deadline_us: Option<u64>,
+    /// Hidden-state spill precision stamped on every request (only
+    /// observable when the served engine offloads hidden states).
+    pub spill_precision: SpillPrecision,
 }
 
 impl Default for LoadSpec {
@@ -68,6 +71,7 @@ impl Default for LoadSpec {
             high_fraction: 0.0,
             high_deadline_us: None,
             deadline_us: None,
+            spill_precision: SpillPrecision::default(),
         }
     }
 }
@@ -90,6 +94,7 @@ impl LoadSpec {
     /// The resolved options decoration for request `i` (class +
     /// deadline on top of the routing options).
     fn decorate(&self, i: usize, options: RequestOptions) -> RequestOptions {
+        let options = options.with_spill_precision(self.spill_precision);
         if self.is_high(i) {
             let o = options.with_priority(Priority::High);
             match self.high_deadline_us {

@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use prism_core::{PruneMode, RequestOptions, Selection};
+use prism_core::{PruneMode, RequestOptions, Selection, SpillPrecision};
 use prism_model::SequenceBatch;
 use prism_tensor::Tensor;
 
@@ -46,6 +46,9 @@ pub struct SelectionKey {
     threshold_bits: Option<u32>,
     mode: Option<u8>,
     pruning: Option<bool>,
+    /// Spill precision changes scores under hidden offload, so int8 and
+    /// f32 repeats must never replay each other's memoized selections.
+    spill_int8: bool,
 }
 
 impl SelectionKey {
@@ -60,6 +63,7 @@ impl SelectionKey {
                 PruneMode::ExactOrder => 1,
             }),
             pruning: options.pruning,
+            spill_int8: options.spill_precision == SpillPrecision::Int8,
         }
     }
 }
@@ -286,6 +290,8 @@ mod tests {
         let mut o = RequestOptions::tagged(2, 1);
         o.dispersion_threshold = Some(0.3);
         assert_ne!(SelectionKey::from_options(&o), key(2, 1));
+        let f32_spill = RequestOptions::tagged(2, 1).with_spill_precision(SpillPrecision::F32);
+        assert_ne!(SelectionKey::from_options(&f32_spill), key(2, 1));
     }
 
     #[test]

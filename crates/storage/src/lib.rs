@@ -17,13 +17,19 @@
 //!   window") prefetcher that overlaps layer I/O with computation,
 //! * [`lru`] / [`embed_cache`] — an intrusive LRU index and the
 //!   disk-backed embedding-row cache built on it,
-//! * [`spill`] — slot-based spill files for offloaded hidden states.
+//! * [`spill`] — slot-based spill files for offloaded hidden states, with
+//!   a versioned slot format holding raw `f32` or per-row-quantized int8
+//!   payloads ([`SpillPrecision`]),
+//! * [`spill_pipeline`] — the overlapped spill pipeline: background
+//!   reader/writer lanes that hide spill I/O behind chunk computation
+//!   (§4.3's computing / offloading / prefetching window).
 
 pub mod embed_cache;
 pub mod error;
 pub mod format;
 pub mod lru;
 pub mod spill;
+pub mod spill_pipeline;
 pub mod stream;
 pub mod throttle;
 
@@ -31,7 +37,8 @@ pub use embed_cache::{DiskRowSource, EmbeddingCache, EmbeddingCacheStats, RowSou
 pub use error::StorageError;
 pub use format::{Container, ContainerWriter, SectionKind, SectionMeta};
 pub use lru::LruIndex;
-pub use spill::SpillFile;
+pub use spill::{SpillFile, SpillPrecision};
+pub use spill_pipeline::{SpillPipeline, SpillStats};
 pub use stream::{LayerStreamer, LoadedSection, StreamStats};
 pub use throttle::Throttle;
 

@@ -2,41 +2,125 @@
 //!
 //! Under extreme memory pressure PRISM offloads per-chunk hidden states to
 //! disk, keeping at most three chunks resident (computing / offloading /
-//! prefetching). [`SpillFile`] provides the disk side: fixed-size slots in a
-//! scratch file, written and read back with positioned I/O, with byte
+//! prefetching). [`SpillFile`] provides the disk side: fixed-size slots in
+//! a scratch file, written and read back with positioned I/O, with byte
 //! accounting for the memory model.
+//!
+//! # Slot format (version 2)
+//!
+//! Every occupied slot starts with a 16-byte header:
+//!
+//! ```text
+//! magic "PSPL" | version u8 (=2) | encoding u8 | pad u16 | rows u32 | cols u32
+//! ```
+//!
+//! followed by the payload the encoding dictates:
+//!
+//! * [`SpillPrecision::F32`] — `rows * cols` little-endian `f32`s (the
+//!   historical raw format; round-trips bit-exactly),
+//! * [`SpillPrecision::Int8`] — `rows` f32 row minima, `rows` f32 row
+//!   scales, then `rows * cols` u8 codes ([`prism_tensor::rowq`]): ~4x
+//!   fewer bytes through the bandwidth throttle at a per-element error
+//!   bounded by `scale / 2`.
+//!
+//! The API takes `&self`: slot metadata sits behind a mutex and the byte
+//! counters are atomics, so the overlapped spill pipeline's reader and
+//! writer lanes can share one file through an `Arc`.
 
 use std::fs::{File, OpenOptions};
-
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use prism_tensor::Tensor;
+use prism_tensor::{rowq, Tensor};
+use serde::Serialize;
 
 use crate::{Result, StorageError, Throttle};
 
-/// A scratch file divided into equal `f32` slots for spilled tensors.
+/// Precision of hidden states written to the spill file.
+///
+/// Carried per request on the engine's `RequestOptions`: the default
+/// [`SpillPrecision::Int8`] compresses the offload window's disk traffic
+/// 4x, while [`SpillPrecision::F32`] opts out for workloads that need the
+/// spill round trip bit-exact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub enum SpillPrecision {
+    /// Per-row affine u8 codes plus `(min, scale)` metadata (~4x fewer
+    /// bytes; error `<= scale / 2` per element).
+    #[default]
+    Int8,
+    /// Raw little-endian `f32` (bit-exact round trip).
+    F32,
+}
+
+impl SpillPrecision {
+    /// Exact on-disk bytes (header included) of a `rows x cols` tensor
+    /// encoded at this precision — also the cost model's spill-byte term.
+    pub fn encoded_bytes(self, rows: usize, cols: usize) -> usize {
+        HEADER_BYTES
+            + match self {
+                SpillPrecision::F32 => 4 * rows * cols,
+                SpillPrecision::Int8 => 8 * rows + rows * cols,
+            }
+    }
+
+    fn tag(self) -> u8 {
+        match self {
+            SpillPrecision::Int8 => 1,
+            SpillPrecision::F32 => 0,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(SpillPrecision::F32),
+            1 => Some(SpillPrecision::Int8),
+            _ => None,
+        }
+    }
+}
+
+const MAGIC: [u8; 4] = *b"PSPL";
+const VERSION: u8 = 2;
+const HEADER_BYTES: usize = 16;
+
+#[derive(Debug, Clone, Copy)]
+struct SlotMeta {
+    rows: usize,
+    cols: usize,
+    enc: SpillPrecision,
+    /// Total on-disk bytes of the slot's current payload, header included.
+    len: usize,
+}
+
+/// A scratch file divided into equal-capacity versioned slots.
 pub struct SpillFile {
     path: PathBuf,
     file: File,
-    slot_floats: usize,
     slots: usize,
-    /// Shape of the tensor stored in each occupied slot.
-    shapes: Vec<Option<(usize, usize)>>,
+    max_rows: usize,
+    cols: usize,
+    slot_bytes: usize,
+    precision: SpillPrecision,
+    meta: Mutex<Vec<Option<SlotMeta>>>,
     throttle: Throttle,
-    write_micros: u64,
-    read_micros: u64,
-    bytes_written: u64,
-    bytes_read: u64,
+    write_micros: AtomicU64,
+    read_micros: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
 }
 
 impl SpillFile {
-    /// Creates a spill file at `path` with `slots` slots of `slot_floats`
-    /// `f32` elements each.
+    /// Creates a spill file at `path` with `slots` slots, each sized for
+    /// a tensor of up to `max_rows` rows by exactly `cols` columns at
+    /// either precision.
     pub fn create(
         path: impl AsRef<Path>,
         slots: usize,
-        slot_floats: usize,
+        max_rows: usize,
+        cols: usize,
+        precision: SpillPrecision,
         throttle: Throttle,
     ) -> Result<Self> {
         let path = path.as_ref().to_path_buf();
@@ -46,18 +130,27 @@ impl SpillFile {
             .create(true)
             .truncate(true)
             .open(&path)?;
-        file.set_len((slots * slot_floats * 4) as u64)?;
+        // A slot must hold the largest tensor at either encoding, so a
+        // per-slot precision downgrade (or a future per-request mix)
+        // can never overflow its neighbour.
+        let slot_bytes = SpillPrecision::F32
+            .encoded_bytes(max_rows, cols)
+            .max(SpillPrecision::Int8.encoded_bytes(max_rows, cols));
+        file.set_len((slots * slot_bytes) as u64)?;
         Ok(SpillFile {
             path,
             file,
-            slot_floats,
             slots,
-            shapes: vec![None; slots],
+            max_rows,
+            cols,
+            slot_bytes,
+            precision,
+            meta: Mutex::new(vec![None; slots]),
             throttle,
-            write_micros: 0,
-            read_micros: 0,
-            bytes_written: 0,
-            bytes_read: 0,
+            write_micros: AtomicU64::new(0),
+            read_micros: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
         })
     }
 
@@ -66,91 +159,188 @@ impl SpillFile {
         self.slots
     }
 
-    /// Capacity of each slot in `f32` elements.
-    pub fn slot_floats(&self) -> usize {
-        self.slot_floats
+    /// Maximum tensor rows a slot can hold.
+    pub fn max_rows(&self) -> usize {
+        self.max_rows
+    }
+
+    /// Column count every stored tensor must have.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The precision tensors are encoded at.
+    pub fn precision(&self) -> SpillPrecision {
+        self.precision
     }
 
     /// Total bytes written so far.
     pub fn bytes_written(&self) -> u64 {
-        self.bytes_written
+        self.bytes_written.load(Ordering::Relaxed)
     }
 
     /// Total bytes read back so far.
     pub fn bytes_read(&self) -> u64 {
-        self.bytes_read
+        self.bytes_read.load(Ordering::Relaxed)
     }
 
     /// Microseconds spent in spill writes.
     pub fn write_micros(&self) -> u64 {
-        self.write_micros
+        self.write_micros.load(Ordering::Relaxed)
     }
 
     /// Microseconds spent in spill reads.
     pub fn read_micros(&self) -> u64 {
-        self.read_micros
+        self.read_micros.load(Ordering::Relaxed)
     }
 
-    /// Writes `tensor` into `slot`, replacing previous contents.
-    pub fn offload(&mut self, slot: usize, tensor: &Tensor) -> Result<()> {
-        if slot >= self.slots {
-            return Err(StorageError::SectionMismatch {
-                name: "spill".into(),
-                reason: format!("slot {slot} out of {}", self.slots),
-            });
+    fn bad_slot(&self, slot: usize) -> StorageError {
+        StorageError::SectionMismatch {
+            name: "spill".into(),
+            reason: format!("slot {slot} out of {}", self.slots),
         }
-        if tensor.len() > self.slot_floats {
+    }
+
+    /// Writes `tensor` into `slot` at the file's precision, replacing
+    /// previous contents. Returns the encoded byte count.
+    pub fn offload(&self, slot: usize, tensor: &Tensor) -> Result<u64> {
+        if slot >= self.slots {
+            return Err(self.bad_slot(slot));
+        }
+        let (rows, cols) = tensor.shape();
+        if cols != self.cols || rows > self.max_rows {
             return Err(StorageError::SectionMismatch {
                 name: "spill".into(),
                 reason: format!(
-                    "tensor of {} floats exceeds slot capacity {}",
-                    tensor.len(),
-                    self.slot_floats
+                    "tensor {rows}x{cols} exceeds slot capacity {}x{}",
+                    self.max_rows, self.cols
                 ),
             });
         }
+        let enc = self.precision;
+        let len = enc.encoded_bytes(rows, cols);
         let start = Instant::now();
-        let mut bytes = Vec::with_capacity(tensor.len() * 4);
-        for &v in tensor.data() {
-            bytes.extend_from_slice(&v.to_le_bytes());
+        let mut bytes = Vec::with_capacity(len);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(enc.tag());
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&(rows as u32).to_le_bytes());
+        bytes.extend_from_slice(&(cols as u32).to_le_bytes());
+        match enc {
+            SpillPrecision::F32 => {
+                for &v in tensor.data() {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            SpillPrecision::Int8 => {
+                let mut mins = Vec::with_capacity(rows);
+                let mut scales = Vec::with_capacity(rows);
+                let mut codes = vec![0_u8; rows * cols];
+                for r in 0..rows {
+                    let (min, scale) = rowq::encode_row(
+                        &tensor.data()[r * cols..(r + 1) * cols],
+                        &mut codes[r * cols..(r + 1) * cols],
+                    )
+                    .map_err(|e| StorageError::SectionMismatch {
+                        name: "spill".into(),
+                        reason: format!("row encode: {e}"),
+                    })?;
+                    mins.push(min);
+                    scales.push(scale);
+                }
+                for &m in &mins {
+                    bytes.extend_from_slice(&m.to_le_bytes());
+                }
+                for &s in &scales {
+                    bytes.extend_from_slice(&s.to_le_bytes());
+                }
+                bytes.extend_from_slice(&codes);
+            }
         }
-        write_at(&mut self.file, (slot * self.slot_floats * 4) as u64, &bytes)?;
+        debug_assert_eq!(bytes.len(), len);
+        write_at(&self.file, (slot * self.slot_bytes) as u64, &bytes)?;
         self.throttle.pace(start, bytes.len() as u64);
-        self.write_micros += start.elapsed().as_micros() as u64;
-        self.bytes_written += bytes.len() as u64;
-        self.shapes[slot] = Some(tensor.shape());
-        Ok(())
+        self.write_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.meta.lock().expect("spill meta lock")[slot] = Some(SlotMeta {
+            rows,
+            cols,
+            enc,
+            len,
+        });
+        Ok(len as u64)
     }
 
-    /// Reads the tensor stored in `slot` back into memory.
-    pub fn fetch(&mut self, slot: usize) -> Result<Tensor> {
+    /// Reads the tensor stored in `slot` back into memory, decoding per
+    /// the slot's recorded encoding.
+    pub fn fetch(&self, slot: usize) -> Result<Tensor> {
         if slot >= self.slots {
-            return Err(StorageError::SectionMismatch {
-                name: "spill".into(),
-                reason: format!("slot {slot} out of {}", self.slots),
-            });
+            return Err(self.bad_slot(slot));
         }
-        let (rows, cols) = self.shapes[slot].ok_or_else(|| StorageError::SectionMismatch {
-            name: "spill".into(),
-            reason: format!("slot {slot} is empty"),
+        let meta = self.meta.lock().expect("spill meta lock")[slot].ok_or_else(|| {
+            StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!("slot {slot} is empty"),
+            }
         })?;
         let start = Instant::now();
-        let mut bytes = vec![0_u8; rows * cols * 4];
-        read_at(&self.file, (slot * self.slot_floats * 4) as u64, &mut bytes)?;
+        let mut bytes = vec![0_u8; meta.len];
+        read_at(&self.file, (slot * self.slot_bytes) as u64, &mut bytes)?;
         self.throttle.pace(start, bytes.len() as u64);
-        self.read_micros += start.elapsed().as_micros() as u64;
-        self.bytes_read += bytes.len() as u64;
-        let mut data = Vec::with_capacity(rows * cols);
-        for chunk in bytes.chunks_exact(4) {
-            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        self.read_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+
+        let corrupt = |reason: String| StorageError::SectionMismatch {
+            name: "spill".into(),
+            reason,
+        };
+        if bytes[0..4] != MAGIC || bytes[4] != VERSION {
+            return Err(corrupt(format!("slot {slot}: bad header")));
+        }
+        let enc = SpillPrecision::from_tag(bytes[5])
+            .ok_or_else(|| corrupt(format!("slot {slot}: unknown encoding {}", bytes[5])))?;
+        let rows = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let cols = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        if enc != meta.enc || rows != meta.rows || cols != meta.cols {
+            return Err(corrupt(format!("slot {slot}: header/metadata mismatch")));
+        }
+        let payload = &bytes[HEADER_BYTES..];
+        let mut data = vec![0.0_f32; rows * cols];
+        match enc {
+            SpillPrecision::F32 => {
+                for (o, chunk) in data.iter_mut().zip(payload.chunks_exact(4)) {
+                    *o = f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                }
+            }
+            SpillPrecision::Int8 => {
+                let read_f32 = |b: &[u8], i: usize| {
+                    f32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().expect("4 bytes"))
+                };
+                let (mins, rest) = payload.split_at(4 * rows);
+                let (scales, codes) = rest.split_at(4 * rows);
+                for r in 0..rows {
+                    rowq::decode_row(
+                        &codes[r * cols..(r + 1) * cols],
+                        read_f32(mins, r),
+                        read_f32(scales, r),
+                        &mut data[r * cols..(r + 1) * cols],
+                    )
+                    .map_err(|e| corrupt(format!("slot {slot}: row decode: {e}")))?;
+                }
+            }
         }
         Ok(Tensor::from_vec(rows, cols, data)?)
     }
 
     /// Marks a slot empty (no I/O).
-    pub fn release(&mut self, slot: usize) {
+    pub fn release(&self, slot: usize) {
         if slot < self.slots {
-            self.shapes[slot] = None;
+            self.meta.lock().expect("spill meta lock")[slot] = None;
         }
     }
 
@@ -169,7 +359,7 @@ fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
 }
 
 #[cfg(unix)]
-fn write_at(file: &mut File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
+fn write_at(file: &File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
     use std::os::unix::fs::FileExt;
     file.write_all_at(buf, offset)
 }
@@ -183,10 +373,11 @@ fn read_at(file: &File, offset: u64, buf: &mut [u8]) -> std::io::Result<()> {
 }
 
 #[cfg(not(unix))]
-fn write_at(file: &mut File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
-    use std::io::{Seek, SeekFrom};
-    file.seek(SeekFrom::Start(offset))?;
-    file.write_all(buf)
+fn write_at(file: &File, offset: u64, buf: &[u8]) -> std::io::Result<()> {
+    use std::io::{Seek, SeekFrom, Write};
+    let mut f = file.try_clone()?;
+    f.seek(SeekFrom::Start(offset))?;
+    f.write_all(buf)
 }
 
 #[cfg(test)]
@@ -200,29 +391,58 @@ mod tests {
     }
 
     #[test]
-    fn offload_fetch_round_trip() {
+    fn f32_offload_fetch_round_trip_is_bit_exact() {
         let path = tmp("rt");
-        let mut spill = SpillFile::create(&path, 3, 64, Throttle::unlimited()).unwrap();
+        let spill =
+            SpillFile::create(&path, 3, 4, 8, SpillPrecision::F32, Throttle::unlimited()).unwrap();
         let t = Tensor::from_fn(4, 8, |r, c| (r * 8 + c) as f32 * 0.25);
         spill.offload(1, &t).unwrap();
         let back = spill.fetch(1).unwrap();
         assert_eq!(back, t);
-        assert_eq!(spill.bytes_written(), 4 * 8 * 4);
-        assert_eq!(spill.bytes_read(), 4 * 8 * 4);
+        let expected = (HEADER_BYTES + 4 * 8 * 4) as u64;
+        assert_eq!(spill.bytes_written(), expected);
+        assert_eq!(spill.bytes_read(), expected);
         spill.cleanup().unwrap();
     }
 
     #[test]
-    fn slots_are_independent() {
+    fn int8_round_trip_bounded_and_4x_smaller() {
+        let path = tmp("int8");
+        let rows = 16;
+        let cols = 64;
+        let spill = SpillFile::create(
+            &path,
+            2,
+            rows,
+            cols,
+            SpillPrecision::Int8,
+            Throttle::unlimited(),
+        )
+        .unwrap();
+        let t = Tensor::from_fn(rows, cols, |r, c| ((r * 31 + c * 7) as f32 * 0.11).sin());
+        let written = spill.offload(0, &t).unwrap();
+        let back = spill.fetch(0).unwrap();
+        assert_eq!(back.shape(), t.shape());
+        // Row error bound: (max-min)/255/2; inputs live in [-1, 1].
+        let bound = 2.0 / 255.0 / 2.0 + 1e-6;
+        assert!(t.max_abs_diff(&back).unwrap() <= bound);
+        // >= 3.5x fewer bytes than the f32 encoding of the same tensor.
+        let f32_bytes = SpillPrecision::F32.encoded_bytes(rows, cols) as u64;
+        assert!(written * 7 <= f32_bytes * 2, "{written} vs {f32_bytes}");
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn slots_are_independent_and_overwrite_keeps_new_shape() {
         let path = tmp("indep");
-        let mut spill = SpillFile::create(&path, 2, 16, Throttle::unlimited()).unwrap();
-        let a = Tensor::full(2, 8, 1.0);
+        let spill =
+            SpillFile::create(&path, 2, 4, 4, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+        let a = Tensor::full(2, 4, 1.0);
         let b = Tensor::full(4, 4, 2.0);
         spill.offload(0, &a).unwrap();
         spill.offload(1, &b).unwrap();
         assert_eq!(spill.fetch(0).unwrap(), a);
         assert_eq!(spill.fetch(1).unwrap(), b);
-        // Overwrite keeps the new shape.
         spill.offload(0, &b).unwrap();
         assert_eq!(spill.fetch(0).unwrap(), b);
         spill.cleanup().unwrap();
@@ -231,11 +451,14 @@ mod tests {
     #[test]
     fn oversize_and_bad_slot_rejected() {
         let path = tmp("bad");
-        let mut spill = SpillFile::create(&path, 1, 8, Throttle::unlimited()).unwrap();
-        let big = Tensor::zeros(3, 3);
-        assert!(spill.offload(0, &big).is_err());
-        let ok = Tensor::zeros(2, 4);
-        assert!(spill.offload(1, &ok).is_err());
+        let spill =
+            SpillFile::create(&path, 1, 2, 4, SpillPrecision::Int8, Throttle::unlimited()).unwrap();
+        // Too many rows.
+        assert!(spill.offload(0, &Tensor::zeros(3, 4)).is_err());
+        // Wrong column count.
+        assert!(spill.offload(0, &Tensor::zeros(2, 3)).is_err());
+        // Slot out of range.
+        assert!(spill.offload(1, &Tensor::zeros(2, 4)).is_err());
         assert!(spill.fetch(0).is_err(), "empty slot fetch must fail");
         spill.cleanup().unwrap();
     }
@@ -243,7 +466,8 @@ mod tests {
     #[test]
     fn release_empties_slot() {
         let path = tmp("release");
-        let mut spill = SpillFile::create(&path, 1, 8, Throttle::unlimited()).unwrap();
+        let spill =
+            SpillFile::create(&path, 1, 2, 4, SpillPrecision::Int8, Throttle::unlimited()).unwrap();
         spill.offload(0, &Tensor::zeros(2, 4)).unwrap();
         spill.release(0);
         assert!(spill.fetch(0).is_err());
@@ -251,15 +475,53 @@ mod tests {
     }
 
     #[test]
-    fn throttled_spill_takes_time() {
+    fn throttled_spill_takes_time_and_int8_takes_less() {
         let path = tmp("throttle");
-        // 1 MB/s: a 1 KiB write should take ~1 ms.
-        let mut spill = SpillFile::create(&path, 1, 256, Throttle::bandwidth(1 << 20)).unwrap();
+        // 1 MB/s: a ~1 KiB f32 write should take ~1 ms.
+        let spill = SpillFile::create(
+            &path,
+            1,
+            16,
+            16,
+            SpillPrecision::F32,
+            Throttle::bandwidth(1 << 20),
+        )
+        .unwrap();
         let t = Tensor::zeros(16, 16);
         let start = Instant::now();
         spill.offload(0, &t).unwrap();
         assert!(start.elapsed().as_micros() >= 900);
         assert!(spill.write_micros() >= 900);
         spill.cleanup().unwrap();
+
+        let path8 = tmp("throttle8");
+        let spill8 = SpillFile::create(
+            &path8,
+            1,
+            16,
+            16,
+            SpillPrecision::Int8,
+            Throttle::bandwidth(1 << 20),
+        )
+        .unwrap();
+        let start = Instant::now();
+        spill8.offload(0, &t).unwrap();
+        // ~400 bytes instead of ~1 KiB: well under the f32 pace.
+        assert!(start.elapsed().as_micros() < 900);
+        spill8.cleanup().unwrap();
+    }
+
+    #[test]
+    fn encoded_bytes_matches_contract() {
+        assert_eq!(
+            SpillPrecision::F32.encoded_bytes(3, 8),
+            HEADER_BYTES + 3 * 8 * 4
+        );
+        assert_eq!(
+            SpillPrecision::Int8.encoded_bytes(3, 8),
+            HEADER_BYTES + 3 * 8 + 3 * 8
+        );
+        // Default is the compressed format.
+        assert_eq!(SpillPrecision::default(), SpillPrecision::Int8);
     }
 }

@@ -10,13 +10,18 @@
 //!   SiLU / GELU / tanh activations,
 //! * block-wise 4-bit weight quantization ([`quant::QuantMatrix`]) matching
 //!   the W4A16 setup the paper uses for its `HF Quant` / `PRISM Quant`
-//!   baselines.
+//!   baselines,
+//! * per-row affine 8-bit activation quantization ([`rowq`]) backing the
+//!   compressed hidden-state spill format.
 //!
-//! Everything is safe Rust; there is no `unsafe` in this crate.
+//! The only `unsafe` in this crate is the runtime-dispatched
+//! `#[target_feature]` SIMD kernels (AVX2 / AVX-512), each guarded by a
+//! feature check at the dispatch site.
 
 pub mod error;
 pub mod ops;
 pub mod quant;
+pub mod rowq;
 pub mod tensor;
 
 pub use error::TensorError;

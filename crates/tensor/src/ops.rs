@@ -27,6 +27,72 @@ use crate::{Result, Tensor, TensorError};
 /// (they are cache-resident and tiny) while monolithic batches parallelize.
 const PAR_FLOP_THRESHOLD: usize = 1 << 22;
 
+/// SIMD capability tier the runtime-dispatched kernels may use.
+///
+/// Ordered by width, so `Ord` comparisons pick the wider tier. The AVX2
+/// and AVX-512 GEMM microkernels share one per-element operation sequence
+/// (register-accumulated fused multiply-adds in `k` order, one final add
+/// into `C`), so results are bit-identical between those two tiers; the
+/// scalar tier rounds every multiply-add separately and differs in the
+/// low bits, as documented at the crate level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdTier {
+    /// Portable Rust, no explicit SIMD (LLVM may still auto-vectorize).
+    Scalar,
+    /// AVX2 + FMA (256-bit lanes).
+    Avx2,
+    /// AVX-512F (512-bit lanes) on top of AVX2 + FMA.
+    Avx512,
+}
+
+/// Widest tier the running CPU supports.
+pub fn detected_simd_tier() -> SimdTier {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let fma = std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma");
+        if fma && std::arch::is_x86_feature_detected!("avx512f") {
+            return SimdTier::Avx512;
+        }
+        if fma {
+            return SimdTier::Avx2;
+        }
+    }
+    SimdTier::Scalar
+}
+
+/// Process-wide tier override (0 = none). Benches and equivalence tests
+/// pin a tier to compare kernels; production code never sets it.
+static TIER_OVERRIDE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(0);
+
+/// Forces every dispatched kernel onto `tier` (clamped to what the CPU
+/// actually supports), or restores auto-detection with `None`.
+///
+/// Intended for benches and tier-equivalence tests; the override is
+/// process-global, so concurrent tests forcing different tiers would
+/// race each other — keep such tests serial.
+pub fn force_simd_tier(tier: Option<SimdTier>) {
+    let v = match tier {
+        None => 0,
+        Some(SimdTier::Scalar) => 1,
+        Some(SimdTier::Avx2) => 2,
+        Some(SimdTier::Avx512) => 3,
+    };
+    TIER_OVERRIDE.store(v, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The tier kernels dispatch on right now: the override if one is set
+/// (never wider than the hardware), the detected tier otherwise.
+pub fn simd_tier() -> SimdTier {
+    let detected = detected_simd_tier();
+    match TIER_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        1 => SimdTier::Scalar,
+        2 => SimdTier::Avx2.min(detected),
+        3 => SimdTier::Avx512.min(detected),
+        _ => detected,
+    }
+}
+
 fn num_threads_for(work: usize) -> usize {
     if work < PAR_FLOP_THRESHOLD {
         return 1;
@@ -70,11 +136,7 @@ pub(crate) fn gemm_tiled<F>(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    #[cfg(target_arch = "x86_64")]
-    let use_fma =
-        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma");
-    #[cfg(not(target_arch = "x86_64"))]
-    let use_fma = false;
+    let tier = simd_tier();
     let mut panel = [0.0_f32; KC * NB];
     let mut p0 = 0;
     while p0 < k {
@@ -86,14 +148,21 @@ pub(crate) fn gemm_tiled<F>(
             let mut i = 0;
             while i + MR <= m {
                 #[cfg(target_arch = "x86_64")]
-                if use_fma {
-                    // SAFETY: avx2+fma presence was verified at runtime
-                    // above; slice bounds are identical to the scalar path.
-                    unsafe { x86::kernel_4_fma(a, lda, &panel, c, ldc, i, p0, kc, j0, jn) };
+                if tier >= SimdTier::Avx2 {
+                    // SAFETY: the tier was clamped to runtime-verified CPU
+                    // features; slice bounds are identical to the scalar
+                    // path.
+                    unsafe {
+                        if tier == SimdTier::Avx512 {
+                            x86::kernel_4_avx512(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
+                        } else {
+                            x86::kernel_4_fma(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
+                        }
+                    };
                     i += MR;
                     continue;
                 }
-                let _ = use_fma;
+                let _ = tier;
                 kernel_4(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
                 i += MR;
             }
@@ -103,9 +172,15 @@ pub(crate) fn gemm_tiled<F>(
             // results stay invariant to batch geometry and chunking.
             while i < m {
                 #[cfg(target_arch = "x86_64")]
-                if use_fma {
+                if tier >= SimdTier::Avx2 {
                     // SAFETY: as above.
-                    unsafe { x86::kernel_1_fma(a, lda, &panel, c, ldc, i, p0, kc, j0, jn) };
+                    unsafe {
+                        if tier == SimdTier::Avx512 {
+                            x86::kernel_1_avx512(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
+                        } else {
+                            x86::kernel_1_fma(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
+                        }
+                    };
                     i += 1;
                     continue;
                 }
@@ -128,8 +203,9 @@ pub(crate) fn gemm_tiled<F>(
 mod x86 {
     use super::{KC, NB};
     use std::arch::x86_64::{
-        __m256, _mm256_add_ps, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps,
-        _mm256_setzero_ps, _mm256_storeu_ps,
+        __m256, __m512, _mm256_add_ps, _mm256_broadcast_ss, _mm256_fmadd_ps, _mm256_loadu_ps,
+        _mm256_setzero_ps, _mm256_storeu_ps, _mm512_add_ps, _mm512_fmadd_ps, _mm512_loadu_ps,
+        _mm512_set1_ps, _mm512_setzero_ps, _mm512_storeu_ps,
     };
 
     #[allow(clippy::too_many_arguments)]
@@ -266,6 +342,155 @@ mod x86 {
             let ptr = crow.as_mut_ptr().add(j);
             _mm256_storeu_ps(ptr, _mm256_add_ps(_mm256_loadu_ps(ptr), acc0));
             _mm256_storeu_ps(ptr.add(8), _mm256_add_ps(_mm256_loadu_ps(ptr.add(8)), acc1));
+            j += 16;
+        }
+        while j + 8 <= jn {
+            let mut acc = _mm256_setzero_ps();
+            for (p, av) in arow.iter().enumerate() {
+                let x = _mm256_broadcast_ss(av);
+                acc = _mm256_fmadd_ps(x, _mm256_loadu_ps(panel.as_ptr().add(p * NB + j)), acc);
+            }
+            let ptr = crow.as_mut_ptr().add(j);
+            _mm256_storeu_ps(ptr, _mm256_add_ps(_mm256_loadu_ps(ptr), acc));
+            j += 8;
+        }
+        if j < jn {
+            for p in 0..kc {
+                let prow = &panel[p * NB..p * NB + jn];
+                let x = arow[p];
+                for jj in j..jn {
+                    crow[jj] += x * prow[jj];
+                }
+            }
+        }
+    }
+
+    /// AVX-512 specialization of the 4-row microkernel: the 16-column
+    /// register tile becomes a single ZMM accumulator per output row
+    /// (half the register pressure and port traffic of the dual-YMM
+    /// AVX2 tile). Per output element the operation sequence — one fused
+    /// multiply-add per `k` step, one final add into `C` — is identical
+    /// to [`kernel_4_fma`], so the two tiers produce the same bits; the
+    /// sub-16-column remainder tiers are copied verbatim from the AVX2
+    /// kernel for the same reason.
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub(super) unsafe fn kernel_4_avx512(
+        a: &[f32],
+        lda: usize,
+        panel: &[f32; KC * NB],
+        c: &mut [f32],
+        ldc: usize,
+        i: usize,
+        p0: usize,
+        kc: usize,
+        j0: usize,
+        jn: usize,
+    ) {
+        let a0 = &a[i * lda + p0..][..kc];
+        let a1 = &a[(i + 1) * lda + p0..][..kc];
+        let a2 = &a[(i + 2) * lda + p0..][..kc];
+        let a3 = &a[(i + 3) * lda + p0..][..kc];
+        let (r0, rest) = c[i * ldc + j0..].split_at_mut(ldc);
+        let (r1, rest) = rest.split_at_mut(ldc);
+        let (r2, rest) = rest.split_at_mut(ldc);
+        let c0 = &mut r0[..jn];
+        let c1 = &mut r1[..jn];
+        let c2 = &mut r2[..jn];
+        let c3 = &mut rest[..jn];
+        let mut j = 0;
+        // 16-column register tile: one ZMM vector per output row.
+        while j + 16 <= jn {
+            let mut acc: [__m512; 4] = [_mm512_setzero_ps(); 4];
+            for p in 0..kc {
+                let b = _mm512_loadu_ps(panel.as_ptr().add(p * NB + j));
+                acc[0] = _mm512_fmadd_ps(_mm512_set1_ps(a0[p]), b, acc[0]);
+                acc[1] = _mm512_fmadd_ps(_mm512_set1_ps(a1[p]), b, acc[1]);
+                acc[2] = _mm512_fmadd_ps(_mm512_set1_ps(a2[p]), b, acc[2]);
+                acc[3] = _mm512_fmadd_ps(_mm512_set1_ps(a3[p]), b, acc[3]);
+            }
+            for (row, accr) in acc.iter().enumerate() {
+                let crow: &mut [f32] = match row {
+                    0 => &mut c0[j..],
+                    1 => &mut c1[j..],
+                    2 => &mut c2[j..],
+                    _ => &mut c3[j..],
+                };
+                let ptr = crow.as_mut_ptr();
+                _mm512_storeu_ps(ptr, _mm512_add_ps(_mm512_loadu_ps(ptr), *accr));
+            }
+            j += 16;
+        }
+        // 8-column tile for the mid remainder (identical to the AVX2
+        // kernel so remainder columns keep the same bits).
+        while j + 8 <= jn {
+            let mut acc: [__m256; 4] = [_mm256_setzero_ps(); 4];
+            for p in 0..kc {
+                let b0 = _mm256_loadu_ps(panel.as_ptr().add(p * NB + j));
+                acc[0] = _mm256_fmadd_ps(_mm256_broadcast_ss(&a0[p]), b0, acc[0]);
+                acc[1] = _mm256_fmadd_ps(_mm256_broadcast_ss(&a1[p]), b0, acc[1]);
+                acc[2] = _mm256_fmadd_ps(_mm256_broadcast_ss(&a2[p]), b0, acc[2]);
+                acc[3] = _mm256_fmadd_ps(_mm256_broadcast_ss(&a3[p]), b0, acc[3]);
+            }
+            for (row, accr) in acc.iter().enumerate() {
+                let crow: &mut [f32] = match row {
+                    0 => &mut c0[j..],
+                    1 => &mut c1[j..],
+                    2 => &mut c2[j..],
+                    _ => &mut c3[j..],
+                };
+                let ptr = crow.as_mut_ptr();
+                _mm256_storeu_ps(ptr, _mm256_add_ps(_mm256_loadu_ps(ptr), *accr));
+            }
+            j += 8;
+        }
+        // Scalar tail (fewer than 8 columns left).
+        if j < jn {
+            for p in 0..kc {
+                let prow = &panel[p * NB..p * NB + jn];
+                let x0 = a0[p];
+                let x1 = a1[p];
+                let x2 = a2[p];
+                let x3 = a3[p];
+                for jj in j..jn {
+                    let bv = prow[jj];
+                    c0[jj] += x0 * bv;
+                    c1[jj] += x1 * bv;
+                    c2[jj] += x2 * bv;
+                    c3[jj] += x3 * bv;
+                }
+            }
+        }
+    }
+
+    /// Single-row AVX-512 remainder kernel mirroring [`kernel_1_fma`]'s
+    /// per-element operation sequence (see [`kernel_4_avx512`] for the
+    /// bit-compatibility argument).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx512f,avx2,fma")]
+    pub(super) unsafe fn kernel_1_avx512(
+        a: &[f32],
+        lda: usize,
+        panel: &[f32; KC * NB],
+        c: &mut [f32],
+        ldc: usize,
+        i: usize,
+        p0: usize,
+        kc: usize,
+        j0: usize,
+        jn: usize,
+    ) {
+        let arow = &a[i * lda + p0..][..kc];
+        let crow = &mut c[i * ldc + j0..i * ldc + j0 + jn];
+        let mut j = 0;
+        while j + 16 <= jn {
+            let mut acc = _mm512_setzero_ps();
+            for (p, av) in arow.iter().enumerate() {
+                let b = _mm512_loadu_ps(panel.as_ptr().add(p * NB + j));
+                acc = _mm512_fmadd_ps(_mm512_set1_ps(*av), b, acc);
+            }
+            let ptr = crow.as_mut_ptr().add(j);
+            _mm512_storeu_ps(ptr, _mm512_add_ps(_mm512_loadu_ps(ptr), acc));
             j += 16;
         }
         while j + 8 <= jn {
@@ -678,10 +903,13 @@ pub fn exp_approx(x: f32) -> f32 {
 }
 
 /// Returns whether the elementwise kernels may take the AVX2+FMA path.
+///
+/// Routed through [`simd_tier`] so a forced-scalar override (benches,
+/// tier-equivalence tests) applies to the elementwise kernels as well.
 #[cfg(target_arch = "x86_64")]
 #[inline]
 fn fma_available() -> bool {
-    std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    simd_tier() >= SimdTier::Avx2
 }
 
 /// Dispatches an elementwise kernel body to an AVX2-compiled copy when
@@ -1227,6 +1455,41 @@ mod tests {
     fn dot_product() {
         assert_eq!(dot(&[1., 2., 3.], &[4., 5., 6.]).unwrap(), 32.0);
         assert!(dot(&[1.], &[1., 2.]).is_err());
+    }
+
+    #[test]
+    fn simd_tiers_dispatch_and_agree() {
+        let detected = detected_simd_tier();
+        // The override can never exceed the hardware.
+        force_simd_tier(Some(SimdTier::Avx512));
+        assert!(simd_tier() <= detected);
+        force_simd_tier(None);
+        assert_eq!(simd_tier(), detected);
+
+        // Shapes straddling the 4-row block, KC/NB panels and the
+        // 16/8/scalar column tiers.
+        let a = Tensor::from_fn(13, 97, |r, c| ((r * 17 + c * 5) % 23) as f32 * 0.11 - 1.2);
+        let b = Tensor::from_fn(97, 41, |r, c| ((r * 3 + c * 13) % 29) as f32 * 0.07 - 1.0);
+        let run = |tier: SimdTier| {
+            force_simd_tier(Some(tier));
+            let out = matmul(&a, &b).unwrap();
+            force_simd_tier(None);
+            out
+        };
+        let scalar = run(SimdTier::Scalar);
+        if detected >= SimdTier::Avx2 {
+            let avx2 = run(SimdTier::Avx2);
+            assert!(scalar.max_abs_diff(&avx2).unwrap() < 1e-4);
+            if detected == SimdTier::Avx512 {
+                let avx512 = run(SimdTier::Avx512);
+                let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+                assert_eq!(
+                    bits(&avx2),
+                    bits(&avx512),
+                    "AVX-512 tier must be bit-identical to the AVX2 tier"
+                );
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! Per-row affine 8-bit quantization for spilled hidden states (§4.3).
+//!
+//! Under the offload regime the engine's spill traffic is byte-bound on
+//! the emulated SSD, so the spill format stores hidden-state rows as
+//! `u8` codes plus a per-row `(min, scale)` affine — 4x fewer bytes
+//! through the bandwidth throttle than raw `f32`, at a reconstruction
+//! error bounded by `scale / 2` per element. Unlike the block-wise 4-bit
+//! *weight* quantization in [`crate::quant`], this codec targets
+//! *activations*: rows are encoded and decoded once per layer pass, so
+//! the kernels are simple streaming loops, runtime-dispatched to an
+//! AVX2/AVX-512-compiled copy like the GEMM microkernels.
+//!
+//! Every tier performs the identical per-element operations in the same
+//! order, so encode/decode results are bit-identical across tiers — the
+//! spilled bytes a request writes do not depend on the host's SIMD
+//! width.
+
+use crate::ops::{simd_tier, SimdTier};
+use crate::{Result, TensorError};
+
+/// Quantization levels of the u8 code space.
+const LEVELS: f32 = 255.0;
+
+/// Bytes of payload one encoded row of `cols` elements occupies.
+#[inline]
+pub const fn encoded_row_bytes(cols: usize) -> usize {
+    cols
+}
+
+/// Worst-case absolute reconstruction error of a row encoded with
+/// `scale`: half a quantization step.
+#[inline]
+pub fn max_row_error(scale: f32) -> f32 {
+    scale * 0.5
+}
+
+/// Row min/max via eight independent lanes (same technique as the
+/// softmax reductions; `min`/`max` are exactly associative on the
+/// NaN-free kernel inputs, so lane order cannot change the result).
+#[inline(always)]
+fn minmax_lanes(row: &[f32]) -> (f32, f32) {
+    const LANES: usize = 8;
+    let mut lo = [f32::INFINITY; LANES];
+    let mut hi = [f32::NEG_INFINITY; LANES];
+    let chunks = row.chunks_exact(LANES);
+    let tail = chunks.remainder();
+    for chunk in chunks {
+        for ((l, h), &x) in lo.iter_mut().zip(hi.iter_mut()).zip(chunk) {
+            *l = l.min(x);
+            *h = h.max(x);
+        }
+    }
+    let mut min = tail.iter().cloned().fold(f32::INFINITY, f32::min);
+    let mut max = tail.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    for (l, h) in lo.into_iter().zip(hi) {
+        min = min.min(l);
+        max = max.max(h);
+    }
+    (min, max)
+}
+
+#[inline(always)]
+fn encode_body(row: &[f32], out: &mut [u8]) -> (f32, f32) {
+    if row.is_empty() {
+        return (0.0, 0.0);
+    }
+    let (lo, hi) = minmax_lanes(row);
+    let scale = if hi > lo { (hi - lo) / LEVELS } else { 0.0 };
+    if scale > 0.0 {
+        // 1.5 * 2^23: adding the magic pivot rounds a value in [0, 255]
+        // to the nearest integer in the mantissa's low bits (the same
+        // trick as `ops::exp_approx`). Branch-free arithmetic plus a
+        // bit-cast, so the loop vectorizes — `f32::round` + a saturating
+        // cast lowers to scalar code an order of magnitude slower.
+        const MAGIC: f32 = 12_582_912.0;
+        let inv = LEVELS / (hi - lo);
+        for (q, &x) in out.iter_mut().zip(row) {
+            // The clamp soaks up floating-point slop at the range ends
+            // before the mantissa extraction can wrap.
+            let v = ((x - lo) * inv).clamp(0.0, LEVELS);
+            *q = ((v + MAGIC).to_bits() & 0xFF) as u8;
+        }
+    } else {
+        out[..row.len()].fill(0);
+    }
+    (lo, scale)
+}
+
+#[inline(always)]
+fn decode_body(codes: &[u8], min: f32, scale: f32, out: &mut [f32]) {
+    for (o, &q) in out.iter_mut().zip(codes) {
+        *o = scale.mul_add(f32::from(q), min);
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn encode_avx2(row: &[f32], out: &mut [u8]) -> (f32, f32) {
+        super::encode_body(row, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx2,fma")]
+    pub(super) unsafe fn encode_avx512(row: &[f32], out: &mut [u8]) -> (f32, f32) {
+        super::encode_body(row, out)
+    }
+
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn decode_avx2(codes: &[u8], min: f32, scale: f32, out: &mut [f32]) {
+        super::decode_body(codes, min, scale, out)
+    }
+
+    #[target_feature(enable = "avx512f,avx512bw,avx2,fma")]
+    pub(super) unsafe fn decode_avx512(codes: &[u8], min: f32, scale: f32, out: &mut [f32]) {
+        super::decode_body(codes, min, scale, out)
+    }
+}
+
+/// Encodes one row into u8 codes, returning the `(min, scale)` affine.
+///
+/// `out` must be at least `row.len()` bytes. Decoding with
+/// [`decode_row`] reconstructs each element within
+/// [`max_row_error`]`(scale)`; a constant row round-trips exactly
+/// (`scale == 0`).
+pub fn encode_row(row: &[f32], out: &mut [u8]) -> Result<(f32, f32)> {
+    if out.len() < row.len() {
+        return Err(TensorError::DataLength {
+            expected: row.len(),
+            got: out.len(),
+        });
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let tier = simd_tier();
+        if tier == SimdTier::Avx512 && std::arch::is_x86_feature_detected!("avx512bw") {
+            // SAFETY: features runtime-verified just above.
+            return Ok(unsafe { x86::encode_avx512(row, out) });
+        }
+        if tier >= SimdTier::Avx2 {
+            // SAFETY: Avx2 tier implies runtime-verified avx2+fma.
+            return Ok(unsafe { x86::encode_avx2(row, out) });
+        }
+    }
+    Ok(encode_body(row, out))
+}
+
+/// Decodes u8 codes produced by [`encode_row`] back into `out`.
+///
+/// `codes` must hold at least `out.len()` bytes.
+pub fn decode_row(codes: &[u8], min: f32, scale: f32, out: &mut [f32]) -> Result<()> {
+    if codes.len() < out.len() {
+        return Err(TensorError::DataLength {
+            expected: out.len(),
+            got: codes.len(),
+        });
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        let tier = simd_tier();
+        if tier == SimdTier::Avx512 && std::arch::is_x86_feature_detected!("avx512bw") {
+            // SAFETY: features runtime-verified just above.
+            unsafe { x86::decode_avx512(codes, min, scale, out) };
+            return Ok(());
+        }
+        if tier >= SimdTier::Avx2 {
+            // SAFETY: Avx2 tier implies runtime-verified avx2+fma.
+            unsafe { x86::decode_avx2(codes, min, scale, out) };
+            return Ok(());
+        }
+    }
+    decode_body(codes, min, scale, out);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::force_simd_tier;
+
+    fn ramp(n: usize, seed: f32) -> Vec<f32> {
+        (0..n)
+            .map(|i| (i as f32 * seed).sin() * 3.0 - 0.7)
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        for n in [1, 7, 8, 31, 64, 257] {
+            let row = ramp(n, 0.13);
+            let mut codes = vec![0_u8; n];
+            let (min, scale) = encode_row(&row, &mut codes).unwrap();
+            let mut back = vec![0.0_f32; n];
+            decode_row(&codes, min, scale, &mut back).unwrap();
+            let bound = max_row_error(scale) + 1e-6;
+            for (x, y) in row.iter().zip(&back) {
+                assert!((x - y).abs() <= bound, "n={n}: {x} vs {y} (bound {bound})");
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_is_exact_and_empty_is_fine() {
+        let row = vec![2.5_f32; 16];
+        let mut codes = vec![0xFF_u8; 16];
+        let (min, scale) = encode_row(&row, &mut codes).unwrap();
+        assert_eq!(scale, 0.0);
+        assert!(codes.iter().all(|&q| q == 0));
+        let mut back = vec![0.0_f32; 16];
+        decode_row(&codes, min, scale, &mut back).unwrap();
+        assert_eq!(back, row);
+
+        let (min, scale) = encode_row(&[], &mut []).unwrap();
+        assert_eq!((min, scale), (0.0, 0.0));
+        decode_row(&[], 0.0, 0.0, &mut []).unwrap();
+    }
+
+    #[test]
+    fn extremes_map_to_code_range_ends() {
+        let row = [-1.0_f32, 0.0, 1.0];
+        let mut codes = [0_u8; 3];
+        let (min, scale) = encode_row(&row, &mut codes).unwrap();
+        assert_eq!(codes[0], 0);
+        assert_eq!(codes[2], 255);
+        assert_eq!(min, -1.0);
+        assert!((scale - 2.0 / 255.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn length_mismatches_rejected() {
+        let row = [1.0_f32; 4];
+        let mut short = [0_u8; 3];
+        assert!(encode_row(&row, &mut short).is_err());
+        let mut out = [0.0_f32; 4];
+        assert!(decode_row(&short, 0.0, 1.0, &mut out).is_err());
+    }
+
+    #[test]
+    fn tiers_produce_identical_bytes_and_bits() {
+        let detected = crate::ops::detected_simd_tier();
+        let row = ramp(123, 0.31);
+        let run = |tier| {
+            force_simd_tier(Some(tier));
+            let mut codes = vec![0_u8; row.len()];
+            let (min, scale) = encode_row(&row, &mut codes).unwrap();
+            let mut back = vec![0.0_f32; row.len()];
+            decode_row(&codes, min, scale, &mut back).unwrap();
+            force_simd_tier(None);
+            (codes, min.to_bits(), scale.to_bits(), back)
+        };
+        let scalar = run(SimdTier::Scalar);
+        if detected >= SimdTier::Avx2 {
+            assert_eq!(scalar, run(SimdTier::Avx2));
+        }
+        if detected >= SimdTier::Avx512 {
+            assert_eq!(scalar, run(SimdTier::Avx512));
+        }
+    }
+}
