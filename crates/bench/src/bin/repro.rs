@@ -9,18 +9,23 @@
 //!   fig11 fig12 fig13 fig14 fig15   real-world applications (§6.3)
 //!   fig16 ablation-extra      ablations (§6.4 + DESIGN.md §5)
 //!   perf                      kernel/engine perf trajectory (BENCH_kernels.json)
+//!   sim-validate              calibrate the serving metasim on the real engine,
+//!                             replay the perf serving/scheduling scenarios
+//!                             through it, and write the metasim section of
+//!                             BENCH_kernels.json (predictions within 15%)
 //!   perf-guard [--min F]      fail (exit 1) if any BENCH_kernels.json speedup
 //!                             entry sits below F (default 0.9, i.e. 1.0 minus a
-//!                             10% bench-noise allowance) or any offload scale
+//!                             10% bench-noise allowance), any offload scale
 //!                             sits below 2.7 (the 3x acceptance gate minus the
-//!                             same allowance)
+//!                             same allowance), or the metasim section says
+//!                             validated: false
 //!   all                       everything above
 //! ```
 //!
 //! `--fast` trims dataset counts and sweep grids for quick smoke runs.
 //! Outputs are printed and written to `target/repro/<id>.{txt,json}`.
 
-use prism_bench::experiments::{ablation, apps, micro, overview, perf};
+use prism_bench::experiments::{ablation, apps, micro, overview, perf, simval};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -63,6 +68,7 @@ fn main() {
         "fig16" => ablation::fig16(),
         "ablation-extra" => ablation::ablation_extra(),
         "perf" => perf::perf(fast),
+        "sim-validate" => simval::sim_validate(fast),
         other => {
             eprintln!("unknown experiment: {other}");
             std::process::exit(2);

@@ -558,8 +558,22 @@ fn serving_result(label: &str, config: &ServeConfig, report: &LoadReport) -> Ser
     }
 }
 
-/// Measures the serving configurations for the `serving` section.
+/// A serving measurement pass plus the raw per-configuration reports
+/// (whose stats snapshots `repro sim-validate` calibrates from).
+pub(crate) struct MeasuredServing {
+    pub section: ServingSection,
+    pub serial: LoadReport,
+    pub batched: LoadReport,
+    pub cached: LoadReport,
+}
+
 fn serving_bench(fast: bool) -> ServingSection {
+    serving_bench_measured(fast).section
+}
+
+/// Measures the serving configurations for the `serving` section (also
+/// the measured side of `repro sim-validate`).
+pub(crate) fn serving_bench_measured(fast: bool) -> MeasuredServing {
     const THROTTLE: u64 = 16_000_000; // Emulated 16 MB/s streaming SSD.
     let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
     let model = Model::generate(config.clone(), 7).expect("model");
@@ -624,7 +638,7 @@ fn serving_bench(fast: bool) -> ServingSection {
             0.0
         }
     };
-    ServingSection {
+    let section = ServingSection {
         mode: if fast { "fast" } else { "full" }.into(),
         throttle_bytes_per_sec: THROTTLE,
         requests: spec.requests,
@@ -636,11 +650,30 @@ fn serving_bench(fast: bool) -> ServingSection {
         serial: serving_result("serial_1w_nobatch", &serial_config, &serial_report),
         batched: serving_result("batched_1w_8req", &batched_config, &batched_report),
         cached: serving_result("cached_1w_8req_repeat4", &cached_config, &cached_report),
+    };
+    MeasuredServing {
+        section,
+        serial: serial_report,
+        batched: batched_report,
+        cached: cached_report,
     }
 }
 
-/// Measures the mixed-priority scheduling comparison.
+/// A scheduling measurement pass plus the raw per-scheduler reports
+/// (whose stats snapshots `repro sim-validate` calibrates from).
+pub(crate) struct MeasuredScheduling {
+    pub section: SchedulingSection,
+    pub fifo: LoadReport,
+    pub priority: LoadReport,
+}
+
 fn scheduling_bench(fast: bool) -> SchedulingSection {
+    scheduling_bench_measured(fast).section
+}
+
+/// Measures the mixed-priority scheduling comparison (also the measured
+/// side of `repro sim-validate`).
+pub(crate) fn scheduling_bench_measured(fast: bool) -> MeasuredScheduling {
     const THROTTLE: u64 = 16_000_000; // Emulated 16 MB/s streaming SSD.
     const HIGH_DEADLINE_US: u64 = 30_000_000; // Generous: no shedding.
     let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
@@ -678,6 +711,7 @@ fn scheduling_bench(fast: bool) -> SchedulingSection {
     };
 
     let mut results = Vec::new();
+    let mut reports = Vec::new();
     for (label, priority_scheduling) in [("fifo", false), ("priority_edf", true)] {
         let server = PrismServer::start(
             engine(),
@@ -704,10 +738,13 @@ fn scheduling_bench(fast: bool) -> SchedulingSection {
             high: report.class("high").cloned(),
             bulk: report.class("bulk").cloned(),
         });
+        reports.push(report);
     }
     std::fs::remove_file(&path).ok();
     let priority = results.pop().expect("priority result");
     let fifo = results.pop().expect("fifo result");
+    let priority_report = reports.pop().expect("priority report");
+    let fifo_report = reports.pop().expect("fifo report");
 
     let p99 = |r: &SchedulingConfigResult| r.high.as_ref().map_or(0, |c| c.p99_us);
     let high_p99_improvement = if p99(&priority) > 0 {
@@ -720,7 +757,7 @@ fn scheduling_bench(fast: bool) -> SchedulingSection {
     } else {
         0.0
     };
-    SchedulingSection {
+    let section = SchedulingSection {
         mode: if fast { "fast" } else { "full" }.into(),
         throttle_bytes_per_sec: THROTTLE,
         requests: spec.requests,
@@ -732,6 +769,11 @@ fn scheduling_bench(fast: bool) -> SchedulingSection {
         priority,
         high_p99_improvement,
         throughput_ratio,
+    };
+    MeasuredScheduling {
+        section,
+        fifo: fifo_report,
+        priority: priority_report,
     }
 }
 
@@ -886,12 +928,27 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
             ));
         }
     }
+    // The metasim validation gate: when `repro sim-validate` has written
+    // its section, an out-of-tolerance prediction fails the guard too.
+    let metasim = super::simval::parse_metasim_validated(&text);
+    if metasim == Some(false) {
+        bad.push(format!(
+            "metasim: sim-validate predictions out of the {:.0}% tolerance \
+             (see the metasim section of {KERNELS_FILE})",
+            super::simval::SIM_TOLERANCE * 100.0
+        ));
+    }
     if bad.is_empty() {
         Ok(format!(
             "perf guard ok: {} speedup entries >= {min:.2}x, {} offload scales >= \
-             {OFFLOAD_GUARD_MIN:.2}x",
+             {OFFLOAD_GUARD_MIN:.2}x, metasim {}",
             speedups.len(),
-            offload.len()
+            offload.len(),
+            match metasim {
+                Some(true) => "validated",
+                Some(false) => unreachable!("handled above"),
+                None => "not yet validated (run `repro sim-validate`)",
+            }
         ))
     } else {
         Err(format!(
@@ -1054,7 +1111,13 @@ pub fn perf(fast: bool) {
         },
         speedup,
     };
-    let json = serde_json::to_string_pretty(&file).expect("serialize kernels file");
+    let mut json = serde_json::to_string_pretty(&file).expect("serialize kernels file");
+    // Preserve the `metasim` section written by `repro sim-validate`
+    // across perf rewrites (it is refreshed by its own command).
+    if let Some(metasim) = super::simval::extract_metasim(&previous) {
+        json = super::simval::splice_metasim(&json, &metasim);
+        report.line("preserved metasim section from previous run");
+    }
     std::fs::write(KERNELS_FILE, json).expect("write BENCH_kernels.json");
     report.line(&format!("wrote {KERNELS_FILE}"));
     report.finish(&file);

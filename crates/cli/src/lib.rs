@@ -48,6 +48,25 @@
 //!     FIFO and priority-then-EDF schedulers on high-priority p99.
 //!     Streaming runs against an emulated 16 MB/s SSD by default
 //!     (`--throttle 0` = native disk).
+//!
+//! prsm simulate-serve --model <name> [--scale mini|test]
+//!                    [--device rtx5070|m2|a800]
+//!                    [--profile steady|diurnal|burst] [--rps F] [--events N]
+//!                    [--mode trace|closed] [--seed N]
+//!                    [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
+//!                    [--cache-sessions N] [--starvation-ms N]
+//!                    [--fixed-us F] [--per-request-us F] [--per-token-us F]
+//!                    [--tune on]
+//!     Deterministic discrete-event simulation of the serving stack: the
+//!     real batch planner and session-cache model driven at virtual time,
+//!     so a simulated day of traffic costs seconds. `--mode trace`
+//!     (default) replays an open-loop arrival trace (`--profile`,
+//!     `--rps`, `--events`); `--mode closed` drives the same closed-loop
+//!     workload flags as `serve`. Service times come from the analytic
+//!     `--device` cost model unless `--fixed-us`/`--per-token-us` pin a
+//!     calibrated affine model (e.g. fitted by `repro sim-validate`).
+//!     `--tune on` sweeps the scheduling knobs through the simulator and
+//!     prints the best configuration for the device instead.
 //! ```
 //!
 //! All commands return their output as a string (tested directly); the
@@ -58,13 +77,16 @@ use std::fmt::Write as _;
 use prism_core::{EngineOptions, Priority, PrismEngine, SpillPrecision};
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
-    PrismSimOptions, PruneSchedule,
+    PrismSimOptions, PruneSchedule, ServeBatchCost,
+};
+use prism_metasim::{
+    simulate_closed_loop, tune_for_device, Calibration, ServiceModel, SimReport, Simulation,
 };
 use prism_metrics::MemoryMeter;
 use prism_model::{Model, ModelConfig, SequenceBatch};
 use prism_serve::{run_closed_loop, LoadReport, LoadSpec, PrismServer, ServeConfig};
 use prism_storage::Container;
-use prism_workload::{dataset_by_name, WorkloadGenerator};
+use prism_workload::{dataset_by_name, trace_profile_by_name, TraceGenerator, WorkloadGenerator};
 
 /// Runs one CLI invocation and returns its stdout payload.
 pub fn run(args: &[String]) -> Result<String, String> {
@@ -77,13 +99,14 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("rerank") => rerank(&collect(it)),
         Some("serve") => serve(&collect(it)),
         Some("bench-serve") => bench_serve(&collect(it)),
+        Some("simulate-serve") => simulate_serve(&collect(it)),
         Some("help") | None => Ok(usage()),
         Some(other) => Err(format!("unknown command `{other}`; try `prsm help`")),
     }
 }
 
 fn usage() -> String {
-    "usage: prsm <inspect|gen|quantize|simulate|rerank|serve|bench-serve|help> [args]\n\
+    "usage: prsm <inspect|gen|quantize|simulate|rerank|serve|bench-serve|simulate-serve|help> [args]\n\
      see `cargo doc -p prism-cli` or the crate docs for details\n"
         .to_string()
 }
@@ -470,12 +493,9 @@ fn write_load_report(out: &mut String, report: &LoadReport) {
     }
 }
 
-fn serve(args: &[&str]) -> Result<String, String> {
-    let p = parse(args)?;
-    let path = p.positional.first().ok_or("serve needs a container path")?;
-    let name = p.flag("model").ok_or("serve needs --model <name>")?;
-    let scale = p.flag("scale").unwrap_or("mini");
-    let config = resolve_config(name, scale)?;
+/// Builds a `ServeConfig` from the shared scheduling flags (`serve` and
+/// `simulate-serve` accept the same knobs).
+fn serve_config_from(p: &Parsed<'_>) -> Result<ServeConfig, String> {
     let serve_defaults = ServeConfig::default();
     let max_batch_wait = std::time::Duration::from_micros(
         p.flag_parse("wait-us", serve_defaults.max_batch_wait.as_micros() as u64)?,
@@ -487,7 +507,7 @@ fn serve(args: &[&str]) -> Result<String, String> {
         Some(_) => std::time::Duration::from_millis(p.flag_parse("starvation-ms", 0_u64)?),
         None => serve_defaults.starvation_age.max(max_batch_wait),
     };
-    let serve_config = ServeConfig {
+    Ok(ServeConfig {
         workers: p.flag_parse("workers", serve_defaults.workers)?,
         max_batch_requests: p.flag_parse("batch", serve_defaults.max_batch_requests)?,
         max_batch_tokens: p.flag_parse("batch-tokens", serve_defaults.max_batch_tokens)?,
@@ -496,7 +516,16 @@ fn serve(args: &[&str]) -> Result<String, String> {
             .flag_parse("cache-sessions", serve_defaults.session_cache_capacity)?,
         starvation_age,
         ..serve_defaults
-    };
+    })
+}
+
+fn serve(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let path = p.positional.first().ok_or("serve needs a container path")?;
+    let name = p.flag("model").ok_or("serve needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    let serve_config = serve_config_from(&p)?;
     let spec = load_spec_from(&p)?;
     let throttle: u64 = p.flag_parse("throttle", 0)?;
     let offload = resolve_switch(&p, "offload")?;
@@ -667,6 +696,155 @@ fn bench_serve(args: &[&str]) -> Result<String, String> {
             );
         }
     }
+    Ok(out)
+}
+
+fn write_sim_report(out: &mut String, report: &SimReport) {
+    let _ = writeln!(
+        out,
+        "completed {} of {} requests in {:.3} virtual s -> {:.1} req/s ({} errors, {} backpressure retries)",
+        report.completed,
+        report.requests,
+        report.virtual_elapsed_s,
+        report.throughput_rps,
+        report.errors,
+        report.backpressure_retries
+    );
+    let _ = writeln!(
+        out,
+        "latency us: p50 {}  p95 {}  p99 {}  max {}  mean {:.0}",
+        report.p50_us, report.p95_us, report.p99_us, report.max_us, report.mean_us
+    );
+    let s = &report.stats;
+    let _ = writeln!(
+        out,
+        "queue depth peak {}; {} batches (mean {:.2} requests / {:.0} tokens)",
+        s.queue_depth_peak, s.batches, s.batch_size.mean, s.batch_tokens.mean
+    );
+    let _ = writeln!(
+        out,
+        "session cache: {} selection hits, {} misses (hit rate {:.1}%)",
+        s.cache_selection_hits,
+        s.cache_misses,
+        s.cache_hit_rate * 100.0
+    );
+    if s.cancelled + s.deadline_rejected + s.deadline_missed + s.priority_inversions + s.rejected
+        > 0
+    {
+        let _ = writeln!(
+            out,
+            "lifecycle: {} rejected, {} cancelled, {} deadline-rejected, {} deadline-missed, {} priority inversions",
+            s.rejected, s.cancelled, s.deadline_rejected, s.deadline_missed, s.priority_inversions
+        );
+    }
+    for c in &report.classes {
+        let _ = writeln!(
+            out,
+            "  class {:<6} {:>4} ok / {:>3} err  p50 {:>7} us  p95 {:>7} us  p99 {:>7} us",
+            c.label, c.completed, c.errors, c.p50_us, c.p95_us, c.p99_us
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} events, digest {:016x}",
+        report.events, report.digest
+    );
+}
+
+fn simulate_serve(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let name = p
+        .flag("model")
+        .ok_or("simulate-serve needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    let device = resolve_device(p.flag("device").unwrap_or("m2"))?;
+    let serve_config = serve_config_from(&p)?;
+
+    // Service times: the device's analytic batch-cost model unless a
+    // calibrated affine model is pinned on the command line (the shape
+    // `repro sim-validate` fits from measured runs).
+    let calibrated = ["fixed-us", "per-request-us", "per-token-us"]
+        .iter()
+        .any(|f| p.flag(f).is_some());
+    let service = if calibrated {
+        ServiceModel::calibrated(Calibration {
+            batch_fixed_us: p.flag_parse("fixed-us", 0.0_f64)?,
+            per_request_us: p.flag_parse("per-request-us", 0.0_f64)?,
+            per_token_us: p.flag_parse("per-token-us", 0.0_f64)?,
+        })
+    } else {
+        ServiceModel::analytic(ServeBatchCost::new(config.clone(), device.clone()))
+    };
+
+    let mut out = String::new();
+    if resolve_switch(&p, "tune")? {
+        let outcome = tune_for_device(&config, &device, &serve_config);
+        let winner = &outcome.points[outcome.best];
+        let tuned = outcome.best_config(&serve_config);
+        let _ = writeln!(
+            out,
+            "tuned {} on {} over {} grid points:",
+            config.name,
+            device.name,
+            outcome.points.len()
+        );
+        let _ = writeln!(
+            out,
+            "best: batch <= {} requests, wait {} us, starvation {} us, cache {} sessions",
+            winner.max_batch_requests,
+            winner.max_batch_wait_us,
+            winner.starvation_age_us,
+            winner.session_cache_capacity
+        );
+        let _ = writeln!(
+            out,
+            "simulated: {:.1} req/s, p99 {} us (base point: {:.1} req/s, p99 {} us)",
+            winner.throughput_rps,
+            winner.p99_us,
+            outcome.points[0].throughput_rps,
+            outcome.points[0].p99_us
+        );
+        tuned.validate().map_err(|e| e.to_string())?;
+        write_sim_report(&mut out, &outcome.report);
+        return Ok(out);
+    }
+
+    let mode = p.flag("mode").unwrap_or("trace");
+    let report = match mode {
+        "trace" => {
+            let rps: f64 = p.flag_parse("rps", 100.0)?;
+            let events: u64 = p.flag_parse("events", 100_000)?;
+            let seed: u64 = p.flag_parse("seed", 42)?;
+            let profile_name = p.flag("profile").unwrap_or("diurnal");
+            let profile = trace_profile_by_name(profile_name, rps).ok_or_else(|| {
+                format!("unknown profile `{profile_name}` (steady|diurnal|burst)")
+            })?;
+            let generator = TraceGenerator::new(profile, seed);
+            let _ = writeln!(
+                out,
+                "simulate-serve {}: {} trace, {} events at ~{} req/s, {} workers, batches <= {} requests",
+                config.name,
+                profile_name,
+                events,
+                rps,
+                serve_config.workers,
+                serve_config.max_batch_requests
+            );
+            Simulation::run_trace(&serve_config, service, &generator, events, profile_name)
+        }
+        "closed" => {
+            let spec = load_spec_from(&p)?;
+            let _ = writeln!(
+                out,
+                "simulate-serve {}: closed loop, {} requests x {} candidates (top-{}), {} clients",
+                config.name, spec.requests, spec.candidates, spec.k, spec.clients
+            );
+            simulate_closed_loop(&config, &spec, &serve_config, service, "closed")
+        }
+        other => return Err(format!("unknown mode `{other}` (trace|closed)")),
+    };
+    write_sim_report(&mut out, &report);
     Ok(out)
 }
 
@@ -898,6 +1076,101 @@ mod tests {
             "unknown priority must be rejected"
         );
         std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
+    fn simulate_serve_trace_mode_is_deterministic() {
+        let args = [
+            "simulate-serve",
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--profile",
+            "steady",
+            "--rps",
+            "300",
+            "--events",
+            "2000",
+            "--device",
+            "m2",
+        ];
+        let a = run_strs(&args).unwrap();
+        assert!(a.contains("steady trace, 2000 events"), "{a}");
+        assert!(a.contains("virtual s"), "{a}");
+        assert!(a.contains("digest"), "{a}");
+        // Bit-identical rerun: the whole report is a pure function of
+        // the inputs (no wall clock anywhere).
+        let b = run_strs(&args).unwrap();
+        assert_eq!(a, b);
+        // A different seed changes the event log.
+        let c = run_strs(
+            &args
+                .iter()
+                .copied()
+                .chain(["--seed", "7"])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn simulate_serve_closed_mode_and_calibrated_model() {
+        let out = run_strs(&[
+            "simulate-serve",
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--mode",
+            "closed",
+            "--requests",
+            "24",
+            "--clients",
+            "4",
+            "--candidates",
+            "8",
+            "--k",
+            "3",
+            "--fixed-us",
+            "4000",
+            "--per-token-us",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("closed loop, 24 requests"), "{out}");
+        assert!(out.contains("completed 24 of 24"), "{out}");
+        assert!(out.contains("latency us: p50"), "{out}");
+
+        assert!(
+            run_strs(&["simulate-serve", "--model", "bge-m3", "--mode", "open"]).is_err(),
+            "unknown mode must be rejected"
+        );
+        assert!(
+            run_strs(&["simulate-serve", "--model", "bge-m3", "--profile", "weekly"]).is_err(),
+            "unknown profile must be rejected"
+        );
+        assert!(run_strs(&["simulate-serve"]).is_err(), "missing model");
+    }
+
+    #[test]
+    fn simulate_serve_tune_reports_winner() {
+        let out = run_strs(&[
+            "simulate-serve",
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--device",
+            "m2",
+            "--tune",
+            "on",
+        ])
+        .unwrap();
+        assert!(out.contains("grid points"), "{out}");
+        assert!(out.contains("best: batch <="), "{out}");
+        assert!(out.contains("base point:"), "{out}");
     }
 
     #[test]

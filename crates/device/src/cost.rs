@@ -74,6 +74,116 @@ pub fn offload_spill_time_s(
     raw * (1.0 - overlap_efficiency.clamp(0.0, 1.0))
 }
 
+/// Spill-regime parameters of a serving worker running batches through
+/// the §4.3 offload window (used by [`ServeBatchCost`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SpillCostParams {
+    /// Slot encoding of spilled hidden-state rows.
+    pub precision: SpillPrecision,
+    /// Rows per execution chunk (the §4.3 chunk height).
+    pub rows_per_chunk: usize,
+    /// Fraction of spill I/O hidden behind compute by the three-stage
+    /// pipeline (`0.0` = fully synchronous).
+    pub overlap_efficiency: f64,
+}
+
+/// Analytic service-time model for one coalesced serving batch — the
+/// worker model of the serving metasim (`prism-metasim`).
+///
+/// A batch of `tokens` packed tokens advances through every layer
+/// monolithically; per layer the engine overlaps weight streaming with
+/// compute (§4.2), so the layer takes the *maximum* of the two, and a
+/// batch taller than the chunk height pays the unhidden spill traffic of
+/// the §4.3 offload window ([`offload_spill_time_s`], including the
+/// PR 5 spill-byte terms). Fixed per-batch and per-request overheads
+/// absorb dispatch, planning, and reply costs; the `repro sim-validate`
+/// harness *calibrates* them against the real engine, while
+/// `prsm simulate-serve` uses device-spec defaults.
+#[derive(Debug, Clone)]
+pub struct ServeBatchCost {
+    /// The served model.
+    pub config: ModelConfig,
+    /// The device executing batches.
+    pub device: DeviceSpec,
+    /// Container weight-streaming bandwidth in bytes/s (`None` =
+    /// weights resident in accelerator memory; the serving benches
+    /// throttle this to model cold-cache disks).
+    pub stream_bandwidth: Option<f64>,
+    /// Whether matmuls run on quantized kernels.
+    pub quant: bool,
+    /// Hidden-state spill regime, when the batch exceeds the in-memory
+    /// chunk height.
+    pub spill: Option<SpillCostParams>,
+    /// Fixed per-batch overhead in seconds (dispatch, coalescing,
+    /// scratch setup).
+    pub batch_overhead_s: f64,
+    /// Fixed per-request overhead in seconds (planning, scoring, reply).
+    pub request_overhead_s: f64,
+}
+
+impl ServeBatchCost {
+    /// A model with device-derived defaults: resident weights, dense
+    /// kernels, no spill, and overheads at the device's SSD latency
+    /// scale (one positioned I/O per batch, a tenth per request).
+    pub fn new(config: ModelConfig, device: DeviceSpec) -> Self {
+        let latency = device.ssd_latency;
+        ServeBatchCost {
+            config,
+            device,
+            stream_bandwidth: None,
+            quant: false,
+            spill: None,
+            batch_overhead_s: latency,
+            request_overhead_s: latency / 10.0,
+        }
+    }
+
+    /// Seconds one coalesced batch of `requests` requests totalling
+    /// `tokens` packed tokens occupies a worker.
+    pub fn batch_time_s(&self, requests: usize, tokens: u64) -> f64 {
+        if requests == 0 || tokens == 0 {
+            return 0.0;
+        }
+        let seq = (tokens / requests as u64).max(1);
+        let per_layer_compute =
+            self.device
+                .compute_time_s(self.config.layer_macs(tokens, seq), tokens, self.quant);
+        let per_layer_stream = self
+            .stream_bandwidth
+            .map(|bw| self.config.layer_bytes() as f64 / bw.max(1.0))
+            .unwrap_or(0.0);
+        // Streaming is pipelined behind compute: each layer costs the
+        // slower of the two stages.
+        let layers_s = self.config.num_layers as f64 * per_layer_compute.max(per_layer_stream);
+        let spill_s = self
+            .spill
+            .map(|s| {
+                let chunks = (tokens as usize).div_ceil(s.rows_per_chunk.max(1));
+                // One chunk stays resident; the rest round-trip the SSD.
+                offload_spill_time_s(
+                    &self.config,
+                    &self.device,
+                    s.precision,
+                    chunks.saturating_sub(1),
+                    s.rows_per_chunk,
+                    self.config.num_layers,
+                    s.overlap_efficiency,
+                )
+            })
+            .unwrap_or(0.0);
+        self.batch_overhead_s + requests as f64 * self.request_overhead_s + layers_s + spill_s
+    }
+
+    /// [`Self::batch_time_s`] in whole microseconds (at least 1 for a
+    /// non-empty batch — virtual time must advance).
+    pub fn batch_micros(&self, requests: usize, tokens: u64) -> u64 {
+        if requests == 0 {
+            return 0;
+        }
+        ((self.batch_time_s(requests, tokens) * 1e6).round() as u64).max(1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +255,51 @@ mod tests {
             offload_spill_time_s(&cfg, &d, SpillPrecision::F32, 0, 256, 28, 0.0),
             0.0
         );
+    }
+
+    #[test]
+    fn serve_batch_cost_tracks_shape_and_regime() {
+        let cfg = ModelConfig::test_config(prism_model::ModelArch::DecoderOnly, 12);
+        let d = DeviceSpec::apple_m2();
+        let base = ServeBatchCost::new(cfg.clone(), d.clone());
+        // Empty batches are free; more tokens cost more.
+        assert_eq!(base.batch_time_s(0, 0), 0.0);
+        assert_eq!(base.batch_micros(0, 0), 0);
+        let small = base.batch_time_s(1, 64);
+        let large = base.batch_time_s(8, 2048);
+        assert!(large > small, "{large} vs {small}");
+        assert!(base.batch_micros(1, 64) >= 1);
+
+        // A throttled weight stream dominates tiny-model compute.
+        let streamed = ServeBatchCost {
+            stream_bandwidth: Some(16.0 * 1024.0 * 1024.0),
+            ..base.clone()
+        };
+        let floor = cfg.num_layers as f64 * cfg.layer_bytes() as f64 / (16.0 * 1024.0 * 1024.0);
+        assert!(streamed.batch_time_s(1, 64) >= floor);
+        assert!(streamed.batch_time_s(1, 64) > base.batch_time_s(1, 64));
+
+        // Spilling a tall batch adds unhidden I/O; overlap hides it.
+        let spilled = ServeBatchCost {
+            spill: Some(SpillCostParams {
+                precision: SpillPrecision::Int8,
+                rows_per_chunk: 256,
+                overlap_efficiency: 0.0,
+            }),
+            ..base.clone()
+        };
+        assert!(spilled.batch_time_s(8, 2048) > base.batch_time_s(8, 2048));
+        let overlapped = ServeBatchCost {
+            spill: Some(SpillCostParams {
+                precision: SpillPrecision::Int8,
+                rows_per_chunk: 256,
+                overlap_efficiency: 1.0,
+            }),
+            ..base.clone()
+        };
+        assert_eq!(overlapped.batch_time_s(8, 2048), base.batch_time_s(8, 2048));
+        // A batch within one chunk never spills.
+        assert_eq!(spilled.batch_time_s(1, 128), base.batch_time_s(1, 128));
     }
 
     #[test]

@@ -1,0 +1,235 @@
+//! Closed-loop replay: simulate exactly the workload that
+//! `prism_serve::run_closed_loop` drives against a real server.
+//!
+//! The request stream is reconstructed request for request — client
+//! striding, session cycling, corpus rotation, the corpus-derived
+//! routing tag, priority decoration and deadlines — so a simulated run
+//! and a measured run of the same [`LoadSpec`] see identical queue
+//! contents, batch shapes and cache-hit patterns. Only execution time
+//! is modeled (by the [`ServiceModel`]); everything else is the real
+//! planning logic at virtual time. This is what `repro sim-validate`
+//! replays to compare predicted throughput and tail latency against
+//! the measured serving benchmarks.
+
+use std::collections::{HashMap, VecDeque};
+
+use prism_core::Priority;
+use prism_model::ModelConfig;
+use prism_serve::{LoadSpec, ServeConfig};
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+use crate::report::SimReport;
+use crate::service::ServiceModel;
+use crate::sim::{SimRequest, Simulation};
+
+/// Reconstructs `spec`'s per-client request streams. Mirrors the client
+/// loop in `run_closed_loop`: client `c` owns indices `c, c+clients, …`;
+/// index `i` maps to session `i % sessions`, corpus
+/// `(session << 32) | (round / corpus_repeat)`, and the corpus-derived
+/// tag that makes repeats exact cache hits.
+pub fn client_streams(config: &ModelConfig, spec: &LoadSpec) -> Vec<VecDeque<SimRequest>> {
+    let profile = dataset_by_name(&spec.dataset)
+        .unwrap_or_else(|| panic!("unknown dataset `{}`", spec.dataset));
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, spec.seed);
+    let sessions = spec.sessions.max(1);
+    let repeat = spec.corpus_repeat.max(1);
+    let clients = spec.clients.max(1).min(spec.requests.max(1));
+
+    // Token counts are a pure function of the corpus id; memoize so
+    // repeated corpora cost one generator call.
+    let mut tokens_of: HashMap<u64, usize> = HashMap::new();
+    let mut streams: Vec<VecDeque<SimRequest>> = (0..clients).map(|_| VecDeque::new()).collect();
+    for (c, stream) in streams.iter_mut().enumerate() {
+        let mut i = c;
+        while i < spec.requests {
+            let session_idx = i % sessions;
+            let round = i / sessions;
+            let corpus = (session_idx as u64) << 32 | (round / repeat) as u64;
+            let tokens = *tokens_of.entry(corpus).or_insert_with(|| {
+                generator
+                    .request(corpus, spec.candidates)
+                    .sequences()
+                    .iter()
+                    .map(Vec::len)
+                    .sum()
+            });
+            let is_high = spec.is_high(i);
+            let (priority, deadline_us) = if is_high {
+                (Priority::High, spec.high_deadline_us)
+            } else {
+                (spec.priority, spec.deadline_us)
+            };
+            stream.push_back(SimRequest {
+                id: i as u64,
+                session: session_idx as u64,
+                corpus,
+                key: corpus ^ 0x5E55_1011,
+                tokens,
+                priority,
+                deadline_us,
+                cancel_after_us: None,
+                high_class: is_high,
+                client: Some(c),
+            });
+            i += clients;
+        }
+    }
+    streams
+}
+
+/// Simulates `spec` against a virtual server with configuration `serve`
+/// and the given service-time model, reporting the same aggregates as
+/// a measured `run_closed_loop`.
+pub fn simulate_closed_loop(
+    config: &ModelConfig,
+    spec: &LoadSpec,
+    serve: &ServeConfig,
+    service: ServiceModel,
+    label: &str,
+) -> SimReport {
+    let streams = client_streams(config, spec);
+    Simulation::run_closed(serve, service, streams, label, spec.high_fraction > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::Calibration;
+    use prism_model::ModelArch;
+
+    fn test_model() -> ModelConfig {
+        ModelConfig::test_config(ModelArch::DecoderOnly, 6)
+    }
+
+    fn flat(us: f64) -> ServiceModel {
+        ServiceModel::calibrated(Calibration {
+            batch_fixed_us: us,
+            per_request_us: 0.0,
+            per_token_us: 0.0,
+        })
+    }
+
+    #[test]
+    fn streams_partition_the_request_space() {
+        let spec = LoadSpec {
+            requests: 23,
+            clients: 4,
+            ..Default::default()
+        };
+        let streams = client_streams(&test_model(), &spec);
+        assert_eq!(streams.len(), 4);
+        let mut ids: Vec<u64> = streams.iter().flatten().map(|r| r.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..23).collect::<Vec<u64>>());
+        // Client striding: client 1 owns 1, 5, 9, ...
+        assert_eq!(streams[1].front().unwrap().id, 1);
+        assert_eq!(streams[1][1].id, 5);
+    }
+
+    #[test]
+    fn corpus_rotation_matches_load_generator() {
+        let spec = LoadSpec {
+            requests: 16,
+            clients: 1,
+            sessions: 2,
+            corpus_repeat: 2,
+            ..Default::default()
+        };
+        let streams = client_streams(&test_model(), &spec);
+        let all: Vec<&SimRequest> = streams[0].iter().collect();
+        // i=0: session 0, round 0 -> corpus (0<<32)|0.
+        // i=2: session 0, round 1 -> still corpus 0 (repeat 2).
+        // i=4: session 0, round 2 -> corpus (0<<32)|1.
+        assert_eq!(all[0].corpus, 0);
+        assert_eq!(all[2].corpus, 0);
+        assert_eq!(all[4].corpus, 1);
+        assert_eq!(all[0].key, all[2].key, "repeats share the cache key");
+        assert_eq!(all[1].session, 1);
+        assert!(all.iter().all(|r| r.tokens > 0));
+    }
+
+    #[test]
+    fn high_fraction_decorates_like_the_load_spec() {
+        let spec = LoadSpec {
+            requests: 20,
+            clients: 2,
+            high_fraction: 0.25,
+            high_deadline_us: Some(5_000_000),
+            ..Default::default()
+        };
+        let streams = client_streams(&test_model(), &spec);
+        let mut by_id: Vec<&SimRequest> = streams.iter().flatten().collect();
+        by_id.sort_by_key(|r| r.id);
+        for r in &by_id {
+            let expect_high = spec.is_high(r.id as usize);
+            assert_eq!(r.high_class, expect_high, "request {}", r.id);
+            if expect_high {
+                assert_eq!(r.priority, Priority::High);
+                assert_eq!(r.deadline_us, Some(5_000_000));
+            } else {
+                assert_eq!(r.priority, Priority::Normal);
+                assert_eq!(r.deadline_us, None);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_spec_yields_cache_hits_in_simulation() {
+        // corpus_repeat 4 on a cached config: roughly 3 of every 4
+        // same-session repeats replay from the session cache.
+        let spec = LoadSpec {
+            requests: 48,
+            clients: 4,
+            corpus_repeat: 4,
+            ..Default::default()
+        };
+        let report = simulate_closed_loop(
+            &test_model(),
+            &spec,
+            &ServeConfig::default(),
+            flat(2_000.0),
+            "cached",
+        );
+        assert_eq!(report.completed, 48);
+        assert!(
+            report.stats.cache_selection_hits + report.stats.cache_embed_hits > 0,
+            "repeats must hit the cache: {:?}",
+            report.stats
+        );
+        let uncached = simulate_closed_loop(
+            &test_model(),
+            &LoadSpec {
+                corpus_repeat: 1,
+                ..spec
+            },
+            &ServeConfig::default(),
+            flat(2_000.0),
+            "uncached",
+        );
+        assert!(
+            report.throughput_rps > uncached.throughput_rps,
+            "cache hits must raise simulated throughput ({} vs {})",
+            report.throughput_rps,
+            uncached.throughput_rps
+        );
+    }
+
+    #[test]
+    fn simulated_run_is_deterministic() {
+        let spec = LoadSpec {
+            requests: 64,
+            clients: 8,
+            high_fraction: 0.1,
+            high_deadline_us: Some(30_000_000),
+            ..Default::default()
+        };
+        let model = test_model();
+        let a = simulate_closed_loop(&model, &spec, &ServeConfig::default(), flat(3_000.0), "d");
+        let b = simulate_closed_loop(&model, &spec, &ServeConfig::default(), flat(3_000.0), "d");
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+}

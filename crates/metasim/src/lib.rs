@@ -1,0 +1,44 @@
+//! Serving metasim: deterministic discrete-event simulation of the full
+//! PRISM serving stack, validated against measured benchmarks.
+//!
+//! A live serving experiment answers "what does this configuration do on
+//! this machine" in minutes of wall clock. The metasim answers the same
+//! question in milliseconds by replaying the *decision logic* of the
+//! real stack at virtual time:
+//!
+//! * the actual [`prism_serve::BatchPlanner`] makes every scheduling
+//!   decision (it is a pure function of queue snapshot + clock, so the
+//!   simulator and the live server run the identical code);
+//! * admission, backpressure shedding, priority inversions, deadline
+//!   and cancellation outcomes mirror `SubmissionQueue` and
+//!   `execute_batch` counter for counter, recorded into a real
+//!   [`prism_serve::ServeStats`];
+//! * a behavioural twin of the session cache reproduces selection and
+//!   embedding hits;
+//! * only *execution time* is modeled, by a [`ServiceModel`] — either
+//!   the analytic `prism-device` cost model (including spill-byte
+//!   terms) or an affine fit calibrated on the real engine.
+//!
+//! Workloads come from two sources: [`closed_loop`] reconstructs the
+//! exact request streams of `prism_serve::run_closed_loop` (what
+//! `repro perf` measures, enabling validation within tolerance), and
+//! open-loop traces from [`prism_workload::TraceGenerator`] scale to a
+//! simulated day of million-user traffic in seconds. [`autotune`]
+//! sweeps `ServeConfig` knobs through the simulator to pick tuned
+//! defaults per device.
+//!
+//! Everything is bit-deterministic: a [`SimReport`] carries an FNV-1a
+//! digest of the processed event log, and identical inputs produce
+//! identical reports — the property the determinism proptests pin down.
+
+pub mod autotune;
+pub mod closed_loop;
+pub mod report;
+pub mod service;
+pub mod sim;
+
+pub use autotune::{tune, tune_for_device, tuning_workload, SweepPoint, TuneOutcome};
+pub use closed_loop::{client_streams, simulate_closed_loop};
+pub use report::{exact_quantile, SimReport};
+pub use service::{Calibration, ServiceModel};
+pub use sim::{SimRequest, Simulation, BACKPRESSURE_RETRY_US};

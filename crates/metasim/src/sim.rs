@@ -1,0 +1,947 @@
+//! The discrete-event serving simulator.
+//!
+//! One [`Simulation`] models the full `prism-serve` stack — bounded
+//! submission queue, batch coalescing, worker pool, session cache,
+//! deadlines, priorities and cancellation — at *virtual* microsecond
+//! time. Scheduling decisions are not re-implemented: the simulator
+//! drives the real [`BatchPlanner`] (a pure function of queue snapshot +
+//! clock since the explicit-clock refactor) and records into a real
+//! [`ServeStats`], so the emitted telemetry has the same shape and
+//! counter semantics as a live [`prism_serve::PrismServer`]. Counter
+//! updates mirror `server.rs::execute_batch` line by line: shed at
+//! pickup, batch instruments, per-item queue time, session-cache probe
+//! (selection hits answer instantly with zero service time), one
+//! engine pass per coalesced batch, and cancel/deadline outcomes at
+//! completion that never fail batch-mates.
+//!
+//! Everything is deterministic: no wall clock, no thread interleaving,
+//! no hash-order dependence (ties cannot occur — the event heap orders
+//! by `(time, sequence)` and cache eviction scans a unique recency
+//! tick). The same inputs produce a bit-identical event digest and
+//! report on every run.
+
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use prism_core::Priority;
+use prism_serve::{BatchPlanner, PlanDecision, QueueItem, ServeConfig, ServeStats};
+use prism_workload::{TraceEvent, TraceGenerator};
+
+use crate::report::{fnv1a_mix, SimReport};
+use crate::service::ServiceModel;
+
+/// Microseconds a simulated closed-loop client waits before resubmitting
+/// after backpressure — mirrors the retry sleep in
+/// `prism_serve::run_closed_loop`.
+pub const BACKPRESSURE_RETRY_US: u64 = 200;
+
+/// Selections memoized per simulated session, mirroring the real
+/// session cache's per-session memo bound.
+const MEMO_PER_SESSION: usize = 8;
+
+/// One logical request entering the simulated server.
+#[derive(Debug, Clone)]
+pub struct SimRequest {
+    /// Stable identity (trace index / closed-loop submission index);
+    /// folded into the event digest.
+    pub id: u64,
+    /// Session identity (cache affinity).
+    pub session: u64,
+    /// Corpus identity: requests sharing `(session, corpus, key)` are
+    /// exact repeats and can replay a cached selection.
+    pub corpus: u64,
+    /// Surrogate for the request's `SelectionKey` (k + tag + overrides).
+    pub key: u64,
+    /// Total packed tokens (the planner's budget unit).
+    pub tokens: usize,
+    /// Scheduling class.
+    pub priority: Priority,
+    /// Relative deadline in microseconds from admission, if any.
+    pub deadline_us: Option<u64>,
+    /// Caller cancels this many microseconds after admission, if ever.
+    pub cancel_after_us: Option<u64>,
+    /// Reported under the `"high"` class (vs `"bulk"`) in mixed runs.
+    pub high_class: bool,
+    /// Closed-loop owner: completion triggers this client's next
+    /// submission, and backpressure triggers a retry instead of a drop.
+    pub client: Option<usize>,
+}
+
+impl SimRequest {
+    /// Converts a generated trace event into a simulator request, using
+    /// the same corpus-to-tag convention as the closed-loop generator.
+    pub fn from_trace(ev: &TraceEvent) -> SimRequest {
+        SimRequest {
+            id: ev.index,
+            session: ev.session,
+            corpus: ev.corpus,
+            key: ev.corpus ^ 0x5E55_1011,
+            tokens: ev.tokens,
+            priority: match ev.class {
+                2 => Priority::High,
+                0 => Priority::Bulk,
+                _ => Priority::Normal,
+            },
+            deadline_us: ev.deadline_us,
+            cancel_after_us: ev.cancel_after_us,
+            high_class: ev.class == 2,
+            client: None,
+        }
+    }
+}
+
+/// A queued request with its virtual-time bookkeeping.
+#[derive(Debug, Clone)]
+struct SimPending {
+    req: SimRequest,
+    /// First submission attempt — the latency epoch (retries included),
+    /// mirroring the closed-loop client's `t0` before its retry loop.
+    first_attempt: u64,
+    /// Admission time (queue-wait epoch).
+    enqueued_at: u64,
+    /// Absolute deadline, resolved at admission like the real server.
+    deadline_at: Option<u64>,
+    /// Absolute cancellation instant.
+    cancel_at: Option<u64>,
+}
+
+#[derive(Debug)]
+enum Event {
+    /// A request (re)submission; `first_attempt` survives retries.
+    Submit { req: SimRequest, first_attempt: u64 },
+    /// Worker finished its running batch.
+    WorkerFree { worker: usize },
+    /// The coalescing age bound expired; replan.
+    PlanTimer,
+}
+
+struct Scheduled {
+    at: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    // Reversed: BinaryHeap is a max-heap, we need earliest-first with
+    // FIFO tie-break on the schedule sequence.
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct RunningBatch {
+    items: Vec<SimPending>,
+    /// Post-shed batch size (selection hits included) — the `in_flight`
+    /// increment to undo at completion.
+    size: usize,
+    service_us: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Probe {
+    Selection,
+    Embed,
+    Miss,
+}
+
+struct CacheEntry {
+    corpus: u64,
+    keys: Vec<u64>,
+    has_embed: bool,
+    last_used: u64,
+}
+
+/// Behavioural twin of `prism_serve::SessionCache`: one corpus per
+/// session, a bounded selection memo, session-level LRU eviction.
+/// Recency ticks are unique, so the eviction scan is deterministic
+/// regardless of hash iteration order.
+struct SimCache {
+    capacity: usize,
+    enabled: bool,
+    tick: u64,
+    entries: HashMap<u64, CacheEntry>,
+}
+
+impl SimCache {
+    fn new(capacity: usize) -> Self {
+        SimCache {
+            capacity: capacity.max(1),
+            enabled: capacity > 0,
+            tick: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn lookup(&mut self, session: u64, corpus: u64, key: u64) -> Probe {
+        if !self.enabled {
+            return Probe::Miss;
+        }
+        self.tick += 1;
+        let Some(entry) = self.entries.get_mut(&session) else {
+            return Probe::Miss;
+        };
+        if entry.corpus != corpus {
+            return Probe::Miss;
+        }
+        entry.last_used = self.tick;
+        if entry.keys.contains(&key) {
+            Probe::Selection
+        } else if entry.has_embed {
+            Probe::Embed
+        } else {
+            Probe::Miss
+        }
+    }
+
+    fn store_embed(&mut self, session: u64, corpus: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&session) {
+            Some(entry) => {
+                if entry.corpus != corpus {
+                    entry.corpus = corpus;
+                    entry.keys.clear();
+                }
+                entry.has_embed = true;
+                entry.last_used = tick;
+            }
+            None => {
+                self.entries.insert(
+                    session,
+                    CacheEntry {
+                        corpus,
+                        keys: Vec::new(),
+                        has_embed: true,
+                        last_used: tick,
+                    },
+                );
+                self.evict_over_capacity();
+            }
+        }
+    }
+
+    fn store_selection(&mut self, session: u64, corpus: u64, key: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.tick += 1;
+        let tick = self.tick;
+        let entry = self.entries.entry(session).or_insert_with(|| CacheEntry {
+            corpus,
+            keys: Vec::new(),
+            has_embed: false,
+            last_used: tick,
+        });
+        if entry.corpus != corpus {
+            entry.corpus = corpus;
+            entry.has_embed = false;
+            entry.keys.clear();
+        }
+        entry.last_used = tick;
+        if !entry.keys.contains(&key) {
+            if entry.keys.len() >= MEMO_PER_SESSION {
+                entry.keys.remove(0);
+            }
+            entry.keys.push(key);
+        }
+        self.evict_over_capacity();
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.entries.len() > self.capacity {
+            // `last_used` ticks are unique: min_by_key has exactly one
+            // answer, independent of hash iteration order.
+            let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            else {
+                return;
+            };
+            self.entries.remove(&oldest);
+        }
+    }
+}
+
+/// Deterministic discrete-event simulation of one serving configuration.
+pub struct Simulation {
+    planner: BatchPlanner,
+    queue_capacity: usize,
+    service: ServiceModel,
+    stats: ServeStats,
+    cache: SimCache,
+
+    now: u64,
+    seq: u64,
+    heap: BinaryHeap<Scheduled>,
+    queue: VecDeque<SimPending>,
+    worker_busy: Vec<bool>,
+    running: Vec<Option<RunningBatch>>,
+    timer_at: Option<u64>,
+    client_streams: Vec<VecDeque<SimRequest>>,
+
+    samples: Vec<(bool, u64)>,
+    errors: u64,
+    high_errors: u64,
+    retries: u64,
+    events: u64,
+    digest: u64,
+}
+
+impl Simulation {
+    /// Builds a simulator for `config` (validated) with the given
+    /// service-time model.
+    pub fn new(config: &ServeConfig, service: ServiceModel) -> Self {
+        config
+            .validate()
+            .expect("invalid ServeConfig for simulation");
+        let workers = config.workers.max(1);
+        Simulation {
+            planner: config.planner(),
+            queue_capacity: config.queue_capacity.max(1),
+            service,
+            stats: ServeStats::new(),
+            cache: SimCache::new(config.session_cache_capacity),
+            now: 0,
+            seq: 0,
+            heap: BinaryHeap::new(),
+            queue: VecDeque::new(),
+            worker_busy: vec![false; workers],
+            running: (0..workers).map(|_| None).collect(),
+            timer_at: None,
+            client_streams: Vec::new(),
+            samples: Vec::new(),
+            errors: 0,
+            high_errors: 0,
+            retries: 0,
+            events: 0,
+            digest: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// Simulates the first `n` events of a trace as an *open-loop*
+    /// arrival stream: requests arrive on the trace's schedule whether
+    /// or not the server keeps up, and backpressure rejections are
+    /// dropped (counted, never retried).
+    pub fn run_trace(
+        config: &ServeConfig,
+        service: ServiceModel,
+        generator: &TraceGenerator,
+        n: u64,
+        label: &str,
+    ) -> SimReport {
+        let mut sim = Simulation::new(config, service);
+        let split = generator.profile().high_fraction > 0.0;
+        sim.event_loop(
+            generator
+                .arrivals(n)
+                .map(|(at, ev)| (at, SimRequest::from_trace(&ev))),
+        );
+        sim.finish(label, n, split)
+    }
+
+    /// Simulates a *closed-loop* run: each client owns a request stream
+    /// and submits its next request the instant the previous one is
+    /// answered, retrying backpressure after
+    /// [`BACKPRESSURE_RETRY_US`] — the same discipline as
+    /// `prism_serve::run_closed_loop`.
+    pub fn run_closed(
+        config: &ServeConfig,
+        service: ServiceModel,
+        mut streams: Vec<VecDeque<SimRequest>>,
+        label: &str,
+        split_classes: bool,
+    ) -> SimReport {
+        let mut sim = Simulation::new(config, service);
+        let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
+        for stream in &mut streams {
+            if let Some(first) = stream.pop_front() {
+                sim.schedule(
+                    0,
+                    Event::Submit {
+                        req: first,
+                        first_attempt: 0,
+                    },
+                );
+            }
+        }
+        sim.client_streams = streams;
+        sim.event_loop(std::iter::empty());
+        sim.finish(label, total, split_classes)
+    }
+
+    fn schedule(&mut self, at: u64, event: Event) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    fn mix(&mut self, code: u64, a: u64, b: u64) {
+        fnv1a_mix(&mut self.digest, code);
+        fnv1a_mix(&mut self.digest, a);
+        fnv1a_mix(&mut self.digest, b);
+    }
+
+    fn event_loop(&mut self, arrivals: impl Iterator<Item = (u64, SimRequest)>) {
+        let mut arrivals = arrivals;
+        let mut next_arrival = arrivals.next();
+        loop {
+            let heap_at = self.heap.peek().map(|s| s.at);
+            let take_arrival = match (&next_arrival, heap_at) {
+                (Some((at, _)), Some(h)) => *at <= h,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_arrival {
+                let (at, req) = next_arrival.take().expect("arrival present");
+                next_arrival = arrivals.next();
+                self.now = self.now.max(at);
+                self.events += 1;
+                let now = self.now;
+                self.submit(req, now, now);
+            } else {
+                let Scheduled { at, event, .. } = self.heap.pop().expect("event present");
+                self.now = self.now.max(at);
+                self.events += 1;
+                match event {
+                    Event::Submit { req, first_attempt } => {
+                        let now = self.now;
+                        self.submit(req, first_attempt, now)
+                    }
+                    Event::WorkerFree { worker } => {
+                        let now = self.now;
+                        self.complete(worker, now);
+                        self.try_dispatch(now);
+                    }
+                    Event::PlanTimer => {
+                        if self.timer_at == Some(at) {
+                            self.timer_at = None;
+                            let now = self.now;
+                            self.try_dispatch(now);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One submission attempt, mirroring `PrismServer::submit` +
+    /// `SubmissionQueue::push`: admission deadline check, shed-then-
+    /// backpressure when full, depth update, dispatch.
+    fn submit(&mut self, req: SimRequest, first_attempt: u64, now: u64) {
+        self.mix(1, now, req.id);
+        // The real admission path rejects a deadline that has already
+        // passed at submission — with relative slack that is exactly
+        // the zero-slack case.
+        if req.deadline_us == Some(0) {
+            self.stats.deadline_rejected.inc();
+            self.answer(req, first_attempt, false, now);
+            return;
+        }
+        if self.queue.len() >= self.queue_capacity {
+            self.shed_dead(now);
+        }
+        if self.queue.len() >= self.queue_capacity {
+            self.stats.rejected.inc();
+            self.mix(2, now, req.id);
+            if req.client.is_some() {
+                // Closed-loop caller: absorb with a retry.
+                self.retries += 1;
+                self.schedule(
+                    now + BACKPRESSURE_RETRY_US,
+                    Event::Submit { req, first_attempt },
+                );
+            } else {
+                // Open-loop arrival: dropped on the floor.
+                self.errors += 1;
+                if req.high_class {
+                    self.high_errors += 1;
+                }
+            }
+            return;
+        }
+        self.stats.submitted.inc();
+        let pending = SimPending {
+            deadline_at: req.deadline_us.map(|us| now.saturating_add(us)),
+            cancel_at: req.cancel_after_us.map(|us| now.saturating_add(us)),
+            req,
+            first_attempt,
+            enqueued_at: now,
+        };
+        self.queue.push_back(pending);
+        self.stats.queue_depth.set(self.queue.len() as u64);
+        self.try_dispatch(now);
+    }
+
+    /// Answers and removes every queued request that is already dead —
+    /// the queue's shed pass (cancellation checked before deadline,
+    /// like `SubmissionQueue::shed_dead`).
+    fn shed_dead(&mut self, now: u64) {
+        let mut i = 0;
+        while i < self.queue.len() {
+            let p = &self.queue[i];
+            let dead_cancel = p.cancel_at.is_some_and(|c| c <= now);
+            let dead_deadline = !dead_cancel && p.deadline_at.is_some_and(|d| d <= now);
+            if dead_cancel || dead_deadline {
+                let p = self.queue.remove(i).expect("index in bounds");
+                if dead_cancel {
+                    self.stats.cancelled.inc();
+                } else {
+                    self.stats.deadline_missed.inc();
+                }
+                self.answer(p.req, p.first_attempt, false, now);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Pops planner-approved batches onto idle workers until the planner
+    /// says wait (scheduling a replan timer) or no worker is free —
+    /// the virtual-time equivalent of each worker's `next_batch` loop.
+    fn try_dispatch(&mut self, now: u64) {
+        loop {
+            let Some(worker) = self.worker_busy.iter().position(|b| !b) else {
+                return;
+            };
+            self.shed_dead(now);
+            if self.queue.is_empty() {
+                self.stats.queue_depth.set(0);
+                return;
+            }
+            let snapshot: Vec<QueueItem> = self
+                .queue
+                .iter()
+                .map(|p| QueueItem {
+                    tokens: p.req.tokens,
+                    enqueued_micros: p.enqueued_at,
+                    priority: p.req.priority,
+                    deadline_micros: p.deadline_at,
+                })
+                .collect();
+            let take = match self.planner.decide(&snapshot, now) {
+                PlanDecision::Wait(us) => {
+                    let at = now.saturating_add(us.max(1));
+                    if self.timer_at.is_none_or(|t| t > at) {
+                        self.timer_at = Some(at);
+                        self.schedule(at, Event::PlanTimer);
+                    }
+                    return;
+                }
+                PlanDecision::Flush(set) => set,
+            };
+            // Starvation promotions surface as priority inversions,
+            // exactly as in `SubmissionQueue::next_batch`.
+            if self.planner.priority_aware {
+                let floor = take
+                    .iter()
+                    .map(|&i| snapshot[i].priority)
+                    .min()
+                    .unwrap_or(Priority::Bulk);
+                let waiting_above =
+                    (0..snapshot.len()).any(|i| !take.contains(&i) && snapshot[i].priority > floor);
+                if waiting_above {
+                    self.stats.priority_inversions.inc();
+                }
+            }
+            // Drain the selected positions, preserving scheduling order.
+            let mut slots: Vec<Option<SimPending>> = take.iter().map(|_| None).collect();
+            let mut kept = VecDeque::with_capacity(self.queue.len());
+            for (pos, p) in self.queue.drain(..).enumerate() {
+                match take.iter().position(|&t| t == pos) {
+                    Some(slot) => slots[slot] = Some(p),
+                    None => kept.push_back(p),
+                }
+            }
+            self.queue = kept;
+            self.stats.queue_depth.set(self.queue.len() as u64);
+            let batch: Vec<SimPending> = slots
+                .into_iter()
+                .map(|p| p.expect("selected position drained"))
+                .collect();
+            self.execute(worker, now, batch);
+        }
+    }
+
+    /// Runs one popped batch, mirroring `execute_batch`: batch
+    /// instruments, per-item queue time and cache probe (selection hits
+    /// answer instantly with zero service time; embed hits and misses
+    /// execute), one service-time charge for the coalesced remainder.
+    fn execute(&mut self, worker: usize, now: u64, batch: Vec<SimPending>) {
+        let size = batch.len();
+        if size == 0 {
+            return;
+        }
+        self.mix(3, now, size as u64);
+        self.stats.batches.inc();
+        self.stats.batch_size.record(size as u64);
+        self.stats
+            .batch_tokens
+            .record(batch.iter().map(|p| p.req.tokens as u64).sum());
+        self.stats.in_flight.add(size as u64);
+
+        let mut planned: Vec<SimPending> = Vec::with_capacity(size);
+        let mut planned_tokens = 0_u64;
+        for p in batch {
+            self.stats
+                .queued_us
+                .record(now.saturating_sub(p.enqueued_at));
+            match self.cache.lookup(p.req.session, p.req.corpus, p.req.key) {
+                Probe::Selection => {
+                    self.stats.cache_selection_hits.inc();
+                    self.stats.service_us.record(0);
+                    self.stats.completed.inc();
+                    self.answer(p.req, p.first_attempt, true, now);
+                }
+                Probe::Embed => {
+                    self.stats.cache_embed_hits.inc();
+                    planned_tokens += p.req.tokens as u64;
+                    planned.push(p);
+                }
+                Probe::Miss => {
+                    // The real miss path embeds the corpus and caches the
+                    // embedding before execution, so a same-batch repeat
+                    // already sees an embed hit.
+                    self.stats.cache_misses.inc();
+                    self.cache.store_embed(p.req.session, p.req.corpus);
+                    planned_tokens += p.req.tokens as u64;
+                    planned.push(p);
+                }
+            }
+        }
+        if planned.is_empty() {
+            self.stats.in_flight.sub(size as u64);
+            return;
+        }
+        let service_us = self
+            .service
+            .batch_micros(planned.len(), planned_tokens)
+            .max(1);
+        self.worker_busy[worker] = true;
+        self.schedule(now.saturating_add(service_us), Event::WorkerFree { worker });
+        self.running[worker] = Some(RunningBatch {
+            items: planned,
+            size,
+            service_us,
+        });
+    }
+
+    /// Finalizes a finished batch: a member cancelled or past its
+    /// deadline mid-run surfaces its typed error without failing its
+    /// batch-mates; survivors record the shared service time and seed
+    /// the session cache.
+    fn complete(&mut self, worker: usize, at: u64) {
+        let run = self.running[worker].take().expect("worker had a batch");
+        self.worker_busy[worker] = false;
+        for p in run.items {
+            if p.cancel_at.is_some_and(|c| c <= at) {
+                self.stats.cancelled.inc();
+                self.answer(p.req, p.first_attempt, false, at);
+            } else if p.deadline_at.is_some_and(|d| d <= at) {
+                self.stats.deadline_missed.inc();
+                self.answer(p.req, p.first_attempt, false, at);
+            } else {
+                self.stats.service_us.record(run.service_us);
+                self.stats.completed.inc();
+                self.cache
+                    .store_selection(p.req.session, p.req.corpus, p.req.key);
+                self.answer(p.req, p.first_attempt, true, at);
+            }
+        }
+        self.stats.in_flight.sub(run.size as u64);
+    }
+
+    /// Delivers the reply to the caller: sample or error, digest fold,
+    /// and — for closed-loop clients — the next submission at the reply
+    /// instant.
+    fn answer(&mut self, req: SimRequest, first_attempt: u64, ok: bool, at: u64) {
+        let latency = at.saturating_sub(first_attempt);
+        self.mix(if ok { 4 } else { 5 }, at, req.id);
+        if ok {
+            self.samples.push((req.high_class, latency));
+        } else {
+            self.errors += 1;
+            if req.high_class {
+                self.high_errors += 1;
+            }
+        }
+        if let Some(c) = req.client {
+            if let Some(next) = self.client_streams[c].pop_front() {
+                self.schedule(
+                    at,
+                    Event::Submit {
+                        req: next,
+                        first_attempt: at,
+                    },
+                );
+            }
+        }
+    }
+
+    fn finish(self, label: &str, requests: u64, split_classes: bool) -> SimReport {
+        SimReport::build(
+            label,
+            requests,
+            self.samples,
+            self.errors,
+            self.high_errors,
+            self.retries,
+            self.now,
+            self.stats.snapshot(),
+            self.events,
+            self.digest,
+            split_classes,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{Calibration, ServiceModel};
+    use prism_workload::TraceProfile;
+    use std::time::Duration;
+
+    fn flat_service(us: f64) -> ServiceModel {
+        ServiceModel::calibrated(Calibration {
+            batch_fixed_us: us,
+            per_request_us: 0.0,
+            per_token_us: 0.0,
+        })
+    }
+
+    fn req(id: u64, tokens: usize) -> SimRequest {
+        SimRequest {
+            id,
+            session: id % 4,
+            corpus: id,
+            key: id,
+            tokens,
+            priority: Priority::Normal,
+            deadline_us: None,
+            cancel_after_us: None,
+            high_class: false,
+            client: None,
+        }
+    }
+
+    fn serial_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn serial_open_loop_matches_hand_computation() {
+        // Two requests arriving at 0 and 100us on one serial worker with
+        // a flat 1000us service time: completions at 1000 and 2000.
+        let arrivals = vec![(0_u64, req(0, 10)), (100_u64, req(1, 10))];
+        let mut sim = Simulation::new(&serial_config(), flat_service(1_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("hand", 2, false);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.stats.batches, 2);
+        assert_eq!(report.stats.completed, 2);
+        // First waits 0 then serves 1000; second queues 900 then serves
+        // (nearest-rank p50 over two samples picks the upper one).
+        assert!((report.mean_us - 1_450.0).abs() < 1e-9);
+        assert_eq!(report.p50_us, 1_900);
+        assert_eq!(report.max_us, 1_900);
+        assert_eq!(report.virtual_elapsed_s, 2_000.0 / 1e6);
+    }
+
+    #[test]
+    fn coalescing_batches_under_load() {
+        // Eight same-instant arrivals, batch budget 8: one batch.
+        let arrivals: Vec<(u64, SimRequest)> = (0..8).map(|i| (0_u64, req(i, 10))).collect();
+        let config = ServeConfig {
+            workers: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(&config, flat_service(1_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("batched", 8, false);
+        assert_eq!(report.completed, 8);
+        assert_eq!(report.stats.batches, 1);
+        assert_eq!(report.stats.batch_size.max, 8);
+    }
+
+    #[test]
+    fn selection_hits_complete_instantly() {
+        // Same (session, corpus, key) back to back on a cached config:
+        // the repeat replays with zero service time.
+        let mut a = req(0, 10);
+        let mut b = req(1, 10);
+        for r in [&mut a, &mut b] {
+            r.session = 7;
+            r.corpus = 42;
+            r.key = 9;
+        }
+        let arrivals = vec![(0_u64, a), (10_000_u64, b)];
+        let config = ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 8,
+            ..Default::default()
+        };
+        let mut sim = Simulation::new(&config, flat_service(1_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("cached", 2, false);
+        assert_eq!(report.stats.cache_selection_hits, 1);
+        assert_eq!(report.stats.cache_misses, 1);
+        // Like the real server, an all-hit pickup still counts as a
+        // batch — but it charges no service time, so the repeat is
+        // answered the instant it is picked up (t = 10ms, latency 0).
+        assert_eq!(report.stats.batches, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.virtual_elapsed_s, 10_000.0 / 1e6);
+    }
+
+    #[test]
+    fn queued_deadline_is_shed_not_executed() {
+        // Deadline shorter than the wait behind a long-running batch.
+        let mut dead = req(1, 10);
+        dead.deadline_us = Some(500);
+        let arrivals = vec![(0_u64, req(0, 10)), (1_u64, dead)];
+        let mut sim = Simulation::new(&serial_config(), flat_service(10_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("deadline", 2, false);
+        assert_eq!(report.stats.deadline_missed, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.errors, 1);
+    }
+
+    #[test]
+    fn cancellation_mid_flight_is_counted() {
+        let mut victim = req(0, 10);
+        victim.cancel_after_us = Some(500);
+        let arrivals = vec![(0_u64, victim)];
+        let mut sim = Simulation::new(&serial_config(), flat_service(10_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("cancel", 1, false);
+        assert_eq!(report.stats.cancelled, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn open_loop_backpressure_drops_and_counts() {
+        // Queue capacity 1, slow worker, burst of arrivals at t=0:
+        // extras are rejected.
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        };
+        let arrivals: Vec<(u64, SimRequest)> = (0..4).map(|i| (0_u64, req(i, 10))).collect();
+        let mut sim = Simulation::new(&config, flat_service(1_000_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("burst", 4, false);
+        assert!(
+            report.stats.rejected >= 2,
+            "rejected {}",
+            report.stats.rejected
+        );
+        assert_eq!(report.backpressure_retries, 0, "open loop never retries");
+        assert_eq!(report.completed + report.errors, 4);
+    }
+
+    #[test]
+    fn closed_loop_retries_absorb_backpressure() {
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        };
+        let mut streams: Vec<VecDeque<SimRequest>> = vec![VecDeque::new(); 4];
+        for i in 0..16_u64 {
+            let mut r = req(i, 10);
+            r.client = Some((i % 4) as usize);
+            streams[(i % 4) as usize].push_back(r);
+        }
+        let report =
+            Simulation::run_closed(&config, flat_service(5_000.0), streams, "closed", false);
+        assert_eq!(report.completed, 16, "closed loop completes everything");
+        assert!(report.backpressure_retries > 0);
+        assert!(report.stats.rejected > 0);
+    }
+
+    #[test]
+    fn starvation_promotion_counts_inversions() {
+        // A steady stream of High arrivals over an aged Bulk request:
+        // the starvation guard eventually promotes the bulk item and
+        // records a priority inversion.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            max_batch_wait: Duration::from_micros(100),
+            starvation_age: Duration::from_millis(5),
+            ..Default::default()
+        };
+        // A filler occupies the serial worker for 50ms; the bulk request
+        // queues behind it at t=1us, then High arrivals pile in every
+        // 400us. When the worker frees, the bulk item has aged past the
+        // 5ms starvation bound and must be promoted past the waiting
+        // High work.
+        let mut arrivals: Vec<(u64, SimRequest)> = vec![(0, req(99, 10))];
+        let mut bulk = req(0, 10);
+        bulk.priority = Priority::Bulk;
+        arrivals.push((1, bulk));
+        for i in 1..40_u64 {
+            let mut high = req(i, 10);
+            high.priority = Priority::High;
+            high.high_class = true;
+            arrivals.push((i * 400, high));
+        }
+        let mut sim = Simulation::new(&config, flat_service(50_000.0));
+        sim.event_loop(arrivals.into_iter());
+        let report = sim.finish("starvation", 41, true);
+        assert!(
+            report.stats.priority_inversions > 0,
+            "aged bulk must be promoted past waiting high work"
+        );
+        assert_eq!(report.completed, 41);
+    }
+
+    #[test]
+    fn trace_run_is_deterministic() {
+        let config = ServeConfig::default();
+        let generator = TraceGenerator::new(TraceProfile::burst_storm(2_000.0), 17);
+        let a = Simulation::run_trace(&config, flat_service(900.0), &generator, 5_000, "t");
+        let b = Simulation::run_trace(&config, flat_service(900.0), &generator, 5_000, "t");
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.events, b.events);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "whole report must be bit-identical"
+        );
+        assert!(a.completed + a.errors == 5_000);
+    }
+}

@@ -103,6 +103,31 @@ impl ServeConfig {
         }
     }
 
+    /// Device-tuned defaults: the scheduling knobs picked by the serving
+    /// metasim sweep (`prsm simulate-serve --tune`, 181 grid points over
+    /// batch budget, coalescing wait, starvation age and cache size per
+    /// device preset) on top of [`ServeConfig::for_device`]'s
+    /// memory-derived token budget.
+    ///
+    /// At the deployment operating point — paper-scale models streaming
+    /// weights from a device SSD — the per-batch fixed cost dominates, so
+    /// the sweep lands on the same scheduling knobs for every preset
+    /// (batches of 8 requests, 2 ms coalescing wait, 50 ms starvation
+    /// bound, 64 cached sessions) and the device-specific part is the
+    /// token budget. The knobs only shift when service turns
+    /// compute-bound (mini-scale models), where coalescing gains saturate
+    /// at smaller batches; `prism-metasim`'s autotune tests keep these
+    /// constants honest against a fresh sweep.
+    pub fn tuned_for(config: &ModelConfig, device: &DeviceSpec, meter: &MemoryMeter) -> Self {
+        ServeConfig {
+            max_batch_requests: 8,
+            max_batch_wait: Duration::from_millis(2),
+            starvation_age: Duration::from_millis(50),
+            session_cache_capacity: 64,
+            ..Self::for_device(config, device, meter)
+        }
+    }
+
     /// Validates the configuration.
     pub fn validate(&self) -> Result<(), ServeError> {
         if self.workers == 0 {
@@ -204,6 +229,29 @@ mod tests {
         d.mem_capacity = 0; // Hopeless device: still admit one sequence.
         let cfg = ServeConfig::for_device(&config, &d, &meter);
         assert_eq!(cfg.max_batch_tokens, config.max_seq);
+    }
+
+    #[test]
+    fn tuned_for_composes_sweep_knobs_with_device_budget() {
+        let config = ModelConfig::test_config(ModelArch::DecoderOnly, 4);
+        let meter = MemoryMeter::new();
+        for device in [
+            DeviceSpec::rtx5070_laptop(),
+            DeviceSpec::apple_m2(),
+            DeviceSpec::a800(),
+        ] {
+            let tuned = ServeConfig::tuned_for(&config, &device, &meter);
+            tuned.validate().expect("tuned config must validate");
+            // The token budget is the device-derived part...
+            let budget = ServeConfig::for_device(&config, &device, &meter);
+            assert_eq!(tuned.max_batch_tokens, budget.max_batch_tokens);
+            // ...the scheduling knobs are the metasim sweep winners
+            // (prism-metasim's ignored nightly test re-derives them).
+            assert_eq!(tuned.max_batch_requests, 8);
+            assert_eq!(tuned.max_batch_wait, Duration::from_millis(2));
+            assert_eq!(tuned.starvation_age, Duration::from_millis(50));
+            assert_eq!(tuned.session_cache_capacity, 64);
+        }
     }
 
     #[test]

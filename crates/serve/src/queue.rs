@@ -69,6 +69,11 @@ pub struct SubmissionQueue {
     capacity: usize,
     stats: ServeStats,
     workers: usize,
+    /// Clock origin for planner timestamps: the planner is a pure
+    /// function of `(snapshot, now_micros)` with both measured against
+    /// this epoch, so the serving metasim can drive the identical code
+    /// at virtual time.
+    epoch: Instant,
 }
 
 impl SubmissionQueue {
@@ -85,7 +90,14 @@ impl SubmissionQueue {
             capacity: capacity.max(1),
             stats,
             workers: workers.max(1),
+            epoch: Instant::now(),
         }
+    }
+
+    /// Microseconds between the queue epoch and `t` (zero for instants
+    /// at or before the epoch — admission always happens after it).
+    fn micros_since_epoch(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_micros() as u64
     }
 
     /// Enqueues a request, failing fast when full or closed.
@@ -156,23 +168,22 @@ impl SubmissionQueue {
                 state = self.notify.wait(state).expect("queue lock");
                 continue;
             }
+            let now_micros = self.micros_since_epoch(now);
             let snapshot: Vec<QueueItem> = state
                 .deque
                 .iter()
                 .map(|p| QueueItem {
                     tokens: p.tokens,
-                    age_micros: now.duration_since(p.enqueued).as_micros() as u64,
+                    enqueued_micros: self.micros_since_epoch(p.enqueued),
                     priority: p.priority(),
-                    deadline_micros: p
-                        .deadline
-                        .map(|d| d.saturating_duration_since(now).as_micros() as u64),
+                    deadline_micros: p.deadline.map(|d| self.micros_since_epoch(d)),
                 })
                 .collect();
-            let take = match planner.decide(&snapshot) {
+            let take = match planner.decide(&snapshot, now_micros) {
                 PlanDecision::Flush(set) => set,
                 // A closing queue flushes what it has instead of waiting
                 // for arrivals that will never come.
-                PlanDecision::Wait(_) if state.closed => planner.coalesce(&snapshot),
+                PlanDecision::Wait(_) if state.closed => planner.coalesce(&snapshot, now_micros),
                 PlanDecision::Wait(us) => {
                     let (next, timeout) = self
                         .notify

@@ -1,11 +1,19 @@
 //! The batching policy: which queued requests run next.
 //!
-//! [`BatchPlanner`] is a pure function from a queue snapshot to a
-//! decision, so its invariants — never exceed the token budget, never
-//! starve a request past the starvation bound, honour priority-then-EDF
-//! order, degrade to a contiguous FIFO prefix for uniform workloads —
-//! are property-tested directly (`tests/scheduler_props.rs`) without
-//! threads or clocks.
+//! [`BatchPlanner`] is a pure function from an explicit queue snapshot
+//! *and clock* to a decision — no hidden wall-clock reads — so its
+//! invariants — never exceed the token budget, never starve a request
+//! past the starvation bound, honour priority-then-EDF order, degrade to
+//! a contiguous FIFO prefix for uniform workloads — are property-tested
+//! directly (`tests/scheduler_props.rs`) without threads or clocks, and
+//! the serving metasim (`prism-metasim`) drives the *production* planner
+//! at virtual time instead of re-implementing the policy.
+//!
+//! Every [`QueueItem`] carries absolute microsecond timestamps on the
+//! caller's clock: the real [`SubmissionQueue`](crate::queue) measures
+//! them against its creation epoch, the simulator against virtual time
+//! zero. The planner never asks what time it is — `now_micros` is a
+//! parameter.
 //!
 //! ## Policy
 //!
@@ -34,16 +42,18 @@
 
 use prism_core::Priority;
 
-/// One queued request as the planner sees it.
+/// One queued request as the planner sees it. All timestamps are
+/// absolute microseconds on the caller's clock (queue epoch for the real
+/// server, virtual time zero for the simulator).
 #[derive(Debug, Clone, Copy)]
 pub struct QueueItem {
     /// Total packed tokens (the budget unit).
     pub tokens: usize,
-    /// Microseconds spent queued so far.
-    pub age_micros: u64,
+    /// When the request entered the queue (absolute microseconds).
+    pub enqueued_micros: u64,
     /// Scheduling class.
     pub priority: Priority,
-    /// Microseconds until the deadline (`None` = no deadline). Expired
+    /// Absolute deadline in microseconds (`None` = no deadline). Expired
     /// requests are shed by the queue before planning and never reach
     /// the planner.
     pub deadline_micros: Option<u64>,
@@ -51,13 +61,18 @@ pub struct QueueItem {
 
 impl QueueItem {
     /// A deadline-free item of the default class (tests, uniform loads).
-    pub fn plain(tokens: usize, age_micros: u64) -> Self {
+    pub fn plain(tokens: usize, enqueued_micros: u64) -> Self {
         QueueItem {
             tokens,
-            age_micros,
+            enqueued_micros,
             priority: Priority::Normal,
             deadline_micros: None,
         }
+    }
+
+    /// Microseconds this item has spent queued as of `now_micros`.
+    pub fn age_micros(&self, now_micros: u64) -> u64 {
+        now_micros.saturating_sub(self.enqueued_micros)
     }
 }
 
@@ -96,7 +111,7 @@ pub struct BatchPlanner {
 impl BatchPlanner {
     /// The scheduling order: queue positions sorted priority-then-EDF
     /// with the starvation guard; pure FIFO when `priority_aware` is off.
-    pub fn order(&self, queue: &[QueueItem]) -> Vec<usize> {
+    pub fn order(&self, queue: &[QueueItem], now_micros: u64) -> Vec<usize> {
         let mut order: Vec<usize> = (0..queue.len()).collect();
         if !self.priority_aware {
             return order;
@@ -105,10 +120,11 @@ impl BatchPlanner {
         // submission order, so a uniform queue stays exactly FIFO.
         // Starved requests neutralize their class and deadline keys —
         // they run strictly FIFO among themselves (the oldest wait ends
-        // first), ahead of everything unstarved.
+        // first), ahead of everything unstarved. Absolute deadlines sort
+        // identically to deadline slack: `now` is common to the snapshot.
         order.sort_by_key(|&i| {
             let q = &queue[i];
-            let starved = q.age_micros >= self.starvation_age_micros;
+            let starved = q.age_micros(now_micros) >= self.starvation_age_micros;
             if starved {
                 (false, std::cmp::Reverse(Priority::High), 0)
             } else {
@@ -122,22 +138,23 @@ impl BatchPlanner {
         order
     }
 
-    /// Decides on a queue snapshot (front of the queue first).
+    /// Decides on a queue snapshot (front of the queue first) at an
+    /// explicit clock reading.
     ///
     /// Returns [`PlanDecision::Wait`] only when *growing* the batch is
     /// both possible (caps not hit, whole queue fits) and permitted (no
     /// urgent work queued, oldest request younger than the age bound).
-    pub fn decide(&self, queue: &[QueueItem]) -> PlanDecision {
+    pub fn decide(&self, queue: &[QueueItem], now_micros: u64) -> PlanDecision {
         assert!(!queue.is_empty(), "decide() needs a non-empty queue");
-        let flush = self.coalesce(queue);
+        let flush = self.coalesce(queue, now_micros);
 
         let tokens: usize = flush.iter().map(|&i| queue[i].tokens).sum();
         let could_grow = flush.len() == queue.len()
             && flush.len() < self.max_requests.max(1)
             && tokens < self.max_tokens;
-        if could_grow && !self.has_urgent(queue) {
+        if could_grow && !self.has_urgent(queue, now_micros) {
             // The queue is FIFO by arrival, so position 0 is oldest.
-            let oldest_age = queue[0].age_micros;
+            let oldest_age = queue[0].age_micros(now_micros);
             if oldest_age < self.max_wait_micros {
                 return PlanDecision::Wait(self.max_wait_micros - oldest_age);
             }
@@ -147,9 +164,9 @@ impl BatchPlanner {
 
     /// The maximal admissible prefix of the scheduling order (at least
     /// one request: an oversized head forms a mandatory singleton).
-    pub fn coalesce(&self, queue: &[QueueItem]) -> Vec<usize> {
+    pub fn coalesce(&self, queue: &[QueueItem], now_micros: u64) -> Vec<usize> {
         let max_requests = self.max_requests.max(1);
-        let order = self.order(queue);
+        let order = self.order(queue, now_micros);
         let mut flush = Vec::new();
         let mut tokens = 0_usize;
         for &i in order.iter().take(max_requests) {
@@ -164,11 +181,12 @@ impl BatchPlanner {
 
     /// Whether anything queued should not wait out the age bound: a
     /// `High`-priority request, or a deadline due within the bound.
-    fn has_urgent(&self, queue: &[QueueItem]) -> bool {
+    fn has_urgent(&self, queue: &[QueueItem], now_micros: u64) -> bool {
         self.priority_aware
             && queue.iter().any(|q| {
                 q.priority == Priority::High
-                    || q.deadline_micros.is_some_and(|d| d <= self.max_wait_micros)
+                    || q.deadline_micros
+                        .is_some_and(|d| d <= now_micros.saturating_add(self.max_wait_micros))
             })
     }
 }
@@ -176,6 +194,12 @@ impl BatchPlanner {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// A fixed clock reading: items are described by *age* below and
+    /// converted to absolute enqueue times against this instant, which
+    /// keeps the scenarios readable while exercising the explicit-clock
+    /// API.
+    const NOW: u64 = 1_000_000;
 
     fn planner() -> BatchPlanner {
         BatchPlanner {
@@ -187,61 +211,79 @@ mod tests {
         }
     }
 
+    /// Builds items from `(tokens, age_micros)` pairs at the `NOW` clock.
     fn plain(queue: &[(usize, u64)]) -> Vec<QueueItem> {
-        queue.iter().map(|&(t, a)| QueueItem::plain(t, a)).collect()
+        queue
+            .iter()
+            .map(|&(t, age)| QueueItem::plain(t, NOW - age))
+            .collect()
+    }
+
+    /// Absolute deadline `remaining` microseconds past `NOW`.
+    fn due_in(remaining: u64) -> Option<u64> {
+        Some(NOW + remaining)
     }
 
     #[test]
     fn full_batch_flushes_immediately() {
         let q = plain(&[(30, 0), (30, 0), (30, 0), (30, 0), (30, 0)]);
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1, 2]));
+        assert_eq!(
+            planner().decide(&q, NOW),
+            PlanDecision::Flush(vec![0, 1, 2])
+        );
     }
 
     #[test]
     fn request_cap_limits_prefix() {
         let q = plain(&[(1, 0); 10]);
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1, 2, 3]));
+        assert_eq!(
+            planner().decide(&q, NOW),
+            PlanDecision::Flush(vec![0, 1, 2, 3])
+        );
     }
 
     #[test]
     fn underfull_young_queue_waits_out_remaining_age() {
         let q = plain(&[(10, 400)]);
-        assert_eq!(planner().decide(&q), PlanDecision::Wait(600));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Wait(600));
     }
 
     #[test]
     fn aged_head_flushes_underfull_batch() {
         let q = plain(&[(10, 1_000)]);
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0]));
         let q = plain(&[(10, 5_000), (10, 100)]);
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1]));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0, 1]));
     }
 
     #[test]
     fn oversized_request_runs_alone() {
         let q = plain(&[(500, 0), (10, 0)]);
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0]));
     }
 
     #[test]
     fn budget_is_respected_midway() {
         // 60 + 30 fits, adding 20 would overflow 100.
         let q = plain(&[(60, 0), (30, 0), (20, 0)]);
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1]));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0, 1]));
     }
 
     #[test]
     fn exact_budget_fill_flushes() {
         let q = plain(&[(50, 0), (50, 0)]);
         // Budget exactly consumed: nothing more could join, flush now.
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0, 1]));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0, 1]));
     }
 
     #[test]
     fn high_priority_jumps_the_queue() {
         let mut q = plain(&[(30, 30), (30, 20), (30, 10), (30, 0), (30, 0)]);
         q[3].priority = Priority::High;
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![3, 0, 1]));
+        assert_eq!(
+            planner().decide(&q, NOW),
+            PlanDecision::Flush(vec![3, 0, 1])
+        );
     }
 
     #[test]
@@ -251,16 +293,16 @@ mod tests {
         // Normal before Bulk, FIFO within class; the batch is full at
         // three requests only if the budget allows — 90 <= 100, and the
         // whole queue fits, so it waits for more arrivals.
-        assert_eq!(planner().order(&q), vec![1, 2, 0]);
+        assert_eq!(planner().order(&q, NOW), vec![1, 2, 0]);
     }
 
     #[test]
     fn edf_orders_within_a_class() {
         let mut q = plain(&[(10, 0), (10, 0), (10, 0)]);
-        q[0].deadline_micros = Some(9_000);
-        q[2].deadline_micros = Some(4_000);
+        q[0].deadline_micros = due_in(9_000);
+        q[2].deadline_micros = due_in(4_000);
         // Deadline-bearing first (EDF), deadline-free last.
-        assert_eq!(planner().order(&q), vec![2, 0, 1]);
+        assert_eq!(planner().order(&q, NOW), vec![2, 0, 1]);
     }
 
     #[test]
@@ -268,7 +310,7 @@ mod tests {
         let mut q = plain(&[(10, 60_000), (10, 0)]);
         q[0].priority = Priority::Bulk;
         q[1].priority = Priority::High;
-        assert_eq!(planner().order(&q), vec![0, 1]);
+        assert_eq!(planner().order(&q, NOW), vec![0, 1]);
     }
 
     #[test]
@@ -280,9 +322,9 @@ mod tests {
         let mut q = plain(&[(10, 70_000), (10, 60_000), (10, 0)]);
         q[0].priority = Priority::Bulk;
         q[1].priority = Priority::High;
-        q[1].deadline_micros = Some(5);
+        q[1].deadline_micros = due_in(5);
         q[2].priority = Priority::High;
-        assert_eq!(planner().order(&q), vec![0, 1, 2]);
+        assert_eq!(planner().order(&q, NOW), vec![0, 1, 2]);
     }
 
     #[test]
@@ -290,10 +332,10 @@ mod tests {
         let mut q = plain(&[(10, 0)]);
         q[0].priority = Priority::High;
         // A lone High request flushes instead of aging toward a batch.
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0]));
         let mut q = plain(&[(10, 0)]);
-        q[0].deadline_micros = Some(500); // due within the age bound
-        assert_eq!(planner().decide(&q), PlanDecision::Flush(vec![0]));
+        q[0].deadline_micros = due_in(500); // due within the age bound
+        assert_eq!(planner().decide(&q, NOW), PlanDecision::Flush(vec![0]));
     }
 
     #[test]
@@ -305,7 +347,27 @@ mod tests {
             max_wait_micros: 0,
             ..planner()
         };
-        assert_eq!(fifo.decide(&q), PlanDecision::Flush(vec![0, 1]));
-        assert_eq!(fifo.order(&q), vec![0, 1]);
+        assert_eq!(fifo.decide(&q, NOW), PlanDecision::Flush(vec![0, 1]));
+        assert_eq!(fifo.order(&q, NOW), vec![0, 1]);
+    }
+
+    #[test]
+    fn decisions_are_translation_invariant() {
+        // Shifting every timestamp and the clock by the same offset must
+        // not change any decision: the planner only consumes differences.
+        let mut q = plain(&[(30, 700), (30, 20), (10, 0)]);
+        q[1].priority = Priority::Bulk;
+        q[2].deadline_micros = due_in(4_000);
+        let shifted: Vec<QueueItem> = q
+            .iter()
+            .map(|item| QueueItem {
+                enqueued_micros: item.enqueued_micros + 123_456,
+                deadline_micros: item.deadline_micros.map(|d| d + 123_456),
+                ..*item
+            })
+            .collect();
+        let p = planner();
+        assert_eq!(p.order(&q, NOW), p.order(&shifted, NOW + 123_456));
+        assert_eq!(p.decide(&q, NOW), p.decide(&shifted, NOW + 123_456));
     }
 }

@@ -1,0 +1,400 @@
+//! Trace-style arrival generators for the serving metasim.
+//!
+//! Where [`crate::WorkloadGenerator`] synthesizes the *content* of one
+//! rerank request, a [`TraceGenerator`] synthesizes the *traffic* around
+//! millions of them: arrival times under a diurnal load curve with
+//! optional burst storms, tenants drawn from a Zipf distribution (a few
+//! hot tenants dominate), session and corpus identity for cache
+//! modeling, scheduling class, deadline slack, and caller cancellation.
+//!
+//! Everything follows the crate's determinism convention: event `i` is a
+//! pure function of `(profile, seed, i)` — the same per-index seed mix
+//! as [`crate::WorkloadGenerator::request`] — so simulations replay
+//! bit-identically and any single event can be regenerated without its
+//! prefix. Arrival *times* are the prefix sum of per-index inter-arrival
+//! gaps (exponential at the instantaneous rate), which keeps the stream
+//! deterministic while still Poisson-shaped.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::tokenizer::ZipfSampler;
+
+/// Periodic burst storms layered on the base arrival rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BurstSpec {
+    /// Seconds between storm onsets.
+    pub period_s: f64,
+    /// Storm length in seconds.
+    pub len_s: f64,
+    /// Rate multiplier while a storm is active.
+    pub factor: f64,
+}
+
+/// Shape of a simulated traffic trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceProfile {
+    /// Profile name (`prsm simulate-serve --profile`).
+    pub name: String,
+    /// Mean arrival rate in requests/second before modulation.
+    pub base_rps: f64,
+    /// Day-curve amplitude in `[0, 1)`: the instantaneous rate swings
+    /// between `base * (1 - amp)` (night trough) and `base * (1 + amp)`
+    /// (midday peak) over a 24 h period.
+    pub diurnal_amplitude: f64,
+    /// Optional burst storms.
+    pub burst: Option<BurstSpec>,
+    /// Number of distinct tenants.
+    pub tenants: usize,
+    /// Zipf exponent of tenant popularity (hot tenants dominate).
+    pub tenant_zipf: f64,
+    /// Sessions per tenant (session id = `tenant * sessions + slot`).
+    pub sessions_per_tenant: usize,
+    /// Candidate-count range per request (inclusive).
+    pub candidates: (usize, usize),
+    /// Packed tokens per candidate (inclusive range).
+    pub tokens_per_candidate: (usize, usize),
+    /// Seconds a session keeps querying the same corpus before moving
+    /// on — the dwell window that produces session-cache hits.
+    pub corpus_dwell_s: f64,
+    /// Fraction of requests in the `High` class.
+    pub high_fraction: f64,
+    /// Fraction of (non-high) requests in the `Bulk` class.
+    pub bulk_fraction: f64,
+    /// Fraction of requests carrying a deadline.
+    pub deadline_fraction: f64,
+    /// Deadline slack range in microseconds for deadline-bearing
+    /// requests.
+    pub deadline_us: (u64, u64),
+    /// Fraction of requests whose caller cancels mid-flight.
+    pub cancel_fraction: f64,
+    /// Cancellation delay range (microseconds after submission).
+    pub cancel_after_us: (u64, u64),
+}
+
+impl TraceProfile {
+    fn base(name: &str, base_rps: f64) -> Self {
+        TraceProfile {
+            name: name.to_string(),
+            base_rps,
+            diurnal_amplitude: 0.0,
+            burst: None,
+            tenants: 10_000,
+            tenant_zipf: 1.05,
+            sessions_per_tenant: 4,
+            candidates: (8, 16),
+            tokens_per_candidate: (24, 48),
+            corpus_dwell_s: 60.0,
+            high_fraction: 0.05,
+            bulk_fraction: 0.20,
+            deadline_fraction: 0.30,
+            deadline_us: (50_000, 2_000_000),
+            cancel_fraction: 0.01,
+            cancel_after_us: (1_000, 100_000),
+        }
+    }
+
+    /// Flat Poisson arrivals at `base_rps`.
+    pub fn steady(base_rps: f64) -> Self {
+        Self::base("steady", base_rps)
+    }
+
+    /// A day curve: deep night trough, busy midday peak.
+    pub fn diurnal(base_rps: f64) -> Self {
+        TraceProfile {
+            diurnal_amplitude: 0.85,
+            ..Self::base("diurnal", base_rps)
+        }
+    }
+
+    /// A day curve with 8x storms for 30 s every 10 min.
+    pub fn burst_storm(base_rps: f64) -> Self {
+        TraceProfile {
+            diurnal_amplitude: 0.30,
+            burst: Some(BurstSpec {
+                period_s: 600.0,
+                len_s: 30.0,
+                factor: 8.0,
+            }),
+            ..Self::base("burst", base_rps)
+        }
+    }
+
+    /// Instantaneous rate multiplier at `t` seconds into the trace.
+    pub fn rate_factor(&self, t_s: f64) -> f64 {
+        let day = 86_400.0;
+        let diurnal = 1.0
+            + self.diurnal_amplitude.clamp(0.0, 0.999)
+                * (2.0 * std::f64::consts::PI * (t_s / day - 0.25)).sin();
+        let burst = match self.burst {
+            Some(b) if b.period_s > 0.0 && t_s.rem_euclid(b.period_s) < b.len_s => b.factor,
+            _ => 1.0,
+        };
+        diurnal * burst
+    }
+}
+
+/// A trace profile by name (`steady`, `diurnal`, `burst`).
+pub fn trace_profile_by_name(name: &str, base_rps: f64) -> Option<TraceProfile> {
+    match name {
+        "steady" => Some(TraceProfile::steady(base_rps)),
+        "diurnal" => Some(TraceProfile::diurnal(base_rps)),
+        "burst" => Some(TraceProfile::burst_storm(base_rps)),
+        _ => None,
+    }
+}
+
+/// One generated request-arrival event. Scheduling class is encoded as
+/// `0 = Bulk, 1 = Normal, 2 = High` so this crate stays independent of
+/// the engine's `Priority` type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event index in the trace.
+    pub index: u64,
+    /// Microseconds since the previous event's arrival.
+    pub inter_arrival_us: u64,
+    /// Owning tenant (Zipf-skewed).
+    pub tenant: u64,
+    /// Session identity (`tenant * sessions_per_tenant + slot`).
+    pub session: u64,
+    /// Corpus identity: requests sharing `(session, corpus)` rerank the
+    /// same candidate set (session-cache hits).
+    pub corpus: u64,
+    /// Candidate count.
+    pub candidates: usize,
+    /// Total packed tokens across all candidates.
+    pub tokens: usize,
+    /// Scheduling class: `0` Bulk, `1` Normal, `2` High.
+    pub class: u8,
+    /// Deadline slack in microseconds from arrival, if any.
+    pub deadline_us: Option<u64>,
+    /// Caller cancels this many microseconds after submission, if ever.
+    pub cancel_after_us: Option<u64>,
+}
+
+/// Seeded generator of [`TraceEvent`]s for one profile.
+pub struct TraceGenerator {
+    profile: TraceProfile,
+    tenant_sampler: ZipfSampler,
+    seed: u64,
+}
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` with deterministic `seed`.
+    pub fn new(profile: TraceProfile, seed: u64) -> Self {
+        let tenant_sampler = ZipfSampler::new(profile.tenants.max(1), profile.tenant_zipf);
+        TraceGenerator {
+            profile,
+            tenant_sampler,
+            seed,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &TraceProfile {
+        &self.profile
+    }
+
+    /// Generates event `index` — a pure function of
+    /// `(profile, seed, index)`.
+    pub fn event(&self, index: u64) -> TraceEvent {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ index
+                    .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D),
+        );
+        let p = &self.profile;
+
+        // Inter-arrival gap: exponential at the instantaneous rate,
+        // evaluated at the event's *nominal* position in the trace
+        // (index / base rate) so the day curve and storms modulate
+        // density without needing the prefix sum.
+        let nominal_t_s = index as f64 / p.base_rps.max(1e-9);
+        let rate = (p.base_rps * p.rate_factor(nominal_t_s)).max(1e-9);
+        let u: f64 = rng.gen::<f64>().max(1e-12);
+        let inter_arrival_us = ((-u.ln() / rate) * 1e6).round().min(3.6e9) as u64;
+
+        let tenant = self.tenant_sampler.sample(&mut rng) as u64;
+        let slot = rng.gen_range(0..p.sessions_per_tenant.max(1)) as u64;
+        let session = tenant * p.sessions_per_tenant.max(1) as u64 + slot;
+        // The session dwells on one corpus per time window; repeats
+        // within the window are session-cache hits.
+        let dwell = (nominal_t_s / p.corpus_dwell_s.max(1e-9)) as u64;
+        let corpus = (session << 20) ^ dwell;
+
+        let candidates = rng.gen_range(p.candidates.0..=p.candidates.1.max(p.candidates.0));
+        let per_candidate = rng.gen_range(
+            p.tokens_per_candidate.0..=p.tokens_per_candidate.1.max(p.tokens_per_candidate.0),
+        );
+        let tokens = candidates * per_candidate;
+
+        let class = if rng.gen::<f64>() < p.high_fraction {
+            2
+        } else if rng.gen::<f64>() < p.bulk_fraction {
+            0
+        } else {
+            1
+        };
+        let deadline_us = (rng.gen::<f64>() < p.deadline_fraction)
+            .then(|| rng.gen_range(p.deadline_us.0..=p.deadline_us.1.max(p.deadline_us.0)));
+        let cancel_after_us = (rng.gen::<f64>() < p.cancel_fraction).then(|| {
+            rng.gen_range(p.cancel_after_us.0..=p.cancel_after_us.1.max(p.cancel_after_us.0))
+        });
+
+        TraceEvent {
+            index,
+            inter_arrival_us,
+            tenant,
+            session,
+            corpus,
+            candidates,
+            tokens,
+            class,
+            deadline_us,
+            cancel_after_us,
+        }
+    }
+
+    /// The first `n` events paired with absolute arrival times
+    /// (microseconds from trace start; the prefix sum of the gaps).
+    pub fn arrivals(&self, n: u64) -> impl Iterator<Item = (u64, TraceEvent)> + '_ {
+        let mut at = 0_u64;
+        (0..n).map(move |i| {
+            let ev = self.event(i);
+            at = at.saturating_add(ev.inter_arrival_us);
+            (at, ev)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_deterministic_per_profile_seed_index() {
+        let a = TraceGenerator::new(TraceProfile::diurnal(50.0), 7);
+        let b = TraceGenerator::new(TraceProfile::diurnal(50.0), 7);
+        for i in [0, 1, 17, 999, 123_456] {
+            assert_eq!(a.event(i), b.event(i));
+        }
+        let c = TraceGenerator::new(TraceProfile::diurnal(50.0), 8);
+        assert_ne!(a.event(3), c.event(3));
+    }
+
+    #[test]
+    fn arrivals_are_monotone_prefix_sums() {
+        let g = TraceGenerator::new(TraceProfile::burst_storm(100.0), 1);
+        let mut prev = 0;
+        let mut sum = 0_u64;
+        for (at, ev) in g.arrivals(2_000) {
+            sum += ev.inter_arrival_us;
+            assert_eq!(at, sum);
+            assert!(at >= prev);
+            prev = at;
+        }
+    }
+
+    #[test]
+    fn tenant_skew_concentrates_mass() {
+        let g = TraceGenerator::new(TraceProfile::steady(100.0), 3);
+        let n = 20_000_u64;
+        let mut counts = std::collections::HashMap::new();
+        for i in 0..n {
+            *counts.entry(g.event(i).tenant).or_insert(0_u64) += 1;
+        }
+        let top = counts.values().copied().max().unwrap();
+        let uniform_share = n / g.profile().tenants as u64;
+        // Zipf(1.05) over 10k tenants: the hottest tenant sees orders of
+        // magnitude more traffic than the uniform share (~2 requests).
+        assert!(
+            top > uniform_share * 50,
+            "top tenant {top} vs uniform {uniform_share}"
+        );
+        // ...but no single tenant swallows the trace.
+        assert!(top < n / 2, "top tenant {top} of {n}");
+    }
+
+    #[test]
+    fn burst_windows_compress_inter_arrivals() {
+        let profile = TraceProfile::burst_storm(100.0);
+        let g = TraceGenerator::new(profile.clone(), 11);
+        let burst = profile.burst.unwrap();
+        let (mut in_sum, mut in_n, mut out_sum, mut out_n) = (0_f64, 0_u64, 0_f64, 0_u64);
+        for i in 0..200_000_u64 {
+            let nominal_t = i as f64 / profile.base_rps;
+            let ev = g.event(i);
+            if nominal_t.rem_euclid(burst.period_s) < burst.len_s {
+                in_sum += ev.inter_arrival_us as f64;
+                in_n += 1;
+            } else {
+                out_sum += ev.inter_arrival_us as f64;
+                out_n += 1;
+            }
+        }
+        assert!(in_n > 0 && out_n > 0);
+        let (in_mean, out_mean) = (in_sum / in_n as f64, out_sum / out_n as f64);
+        // An 8x storm must compress mean gaps by at least 4x (diurnal
+        // modulation adds variance on top).
+        assert!(
+            in_mean * 4.0 < out_mean,
+            "storm mean {in_mean:.1}us vs calm mean {out_mean:.1}us"
+        );
+    }
+
+    #[test]
+    fn diurnal_rate_peaks_midday_and_troughs_at_night() {
+        let p = TraceProfile::diurnal(10.0);
+        let midnight = p.rate_factor(0.0);
+        let midday = p.rate_factor(43_200.0);
+        assert!(midday > 1.5, "midday factor {midday}");
+        assert!(midnight < 0.7, "midnight factor {midnight}");
+        // Steady profiles do not modulate.
+        assert_eq!(TraceProfile::steady(10.0).rate_factor(43_200.0), 1.0);
+    }
+
+    #[test]
+    fn corpus_dwell_repeats_within_a_window() {
+        // With one tenant/session and a long dwell, consecutive events
+        // share a corpus (the cache-hit fuel).
+        let profile = TraceProfile {
+            tenants: 1,
+            sessions_per_tenant: 1,
+            corpus_dwell_s: 1e9,
+            ..TraceProfile::steady(50.0)
+        };
+        let g = TraceGenerator::new(profile, 5);
+        let c0 = g.event(0).corpus;
+        for i in 1..100 {
+            assert_eq!(g.event(i).corpus, c0);
+        }
+    }
+
+    #[test]
+    fn event_fields_respect_profile_bounds() {
+        let profile = TraceProfile::diurnal(25.0);
+        let g = TraceGenerator::new(profile.clone(), 9);
+        for i in 0..5_000_u64 {
+            let ev = g.event(i);
+            assert!((profile.candidates.0..=profile.candidates.1).contains(&ev.candidates));
+            let per = ev.tokens / ev.candidates;
+            assert!(
+                (profile.tokens_per_candidate.0..=profile.tokens_per_candidate.1).contains(&per)
+            );
+            assert!(ev.class <= 2);
+            assert!((ev.tenant as usize) < profile.tenants);
+            if let Some(d) = ev.deadline_us {
+                assert!((profile.deadline_us.0..=profile.deadline_us.1).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        for name in ["steady", "diurnal", "burst"] {
+            assert_eq!(trace_profile_by_name(name, 5.0).unwrap().name, name);
+        }
+        assert!(trace_profile_by_name("nope", 5.0).is_none());
+    }
+}

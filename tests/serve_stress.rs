@@ -183,6 +183,268 @@ fn interleaved_clients_match_sequential_reference() {
     run_stress(4, 5, 2, "short");
 }
 
+/// Scheduler edge traces: each scenario is first *predicted* by the
+/// serving metasim (which drives the identical `BatchPlanner` at virtual
+/// time) and then replayed, minimized, against the real server — the
+/// simulator names the edge, the server confirms the same
+/// `ServeStats` counter fires.
+mod edge_traces {
+    use super::*;
+    use prism::core::Priority;
+    use prism::metasim::{simulate_closed_loop, Calibration, ServiceModel};
+    use prism::serve::{LoadSpec, ServeError};
+    use std::time::Duration;
+
+    /// A batch-size-independent flat service model: edge behaviour here
+    /// is about *scheduling* decisions, not execution cost.
+    fn flat(us: f64) -> ServiceModel {
+        ServiceModel::calibrated(Calibration {
+            batch_fixed_us: us,
+            per_request_us: 0.0,
+            per_token_us: 0.0,
+        })
+    }
+
+    /// Pre-built request batches so submission threads stay trivial.
+    fn batches(config: &ModelConfig, n: usize, candidates: usize, seed: u64) -> Vec<SequenceBatch> {
+        let profile = dataset_by_name("msmarco").unwrap();
+        let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, seed);
+        (0..n)
+            .map(|i| {
+                SequenceBatch::new(&generator.request(i as u64, candidates).sequences()).unwrap()
+            })
+            .collect()
+    }
+
+    /// Backpressure burst: a single-slot queue behind a serial worker
+    /// must reject concurrent submitters, and closed-loop retry must
+    /// still land every request.
+    #[test]
+    fn backpressure_burst_sim_predicts_and_server_confirms() {
+        let model = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+        let serve = ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        };
+
+        // Simulated prediction: eight clients hammering a one-deep queue
+        // trip admission rejections, yet the closed loop completes all.
+        let spec = LoadSpec {
+            requests: 32,
+            clients: 8,
+            ..Default::default()
+        };
+        let predicted = simulate_closed_loop(&model, &spec, &serve, flat(5_000.0), "burst");
+        assert_eq!(predicted.completed, 32, "sim: retries must land everything");
+        assert!(
+            predicted.stats.rejected > 0,
+            "sim: burst must trip backpressure, got {:?}",
+            predicted.stats
+        );
+        assert_eq!(predicted.stats.rejected, predicted.backpressure_retries);
+
+        // Real-server replay of the minimized scenario.
+        let (config, path) = fixture("edge-backpressure");
+        let cases = batches(&config, 32, 6, 0xB0B5);
+        let server = PrismServer::start(engine(&config, &path), serve).unwrap();
+        let rejections = std::sync::atomic::AtomicU64::new(0);
+        let server_ref = &server;
+        let cases_ref = &cases;
+        let rejections_ref = &rejections;
+        std::thread::scope(|scope| {
+            for client in 0..8_usize {
+                scope.spawn(move || {
+                    let mut handles = Vec::new();
+                    for i in 0..4 {
+                        let batch = cases_ref[client * 4 + i].clone();
+                        let request = ServeRequest::new(format!("burst-{client}"), batch, 2);
+                        loop {
+                            match server_ref.submit(request.clone()) {
+                                Ok(h) => {
+                                    handles.push(h);
+                                    break;
+                                }
+                                Err(ServeError::Backpressure { retry_after, .. }) => {
+                                    rejections_ref
+                                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                                    std::thread::sleep(retry_after.min(Duration::from_millis(2)));
+                                }
+                                Err(e) => panic!("unexpected submit error: {e}"),
+                            }
+                        }
+                    }
+                    for h in handles {
+                        h.wait().expect("retried request must complete");
+                    }
+                });
+            }
+        });
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.completed, 32);
+        assert!(
+            snap.rejected > 0,
+            "server: burst must trip backpressure like the sim predicted"
+        );
+        assert_eq!(
+            snap.rejected,
+            rejections.load(std::sync::atomic::Ordering::Relaxed),
+            "every rejection surfaced to a caller"
+        );
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Deadline shedding: requests whose budget expires while the serial
+    /// worker is busy are shed at the next planning pass, never executed.
+    #[test]
+    fn deadline_shed_sim_predicts_and_server_confirms() {
+        let model = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+        let serve = ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        };
+
+        // Simulated prediction: 1 ms budgets against 50 ms service on a
+        // serial worker — queued requests die waiting.
+        let spec = LoadSpec {
+            requests: 16,
+            clients: 8,
+            deadline_us: Some(1_000),
+            ..Default::default()
+        };
+        let predicted = simulate_closed_loop(&model, &spec, &serve, flat(50_000.0), "deadline");
+        assert!(
+            predicted.stats.deadline_missed > 0,
+            "sim: tight deadlines behind a slow worker must shed, got {:?}",
+            predicted.stats
+        );
+        assert_eq!(predicted.completed + predicted.errors, 16);
+
+        // Real-server replay: fillers occupy the worker, then doomed
+        // requests with a 1 us budget arrive — all must shed with
+        // `DeadlineExceeded`, none may execute.
+        let (config, path) = fixture("edge-deadline");
+        let cases = batches(&config, 8, 10, 0xDEAD);
+        let server = PrismServer::start(engine(&config, &path), serve).unwrap();
+        let fillers: Vec<_> = (0..2)
+            .map(|i| {
+                server
+                    .submit(ServeRequest::new("filler", cases[i].clone(), 2))
+                    .unwrap()
+            })
+            .collect();
+        let doomed: Vec<_> = (2..8)
+            .map(|i| {
+                server
+                    .submit(
+                        ServeRequest::new("doomed", cases[i].clone(), 2)
+                            .with_options(RequestOptions::top_k(2).with_deadline_us(1)),
+                    )
+                    .unwrap()
+            })
+            .collect();
+        for h in fillers {
+            h.wait().expect("fillers have no deadline");
+        }
+        for h in doomed {
+            match h.wait() {
+                Err(ServeError::DeadlineExceeded) => {}
+                other => panic!("expected DeadlineExceeded, got {other:?}"),
+            }
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.deadline_missed, 6, "all doomed requests shed");
+        assert_eq!(snap.completed, 2, "only the fillers executed");
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Starvation promotion: an aged bulk request must overtake waiting
+    /// high-priority work once past the starvation bound, recorded as a
+    /// priority inversion — and still complete.
+    #[test]
+    fn starvation_promotion_sim_predicts_and_server_confirms() {
+        let model = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+        let serve = ServeConfig {
+            workers: 1,
+            max_batch_requests: 1,
+            max_batch_wait: Duration::from_micros(100),
+            starvation_age: Duration::from_micros(500),
+            session_cache_capacity: 0,
+            priority_scheduling: true,
+            ..Default::default()
+        };
+
+        // Simulated prediction: a bulk/high mix on a serial worker with a
+        // tight starvation bound promotes aged bulk over waiting high.
+        let spec = LoadSpec {
+            requests: 24,
+            clients: 8,
+            priority: Priority::Bulk,
+            high_fraction: 0.5,
+            high_deadline_us: Some(30_000_000),
+            ..Default::default()
+        };
+        let predicted = simulate_closed_loop(&model, &spec, &serve, flat(3_000.0), "starve");
+        assert_eq!(predicted.completed, 24, "sim: promotion must not drop work");
+        assert!(
+            predicted.stats.priority_inversions > 0,
+            "sim: aged bulk must be promoted over waiting high, got {:?}",
+            predicted.stats
+        );
+
+        // Real-server replay: occupy the worker, queue a wall of high
+        // requests and one bulk request behind them. While the highs are
+        // served one at a time the bulk ages past the 500 us bound and is
+        // promoted ahead of the remaining highs.
+        let (config, path) = fixture("edge-starvation");
+        let cases = batches(&config, 14, 12, 0x57A2);
+        let server = PrismServer::start(engine(&config, &path), serve).unwrap();
+        let mut handles = Vec::new();
+        for case in cases.iter().take(2) {
+            handles.push(
+                server
+                    .submit(ServeRequest::new("filler", case.clone(), 2))
+                    .unwrap(),
+            );
+        }
+        for case in cases.iter().take(12).skip(2) {
+            handles.push(
+                server
+                    .submit(
+                        ServeRequest::new("high", case.clone(), 2)
+                            .with_options(RequestOptions::top_k(2).with_priority(Priority::High)),
+                    )
+                    .unwrap(),
+            );
+        }
+        handles.push(
+            server
+                .submit(
+                    ServeRequest::new("bulk", cases[12].clone(), 2)
+                        .with_options(RequestOptions::top_k(2).with_priority(Priority::Bulk)),
+                )
+                .unwrap(),
+        );
+        for h in handles {
+            h.wait().expect("every request completes despite promotion");
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.completed, 13);
+        assert!(
+            snap.priority_inversions > 0,
+            "server: starved bulk must be promoted like the sim predicted, got {snap:?}"
+        );
+        server.shutdown();
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
 /// Nightly-scale soak: more clients, more requests, more workers. Gated
 /// behind `--ignored` (CI runs it in the scheduled long-stress job).
 #[test]
