@@ -47,7 +47,7 @@ pub use handle::{Completion, Progress, SelectionHandle, SelectionOutcome};
 pub use service::{admission_deadline, LocalService, SelectionService};
 
 // Re-exported so facade users need only this crate plus a batch type.
-pub use prism_core::{CancelToken, Priority, RequestOptions, SpillPrecision};
+pub use prism_core::{CancelToken, ComputePrecision, Priority, RequestOptions, SpillPrecision};
 
 /// Result alias for facade operations.
 pub type Result<T> = std::result::Result<T, ServiceError>;

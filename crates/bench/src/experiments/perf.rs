@@ -10,13 +10,13 @@
 
 use std::time::Instant;
 
-use prism_core::{EngineOptions, PrismEngine, RequestOptions, SpillPrecision};
+use prism_core::{ComputePrecision, EngineOptions, PrismEngine, RequestOptions, SpillPrecision};
 use prism_metrics::MemoryMeter;
 use prism_model::layer::{forward_layer, ForwardScratch};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
 use prism_serve::{run_closed_loop, ClassReport, LoadReport, LoadSpec, PrismServer, ServeConfig};
 use prism_storage::Container;
-use prism_tensor::{ops, rowq, QuantMatrix, Tensor};
+use prism_tensor::{igemm, ops, rowq, QuantMatrix, Tensor};
 use prism_workload::WorkloadGenerator;
 use serde::Serialize;
 
@@ -61,6 +61,7 @@ struct KernelsFile {
     offload: OffloadSection,
     serving: ServingSection,
     scheduling: SchedulingSection,
+    int8: Int8Section,
 }
 
 /// One kernel measured at the pinned AVX2 tier versus full runtime
@@ -81,7 +82,8 @@ pub struct SimdRow {
 /// AVX2 tier on this host.
 #[derive(Debug, Serialize)]
 pub struct SimdSection {
-    /// Widest tier the CPU supports (`"scalar"` / `"avx2"` / `"avx512"`).
+    /// Widest tier the CPU supports (`"scalar"` / `"avx2"` / `"avx512"`
+    /// / `"avx512vnni"`).
     pub detected_tier: String,
     /// Per-kernel tier comparison rows.
     pub rows: Vec<SimdRow>,
@@ -232,6 +234,40 @@ pub struct SchedulingSection {
     pub throughput_ratio: f64,
 }
 
+/// One int8-vs-f32 compute comparison of the `int8` section.
+#[derive(Debug, Serialize)]
+pub struct Int8Row {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Median with f32 compute, nanoseconds.
+    pub f32_ns: f64,
+    /// Median with int8 compute, nanoseconds.
+    pub int8_ns: f64,
+    /// `f32_ns / int8_ns` — the integer kernels' gain.
+    pub speedup: f64,
+}
+
+/// The int8-compute acceptance measurement: the u8×i8 GEMM and the
+/// integer layer forward against their f32 twins, plus `select_top_k`
+/// in the offload regime under both compute precisions. The `gemm/` and
+/// `model/` rows carry the >= 2x acceptance gate (guarded at
+/// [`INT8_GUARD_MIN`]); the `engine/` rows are informational — the
+/// spilled window is I/O-bound on the emulated SSD, so the end-to-end
+/// gain there is smaller — but both precisions must select the same
+/// candidate ids ([`Int8Section::topk_parity`]).
+#[derive(Debug, Serialize)]
+pub struct Int8Section {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// Emulated SSD bandwidth for spill I/O, bytes/s.
+    pub throttle_bytes_per_sec: u64,
+    /// Whether every offload-regime selection returned the same id set
+    /// under both compute precisions (the golden parity gate).
+    pub topk_parity: bool,
+    /// Per-benchmark comparison rows.
+    pub rows: Vec<Int8Row>,
+}
+
 /// Times `f`, returning the median of `reps` samples in nanoseconds.
 fn time_median_ns<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     // One untimed warmup iteration.
@@ -350,6 +386,7 @@ fn simd_bench(fast: bool) -> SimdSection {
         ops::SimdTier::Scalar => "scalar",
         ops::SimdTier::Avx2 => "avx2",
         ops::SimdTier::Avx512 => "avx512",
+        ops::SimdTier::Avx512Vnni => "avx512vnni",
     }
     .to_string();
     let mut rows = Vec::new();
@@ -469,6 +506,148 @@ fn offload_bench(fast: bool) -> OffloadSection {
         chunk_candidates: 2,
         k: K,
         scales,
+    }
+}
+
+/// Measures the int8-compute comparison for the `int8` section: kernel
+/// and layer-forward twins, then the offload-regime end-to-end run with
+/// the top-k parity check.
+fn int8_bench(fast: bool) -> Int8Section {
+    const THROTTLE: u64 = 16_000_000; // Emulated 16 MB/s SSD.
+    const CANDIDATES: usize = 16;
+    const K: usize = 5;
+    let mut rows = Vec::new();
+    let row = |name: &str, f32_ns: f64, int8_ns: f64| Int8Row {
+        name: name.to_string(),
+        f32_ns,
+        int8_ns,
+        speedup: f32_ns / int8_ns,
+    };
+
+    // Paper-mini projection GEMM: dispatched f32 against rowq-encode +
+    // u8×i8. The encode cost is charged to the int8 side — it is part
+    // of the monolithic-forward path the spilled window runs.
+    let reps = if fast { 5 } else { 25 };
+    let xl = mat(1024, 256, 0.009);
+    let wl = mat(256, 256, 0.003);
+    let qw = igemm::Int8Matrix::quantize(&wl).expect("int8 weights");
+    let f32_ns = time_median_ns(reps, || {
+        std::hint::black_box(ops::matmul_transb(&xl, &wl).unwrap());
+    });
+    let mut out = Tensor::zeros(1024, 256);
+    let mut block = igemm::RowQuantBlock::new();
+    let int8_ns = time_median_ns(reps, || {
+        block.encode_into(&xl).unwrap();
+        qw.matmul_rowq_into(&block, &mut out).unwrap();
+        std::hint::black_box(&out);
+    });
+    rows.push(row("gemm/transb_1024x256x256", f32_ns, int8_ns));
+
+    // One paper-shaped layer (hidden 256, ffn 512) over 20 candidates x
+    // 32 tokens: the f32 scratch path against `forward_layer_int8`
+    // (same scratch, same ranges) — the layer-level acceptance gate.
+    // The mini twin's hidden_dim of 32 sits below the integer kernels'
+    // useful width; the end-to-end `engine/` rows below cover that
+    // scale.
+    let config = ModelConfig {
+        hidden_dim: 256,
+        num_heads: 8,
+        ffn_dim: 512,
+        ..ModelConfig::bge_m3().mini_twin()
+    };
+    let weights = prism_model::LayerWeights::generate(&config, 0, 11);
+    let qweights = prism_model::Int8LayerWeights::from_layer(&weights).expect("int8 layer");
+    let tokens = 20 * 32;
+    let base = Tensor::from_fn(tokens, config.hidden_dim, |r, c| {
+        ((r * 7 + c * 3) as f32 * 0.13).sin() * 0.5
+    });
+    let ranges: Vec<(usize, usize)> = (0..20).map(|i| (i * 32, (i + 1) * 32)).collect();
+    let mut scratch = ForwardScratch::new(&config, tokens);
+    let mut hidden = base.clone();
+    let f32_ns = time_median_ns(reps, || {
+        hidden.data_mut().copy_from_slice(base.data());
+        prism_model::layer::forward_layer_with(
+            &config,
+            &weights,
+            0,
+            &mut hidden,
+            &ranges,
+            &mut scratch,
+        )
+        .unwrap();
+    });
+    let int8_ns = time_median_ns(reps, || {
+        hidden.data_mut().copy_from_slice(base.data());
+        prism_model::layer::forward_layer_int8(
+            &config,
+            &qweights,
+            0,
+            &mut hidden,
+            &ranges,
+            &mut scratch,
+        )
+        .unwrap();
+    });
+    rows.push(row("model/forward_layer_h256_640tok", f32_ns, int8_ns));
+
+    // End-to-end `select_top_k` in the offload regime: both sides run
+    // the pipelined int8 spill format; only the compute precision
+    // differs. The int8 side feeds fetched blocks straight into the
+    // integer GEMMs (no f32 decode round-trip).
+    let mut topk_parity = true;
+    let sel_reps = if fast { 3 } else { 9 };
+    let cases: [(&str, ModelConfig); 2] = [
+        (
+            "test12",
+            ModelConfig::test_config(ModelArch::DecoderOnly, 12),
+        ),
+        ("paper_mini", ModelConfig::bge_m3().mini_twin()),
+    ];
+    for (tag, config) in cases {
+        let model = Model::generate(config.clone(), 7).expect("model");
+        let mut path = std::env::temp_dir();
+        path.push(format!("prism-perf-int8-{tag}-{}.prsm", std::process::id()));
+        model.write_container(&path).expect("container");
+        let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+        let gen = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+        let batch = SequenceBatch::new(&gen.request(0, CANDIDATES).sequences()).expect("batch");
+        let run = |precision: ComputePrecision| {
+            let engine = PrismEngine::new(
+                Container::open(&path).expect("open"),
+                config.clone(),
+                offload_options(THROTTLE, true),
+                MemoryMeter::new(),
+            )
+            .expect("engine");
+            let options = RequestOptions::tagged(K, 1)
+                .with_spill_precision(SpillPrecision::Int8)
+                .with_compute_precision(precision);
+            let mut ids = Vec::new();
+            let median_ns = time_median_ns(sel_reps, || {
+                let sel = engine
+                    .select_with(&batch, options.clone())
+                    .expect("selection");
+                ids = sel.top_ids();
+            });
+            ids.sort_unstable();
+            (median_ns, ids)
+        };
+        let (f32_ns, f32_ids) = run(ComputePrecision::F32);
+        let (int8_ns, int8_ids) = run(ComputePrecision::Int8);
+        std::fs::remove_file(&path).ok();
+        topk_parity &= f32_ids == int8_ids;
+        rows.push(row(
+            &format!("engine/select_offload_{tag}"),
+            f32_ns,
+            int8_ns,
+        ));
+    }
+
+    Int8Section {
+        mode: if fast { "fast" } else { "full" }.into(),
+        throttle_bytes_per_sec: THROTTLE,
+        topk_parity,
+        rows,
     }
 }
 
@@ -892,15 +1071,66 @@ pub fn parse_offload_speedups(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Extracts `(name, speedup)` pairs from the rows of the `int8`
+/// section of a previously written `BENCH_kernels.json`.
+pub fn parse_int8_rows(text: &str) -> Vec<(String, f64)> {
+    let Some(start) = text.find("\"int8\": {") else {
+        return Vec::new();
+    };
+    let tail = &text[start..];
+    // `int8` is the last perf-written section; only the spliced
+    // `metasim` section can follow it.
+    let end = tail[1..]
+        .find("\"metasim\"")
+        .map(|p| p + 1)
+        .unwrap_or(tail.len());
+    let body = &tail[..end];
+    let mut out = Vec::new();
+    let mut rest = body;
+    while let Some(npos) = rest.find("\"name\":") {
+        let after = &rest[npos + 7..];
+        let Some(q0) = after.find('"') else { break };
+        let Some(q1) = after[q0 + 1..].find('"') else {
+            break;
+        };
+        let name = after[q0 + 1..q0 + 1 + q1].to_string();
+        let Some(spos) = after.find("\"speedup\":") else {
+            break;
+        };
+        let num = after[spos + 10..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect::<String>();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+        rest = &after[spos + 10..];
+    }
+    out
+}
+
+/// Reads the `topk_parity` flag of the `int8` section, if one exists.
+pub fn parse_int8_parity(text: &str) -> Option<bool> {
+    let start = text.find("\"int8\": {")?;
+    let pos = start + text[start..].find("\"topk_parity\":")?;
+    Some(text[pos + 14..].trim_start().starts_with("true"))
+}
+
 /// Floor the offload-regime scales are held to: the documented >= 3x
 /// acceptance gate minus the same 10% bench-noise allowance the kernel
 /// entries get.
 pub const OFFLOAD_GUARD_MIN: f64 = 2.7;
 
+/// Floor the int8 kernel and layer-forward rows are held to: the
+/// documented >= 2x acceptance gate minus the 10% noise allowance.
+pub const INT8_GUARD_MIN: f64 = 1.8;
+
 /// The CI bench-regression guard: reads `BENCH_kernels.json` and fails
 /// when any top-level `speedup` entry sits below `min` (1.0 minus a
-/// noise allowance — CI passes `0.9`) or any offload-regime scale sits
-/// below [`OFFLOAD_GUARD_MIN`].
+/// noise allowance — CI passes `0.9`), any offload-regime scale sits
+/// below [`OFFLOAD_GUARD_MIN`], any int8 kernel/layer row sits below
+/// [`INT8_GUARD_MIN`], or the int8 top-k parity check failed.
 ///
 /// Returns a human-readable summary on success and the offending
 /// entries on failure.
@@ -928,6 +1158,22 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
             ));
         }
     }
+    let int8 = parse_int8_rows(&text);
+    if int8.is_empty() {
+        return Err(format!("{KERNELS_FILE} has no int8 section"));
+    }
+    for (name, v) in &int8 {
+        // Only the kernel and layer rows carry the 2x gate; the
+        // `engine/` rows are I/O-bound on the emulated SSD.
+        if !name.starts_with("engine/") && *v < INT8_GUARD_MIN {
+            bad.push(format!(
+                "int8/{name}: {v:.3}x < {INT8_GUARD_MIN:.2}x (2x acceptance gate)"
+            ));
+        }
+    }
+    if parse_int8_parity(&text) == Some(false) {
+        bad.push("int8: top-k ids diverge between f32 and int8 compute".into());
+    }
     // The metasim validation gate: when `repro sim-validate` has written
     // its section, an out-of-tolerance prediction fails the guard too.
     let metasim = super::simval::parse_metasim_validated(&text);
@@ -941,9 +1187,13 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
     if bad.is_empty() {
         Ok(format!(
             "perf guard ok: {} speedup entries >= {min:.2}x, {} offload scales >= \
-             {OFFLOAD_GUARD_MIN:.2}x, metasim {}",
+             {OFFLOAD_GUARD_MIN:.2}x, {} int8 rows gated >= {INT8_GUARD_MIN:.2}x with \
+             top-k parity, metasim {}",
             speedups.len(),
             offload.len(),
+            int8.iter()
+                .filter(|(n, _)| !n.starts_with("engine/"))
+                .count(),
             match metasim {
                 Some(true) => "validated",
                 Some(false) => unreachable!("handled above"),
@@ -1031,6 +1281,22 @@ pub fn perf(fast: bool) {
         serving.batching_throughput_gain, serving.cached_throughput_gain
     ));
 
+    let int8 = int8_bench(fast);
+    report.blank();
+    report.line(&format!(
+        "int8 compute (offload regime, top-k parity: {}):",
+        if int8.topk_parity { "yes" } else { "NO" }
+    ));
+    for r in &int8.rows {
+        report.line(&format!(
+            "{:<38} f32 {:>10.1} us  int8 {:>10.1} us  {:>5.2}x",
+            r.name,
+            r.f32_ns / 1e3,
+            r.int8_ns / 1e3,
+            r.speedup
+        ));
+    }
+
     let scheduling = scheduling_bench(fast);
     report.blank();
     report.line(&format!(
@@ -1093,11 +1359,12 @@ pub fn perf(fast: bool) {
         report.line(&format!("{:<45} {:>8.2}x vs baseline", s.name, s.speedup));
     }
     let file = KernelsFile {
-        schema: "prism-kernel-perf-v4".into(),
+        schema: "prism-kernel-perf-v5".into(),
         simd,
         offload,
         serving,
         scheduling,
+        int8,
         baseline: PerfSnapshot {
             mode: "frozen".into(),
             entries: baseline
@@ -1147,6 +1414,25 @@ mod tests {
             p99_us: 1,
             high: None,
             bulk: None,
+        }
+    }
+
+    fn dummy_int8(parity: bool) -> Int8Section {
+        let row = |name: &str, speedup: f64| Int8Row {
+            name: name.into(),
+            f32_ns: 1000.0 * speedup,
+            int8_ns: 1000.0,
+            speedup,
+        };
+        Int8Section {
+            mode: "fast".into(),
+            throttle_bytes_per_sec: 16_000_000,
+            topk_parity: parity,
+            rows: vec![
+                row("gemm/transb_1024x256x256", 2.5),
+                row("model/forward_layer_h256_640tok", 2.1),
+                row("engine/select_offload_test12", 1.1),
+            ],
         }
     }
 
@@ -1234,6 +1520,7 @@ mod tests {
                 high_p99_improvement: 1.0,
                 throughput_ratio: 1.0,
             },
+            int8: dummy_int8(true),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let speedups = parse_speedup_entries(&text);
@@ -1243,8 +1530,30 @@ mod tests {
         );
         let offload = parse_offload_speedups(&text);
         assert_eq!(offload, vec![("test12".to_string(), 4.5)]);
+        let int8 = parse_int8_rows(&text);
+        assert_eq!(
+            int8,
+            vec![
+                ("gemm/transb_1024x256x256".to_string(), 2.5),
+                ("model/forward_layer_h256_640tok".to_string(), 2.1),
+                ("engine/select_offload_test12".to_string(), 1.1),
+            ]
+        );
+        assert_eq!(parse_int8_parity(&text), Some(true));
         assert!(parse_speedup_entries("").is_empty());
         assert!(parse_offload_speedups("{}").is_empty());
+        assert!(parse_int8_rows("{}").is_empty());
+        assert_eq!(parse_int8_parity(""), None);
+    }
+
+    #[test]
+    fn int8_parity_flag_round_trips_false() {
+        let text = serde_json::to_string_pretty(&dummy_int8(false)).unwrap();
+        // The serialized section lacks the surrounding `"int8": {` key,
+        // so wrap it the way the kernels file does.
+        let wrapped = format!("{{\n  \"int8\": {text}\n}}");
+        assert_eq!(parse_int8_parity(&wrapped), Some(false));
+        assert_eq!(parse_int8_rows(&wrapped).len(), 3);
     }
 
     #[test]
@@ -1303,6 +1612,7 @@ mod tests {
                 high_p99_improvement: 1.0,
                 throughput_ratio: 1.0,
             },
+            int8: dummy_int8(true),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let base = parse_section_entries(&text, "baseline");

@@ -22,7 +22,7 @@
 //! prsm serve <container.prsm> --model <name> [--scale mini|test]
 //!           [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
 //!           [--cache-sessions N] [--throttle BYTES_PER_S]
-//!           [--offload on|off] [--spill int8|f32]
+//!           [--offload on|off] [--spill int8|f32] [--compute f32|int8]
 //!           [--requests N] [--clients N] [--candidates N] [--k N]
 //!           [--sessions N] [--repeat N] [--dataset wikipedia]
 //!           [--starvation-ms N] [--priority high|normal|bulk] [--deadline-ms N]
@@ -74,7 +74,7 @@
 
 use std::fmt::Write as _;
 
-use prism_core::{EngineOptions, Priority, PrismEngine, SpillPrecision};
+use prism_core::{ComputePrecision, EngineOptions, Priority, PrismEngine, SpillPrecision};
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
     PrismSimOptions, PruneSchedule, ServeBatchCost,
@@ -409,6 +409,14 @@ fn resolve_spill(name: &str) -> Result<SpillPrecision, String> {
     }
 }
 
+fn resolve_compute(name: &str) -> Result<ComputePrecision, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "int8" => Ok(ComputePrecision::Int8),
+        "f32" => Ok(ComputePrecision::F32),
+        other => Err(format!("unknown compute precision `{other}` (f32|int8)")),
+    }
+}
+
 /// Parses an `--NAME on|off` switch (absent = off).
 fn resolve_switch(p: &Parsed<'_>, name: &str) -> Result<bool, String> {
     match p.flag(name) {
@@ -445,6 +453,7 @@ fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
         high_deadline_us: deadline_us,
         deadline_us,
         spill_precision: resolve_spill(p.flag("spill").unwrap_or("int8"))?,
+        compute_precision: resolve_compute(p.flag("compute").unwrap_or("f32"))?,
     })
 }
 

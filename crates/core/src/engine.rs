@@ -23,22 +23,25 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 use prism_metrics::{LatencyRecorder, MemCategory, MemoryMeter};
-use prism_model::layer::{forward_layer_with, intermediate_bytes, ForwardScratch};
+use prism_model::layer::{
+    forward_layer_int8, forward_layer_with, intermediate_bytes, ForwardScratch,
+};
 use prism_model::model::{add_position, layer_section, SECTION_EMBEDDING, SECTION_HEAD};
-use prism_model::{HeadWeights, LayerWeights, ModelConfig, SequenceBatch};
+use prism_model::{HeadWeights, Int8LayerWeights, LayerWeights, ModelConfig, SequenceBatch};
 use prism_storage::{
     Container, DiskRowSource, EmbeddingCache, EmbeddingCacheStats, LayerStreamer, SpillFile,
     SpillPipeline, SpillPrecision, SpillStats, StreamStats, Throttle,
 };
+use prism_tensor::igemm::RowQuantBlock;
 use prism_tensor::Tensor;
 use serde::Serialize;
 
 use crate::control::{CancelToken, ProgressFn, ProgressUpdate};
-use crate::options::{EngineOptions, Priority, PruneMode};
+use crate::options::{ComputePrecision, EngineOptions, Priority, PruneMode};
 use crate::routing::route_candidates;
 use crate::{PrismError, Result};
 
@@ -162,6 +165,14 @@ pub struct RequestOptions {
     /// [`SpillPrecision::F32`] opts out for a bit-exact spill round trip.
     /// Ignored when the engine does not offload hidden states.
     pub spill_precision: SpillPrecision,
+    /// Numeric precision of the per-layer forward computation. The
+    /// default [`ComputePrecision::F32`] keeps the historical bit-exact
+    /// path; [`ComputePrecision::Int8`] opts into the integer GEMM
+    /// micro-kernels (see [`ComputePrecision`] for the accuracy
+    /// contract). When combined with the default int8 spill precision,
+    /// spilled hidden states move through the pipeline as row-quant
+    /// blocks and skip the f32 decode round-trip entirely.
+    pub compute_precision: ComputePrecision,
 }
 
 impl RequestOptions {
@@ -176,6 +187,7 @@ impl RequestOptions {
             priority: Priority::Normal,
             deadline_us: None,
             spill_precision: SpillPrecision::default(),
+            compute_precision: ComputePrecision::default(),
         }
     }
 
@@ -209,6 +221,12 @@ impl RequestOptions {
     /// Returns a copy with the given hidden-state spill precision.
     pub fn with_spill_precision(mut self, precision: SpillPrecision) -> Self {
         self.spill_precision = precision;
+        self
+    }
+
+    /// Returns a copy with the given forward-compute precision.
+    pub fn with_compute_precision(mut self, precision: ComputePrecision) -> Self {
+        self.compute_precision = precision;
         self
     }
 }
@@ -281,6 +299,11 @@ pub struct ActiveRequest {
     k: usize,
     tag: u64,
     gate: GateParams,
+    /// Forward-compute precision this request was planned with.
+    compute: ComputePrecision,
+    /// Whether the spill window moves row-quant blocks instead of f32
+    /// tensors (int8 compute combined with int8 spill precision).
+    block_spill: bool,
     record_score_trace: bool,
     chunks: Vec<Chunk>,
     /// Meter handle for drop-time release of this request's bytes.
@@ -455,6 +478,12 @@ pub struct PrismEngine {
     head: HeadWeights,
     embed: Mutex<EmbedSource>,
     resident_layers: Option<Vec<LayerWeights>>,
+    /// Lazily-built per-layer int8 weight cache for resident engines: the
+    /// first int8-precision request pays the one-time quantization, every
+    /// later one reuses it. Quantization is deterministic, so a racing
+    /// double-init produces identical values and the loser is dropped.
+    /// Streamed engines instead quantize per layer acquisition.
+    int8_layers: Vec<OnceLock<Int8LayerWeights>>,
     meter: MemoryMeter,
     spill_dir: PathBuf,
     request_counter: AtomicU64,
@@ -513,6 +542,7 @@ impl PrismEngine {
             Some(layers)
         };
 
+        let int8_layers = (0..config.num_layers).map(|_| OnceLock::new()).collect();
         Ok(PrismEngine {
             config,
             options,
@@ -520,6 +550,7 @@ impl PrismEngine {
             head,
             embed: Mutex::new(embed),
             resident_layers,
+            int8_layers,
             meter,
             spill_dir: std::env::temp_dir(),
             request_counter: AtomicU64::new(0),
@@ -667,14 +698,55 @@ impl PrismEngine {
                 }
             };
 
-            let mut layer_result: Result<()> = Ok(());
-            for req in requests.iter_mut() {
-                if req.terminated {
-                    continue;
+            // ---- Quantize this layer's weights once if anyone needs the
+            // int8 path (cached for resident engines, per acquisition for
+            // streamed ones). Errors flow through `layer_result` so the
+            // meter-release block below still runs.
+            let needs_int8 = requests
+                .iter()
+                .any(|r| !r.terminated && r.compute == ComputePrecision::Int8);
+            let mut quant_err: Option<PrismError> = None;
+            let int8_owned: Option<Int8LayerWeights> = match (&weights, needs_int8) {
+                (LayerRef::Owned(w), true) => match Int8LayerWeights::from_layer(w) {
+                    Ok(q) => Some(q),
+                    Err(e) => {
+                        quant_err = Some(e.into());
+                        None
+                    }
+                },
+                _ => None,
+            };
+            let int8_layer: Option<&Int8LayerWeights> = if !needs_int8 || quant_err.is_some() {
+                None
+            } else if let Some(q) = int8_owned.as_ref() {
+                Some(q)
+            } else {
+                match self.resident_int8(layer_idx) {
+                    Ok(q) => Some(q),
+                    Err(e) => {
+                        quant_err = Some(e);
+                        None
+                    }
                 }
-                if let Err(e) = self.forward_and_score(req, layer_idx, weights.get(), pool) {
-                    layer_result = Err(e);
-                    break;
+            };
+
+            let mut layer_result: Result<()> = quant_err.map_or(Ok(()), Err);
+            if layer_result.is_ok() {
+                for req in requests.iter_mut() {
+                    if req.terminated {
+                        continue;
+                    }
+                    let int8 = if req.compute == ComputePrecision::Int8 {
+                        int8_layer
+                    } else {
+                        None
+                    };
+                    if let Err(e) =
+                        self.forward_and_score(req, layer_idx, weights.get(), int8, pool)
+                    {
+                        layer_result = Err(e);
+                        break;
+                    }
                 }
             }
 
@@ -860,6 +932,13 @@ impl PrismEngine {
             k,
             tag,
             gate,
+            compute: options.compute_precision,
+            // Row-quant blocks flow through the spill window only when
+            // both knobs agree: int8 compute re-quantizes activations
+            // anyway, but an explicit f32 spill precision keeps its
+            // bit-exact f32 round-trip promise even under int8 compute.
+            block_spill: options.compute_precision == ComputePrecision::Int8
+                && options.spill_precision == SpillPrecision::Int8,
             record_score_trace: self.options.record_score_trace,
             chunks,
             meter: self.meter.clone(),
@@ -997,8 +1076,10 @@ impl PrismEngine {
         req: &mut ActiveRequest,
         layer_idx: usize,
         weights: &LayerWeights,
+        int8: Option<&Int8LayerWeights>,
         pool: &mut Vec<ForwardScratch>,
     ) -> Result<()> {
+        let block_spill = req.block_spill;
         req.current_scores = {
             let ActiveRequest {
                 chunks,
@@ -1006,7 +1087,16 @@ impl PrismEngine {
                 latency,
                 ..
             } = req;
-            self.forward_and_score_chunks(chunks, spill, weights, layer_idx, pool, latency)?
+            self.forward_and_score_chunks(
+                chunks,
+                spill,
+                weights,
+                int8,
+                block_spill,
+                layer_idx,
+                pool,
+                latency,
+            )?
         };
         req.meter_hidden(&self.meter);
         req.trace.executed_layers += 1;
@@ -1128,11 +1218,14 @@ impl PrismEngine {
     /// path paid. Chunks are data-independent and each is computed with a
     /// deterministic per-row accumulation order, so neither the parallel
     /// schedule nor the overlap can change results.
+    #[allow(clippy::too_many_arguments)] // internal driver: precision + pools
     fn forward_and_score_chunks(
         &self,
         chunks: &mut [Chunk],
         spill: &mut Option<SpillPipeline>,
         weights: &LayerWeights,
+        int8: Option<&Int8LayerWeights>,
+        block_spill: bool,
         layer_idx: usize,
         pool: &mut Vec<ForwardScratch>,
         latency: &mut LatencyRecorder,
@@ -1156,7 +1249,12 @@ impl PrismEngine {
             .collect();
         if let (Some(pipe), Some(&first)) = (spill.as_mut(), spilled.first()) {
             if chunks[first].hidden.is_none() {
-                pipe.prefetch(chunks[first].spill_slot.expect("spilled chunk"))?;
+                let slot = chunks[first].spill_slot.expect("spilled chunk");
+                if block_spill {
+                    pipe.prefetch_block(slot)?;
+                } else {
+                    pipe.prefetch(slot)?;
+                }
             }
         }
         for (pos, &ci) in spilled.iter().enumerate() {
@@ -1169,7 +1267,18 @@ impl PrismEngine {
             // requests' ledgers stay untouched).
             let mut fetched_bytes = 0_u64;
             if chunks[ci].hidden.is_none() {
-                let t = latency.time("spill-wait", || pipe.fetch(slot))?;
+                // Int8 block spill: the pipeline moves row-quant codes;
+                // the chunk is decoded to f32 exactly once per layer
+                // (norm / attention / residual / scoring need f32) and
+                // the integer GEMMs re-quantize activations internally.
+                let t = if block_spill {
+                    let block = latency.time("spill-wait", || pipe.fetch_block(slot))?;
+                    let mut t = Tensor::zeros(0, 0);
+                    block.decode_into(&mut t)?;
+                    t
+                } else {
+                    latency.time("spill-wait", || pipe.fetch(slot))?
+                };
                 fetched_bytes = t.size_bytes() as u64;
                 self.meter.alloc(MemCategory::HiddenStates, fetched_bytes);
                 chunks[ci].hidden = Some(t);
@@ -1178,10 +1287,12 @@ impl PrismEngine {
             if let Some(&next) = spilled.get(pos + 1) {
                 if chunks[next].hidden.is_none() {
                     let next_slot = chunks[next].spill_slot.expect("spilled chunk");
-                    spill
-                        .as_mut()
-                        .expect("spill file present")
-                        .prefetch(next_slot)?;
+                    let pipe = spill.as_mut().expect("spill file present");
+                    if block_spill {
+                        pipe.prefetch_block(next_slot)?;
+                    } else {
+                        pipe.prefetch(next_slot)?;
+                    }
                 }
             }
             let chunk = &mut chunks[ci];
@@ -1195,15 +1306,18 @@ impl PrismEngine {
             let inter = intermediate_bytes(&self.config, hidden.rows(), max_seq);
             self.meter.alloc(MemCategory::Intermediate, inter);
             let step = latency
-                .time("forward", || {
-                    forward_layer_with(
+                .time("forward", || match int8 {
+                    Some(q) => {
+                        forward_layer_int8(&self.config, q, layer_idx, hidden, ranges, &mut pool[0])
+                    }
+                    None => forward_layer_with(
                         &self.config,
                         weights,
                         layer_idx,
                         hidden,
                         ranges,
                         &mut pool[0],
-                    )
+                    ),
                 })
                 .map_err(PrismError::from)
                 .and_then(|()| {
@@ -1224,10 +1338,17 @@ impl PrismEngine {
                 Ok(scores) => {
                     chunk_scores[ci] = Some(scores);
                     let t = chunk.hidden.take().expect("hidden present");
-                    let wb = spill
-                        .as_mut()
-                        .expect("spill file present")
-                        .write_back(slot, t);
+                    let pipe = spill.as_mut().expect("spill file present");
+                    let wb = if block_spill {
+                        // Re-encode to codes before handing the pipeline
+                        // the payload: the writer lane then holds ~4x
+                        // fewer bytes than an f32 tensor would.
+                        RowQuantBlock::encode(&t)
+                            .map_err(PrismError::from)
+                            .and_then(|b| pipe.write_back_block(slot, b).map_err(PrismError::from))
+                    } else {
+                        pipe.write_back(slot, t).map_err(PrismError::from)
+                    };
                     self.meter.free(MemCategory::HiddenStates, fetched_bytes);
                     wb?;
                 }
@@ -1239,7 +1360,9 @@ impl PrismEngine {
         }
 
         // ---- Parallel resident chunks ----
-        self.forward_resident_chunks(chunks, weights, layer_idx, pool, workers, max_seq, latency)?;
+        self.forward_resident_chunks(
+            chunks, weights, int8, layer_idx, pool, workers, max_seq, latency,
+        )?;
 
         // ---- Score resident chunks at the boundary ----
         latency.time("score", || -> Result<()> {
@@ -1278,6 +1401,7 @@ impl PrismEngine {
         &self,
         chunks: &mut [Chunk],
         weights: &LayerWeights,
+        int8: Option<&Int8LayerWeights>,
         layer_idx: usize,
         pool: &mut [ForwardScratch],
         workers: usize,
@@ -1297,36 +1421,36 @@ impl PrismEngine {
         // that product is the true concurrent intermediate footprint.
         let inter = workers.max(1) as u64 * intermediate_bytes(&self.config, max_rows, max_seq);
         self.meter.alloc(MemCategory::Intermediate, inter);
+        // One forward closure shared by both schedules so the precision
+        // dispatch lives in exactly one place.
+        let forward_one = |hidden: &mut Tensor,
+                           ranges: &[(usize, usize)],
+                           scratch: &mut ForwardScratch|
+         -> Result<()> {
+            match int8 {
+                Some(q) => forward_layer_int8(&self.config, q, layer_idx, hidden, ranges, scratch)?,
+                None => {
+                    forward_layer_with(&self.config, weights, layer_idx, hidden, ranges, scratch)?
+                }
+            }
+            Ok(())
+        };
         let result: Result<()> = if workers <= 1 {
             let scratch = &mut pool[0];
             resident.iter_mut().try_for_each(|chunk| -> Result<()> {
                 let hidden = chunk.hidden.as_mut().expect("resident chunk");
-                forward_layer_with(
-                    &self.config,
-                    weights,
-                    layer_idx,
-                    hidden,
-                    &chunk.ranges,
-                    scratch,
-                )?;
-                Ok(())
+                forward_one(hidden, &chunk.ranges, scratch)
             })
         } else {
             let group = resident.len().div_ceil(workers);
             let results: Vec<Result<()>> = std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
                 for (chunk_group, scratch) in resident.chunks_mut(group).zip(pool.iter_mut()) {
+                    let forward_one = &forward_one;
                     handles.push(scope.spawn(move || -> Result<()> {
                         for chunk in chunk_group.iter_mut() {
                             let hidden = chunk.hidden.as_mut().expect("resident chunk");
-                            forward_layer_with(
-                                &self.config,
-                                weights,
-                                layer_idx,
-                                hidden,
-                                &chunk.ranges,
-                                scratch,
-                            )?;
+                            forward_one(hidden, &chunk.ranges, scratch)?;
                         }
                         Ok(())
                     }));
@@ -1364,6 +1488,25 @@ impl PrismEngine {
             .map_or(1, |n| n.get())
             .min(resident)
             .min(8)
+    }
+
+    /// Returns the cached int8 quantization of resident layer
+    /// `layer_idx`, building it on first use. The cache lives for the
+    /// engine's lifetime, so its bytes are metered once as layer weights.
+    fn resident_int8(&self, layer_idx: usize) -> Result<&Int8LayerWeights> {
+        let cell = &self.int8_layers[layer_idx];
+        if let Some(q) = cell.get() {
+            return Ok(q);
+        }
+        let layers = self.resident_layers.as_ref().ok_or_else(|| {
+            PrismError::InvalidRequest("int8 weight cache requires resident layers".into())
+        })?;
+        let q = Int8LayerWeights::from_layer(&layers[layer_idx])?;
+        let bytes = q.size_bytes() as u64;
+        if cell.set(q).is_ok() {
+            self.meter.alloc(MemCategory::LayerWeights, bytes);
+        }
+        Ok(cell.get().expect("int8 cell just initialized"))
     }
 
     /// The post-embedding score probe: every chunk is still resident at
@@ -1537,15 +1680,25 @@ mod sync_tests {
         assert!(o.tag.is_none() && o.dispersion_threshold.is_none());
         assert_eq!(o.priority, Priority::Normal);
         assert!(o.deadline_us.is_none());
+        assert_eq!(o.spill_precision, SpillPrecision::Int8);
+        assert_eq!(
+            o.compute_precision,
+            ComputePrecision::F32,
+            "int8 compute is opt-in"
+        );
         let t = RequestOptions::tagged(3, 42);
         assert_eq!(t.tag, Some(42));
         let p = RequestOptions::top_k(2)
             .with_priority(Priority::High)
             .with_deadline_us(5_000)
-            .with_dispersion_threshold(0.4);
+            .with_dispersion_threshold(0.4)
+            .with_compute_precision(ComputePrecision::Int8)
+            .with_spill_precision(SpillPrecision::F32);
         assert_eq!(p.priority, Priority::High);
         assert_eq!(p.deadline_us, Some(5_000));
         assert_eq!(p.dispersion_threshold, Some(0.4));
+        assert_eq!(p.compute_precision, ComputePrecision::Int8);
+        assert_eq!(p.spill_precision, SpillPrecision::F32);
     }
 
     #[test]

@@ -37,7 +37,7 @@ pub use engine::{
     ActiveRequest, EngineTrace, PrismEngine, RankedCandidate, RequestOptions, RequestSpec,
     Selection,
 };
-pub use options::{EngineOptions, Priority, PruneMode};
+pub use options::{ComputePrecision, EngineOptions, Priority, PruneMode};
 pub use routing::{route_candidates, RouteDecision};
 // Re-exported so serving/API layers can thread the spill-precision knob
 // without depending on `prism-storage` directly.

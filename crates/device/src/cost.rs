@@ -111,6 +111,11 @@ pub struct ServeBatchCost {
     pub stream_bandwidth: Option<f64>,
     /// Whether matmuls run on quantized kernels.
     pub quant: bool,
+    /// Whether the forward pass runs the u8×i8 integer GEMM kernels
+    /// (`RequestOptions::compute_precision = Int8`). Overrides `quant`
+    /// for the compute term; off by default so the analytic model keeps
+    /// matching the shipped `ServeConfig::tuned_for` constants.
+    pub int8_compute: bool,
     /// Hidden-state spill regime, when the batch exceeds the in-memory
     /// chunk height.
     pub spill: Option<SpillCostParams>,
@@ -132,6 +137,7 @@ impl ServeBatchCost {
             device,
             stream_bandwidth: None,
             quant: false,
+            int8_compute: false,
             spill: None,
             batch_overhead_s: latency,
             request_overhead_s: latency / 10.0,
@@ -145,9 +151,12 @@ impl ServeBatchCost {
             return 0.0;
         }
         let seq = (tokens / requests as u64).max(1);
-        let per_layer_compute =
-            self.device
-                .compute_time_s(self.config.layer_macs(tokens, seq), tokens, self.quant);
+        let layer_macs = self.config.layer_macs(tokens, seq);
+        let per_layer_compute = if self.int8_compute {
+            self.device.int8_compute_time_s(layer_macs, tokens)
+        } else {
+            self.device.compute_time_s(layer_macs, tokens, self.quant)
+        };
         let per_layer_stream = self
             .stream_bandwidth
             .map(|bw| self.config.layer_bytes() as f64 / bw.max(1.0))
@@ -300,6 +309,45 @@ mod tests {
         assert_eq!(overlapped.batch_time_s(8, 2048), base.batch_time_s(8, 2048));
         // A batch within one chunk never spills.
         assert_eq!(spilled.batch_time_s(1, 128), base.batch_time_s(1, 128));
+    }
+
+    #[test]
+    fn int8_compute_shrinks_batch_time_unless_streaming_bound() {
+        let cfg = ModelConfig::test_config(prism_model::ModelArch::DecoderOnly, 12);
+        let d = DeviceSpec::apple_m2();
+        let base = ServeBatchCost::new(cfg.clone(), d.clone());
+        let int8 = ServeBatchCost {
+            int8_compute: true,
+            ..base.clone()
+        };
+        // Compute-bound: the int8 kernels shave the per-layer term. The
+        // fixed overheads dilute the full kernel factor, so just require
+        // a strict improvement plus the exact layers-term ratio.
+        let dense_s = base.batch_time_s(8, 2048);
+        let int8_s = int8.batch_time_s(8, 2048);
+        assert!(int8_s < dense_s, "int8 {int8_s} vs dense {dense_s}");
+        let overhead = base.batch_overhead_s + 8.0 * base.request_overhead_s;
+        let ratio = (dense_s - overhead) / (int8_s - overhead);
+        assert!(
+            (ratio - d.int8_kernel_factor).abs() < 1e-6,
+            "layers-term ratio {ratio}"
+        );
+        // Streaming-bound: per-layer time is the stream term either way,
+        // so int8 compute cannot help (the max() pipelining survives).
+        let bw = Some(16.0 * 1024.0 * 1024.0);
+        let streamed = ServeBatchCost {
+            stream_bandwidth: bw,
+            ..base.clone()
+        };
+        let streamed_int8 = ServeBatchCost {
+            stream_bandwidth: bw,
+            int8_compute: true,
+            ..base
+        };
+        assert_eq!(
+            streamed.batch_time_s(1, 64),
+            streamed_int8.batch_time_s(1, 64)
+        );
     }
 
     #[test]

@@ -129,4 +129,22 @@ mod tests {
         assert_eq!(m.batch_micros(2, 256), cost.batch_micros(2, 256));
         assert!(m.batch_micros(1, 64) >= 1);
     }
+
+    #[test]
+    fn analytic_model_sees_the_int8_compute_regime() {
+        // The serving metasim prices int8-compute workers through the
+        // same `ServeBatchCost` the autotuner sweeps, so flipping the
+        // knob must shorten compute-bound batches.
+        let dense = ServeBatchCost::new(
+            ModelConfig::test_config(ModelArch::DecoderOnly, 6),
+            DeviceSpec::apple_m2(),
+        );
+        let int8 = ServeBatchCost {
+            int8_compute: true,
+            ..dense.clone()
+        };
+        let dense_us = ServiceModel::analytic(dense).batch_micros(8, 4096);
+        let int8_us = ServiceModel::analytic(int8).batch_micros(8, 4096);
+        assert!(int8_us < dense_us, "int8 {int8_us} vs dense {dense_us}");
+    }
 }

@@ -30,7 +30,7 @@ pub mod weights;
 pub use classifier::Pooling;
 pub use config::{ModelArch, ModelConfig, Scale};
 pub use model::{Model, SequenceBatch};
-pub use weights::{HeadWeights, LayerWeights, MatRef, ModelWeights};
+pub use weights::{HeadWeights, Int8LayerWeights, LayerWeights, MatRef, ModelWeights};
 
 /// Convenient result alias (model errors are storage or tensor errors).
 pub type Result<T> = std::result::Result<T, Error>;

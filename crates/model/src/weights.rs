@@ -5,6 +5,7 @@
 //! dense `f32` tensor or a 4-bit [`QuantMatrix`], so one forward path
 //! serves both the full-precision and the W4A16 models.
 
+use prism_tensor::igemm::Int8Matrix;
 use prism_tensor::{ops, QuantMatrix, Tensor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -71,6 +72,17 @@ impl MatRef {
         match self {
             MatRef::Dense(w) => Ok(MatRef::Quant(QuantMatrix::quantize(w)?)),
             MatRef::Quant(q) => Ok(MatRef::Quant(q.clone())),
+        }
+    }
+
+    /// Re-quantizes to the per-row symmetric i8 form the integer GEMM
+    /// path consumes (4-bit matrices go through their dequantized
+    /// values, so the int8 codes calibrate to what the f32 path would
+    /// actually have multiplied).
+    pub fn to_int8(&self) -> Result<Int8Matrix> {
+        match self {
+            MatRef::Dense(w) => Ok(Int8Matrix::quantize(w)?),
+            MatRef::Quant(q) => Ok(Int8Matrix::from_quant(q)?),
         }
     }
 }
@@ -265,6 +277,75 @@ impl LayerWeights {
             w_up: it.next().expect("7 matrices"),
             w_down: it.next().expect("7 matrices"),
         })
+    }
+}
+
+/// One layer's weights re-quantized for the integer compute path: every
+/// projection as a per-row symmetric [`Int8Matrix`], norms kept `f32`.
+///
+/// Derived at runtime from a [`LayerWeights`] (dense or W4) — never
+/// serialized, because the i8 codes are a calibration artifact of
+/// whatever weights are already on disk. The engine builds these once
+/// per layer (cached for resident models, per-acquisition for streamed
+/// ones) when a request opts into `Int8` compute.
+#[derive(Debug, Clone)]
+pub struct Int8LayerWeights {
+    /// Pre-attention norm gain (`[D]`).
+    pub norm1_gain: Vec<f32>,
+    /// Pre-attention norm bias (`[D]`).
+    pub norm1_bias: Vec<f32>,
+    /// Query projection `[D, D]`.
+    pub wq: Int8Matrix,
+    /// Key projection `[D, D]`.
+    pub wk: Int8Matrix,
+    /// Value projection `[D, D]`.
+    pub wv: Int8Matrix,
+    /// Output projection `[D, D]`.
+    pub wo: Int8Matrix,
+    /// Pre-FFN norm gain (`[D]`).
+    pub norm2_gain: Vec<f32>,
+    /// Pre-FFN norm bias (`[D]`).
+    pub norm2_bias: Vec<f32>,
+    /// FFN gate projection `[F, D]`.
+    pub w_gate: Int8Matrix,
+    /// FFN up projection `[F, D]`.
+    pub w_up: Int8Matrix,
+    /// FFN down projection `[D, F]`.
+    pub w_down: Int8Matrix,
+}
+
+impl Int8LayerWeights {
+    /// Re-quantizes every projection of `layer` to per-row i8.
+    pub fn from_layer(layer: &LayerWeights) -> Result<Self> {
+        Ok(Int8LayerWeights {
+            norm1_gain: layer.norm1_gain.clone(),
+            norm1_bias: layer.norm1_bias.clone(),
+            wq: layer.wq.to_int8()?,
+            wk: layer.wk.to_int8()?,
+            wv: layer.wv.to_int8()?,
+            wo: layer.wo.to_int8()?,
+            norm2_gain: layer.norm2_gain.clone(),
+            norm2_bias: layer.norm2_bias.clone(),
+            w_gate: layer.w_gate.to_int8()?,
+            w_up: layer.w_up.to_int8()?,
+            w_down: layer.w_down.to_int8()?,
+        })
+    }
+
+    /// Resident bytes of the i8 codes plus per-row metadata and norms.
+    pub fn size_bytes(&self) -> usize {
+        (self.norm1_gain.len()
+            + self.norm1_bias.len()
+            + self.norm2_gain.len()
+            + self.norm2_bias.len())
+            * 4
+            + self.wq.size_bytes()
+            + self.wk.size_bytes()
+            + self.wv.size_bytes()
+            + self.wo.size_bytes()
+            + self.w_gate.size_bytes()
+            + self.w_up.size_bytes()
+            + self.w_down.size_bytes()
     }
 }
 

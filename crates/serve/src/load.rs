@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use prism_core::{Priority, RequestOptions, SpillPrecision};
+use prism_core::{ComputePrecision, Priority, RequestOptions, SpillPrecision};
 use prism_model::SequenceBatch;
 use prism_workload::{dataset_by_name, WorkloadGenerator};
 use serde::Serialize;
@@ -54,6 +54,8 @@ pub struct LoadSpec {
     /// Hidden-state spill precision stamped on every request (only
     /// observable when the served engine offloads hidden states).
     pub spill_precision: SpillPrecision,
+    /// Forward-compute precision stamped on every request.
+    pub compute_precision: ComputePrecision,
 }
 
 impl Default for LoadSpec {
@@ -72,6 +74,7 @@ impl Default for LoadSpec {
             high_deadline_us: None,
             deadline_us: None,
             spill_precision: SpillPrecision::default(),
+            compute_precision: ComputePrecision::default(),
         }
     }
 }
@@ -94,7 +97,9 @@ impl LoadSpec {
     /// The resolved options decoration for request `i` (class +
     /// deadline on top of the routing options).
     fn decorate(&self, i: usize, options: RequestOptions) -> RequestOptions {
-        let options = options.with_spill_precision(self.spill_precision);
+        let options = options
+            .with_spill_precision(self.spill_precision)
+            .with_compute_precision(self.compute_precision);
         if self.is_high(i) {
             let o = options.with_priority(Priority::High);
             match self.high_deadline_us {

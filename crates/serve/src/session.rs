@@ -10,7 +10,7 @@
 
 use std::collections::HashMap;
 
-use prism_core::{PruneMode, RequestOptions, Selection, SpillPrecision};
+use prism_core::{ComputePrecision, PruneMode, RequestOptions, Selection, SpillPrecision};
 use prism_model::SequenceBatch;
 use prism_tensor::Tensor;
 
@@ -49,6 +49,8 @@ pub struct SelectionKey {
     /// Spill precision changes scores under hidden offload, so int8 and
     /// f32 repeats must never replay each other's memoized selections.
     spill_int8: bool,
+    /// Compute precision changes scores everywhere; same rule.
+    compute_int8: bool,
 }
 
 impl SelectionKey {
@@ -64,6 +66,7 @@ impl SelectionKey {
             }),
             pruning: options.pruning,
             spill_int8: options.spill_precision == SpillPrecision::Int8,
+            compute_int8: options.compute_precision == ComputePrecision::Int8,
         }
     }
 }
@@ -292,6 +295,13 @@ mod tests {
         assert_ne!(SelectionKey::from_options(&o), key(2, 1));
         let f32_spill = RequestOptions::tagged(2, 1).with_spill_precision(SpillPrecision::F32);
         assert_ne!(SelectionKey::from_options(&f32_spill), key(2, 1));
+        let int8_compute =
+            RequestOptions::tagged(2, 1).with_compute_precision(ComputePrecision::Int8);
+        assert_ne!(
+            SelectionKey::from_options(&int8_compute),
+            key(2, 1),
+            "int8-compute scores must not replay f32 memos"
+        );
     }
 
     #[test]

@@ -33,6 +33,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use prism_tensor::igemm::RowQuantBlock;
 use prism_tensor::{rowq, Tensor};
 use serde::Serialize;
 
@@ -337,6 +338,114 @@ impl SpillFile {
         Ok(Tensor::from_vec(rows, cols, data)?)
     }
 
+    /// Writes an already-encoded rowq block into `slot` — the int8
+    /// compute path's write-back, which skips the encode the f32
+    /// [`SpillFile::offload`] would redo. The slot is tagged
+    /// [`SpillPrecision::Int8`] regardless of the file's default
+    /// precision (the payload *is* the int8 wire format).
+    pub fn offload_block(&self, slot: usize, block: &RowQuantBlock) -> Result<u64> {
+        if slot >= self.slots {
+            return Err(self.bad_slot(slot));
+        }
+        let (rows, cols) = (block.rows(), block.cols());
+        if cols != self.cols || rows > self.max_rows {
+            return Err(StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!(
+                    "block {rows}x{cols} exceeds slot capacity {}x{}",
+                    self.max_rows, self.cols
+                ),
+            });
+        }
+        let enc = SpillPrecision::Int8;
+        let len = enc.encoded_bytes(rows, cols);
+        let start = Instant::now();
+        let mut bytes = Vec::with_capacity(len);
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(enc.tag());
+        bytes.extend_from_slice(&[0, 0]);
+        bytes.extend_from_slice(&(rows as u32).to_le_bytes());
+        bytes.extend_from_slice(&(cols as u32).to_le_bytes());
+        for &m in block.mins() {
+            bytes.extend_from_slice(&m.to_le_bytes());
+        }
+        for &s in block.scales() {
+            bytes.extend_from_slice(&s.to_le_bytes());
+        }
+        bytes.extend_from_slice(block.codes());
+        debug_assert_eq!(bytes.len(), len);
+        write_at(&self.file, (slot * self.slot_bytes) as u64, &bytes)?;
+        self.throttle.pace(start, bytes.len() as u64);
+        self.write_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.meta.lock().expect("spill meta lock")[slot] = Some(SlotMeta {
+            rows,
+            cols,
+            enc,
+            len,
+        });
+        Ok(len as u64)
+    }
+
+    /// Reads `slot` back as a rowq block *without* decoding to f32 —
+    /// the int8 compute path's fetch. An [`SpillPrecision::Int8`] slot
+    /// returns its payload verbatim (bit-exact round trip of
+    /// [`SpillFile::offload_block`]); an f32 slot is decoded and then
+    /// row-encoded, so mixed-precision files still serve block fetches.
+    pub fn fetch_block(&self, slot: usize) -> Result<RowQuantBlock> {
+        if slot >= self.slots {
+            return Err(self.bad_slot(slot));
+        }
+        let meta = self.meta.lock().expect("spill meta lock")[slot].ok_or_else(|| {
+            StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!("slot {slot} is empty"),
+            }
+        })?;
+        if meta.enc == SpillPrecision::F32 {
+            let tensor = self.fetch(slot)?;
+            return RowQuantBlock::encode(&tensor).map_err(|e| StorageError::SectionMismatch {
+                name: "spill".into(),
+                reason: format!("slot {slot}: re-encode: {e}"),
+            });
+        }
+        let start = Instant::now();
+        let mut bytes = vec![0_u8; meta.len];
+        read_at(&self.file, (slot * self.slot_bytes) as u64, &mut bytes)?;
+        self.throttle.pace(start, bytes.len() as u64);
+        self.read_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+
+        let corrupt = |reason: String| StorageError::SectionMismatch {
+            name: "spill".into(),
+            reason,
+        };
+        if bytes[0..4] != MAGIC || bytes[4] != VERSION {
+            return Err(corrupt(format!("slot {slot}: bad header")));
+        }
+        let enc = SpillPrecision::from_tag(bytes[5])
+            .ok_or_else(|| corrupt(format!("slot {slot}: unknown encoding {}", bytes[5])))?;
+        let rows = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let cols = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        if enc != meta.enc || rows != meta.rows || cols != meta.cols {
+            return Err(corrupt(format!("slot {slot}: header/metadata mismatch")));
+        }
+        let payload = &bytes[HEADER_BYTES..];
+        let read_f32 =
+            |b: &[u8], i: usize| f32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().expect("4"));
+        let (minb, rest) = payload.split_at(4 * rows);
+        let (scaleb, codes) = rest.split_at(4 * rows);
+        let mins = (0..rows).map(|r| read_f32(minb, r)).collect();
+        let scales = (0..rows).map(|r| read_f32(scaleb, r)).collect();
+        RowQuantBlock::from_parts(rows, cols, mins, scales, codes.to_vec())
+            .map_err(|e| corrupt(format!("slot {slot}: block parts: {e}")))
+    }
+
     /// Marks a slot empty (no I/O).
     pub fn release(&self, slot: usize) {
         if slot < self.slots {
@@ -429,6 +538,41 @@ mod tests {
         // >= 3.5x fewer bytes than the f32 encoding of the same tensor.
         let f32_bytes = SpillPrecision::F32.encoded_bytes(rows, cols) as u64;
         assert!(written * 7 <= f32_bytes * 2, "{written} vs {f32_bytes}");
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn block_offload_fetch_round_trip_is_bit_exact() {
+        let path = tmp("block");
+        let spill = SpillFile::create(&path, 2, 8, 32, SpillPrecision::Int8, Throttle::unlimited())
+            .unwrap();
+        let t = Tensor::from_fn(8, 32, |r, c| ((r * 13 + c * 5) as f32 * 0.23).cos());
+        let block = RowQuantBlock::encode(&t).unwrap();
+        let written = spill.offload_block(0, &block).unwrap();
+        assert_eq!(written, SpillPrecision::Int8.encoded_bytes(8, 32) as u64);
+        // The codes round-trip bit-exactly: no decode/re-encode drift.
+        let back = spill.fetch_block(0).unwrap();
+        assert_eq!(back, block);
+        // The same slot decodes through the tensor path too.
+        let decoded = spill.fetch(0).unwrap();
+        let mut expect = Tensor::zeros(0, 0);
+        block.decode_into(&mut expect).unwrap();
+        assert_eq!(decoded, expect);
+        // Oversized blocks are rejected like oversized tensors.
+        let big = RowQuantBlock::encode(&Tensor::zeros(9, 32)).unwrap();
+        assert!(spill.offload_block(0, &big).is_err());
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn block_fetch_of_f32_slot_re_encodes() {
+        let path = tmp("blockf32");
+        let spill =
+            SpillFile::create(&path, 1, 4, 16, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+        let t = Tensor::from_fn(4, 16, |r, c| ((r + c) as f32 * 0.31).sin());
+        spill.offload(0, &t).unwrap();
+        let block = spill.fetch_block(0).unwrap();
+        assert_eq!(block, RowQuantBlock::encode(&t).unwrap());
         spill.cleanup().unwrap();
     }
 

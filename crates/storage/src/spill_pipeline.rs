@@ -32,6 +32,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use prism_tensor::igemm::RowQuantBlock;
 use prism_tensor::Tensor;
 
 use crate::{Result, SpillFile, StorageError};
@@ -71,17 +72,62 @@ impl SpillStats {
     }
 }
 
+/// What travels through the lanes: decoded f32 hidden states (the
+/// historical payload) or rowq-encoded blocks (the int8 compute path,
+/// which keeps codes end-to-end — ~4x less memory alive in the lanes
+/// and no decode/encode on either side of the I/O).
+enum Payload {
+    F32(Tensor),
+    Int8(RowQuantBlock),
+}
+
+impl Payload {
+    fn size_bytes(&self) -> u64 {
+        match self {
+            Payload::F32(t) => t.size_bytes() as u64,
+            Payload::Int8(b) => b.size_bytes() as u64,
+        }
+    }
+
+    /// Coerces into a tensor, decoding an encoded block if needed.
+    fn into_tensor(self) -> Result<Tensor> {
+        match self {
+            Payload::F32(t) => Ok(t),
+            Payload::Int8(b) => {
+                let mut t = Tensor::zeros(0, 0);
+                b.decode_into(&mut t).map_err(tensor_err)?;
+                Ok(t)
+            }
+        }
+    }
+
+    /// Coerces into a block, encoding a decoded tensor if needed.
+    fn into_block(self) -> Result<RowQuantBlock> {
+        match self {
+            Payload::Int8(b) => Ok(b),
+            Payload::F32(t) => RowQuantBlock::encode(&t).map_err(tensor_err),
+        }
+    }
+}
+
+fn tensor_err(e: prism_tensor::TensorError) -> StorageError {
+    StorageError::SectionMismatch {
+        name: "spill-pipeline".into(),
+        reason: e.to_string(),
+    }
+}
+
 enum ReadJob {
-    Read { slot: usize },
+    Read { slot: usize, encoded: bool },
 }
 
 struct ReadDone {
     slot: usize,
-    tensor: Result<Tensor>,
+    payload: Result<Payload>,
 }
 
 enum WriteJob {
-    Write { slot: usize, tensor: Tensor },
+    Write { slot: usize, payload: Payload },
 }
 
 struct WriteDone {
@@ -157,9 +203,13 @@ impl SpillPipeline {
         let reader = std::thread::Builder::new()
             .name("prism-spill-rd".into())
             .spawn(move || {
-                while let Ok(ReadJob::Read { slot }) = read_job_rx.recv() {
-                    let tensor = reader_file.fetch(slot);
-                    if read_done_tx.send(ReadDone { slot, tensor }).is_err() {
+                while let Ok(ReadJob::Read { slot, encoded }) = read_job_rx.recv() {
+                    let payload = if encoded {
+                        reader_file.fetch_block(slot).map(Payload::Int8)
+                    } else {
+                        reader_file.fetch(slot).map(Payload::F32)
+                    };
+                    if read_done_tx.send(ReadDone { slot, payload }).is_err() {
                         break;
                     }
                 }
@@ -170,8 +220,11 @@ impl SpillPipeline {
         let writer = std::thread::Builder::new()
             .name("prism-spill-wr".into())
             .spawn(move || {
-                while let Ok(WriteJob::Write { slot, tensor }) = write_job_rx.recv() {
-                    let result = writer_file.offload(slot, &tensor);
+                while let Ok(WriteJob::Write { slot, payload }) = write_job_rx.recv() {
+                    let result = match &payload {
+                        Payload::F32(t) => writer_file.offload(slot, t),
+                        Payload::Int8(b) => writer_file.offload_block(slot, b),
+                    };
                     if write_done_tx.send(WriteDone { slot, result }).is_err() {
                         break;
                     }
@@ -291,6 +344,17 @@ impl SpillPipeline {
     /// Schedules a background read of `slot` (no-op in synchronous mode;
     /// the later [`SpillPipeline::fetch`] does the work inline).
     pub fn prefetch(&mut self, slot: usize) -> Result<()> {
+        self.prefetch_as(slot, false)
+    }
+
+    /// Schedules a background *encoded* read of `slot`: the reader lane
+    /// returns the rowq block verbatim, never materializing f32 — the
+    /// int8 compute path's read-ahead.
+    pub fn prefetch_block(&mut self, slot: usize) -> Result<()> {
+        self.prefetch_as(slot, true)
+    }
+
+    fn prefetch_as(&mut self, slot: usize, encoded: bool) -> Result<()> {
         if self.lanes.is_none() {
             return Ok(());
         }
@@ -304,26 +368,15 @@ impl SpillPipeline {
             .read_tx
             .as_ref()
             .expect("reader lane open")
-            .send(ReadJob::Read { slot })
+            .send(ReadJob::Read { slot, encoded })
             .map_err(|_| StorageError::StreamerGone)?;
         lanes.pending_reads.push_back(slot);
         Ok(())
     }
 
-    /// Returns the tensor stored in `slot`, waiting for (or issuing) its
-    /// read. Also the point where a prior background write error
-    /// surfaces.
-    pub fn fetch(&mut self, slot: usize) -> Result<Tensor> {
-        if self.lanes.is_none() {
-            let wait = Instant::now();
-            let out = self.file().fetch(slot);
-            self.wait_micros += wait.elapsed().as_micros() as u64;
-            if out.is_ok() {
-                self.reads += 1;
-            }
-            return out;
-        }
-        self.prefetch(slot)?;
+    /// Blocks until the read of `slot` completes, issuing it if absent.
+    fn await_read(&mut self, slot: usize, encoded: bool) -> Result<Payload> {
+        self.prefetch_as(slot, encoded)?;
         if let Some(e) = self.sticky_error() {
             return Err(e);
         }
@@ -346,19 +399,66 @@ impl SpillPipeline {
             lanes.parked_reads.push(done);
         };
         self.wait_micros += wait.elapsed().as_micros() as u64;
-        if done.tensor.is_ok() {
+        if done.payload.is_ok() {
             self.reads += 1;
         }
-        done.tensor
+        done.payload
+    }
+
+    /// Returns the tensor stored in `slot`, waiting for (or issuing) its
+    /// read. Also the point where a prior background write error
+    /// surfaces.
+    pub fn fetch(&mut self, slot: usize) -> Result<Tensor> {
+        if self.lanes.is_none() {
+            let wait = Instant::now();
+            let out = self.file().fetch(slot);
+            self.wait_micros += wait.elapsed().as_micros() as u64;
+            if out.is_ok() {
+                self.reads += 1;
+            }
+            return out;
+        }
+        // A prefetch that raced in as encoded is decoded here — the
+        // payload kinds convert losslessly in this direction.
+        self.await_read(slot, false)?.into_tensor()
+    }
+
+    /// Returns the rowq block stored in `slot` without decoding to f32
+    /// (an f32-encoded slot is row-encoded on the reader lane).
+    pub fn fetch_block(&mut self, slot: usize) -> Result<RowQuantBlock> {
+        if self.lanes.is_none() {
+            let wait = Instant::now();
+            let out = self.file().fetch_block(slot);
+            self.wait_micros += wait.elapsed().as_micros() as u64;
+            if out.is_ok() {
+                self.reads += 1;
+            }
+            return out;
+        }
+        self.await_read(slot, true)?.into_block()
     }
 
     /// Writes `tensor` back into `slot` — queued on the writer lane when
     /// overlapped, inline otherwise.
     pub fn write_back(&mut self, slot: usize, tensor: Tensor) -> Result<()> {
+        self.write_back_payload(slot, Payload::F32(tensor))
+    }
+
+    /// Writes an already-encoded rowq block back into `slot`, skipping
+    /// the encode the f32 write-back performs; the lane holds the ~4x
+    /// smaller codes instead of an f32 tensor until the write lands.
+    pub fn write_back_block(&mut self, slot: usize, block: RowQuantBlock) -> Result<()> {
+        self.write_back_payload(slot, Payload::Int8(block))
+    }
+
+    fn write_back_payload(&mut self, slot: usize, payload: Payload) -> Result<()> {
         match self.lanes.as_mut() {
             None => {
                 let wait = Instant::now();
-                let out = self.file().offload(slot, &tensor).map(|_| ());
+                let out = match &payload {
+                    Payload::F32(t) => self.file().offload(slot, t).map(|_| ()),
+                    Payload::Int8(b) => self.file().offload_block(slot, b).map(|_| ()),
+                };
                 self.wait_micros += wait.elapsed().as_micros() as u64;
                 if out.is_ok() {
                     self.writes += 1;
@@ -369,13 +469,13 @@ impl SpillPipeline {
                 // A read issued before this write would observe stale
                 // data; drop it so only post-write fetches resolve.
                 self.discard_reads_to(slot)?;
-                let bytes = tensor.size_bytes() as u64;
+                let bytes = payload.size_bytes();
                 let lanes = self.lanes.as_mut().expect("overlapped lanes");
                 lanes
                     .write_tx
                     .as_ref()
                     .expect("writer lane open")
-                    .send(WriteJob::Write { slot, tensor })
+                    .send(WriteJob::Write { slot, payload })
                     .map_err(|_| StorageError::StreamerGone)?;
                 lanes.pending_writes.push_back((slot, bytes));
                 self.writes += 1;
@@ -406,7 +506,7 @@ impl SpillPipeline {
                     lanes.pending_reads.remove(pos);
                 }
                 let _ = slot;
-                if let Err(e) = done.tensor {
+                if let Err(e) = done.payload {
                     self.sticky
                         .get_or_insert_with(|| format!("prefetch of slot {}: {e}", done.slot));
                 }
@@ -455,7 +555,7 @@ impl SpillPipeline {
         let parked: u64 = lanes
             .parked_reads
             .iter()
-            .filter_map(|r| r.tensor.as_ref().ok().map(|t| t.size_bytes() as u64))
+            .filter_map(|r| r.payload.as_ref().ok().map(Payload::size_bytes))
             .sum();
         writes + parked
     }
@@ -561,6 +661,63 @@ mod tests {
             over.cleanup().unwrap();
             assert!(!p_sync.exists() && !p_over.exists());
         }
+    }
+
+    #[test]
+    fn block_path_round_trips_without_f32_materialization() {
+        for overlapped in [false, true] {
+            let (f, path) = file("blockpipe", SpillPrecision::Int8, Throttle::unlimited());
+            let mut pipe = if overlapped {
+                SpillPipeline::overlapped(f).unwrap()
+            } else {
+                SpillPipeline::synchronous(f)
+            };
+            let blocks: Vec<RowQuantBlock> = (0..4)
+                .map(|s| RowQuantBlock::encode(&tensor(s)).unwrap())
+                .collect();
+            for (slot, b) in blocks.iter().enumerate() {
+                pipe.write_back_block(slot, b.clone()).unwrap();
+            }
+            pipe.prefetch_block(0).unwrap();
+            for (slot, b) in blocks.iter().enumerate() {
+                if slot + 1 < blocks.len() {
+                    pipe.prefetch_block(slot + 1).unwrap();
+                }
+                // Codes written == codes read: bit-exact, no decode hop.
+                assert_eq!(&pipe.fetch_block(slot).unwrap(), b, "slot {slot}");
+            }
+            // Mixed access still works: a tensor fetch of a block slot
+            // decodes, matching the block's own decode.
+            let t = pipe.fetch(2).unwrap();
+            let mut expect = Tensor::zeros(0, 0);
+            blocks[2].decode_into(&mut expect).unwrap();
+            assert_eq!(t, expect);
+            pipe.drain().unwrap();
+            pipe.cleanup().unwrap();
+            assert!(!path.exists());
+        }
+    }
+
+    #[test]
+    fn block_write_back_holds_fewer_bytes_than_f32() {
+        let (f, path) = file(
+            "blockheld",
+            SpillPrecision::Int8,
+            Throttle::bandwidth(1 << 20),
+        );
+        let mut pipe = SpillPipeline::overlapped(f).unwrap();
+        let t = tensor(3);
+        let block = RowQuantBlock::encode(&t).unwrap();
+        let block_bytes = block.size_bytes() as u64;
+        pipe.write_back_block(0, block).unwrap();
+        let held = pipe.held_bytes();
+        assert!(held <= block_bytes, "held {held} > block {block_bytes}");
+        // 16-col rows make the per-row affine overhead visible; even so
+        // the codes stay well under half the f32 footprint.
+        assert!(block_bytes * 2 < t.size_bytes() as u64);
+        pipe.drain().unwrap();
+        pipe.cleanup().unwrap();
+        assert!(!path.exists());
     }
 
     #[test]

@@ -12,19 +12,24 @@
 //!   the W4A16 setup the paper uses for its `HF Quant` / `PRISM Quant`
 //!   baselines,
 //! * per-row affine 8-bit activation quantization ([`rowq`]) backing the
-//!   compressed hidden-state spill format.
+//!   compressed hidden-state spill format,
+//! * integer GEMM micro-kernels ([`igemm`]) that multiply rowq-encoded
+//!   activations against per-row symmetric i8 weights entirely in i32
+//!   accumulators — the compute half of the int8 path.
 //!
 //! The only `unsafe` in this crate is the runtime-dispatched
 //! `#[target_feature]` SIMD kernels (AVX2 / AVX-512), each guarded by a
 //! feature check at the dispatch site.
 
 pub mod error;
+pub mod igemm;
 pub mod ops;
 pub mod quant;
 pub mod rowq;
 pub mod tensor;
 
 pub use error::TensorError;
+pub use igemm::{Int8Matrix, RowQuantBlock};
 pub use quant::QuantMatrix;
 pub use tensor::Tensor;
 

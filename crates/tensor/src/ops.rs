@@ -43,6 +43,11 @@ pub enum SimdTier {
     Avx2,
     /// AVX-512F (512-bit lanes) on top of AVX2 + FMA.
     Avx512,
+    /// AVX-512 VNNI (`vpdpbusd` u8 x i8 dot-product accumulation) on top
+    /// of AVX-512F/BW. Only the integer GEMM path (`igemm`) uses the
+    /// extra instructions; f32 kernels treat this tier as
+    /// [`SimdTier::Avx512`].
+    Avx512Vnni,
 }
 
 /// Widest tier the running CPU supports.
@@ -52,6 +57,11 @@ pub fn detected_simd_tier() -> SimdTier {
         let fma = std::arch::is_x86_feature_detected!("avx2")
             && std::arch::is_x86_feature_detected!("fma");
         if fma && std::arch::is_x86_feature_detected!("avx512f") {
+            if std::arch::is_x86_feature_detected!("avx512bw")
+                && std::arch::is_x86_feature_detected!("avx512vnni")
+            {
+                return SimdTier::Avx512Vnni;
+            }
             return SimdTier::Avx512;
         }
         if fma {
@@ -77,6 +87,7 @@ pub fn force_simd_tier(tier: Option<SimdTier>) {
         Some(SimdTier::Scalar) => 1,
         Some(SimdTier::Avx2) => 2,
         Some(SimdTier::Avx512) => 3,
+        Some(SimdTier::Avx512Vnni) => 4,
     };
     TIER_OVERRIDE.store(v, std::sync::atomic::Ordering::Relaxed);
 }
@@ -89,6 +100,7 @@ pub fn simd_tier() -> SimdTier {
         1 => SimdTier::Scalar,
         2 => SimdTier::Avx2.min(detected),
         3 => SimdTier::Avx512.min(detected),
+        4 => SimdTier::Avx512Vnni.min(detected),
         _ => detected,
     }
 }
@@ -153,7 +165,7 @@ pub(crate) fn gemm_tiled<F>(
                     // features; slice bounds are identical to the scalar
                     // path.
                     unsafe {
-                        if tier == SimdTier::Avx512 {
+                        if tier >= SimdTier::Avx512 {
                             x86::kernel_4_avx512(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
                         } else {
                             x86::kernel_4_fma(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
@@ -175,7 +187,7 @@ pub(crate) fn gemm_tiled<F>(
                 if tier >= SimdTier::Avx2 {
                     // SAFETY: as above.
                     unsafe {
-                        if tier == SimdTier::Avx512 {
+                        if tier >= SimdTier::Avx512 {
                             x86::kernel_1_avx512(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
                         } else {
                             x86::kernel_1_fma(a, lda, &panel, c, ldc, i, p0, kc, j0, jn);
@@ -1461,10 +1473,27 @@ mod tests {
     fn simd_tiers_dispatch_and_agree() {
         let detected = detected_simd_tier();
         // The override can never exceed the hardware.
-        force_simd_tier(Some(SimdTier::Avx512));
+        force_simd_tier(Some(SimdTier::Avx512Vnni));
         assert!(simd_tier() <= detected);
         force_simd_tier(None);
         assert_eq!(simd_tier(), detected);
+
+        // Every tier at or below the detected one must round-trip
+        // through `force_simd_tier` unclamped.
+        for tier in [
+            SimdTier::Scalar,
+            SimdTier::Avx2,
+            SimdTier::Avx512,
+            SimdTier::Avx512Vnni,
+        ] {
+            force_simd_tier(Some(tier));
+            if tier <= detected {
+                assert_eq!(simd_tier(), tier, "{tier:?} must be selectable");
+            } else {
+                assert_eq!(simd_tier(), detected, "{tier:?} must clamp to detected");
+            }
+        }
+        force_simd_tier(None);
 
         // Shapes straddling the 4-row block, KC/NB panels and the
         // 16/8/scalar column tiers.
@@ -1480,13 +1509,23 @@ mod tests {
         if detected >= SimdTier::Avx2 {
             let avx2 = run(SimdTier::Avx2);
             assert!(scalar.max_abs_diff(&avx2).unwrap() < 1e-4);
-            if detected == SimdTier::Avx512 {
+            let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
+            if detected >= SimdTier::Avx512 {
                 let avx512 = run(SimdTier::Avx512);
-                let bits = |t: &Tensor| t.data().iter().map(|x| x.to_bits()).collect::<Vec<u32>>();
                 assert_eq!(
                     bits(&avx2),
                     bits(&avx512),
                     "AVX-512 tier must be bit-identical to the AVX2 tier"
+                );
+            }
+            if detected >= SimdTier::Avx512Vnni {
+                // f32 kernels have no VNNI specialization: the widest
+                // tier must route onto the AVX-512 kernels bit-for-bit.
+                let vnni = run(SimdTier::Avx512Vnni);
+                assert_eq!(
+                    bits(&avx2),
+                    bits(&vnni),
+                    "VNNI tier must reuse the AVX-512 f32 kernels"
                 );
             }
         }

@@ -132,7 +132,7 @@ pub fn encode_row(row: &[f32], out: &mut [u8]) -> Result<(f32, f32)> {
     #[cfg(target_arch = "x86_64")]
     {
         let tier = simd_tier();
-        if tier == SimdTier::Avx512 && std::arch::is_x86_feature_detected!("avx512bw") {
+        if tier >= SimdTier::Avx512 && std::arch::is_x86_feature_detected!("avx512bw") {
             // SAFETY: features runtime-verified just above.
             return Ok(unsafe { x86::encode_avx512(row, out) });
         }
@@ -157,7 +157,7 @@ pub fn decode_row(codes: &[u8], min: f32, scale: f32, out: &mut [f32]) -> Result
     #[cfg(target_arch = "x86_64")]
     {
         let tier = simd_tier();
-        if tier == SimdTier::Avx512 && std::arch::is_x86_feature_detected!("avx512bw") {
+        if tier >= SimdTier::Avx512 && std::arch::is_x86_feature_detected!("avx512bw") {
             // SAFETY: features runtime-verified just above.
             unsafe { x86::decode_avx512(codes, min, scale, out) };
             return Ok(());
@@ -253,6 +253,9 @@ mod tests {
         }
         if detected >= SimdTier::Avx512 {
             assert_eq!(scalar, run(SimdTier::Avx512));
+        }
+        if detected >= SimdTier::Avx512Vnni {
+            assert_eq!(scalar, run(SimdTier::Avx512Vnni));
         }
     }
 }

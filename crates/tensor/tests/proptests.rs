@@ -1,6 +1,7 @@
 //! Property-based tests for tensor kernels and quantization invariants.
 
-use prism_tensor::{ops, QuantMatrix, Tensor};
+use prism_tensor::igemm::{Int8Matrix, RowQuantBlock};
+use prism_tensor::{ops, rowq, QuantMatrix, Tensor};
 use proptest::prelude::*;
 
 fn tensor_strategy(max_rows: usize, max_cols: usize) -> impl Strategy<Value = Tensor> {
@@ -170,6 +171,75 @@ proptest! {
         prop_assert!(
             fused.max_abs_diff(&dense).unwrap() < 1e-5,
             "fused quant matmul {m}x{k}x{n} diverged from dequantized reference"
+        );
+    }
+
+    #[test]
+    fn rowq_scalar_and_simd_tiers_agree_on_awkward_lengths(
+        // Lengths deliberately straddle every vector width in play:
+        // 0 and 1 (pure tail), non-multiples of 16/32/64, and a span
+        // past the widest 64-byte VNNI stride.
+        n in 0_usize..=130,
+        seed in 0_u32..1000,
+    ) {
+        let row: Vec<f32> = (0..n)
+            .map(|i| ((i as f32 + seed as f32) * 0.37).sin() * 4.0 - 0.9)
+            .collect();
+        let detected = ops::detected_simd_tier();
+        let run = |tier| {
+            ops::force_simd_tier(Some(tier));
+            let mut codes = vec![0_u8; n];
+            let (min, scale) = rowq::encode_row(&row, &mut codes).unwrap();
+            let mut back = vec![0.0_f32; n];
+            rowq::decode_row(&codes, min, scale, &mut back).unwrap();
+            ops::force_simd_tier(None);
+            let bits: Vec<u32> = back.iter().map(|v| v.to_bits()).collect();
+            (codes, min.to_bits(), scale.to_bits(), bits)
+        };
+        let scalar = run(ops::SimdTier::Scalar);
+        for tier in [
+            ops::SimdTier::Avx2,
+            ops::SimdTier::Avx512,
+            ops::SimdTier::Avx512Vnni,
+        ] {
+            if detected >= tier {
+                prop_assert_eq!(
+                    &scalar,
+                    &run(tier),
+                    "rowq codec diverged between scalar and {:?} at len {}",
+                    tier,
+                    n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gemm_matches_dequantized_reference(
+        m in 1_usize..=9,
+        k in 1_usize..=130,
+        n in 1_usize..=70,
+        seed in 0_u32..1000,
+    ) {
+        let x = Tensor::from_fn(m, k, |r, c| {
+            (((r * 31 + c * 17 + seed as usize) % 23) as f32) * 0.17 - 1.8
+        });
+        let w = Tensor::from_fn(n, k, |r, c| {
+            (((r * 29 + c * 11 + seed as usize) % 17) as f32) * 0.13 - 1.0
+        });
+        let block = RowQuantBlock::encode(&x).unwrap();
+        let wq = Int8Matrix::quantize(&w).unwrap();
+        // The integer path computes the exact product of the quantized
+        // operands: compare against dense f32 GEMM over the *decoded*
+        // block and *dequantized* weights (quantization error cancels).
+        let got = block.matmul_int8(&wq).unwrap();
+        let mut decoded = Tensor::zeros(0, 0);
+        block.decode_into(&mut decoded).unwrap();
+        let want = ops::matmul_transb(&decoded, &wq.dequantize()).unwrap();
+        let tol = 2e-5 * k as f32 + 1e-4;
+        prop_assert!(
+            got.max_abs_diff(&want).unwrap() < tol,
+            "int8 GEMM {m}x{k}x{n} diverged from dequantized reference"
         );
     }
 }
