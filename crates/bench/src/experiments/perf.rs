@@ -14,7 +14,9 @@ use prism_core::{ComputePrecision, EngineOptions, PrismEngine, RequestOptions, S
 use prism_metrics::MemoryMeter;
 use prism_model::layer::{forward_layer, ForwardScratch};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
-use prism_serve::{run_closed_loop, ClassReport, LoadReport, LoadSpec, PrismServer, ServeConfig};
+use prism_serve::{
+    run_closed_loop, ClassReport, LoadReport, LoadSpec, PrismServer, ServeConfig, ServeRequest,
+};
 use prism_storage::Container;
 use prism_tensor::{igemm, ops, rowq, QuantMatrix, Tensor};
 use prism_workload::WorkloadGenerator;
@@ -61,6 +63,7 @@ struct KernelsFile {
     offload: OffloadSection,
     serving: ServingSection,
     scheduling: SchedulingSection,
+    sharded: ShardedSection,
     int8: Int8Section,
 }
 
@@ -232,6 +235,57 @@ pub struct SchedulingSection {
     /// `priority.throughput / fifo.throughput` — must stay within 10%
     /// of 1.0 (priority reorders work, it must not shed throughput).
     pub throughput_ratio: f64,
+}
+
+/// One serving configuration of the `sharded` section.
+#[derive(Debug, Serialize)]
+pub struct ShardedConfigResult {
+    /// Configuration label.
+    pub label: String,
+    /// Engine shards behind the forward map (1 = unsharded).
+    pub shards: usize,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Median latency, microseconds.
+    pub p50_us: u64,
+    /// 95th-percentile latency, microseconds.
+    pub p95_us: u64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: u64,
+    /// `single.throughput / this.throughput` — what colocated
+    /// scatter-gather costs relative to the single resident engine.
+    pub overhead_ratio: f64,
+}
+
+/// The scatter-gather acceptance measurement: closed-loop serving
+/// through `PrismServer::start_sharded` (candidates partitioned across
+/// resident engine shards behind the consistent-hash forward map)
+/// against the single resident engine. On a one-host runner the shards
+/// *serialize*, so the honest gates are exact parity (every sharded
+/// selection bit-identical to the single engine) and bounded
+/// coordination overhead ([`SHARDED_GUARD_MAX`]) — not speedup.
+#[derive(Debug, Serialize)]
+pub struct ShardedSection {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// Requests per configuration run.
+    pub requests: usize,
+    /// Candidates per request.
+    pub candidates: usize,
+    /// Top-K per request.
+    pub k: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Whether every sharded selection matched the single-engine
+    /// reference bit for bit (ids, score bits, decision layers).
+    pub parity: bool,
+    /// Worst `overhead_ratio` across the sharded configurations (the
+    /// guarded number).
+    pub worst_overhead_ratio: f64,
+    /// The single resident engine reference.
+    pub single: ShardedConfigResult,
+    /// Colocated scatter-gather runs at each measured shard count.
+    pub sharded: Vec<ShardedConfigResult>,
 }
 
 /// One int8-vs-f32 compute comparison of the `int8` section.
@@ -956,6 +1010,121 @@ pub(crate) fn scheduling_bench_measured(fast: bool) -> MeasuredScheduling {
     }
 }
 
+/// Measures the scatter-gather comparison for the `sharded` section:
+/// the same closed-loop workload through the single resident engine and
+/// through colocated 2- and 3-shard servers, with a bit-exact parity
+/// probe before each throughput run.
+fn sharded_bench(fast: bool) -> ShardedSection {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-perf-shard-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    let engine = || {
+        PrismEngine::new(
+            Container::open(&path).expect("open"),
+            config.clone(),
+            resident_pruned_options(),
+            MemoryMeter::new(),
+        )
+        .expect("engine")
+    };
+    let spec = LoadSpec {
+        requests: if fast { 16 } else { 48 },
+        clients: 4,
+        candidates: 12,
+        k: 4,
+        ..Default::default()
+    };
+    let serve_config = ServeConfig {
+        workers: 1,
+        max_batch_requests: 8,
+        session_cache_capacity: 0,
+        ..Default::default()
+    };
+    let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+    // Exact bit pattern of a fixed tagged request set: ids, score bits
+    // and decision layers (plus the last-layer score bits), the same
+    // witness the conformance suite compares.
+    let parity_bits = |server: &PrismServer| -> Vec<(usize, u32, usize)> {
+        let mut out = Vec::new();
+        for i in 0..6_u64 {
+            let request = generator.request(i, spec.candidates);
+            let batch = SequenceBatch::new(&request.sequences()).expect("parity batch");
+            let outcome = server
+                .submit(ServeRequest {
+                    session: format!("parity-{i}"),
+                    batch,
+                    options: RequestOptions::tagged(spec.k, i + 1),
+                })
+                .expect("parity submit")
+                .wait()
+                .expect("parity wait");
+            for r in &outcome.selection.ranked {
+                out.push((r.id, r.score.to_bits(), r.decided_at_layer));
+            }
+            for &s in &outcome.selection.last_scores {
+                out.push((usize::MAX, s.to_bits(), 0));
+            }
+        }
+        out
+    };
+
+    let server = PrismServer::start(engine(), serve_config.clone()).expect("server");
+    let reference = parity_bits(&server);
+    let single_report = run_closed_loop(&server, &spec);
+    server.shutdown();
+
+    let mut parity = true;
+    let mut sharded = Vec::new();
+    for shards in [2_usize, 3] {
+        let engines = (0..shards).map(|_| engine()).collect();
+        let server =
+            PrismServer::start_sharded(engines, serve_config.clone()).expect("sharded server");
+        parity &= parity_bits(&server) == reference;
+        let report = run_closed_loop(&server, &spec);
+        server.shutdown();
+        let overhead_ratio = if report.throughput_rps > 0.0 {
+            single_report.throughput_rps / report.throughput_rps
+        } else {
+            // A stalled run must fail the guard, but stay serializable.
+            1e9
+        };
+        sharded.push(ShardedConfigResult {
+            label: format!("colocated_{shards}shard"),
+            shards,
+            throughput_rps: report.throughput_rps,
+            p50_us: report.p50_us,
+            p95_us: report.p95_us,
+            p99_us: report.p99_us,
+            overhead_ratio,
+        });
+    }
+    std::fs::remove_file(&path).ok();
+
+    let worst_overhead_ratio = sharded.iter().map(|r| r.overhead_ratio).fold(0.0, f64::max);
+    ShardedSection {
+        mode: if fast { "fast" } else { "full" }.into(),
+        requests: spec.requests,
+        candidates: spec.candidates,
+        k: spec.k,
+        clients: spec.clients,
+        parity,
+        worst_overhead_ratio,
+        single: ShardedConfigResult {
+            label: "single_engine".into(),
+            shards: 1,
+            throughput_rps: single_report.throughput_rps,
+            p50_us: single_report.p50_us,
+            p95_us: single_report.p95_us,
+            p99_us: single_report.p99_us,
+            overhead_ratio: 1.0,
+        },
+        sharded,
+    }
+}
+
 /// Extracts `(name, median_ns)` pairs from one named section of a
 /// previously written `BENCH_kernels.json` (the serde shim has no
 /// deserializer, so this is a purpose-built scanner for our own output).
@@ -1117,6 +1286,26 @@ pub fn parse_int8_parity(text: &str) -> Option<bool> {
     Some(text[pos + 14..].trim_start().starts_with("true"))
 }
 
+/// Reads the `parity` flag of the `sharded` section, if one exists.
+pub fn parse_sharded_parity(text: &str) -> Option<bool> {
+    let start = text.find("\"sharded\": {")?;
+    let pos = start + text[start..].find("\"parity\":")?;
+    Some(text[pos + 9..].trim_start().starts_with("true"))
+}
+
+/// Reads the worst colocated overhead ratio of the `sharded` section.
+pub fn parse_sharded_overhead(text: &str) -> Option<f64> {
+    let start = text.find("\"sharded\": {")?;
+    let pos = start + text[start..].find("\"worst_overhead_ratio\":")?;
+    text[pos + 23..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
 /// Floor the offload-regime scales are held to: the documented >= 3x
 /// acceptance gate minus the same 10% bench-noise allowance the kernel
 /// entries get.
@@ -1125,6 +1314,11 @@ pub const OFFLOAD_GUARD_MIN: f64 = 2.7;
 /// Floor the int8 kernel and layer-forward rows are held to: the
 /// documented >= 2x acceptance gate minus the 10% noise allowance.
 pub const INT8_GUARD_MIN: f64 = 1.8;
+
+/// Ceiling the colocated scatter-gather overhead is held to: shards on
+/// a one-host runner serialize, so sharding must cost bounded
+/// coordination overhead, not multiples of the single-engine run.
+pub const SHARDED_GUARD_MAX: f64 = 5.0;
 
 /// The CI bench-regression guard: reads `BENCH_kernels.json` and fails
 /// when any top-level `speedup` entry sits below `min` (1.0 minus a
@@ -1174,6 +1368,23 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
     if parse_int8_parity(&text) == Some(false) {
         bad.push("int8: top-k ids diverge between f32 and int8 compute".into());
     }
+    // The scatter-gather gates: sharded selections must stay
+    // bit-identical to the single engine, and colocated coordination
+    // overhead must stay bounded.
+    match parse_sharded_parity(&text) {
+        None => return Err(format!("{KERNELS_FILE} has no sharded section")),
+        Some(false) => {
+            bad.push("sharded: scatter-gather selections diverge from the single engine".into());
+        }
+        Some(true) => {}
+    }
+    if let Some(w) = parse_sharded_overhead(&text) {
+        if w > SHARDED_GUARD_MAX {
+            bad.push(format!(
+                "sharded: colocated overhead {w:.3}x > {SHARDED_GUARD_MAX:.2}x ceiling"
+            ));
+        }
+    }
     // The metasim validation gate: when `repro sim-validate` has written
     // its section, an out-of-tolerance prediction fails the guard too.
     let metasim = super::simval::parse_metasim_validated(&text);
@@ -1188,7 +1399,8 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
         Ok(format!(
             "perf guard ok: {} speedup entries >= {min:.2}x, {} offload scales >= \
              {OFFLOAD_GUARD_MIN:.2}x, {} int8 rows gated >= {INT8_GUARD_MIN:.2}x with \
-             top-k parity, metasim {}",
+             top-k parity, sharded parity with overhead <= {SHARDED_GUARD_MAX:.2}x, \
+             metasim {}",
             speedups.len(),
             offload.len(),
             int8.iter()
@@ -1297,6 +1509,19 @@ pub fn perf(fast: bool) {
         ));
     }
 
+    let sharded = sharded_bench(fast);
+    report.blank();
+    report.line(&format!(
+        "sharded scatter-gather (colocated resident shards, parity: {}):",
+        if sharded.parity { "exact" } else { "DIVERGED" }
+    ));
+    for r in std::iter::once(&sharded.single).chain(&sharded.sharded) {
+        report.line(&format!(
+            "{:<22} {} shard(s) {:>8.1} req/s  p50 {:>7} us  p99 {:>7} us  overhead {:>5.2}x",
+            r.label, r.shards, r.throughput_rps, r.p50_us, r.p99_us, r.overhead_ratio
+        ));
+    }
+
     let scheduling = scheduling_bench(fast);
     report.blank();
     report.line(&format!(
@@ -1364,6 +1589,7 @@ pub fn perf(fast: bool) {
         offload,
         serving,
         scheduling,
+        sharded,
         int8,
         baseline: PerfSnapshot {
             mode: "frozen".into(),
@@ -1432,6 +1658,32 @@ mod tests {
                 row("gemm/transb_1024x256x256", 2.5),
                 row("model/forward_layer_h256_640tok", 2.1),
                 row("engine/select_offload_test12", 1.1),
+            ],
+        }
+    }
+
+    fn dummy_sharded(parity: bool, worst: f64) -> ShardedSection {
+        let cfg = |label: &str, shards: usize, overhead: f64| ShardedConfigResult {
+            label: label.into(),
+            shards,
+            throughput_rps: 10.0 / overhead,
+            p50_us: 1,
+            p95_us: 1,
+            p99_us: 1,
+            overhead_ratio: overhead,
+        };
+        ShardedSection {
+            mode: "fast".into(),
+            requests: 16,
+            candidates: 12,
+            k: 4,
+            clients: 4,
+            parity,
+            worst_overhead_ratio: worst,
+            single: cfg("single_engine", 1, 1.0),
+            sharded: vec![
+                cfg("colocated_2shard", 2, worst * 0.8),
+                cfg("colocated_3shard", 3, worst),
             ],
         }
     }
@@ -1520,6 +1772,7 @@ mod tests {
                 high_p99_improvement: 1.0,
                 throughput_ratio: 1.0,
             },
+            sharded: dummy_sharded(true, 1.4),
             int8: dummy_int8(true),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
@@ -1540,10 +1793,24 @@ mod tests {
             ]
         );
         assert_eq!(parse_int8_parity(&text), Some(true));
+        assert_eq!(parse_sharded_parity(&text), Some(true));
+        let worst = parse_sharded_overhead(&text).unwrap();
+        assert!((worst - 1.4).abs() < 1e-9, "{worst}");
         assert!(parse_speedup_entries("").is_empty());
         assert!(parse_offload_speedups("{}").is_empty());
         assert!(parse_int8_rows("{}").is_empty());
         assert_eq!(parse_int8_parity(""), None);
+        assert_eq!(parse_sharded_parity("{}"), None);
+        assert_eq!(parse_sharded_overhead(""), None);
+    }
+
+    #[test]
+    fn sharded_parity_flag_round_trips_false() {
+        let text = serde_json::to_string_pretty(&dummy_sharded(false, 7.5)).unwrap();
+        let wrapped = format!("{{\n  \"sharded\": {text}\n}}");
+        assert_eq!(parse_sharded_parity(&wrapped), Some(false));
+        let worst = parse_sharded_overhead(&wrapped).unwrap();
+        assert!(worst > SHARDED_GUARD_MAX, "{worst}");
     }
 
     #[test]
@@ -1612,6 +1879,7 @@ mod tests {
                 high_p99_improvement: 1.0,
                 throughput_ratio: 1.0,
             },
+            sharded: dummy_sharded(true, 1.4),
             int8: dummy_int8(true),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();

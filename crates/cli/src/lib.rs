@@ -23,6 +23,7 @@
 //!           [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
 //!           [--cache-sessions N] [--throttle BYTES_PER_S]
 //!           [--offload on|off] [--spill int8|f32] [--compute f32|int8]
+//!           [--shards N] [--tenant-quota N] [--listen ADDR]
 //!           [--requests N] [--clients N] [--candidates N] [--k N]
 //!           [--sessions N] [--repeat N] [--dataset wikipedia]
 //!           [--starvation-ms N] [--priority high|normal|bulk] [--deadline-ms N]
@@ -34,7 +35,23 @@
 //!     `--priority` sets the scheduling class of the generated load,
 //!     `--deadline-ms` attaches a per-request deadline, and
 //!     `--high-frac` promotes that fraction of the stream to High
-//!     priority (per-class percentiles are reported).
+//!     priority (per-class percentiles are reported). `--shards N`
+//!     partitions each request's candidates across N engine shards
+//!     behind the consistent-hash forward map (weights pinned resident,
+//!     so `--throttle` does not apply); `--tenant-quota N` caps in-flight
+//!     requests per tenant session; `--listen ADDR` additionally binds
+//!     the length-prefixed TCP wire front-end on ADDR (port 0 picks a
+//!     free port) and drives the same closed loop through out-of-process
+//!     wire clients instead of in-process submission.
+//!
+//! prsm connect <addr> --model <name> [--scale mini|test]
+//!             [--requests N] [--clients N] [--candidates N] [--k N]
+//!             [--dataset wikipedia] [--seed N]
+//!             [--spill int8|f32] [--compute f32|int8]
+//!     Out-of-process client: connect to a running `prsm serve --listen`
+//!     endpoint, ping it, drive the synthetic workload through wire
+//!     clients, and print latency percentiles. `--model`/`--scale` must
+//!     match the served container (they shape the generated workload).
 //!
 //! prsm bench-serve <container.prsm> --model <name> [--scale mini|test]
 //!                 [--requests N] [--clients N] [--candidates N] [--k N]
@@ -56,6 +73,7 @@
 //!                    [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
 //!                    [--cache-sessions N] [--starvation-ms N]
 //!                    [--fixed-us F] [--per-request-us F] [--per-token-us F]
+//!                    [--shards N] [--parallel-shards on|off]
 //!                    [--tune on]
 //!     Deterministic discrete-event simulation of the serving stack: the
 //!     real batch planner and session-cache model driven at virtual time,
@@ -66,18 +84,26 @@
 //!     `--device` cost model unless `--fixed-us`/`--per-token-us` pin a
 //!     calibrated affine model (e.g. fitted by `repro sim-validate`).
 //!     `--tune on` sweeps the scheduling knobs through the simulator and
-//!     prints the best configuration for the device instead.
+//!     prints the best configuration for the device instead. `--shards N`
+//!     prices batches through the analytic scatter-gather model instead
+//!     (`--parallel-shards on` = one device per shard, off = colocated
+//!     loopback shards on one device).
 //! ```
 //!
 //! All commands return their output as a string (tested directly); the
 //! binary prints it.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use prism_core::{ComputePrecision, EngineOptions, Priority, PrismEngine, SpillPrecision};
+use prism_api::SelectionService;
+use prism_core::{
+    ComputePrecision, EngineOptions, Priority, PrismEngine, RequestOptions, SpillPrecision,
+};
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
-    PrismSimOptions, PruneSchedule, ServeBatchCost,
+    PrismSimOptions, PruneSchedule, ScatterGatherCost, ServeBatchCost,
 };
 use prism_metasim::{
     simulate_closed_loop, tune_for_device, Calibration, ServiceModel, SimReport, Simulation,
@@ -86,6 +112,7 @@ use prism_metrics::MemoryMeter;
 use prism_model::{Model, ModelConfig, SequenceBatch};
 use prism_serve::{run_closed_loop, LoadReport, LoadSpec, PrismServer, ServeConfig};
 use prism_storage::Container;
+use prism_wire::{WireClient, WireServer};
 use prism_workload::{dataset_by_name, trace_profile_by_name, TraceGenerator, WorkloadGenerator};
 
 /// Runs one CLI invocation and returns its stdout payload.
@@ -98,6 +125,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
         Some("simulate") => simulate(&collect(it)),
         Some("rerank") => rerank(&collect(it)),
         Some("serve") => serve(&collect(it)),
+        Some("connect") => connect(&collect(it)),
         Some("bench-serve") => bench_serve(&collect(it)),
         Some("simulate-serve") => simulate_serve(&collect(it)),
         Some("help") | None => Ok(usage()),
@@ -106,7 +134,7 @@ pub fn run(args: &[String]) -> Result<String, String> {
 }
 
 fn usage() -> String {
-    "usage: prsm <inspect|gen|quantize|simulate|rerank|serve|bench-serve|simulate-serve|help> [args]\n\
+    "usage: prsm <inspect|gen|quantize|simulate|rerank|serve|connect|bench-serve|simulate-serve|help> [args]\n\
      see `cargo doc -p prism-cli` or the crate docs for details\n"
         .to_string()
 }
@@ -524,8 +552,139 @@ fn serve_config_from(p: &Parsed<'_>) -> Result<ServeConfig, String> {
         session_cache_capacity: p
             .flag_parse("cache-sessions", serve_defaults.session_cache_capacity)?,
         starvation_age,
+        tenant_max_inflight: p.flag_parse("tenant-quota", serve_defaults.tenant_max_inflight)?,
         ..serve_defaults
     })
+}
+
+/// Opens one *resident* engine per shard over the same container.
+/// Sharded serving pins layer weights in memory (`ShardSet` rejects
+/// streaming engines), so the `--throttle` SSD emulation does not apply.
+fn sharded_engines(
+    path: &str,
+    config: &ModelConfig,
+    shards: usize,
+    offload: bool,
+) -> Result<Vec<PrismEngine>, String> {
+    (0..shards)
+        .map(|_| {
+            let container = Container::open(path).map_err(|e| e.to_string())?;
+            let options = EngineOptions {
+                streaming: false,
+                embed_cache: false,
+                hidden_offload: offload,
+                ..Default::default()
+            };
+            PrismEngine::new(container, config.clone(), options, MemoryMeter::new())
+                .map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Drives the closed-loop workload through out-of-process [`WireClient`]
+/// connections, so measured latencies include frame encode/decode and
+/// the socket hop. Returns `(sorted latencies us, errors, ping RTT)`.
+fn run_wire_loop(
+    addr: &str,
+    config: &ModelConfig,
+    spec: &LoadSpec,
+) -> Result<(Vec<u64>, usize, Duration), String> {
+    let profile = dataset_by_name(&spec.dataset)
+        .ok_or_else(|| format!("unknown dataset `{}`", spec.dataset))?;
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, spec.seed);
+    let clients = spec.clients.max(1).min(spec.requests.max(1));
+
+    // Probe connection first: a typed handshake/ping failure beats N
+    // client threads all reporting the same refused connect.
+    let probe =
+        WireClient::connect(addr, "wire-probe").map_err(|e| format!("connect {addr}: {e}"))?;
+    let rtt = probe
+        .ping(Duration::from_secs(10))
+        .map_err(|e| format!("ping {addr}: {e}"))?;
+    drop(probe);
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(spec.requests);
+    let mut errors = 0_usize;
+    std::thread::scope(|scope| -> Result<(), String> {
+        let mut handles = Vec::with_capacity(clients);
+        for c in 0..clients {
+            let generator = &generator;
+            handles.push(scope.spawn(move || -> Result<(Vec<u64>, usize), String> {
+                let client = WireClient::connect(addr, format!("wire-{c}"))
+                    .map_err(|e| format!("connect {addr}: {e}"))?;
+                let mut lat = Vec::new();
+                let mut errs = 0_usize;
+                let mut i = c;
+                while i < spec.requests {
+                    let request = generator.request(i as u64, spec.candidates);
+                    let batch =
+                        SequenceBatch::new(&request.sequences()).map_err(|e| e.to_string())?;
+                    // Tag by request index so results are independent of
+                    // arrival interleaving (same rule as the in-process
+                    // loop).
+                    let options = RequestOptions::tagged(spec.k, i as u64 + 1)
+                        .with_spill_precision(spec.spill_precision)
+                        .with_compute_precision(spec.compute_precision);
+                    let t0 = Instant::now();
+                    match client.submit(batch, options).map(|h| h.wait()) {
+                        Ok(Ok(_)) => lat.push(t0.elapsed().as_micros() as u64),
+                        _ => errs += 1,
+                    }
+                    i += clients;
+                }
+                Ok((lat, errs))
+            }));
+        }
+        for h in handles {
+            let (lat, errs) = h.join().expect("wire client thread panicked")?;
+            latencies.extend(lat);
+            errors += errs;
+        }
+        Ok(())
+    })?;
+    latencies.sort_unstable();
+    Ok((latencies, errors, rtt))
+}
+
+fn write_wire_summary(
+    out: &mut String,
+    latencies: &[u64],
+    errors: usize,
+    rtt: Duration,
+    elapsed_s: f64,
+) {
+    let completed = latencies.len();
+    let mean_us = if completed == 0 {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / completed as f64
+    };
+    let _ = writeln!(out, "ping RTT {} us", rtt.as_micros());
+    let _ = writeln!(
+        out,
+        "completed {completed} requests in {elapsed_s:.3} s -> {:.1} req/s ({errors} errors)",
+        if elapsed_s > 0.0 {
+            completed as f64 / elapsed_s
+        } else {
+            0.0
+        }
+    );
+    let _ = writeln!(
+        out,
+        "latency us: p50 {}  p95 {}  p99 {}  max {}  mean {mean_us:.0}",
+        exact_percentile(latencies, 0.50),
+        exact_percentile(latencies, 0.95),
+        exact_percentile(latencies, 0.99),
+        latencies.last().copied().unwrap_or(0),
+    );
 }
 
 fn serve(args: &[&str]) -> Result<String, String> {
@@ -538,11 +697,21 @@ fn serve(args: &[&str]) -> Result<String, String> {
     let spec = load_spec_from(&p)?;
     let throttle: u64 = p.flag_parse("throttle", 0)?;
     let offload = resolve_switch(&p, "offload")?;
+    let shards: usize = p.flag_parse("shards", 1)?;
+    if shards == 0 {
+        return Err("--shards needs at least 1".into());
+    }
+    if shards > 1 && throttle > 0 {
+        return Err("--throttle streams weights; --shards pins them resident (pick one)".into());
+    }
 
-    let engine = serving_engine(path, &config, throttle, offload)?;
-    let server = PrismServer::start(engine, serve_config.clone()).map_err(|e| e.to_string())?;
-    let report = run_closed_loop(&server, &spec);
-    server.shutdown();
+    let server = if shards > 1 {
+        let engines = sharded_engines(path, &config, shards, offload)?;
+        PrismServer::start_sharded(engines, serve_config.clone()).map_err(|e| e.to_string())?
+    } else {
+        let engine = serving_engine(path, &config, throttle, offload)?;
+        PrismServer::start(engine, serve_config.clone()).map_err(|e| e.to_string())?
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -554,12 +723,88 @@ fn serve(args: &[&str]) -> Result<String, String> {
         serve_config.max_batch_tokens,
         serve_config.max_batch_wait.as_micros()
     );
+    if shards > 1 {
+        let _ = writeln!(
+            out,
+            "sharded: candidates scatter-gathered across {shards} resident engine shards"
+        );
+    }
+    if serve_config.tenant_max_inflight > 0 {
+        let _ = writeln!(
+            out,
+            "tenant quota: <= {} in-flight requests per session",
+            serve_config.tenant_max_inflight
+        );
+    }
     let _ = writeln!(
         out,
         "load: {} requests x {} candidates (top-{}), {} clients, {} sessions, corpus repeat {}",
         spec.requests, spec.candidates, spec.k, spec.clients, spec.sessions, spec.corpus_repeat
     );
-    write_load_report(&mut out, &report);
+
+    match p.flag("listen") {
+        // Wire mode: bind the TCP front-end and drive the closed loop
+        // through out-of-process wire clients on the loopback address.
+        Some(listen) => {
+            let server = Arc::new(server);
+            let wire = WireServer::start(Arc::clone(&server), listen).map_err(|e| e.to_string())?;
+            let addr = wire.local_addr().to_string();
+            let _ = writeln!(
+                out,
+                "wire: listening on {addr}, driving load through {} wire clients",
+                spec.clients.max(1).min(spec.requests.max(1))
+            );
+            let started = Instant::now();
+            let result = run_wire_loop(&addr, &config, &spec);
+            let elapsed_s = started.elapsed().as_secs_f64();
+            let snapshot = server.stats().snapshot();
+            wire.shutdown();
+            let (latencies, errors, rtt) = result?;
+            write_wire_summary(&mut out, &latencies, errors, rtt, elapsed_s);
+            let _ = writeln!(
+                out,
+                "server: {} batches (mean {:.2} requests), {} backpressure, {} quota rejections",
+                snapshot.batches,
+                snapshot.batch_size.mean,
+                snapshot.rejected,
+                snapshot.quota_rejected
+            );
+        }
+        None => {
+            let report = run_closed_loop(&server, &spec);
+            server.shutdown();
+            write_load_report(&mut out, &report);
+        }
+    }
+    Ok(out)
+}
+
+fn connect(args: &[&str]) -> Result<String, String> {
+    let p = parse(args)?;
+    let addr = p
+        .positional
+        .first()
+        .ok_or("connect needs a server address (host:port)")?;
+    let name = p.flag("model").ok_or("connect needs --model <name>")?;
+    let scale = p.flag("scale").unwrap_or("mini");
+    let config = resolve_config(name, scale)?;
+    let spec = load_spec_from(&p)?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "connect {addr}: {} requests x {} candidates (top-{}), {} clients",
+        spec.requests, spec.candidates, spec.k, spec.clients
+    );
+    let started = Instant::now();
+    let (latencies, errors, rtt) = run_wire_loop(addr, &config, &spec)?;
+    write_wire_summary(
+        &mut out,
+        &latencies,
+        errors,
+        rtt,
+        started.elapsed().as_secs_f64(),
+    );
     Ok(out)
 }
 
@@ -776,17 +1021,40 @@ fn simulate_serve(args: &[&str]) -> Result<String, String> {
     let calibrated = ["fixed-us", "per-request-us", "per-token-us"]
         .iter()
         .any(|f| p.flag(f).is_some());
+    let sim_shards: usize = p.flag_parse("shards", 1)?;
     let service = if calibrated {
+        if sim_shards > 1 {
+            return Err(
+                "--shards prices through the analytic model; drop the calibrated flags".into(),
+            );
+        }
         ServiceModel::calibrated(Calibration {
             batch_fixed_us: p.flag_parse("fixed-us", 0.0_f64)?,
             per_request_us: p.flag_parse("per-request-us", 0.0_f64)?,
             per_token_us: p.flag_parse("per-token-us", 0.0_f64)?,
+        })
+    } else if sim_shards > 1 {
+        let worker = ServeBatchCost::new(config.clone(), device.clone());
+        ServiceModel::sharded(ScatterGatherCost {
+            parallel_shards: resolve_switch(&p, "parallel-shards")?,
+            ..ScatterGatherCost::new(worker, sim_shards)
         })
     } else {
         ServiceModel::analytic(ServeBatchCost::new(config.clone(), device.clone()))
     };
 
     let mut out = String::new();
+    if sim_shards > 1 {
+        let _ = writeln!(
+            out,
+            "service model: scatter-gather over {sim_shards} shards ({})",
+            if resolve_switch(&p, "parallel-shards")? {
+                "one device per shard"
+            } else {
+                "colocated"
+            }
+        );
+    }
     if resolve_switch(&p, "tune")? {
         let outcome = tune_for_device(&config, &device, &serve_config);
         let winner = &outcome.points[outcome.best];
@@ -1085,6 +1353,194 @@ mod tests {
             "unknown priority must be rejected"
         );
         std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
+    fn serve_sharded_in_process_and_over_the_wire() {
+        let dense = tmp("serve-shard");
+        run_strs(&[
+            "gen", &dense, "--model", "bge-m3", "--scale", "test", "--seed", "13",
+        ])
+        .unwrap();
+
+        // In-process sharded closed loop.
+        let out = run_strs(&[
+            "serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--shards",
+            "2",
+            "--requests",
+            "8",
+            "--clients",
+            "2",
+            "--candidates",
+            "8",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("across 2 resident engine shards"), "{out}");
+        assert!(out.contains("completed 8 requests"), "{out}");
+
+        // Wire mode: bind the TCP front-end and drive out-of-process
+        // clients through it, with a per-tenant quota configured.
+        let out = run_strs(&[
+            "serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--shards",
+            "2",
+            "--tenant-quota",
+            "4",
+            "--listen",
+            "127.0.0.1:0",
+            "--requests",
+            "8",
+            "--clients",
+            "2",
+            "--candidates",
+            "8",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(out.contains("wire: listening on 127.0.0.1:"), "{out}");
+        assert!(out.contains("ping RTT"), "{out}");
+        assert!(out.contains("tenant quota: <= 4"), "{out}");
+        assert!(out.contains("completed 8 requests"), "{out}");
+        assert!(out.contains("quota rejections"), "{out}");
+
+        // Flag conflicts are typed errors, not silent misconfiguration.
+        assert!(
+            run_strs(&["serve", &dense, "--model", "bge-m3", "--scale", "test", "--shards", "0",])
+                .is_err(),
+            "zero shards must be rejected"
+        );
+        assert!(
+            run_strs(&[
+                "serve",
+                &dense,
+                "--model",
+                "bge-m3",
+                "--scale",
+                "test",
+                "--shards",
+                "2",
+                "--throttle",
+                "1000",
+            ])
+            .is_err(),
+            "sharded engines are resident; throttle must be rejected"
+        );
+        std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
+    fn connect_drives_a_listening_server() {
+        let dense = tmp("connect");
+        run_strs(&[
+            "gen", &dense, "--model", "bge-m3", "--scale", "test", "--seed", "17",
+        ])
+        .unwrap();
+        let config = resolve_config("bge-m3", "test").unwrap();
+        let engine = serving_engine(&dense, &config, 0, false).unwrap();
+        let server =
+            std::sync::Arc::new(PrismServer::start(engine, ServeConfig::default()).unwrap());
+        let wire =
+            prism_wire::WireServer::start(std::sync::Arc::clone(&server), "127.0.0.1:0").unwrap();
+        let addr = wire.local_addr().to_string();
+
+        let out = run_strs(&[
+            "connect",
+            &addr,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--requests",
+            "6",
+            "--clients",
+            "2",
+            "--candidates",
+            "6",
+            "--k",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains(&format!("connect {addr}")), "{out}");
+        assert!(out.contains("ping RTT"), "{out}");
+        assert!(out.contains("completed 6 requests"), "{out}");
+        wire.shutdown();
+
+        // Nothing listening: the connect error is surfaced, not a hang.
+        assert!(run_strs(&[
+            "connect",
+            "127.0.0.1:1",
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--requests",
+            "1",
+        ])
+        .is_err());
+        assert!(run_strs(&["connect"]).is_err(), "missing address");
+        std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
+    fn simulate_serve_sharded_service_model() {
+        let base = [
+            "simulate-serve",
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--profile",
+            "steady",
+            "--rps",
+            "200",
+            "--events",
+            "500",
+        ];
+        let colocated = run_strs(
+            &base
+                .iter()
+                .copied()
+                .chain(["--shards", "3"])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(
+            colocated.contains("scatter-gather over 3 shards (colocated)"),
+            "{colocated}"
+        );
+        let parallel = run_strs(
+            &base
+                .iter()
+                .copied()
+                .chain(["--shards", "3", "--parallel-shards", "on"])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(parallel.contains("(one device per shard)"), "{parallel}");
+        // Calibrated coefficients and the analytic sharded model are
+        // mutually exclusive.
+        assert!(run_strs(
+            &base
+                .iter()
+                .copied()
+                .chain(["--shards", "3", "--fixed-us", "1000"])
+                .collect::<Vec<_>>(),
+        )
+        .is_err());
     }
 
     #[test]

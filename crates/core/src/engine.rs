@@ -241,14 +241,168 @@ pub struct RequestSpec<'a> {
 }
 
 /// Routing parameters resolved for one request (engine defaults plus
-/// [`RequestOptions`] overrides).
+/// [`RequestOptions`] overrides). Crate-visible so the scatter-gather
+/// coordinator ([`crate::scatter`]) resolves them with the same rule.
 #[derive(Debug, Clone)]
-struct GateParams {
-    pruning: bool,
-    dispersion_threshold: f32,
-    top_k_only: bool,
-    max_clusters: usize,
-    min_gate_layer: usize,
+pub(crate) struct GateParams {
+    pub(crate) pruning: bool,
+    pub(crate) dispersion_threshold: f32,
+    pub(crate) top_k_only: bool,
+    pub(crate) max_clusters: usize,
+    pub(crate) min_gate_layer: usize,
+}
+
+impl GateParams {
+    /// Resolves the gate parameters for one request: engine defaults with
+    /// the per-request routing overrides applied. Both the in-engine gate
+    /// and the scatter-gather coordinator go through here, so a sharded
+    /// request can never resolve differently from a single-engine one.
+    pub(crate) fn resolve(engine: &EngineOptions, options: &RequestOptions) -> GateParams {
+        GateParams {
+            pruning: options.pruning.unwrap_or(engine.pruning),
+            dispersion_threshold: options
+                .dispersion_threshold
+                .unwrap_or(engine.dispersion_threshold),
+            top_k_only: options.mode.unwrap_or(engine.mode) == PruneMode::TopKOnly,
+            max_clusters: engine.max_clusters,
+            min_gate_layer: engine.min_gate_layer,
+        }
+    }
+}
+
+/// Mutable view of the selection bookkeeping one gate evaluation updates.
+///
+/// There is exactly one implementation of the gate's bookkeeping —
+/// [`route_and_book`] — borrowed by both the in-engine gate
+/// ([`PrismEngine`]'s layer loop over an [`ActiveRequest`]) and the
+/// scatter-gather coordinator ([`crate::scatter::ScatterGate`], which runs
+/// the gate over the merged cross-shard score vector). Any drift between
+/// the two would break the sharded path's bit-identity contract.
+pub(crate) struct GateBook<'a> {
+    /// Top-K size (already clamped to the candidate count).
+    pub k: usize,
+    /// Candidate count of the originating batch.
+    pub n: usize,
+    pub accepted: &'a mut Vec<RankedCandidate>,
+    pub current_scores: &'a mut Vec<(usize, f32)>,
+    pub trace: &'a mut EngineTrace,
+    pub dropped_total: &'a mut usize,
+}
+
+/// Outcome of one gate evaluation ([`route_and_book`]).
+pub(crate) struct GateStep {
+    /// Keep-mask over original candidate ids, present when the decision
+    /// pruned anyone — drives physical retention of chunks / spill slots.
+    pub keep_mask: Option<Vec<bool>>,
+    /// The request is decided: stop forwarding layers.
+    pub terminate: bool,
+}
+
+/// Runs the pruning gate for one layer boundary over `book` and applies
+/// the routing decision to the score-level bookkeeping (accepted set,
+/// current scores, trace, dropped count). Physical retention of hidden
+/// states is left to the caller via the returned keep-mask.
+pub(crate) fn route_and_book(
+    book: GateBook<'_>,
+    layer_idx: usize,
+    gate: &GateParams,
+    engine_seed: u64,
+    tag: u64,
+) -> GateStep {
+    if !(gate.pruning && layer_idx >= gate.min_gate_layer.max(1) && !book.current_scores.is_empty())
+    {
+        return GateStep {
+            keep_mask: None,
+            terminate: false,
+        };
+    }
+    let k_remaining = book.k - book.accepted.len();
+    let scores_only: Vec<f32> = book.current_scores.iter().map(|(_, s)| *s).collect();
+    let decision = route_candidates(
+        &scores_only,
+        k_remaining,
+        gate.dispersion_threshold,
+        gate.top_k_only,
+        gate.max_clusters,
+        engine_seed ^ (layer_idx as u64) ^ tag,
+    );
+    if !(decision.clustered || decision.terminate) {
+        return GateStep {
+            keep_mask: None,
+            terminate: false,
+        };
+    }
+    let selected_ids: Vec<usize> = decision
+        .selected
+        .iter()
+        .map(|&i| book.current_scores[i].0)
+        .collect();
+    let dropped_ids: Vec<usize> = decision
+        .dropped
+        .iter()
+        .map(|&i| book.current_scores[i].0)
+        .collect();
+    for &i in &decision.selected {
+        let (id, score) = book.current_scores[i];
+        book.accepted.push(RankedCandidate {
+            id,
+            score,
+            decided_at_layer: layer_idx,
+        });
+    }
+    *book.dropped_total += dropped_ids.len();
+    book.trace.routes.push(RouteEvent {
+        layer: layer_idx,
+        cv: decision.cv,
+        clustered: decision.clustered,
+        selected: selected_ids.clone(),
+        dropped: dropped_ids.clone(),
+    });
+    let keep_mask = (!selected_ids.is_empty() || !dropped_ids.is_empty()).then(|| {
+        // A boolean mask keyed by candidate id turns every membership
+        // probe into O(1) instead of an O(|keep|) scan.
+        let mut mask = vec![false; book.n];
+        for &i in &decision.deferred {
+            mask[book.current_scores[i].0] = true;
+        }
+        mask
+    });
+    if let Some(mask) = &keep_mask {
+        book.current_scores.retain(|(id, _)| mask[*id]);
+    }
+    GateStep {
+        keep_mask,
+        terminate: decision.terminate,
+    }
+}
+
+/// Ranks the survivors of a finished selection into `accepted`: undecided
+/// candidates compete for the remaining slots by final score (stable sort,
+/// so ties keep ascending-id order), then the whole accepted set is
+/// ordered score-descending and truncated to `k`. Shared by
+/// [`PrismEngine::finalize_request`] and the scatter-gather coordinator —
+/// the merge tie-breaking rule exists exactly once.
+pub(crate) fn finalize_ranked(
+    accepted: &mut Vec<RankedCandidate>,
+    current_scores: &[(usize, f32)],
+    terminated: bool,
+    k: usize,
+    depth: usize,
+) {
+    if !terminated {
+        let mut survivors = current_scores.to_vec();
+        survivors.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let slots = k - accepted.len();
+        for &(id, score) in survivors.iter().take(slots) {
+            accepted.push(RankedCandidate {
+                id,
+                score,
+                decided_at_layer: depth,
+            });
+        }
+    }
+    accepted.sort_by(|a, b| b.score.total_cmp(&a.score));
+    accepted.truncate(k);
 }
 
 enum EmbedSource {
@@ -304,6 +458,15 @@ pub struct ActiveRequest {
     /// Whether the spill window moves row-quant blocks instead of f32
     /// tensors (int8 compute combined with int8 spill precision).
     block_spill: bool,
+    /// Whether the int8 spill regime is active for this request. When
+    /// set, **every** chunk's hidden state passes through the rowq
+    /// round-trip between layers — resident chunks in memory, spilled
+    /// chunks through the file — so quantization is a property of the
+    /// request, not of which chunks happened to be offloaded. Without
+    /// this, result bits would depend on physical layout (chunk count,
+    /// residency window, shard partitioning), breaking the cross-layout
+    /// conformance guarantees.
+    int8_spill: bool,
     record_score_trace: bool,
     chunks: Vec<Chunk>,
     /// Meter handle for drop-time release of this request's bytes.
@@ -380,6 +543,14 @@ impl ActiveRequest {
     /// Whether the request was aborted (cancelled / deadline) mid-flight.
     pub fn is_aborted(&self) -> bool {
         self.abort.is_some()
+    }
+
+    /// Scores of the still-active candidates, ascending by original
+    /// candidate id — a pure read of the last layer boundary's (or the
+    /// post-embedding probe's) output. A scatter-gather coordinator
+    /// gathers these from every shard to rebuild the global score vector.
+    pub fn scores(&self) -> &[(usize, f32)] {
+        &self.current_scores
     }
 
     /// Aborts at a layer boundary: releases every resource the request
@@ -818,15 +989,7 @@ impl PrismEngine {
         let tag = options
             .tag
             .unwrap_or_else(|| self.request_counter.fetch_add(1, Ordering::Relaxed) + 1);
-        let gate = GateParams {
-            pruning: options.pruning.unwrap_or(self.options.pruning),
-            dispersion_threshold: options
-                .dispersion_threshold
-                .unwrap_or(self.options.dispersion_threshold),
-            top_k_only: options.mode.unwrap_or(self.options.mode) == PruneMode::TopKOnly,
-            max_clusters: self.options.max_clusters,
-            min_gate_layer: self.options.min_gate_layer,
-        };
+        let gate = GateParams::resolve(&self.options, &options);
         let mut latency = LatencyRecorder::new();
 
         // ---- Chunk geometry (§4.3) ----
@@ -927,6 +1090,19 @@ impl PrismEngine {
             spill = Some(pipe);
         }
 
+        // Int8-spill value uniformity: chunks that stay resident get the
+        // same rowq round-trip the offloaded chunks get from the file,
+        // applied after the (exact) probe. See `ActiveRequest::int8_spill`.
+        let int8_spill =
+            self.options.hidden_offload && options.spill_precision == SpillPrecision::Int8;
+        if int8_spill {
+            for chunk in chunks.iter_mut() {
+                if let Some(hidden) = chunk.hidden.as_mut() {
+                    latency.time("quantize", || rowq_round_trip(hidden))?;
+                }
+            }
+        }
+
         let mut req = ActiveRequest {
             n,
             k,
@@ -939,6 +1115,7 @@ impl PrismEngine {
             // bit-exact f32 round-trip promise even under int8 compute.
             block_spill: options.compute_precision == ComputePrecision::Int8
                 && options.spill_precision == SpillPrecision::Int8,
+            int8_spill,
             record_score_trace: self.options.record_score_trace,
             chunks,
             meter: self.meter.clone(),
@@ -986,75 +1163,47 @@ impl PrismEngine {
             req.abort(AbortReason::DeadlineExceeded, &self.meter);
             return Ok(());
         }
-        if req.gate.pruning
-            && layer_idx >= req.gate.min_gate_layer.max(1)
-            && !req.current_scores.is_empty()
-        {
-            let k_remaining = req.k - req.accepted.len();
-            let scores_only: Vec<f32> = req.current_scores.iter().map(|(_, s)| *s).collect();
-            let decision = req.latency.time("gate", || {
-                route_candidates(
-                    &scores_only,
-                    k_remaining,
-                    req.gate.dispersion_threshold,
-                    req.gate.top_k_only,
-                    req.gate.max_clusters,
-                    self.options.seed ^ (layer_idx as u64) ^ req.tag,
-                )
-            });
-            if decision.clustered || decision.terminate {
-                let selected_ids: Vec<usize> = decision
-                    .selected
-                    .iter()
-                    .map(|&i| req.current_scores[i].0)
-                    .collect();
-                let dropped_ids: Vec<usize> = decision
-                    .dropped
-                    .iter()
-                    .map(|&i| req.current_scores[i].0)
-                    .collect();
-                for &i in &decision.selected {
-                    let (id, score) = req.current_scores[i];
-                    req.accepted.push(RankedCandidate {
-                        id,
-                        score,
-                        decided_at_layer: layer_idx,
-                    });
-                }
-                req.dropped_total += dropped_ids.len();
-                req.trace.routes.push(RouteEvent {
-                    layer: layer_idx,
-                    cv: decision.cv,
-                    clustered: decision.clustered,
-                    selected: selected_ids.clone(),
-                    dropped: dropped_ids.clone(),
-                });
-                if !selected_ids.is_empty() || !dropped_ids.is_empty() {
-                    // A boolean mask keyed by candidate id turns every
-                    // membership probe below into O(1) instead of the
-                    // former O(|keep|) scans.
-                    let mut keep_mask = vec![false; req.n];
-                    for &i in &decision.deferred {
-                        keep_mask[req.current_scores[i].0] = true;
-                    }
-                    {
-                        let ActiveRequest {
-                            chunks,
-                            spill,
-                            latency,
-                            ..
-                        } = req;
-                        latency.time("prune", || retain_candidates(chunks, spill, &keep_mask))?;
-                    }
-                    req.meter_hidden(&self.meter);
-                    req.current_scores.retain(|(id, _)| keep_mask[*id]);
-                }
-                if decision.terminate {
-                    req.terminated = true;
-                    req.emit_progress(layer_idx);
-                    return Ok(());
-                }
+        let step = {
+            let ActiveRequest {
+                k,
+                n,
+                tag,
+                gate,
+                accepted,
+                current_scores,
+                trace,
+                dropped_total,
+                latency,
+                ..
+            } = req;
+            let book = GateBook {
+                k: *k,
+                n: *n,
+                accepted,
+                current_scores,
+                trace,
+                dropped_total,
+            };
+            latency.time("gate", || {
+                route_and_book(book, layer_idx, gate, self.options.seed, *tag)
+            })
+        };
+        if let Some(keep_mask) = &step.keep_mask {
+            {
+                let ActiveRequest {
+                    chunks,
+                    spill,
+                    latency,
+                    ..
+                } = req;
+                latency.time("prune", || retain_candidates(chunks, spill, keep_mask))?;
             }
+            req.meter_hidden(&self.meter);
+        }
+        if step.terminate {
+            req.terminated = true;
+            req.emit_progress(layer_idx);
+            return Ok(());
         }
 
         let active = req.active_candidates();
@@ -1080,6 +1229,7 @@ impl PrismEngine {
         pool: &mut Vec<ForwardScratch>,
     ) -> Result<()> {
         let block_spill = req.block_spill;
+        let int8_spill = req.int8_spill;
         req.current_scores = {
             let ActiveRequest {
                 chunks,
@@ -1093,6 +1243,7 @@ impl PrismEngine {
                 weights,
                 int8,
                 block_spill,
+                int8_spill,
                 layer_idx,
                 pool,
                 latency,
@@ -1124,21 +1275,13 @@ impl PrismEngine {
             Some(AbortReason::DeadlineExceeded) => return Err(PrismError::DeadlineExceeded),
             None => {}
         }
-        if !req.terminated {
-            // Survivors compete for the remaining slots by final score.
-            let mut survivors = req.current_scores.clone();
-            survivors.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let slots = req.k - req.accepted.len();
-            for &(id, score) in survivors.iter().take(slots) {
-                req.accepted.push(RankedCandidate {
-                    id,
-                    score,
-                    decided_at_layer: self.config.num_layers,
-                });
-            }
-        }
-        req.accepted.sort_by(|a, b| b.score.total_cmp(&a.score));
-        req.accepted.truncate(req.k);
+        finalize_ranked(
+            &mut req.accepted,
+            &req.current_scores,
+            req.terminated,
+            req.k,
+            self.config.num_layers,
+        );
 
         if let EmbedSource::Cache(c) = &mut *self.embed.lock().expect("embed lock") {
             req.trace.cache_stats = c.stats();
@@ -1165,6 +1308,92 @@ impl PrismEngine {
             last_scores: std::mem::take(&mut req.last_scores),
             trace: std::mem::take(&mut req.trace),
         })
+    }
+
+    // ---- Layer-stepping API (scatter-gather execution) -----------------
+    //
+    // A sharded deployment partitions one request's candidates across
+    // several shard-local `ActiveRequest`s and drives them in lockstep
+    // from a coordinator that owns the *global* pruning gate (the gate is
+    // a function of the whole batch's score distribution, so shard-local
+    // gating would diverge from the single-engine result). The three
+    // methods below expose exactly the per-layer phases `run_planned`
+    // executes internally: boundary checks, one forward+score step, and
+    // externally decided retention.
+
+    /// Runs the layer-boundary phase for an externally gated request:
+    /// cancellation/deadline checks (aborting releases spill and meter
+    /// bytes immediately), termination when no candidate is active, trace
+    /// and progress bookkeeping. Shard-local requests are planned with
+    /// `pruning = Some(false)`, so no local routing decision is made —
+    /// the coordinator's [`PrismEngine::apply_keep_mask`] is the only
+    /// pruning authority.
+    pub fn gate_planned(&self, req: &mut ActiveRequest, layer_idx: usize) -> Result<()> {
+        self.gate_request(req, layer_idx)
+    }
+
+    /// Forwards one planned request through layer `layer_idx` and
+    /// re-scores at the boundary — one iteration of `run_planned`'s inner
+    /// loop for a single request. Requires resident layer weights
+    /// (`EngineOptions::streaming = false`): the streaming prefetcher is
+    /// strictly sequential and cannot serve random per-shard stepping.
+    pub fn forward_planned_layer(
+        &self,
+        req: &mut ActiveRequest,
+        layer_idx: usize,
+        pool: &mut Vec<ForwardScratch>,
+    ) -> Result<()> {
+        if req.terminated {
+            return Ok(());
+        }
+        let layers = self.resident_layers.as_ref().ok_or_else(|| {
+            PrismError::InvalidRequest(
+                "layer stepping requires resident weights (streaming off)".into(),
+            )
+        })?;
+        let int8 = if req.compute == ComputePrecision::Int8 {
+            Some(self.resident_int8(layer_idx)?)
+        } else {
+            None
+        };
+        self.forward_and_score(req, layer_idx, &layers[layer_idx], int8, pool)
+    }
+
+    /// Applies an externally computed keep-mask (indexed by this
+    /// request's local candidate ids): physically retains the surviving
+    /// hidden states (fetching/re-offloading spilled chunks as needed),
+    /// re-syncs the memory meter, and terminates the request when nothing
+    /// is left. The scatter-gather coordinator translates its global gate
+    /// decision into one such mask per shard.
+    pub fn apply_keep_mask(&self, req: &mut ActiveRequest, keep: &[bool]) -> Result<()> {
+        if keep.len() != req.n {
+            return Err(PrismError::InvalidRequest(format!(
+                "keep mask has {} entries, request has {} candidates",
+                keep.len(),
+                req.n
+            )));
+        }
+        {
+            let ActiveRequest {
+                chunks,
+                spill,
+                latency,
+                ..
+            } = req;
+            latency.time("prune", || retain_candidates(chunks, spill, keep))?;
+        }
+        req.meter_hidden(&self.meter);
+        req.current_scores.retain(|(id, _)| keep[*id]);
+        if req.active_candidates() == 0 {
+            req.terminated = true;
+        }
+        Ok(())
+    }
+
+    /// Marks a planned request as needing no further layers (the
+    /// coordinator observed global termination).
+    pub fn terminate_planned(&self, req: &mut ActiveRequest) {
+        req.terminated = true;
     }
 
     /// Embeds a batch: one `[total_tokens, hidden_dim]` tensor with
@@ -1226,6 +1455,7 @@ impl PrismEngine {
         weights: &LayerWeights,
         int8: Option<&Int8LayerWeights>,
         block_spill: bool,
+        int8_spill: bool,
         layer_idx: usize,
         pool: &mut Vec<ForwardScratch>,
         latency: &mut LatencyRecorder,
@@ -1382,6 +1612,25 @@ impl PrismEngine {
             }
             Ok(())
         })?;
+
+        // ---- Int8-spill value uniformity for resident chunks ----
+        // Spilled chunks were scored on exact forward output, then
+        // encoded on write-back; resident chunks must see the same
+        // score-then-quantize order, so the in-memory round-trip comes
+        // after the boundary scoring above.
+        if int8_spill {
+            latency.time("quantize", || -> Result<()> {
+                for chunk in chunks.iter_mut() {
+                    if chunk.spill_slot.is_some() || chunk.ids.is_empty() {
+                        continue;
+                    }
+                    if let Some(hidden) = chunk.hidden.as_mut() {
+                        rowq_round_trip(hidden)?;
+                    }
+                }
+                Ok(())
+            })?;
+        }
 
         let mut out = Vec::new();
         for (ci, chunk) in chunks.iter().enumerate() {
@@ -1602,6 +1851,16 @@ fn aligned_scores(scores: &[(usize, f32)], n: usize) -> Vec<Option<f32>> {
 /// all-true is untouched (no read-back + rewrite when nothing is
 /// pruned), and a chunk whose keep-mask is all-false releases its slot
 /// without ever fetching the doomed rows.
+/// One rowq encode/decode cycle in place — the exact numeric effect an
+/// int8 spill slot applies to a chunk between layers. Resident chunks of
+/// an int8-spill request pass through this so their values track the
+/// offloaded chunks' values (see `ActiveRequest::int8_spill`).
+fn rowq_round_trip(t: &mut Tensor) -> Result<()> {
+    let block = RowQuantBlock::encode(t)?;
+    block.decode_into(t)?;
+    Ok(())
+}
+
 fn retain_candidates(
     chunks: &mut Vec<Chunk>,
     spill: &mut Option<SpillPipeline>,
@@ -1633,6 +1892,28 @@ fn retain_candidates(
         let fetched_here = chunk.hidden.is_none();
         if fetched_here {
             if let (Some(slot), Some(file)) = (chunk.spill_slot, spill.as_mut()) {
+                if file.precision() == SpillPrecision::Int8 {
+                    // Compact the slot in the encoded domain: raw
+                    // per-row affine/code copies, no decode→re-encode
+                    // round. Re-quantizing survivors here would add a
+                    // quantization step whose occurrence depends on
+                    // which chunk-mates were pruned — i.e. on physical
+                    // chunk layout — breaking bit-parity between layouts
+                    // (single-engine vs sharded, different chunk sizes).
+                    let rows: Vec<usize> = keep_local
+                        .iter()
+                        .flat_map(|&li| {
+                            let (s, e) = chunk.ranges[li];
+                            s..e
+                        })
+                        .collect();
+                    let kept = file.fetch_block(slot)?.gather_rows(&rows)?;
+                    file.write_back_block(slot, kept)?;
+                    chunk.ids = keep_local.iter().map(|&li| chunk.ids[li]).collect();
+                    chunk.seq_lens = keep_local.iter().map(|&li| chunk.seq_lens[li]).collect();
+                    chunk.ranges = Chunk::ranges_from(&chunk.seq_lens);
+                    continue;
+                }
                 chunk.hidden = Some(file.fetch(slot)?);
             }
         }

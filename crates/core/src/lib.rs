@@ -30,6 +30,7 @@ pub mod control;
 pub mod engine;
 pub mod options;
 pub mod routing;
+pub mod scatter;
 
 pub use calibrate::ThresholdCalibrator;
 pub use control::{CancelToken, ProgressFn, ProgressUpdate};
@@ -39,6 +40,7 @@ pub use engine::{
 };
 pub use options::{ComputePrecision, EngineOptions, Priority, PruneMode};
 pub use routing::{route_candidates, RouteDecision};
+pub use scatter::{merge_shard_scores, ScatterGate, ScatterStep};
 // Re-exported so serving/API layers can thread the spill-precision knob
 // without depending on `prism-storage` directly.
 pub use prism_storage::{SpillPrecision, SpillStats};
@@ -62,6 +64,11 @@ pub enum PrismError {
     /// The request's attached deadline passed before it finished; it was
     /// aborted at a layer boundary like a cancellation.
     DeadlineExceeded,
+    /// A scatter-gather shard could not serve its part of the request
+    /// (dead / unreachable shard). The merge never blocks on a failed
+    /// shard: the coordinator surfaces this immediately and releases the
+    /// surviving shards' resources.
+    ShardFailure(String),
 }
 
 impl std::fmt::Display for PrismError {
@@ -73,6 +80,7 @@ impl std::fmt::Display for PrismError {
             PrismError::InvalidRequest(s) => write!(f, "invalid request: {s}"),
             PrismError::Cancelled => write!(f, "request cancelled"),
             PrismError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            PrismError::ShardFailure(s) => write!(f, "shard failure: {s}"),
         }
     }
 }

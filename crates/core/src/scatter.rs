@@ -1,0 +1,272 @@
+//! Global selection bookkeeping for scatter-gather (sharded) execution.
+//!
+//! The pruning gate (§4.1) is a function of the *whole* batch's score
+//! distribution — its CV test and 1-D K-Means see every active candidate
+//! at once. A sharded deployment that let each shard gate its own subset
+//! would therefore diverge from the single-engine result. Instead, shards
+//! run with local pruning disabled and a coordinator owns one
+//! [`ScatterGate`]: each layer boundary it gathers every shard's
+//! `(candidate, score)` pairs, rebuilds the global score vector in
+//! ascending-id order (exactly the order the single engine's
+//! `current_scores` has), runs the gate through the *same*
+//! `route_and_book` implementation the engine uses with the same seed
+//! derivation, and hands each shard back a keep-mask. Finalization flows
+//! through the same shared `finalize_ranked`, so the merged top-k is
+//! bit-identical to single-engine selection — the property the cross-shard
+//! conformance suite pins.
+
+use crate::control::ProgressUpdate;
+use crate::engine::{
+    finalize_ranked, route_and_book, EngineTrace, GateBook, GateParams, RankedCandidate,
+    RequestOptions, Selection,
+};
+use crate::options::EngineOptions;
+use crate::{PrismError, Result};
+
+/// The coordinator's decision for one layer boundary.
+#[derive(Debug, Clone)]
+pub struct ScatterStep {
+    /// Keep-mask over *global* candidate ids when the gate pruned anyone;
+    /// the coordinator projects it to shard-local masks and applies them
+    /// via `PrismEngine::apply_keep_mask`.
+    pub keep: Option<Vec<bool>>,
+    /// The selection is decided: no shard needs further layers.
+    pub done: bool,
+}
+
+/// Global gate + merge state for one scattered request.
+///
+/// Drives the identical bookkeeping an [`crate::ActiveRequest`] keeps for
+/// the score-level selection state (accepted set, current scores, last
+/// scores, trace, termination), while the per-shard `ActiveRequest`s keep
+/// only the physical state (hidden chunks, spill slots, meter bytes).
+pub struct ScatterGate {
+    n: usize,
+    k: usize,
+    tag: u64,
+    engine_seed: u64,
+    num_layers: usize,
+    gate: GateParams,
+    current: Vec<(usize, f32)>,
+    last_scores: Vec<f32>,
+    accepted: Vec<RankedCandidate>,
+    terminated: bool,
+    trace: EngineTrace,
+    dropped_total: usize,
+}
+
+impl ScatterGate {
+    /// Builds the coordinator state for a request of `n` candidates.
+    ///
+    /// `engine` must be the options every shard engine shares (validated
+    /// by the serving layer's shard set); `tag` is the resolved routing
+    /// tag — the same value a single engine would have used, since the
+    /// gate seed is `engine.seed ^ layer ^ tag`.
+    pub fn new(
+        engine: &EngineOptions,
+        options: &RequestOptions,
+        n: usize,
+        num_layers: usize,
+        tag: u64,
+    ) -> Result<Self> {
+        if n == 0 {
+            return Err(PrismError::InvalidRequest("empty batch".into()));
+        }
+        if options.k == 0 {
+            return Err(PrismError::InvalidRequest("k must be >= 1".into()));
+        }
+        Ok(ScatterGate {
+            n,
+            k: options.k.min(n),
+            tag,
+            engine_seed: engine.seed,
+            num_layers,
+            gate: GateParams::resolve(engine, options),
+            current: Vec::new(),
+            last_scores: vec![0.0_f32; n],
+            accepted: Vec::new(),
+            terminated: false,
+            trace: EngineTrace::default(),
+            dropped_total: 0,
+        })
+    }
+
+    /// Number of candidates in the originating batch.
+    pub fn num_candidates(&self) -> usize {
+        self.n
+    }
+
+    /// The resolved top-K size (clamped to the candidate count).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether the selection is decided (no more layers needed).
+    pub fn is_done(&self) -> bool {
+        self.terminated
+    }
+
+    /// Seeds the post-embedding probe scores (the merge of every shard's
+    /// probe, ascending by global id) — mirrors `plan_request`'s seeding
+    /// of `current_scores` / `last_scores`.
+    pub fn seed_probe(&mut self, merged: Vec<(usize, f32)>) {
+        debug_assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+        self.current = merged;
+        for &(id, s) in &self.current {
+            self.last_scores[id] = s;
+        }
+    }
+
+    /// Records the merged scores after one forwarded layer — mirrors the
+    /// engine's `forward_and_score` bookkeeping.
+    pub fn observe_layer(&mut self, merged: Vec<(usize, f32)>) {
+        debug_assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
+        self.current = merged;
+        self.trace.executed_layers += 1;
+        for &(id, s) in &self.current {
+            self.last_scores[id] = s;
+        }
+    }
+
+    /// Runs the global pruning gate for `layer_idx` — the same decision,
+    /// seed and bookkeeping a single engine would run at this boundary.
+    pub fn gate(&mut self, layer_idx: usize) -> ScatterStep {
+        if self.terminated {
+            return ScatterStep {
+                keep: None,
+                done: true,
+            };
+        }
+        let step = route_and_book(
+            GateBook {
+                k: self.k,
+                n: self.n,
+                accepted: &mut self.accepted,
+                current_scores: &mut self.current,
+                trace: &mut self.trace,
+                dropped_total: &mut self.dropped_total,
+            },
+            layer_idx,
+            &self.gate,
+            self.engine_seed,
+            self.tag,
+        );
+        if step.terminate || self.current.is_empty() {
+            self.terminated = true;
+        } else {
+            self.trace.active_per_layer.push(self.current.len());
+        }
+        ScatterStep {
+            keep: step.keep_mask,
+            done: self.terminated,
+        }
+    }
+
+    /// A progress snapshot for the facade's layer-granularity stream
+    /// (same fields the engine emits from its own boundary).
+    pub fn progress(&self, layer: usize) -> ProgressUpdate {
+        ProgressUpdate {
+            layer,
+            layers_forwarded: self.trace.executed_layers,
+            active: self.current.len(),
+            accepted: self.accepted.len(),
+            pruned: self.dropped_total,
+        }
+    }
+
+    /// Ranks the survivors and assembles the merged [`Selection`] through
+    /// the same `finalize_ranked` path the engine uses (score-descending,
+    /// ties keep ascending-id order).
+    pub fn finalize(mut self) -> Selection {
+        finalize_ranked(
+            &mut self.accepted,
+            &self.current,
+            self.terminated,
+            self.k,
+            self.num_layers,
+        );
+        Selection {
+            ranked: self.accepted,
+            last_scores: self.last_scores,
+            trace: self.trace,
+        }
+    }
+}
+
+/// Merges per-shard `(global_id, score)` lists into one ascending-id
+/// vector. Each shard's list is already ascending (shard-local order is a
+/// subsequence of the global order), so this is a k-way merge.
+pub fn merge_shard_scores(per_shard: &[Vec<(usize, f32)>]) -> Vec<(usize, f32)> {
+    let total: usize = per_shard.iter().map(Vec::len).sum();
+    let mut merged = Vec::with_capacity(total);
+    for scores in per_shard {
+        merged.extend_from_slice(scores);
+    }
+    merged.sort_by_key(|&(id, _)| id);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> (EngineOptions, RequestOptions) {
+        (EngineOptions::default(), RequestOptions::tagged(2, 7))
+    }
+
+    #[test]
+    fn rejects_degenerate_requests() {
+        let (eo, ro) = opts();
+        assert!(ScatterGate::new(&eo, &ro, 0, 6, 7).is_err());
+        let mut zero_k = ro.clone();
+        zero_k.k = 0;
+        assert!(ScatterGate::new(&eo, &zero_k, 4, 6, 7).is_err());
+        let g = ScatterGate::new(&eo, &ro, 4, 6, 7).unwrap();
+        assert_eq!(g.k(), 2);
+        assert_eq!(g.num_candidates(), 4);
+    }
+
+    #[test]
+    fn k_clamps_to_candidate_count() {
+        let (eo, mut ro) = opts();
+        ro.k = 10;
+        let g = ScatterGate::new(&eo, &ro, 3, 6, 7).unwrap();
+        assert_eq!(g.k(), 3);
+    }
+
+    #[test]
+    fn no_pruning_finalize_ranks_by_score_then_id() {
+        let (eo, mut ro) = opts();
+        ro.pruning = Some(false);
+        ro.k = 3;
+        let mut g = ScatterGate::new(&eo, &ro, 4, 2, 7).unwrap();
+        g.seed_probe(vec![(0, 0.1), (1, 0.9), (2, 0.9), (3, 0.4)]);
+        for l in 0..2 {
+            let step = g.gate(l);
+            assert!(step.keep.is_none() && !step.done);
+            g.observe_layer(vec![(0, 0.1), (1, 0.9), (2, 0.9), (3, 0.4)]);
+        }
+        let sel = g.finalize();
+        // Tied scores keep ascending-id order (stable sort).
+        assert_eq!(sel.top_ids(), vec![1, 2, 3]);
+        assert_eq!(sel.last_scores, vec![0.1, 0.9, 0.9, 0.4]);
+        assert!(
+            sel.ranked.iter().all(|r| r.decided_at_layer == 2),
+            "{:?}",
+            sel.ranked
+        );
+    }
+
+    #[test]
+    fn merge_is_ascending_by_global_id() {
+        let merged = merge_shard_scores(&[
+            vec![(1, 0.5), (4, 0.2)],
+            vec![(0, 0.9), (2, 0.1)],
+            vec![(3, 0.7)],
+        ]);
+        assert_eq!(
+            merged,
+            vec![(0, 0.9), (1, 0.5), (2, 0.1), (3, 0.7), (4, 0.2)]
+        );
+    }
+}

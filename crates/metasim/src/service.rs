@@ -14,7 +14,7 @@
 //!   `repro sim-validate` so predicted throughput/p99 can be compared
 //!   against measured numbers on the same host.
 
-use prism_device::ServeBatchCost;
+use prism_device::{ScatterGatherCost, ServeBatchCost};
 use serde::Serialize;
 
 /// Maps a batch shape to virtual service time.
@@ -22,6 +22,11 @@ use serde::Serialize;
 pub enum ServiceModel {
     /// Analytic device cost model (no measurement needed).
     Analytic(Box<ServeBatchCost>),
+    /// Analytic scatter-gather model: the batch's candidates split
+    /// across engine shards behind the forward map, with the
+    /// coordinator's per-layer gate priced in (parallel or colocated
+    /// deployment per [`ScatterGatherCost::parallel_shards`]).
+    Sharded(Box<ScatterGatherCost>),
     /// Affine model fitted to measured engine timings.
     Calibrated(Calibration),
 }
@@ -70,6 +75,11 @@ impl ServiceModel {
         ServiceModel::Calibrated(c)
     }
 
+    /// An analytic scatter-gather model over `shards` engine shards.
+    pub fn sharded(cost: ScatterGatherCost) -> Self {
+        ServiceModel::Sharded(Box::new(cost))
+    }
+
     /// Virtual microseconds one batch of `requests` requests totalling
     /// `tokens` packed tokens occupies a worker. Always at least 1 for a
     /// non-empty batch so virtual time advances.
@@ -79,6 +89,7 @@ impl ServiceModel {
         }
         match self {
             ServiceModel::Analytic(cost) => cost.batch_micros(requests, tokens),
+            ServiceModel::Sharded(cost) => cost.batch_micros(requests, tokens),
             ServiceModel::Calibrated(c) => {
                 let us = c.batch_fixed_us
                     + c.per_request_us * requests as f64
@@ -128,6 +139,26 @@ mod tests {
         let m = ServiceModel::analytic(cost.clone());
         assert_eq!(m.batch_micros(2, 256), cost.batch_micros(2, 256));
         assert!(m.batch_micros(1, 64) >= 1);
+    }
+
+    #[test]
+    fn sharded_model_prices_both_deployments() {
+        let worker = ServeBatchCost::new(
+            ModelConfig::test_config(ModelArch::DecoderOnly, 6),
+            DeviceSpec::apple_m2(),
+        );
+        let single = ServiceModel::analytic(worker.clone()).batch_micros(8, 2048);
+        // Colocated shards (the loopback deployment): pure overhead, so
+        // the simulated batch is never cheaper than unsharded.
+        let colocated = ServiceModel::sharded(ScatterGatherCost::new(worker.clone(), 3));
+        assert!(colocated.batch_micros(8, 2048) >= single);
+        // One device per shard: the forward term parallelizes.
+        let parallel = ServiceModel::sharded(ScatterGatherCost {
+            parallel_shards: true,
+            ..ScatterGatherCost::new(worker, 3)
+        });
+        assert!(parallel.batch_micros(8, 2048) < single);
+        assert_eq!(colocated.batch_micros(0, 0), 0);
     }
 
     #[test]

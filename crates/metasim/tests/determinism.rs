@@ -42,6 +42,7 @@ fn config(
         session_cache_capacity: cache,
         starvation_age: Duration::from_micros(wait_us.max(1) * 20),
         priority_scheduling: priority_mode,
+        tenant_max_inflight: 0,
     }
 }
 

@@ -37,6 +37,11 @@ pub struct ServeConfig {
     /// `false` keeps the historical pure-FIFO planner — the measurable
     /// baseline for `bench-serve --high-frac` and `repro perf`.
     pub priority_scheduling: bool,
+    /// Per-tenant in-flight request ceiling (`0` disables quotas). A
+    /// tenant is a session key; past the ceiling its submissions are
+    /// rejected with the typed quota error so one noisy session cannot
+    /// convert the shared queue's headroom into its own.
+    pub tenant_max_inflight: usize,
 }
 
 impl Default for ServeConfig {
@@ -50,6 +55,7 @@ impl Default for ServeConfig {
             session_cache_capacity: 64,
             starvation_age: Duration::from_millis(50),
             priority_scheduling: true,
+            tenant_max_inflight: 0,
         }
     }
 }

@@ -53,20 +53,24 @@
 pub mod config;
 pub mod load;
 pub mod queue;
+pub mod quota;
 pub mod request;
 pub mod scheduler;
 pub mod server;
 pub mod session;
+pub mod shard;
 pub mod stats;
 
 pub use config::ServeConfig;
 pub use load::{run_closed_loop, ClassReport, LoadReport, LoadSpec};
+pub use quota::{QuotaToken, TenantQuota};
 pub use request::{
     CacheOutcome, Replier, ResponseHandle, ServeError, ServeRequest, ServeResponse, ServiceError,
 };
 pub use scheduler::{BatchPlanner, PlanDecision, QueueItem};
 pub use server::{PrismServer, RemoteService, ServeSession};
 pub use session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
+pub use shard::{candidate_key, ForwardMap, ShardFault, ShardSet, FORWARD_SLOTS};
 pub use stats::{ServeStats, ServeStatsSnapshot};
 
 /// Result alias for serving-path operations.

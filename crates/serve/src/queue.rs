@@ -46,6 +46,9 @@ pub struct Pending {
     /// Caller-side cancellation flag (always present; inert unless the
     /// caller holds a facade handle).
     pub cancel: CancelToken,
+    /// The tenant's occupied quota slot, if quotas are enabled. Released
+    /// by drop on every exit path — completion, shed, drain.
+    pub quota: Option<crate::quota::QuotaToken>,
     /// Reply transport back to the caller.
     pub reply: Replier,
 }
@@ -265,6 +268,7 @@ mod tests {
             enqueued: Instant::now(),
             deadline: None,
             cancel: CancelToken::new(),
+            quota: None,
             reply: Replier::Channel(tx),
         };
         (p, rx)

@@ -1,0 +1,130 @@
+//! Per-tenant in-flight quotas.
+//!
+//! The bounded [`crate::queue::SubmissionQueue`] protects the *server*
+//! from overload, but one noisy tenant could fill it and convert the
+//! shared headroom into its own. A [`TenantQuota`] caps how many requests
+//! a single tenant (session key) may have in flight — from admission
+//! until its reply is sent — and rejects the excess with the typed
+//! [`ServiceError::QuotaExceeded`] so well-behaved tenants keep their
+//! latency. Tokens release on drop, so every exit path (completion,
+//! cancellation, deadline shed, queue-close drain) returns the slot
+//! without bookkeeping at each site.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use prism_api::ServiceError;
+
+type InflightMap = Arc<Mutex<HashMap<String, usize>>>;
+
+/// Admission-time quota ledger: at most `limit` in-flight requests per
+/// tenant key.
+#[derive(Clone)]
+pub struct TenantQuota {
+    limit: usize,
+    inflight: InflightMap,
+}
+
+impl TenantQuota {
+    /// A quota allowing `limit` concurrent requests per tenant
+    /// (`limit >= 1`; use no quota at all for "unlimited").
+    pub fn new(limit: usize) -> Self {
+        TenantQuota {
+            limit: limit.max(1),
+            inflight: Arc::new(Mutex::new(HashMap::new())),
+        }
+    }
+
+    /// The configured per-tenant ceiling.
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Takes one in-flight slot for `tenant`, or fails with
+    /// [`ServiceError::QuotaExceeded`] if the tenant is at its ceiling.
+    pub fn acquire(&self, tenant: &str) -> Result<QuotaToken, ServiceError> {
+        let mut map = self.inflight.lock().expect("quota lock");
+        let count = map.entry(tenant.to_string()).or_insert(0);
+        if *count >= self.limit {
+            return Err(ServiceError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                limit: self.limit,
+            });
+        }
+        *count += 1;
+        Ok(QuotaToken {
+            tenant: tenant.to_string(),
+            inflight: Arc::clone(&self.inflight),
+        })
+    }
+
+    /// Requests currently in flight for `tenant` (telemetry/tests).
+    pub fn in_flight(&self, tenant: &str) -> usize {
+        self.inflight
+            .lock()
+            .expect("quota lock")
+            .get(tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// One tenant's occupied in-flight slot; dropping it releases the slot.
+pub struct QuotaToken {
+    tenant: String,
+    inflight: InflightMap,
+}
+
+impl std::fmt::Debug for QuotaToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuotaToken")
+            .field("tenant", &self.tenant)
+            .finish()
+    }
+}
+
+impl Drop for QuotaToken {
+    fn drop(&mut self) {
+        let mut map = self.inflight.lock().expect("quota lock");
+        if let Some(count) = map.get_mut(&self.tenant) {
+            *count -= 1;
+            if *count == 0 {
+                map.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_until_limit_then_typed_rejection() {
+        let q = TenantQuota::new(2);
+        let a = q.acquire("t").unwrap();
+        let _b = q.acquire("t").unwrap();
+        match q.acquire("t") {
+            Err(ServiceError::QuotaExceeded { tenant, limit }) => {
+                assert_eq!(tenant, "t");
+                assert_eq!(limit, 2);
+            }
+            other => panic!("expected QuotaExceeded, got {other:?}"),
+        }
+        // Another tenant is unaffected.
+        let _c = q.acquire("u").unwrap();
+        assert_eq!(q.in_flight("t"), 2);
+        drop(a);
+        assert_eq!(q.in_flight("t"), 1);
+        q.acquire("t").expect("slot released by drop");
+    }
+
+    #[test]
+    fn ledger_entry_removed_at_zero() {
+        let q = TenantQuota::new(1);
+        let t = q.acquire("gone").unwrap();
+        drop(t);
+        assert_eq!(q.in_flight("gone"), 0);
+        assert!(q.inflight.lock().unwrap().is_empty());
+    }
+}

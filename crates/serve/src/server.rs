@@ -13,16 +13,22 @@ use prism_model::SequenceBatch;
 
 use crate::config::ServeConfig;
 use crate::queue::{Pending, SubmissionQueue};
+use crate::quota::{QuotaToken, TenantQuota};
 use crate::request::{CacheOutcome, Replier, ResponseHandle, ServeRequest, ServeResponse};
 use crate::scheduler::BatchPlanner;
 use crate::session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
+use crate::shard::ShardSet;
 use crate::stats::ServeStats;
 
 struct ServerShared {
     engine: Arc<PrismEngine>,
+    /// Sharded backend: when set, workers execute batches through the
+    /// scatter-gather coordinator instead of the single shared engine.
+    shards: Option<Arc<ShardSet>>,
     queue: SubmissionQueue,
     planner: BatchPlanner,
     cache: Option<Mutex<SessionCache>>,
+    quota: Option<TenantQuota>,
     stats: ServeStats,
     ticket: AtomicU64,
     workers: usize,
@@ -42,14 +48,36 @@ pub struct PrismServer {
 impl PrismServer {
     /// Starts `config.workers` worker threads over `engine`.
     pub fn start(engine: PrismEngine, config: ServeConfig) -> crate::Result<Self> {
+        Self::start_inner(Arc::new(engine), None, config)
+    }
+
+    /// Starts a *sharded* server: the candidate corpus of every request
+    /// is partitioned across `engines` by the consistent-hash forward
+    /// map and executed scatter-gather, with results bit-identical to a
+    /// single engine. Each shard engine must hold weights resident and
+    /// share the selection configuration (seed, mode, precisions).
+    pub fn start_sharded(engines: Vec<PrismEngine>, config: ServeConfig) -> crate::Result<Self> {
+        let shards = ShardSet::new(engines.into_iter().map(Arc::new).collect())?;
+        let engine = Arc::clone(shards.engine(0));
+        Self::start_inner(engine, Some(Arc::new(shards)), config)
+    }
+
+    fn start_inner(
+        engine: Arc<PrismEngine>,
+        shards: Option<Arc<ShardSet>>,
+        config: ServeConfig,
+    ) -> crate::Result<Self> {
         config.validate()?;
         let stats = ServeStats::new();
         let shared = Arc::new(ServerShared {
-            engine: Arc::new(engine),
+            engine,
+            shards,
             queue: SubmissionQueue::new(config.queue_capacity, stats.clone(), config.workers),
             planner: config.planner(),
             cache: (config.session_cache_capacity > 0)
                 .then(|| Mutex::new(SessionCache::new(config.session_cache_capacity))),
+            quota: (config.tenant_max_inflight > 0)
+                .then(|| TenantQuota::new(config.tenant_max_inflight)),
             stats,
             ticket: AtomicU64::new(0),
             workers: config.workers,
@@ -78,9 +106,16 @@ impl PrismServer {
         &self.shared.stats
     }
 
-    /// The engine behind this server.
+    /// The engine behind this server (shard 0's engine when sharded).
     pub fn engine(&self) -> &PrismEngine {
         &self.shared.engine
+    }
+
+    /// The scatter-gather shard set, when started via
+    /// [`PrismServer::start_sharded`] (fault injection, routing
+    /// diagnostics).
+    pub fn shards(&self) -> Option<&ShardSet> {
+        self.shared.shards.as_deref()
     }
 
     /// A lightweight per-session submission handle (usable as a
@@ -142,6 +177,21 @@ impl ServerShared {
         Ok((ticket, deadline))
     }
 
+    /// Takes the tenant's quota slot (when quotas are configured),
+    /// counting and surfacing the typed rejection at its ceiling.
+    fn acquire_quota(&self, tenant: &str) -> Result<Option<QuotaToken>, ServiceError> {
+        match &self.quota {
+            Some(quota) => match quota.acquire(tenant) {
+                Ok(token) => Ok(Some(token)),
+                Err(e) => {
+                    self.stats.quota_rejected.inc();
+                    Err(e)
+                }
+            },
+            None => Ok(None),
+        }
+    }
+
     fn enqueue(&self, mut pending: Pending) -> crate::Result<()> {
         pending.tokens = pending.batch.total_tokens();
         // Only the cache reads the fingerprint; skip the O(tokens) hash
@@ -169,6 +219,7 @@ impl ServerShared {
         let now = Instant::now();
         let mut options = request.options;
         let (ticket, deadline) = self.admit(&mut options, now)?;
+        let quota = self.acquire_quota(&request.session)?;
         let (tx, rx) = mpsc::sync_channel(1);
         self.enqueue(Pending {
             ticket,
@@ -180,6 +231,7 @@ impl ServerShared {
             enqueued: now,
             deadline,
             cancel: prism_core::CancelToken::new(),
+            quota,
             reply: Replier::Channel(tx),
         })?;
         Ok(ResponseHandle { ticket, rx })
@@ -194,6 +246,7 @@ impl ServerShared {
         let now = Instant::now();
         let mut options = options;
         let (ticket, deadline) = self.admit(&mut options, now)?;
+        let quota = self.acquire_quota(&session)?;
         let (handle, completion) = SelectionHandle::channel(ticket, deadline);
         self.enqueue(Pending {
             ticket,
@@ -205,6 +258,7 @@ impl ServerShared {
             enqueued: now,
             deadline,
             cancel: handle.cancel_token(),
+            quota,
             reply: Replier::Handle(completion),
         })?;
         Ok(handle)
@@ -259,6 +313,13 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
         .batch_tokens
         .record(batch.iter().map(|p| p.tokens as u64).sum());
     stats.in_flight.add(size as u64);
+
+    // ---- Sharded backend: scatter-gather per request ----
+    if let Some(shards) = &shared.shards {
+        execute_sharded_batch(shared, shards, batch, size, picked_at);
+        stats.in_flight.sub(size as u64);
+        return;
+    }
 
     let mut items: Vec<RunItem> = Vec::with_capacity(size);
     let mut planned: Vec<ActiveRequest> = Vec::with_capacity(size);
@@ -403,6 +464,105 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
         }
     }
     stats.in_flight.sub(size as u64);
+}
+
+/// Executes one coalesced batch through the scatter-gather coordinator.
+///
+/// Planning happens inside each shard (the corpus partition is
+/// per-request), so the embed-replay tier of the session cache does not
+/// apply here — only full-selection replays are probed and stored. Each
+/// request runs the deterministic lockstep scatter loop with the
+/// caller's cancel token, deadline and progress sink attached; a dead or
+/// slow shard surfaces as its typed error without failing batch-mates.
+fn execute_sharded_batch(
+    shared: &ServerShared,
+    shards: &ShardSet,
+    batch: Vec<Pending>,
+    size: usize,
+    picked_at: Instant,
+) {
+    let stats = &shared.stats;
+    for mut pending in batch {
+        let queued_us = picked_at.duration_since(pending.enqueued).as_micros() as u64;
+        stats.queued_us.record(queued_us);
+        let key = SelectionKey::from_options(&pending.options);
+
+        let lookup = match &shared.cache {
+            Some(cache) => cache.lock().expect("session cache lock").lookup(
+                &pending.session,
+                pending.fingerprint,
+                &pending.batch,
+                &key,
+            ),
+            None => CacheLookup::Miss,
+        };
+        if let CacheLookup::Selection(sel) = lookup {
+            stats.cache_selection_hits.inc();
+            stats.service_us.record(0);
+            stats.completed.inc();
+            let response = ServeResponse {
+                selection: *sel,
+                ticket: pending.ticket,
+                batch_size: size,
+                queued_us,
+                service_us: 0,
+                cache: CacheOutcome::SelectionHit,
+            };
+            pending.reply.send(Ok(response));
+            continue;
+        }
+        stats.cache_misses.inc();
+
+        let progress = match &pending.reply {
+            Replier::Handle(completion) => Some(completion.progress_fn()),
+            _ => None,
+        };
+        let t0 = Instant::now();
+        let run = shards.select_with_controls(
+            &pending.batch,
+            pending.options.clone(),
+            Some(pending.cancel.clone()),
+            pending.deadline,
+            progress,
+        );
+        let service_us = t0.elapsed().as_micros() as u64;
+        match run {
+            Ok(selection) => {
+                stats.service_us.record(service_us);
+                stats.completed.inc();
+                if let Some(cache) = &shared.cache {
+                    cache.lock().expect("session cache lock").store_selection(
+                        &pending.session,
+                        pending.fingerprint,
+                        &pending.batch,
+                        key,
+                        &selection,
+                    );
+                }
+                let response = ServeResponse {
+                    selection,
+                    ticket: pending.ticket,
+                    batch_size: size,
+                    queued_us,
+                    service_us,
+                    cache: CacheOutcome::Miss,
+                };
+                pending.reply.send(Ok(response));
+            }
+            Err(PrismError::Cancelled) => {
+                stats.cancelled.inc();
+                pending.reply.send(Err(ServiceError::Cancelled));
+            }
+            Err(PrismError::DeadlineExceeded) => {
+                stats.deadline_missed.inc();
+                pending.reply.send(Err(ServiceError::DeadlineExceeded));
+            }
+            Err(e) => {
+                stats.completed.inc();
+                pending.reply.send(Err(ServiceError::from(e)));
+            }
+        }
+    }
 }
 
 fn store_selection(shared: &ServerShared, item: &RunItem, selection: &Selection) {

@@ -1,0 +1,542 @@
+//! Sharded scatter-gather execution: consistent-hash candidate routing
+//! over N engine shards, merged bit-identically to single-engine results.
+//!
+//! ```text
+//!  request (n candidates)
+//!      │  ForwardMap: flat slot table, shard = slots[key % SLOTS]
+//!      ▼
+//!  ┌───────────┬───────────┬───────────┐
+//!  │ shard 0   │ shard 1   │ shard 2   │   each: own PrismEngine,
+//!  │ sub-batch │ sub-batch │ sub-batch │   local pruning OFF
+//!  └─────┬─────┴─────┬─────┴─────┬─────┘
+//!        └─ scores ──┼── scores ─┘        per layer boundary
+//!                    ▼
+//!            ScatterGate (prism-core)     global gate: same seed, same
+//!                    │                    route_and_book as single engine
+//!        ┌─ keep-mask per shard ─┐        physical pruning pushed back
+//!        ▼                       ▼        to the owning shard
+//!  merged top-k == single-engine top-k (bit-identical)
+//! ```
+//!
+//! The routing table is the yanet2 `forward_map` dataplane idiom: a flat
+//! array indexed by `key % slots`, rebuilt off the hot path when the
+//! shard count changes (rendezvous hashing keeps key movement minimal),
+//! and read lock-free.
+//!
+//! The scatter loop is deterministic lockstep in the calling worker
+//! thread: the global gate is a per-layer rendezvous by construction, so
+//! thread-per-shard fan-out would buy nothing within one request on this
+//! class of host — cross-request parallelism comes from the serving
+//! worker pool, and each shard engine stays independently owned (its own
+//! weights, spill dir and meter), which is what a process-per-shard
+//! deployment over `prism-wire` needs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use prism_core::scatter::{merge_shard_scores, ScatterGate};
+use prism_core::{
+    ActiveRequest, CancelToken, PrismEngine, PrismError, ProgressFn, RequestOptions, Selection,
+};
+use prism_model::layer::ForwardScratch;
+use prism_model::SequenceBatch;
+
+/// Number of routing slots in a [`ForwardMap`] (power of two; ~1k slots
+/// per shard at the largest supported shard count keeps balance tight).
+pub const FORWARD_SLOTS: usize = 4096;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a candidate's token content — the routing key. Content
+/// hashing (not position hashing) keeps routing deterministic across
+/// requests: the same candidate text always lands on the same shard, so
+/// shard-local caches stay warm.
+pub fn candidate_key(tokens: &[u32]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for t in tokens {
+        for b in t.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    h
+}
+
+fn mix64(mut x: u64) -> u64 {
+    // splitmix64 finalizer: cheap, well-dispersed slot/shard weights.
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Flat consistent-hash routing table (the yanet2 `forward_map` idiom):
+/// shard lookup is one bounds-free array read, `slots[key % len]`.
+///
+/// Slot ownership uses rendezvous (highest-random-weight) hashing, which
+/// gives the three properties the proptest suite pins: deterministic
+/// routing, per-shard balance within bounds, and minimal movement — when
+/// a shard is added, the only slots that change owner are those the new
+/// shard wins; none move between pre-existing shards.
+#[derive(Debug, Clone)]
+pub struct ForwardMap {
+    slots: Vec<u16>,
+    shards: usize,
+}
+
+impl ForwardMap {
+    /// Builds the table for `shards` shards over [`FORWARD_SLOTS`] slots.
+    pub fn new(shards: usize) -> Self {
+        Self::with_slots(shards, FORWARD_SLOTS)
+    }
+
+    /// Builds the table with an explicit slot count (tests).
+    pub fn with_slots(shards: usize, slots: usize) -> Self {
+        let shards = shards.max(1);
+        assert!(shards <= u16::MAX as usize, "shard count fits u16");
+        let table = (0..slots.max(1))
+            .map(|slot| {
+                (0..shards)
+                    .max_by_key(|&shard| {
+                        (
+                            mix64((slot as u64) << 16 | shard as u64),
+                            // Ties (never observed with mix64, but the
+                            // contract must not depend on that) go to the
+                            // lower shard id, deterministically.
+                            usize::MAX - shard,
+                        )
+                    })
+                    .expect("at least one shard") as u16
+            })
+            .collect();
+        ForwardMap {
+            slots: table,
+            shards,
+        }
+    }
+
+    /// Shard owning `key` — the hot-path lookup: one masked index.
+    pub fn shard_of(&self, key: u64) -> usize {
+        self.slots[(key % self.slots.len() as u64) as usize] as usize
+    }
+
+    /// Number of shards the table routes across.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The raw slot table (diagnostics, balance tests).
+    pub fn slots(&self) -> &[u16] {
+        &self.slots
+    }
+}
+
+/// Injected failure mode of one shard (fault-injection test hook; the
+/// default `Healthy` path costs one relaxed atomic load per layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFault {
+    /// Normal operation.
+    Healthy,
+    /// The shard is unreachable: any request touching it fails with
+    /// [`PrismError::ShardFailure`] at the next layer boundary.
+    Dead,
+    /// The shard stalls for the given duration at every layer boundary
+    /// (drives deadline-expiry paths without wall-clock flakiness).
+    Slow(Duration),
+}
+
+struct FaultCell {
+    // 0 = healthy, 1 = dead, 2 = slow (stall micros in `slow_us`).
+    mode: AtomicU64,
+    slow_us: AtomicU64,
+}
+
+impl FaultCell {
+    fn new() -> Self {
+        FaultCell {
+            mode: AtomicU64::new(0),
+            slow_us: AtomicU64::new(0),
+        }
+    }
+
+    fn set(&self, fault: ShardFault) {
+        match fault {
+            ShardFault::Healthy => self.mode.store(0, Ordering::Release),
+            ShardFault::Dead => self.mode.store(1, Ordering::Release),
+            ShardFault::Slow(d) => {
+                self.slow_us.store(d.as_micros() as u64, Ordering::Release);
+                self.mode.store(2, Ordering::Release);
+            }
+        }
+    }
+
+    fn get(&self) -> ShardFault {
+        match self.mode.load(Ordering::Acquire) {
+            0 => ShardFault::Healthy,
+            1 => ShardFault::Dead,
+            _ => ShardFault::Slow(Duration::from_micros(self.slow_us.load(Ordering::Acquire))),
+        }
+    }
+}
+
+/// One shard's in-flight part of a scattered request.
+struct ShardRun {
+    shard: usize,
+    /// Global candidate ids this shard owns, ascending.
+    ids: Vec<usize>,
+    req: ActiveRequest,
+}
+
+/// N engine shards behind a [`ForwardMap`], executing requests by
+/// scatter-gather with the global gate in `prism_core::ScatterGate`.
+///
+/// Every shard engine must resolve routing identically (same seed,
+/// threshold, mode, clustering bounds) — validated at construction — and
+/// hold its layer weights resident (the stepping API's requirement).
+pub struct ShardSet {
+    engines: Vec<Arc<PrismEngine>>,
+    map: ForwardMap,
+    faults: Vec<FaultCell>,
+    /// Tag source for untagged requests (mirrors the engine's counter).
+    counter: AtomicU64,
+    /// Scratch workspaces reused across scatter calls (per-call take/put,
+    /// same pattern as the engine's own pool).
+    scratch: Mutex<Vec<ForwardScratch>>,
+}
+
+impl ShardSet {
+    /// Builds a shard set over the given engines.
+    pub fn new(engines: Vec<Arc<PrismEngine>>) -> Result<Self, PrismError> {
+        if engines.is_empty() {
+            return Err(PrismError::InvalidRequest(
+                "shard set needs at least one engine".into(),
+            ));
+        }
+        let first = engines[0].options();
+        for (i, e) in engines.iter().enumerate() {
+            if e.options().streaming {
+                return Err(PrismError::InvalidRequest(format!(
+                    "shard {i} streams weights; layer stepping requires resident \
+                     weights (EngineOptions::streaming = false)"
+                )));
+            }
+        }
+        for (i, e) in engines.iter().enumerate().skip(1) {
+            let o = e.options();
+            let routing_equal = o.seed == first.seed
+                && o.dispersion_threshold == first.dispersion_threshold
+                && o.mode == first.mode
+                && o.pruning == first.pruning
+                && o.max_clusters == first.max_clusters
+                && o.min_gate_layer == first.min_gate_layer;
+            if !routing_equal {
+                return Err(PrismError::InvalidRequest(format!(
+                    "shard {i} resolves routing differently from shard 0; \
+                     all shards must share seed/threshold/mode/cluster options"
+                )));
+            }
+            if e.config().num_layers != engines[0].config().num_layers {
+                return Err(PrismError::InvalidRequest(format!(
+                    "shard {i} has a different model depth"
+                )));
+            }
+        }
+        let faults = (0..engines.len()).map(|_| FaultCell::new()).collect();
+        let map = ForwardMap::new(engines.len());
+        Ok(ShardSet {
+            engines,
+            map,
+            faults,
+            counter: AtomicU64::new(0),
+            scratch: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The engine of shard `i`.
+    pub fn engine(&self, i: usize) -> &Arc<PrismEngine> {
+        &self.engines[i]
+    }
+
+    /// The routing table.
+    pub fn forward_map(&self) -> &ForwardMap {
+        &self.map
+    }
+
+    /// Injects (or clears) a failure mode on shard `i` — the
+    /// fault-injection hook the serving tests drive.
+    pub fn inject_fault(&self, i: usize, fault: ShardFault) {
+        self.faults[i].set(fault);
+    }
+
+    /// Partitions a batch's candidate indices across shards by routing
+    /// key. Returns one ascending id list per shard (possibly empty).
+    pub fn partition(&self, batch: &SequenceBatch) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.engines.len()];
+        for i in 0..batch.num_sequences() {
+            let shard = self.map.shard_of(candidate_key(batch.sequence(i)));
+            groups[shard].push(i);
+        }
+        groups
+    }
+
+    /// Scatter-gather selection, bit-identical to
+    /// `PrismEngine::select_with` on an unsharded engine with the same
+    /// routing options.
+    pub fn select_with(
+        &self,
+        batch: &SequenceBatch,
+        options: RequestOptions,
+    ) -> Result<Selection, PrismError> {
+        self.select_with_controls(batch, options, None, None, None)
+    }
+
+    /// [`ShardSet::select_with`] plus the serving controls: a shared
+    /// cancellation token, an absolute deadline, and a progress sink fed
+    /// from the coordinator (one update per layer boundary).
+    pub fn select_with_controls(
+        &self,
+        batch: &SequenceBatch,
+        options: RequestOptions,
+        cancel: Option<CancelToken>,
+        deadline: Option<Instant>,
+        progress: Option<ProgressFn>,
+    ) -> Result<Selection, PrismError> {
+        let n = batch.num_sequences();
+        let tag = options
+            .tag
+            .unwrap_or_else(|| self.counter.fetch_add(1, Ordering::Relaxed) + 1);
+        let num_layers = self.engines[0].config().num_layers;
+        let mut gate = ScatterGate::new(self.engines[0].options(), &options, n, num_layers, tag)?;
+
+        let mut pool = std::mem::take(&mut *self.scratch.lock().expect("scratch lock"));
+        let result = self.run_scatter(
+            batch,
+            &options,
+            tag,
+            &mut gate,
+            cancel,
+            deadline,
+            progress.as_ref(),
+            &mut pool,
+        );
+        let mut shared = self.scratch.lock().expect("scratch lock");
+        if shared.is_empty() {
+            *shared = pool;
+        }
+        drop(shared);
+        match result {
+            Ok(runs) => {
+                // Release shard resources through the engines' own
+                // finalize path (surfaces deferred spill errors, clears
+                // spill files and meter bytes); the shard-local ranked
+                // lists are meaningless and discarded — the coordinator
+                // owns the merged result.
+                let mut finalize_err: Option<PrismError> = None;
+                for run in runs {
+                    let shard = run.shard;
+                    if let Err(e) = self.engines[shard].finalize_request(run.req) {
+                        finalize_err.get_or_insert(e);
+                    }
+                }
+                if let Some(e) = finalize_err {
+                    return Err(e);
+                }
+                Ok(gate.finalize())
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The lockstep scatter loop. Returns the shard runs for finalization
+    /// on success; on failure every `ShardRun` has already been dropped
+    /// (its `ActiveRequest` drop guard releases spill files and meter
+    /// bytes), so a dead shard or an abort never leaks the survivors.
+    #[allow(clippy::too_many_arguments)]
+    fn run_scatter(
+        &self,
+        batch: &SequenceBatch,
+        options: &RequestOptions,
+        tag: u64,
+        gate: &mut ScatterGate,
+        cancel: Option<CancelToken>,
+        deadline: Option<Instant>,
+        progress: Option<&ProgressFn>,
+        pool: &mut Vec<ForwardScratch>,
+    ) -> Result<Vec<ShardRun>, PrismError> {
+        // ---- Scatter: plan each shard's sub-batch, local pruning off ----
+        let mut runs: Vec<ShardRun> = Vec::new();
+        for (shard, ids) in self.partition(batch).into_iter().enumerate() {
+            if ids.is_empty() {
+                continue;
+            }
+            self.check_fault(shard)?;
+            let sub = batch.gather(&ids)?;
+            let mut shard_options = options.clone();
+            shard_options.pruning = Some(false);
+            shard_options.k = options.k.min(ids.len()).max(1);
+            shard_options.tag = Some(tag);
+            let mut req = self.engines[shard].plan_request(&sub, shard_options)?;
+            if let Some(token) = &cancel {
+                req.attach_cancel(token.clone());
+            }
+            if let Some(d) = deadline {
+                req.attach_deadline(d);
+            }
+            runs.push(ShardRun { shard, ids, req });
+        }
+
+        // ---- Seed the global gate with the merged probe scores ----
+        gate.seed_probe(merge_runs(&runs));
+
+        // ---- Lockstep layer loop: boundary → global gate → forward ----
+        for layer_idx in 0..self.engines[0].config().num_layers {
+            let mut aborted_at = None;
+            for (idx, run) in runs.iter_mut().enumerate() {
+                self.check_fault(run.shard)?;
+                self.engines[run.shard].gate_planned(&mut run.req, layer_idx)?;
+                if run.req.is_aborted() {
+                    aborted_at = Some(idx);
+                    break;
+                }
+            }
+            if let Some(idx) = aborted_at {
+                // Cancelled / past deadline: the aborting shard's
+                // finalize carries the typed error; dropping the other
+                // runs releases their resources immediately.
+                let aborted = runs.swap_remove(idx);
+                let shard = aborted.shard;
+                runs.clear();
+                return match self.engines[shard].finalize_request(aborted.req) {
+                    Err(e) => Err(e),
+                    Ok(_) => Err(PrismError::Cancelled),
+                };
+            }
+            let step = gate.gate(layer_idx);
+            if let Some(keep) = &step.keep {
+                for run in runs.iter_mut() {
+                    if run.req.is_done() {
+                        continue;
+                    }
+                    let local: Vec<bool> = run.ids.iter().map(|&g| keep[g]).collect();
+                    if local.iter().all(|&k| k) {
+                        continue;
+                    }
+                    self.engines[run.shard].apply_keep_mask(&mut run.req, &local)?;
+                }
+            }
+            if let Some(sink) = progress {
+                sink(gate.progress(layer_idx));
+            }
+            if step.done {
+                for run in runs.iter_mut() {
+                    self.engines[run.shard].terminate_planned(&mut run.req);
+                }
+                break;
+            }
+            for run in runs.iter_mut() {
+                if run.req.is_done() {
+                    continue;
+                }
+                self.check_fault(run.shard)?;
+                self.engines[run.shard].forward_planned_layer(&mut run.req, layer_idx, pool)?;
+            }
+            gate.observe_layer(merge_runs(&runs));
+        }
+        Ok(runs)
+    }
+
+    /// Applies shard `i`'s injected fault: a dead shard fails the request
+    /// immediately (typed, never hangs the merge), a slow shard stalls.
+    fn check_fault(&self, shard: usize) -> Result<(), PrismError> {
+        match self.faults[shard].get() {
+            ShardFault::Healthy => Ok(()),
+            ShardFault::Dead => Err(PrismError::ShardFailure(format!(
+                "shard {shard} is unreachable"
+            ))),
+            ShardFault::Slow(d) => {
+                std::thread::sleep(d);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Gathers every live run's shard-local scores, translated to global
+/// candidate ids, merged ascending.
+fn merge_runs(runs: &[ShardRun]) -> Vec<(usize, f32)> {
+    let per_shard: Vec<Vec<(usize, f32)>> = runs
+        .iter()
+        .map(|run| {
+            run.req
+                .scores()
+                .iter()
+                .map(|&(local, s)| (run.ids[local], s))
+                .collect()
+        })
+        .collect();
+    merge_shard_scores(&per_shard)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_map_routes_deterministically() {
+        let m = ForwardMap::new(3);
+        for key in [0_u64, 1, 42, u64::MAX, 0xDEAD_BEEF] {
+            let s = m.shard_of(key);
+            assert!(s < 3);
+            assert_eq!(s, m.shard_of(key), "same key, same shard");
+            assert_eq!(s, ForwardMap::new(3).shard_of(key), "rebuild-stable");
+        }
+    }
+
+    #[test]
+    fn forward_map_single_shard_routes_everything_to_zero() {
+        let m = ForwardMap::new(1);
+        assert!(m.slots().iter().all(|&s| s == 0));
+    }
+
+    #[test]
+    fn growth_moves_slots_only_to_the_new_shard() {
+        for n in 1..6_usize {
+            let before = ForwardMap::new(n);
+            let after = ForwardMap::new(n + 1);
+            for (slot, (&a, &b)) in before.slots().iter().zip(after.slots()).enumerate() {
+                if a != b {
+                    assert_eq!(
+                        b as usize, n,
+                        "slot {slot} moved between pre-existing shards ({a} -> {b})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn candidate_key_is_content_hash() {
+        assert_eq!(candidate_key(&[1, 2, 3]), candidate_key(&[1, 2, 3]));
+        assert_ne!(candidate_key(&[1, 2, 3]), candidate_key(&[3, 2, 1]));
+        assert_ne!(candidate_key(&[1]), candidate_key(&[1, 1]));
+    }
+
+    #[test]
+    fn fault_cell_round_trips() {
+        let c = FaultCell::new();
+        assert_eq!(c.get(), ShardFault::Healthy);
+        c.set(ShardFault::Dead);
+        assert_eq!(c.get(), ShardFault::Dead);
+        c.set(ShardFault::Slow(Duration::from_millis(3)));
+        assert_eq!(c.get(), ShardFault::Slow(Duration::from_millis(3)));
+        c.set(ShardFault::Healthy);
+        assert_eq!(c.get(), ShardFault::Healthy);
+    }
+}

@@ -14,6 +14,9 @@ pub struct ServeStats {
     pub submitted: Counter,
     /// Requests rejected with backpressure.
     pub rejected: Counter,
+    /// Requests rejected at admission because their tenant was at its
+    /// in-flight quota.
+    pub quota_rejected: Counter,
     /// Requests rejected at admission because their deadline had already
     /// passed.
     pub deadline_rejected: Counter,
@@ -86,6 +89,7 @@ impl ServeStats {
             queue_depth_peak: self.queue_depth.peak(),
             submitted: self.submitted.get(),
             rejected: self.rejected.get(),
+            quota_rejected: self.quota_rejected.get(),
             deadline_rejected: self.deadline_rejected.get(),
             deadline_missed: self.deadline_missed.get(),
             cancelled: self.cancelled.get(),
@@ -115,6 +119,8 @@ pub struct ServeStatsSnapshot {
     pub submitted: u64,
     /// Requests rejected with backpressure.
     pub rejected: u64,
+    /// Requests rejected at admission by the per-tenant quota.
+    pub quota_rejected: u64,
     /// Requests rejected at admission with an already-expired deadline.
     pub deadline_rejected: u64,
     /// Accepted requests later shed on a passed deadline.

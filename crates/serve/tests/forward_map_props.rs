@@ -1,0 +1,89 @@
+//! Properties of the flat consistent-hash forward map: routing is
+//! deterministic and in range, slot ownership is balanced across
+//! shards, and growing the shard set moves only the slots claimed by
+//! the new shard — the minimal-movement guarantee that keeps resharding
+//! from invalidating every shard's working set.
+
+use prism_serve::{candidate_key, ForwardMap, FORWARD_SLOTS};
+use proptest::prelude::*;
+
+proptest! {
+    /// Two independently built maps route every key identically, and
+    /// always onto a real shard — the table is a pure function of the
+    /// shard count.
+    #[test]
+    fn routing_is_deterministic_and_in_range(
+        shards in 1_usize..9,
+        key in 0_u64..u64::MAX,
+    ) {
+        let a = ForwardMap::new(shards);
+        let b = ForwardMap::new(shards);
+        prop_assert_eq!(a.slots(), b.slots());
+        let shard = a.shard_of(key);
+        prop_assert!(shard < shards);
+        prop_assert_eq!(shard, b.shard_of(key));
+    }
+
+    /// Equal candidate token sequences derive equal keys (the map may
+    /// then be consulted with either), and the key ignores nothing: any
+    /// single-token change reroutes the hash input.
+    #[test]
+    fn candidate_keys_are_a_pure_function_of_tokens(
+        tokens in prop::collection::vec(0_u32..50_000, 1..64),
+        flip in 0_usize..64,
+    ) {
+        prop_assert_eq!(candidate_key(&tokens), candidate_key(&tokens.clone()));
+        let mut other = tokens.clone();
+        let i = flip % other.len();
+        other[i] ^= 1;
+        prop_assert!(
+            candidate_key(&other) != candidate_key(&tokens),
+            "single-token flip at {i} collided"
+        );
+    }
+
+    /// Every shard owns within ±25% of its fair slot share — rendezvous
+    /// hashing over 4096 slots keeps the table balanced without any
+    /// per-shard state.
+    #[test]
+    fn slot_ownership_is_balanced(shards in 1_usize..9) {
+        let map = ForwardMap::new(shards);
+        let mut counts = vec![0_usize; shards];
+        for &owner in map.slots() {
+            counts[owner as usize] += 1;
+        }
+        let fair = FORWARD_SLOTS / shards;
+        for (shard, &count) in counts.iter().enumerate() {
+            prop_assert!(
+                count * 4 >= fair * 3 && count * 4 <= fair * 5,
+                "shard {shard}/{shards} owns {count} slots (fair share {fair})"
+            );
+        }
+    }
+
+    /// Growing from `n` to `n + 1` shards only reassigns slots *to* the
+    /// new shard — every other slot keeps its owner — and the moved
+    /// fraction stays near the ideal 1/(n+1).
+    #[test]
+    fn adding_a_shard_moves_only_the_new_shards_slots(shards in 1_usize..8) {
+        let before = ForwardMap::new(shards);
+        let after = ForwardMap::new(shards + 1);
+        let mut moved = 0_usize;
+        for (slot, (&old, &new)) in before.slots().iter().zip(after.slots()).enumerate() {
+            if old != new {
+                prop_assert_eq!(
+                    new as usize,
+                    shards,
+                    "slot {slot} moved between surviving shards ({old} -> {new})"
+                );
+                moved += 1;
+            }
+        }
+        let ideal = FORWARD_SLOTS / (shards + 1);
+        prop_assert!(
+            moved <= ideal * 2,
+            "{moved} slots moved adding shard {shards} (ideal {ideal})"
+        );
+        prop_assert!(moved > 0, "the new shard must claim some slots");
+    }
+}

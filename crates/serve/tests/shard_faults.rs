@@ -1,0 +1,348 @@
+//! Fault injection against the scatter-gather shard set: a dead shard
+//! must surface a typed failure without hanging the merge, a slow shard
+//! must honour deadlines and cancellation at layer boundaries, an abort
+//! mid-scatter must release every shard's spill file and metered bytes,
+//! and the per-tenant quota must compose with queue backpressure rather
+//! than replace it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prism_core::{CancelToken, EngineOptions, PrismEngine, PrismError, RequestOptions};
+use prism_metrics::{MemCategory, MemoryMeter};
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_serve::{PrismServer, ServeConfig, ServiceError, ShardFault, ShardSet};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+fn fixture(tag: &str) -> (ModelConfig, std::path::PathBuf) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+    let model = Model::generate(config.clone(), 42).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!(
+        "prism-shardfault-{tag}-{}.prsm",
+        std::process::id()
+    ));
+    model.write_container(&path).unwrap();
+    (config, path)
+}
+
+fn resident_engine(config: &ModelConfig, path: &std::path::Path) -> Arc<PrismEngine> {
+    Arc::new(
+        PrismEngine::new(
+            Container::open(path).unwrap(),
+            config.clone(),
+            EngineOptions {
+                streaming: false,
+                embed_cache: false,
+                ..Default::default()
+            },
+            MemoryMeter::new(),
+        )
+        .unwrap(),
+    )
+}
+
+fn batch_of(config: &ModelConfig, corpus: u64, candidates: usize) -> SequenceBatch {
+    let profile = dataset_by_name("wikipedia").unwrap();
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 7);
+    SequenceBatch::new(&generator.request(corpus, candidates).sequences()).unwrap()
+}
+
+/// A batch that routes work onto every shard of `set` — fault injection
+/// is vacuous if the forward map never touches the faulty shard.
+fn spanning_batch(config: &ModelConfig, set: &ShardSet, candidates: usize) -> SequenceBatch {
+    for corpus in 0..64 {
+        let b = batch_of(config, corpus, candidates);
+        if set.partition(&b).iter().all(|p| !p.is_empty()) {
+            return b;
+        }
+    }
+    panic!("no batch spanning all {} shards in 64 tries", set.shards());
+}
+
+/// A dead shard fails the whole selection with the typed shard error —
+/// promptly, at the next layer boundary, never by hanging the merge.
+#[test]
+fn dead_shard_fails_typed_and_promptly() {
+    let (config, path) = fixture("dead");
+    let set = ShardSet::new((0..3).map(|_| resident_engine(&config, &path)).collect()).unwrap();
+    let batch = spanning_batch(&config, &set, 12);
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+
+    set.inject_fault(1, ShardFault::Dead);
+    let t0 = Instant::now();
+    let err = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap_err();
+    assert!(
+        matches!(err, PrismError::ShardFailure(_)),
+        "expected ShardFailure, got {err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(10),
+        "dead shard must fail fast, not hang the merge"
+    );
+
+    // Reviving the shard restores bit-identical service.
+    set.inject_fault(1, ShardFault::Healthy);
+    let again = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+    assert_eq!(
+        again
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        reference
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        "post-recovery selection diverged"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A slow shard trips the absolute deadline at a layer boundary instead
+/// of running the scatter to completion.
+#[test]
+fn slow_shard_trips_deadline_at_layer_boundary() {
+    let (config, path) = fixture("slow");
+    let set = ShardSet::new((0..2).map(|_| resident_engine(&config, &path)).collect()).unwrap();
+    let batch = spanning_batch(&config, &set, 10);
+
+    set.inject_fault(0, ShardFault::Slow(Duration::from_millis(30)));
+    let deadline = Instant::now() + Duration::from_millis(10);
+    let err = set
+        .select_with_controls(
+            &batch,
+            RequestOptions::tagged(4, 1),
+            None,
+            Some(deadline),
+            None,
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, PrismError::DeadlineExceeded),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Cancelling mid-scatter — fired from the coordinator's own progress
+/// callback at a random-ish layer — aborts every shard and leaks
+/// nothing: each shard's spill directory is empty and its meter carries
+/// zero hidden-state/intermediate bytes afterwards, and the set serves
+/// the next request bit-identically.
+#[test]
+fn cancel_mid_scatter_releases_every_shards_spill_state() {
+    let (config, path) = fixture("cancel");
+    // Spill-heavy shard engines, each with its own meter and spill dir
+    // so leaks are attributable per shard.
+    let mut meters = Vec::new();
+    let mut spill_dirs = Vec::new();
+    let engines: Vec<Arc<PrismEngine>> = (0..2)
+        .map(|i| {
+            let meter = MemoryMeter::new();
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("prism-shardfault-spill-{i}-{}", std::process::id()));
+            std::fs::create_dir_all(&dir).unwrap();
+            let engine = PrismEngine::new(
+                Container::open(&path).unwrap(),
+                config.clone(),
+                EngineOptions {
+                    streaming: false,
+                    embed_cache: false,
+                    hidden_offload: true,
+                    chunk_candidates: Some(2),
+                    ..Default::default()
+                },
+                meter.clone(),
+            )
+            .unwrap()
+            .with_spill_dir(dir.clone());
+            meters.push(meter);
+            spill_dirs.push(dir);
+            Arc::new(engine)
+        })
+        .collect();
+    let set = ShardSet::new(engines).unwrap();
+    let batch = spanning_batch(&config, &set, 12);
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+
+    let assert_clean = |context: &str| {
+        for (i, dir) in spill_dirs.iter().enumerate() {
+            let files: Vec<_> = std::fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            assert_eq!(
+                files,
+                Vec::<String>::new(),
+                "{context}: shard {i} spill dir"
+            );
+            assert_eq!(
+                meters[i].current(MemCategory::HiddenStates),
+                0,
+                "{context}: shard {i} hidden-state bytes leaked"
+            );
+            assert_eq!(
+                meters[i].current(MemCategory::Intermediate),
+                0,
+                "{context}: shard {i} intermediate bytes leaked"
+            );
+        }
+    };
+
+    // Cancel at each possible boundary, including before the first
+    // layer and after natural completion (where cancel loses the race).
+    for cancel_layer in 0..=config.num_layers + 1 {
+        let token = CancelToken::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let progress = {
+            let token = token.clone();
+            let fired = Arc::clone(&fired);
+            Arc::new(move |u: prism_core::ProgressUpdate| {
+                if u.layers_forwarded >= cancel_layer {
+                    token.cancel();
+                    fired.fetch_add(1, Ordering::Relaxed);
+                }
+            }) as prism_core::ProgressFn
+        };
+        if cancel_layer == 0 {
+            token.cancel();
+        }
+        match set.select_with_controls(
+            &batch,
+            RequestOptions::tagged(4, 1),
+            Some(token),
+            None,
+            Some(progress),
+        ) {
+            Ok(sel) => assert!(!sel.ranked.is_empty()),
+            Err(PrismError::Cancelled) => {}
+            Err(other) => panic!("unexpected error at layer {cancel_layer}: {other}"),
+        }
+        assert_clean(&format!("after cancel at layer {cancel_layer}"));
+    }
+
+    // The set stays fully serviceable and bit-identical afterwards.
+    let again = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+    assert_eq!(
+        again
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        reference
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>()
+    );
+    assert_clean("after post-cancel reuse");
+
+    for dir in &spill_dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Quota and backpressure are different ceilings and both stay typed:
+/// a noisy tenant hits `QuotaExceeded` while the shared queue still has
+/// room for others, and once *they* fill the queue the error is
+/// `Backpressure` — per-tenant fairness composing with, not replacing,
+/// global admission control.
+#[test]
+fn quota_and_backpressure_compose_in_the_sharded_server() {
+    let (config, path) = fixture("quota-bp");
+    let server = PrismServer::start_sharded(
+        (0..2)
+            .map(|_| {
+                Arc::try_unwrap(resident_engine(&config, &path))
+                    .ok()
+                    .expect("sole owner")
+            })
+            .collect(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            tenant_max_inflight: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Hold the worker: every layer boundary of shard 0 sleeps.
+    server
+        .shards()
+        .unwrap()
+        .inject_fault(0, ShardFault::Slow(Duration::from_millis(40)));
+
+    let batch = spanning_batch(&config, server.shards().unwrap(), 10);
+    use prism_api::SelectionService;
+    let noisy = server.service("noisy");
+
+    let held = noisy
+        .submit(batch.clone(), RequestOptions::tagged(4, 1))
+        .unwrap();
+    // Give the worker a moment to pick the request up, then saturate.
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Second submission from the same tenant: quota, not backpressure.
+    let err = noisy
+        .submit(batch.clone(), RequestOptions::tagged(4, 2))
+        .unwrap_err();
+    match err {
+        ServiceError::QuotaExceeded { tenant, limit } => {
+            assert_eq!(tenant, "noisy");
+            assert_eq!(limit, 1);
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+
+    // Other tenants still get the queue's headroom...
+    let q1 = server
+        .service("calm-a")
+        .submit(batch.clone(), RequestOptions::tagged(4, 3))
+        .unwrap();
+    let q2 = server
+        .service("calm-b")
+        .submit(batch.clone(), RequestOptions::tagged(4, 4))
+        .unwrap();
+    // ...until the shared queue itself is full.
+    let err = server
+        .service("calm-c")
+        .submit(batch.clone(), RequestOptions::tagged(4, 5))
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Backpressure { .. }),
+        "expected Backpressure, got {err:?}"
+    );
+
+    // Everything admitted completes; the noisy tenant's slot frees up.
+    held.wait().unwrap();
+    q1.wait().unwrap();
+    q2.wait().unwrap();
+    noisy
+        .submit(batch, RequestOptions::tagged(4, 6))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    let snap = server.stats().snapshot();
+    assert_eq!(snap.quota_rejected, 1);
+    assert_eq!(snap.rejected, 1);
+    server.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}

@@ -194,6 +194,31 @@ impl RowQuantBlock {
             .fold(0.0, f32::max)
     }
 
+    /// A new block holding `rows` (by index, in the given order) of this
+    /// one — raw affine/code copies, **no decode or re-encode**, so the
+    /// retained rows reconstruct bit-identically to the originals.
+    /// Spill-slot compaction after pruning uses this to stay lossless:
+    /// re-quantizing survivors would make their values depend on which
+    /// chunk-mates happened to be pruned.
+    pub fn gather_rows(&self, rows: &[usize]) -> Result<Self> {
+        let cols = self.cols;
+        let mut mins = Vec::with_capacity(rows.len());
+        let mut scales = Vec::with_capacity(rows.len());
+        let mut codes = Vec::with_capacity(rows.len() * cols);
+        for &r in rows {
+            if r >= self.rows {
+                return Err(TensorError::DataLength {
+                    expected: self.rows,
+                    got: r,
+                });
+            }
+            mins.push(self.mins[r]);
+            scales.push(self.scales[r]);
+            codes.extend_from_slice(&self.codes[r * cols..][..cols]);
+        }
+        RowQuantBlock::from_parts(rows.len(), cols, mins, scales, codes)
+    }
+
     /// `self · w^T` into a fresh tensor (see [`Int8Matrix::matmul_rowq_into`]).
     pub fn matmul_int8(&self, w: &Int8Matrix) -> Result<Tensor> {
         let mut out = Tensor::zeros(0, 0);

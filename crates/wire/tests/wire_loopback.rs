@@ -1,0 +1,540 @@
+//! Loopback conformance for the wire protocol: selections read off a
+//! real TCP socket must be bit-identical to direct engine calls (plain
+//! and sharded backends), faults and quota rejections must arrive as
+//! the same typed errors in-process callers see, cancellation and
+//! progress must flow both ways, and malformed frames must be answered
+//! with a typed connection-level error — never a hang, never a panic.
+
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use prism_api::{SelectionService, ServiceError};
+use prism_core::{EngineOptions, PrismEngine, RequestOptions, Selection};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_serve::{PrismServer, ServeConfig, ShardFault};
+use prism_storage::Container;
+use prism_wire::{
+    read_frame, write_frame, Message, WireClient, WireError, WireServer, WIRE_VERSION,
+};
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+const K: usize = 4;
+
+fn fixture(tag: &str) -> (ModelConfig, std::path::PathBuf) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+    let model = Model::generate(config.clone(), 42).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-wire-it-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).unwrap();
+    (config, path)
+}
+
+fn engine_with(
+    config: &ModelConfig,
+    path: &std::path::Path,
+    options: EngineOptions,
+) -> PrismEngine {
+    PrismEngine::new(
+        Container::open(path).unwrap(),
+        config.clone(),
+        options,
+        MemoryMeter::new(),
+    )
+    .unwrap()
+}
+
+fn engine(config: &ModelConfig, path: &std::path::Path) -> PrismEngine {
+    engine_with(config, path, EngineOptions::default())
+}
+
+/// A shard engine: weights resident (the stepping API's requirement),
+/// embed cache off so shards share no hidden state.
+fn resident_engine(config: &ModelConfig, path: &std::path::Path) -> PrismEngine {
+    engine_with(
+        config,
+        path,
+        EngineOptions {
+            streaming: false,
+            embed_cache: false,
+            ..Default::default()
+        },
+    )
+}
+
+fn batches(config: &ModelConfig, n: usize, candidates: usize) -> Vec<SequenceBatch> {
+    let profile = dataset_by_name("wikipedia").unwrap();
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 7);
+    (0..n)
+        .map(|i| SequenceBatch::new(&generator.request(i as u64, candidates).sequences()).unwrap())
+        .collect()
+}
+
+fn exact_bits(sel: &Selection) -> (Vec<(usize, u32, usize)>, Vec<u32>) {
+    (
+        sel.ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits(), r.decided_at_layer))
+            .collect(),
+        sel.last_scores.iter().map(|s| s.to_bits()).collect(),
+    )
+}
+
+/// Binds an ephemeral loopback port over `server` and connects one
+/// client under `session`.
+fn wire_pair(server: PrismServer, session: &str) -> (WireServer, WireClient) {
+    let wire = WireServer::start(Arc::new(server), "127.0.0.1:0").unwrap();
+    let client = WireClient::connect(&wire.local_addr().to_string(), session).unwrap();
+    (wire, client)
+}
+
+/// Selections submitted over a real socket are bit-identical to direct
+/// engine calls — the transport adds no semantics.
+#[test]
+fn wire_selections_match_direct_engine_bit_for_bit() {
+    let (config, path) = fixture("parity");
+    let requests = batches(&config, 6, 10);
+
+    let reference: Vec<Selection> = {
+        let eng = engine(&config, &path);
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                eng.select_with(b, RequestOptions::tagged(K, i as u64 + 1))
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    let server = PrismServer::start(
+        engine(&config, &path),
+        ServeConfig {
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (wire, client) = wire_pair(server, "tenant");
+
+    let handles: Vec<_> = requests
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            client
+                .submit(b.clone(), RequestOptions::tagged(K, i as u64 + 1))
+                .unwrap()
+        })
+        .collect();
+    for (i, (handle, reference)) in handles.into_iter().zip(&reference).enumerate() {
+        let outcome = handle.wait().unwrap();
+        assert_eq!(
+            exact_bits(&outcome.selection),
+            exact_bits(reference),
+            "request {i} diverged over the wire"
+        );
+        assert!(!outcome.served_from_cache);
+    }
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// The full stack — socket, frame codec, serving queue, scatter-gather
+/// over 3 shards — still produces bit-identical selections.
+#[test]
+fn wire_over_sharded_server_matches_single_engine() {
+    let (config, path) = fixture("sharded");
+    let requests = batches(&config, 4, 10);
+
+    let reference: Vec<Selection> = {
+        let eng = resident_engine(&config, &path);
+        requests
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                eng.select_with(b, RequestOptions::tagged(K, i as u64 + 1))
+                    .unwrap()
+            })
+            .collect()
+    };
+
+    let server = PrismServer::start_sharded(
+        (0..3).map(|_| resident_engine(&config, &path)).collect(),
+        ServeConfig {
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let (wire, client) = wire_pair(server, "tenant");
+
+    for (i, (batch, reference)) in requests.iter().zip(&reference).enumerate() {
+        let outcome = client
+            .submit(batch.clone(), RequestOptions::tagged(K, i as u64 + 1))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            exact_bits(&outcome.selection),
+            exact_bits(reference),
+            "request {i} diverged through the sharded wire path"
+        );
+    }
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A dead shard surfaces as a typed `ShardFailure` on the client's
+/// handle — the merge never hangs waiting for it.
+#[test]
+fn dead_shard_surfaces_typed_shard_failure_over_the_wire() {
+    let (config, path) = fixture("dead-shard");
+    let batch = batches(&config, 1, 12).pop().unwrap();
+
+    let server = PrismServer::start_sharded(
+        (0..2).map(|_| resident_engine(&config, &path)).collect(),
+        ServeConfig {
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // The forward map must actually route work to the shard we kill.
+    let parts = server.shards().unwrap().partition(&batch);
+    assert!(
+        parts.iter().all(|p| !p.is_empty()),
+        "fixture batch must span both shards (got {parts:?})"
+    );
+    server.shards().unwrap().inject_fault(1, ShardFault::Dead);
+
+    let (wire, client) = wire_pair(server, "tenant");
+    let err = client
+        .submit(batch, RequestOptions::tagged(K, 1))
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    assert!(
+        matches!(err, ServiceError::ShardFailure(_)),
+        "expected ShardFailure, got {err:?}"
+    );
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `handle.cancel()` on the client travels as a `Cancel` frame and is
+/// observed at the next layer boundary of the scatter loop.
+#[test]
+fn cancel_over_the_wire_returns_cancelled() {
+    let (config, path) = fixture("cancel");
+    let batch = batches(&config, 1, 10).pop().unwrap();
+
+    let server = PrismServer::start_sharded(
+        (0..2).map(|_| resident_engine(&config, &path)).collect(),
+        ServeConfig {
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Slow the scatter down so the Cancel frame wins the race to a
+    // layer boundary.
+    server
+        .shards()
+        .unwrap()
+        .inject_fault(0, ShardFault::Slow(Duration::from_millis(25)));
+
+    let (wire, client) = wire_pair(server, "tenant");
+    let handle = client.submit(batch, RequestOptions::tagged(K, 1)).unwrap();
+    handle.cancel();
+    let err = handle.wait().unwrap_err();
+    assert!(
+        matches!(err, ServiceError::Cancelled),
+        "expected Cancelled, got {err:?}"
+    );
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Per-tenant quota rejections keep their structure across the wire:
+/// the second in-flight submission of a `tenant_max_inflight = 1`
+/// session fails with the tenant and limit intact.
+#[test]
+fn quota_rejection_travels_typed() {
+    let (config, path) = fixture("quota");
+    let mut reqs = batches(&config, 2, 10);
+    let second = reqs.pop().unwrap();
+    let first = reqs.pop().unwrap();
+
+    let server = PrismServer::start_sharded(
+        (0..2).map(|_| resident_engine(&config, &path)).collect(),
+        ServeConfig {
+            session_cache_capacity: 0,
+            tenant_max_inflight: 1,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    // Hold the first request in flight long enough for the second
+    // submission to arrive while the quota slot is taken.
+    server
+        .shards()
+        .unwrap()
+        .inject_fault(0, ShardFault::Slow(Duration::from_millis(30)));
+
+    let (wire, client) = wire_pair(server, "noisy");
+    let held = client.submit(first, RequestOptions::tagged(K, 1)).unwrap();
+    let err = client
+        .submit(second, RequestOptions::tagged(K, 2))
+        .unwrap()
+        .wait()
+        .unwrap_err();
+    match err {
+        ServiceError::QuotaExceeded { tenant, limit } => {
+            assert_eq!(tenant, "noisy");
+            assert_eq!(limit, 1);
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // The held request still completes; its token is released.
+    held.wait().unwrap();
+    assert_eq!(wire.server().stats().snapshot().quota_rejected, 1);
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Layer-granularity progress streams over the socket while the
+/// request is in flight, not only at completion.
+#[test]
+fn progress_streams_over_the_wire() {
+    let (config, path) = fixture("progress");
+    let batch = batches(&config, 1, 10).pop().unwrap();
+
+    let server = PrismServer::start_sharded(
+        (0..2).map(|_| resident_engine(&config, &path)).collect(),
+        ServeConfig {
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    server
+        .shards()
+        .unwrap()
+        .inject_fault(0, ShardFault::Slow(Duration::from_millis(20)));
+
+    let (wire, client) = wire_pair(server, "tenant");
+    let handle = client.submit(batch, RequestOptions::tagged(K, 1)).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut saw_midflight = false;
+    loop {
+        if handle.poll().is_some() {
+            break;
+        }
+        let p = handle.progress();
+        if p.layers_gated >= 1 {
+            saw_midflight = true;
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no progress frame observed within 30s"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(saw_midflight, "request finished before any progress frame");
+    let outcome = handle.wait().unwrap();
+    assert_eq!(outcome.selection.ranked.len(), K);
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Raw-socket probes: ping round-trips, a garbage frame is answered
+/// with a typed connection-level error (request id 0) before the server
+/// closes the connection, and an oversized length prefix is rejected
+/// without allocating.
+#[test]
+fn ping_and_malformed_frames_get_typed_answers() {
+    let (config, path) = fixture("malformed");
+    let server = PrismServer::start(engine(&config, &path), ServeConfig::default()).unwrap();
+    let wire = WireServer::start(Arc::new(server), "127.0.0.1:0").unwrap();
+    let addr = wire.local_addr().to_string();
+
+    // Client-object ping.
+    let client = WireClient::connect(&addr, "tenant").unwrap();
+    let rtt = client.ping(Duration::from_secs(10)).unwrap();
+    assert!(rtt < Duration::from_secs(10));
+    drop(client);
+
+    // Unknown message type after a valid handshake.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        write_frame(
+            &mut raw,
+            &Message::Hello {
+                version: WIRE_VERSION,
+                session: "raw".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut raw).unwrap(),
+            Message::HelloAck { .. }
+        ));
+        // [len = 1][type = 0x7f]: a type the codec has never heard of.
+        raw.write_all(&[1, 0, 0, 0, 0x7f]).unwrap();
+        match read_frame(&mut raw).unwrap() {
+            Message::Error { request_id, error } => {
+                assert_eq!(request_id, 0, "malformed frames are connection-level");
+                assert!(matches!(error, ServiceError::Config(_)));
+            }
+            other => panic!("expected connection-level Error, got {other:?}"),
+        }
+        // The server then closes: framing cannot resync.
+        assert!(matches!(read_frame(&mut raw), Err(WireError::Closed)));
+    }
+
+    // Oversized length prefix straight after the handshake.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        write_frame(
+            &mut raw,
+            &Message::Hello {
+                version: WIRE_VERSION,
+                session: "raw2".into(),
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            read_frame(&mut raw).unwrap(),
+            Message::HelloAck { .. }
+        ));
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        match read_frame(&mut raw).unwrap() {
+            Message::Error { request_id, .. } => assert_eq!(request_id, 0),
+            other => panic!("expected connection-level Error, got {other:?}"),
+        }
+        assert!(matches!(read_frame(&mut raw), Err(WireError::Closed)));
+    }
+
+    // A version the server does not speak is refused in the handshake.
+    {
+        let mut raw = TcpStream::connect(&addr).unwrap();
+        write_frame(
+            &mut raw,
+            &Message::Hello {
+                version: WIRE_VERSION + 1,
+                session: "future".into(),
+            },
+        )
+        .unwrap();
+        match read_frame(&mut raw).unwrap() {
+            Message::Error { request_id, error } => {
+                assert_eq!(request_id, 0);
+                assert!(matches!(error, ServiceError::Config(_)));
+            }
+            other => panic!("expected version refusal, got {other:?}"),
+        }
+    }
+
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// Nightly soak: hundreds of requests from concurrent clients through
+/// one loopback wire server over a sharded backend, with pings and
+/// cancels interleaved. Every completed selection must stay
+/// bit-identical to the direct single engine and every connection must
+/// survive the whole run.
+#[test]
+#[ignore = "loopback soak: run explicitly (nightly CI, release)"]
+fn wire_loopback_soak_stays_bit_identical() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: usize = 100;
+    const DISTINCT: usize = 16;
+    let (config, path) = fixture("soak");
+    let batch_set = batches(&config, DISTINCT, 10);
+    let reference: Vec<_> = {
+        let eng = engine(&config, &path);
+        batch_set
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                exact_bits(
+                    &eng.select_with(b, RequestOptions::tagged(K, i as u64 + 1))
+                        .unwrap(),
+                )
+            })
+            .collect()
+    };
+
+    let engines = vec![
+        resident_engine(&config, &path),
+        resident_engine(&config, &path),
+    ];
+    let server = PrismServer::start_sharded(
+        engines,
+        ServeConfig {
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let wire = WireServer::start(Arc::new(server), "127.0.0.1:0").unwrap();
+    let addr = wire.local_addr().to_string();
+
+    std::thread::scope(|s| {
+        for c in 0..CLIENTS {
+            let addr = &addr;
+            let batch_set = &batch_set;
+            let reference = &reference;
+            s.spawn(move || {
+                let client = WireClient::connect(addr, format!("soak-{c}")).unwrap();
+                for r in 0..PER_CLIENT {
+                    let i = (c + r * CLIENTS) % DISTINCT;
+                    if r % 23 == 0 {
+                        client.ping(Duration::from_secs(10)).unwrap();
+                    }
+                    let handle = client
+                        .submit(
+                            batch_set[i].clone(),
+                            RequestOptions::tagged(K, i as u64 + 1),
+                        )
+                        .unwrap();
+                    if r % 17 == 5 {
+                        // A cancel race: either the request was already
+                        // served (then it must match the reference) or
+                        // it comes back typed-cancelled.
+                        handle.cancel();
+                        match handle.wait() {
+                            Ok(outcome) => {
+                                assert_eq!(exact_bits(&outcome.selection), reference[i]);
+                            }
+                            Err(ServiceError::Cancelled) => {}
+                            Err(e) => panic!("soak cancel came back {e:?}"),
+                        }
+                    } else {
+                        let outcome = handle.wait().unwrap();
+                        assert_eq!(exact_bits(&outcome.selection), reference[i]);
+                    }
+                }
+            });
+        }
+    });
+
+    wire.shutdown();
+    std::fs::remove_file(&path).ok();
+}
