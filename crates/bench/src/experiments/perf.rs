@@ -10,7 +10,9 @@
 
 use std::time::Instant;
 
-use prism_core::{ComputePrecision, EngineOptions, PrismEngine, RequestOptions, SpillPrecision};
+use prism_core::{
+    ComputePrecision, EngineOptions, PrismEngine, RequestOptions, SemCacheMode, SpillPrecision,
+};
 use prism_metrics::MemoryMeter;
 use prism_model::layer::{forward_layer, ForwardScratch};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
@@ -65,6 +67,7 @@ struct KernelsFile {
     scheduling: SchedulingSection,
     sharded: ShardedSection,
     int8: Int8Section,
+    semcache: SemCacheSection,
 }
 
 /// One kernel measured at the pinned AVX2 tier versus full runtime
@@ -320,6 +323,47 @@ pub struct Int8Section {
     pub topk_parity: bool,
     /// Per-benchmark comparison rows.
     pub rows: Vec<Int8Row>,
+}
+
+/// The semantic result-cache acceptance measurement: a closed-loop
+/// duplicate-heavy stream (cross-session repeats only the semantic tier
+/// can serve — the session cache is disabled) with the cache off versus
+/// `Aggressive` replay, plus the `VerifyAndFallback` parity witness: a
+/// fixed tagged request set replayed through the verifying mode must
+/// match the cache-off reference bit for bit (ids, score bits, decision
+/// layers, last-layer scores). The throughput gain is guarded at
+/// [`SEMCACHE_GUARD_MIN`].
+#[derive(Debug, Serialize)]
+pub struct SemCacheSection {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// Emulated SSD bandwidth for weight streaming, bytes/s.
+    pub throttle_bytes_per_sec: u64,
+    /// Requests per configuration run.
+    pub requests: usize,
+    /// Candidates per request.
+    pub candidates: usize,
+    /// Top-K per request.
+    pub k: usize,
+    /// Closed-loop clients.
+    pub clients: usize,
+    /// Fraction of the stream drawn from the cross-session duplicate
+    /// pool.
+    pub dup_fraction: f64,
+    /// Whether every `VerifyAndFallback` and `Aggressive` replay of the
+    /// parity set matched the cache-off reference bit for bit.
+    pub verify_parity: bool,
+    /// `aggressive.throughput_rps / off.throughput_rps` — the guarded
+    /// number (acceptance >= 1.5x on the duplicate-heavy stream).
+    pub aggressive_gain: f64,
+    /// Candidate replays served by the cache during the aggressive run.
+    pub semcache_hits: u64,
+    /// Candidates that went through the forward pass.
+    pub semcache_misses: u64,
+    /// The cache-off reference run.
+    pub off: ServingConfigResult,
+    /// The `Aggressive` replay run.
+    pub aggressive: ServingConfigResult,
 }
 
 /// Times `f`, returning the median of `reps` samples in nanoseconds.
@@ -1125,6 +1169,120 @@ fn sharded_bench(fast: bool) -> ShardedSection {
     }
 }
 
+fn semcache_bench(fast: bool) -> SemCacheSection {
+    const THROTTLE: u64 = 16_000_000; // Emulated 16 MB/s streaming SSD.
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-perf-semcache-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    // Replay soundness requires full depth (the cache stores full-depth
+    // score vectors), so pruning is off at the engine for *both* arms —
+    // the comparison isolates the cache, not the pruning gate.
+    let engine = || {
+        PrismEngine::new(
+            Container::open(&path).expect("open"),
+            config.clone(),
+            EngineOptions {
+                stream_throttle: Some(THROTTLE),
+                embed_cache: false,
+                pruning: false,
+                ..Default::default()
+            },
+            MemoryMeter::new(),
+        )
+        .expect("engine")
+    };
+    // The session cache is disabled so every repeat the cache-off arm
+    // pays full price for is served by the semantic tier alone.
+    let serve_config = ServeConfig {
+        workers: 1,
+        max_batch_requests: 8,
+        session_cache_capacity: 0,
+        ..Default::default()
+    };
+    let spec = LoadSpec {
+        requests: if fast { 32 } else { 64 },
+        clients: 8,
+        candidates: 12,
+        k: 4,
+        dup_fraction: 0.75,
+        ..Default::default()
+    };
+
+    // Parity witness: the verifying mode's replays must be bit-identical
+    // to the cache-off reference on the same server (first pass seeds
+    // the cache, second pass replays; `Aggressive` then replays the same
+    // entries through the similarity tier).
+    let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+    let parity_bits = |server: &PrismServer, mode: SemCacheMode| -> Vec<(usize, u32, usize)> {
+        let mut out = Vec::new();
+        for i in 0..6_u64 {
+            let request = generator.request(i, spec.candidates);
+            let batch = SequenceBatch::new(&request.sequences()).expect("parity batch");
+            let mut options = RequestOptions::tagged(spec.k, i + 1).with_semcache(mode);
+            options.pruning = Some(false);
+            let outcome = server
+                .submit(ServeRequest {
+                    session: format!("parity-{mode:?}-{i}"),
+                    batch,
+                    options,
+                })
+                .expect("parity submit")
+                .wait()
+                .expect("parity wait");
+            for r in &outcome.selection.ranked {
+                out.push((r.id, r.score.to_bits(), r.decided_at_layer));
+            }
+            for &s in &outcome.selection.last_scores {
+                out.push((usize::MAX, s.to_bits(), 0));
+            }
+        }
+        out
+    };
+    let server = PrismServer::start(engine(), serve_config.clone()).expect("server");
+    let reference = parity_bits(&server, SemCacheMode::Off);
+    let mut verify_parity = parity_bits(&server, SemCacheMode::VerifyAndFallback) == reference;
+    verify_parity &= parity_bits(&server, SemCacheMode::VerifyAndFallback) == reference;
+    verify_parity &= parity_bits(&server, SemCacheMode::Aggressive) == reference;
+    server.shutdown();
+
+    let server = PrismServer::start(engine(), serve_config.clone()).expect("server");
+    let off_report = run_closed_loop(&server, &spec);
+    server.shutdown();
+
+    let aggressive_spec = LoadSpec {
+        semcache: SemCacheMode::Aggressive,
+        ..spec.clone()
+    };
+    let server = PrismServer::start(engine(), serve_config.clone()).expect("server");
+    let aggressive_report = run_closed_loop(&server, &aggressive_spec);
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+
+    let aggressive_gain = if off_report.throughput_rps > 0.0 {
+        aggressive_report.throughput_rps / off_report.throughput_rps
+    } else {
+        0.0
+    };
+    SemCacheSection {
+        mode: if fast { "fast" } else { "full" }.into(),
+        throttle_bytes_per_sec: THROTTLE,
+        requests: spec.requests,
+        candidates: spec.candidates,
+        k: spec.k,
+        clients: spec.clients,
+        dup_fraction: spec.dup_fraction,
+        verify_parity,
+        aggressive_gain,
+        semcache_hits: aggressive_report.stats.semcache_hits,
+        semcache_misses: aggressive_report.stats.semcache_misses,
+        off: serving_result("semcache_off", &serve_config, &off_report),
+        aggressive: serving_result("semcache_aggressive", &serve_config, &aggressive_report),
+    }
+}
+
 /// Extracts `(name, median_ns)` pairs from one named section of a
 /// previously written `BENCH_kernels.json` (the serde shim has no
 /// deserializer, so this is a purpose-built scanner for our own output).
@@ -1306,6 +1464,27 @@ pub fn parse_sharded_overhead(text: &str) -> Option<f64> {
         .ok()
 }
 
+/// Reads the `verify_parity` flag of the `semcache` section.
+pub fn parse_semcache_parity(text: &str) -> Option<bool> {
+    let start = text.find("\"semcache\": {")?;
+    let pos = start + text[start..].find("\"verify_parity\":")?;
+    Some(text[pos + 16..].trim_start().starts_with("true"))
+}
+
+/// Reads the aggressive-replay throughput gain of the `semcache`
+/// section.
+pub fn parse_semcache_gain(text: &str) -> Option<f64> {
+    let start = text.find("\"semcache\": {")?;
+    let pos = start + text[start..].find("\"aggressive_gain\":")?;
+    text[pos + 18..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
 /// Floor the offload-regime scales are held to: the documented >= 3x
 /// acceptance gate minus the same 10% bench-noise allowance the kernel
 /// entries get.
@@ -1319,6 +1498,11 @@ pub const INT8_GUARD_MIN: f64 = 1.8;
 /// a one-host runner serialize, so sharding must cost bounded
 /// coordination overhead, not multiples of the single-engine run.
 pub const SHARDED_GUARD_MAX: f64 = 5.0;
+
+/// Floor the semantic-cache aggressive-replay gain is held to: the
+/// documented >= 1.5x acceptance gate on the duplicate-heavy stream
+/// minus the 10% bench-noise allowance.
+pub const SEMCACHE_GUARD_MIN: f64 = 1.35;
 
 /// The CI bench-regression guard: reads `BENCH_kernels.json` and fails
 /// when any top-level `speedup` entry sits below `min` (1.0 minus a
@@ -1385,6 +1569,26 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
             ));
         }
     }
+    // The semantic-cache gates: verifying replays must stay
+    // bit-identical to the cache-off reference, and the aggressive
+    // replay gain on the duplicate-heavy stream must hold.
+    match parse_semcache_parity(&text) {
+        None => return Err(format!("{KERNELS_FILE} has no semcache section")),
+        Some(false) => {
+            bad.push("semcache: verified replays diverge from the cache-off reference".into());
+        }
+        Some(true) => {}
+    }
+    match parse_semcache_gain(&text) {
+        None => return Err(format!("{KERNELS_FILE} has no semcache gain")),
+        Some(g) if g < SEMCACHE_GUARD_MIN => {
+            bad.push(format!(
+                "semcache: aggressive gain {g:.3}x < {SEMCACHE_GUARD_MIN:.2}x \
+                 (1.5x acceptance gate)"
+            ));
+        }
+        Some(_) => {}
+    }
     // The metasim validation gate: when `repro sim-validate` has written
     // its section, an out-of-tolerance prediction fails the guard too.
     let metasim = super::simval::parse_metasim_validated(&text);
@@ -1400,7 +1604,7 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
             "perf guard ok: {} speedup entries >= {min:.2}x, {} offload scales >= \
              {OFFLOAD_GUARD_MIN:.2}x, {} int8 rows gated >= {INT8_GUARD_MIN:.2}x with \
              top-k parity, sharded parity with overhead <= {SHARDED_GUARD_MAX:.2}x, \
-             metasim {}",
+             semcache parity with gain >= {SEMCACHE_GUARD_MIN:.2}x, metasim {}",
             speedups.len(),
             offload.len(),
             int8.iter()
@@ -1522,6 +1726,28 @@ pub fn perf(fast: bool) {
         ));
     }
 
+    let semcache = semcache_bench(fast);
+    report.blank();
+    report.line(&format!(
+        "semantic cache ({:.0}% duplicate stream, verify parity: {}):",
+        semcache.dup_fraction * 100.0,
+        if semcache.verify_parity {
+            "exact"
+        } else {
+            "DIVERGED"
+        }
+    ));
+    for r in [&semcache.off, &semcache.aggressive] {
+        report.line(&format!(
+            "{:<28} {:>8.1} req/s  p50 {:>7} us  p95 {:>7} us  p99 {:>7} us",
+            r.label, r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
+        ));
+    }
+    report.line(&format!(
+        "aggressive replay gain {:.2}x over cache-off ({} hits / {} misses, acceptance >= 1.5x)",
+        semcache.aggressive_gain, semcache.semcache_hits, semcache.semcache_misses
+    ));
+
     let scheduling = scheduling_bench(fast);
     report.blank();
     report.line(&format!(
@@ -1591,6 +1817,7 @@ pub fn perf(fast: bool) {
         scheduling,
         sharded,
         int8,
+        semcache,
         baseline: PerfSnapshot {
             mode: "frozen".into(),
             entries: baseline
@@ -1688,6 +1915,24 @@ mod tests {
         }
     }
 
+    fn dummy_semcache(parity: bool, gain: f64) -> SemCacheSection {
+        SemCacheSection {
+            mode: "fast".into(),
+            throttle_bytes_per_sec: 16_000_000,
+            requests: 32,
+            candidates: 12,
+            k: 4,
+            clients: 8,
+            dup_fraction: 0.75,
+            verify_parity: parity,
+            aggressive_gain: gain,
+            semcache_hits: 100,
+            semcache_misses: 50,
+            off: dummy_result("semcache_off"),
+            aggressive: dummy_result("semcache_aggressive"),
+        }
+    }
+
     fn dummy_offload(speedup: f64) -> OffloadSection {
         let cfg = |label: &str, ns: f64| OffloadConfigResult {
             label: label.into(),
@@ -1774,6 +2019,7 @@ mod tests {
             },
             sharded: dummy_sharded(true, 1.4),
             int8: dummy_int8(true),
+            semcache: dummy_semcache(true, 1.8),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let speedups = parse_speedup_entries(&text);
@@ -1796,12 +2042,26 @@ mod tests {
         assert_eq!(parse_sharded_parity(&text), Some(true));
         let worst = parse_sharded_overhead(&text).unwrap();
         assert!((worst - 1.4).abs() < 1e-9, "{worst}");
+        assert_eq!(parse_semcache_parity(&text), Some(true));
+        let gain = parse_semcache_gain(&text).unwrap();
+        assert!((gain - 1.8).abs() < 1e-9, "{gain}");
         assert!(parse_speedup_entries("").is_empty());
         assert!(parse_offload_speedups("{}").is_empty());
         assert!(parse_int8_rows("{}").is_empty());
         assert_eq!(parse_int8_parity(""), None);
         assert_eq!(parse_sharded_parity("{}"), None);
         assert_eq!(parse_sharded_overhead(""), None);
+        assert_eq!(parse_semcache_parity("{}"), None);
+        assert_eq!(parse_semcache_gain(""), None);
+    }
+
+    #[test]
+    fn semcache_parity_flag_round_trips_false() {
+        let text = serde_json::to_string_pretty(&dummy_semcache(false, 1.1)).unwrap();
+        let wrapped = format!("{{\n  \"semcache\": {text}\n}}");
+        assert_eq!(parse_semcache_parity(&wrapped), Some(false));
+        let gain = parse_semcache_gain(&wrapped).unwrap();
+        assert!(gain < SEMCACHE_GUARD_MIN, "{gain}");
     }
 
     #[test]
@@ -1881,6 +2141,7 @@ mod tests {
             },
             sharded: dummy_sharded(true, 1.4),
             int8: dummy_int8(true),
+            semcache: dummy_semcache(true, 1.8),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let base = parse_section_entries(&text, "baseline");

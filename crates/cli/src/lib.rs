@@ -23,6 +23,7 @@
 //!           [--workers N] [--batch N] [--batch-tokens N] [--wait-us N]
 //!           [--cache-sessions N] [--throttle BYTES_PER_S]
 //!           [--offload on|off] [--spill int8|f32] [--compute f32|int8]
+//!           [--semcache off|verify|aggressive] [--dup-frac F]
 //!           [--shards N] [--tenant-quota N] [--listen ADDR]
 //!           [--requests N] [--clients N] [--candidates N] [--k N]
 //!           [--sessions N] [--repeat N] [--dataset wikipedia]
@@ -42,12 +43,18 @@
 //!     requests per tenant session; `--listen ADDR` additionally binds
 //!     the length-prefixed TCP wire front-end on ADDR (port 0 picks a
 //!     free port) and drives the same closed loop through out-of-process
-//!     wire clients instead of in-process submission.
+//!     wire clients instead of in-process submission. `--semcache`
+//!     stamps the semantic-cache mode on every generated request (any
+//!     mode but `off` also pins requests to full depth, the replay
+//!     soundness requirement) and `--dup-frac F` draws that fraction of
+//!     the stream from a cross-session duplicate corpus pool, the
+//!     overlap the semantic cache exists to exploit.
 //!
 //! prsm connect <addr> --model <name> [--scale mini|test]
 //!             [--requests N] [--clients N] [--candidates N] [--k N]
 //!             [--dataset wikipedia] [--seed N]
 //!             [--spill int8|f32] [--compute f32|int8]
+//!             [--semcache off|verify|aggressive]
 //!     Out-of-process client: connect to a running `prsm serve --listen`
 //!     endpoint, ping it, drive the synthetic workload through wire
 //!     clients, and print latency percentiles. `--model`/`--scale` must
@@ -99,7 +106,8 @@ use std::time::{Duration, Instant};
 
 use prism_api::SelectionService;
 use prism_core::{
-    ComputePrecision, EngineOptions, Priority, PrismEngine, RequestOptions, SpillPrecision,
+    ComputePrecision, EngineOptions, Priority, PrismEngine, RequestOptions, SemCacheMode,
+    SpillPrecision,
 };
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
@@ -445,6 +453,17 @@ fn resolve_compute(name: &str) -> Result<ComputePrecision, String> {
     }
 }
 
+fn resolve_semcache(name: &str) -> Result<SemCacheMode, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "off" => Ok(SemCacheMode::Off),
+        "verify" => Ok(SemCacheMode::VerifyAndFallback),
+        "aggressive" => Ok(SemCacheMode::Aggressive),
+        other => Err(format!(
+            "unknown semcache mode `{other}` (off|verify|aggressive)"
+        )),
+    }
+}
+
 /// Parses an `--NAME on|off` switch (absent = off).
 fn resolve_switch(p: &Parsed<'_>, name: &str) -> Result<bool, String> {
     match p.flag(name) {
@@ -482,6 +501,8 @@ fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
         deadline_us,
         spill_precision: resolve_spill(p.flag("spill").unwrap_or("int8"))?,
         compute_precision: resolve_compute(p.flag("compute").unwrap_or("f32"))?,
+        semcache: resolve_semcache(p.flag("semcache").unwrap_or("off"))?,
+        dup_fraction: p.flag_parse("dup-frac", 0.0_f64)?,
     })
 }
 
@@ -514,6 +535,22 @@ fn write_load_report(out: &mut String, report: &LoadReport) {
         s.cache_misses,
         s.cache_hit_rate * 100.0
     );
+    if s.semcache_hits + s.semcache_misses + s.semcache_fallbacks > 0 {
+        let probed = s.semcache_hits + s.semcache_misses;
+        let _ = writeln!(
+            out,
+            "semantic cache: {} hits, {} misses, {} fallbacks, {} bytes (hit rate {:.1}%)",
+            s.semcache_hits,
+            s.semcache_misses,
+            s.semcache_fallbacks,
+            s.semcache_bytes,
+            if probed > 0 {
+                s.semcache_hits as f64 / probed as f64 * 100.0
+            } else {
+                0.0
+            }
+        );
+    }
     if s.cancelled + s.deadline_rejected + s.deadline_missed + s.priority_inversions > 0 {
         let _ = writeln!(
             out,
@@ -630,9 +667,15 @@ fn run_wire_loop(
                     // Tag by request index so results are independent of
                     // arrival interleaving (same rule as the in-process
                     // loop).
-                    let options = RequestOptions::tagged(spec.k, i as u64 + 1)
+                    let mut options = RequestOptions::tagged(spec.k, i as u64 + 1)
                         .with_spill_precision(spec.spill_precision)
-                        .with_compute_precision(spec.compute_precision);
+                        .with_compute_precision(spec.compute_precision)
+                        .with_semcache(spec.semcache);
+                    if spec.semcache != SemCacheMode::Off {
+                        // Same rule as the in-process loop: semantic
+                        // replay is only sound at full depth.
+                        options.pruning = Some(false);
+                    }
                     let t0 = Instant::now();
                     match client.submit(batch, options).map(|h| h.wait()) {
                         Ok(Ok(_)) => lat.push(t0.elapsed().as_micros() as u64),
@@ -741,6 +784,15 @@ fn serve(args: &[&str]) -> Result<String, String> {
         "load: {} requests x {} candidates (top-{}), {} clients, {} sessions, corpus repeat {}",
         spec.requests, spec.candidates, spec.k, spec.clients, spec.sessions, spec.corpus_repeat
     );
+    if spec.semcache != SemCacheMode::Off {
+        let _ = writeln!(
+            out,
+            "semantic cache: mode {:?}, {} KiB budget, {:.0}% cross-session duplicate stream",
+            spec.semcache,
+            serve_config.semcache_capacity_bytes >> 10,
+            spec.dup_fraction * 100.0
+        );
+    }
 
     match p.flag("listen") {
         // Wire mode: bind the TCP front-end and drive the closed loop
@@ -1351,6 +1403,61 @@ mod tests {
             ])
             .is_err(),
             "unknown priority must be rejected"
+        );
+        std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
+    fn serve_with_semcache_flags() {
+        let dense = tmp("serve-semcache");
+        run_strs(&[
+            "gen", &dense, "--model", "bge-m3", "--scale", "test", "--seed", "17",
+        ])
+        .unwrap();
+        // High-overlap aggressive run with the session cache off: every
+        // duplicate must be answered by the semantic tier, so the
+        // telemetry line has to report hits.
+        let out = run_strs(&[
+            "serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--requests",
+            "16",
+            "--clients",
+            "2",
+            "--candidates",
+            "6",
+            "--k",
+            "2",
+            "--cache-sessions",
+            "0",
+            "--semcache",
+            "aggressive",
+            "--dup-frac",
+            "0.5",
+        ])
+        .unwrap();
+        assert!(out.contains("semantic cache: mode Aggressive"), "{out}");
+        assert!(out.contains("50% cross-session duplicate stream"), "{out}");
+        assert!(out.contains("hits,"), "{out}");
+        assert!(out.contains("fallbacks,"), "{out}");
+
+        assert!(
+            run_strs(&[
+                "serve",
+                &dense,
+                "--model",
+                "bge-m3",
+                "--scale",
+                "test",
+                "--semcache",
+                "maybe",
+            ])
+            .is_err(),
+            "unknown semcache mode must be rejected"
         );
         std::fs::remove_file(&dense).unwrap();
     }

@@ -1,16 +1,20 @@
-//! One-dimensional clustering and dispersion statistics for progressive
-//! cluster pruning (§4.1).
+//! Clustering and dispersion statistics for progressive cluster pruning
+//! (§4.1) and the semantic result cache's embedding index.
 //!
 //! PRISM decides *when* to prune with a coefficient-of-variation gate over
 //! candidate scores and decides *what* to prune by K-Means-clustering the
 //! scores and routing whole clusters relative to the boundary cluster (the
-//! one containing the K-th ranked candidate). Scores are scalars, so
-//! everything here is specialized — and fast — for the 1-D case: the paper
+//! one containing the K-th ranked candidate). Scores are scalars, so the
+//! pruning path is specialized — and fast — for the 1-D case: the paper
 //! reports ~1 ms clustering overhead and our Criterion bench
 //! (`kmeans` in `prism-bench`) verifies we are far below that.
+//!
+//! The d-dimensional [`kmeans()`] generalization serves `prism-semcache`,
+//! which summarizes LSH buckets of mean-pooled candidate embeddings with
+//! centroids for fast probe rejection.
 
 pub mod kmeans;
 pub mod stats;
 
-pub use kmeans::{kmeans_1d, kmeans_auto, Clustering};
+pub use kmeans::{kmeans, kmeans_1d, kmeans_auto, Clustering, ClusteringNd};
 pub use stats::{coefficient_of_variation, mean, std_dev};

@@ -41,7 +41,7 @@ use prism_tensor::Tensor;
 use serde::Serialize;
 
 use crate::control::{CancelToken, ProgressFn, ProgressUpdate};
-use crate::options::{ComputePrecision, EngineOptions, Priority, PruneMode};
+use crate::options::{ComputePrecision, EngineOptions, Priority, PruneMode, SemCacheMode};
 use crate::routing::route_candidates;
 use crate::{PrismError, Result};
 
@@ -173,6 +173,13 @@ pub struct RequestOptions {
     /// spilled hidden states move through the pipeline as row-quant
     /// blocks and skip the f32 decode round-trip entirely.
     pub compute_precision: ComputePrecision,
+    /// Semantic result-cache policy (see [`SemCacheMode`]). Consumed by
+    /// the serving layer's cross-request cache (`prism-semcache`);
+    /// ignored by direct engine calls. The default [`SemCacheMode::Off`]
+    /// keeps the exact path. Because the cache may change *what* a
+    /// selection returns (in [`SemCacheMode::Aggressive`]), the mode
+    /// participates in serving result-cache keys.
+    pub semcache: SemCacheMode,
 }
 
 impl RequestOptions {
@@ -188,6 +195,7 @@ impl RequestOptions {
             deadline_us: None,
             spill_precision: SpillPrecision::default(),
             compute_precision: ComputePrecision::default(),
+            semcache: SemCacheMode::default(),
         }
     }
 
@@ -227,6 +235,12 @@ impl RequestOptions {
     /// Returns a copy with the given forward-compute precision.
     pub fn with_compute_precision(mut self, precision: ComputePrecision) -> Self {
         self.compute_precision = precision;
+        self
+    }
+
+    /// Returns a copy with the given semantic result-cache policy.
+    pub fn with_semcache(mut self, mode: SemCacheMode) -> Self {
+        self.semcache = mode;
         self
     }
 }
@@ -403,6 +417,26 @@ pub(crate) fn finalize_ranked(
     }
     accepted.sort_by(|a, b| b.score.total_cmp(&a.score));
     accepted.truncate(k);
+}
+
+/// Ranks a complete full-depth score vector into the top-`k` — the
+/// pruning-off selection rule as a standalone function: candidates sort
+/// by score descending with ties keeping ascending-id order, take `k`,
+/// every winner decided at `depth` (a full-depth run decides everyone at
+/// the final layer, [`PrismEngine::finalize_request`] passes the model's
+/// layer count).
+///
+/// This is the internal `finalize_ranked` path with an empty accepted set, exported so
+/// the serving layer's semantic result cache (`prism-semcache`) can merge
+/// replayed and recomputed per-candidate scores and rank them *through
+/// the same code path* a pruning-off engine run uses — the bit-identity
+/// contract of `SemCacheMode::VerifyAndFallback` rests on this being the
+/// one ranking rule.
+pub fn rank_full_scores(scores: &[f32], k: usize, depth: usize) -> Vec<RankedCandidate> {
+    let indexed: Vec<(usize, f32)> = scores.iter().copied().enumerate().collect();
+    let mut accepted = Vec::new();
+    finalize_ranked(&mut accepted, &indexed, false, k.min(scores.len()), depth);
+    accepted
 }
 
 enum EmbedSource {

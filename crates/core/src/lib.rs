@@ -35,10 +35,10 @@ pub mod scatter;
 pub use calibrate::ThresholdCalibrator;
 pub use control::{CancelToken, ProgressFn, ProgressUpdate};
 pub use engine::{
-    ActiveRequest, EngineTrace, PrismEngine, RankedCandidate, RequestOptions, RequestSpec,
-    Selection,
+    rank_full_scores, ActiveRequest, EngineTrace, PrismEngine, RankedCandidate, RequestOptions,
+    RequestSpec, Selection,
 };
-pub use options::{ComputePrecision, EngineOptions, Priority, PruneMode};
+pub use options::{ComputePrecision, EngineOptions, Priority, PruneMode, SemCacheMode};
 pub use routing::{route_candidates, RouteDecision};
 pub use scatter::{merge_shard_scores, ScatterGate, ScatterStep};
 // Re-exported so serving/API layers can thread the spill-precision knob

@@ -53,6 +53,34 @@ pub enum ComputePrecision {
     Int8,
 }
 
+/// Exactness policy of the semantic result cache (`prism-semcache`),
+/// the similarity-keyed cross-request cache the serving layer places
+/// between its per-session memo cache and the engine.
+///
+/// The cache only ever engages on *full-depth* requests (effective
+/// pruning off): a candidate's full-depth score is a pure function of
+/// its token sequence and precision knobs — the batch-independence
+/// contract the conformance suites pin — so replaying a cached score is
+/// sound. Pruned requests bypass the cache entirely.
+///
+/// Like [`ComputePrecision`], this knob changes *what may be reused*,
+/// so it participates in result-cache keys (unlike [`Priority`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize)]
+pub enum SemCacheMode {
+    /// Never probe or populate the cache (the exact path).
+    #[default]
+    Off,
+    /// Replay only exact token-identical candidates (bit-identical to
+    /// [`SemCacheMode::Off`] by construction); a sampled fraction of
+    /// hits is re-scored against the exact path and a mismatch poisons
+    /// the entry's LSH bucket, falling back to full compute.
+    VerifyAndFallback,
+    /// Additionally replay *near-duplicate* candidates whose mean-pooled
+    /// embedding cosine clears the similarity threshold — approximate by
+    /// design, maximum reuse.
+    Aggressive,
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct EngineOptions {

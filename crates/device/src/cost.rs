@@ -87,6 +87,20 @@ pub struct SpillCostParams {
     pub overlap_efficiency: f64,
 }
 
+/// Semantic-cache regime of a serving worker: the fraction of packed
+/// tokens whose scores replay from the cross-request cache instead of
+/// running the forward pass, plus the per-request probe cost (pooling,
+/// index lookup, replay bookkeeping). Used by [`ServeBatchCost`].
+#[derive(Debug, Clone, Copy)]
+pub struct SemCacheCostParams {
+    /// Fraction of packed tokens served by replay in `[0, 1]`; only the
+    /// remaining miss fraction pays the layer and spill terms.
+    pub hit_fraction: f64,
+    /// Seconds per request spent probing the cache (paid by hits and
+    /// misses alike).
+    pub probe_overhead_s: f64,
+}
+
 /// Analytic service-time model for one coalesced serving batch — the
 /// worker model of the serving metasim (`prism-metasim`).
 ///
@@ -119,6 +133,10 @@ pub struct ServeBatchCost {
     /// Hidden-state spill regime, when the batch exceeds the in-memory
     /// chunk height.
     pub spill: Option<SpillCostParams>,
+    /// Semantic result-cache regime (`RequestOptions::semcache != Off`):
+    /// replayed tokens skip the layer and spill terms, every request
+    /// pays the probe. `None` = cache disabled.
+    pub semcache: Option<SemCacheCostParams>,
     /// Fixed per-batch overhead in seconds (dispatch, coalescing,
     /// scratch setup).
     pub batch_overhead_s: f64,
@@ -139,6 +157,7 @@ impl ServeBatchCost {
             quant: false,
             int8_compute: false,
             spill: None,
+            semcache: None,
             batch_overhead_s: latency,
             request_overhead_s: latency / 10.0,
         }
@@ -186,6 +205,20 @@ impl ServeBatchCost {
             .unwrap_or(0.0)
     }
 
+    /// Tokens that still need the forward pass and the per-batch probe
+    /// seconds under this worker's semantic-cache regime (identity when
+    /// the cache is off). Shared by the flat and scatter-gather models.
+    fn semcache_terms(&self, requests: usize, tokens: u64) -> (u64, f64) {
+        match self.semcache {
+            Some(s) => {
+                let miss = 1.0 - s.hit_fraction.clamp(0.0, 1.0);
+                let forward = (tokens as f64 * miss).round() as u64;
+                (forward, requests as f64 * s.probe_overhead_s.max(0.0))
+            }
+            None => (tokens, 0.0),
+        }
+    }
+
     /// Seconds one coalesced batch of `requests` requests totalling
     /// `tokens` packed tokens occupies a worker.
     pub fn batch_time_s(&self, requests: usize, tokens: u64) -> f64 {
@@ -193,11 +226,13 @@ impl ServeBatchCost {
             return 0.0;
         }
         let seq = (tokens / requests as u64).max(1);
-        let layers_s = self.config.num_layers as f64 * self.per_layer_time_s(tokens, seq);
+        let (forward_tokens, probe_s) = self.semcache_terms(requests, tokens);
+        let layers_s = self.config.num_layers as f64 * self.per_layer_time_s(forward_tokens, seq);
         self.batch_overhead_s
             + requests as f64 * self.request_overhead_s
+            + probe_s
             + layers_s
-            + self.spill_time_s(tokens)
+            + self.spill_time_s(forward_tokens)
     }
 
     /// [`Self::batch_time_s`] in whole microseconds (at least 1 for a
@@ -273,28 +308,33 @@ impl ScatterGatherCost {
             return 0.0;
         }
         let seq = (tokens / requests as u64).max(1);
+        // The coordinator probes the semantic cache before scattering
+        // (the server's all-or-nothing sharded path): replayed tokens
+        // never reach the shards, so only the miss fraction partitions.
+        let (forward_tokens, probe_s) = self.worker.semcache_terms(requests, tokens);
         let forward_per_layer = if self.parallel_shards {
-            self.partitions(tokens)
+            self.partitions(forward_tokens)
                 .map(|t| self.worker.per_layer_time_s(t, seq))
                 .fold(0.0, f64::max)
         } else {
-            self.partitions(tokens)
+            self.partitions(forward_tokens)
                 .map(|t| self.worker.per_layer_time_s(t, seq))
                 .sum()
         };
         let coord_per_layer = self.gate_overhead_s + self.shards as f64 * self.dispatch_overhead_s;
         let layers_s = self.worker.config.num_layers as f64 * (forward_per_layer + coord_per_layer);
         let spill_s = if self.parallel_shards {
-            self.partitions(tokens)
+            self.partitions(forward_tokens)
                 .map(|t| self.worker.spill_time_s(t))
                 .fold(0.0, f64::max)
         } else {
-            self.partitions(tokens)
+            self.partitions(forward_tokens)
                 .map(|t| self.worker.spill_time_s(t))
                 .sum()
         };
         self.worker.batch_overhead_s
             + requests as f64 * self.worker.request_overhead_s
+            + probe_s
             + layers_s
             + spill_s
     }
@@ -486,6 +526,41 @@ mod tests {
             streamed.batch_time_s(1, 64),
             streamed_int8.batch_time_s(1, 64)
         );
+    }
+
+    #[test]
+    fn semcache_regime_discounts_replayed_tokens() {
+        let cfg = ModelConfig::test_config(prism_model::ModelArch::DecoderOnly, 12);
+        let d = DeviceSpec::apple_m2();
+        let base = ServeBatchCost::new(cfg, d);
+        let probe = base.device.ssd_latency / 20.0;
+        let cached = |hit: f64| ServeBatchCost {
+            semcache: Some(SemCacheCostParams {
+                hit_fraction: hit,
+                probe_overhead_s: probe,
+            }),
+            ..base.clone()
+        };
+        let plain = base.batch_time_s(8, 2048);
+        // Probing with no hits is pure overhead; hits claw it back and
+        // higher hit fractions monotonically shorten the batch.
+        let cold = cached(0.0).batch_time_s(8, 2048);
+        let half = cached(0.5).batch_time_s(8, 2048);
+        let hot = cached(0.9).batch_time_s(8, 2048);
+        assert!(cold > plain, "cold {cold} vs plain {plain}");
+        assert!((cold - plain - 8.0 * probe).abs() < 1e-12);
+        assert!(hot < half && half < cold, "{hot} {half} {cold}");
+        assert!(half < plain, "half-hit batch must beat no cache");
+        // A full-hit batch pays only overheads and probes: the layer
+        // term vanishes.
+        let full = cached(1.0).batch_time_s(8, 2048);
+        let overheads = base.batch_overhead_s + 8.0 * base.request_overhead_s + 8.0 * probe;
+        assert!((full - overheads).abs() < 1e-12, "full-hit {full}");
+        // The sharded coordinator probes before scattering, so the same
+        // discount reaches the scatter-gather model.
+        let sg_plain = ScatterGatherCost::new(base.clone(), 3).batch_time_s(8, 2048);
+        let sg_hot = ScatterGatherCost::new(cached(0.9), 3).batch_time_s(8, 2048);
+        assert!(sg_hot < sg_plain, "{sg_hot} vs {sg_plain}");
     }
 
     #[test]

@@ -178,4 +178,29 @@ mod tests {
         let int8_us = ServiceModel::analytic(int8).batch_micros(8, 4096);
         assert!(int8_us < dense_us, "int8 {int8_us} vs dense {dense_us}");
     }
+
+    #[test]
+    fn analytic_model_sees_the_semcache_regime() {
+        // High-overlap traces replay most candidates from the semantic
+        // result cache; the metasim prices that through the same
+        // `ServeBatchCost` knob the serving stack exposes.
+        let plain = ServeBatchCost::new(
+            ModelConfig::test_config(ModelArch::DecoderOnly, 6),
+            DeviceSpec::apple_m2(),
+        );
+        let probe = plain.device.ssd_latency / 20.0;
+        let cached = ServeBatchCost {
+            semcache: Some(prism_device::SemCacheCostParams {
+                hit_fraction: 0.6,
+                probe_overhead_s: probe,
+            }),
+            ..plain.clone()
+        };
+        let plain_us = ServiceModel::analytic(plain).batch_micros(8, 4096);
+        let cached_us = ServiceModel::analytic(cached).batch_micros(8, 4096);
+        assert!(
+            cached_us < plain_us,
+            "semcache {cached_us} vs plain {plain_us}"
+        );
+    }
 }

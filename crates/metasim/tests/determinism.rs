@@ -43,6 +43,7 @@ fn config(
         starvation_age: Duration::from_micros(wait_us.max(1) * 20),
         priority_scheduling: priority_mode,
         tenant_max_inflight: 0,
+        ..ServeConfig::default()
     }
 }
 

@@ -1,0 +1,184 @@
+//! Random-hyperplane locality-sensitive hashing over pooled embedding
+//! vectors, plus the small vector math the cache needs.
+//!
+//! A signature is the sign pattern of a vector's dot products against
+//! `bits` fixed random directions: vectors at cosine angle θ disagree on
+//! each bit with probability θ/π, so near-duplicates land in the same
+//! bucket with high probability while the bucket count stays O(2^bits).
+//! Directions are drawn once from a seeded generator, making signatures
+//! a pure function of `(seed, bits, dim, vector)`.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// A fixed set of random hyperplane directions.
+#[derive(Debug, Clone)]
+pub struct Hyperplanes {
+    /// Row-major `[bits, dim]` direction components.
+    planes: Vec<f32>,
+    bits: u32,
+    dim: usize,
+}
+
+impl Hyperplanes {
+    /// Draws `bits` directions of dimensionality `dim` from `seed`.
+    /// Components are uniform in `[-1, 1)`; only their signs' dot
+    /// products matter, so no normalization is needed.
+    ///
+    /// # Panics
+    /// If `bits` is not in `1..=64` or `dim` is zero.
+    pub fn new(bits: u32, dim: usize, seed: u64) -> Self {
+        assert!((1..=64).contains(&bits), "lsh bits {bits} not in 1..=64");
+        assert!(dim > 0, "lsh dim must be >= 1");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4C53_4820_7365_6D63);
+        let planes = (0..bits as usize * dim)
+            .map(|_| rng.gen::<f32>() * 2.0 - 1.0)
+            .collect();
+        Hyperplanes { planes, bits, dim }
+    }
+
+    /// Number of signature bits.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Dimensionality the planes were drawn for.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The sign-pattern signature of `v` (bit *i* set iff
+    /// `dot(v, plane_i) >= 0`).
+    ///
+    /// # Panics
+    /// If `v.len() != dim`.
+    pub fn signature(&self, v: &[f32]) -> u64 {
+        assert_eq!(v.len(), self.dim, "signature of wrong-dim vector");
+        let mut sig = 0u64;
+        for bit in 0..self.bits as usize {
+            let row = &self.planes[bit * self.dim..(bit + 1) * self.dim];
+            let dot: f32 = row.iter().zip(v).map(|(p, x)| p * x).sum();
+            if dot >= 0.0 {
+                sig |= 1 << bit;
+            }
+        }
+        sig
+    }
+}
+
+/// Cosine similarity of two equal-length vectors; zero-norm inputs
+/// yield 0.0 (never NaN) so degenerate pooled vectors can't match
+/// anything.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "cosine of mismatched lengths");
+    let mut dot = 0.0f32;
+    let mut na = 0.0f32;
+    let mut nb = 0.0f32;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += x * y;
+        na += x * x;
+        nb += y * y;
+    }
+    if na <= 0.0 || nb <= 0.0 {
+        return 0.0;
+    }
+    dot / (na.sqrt() * nb.sqrt())
+}
+
+/// Mean-pools `rows` (a flat `[n, dim]` row-major matrix, e.g. one
+/// candidate's slice of an embedding batch) into a single `dim`-vector.
+/// Empty input pools to the zero vector.
+///
+/// # Panics
+/// If `rows.len()` is not a multiple of `dim`.
+pub fn mean_pool(rows: &[f32], dim: usize) -> Vec<f32> {
+    assert!(dim > 0, "mean_pool dim must be >= 1");
+    assert!(
+        rows.len().is_multiple_of(dim),
+        "mean_pool input length {} not a multiple of dim {dim}",
+        rows.len()
+    );
+    let n = rows.len() / dim;
+    let mut out = vec![0.0f32; dim];
+    for row in rows.chunks_exact(dim) {
+        for (o, &x) in out.iter_mut().zip(row) {
+            *o += x;
+        }
+    }
+    if n > 0 {
+        let inv = 1.0 / n as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_are_deterministic_and_seed_keyed() {
+        let v: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let h1 = Hyperplanes::new(16, 16, 7);
+        let h2 = Hyperplanes::new(16, 16, 7);
+        assert_eq!(h1.signature(&v), h2.signature(&v));
+        let h3 = Hyperplanes::new(16, 16, 8);
+        // Different seed -> different planes; the signature *may* collide
+        // but the plane tables must differ.
+        assert_ne!(h1.planes, h3.planes);
+    }
+
+    #[test]
+    fn identical_vectors_share_a_bucket_and_opposites_do_not() {
+        let h = Hyperplanes::new(32, 8, 42);
+        let v = [1.0, -0.5, 0.25, 2.0, -1.0, 0.0, 0.5, 3.0];
+        let neg: Vec<f32> = v.iter().map(|x| -x).collect();
+        assert_eq!(h.signature(&v), h.signature(&v));
+        // Every strict sign flips for the exact negation (dot==0 edge
+        // cases aside, which this vector avoids with overwhelming
+        // probability), so the signatures are complements.
+        assert_ne!(h.signature(&v), h.signature(&neg));
+    }
+
+    #[test]
+    fn near_duplicates_usually_collide() {
+        let h = Hyperplanes::new(8, 16, 1);
+        let base: Vec<f32> = (0..16).map(|i| (i as f32 * 0.7).cos()).collect();
+        let mut collided = 0;
+        for j in 0..50 {
+            let jittered: Vec<f32> = base
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| x + 1e-5 * ((i + j) as f32).sin())
+                .collect();
+            if h.signature(&jittered) == h.signature(&base) {
+                collided += 1;
+            }
+        }
+        // Sign flips need a plane dot within ~1e-5 of zero; most jitters
+        // collide, but one marginal plane can flip a stretch of them.
+        assert!(collided >= 30, "only {collided}/50 tiny jitters collided");
+    }
+
+    #[test]
+    fn cosine_basics() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0, "zero norm is 0");
+    }
+
+    #[test]
+    fn mean_pool_averages_rows() {
+        let rows = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        assert_eq!(mean_pool(&rows, 2), vec![3.0, 4.0]);
+        assert_eq!(mean_pool(&[], 3), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn mean_pool_rejects_ragged_input() {
+        mean_pool(&[1.0, 2.0, 3.0], 2);
+    }
+}

@@ -42,6 +42,22 @@ pub struct ServeConfig {
     /// rejected with the typed quota error so one noisy session cannot
     /// convert the shared queue's headroom into its own.
     pub tenant_max_inflight: usize,
+    /// Byte budget of the semantic result cache (`prism-semcache`), the
+    /// cross-request candidate-score cache shared by every session and
+    /// tenant; `0` disables it. Even when allocated, the cache only
+    /// engages on requests that opt in via
+    /// [`prism_core::SemCacheMode`] *and* run at full depth (effective
+    /// pruning off).
+    pub semcache_capacity_bytes: u64,
+    /// LSH signature bits of the semantic cache's similarity index.
+    pub semcache_lsh_bits: u32,
+    /// Cosine threshold for `Aggressive` near-duplicate replay.
+    pub semcache_similarity: f32,
+    /// Fraction of semantic-cache hits re-scored against the exact path
+    /// under `VerifyAndFallback`.
+    pub semcache_verify_fraction: f64,
+    /// Seed of the semantic cache's hyperplanes and bucket summaries.
+    pub semcache_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +72,11 @@ impl Default for ServeConfig {
             starvation_age: Duration::from_millis(50),
             priority_scheduling: true,
             tenant_max_inflight: 0,
+            semcache_capacity_bytes: 8 << 20,
+            semcache_lsh_bits: 16,
+            semcache_similarity: 0.95,
+            semcache_verify_fraction: 0.25,
+            semcache_seed: 0x5EED_CACE,
         }
     }
 }
@@ -153,7 +174,27 @@ impl ServeConfig {
                 "starvation age must be >= the batch wait bound".into(),
             ));
         }
+        if self.semcache_capacity_bytes > 0 {
+            // Delegate range checks to the cache's own validator (dim is
+            // engine-derived at start; validate with a placeholder).
+            self.semcache_config(1)
+                .validate()
+                .map_err(ServeError::Config)?;
+        }
         Ok(())
+    }
+
+    /// The semantic-cache configuration these knobs induce for a model
+    /// with hidden dimensionality `dim`.
+    pub fn semcache_config(&self, dim: usize) -> prism_semcache::SemCacheConfig {
+        prism_semcache::SemCacheConfig {
+            dim,
+            capacity_bytes: self.semcache_capacity_bytes,
+            lsh_bits: self.semcache_lsh_bits,
+            similarity_threshold: self.semcache_similarity,
+            verify_fraction: self.semcache_verify_fraction,
+            seed: self.semcache_seed,
+        }
     }
 
     /// The scheduler policy this configuration induces.

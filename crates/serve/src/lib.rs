@@ -38,6 +38,12 @@
 //! * **Session cache** ([`session`]): an LRU over sessions reuses
 //!   candidate embeddings for repeat corpora and memoizes whole selections
 //!   for exact repeats; hit/miss counters surface through [`ServeStats`].
+//! * **Semantic cache** ([`semantic`]): between the session cache and the
+//!   engine, a similarity-keyed cross-request cache (`prism-semcache`)
+//!   replays per-candidate full-depth scores across sessions and tenants
+//!   — exact token repeats always, near-duplicates under the
+//!   [`prism_core::SemCacheMode::Aggressive`] knob — recomputing only the
+//!   novel tail of partially-hit requests.
 //! * **Facade backend** ([`RemoteService`]): the server implements
 //!   `prism_api::SelectionService`, so facade callers get non-blocking
 //!   handles with mid-flight cancellation and layer-granularity progress
@@ -56,6 +62,7 @@ pub mod queue;
 pub mod quota;
 pub mod request;
 pub mod scheduler;
+pub mod semantic;
 pub mod server;
 pub mod session;
 pub mod shard;
@@ -68,6 +75,7 @@ pub use request::{
     CacheOutcome, Replier, ResponseHandle, ServeError, ServeRequest, ServeResponse, ServiceError,
 };
 pub use scheduler::{BatchPlanner, PlanDecision, QueueItem};
+pub use semantic::SemanticLayer;
 pub use server::{PrismServer, RemoteService, ServeSession};
 pub use session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
 pub use shard::{candidate_key, ForwardMap, ShardFault, ShardSet, FORWARD_SLOTS};

@@ -10,7 +10,7 @@
 
 use std::time::{Duration, Instant};
 
-use prism_core::{ComputePrecision, Priority, RequestOptions, SpillPrecision};
+use prism_core::{ComputePrecision, Priority, RequestOptions, SemCacheMode, SpillPrecision};
 use prism_model::SequenceBatch;
 use prism_workload::{dataset_by_name, WorkloadGenerator};
 use serde::Serialize;
@@ -56,7 +56,25 @@ pub struct LoadSpec {
     pub spill_precision: SpillPrecision,
     /// Forward-compute precision stamped on every request.
     pub compute_precision: ComputePrecision,
+    /// Semantic-cache mode stamped on every request. Any mode other
+    /// than [`SemCacheMode::Off`] also pins the request to full depth
+    /// (`pruning = Some(false)`): cross-request score replay is only
+    /// sound for full-depth scores, so the knob implies the eligibility
+    /// requirement instead of silently not engaging.
+    pub semcache: SemCacheMode,
+    /// Fraction of requests drawn from a small *cross-session* shared
+    /// corpus pool instead of the session's own stream (`0.0` = none).
+    /// Duplicate requests land in different sessions, so only a
+    /// cross-request tier (the semantic cache) can serve them from
+    /// memory; the per-session cache cannot. Spread evenly like
+    /// `high_fraction`.
+    pub dup_fraction: f64,
 }
+
+/// Distinct corpora the cross-session duplicate stream cycles through
+/// (small on purpose: each is requested many times under high
+/// `dup_fraction`).
+pub const DUP_POOL: usize = 8;
 
 impl Default for LoadSpec {
     fn default() -> Self {
@@ -75,6 +93,8 @@ impl Default for LoadSpec {
             deadline_us: None,
             spill_precision: SpillPrecision::default(),
             compute_precision: ComputePrecision::default(),
+            semcache: SemCacheMode::Off,
+            dup_fraction: 0.0,
         }
     }
 }
@@ -94,12 +114,31 @@ impl LoadSpec {
         i.is_multiple_of(every)
     }
 
+    /// Whether global request index `i` draws from the cross-session
+    /// duplicate pool (same even spacing as [`LoadSpec::is_high`]).
+    pub fn is_dup(&self, i: usize) -> bool {
+        if self.dup_fraction <= 0.0 {
+            return false;
+        }
+        if self.dup_fraction >= 1.0 {
+            return true;
+        }
+        let every = (1.0 / self.dup_fraction).round().max(1.0) as usize;
+        i.is_multiple_of(every)
+    }
+
     /// The resolved options decoration for request `i` (class +
     /// deadline on top of the routing options).
     fn decorate(&self, i: usize, options: RequestOptions) -> RequestOptions {
-        let options = options
+        let mut options = options
             .with_spill_precision(self.spill_precision)
-            .with_compute_precision(self.compute_precision);
+            .with_compute_precision(self.compute_precision)
+            .with_semcache(self.semcache);
+        if self.semcache != SemCacheMode::Off {
+            // Semantic replay is only sound at full depth; the knob
+            // implies it rather than silently not engaging.
+            options.pruning = Some(false);
+        }
         if self.is_high(i) {
             let o = options.with_priority(Priority::High);
             match self.high_deadline_us {
@@ -231,7 +270,14 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
                     let round = i / sessions;
                     // Requests of one session advance to a fresh corpus
                     // every `repeat` rounds; in between they repeat it.
-                    let corpus = (session_idx as u64) << 32 | (round / repeat) as u64;
+                    // Duplicate-stream requests instead cycle a small
+                    // corpus pool shared by *all* sessions, so reuse is
+                    // only visible to a cross-request cache tier.
+                    let corpus = if spec_ref.is_dup(i) {
+                        0xD0B0_0000_0000_0000 | (i % DUP_POOL) as u64
+                    } else {
+                        (session_idx as u64) << 32 | (round / repeat) as u64
+                    };
                     let request = generator.request(corpus, spec_ref.candidates);
                     let batch = SequenceBatch::new(&request.sequences()).expect("load batch");
                     // Tag by corpus so repeats are exact (cacheable) and
@@ -363,6 +409,35 @@ mod tests {
             ..Default::default()
         };
         assert!((0..10).all(|i| all.is_high(i)));
+    }
+
+    #[test]
+    fn semcache_decoration_pins_full_depth() {
+        let spec = LoadSpec {
+            semcache: SemCacheMode::Aggressive,
+            ..Default::default()
+        };
+        let o = spec.decorate(0, RequestOptions::top_k(2));
+        assert_eq!(o.semcache, SemCacheMode::Aggressive);
+        assert_eq!(o.pruning, Some(false), "semcache implies full depth");
+        let off = LoadSpec::default().decorate(0, RequestOptions::top_k(2));
+        assert_eq!(off.semcache, SemCacheMode::Off);
+        assert_eq!(off.pruning, None, "Off leaves pruning to the engine");
+    }
+
+    #[test]
+    fn dup_fraction_spaces_duplicates_evenly() {
+        let spec = LoadSpec {
+            dup_fraction: 0.5,
+            ..Default::default()
+        };
+        assert_eq!((0..100).filter(|&i| spec.is_dup(i)).count(), 50);
+        assert!(!LoadSpec::default().is_dup(0), "default stream has none");
+        let all = LoadSpec {
+            dup_fraction: 1.0,
+            ..Default::default()
+        };
+        assert!((0..10).all(|i| all.is_dup(i)));
     }
 
     #[test]

@@ -66,6 +66,10 @@ pub enum CacheOutcome {
     EmbedHit,
     /// Exact repeat: the whole [`Selection`] was served from the cache.
     SelectionHit,
+    /// Every candidate's full-depth score was replayed from the
+    /// cross-request semantic cache ([`crate::SemanticLayer`]): no
+    /// transformer layers executed for this request.
+    SemanticHit,
 }
 
 /// A completed serving response.

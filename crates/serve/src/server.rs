@@ -7,15 +7,19 @@ use std::time::Instant;
 
 use prism_api::{SelectionHandle, SelectionService, ServiceError};
 use prism_baselines::{RankOutcome, Reranker};
-use prism_core::{ActiveRequest, PrismEngine, PrismError, RequestOptions, Selection};
+use prism_core::{
+    rank_full_scores, ActiveRequest, PrismEngine, PrismError, RequestOptions, Selection,
+};
 use prism_model::layer::ForwardScratch;
 use prism_model::SequenceBatch;
+use prism_tensor::Tensor;
 
 use crate::config::ServeConfig;
 use crate::queue::{Pending, SubmissionQueue};
 use crate::quota::{QuotaToken, TenantQuota};
 use crate::request::{CacheOutcome, Replier, ResponseHandle, ServeRequest, ServeResponse};
 use crate::scheduler::BatchPlanner;
+use crate::semantic::{merge_tail_scores, replay_selection, SemState, SemanticLayer};
 use crate::session::{fingerprint_batch, CacheLookup, SelectionKey, SessionCache};
 use crate::shard::ShardSet;
 use crate::stats::ServeStats;
@@ -28,6 +32,9 @@ struct ServerShared {
     queue: SubmissionQueue,
     planner: BatchPlanner,
     cache: Option<Mutex<SessionCache>>,
+    /// Cross-request semantic score cache shared by all sessions and
+    /// tenants; `None` when disabled by configuration.
+    semcache: Option<SemanticLayer>,
     quota: Option<TenantQuota>,
     stats: ServeStats,
     ticket: AtomicU64,
@@ -69,6 +76,8 @@ impl PrismServer {
     ) -> crate::Result<Self> {
         config.validate()?;
         let stats = ServeStats::new();
+        let semcache = (config.semcache_capacity_bytes > 0)
+            .then(|| SemanticLayer::new(config.semcache_config(engine.config().hidden_dim)));
         let shared = Arc::new(ServerShared {
             engine,
             shards,
@@ -76,6 +85,7 @@ impl PrismServer {
             planner: config.planner(),
             cache: (config.session_cache_capacity > 0)
                 .then(|| Mutex::new(SessionCache::new(config.session_cache_capacity))),
+            semcache,
             quota: (config.tenant_max_inflight > 0)
                 .then(|| TenantQuota::new(config.tenant_max_inflight)),
             stats,
@@ -116,6 +126,12 @@ impl PrismServer {
     /// diagnostics).
     pub fn shards(&self) -> Option<&ShardSet> {
         self.shared.shards.as_deref()
+    }
+
+    /// The cross-request semantic cache tier, when enabled (byte meter
+    /// and leak audits for tests and telemetry).
+    pub fn semcache(&self) -> Option<&SemanticLayer> {
+        self.shared.semcache.as_ref()
     }
 
     /// A lightweight per-session submission handle (usable as a
@@ -277,6 +293,106 @@ struct RunItem {
     pending: Pending,
     outcome: CacheOutcome,
     queued_us: u64,
+    /// Semantic-cache bookkeeping when the request engaged that tier
+    /// (partial replay merge, verification, harvest happen after
+    /// finalize).
+    sem: Option<SemState>,
+}
+
+/// Probes the semantic cache for one eligible request. Returns
+/// `Ok(selection)` when every candidate hit (the request is answered
+/// without touching the engine), `Err(state)` when at least one
+/// candidate is novel or the request sampled into verification.
+fn probe_semantic(
+    shared: &ServerShared,
+    layer: &SemanticLayer,
+    pending: &Pending,
+    embed: &Tensor,
+) -> Result<Selection, SemState> {
+    let stats = &shared.stats;
+    let mode = pending.options.semcache;
+    let profile = SemanticLayer::profile_byte(&pending.options);
+    let pooled = SemanticLayer::pooled_candidates(embed, &pending.batch);
+    let probes = layer.probe_batch(&pending.batch, &pooled, profile, mode);
+    let hits = probes.iter().filter(|p| p.is_hit()).count();
+    stats.semcache_hits.inc_by(hits as u64);
+    stats.semcache_misses.inc_by((probes.len() - hits) as u64);
+    let verify = layer.wants_verify(mode, &probes);
+    if hits == probes.len() && !verify {
+        // Full replay: every candidate's full-depth score is cached, so
+        // the exact pruning-off ranking is reproducible without running
+        // a single layer.
+        let scores: Vec<f32> = probes.iter().map(|p| p.score().unwrap_or(0.0)).collect();
+        return Ok(replay_selection(
+            scores,
+            pending.options.k,
+            shared.engine.config().num_layers,
+        ));
+    }
+    Err(SemState {
+        profile,
+        pooled,
+        probes,
+        novel: None,
+        verify,
+    })
+}
+
+/// Merges, verifies and harvests one finalized request's semantic-cache
+/// state, returning the selection to answer with. Only runs on the
+/// success path: a cancelled, expired or failed request harvests
+/// nothing, so no cache or meter bytes can leak from aborted work.
+fn resolve_semantic(
+    shared: &ServerShared,
+    layer: &SemanticLayer,
+    pending: &Pending,
+    sem: &SemState,
+    mut selection: Selection,
+) -> Selection {
+    let stats = &shared.stats;
+    if let Some(novel) = &sem.novel {
+        // Partial replay: the engine computed only the novel tail;
+        // scatter its scores back through the keep mask and re-rank at
+        // the original `k` so the merged result is exactly the full
+        // pruning-off order.
+        let merged = merge_tail_scores(&sem.probes, novel, &selection.last_scores);
+        let trace = std::mem::take(&mut selection.trace);
+        selection = Selection {
+            ranked: rank_full_scores(
+                &merged,
+                pending.options.k,
+                shared.engine.config().num_layers,
+            ),
+            last_scores: merged,
+            trace,
+        };
+        layer.harvest(
+            &pending.batch,
+            &sem.pooled,
+            sem.profile,
+            novel,
+            &selection.last_scores,
+        );
+    } else {
+        // Full compute: either nothing hit (harvest-only pass) or the
+        // request sampled into verification — compare every replayed
+        // score bit-for-bit and poison the bucket of any mismatch; the
+        // caller gets the exact result either way.
+        if sem.verify {
+            let fallbacks = layer.verify_replays(&sem.probes, &selection.last_scores);
+            stats.semcache_fallbacks.inc_by(fallbacks);
+        }
+        let all: Vec<usize> = (0..sem.probes.len()).collect();
+        layer.harvest(
+            &pending.batch,
+            &sem.pooled,
+            sem.profile,
+            &all,
+            &selection.last_scores,
+        );
+    }
+    stats.semcache_bytes.set(layer.bytes());
+    selection
 }
 
 fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<ForwardScratch>) {
@@ -354,41 +470,114 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
             continue;
         }
 
-        // ---- Plan (embed replayed or computed-and-cached) ----
-        let plan = match lookup {
+        // ---- Resolve the candidate embedding (replayed or computed).
+        // The embedding is needed up front both for embed-replay
+        // planning and for the semantic cache's pooled probe vectors.
+        let semcache = shared
+            .semcache
+            .as_ref()
+            .filter(|_| SemanticLayer::eligible(&pending.options, shared.engine.options().pruning));
+        let (embed, outcome) = match lookup {
             CacheLookup::Embed(embed) => {
                 stats.cache_embed_hits.inc();
-                shared
-                    .engine
-                    .plan_request_with_embed(&pending.batch, pending.options.clone(), Some(&embed))
-                    .map(|p| (p, CacheOutcome::EmbedHit))
+                (Some(embed), CacheOutcome::EmbedHit)
             }
             _ => {
                 stats.cache_misses.inc();
-                match &shared.cache {
-                    Some(cache) => shared.engine.embed_batch(&pending.batch).and_then(|embed| {
-                        let p = shared.engine.plan_request_with_embed(
-                            &pending.batch,
-                            pending.options.clone(),
-                            Some(&embed),
-                        )?;
-                        cache.lock().expect("session cache lock").store_embed(
-                            &pending.session,
-                            pending.fingerprint,
-                            &pending.batch,
-                            embed,
-                        );
-                        Ok(p)
-                    }),
-                    None => shared
-                        .engine
-                        .plan_request(&pending.batch, pending.options.clone()),
+                if shared.cache.is_some() || semcache.is_some() {
+                    match shared.engine.embed_batch(&pending.batch) {
+                        Ok(embed) => {
+                            if let Some(cache) = &shared.cache {
+                                cache.lock().expect("session cache lock").store_embed(
+                                    &pending.session,
+                                    pending.fingerprint,
+                                    &pending.batch,
+                                    embed.clone(),
+                                );
+                            }
+                            (Some(embed), CacheOutcome::Miss)
+                        }
+                        Err(e) => {
+                            stats.completed.inc();
+                            pending.reply.send(Err(ServiceError::from(e)));
+                            continue;
+                        }
+                    }
+                } else {
+                    (None, CacheOutcome::Miss)
                 }
-                .map(|p| (p, CacheOutcome::Miss))
             }
         };
+
+        // ---- Semantic-cache probe (opted-in, full-depth requests) ----
+        let mut sem: Option<SemState> = None;
+        if let (Some(layer), Some(embed)) = (semcache, embed.as_ref()) {
+            match probe_semantic(shared, layer, &pending, embed) {
+                Ok(selection) => {
+                    stats.service_us.record(0);
+                    stats.completed.inc();
+                    store_selection(shared, &pending, &selection);
+                    let response = ServeResponse {
+                        selection,
+                        ticket: pending.ticket,
+                        batch_size: size,
+                        queued_us,
+                        service_us: 0,
+                        cache: CacheOutcome::SemanticHit,
+                    };
+                    pending.reply.send(Ok(response));
+                    continue;
+                }
+                Err(state) => sem = Some(state),
+            }
+        }
+
+        // ---- Plan: the full request, or only the novel tail of a
+        // partially-hit semantic probe ----
+        let plan = match (&mut sem, &embed) {
+            (Some(state), Some(embed)) if !state.verify && state.hits() > 0 => {
+                let novel: Vec<usize> = state
+                    .probes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, p)| !p.is_hit())
+                    .map(|(i, _)| i)
+                    .collect();
+                let seqs: Vec<Vec<u32>> = novel
+                    .iter()
+                    .map(|&i| pending.batch.sequence(i).to_vec())
+                    .collect();
+                // Sub-views of an already-validated batch stay valid,
+                // and per-candidate embedding rows are position-local,
+                // so the original rows transplant unchanged.
+                let sub_batch = SequenceBatch::new(&seqs).expect("novel sub-batch");
+                let dim = embed.cols();
+                let data = embed.data();
+                let mut rows = Vec::new();
+                for &i in &novel {
+                    let (s, e) = pending.batch.ranges()[i];
+                    rows.extend_from_slice(&data[s * dim..e * dim]);
+                }
+                let sub_embed =
+                    Tensor::from_vec(rows.len() / dim, dim, rows).expect("novel sub-embed");
+                let mut sub_options = pending.options.clone();
+                sub_options.k = sub_options.k.min(novel.len());
+                state.novel = Some(novel);
+                shared
+                    .engine
+                    .plan_request_with_embed(&sub_batch, sub_options, Some(&sub_embed))
+            }
+            (_, Some(embed)) => shared.engine.plan_request_with_embed(
+                &pending.batch,
+                pending.options.clone(),
+                Some(embed),
+            ),
+            (_, None) => shared
+                .engine
+                .plan_request(&pending.batch, pending.options.clone()),
+        };
         match plan {
-            Ok((mut p, outcome)) => {
+            Ok(mut p) => {
                 // Wire the caller's controls into the engine: cancel and
                 // deadline abort at layer boundaries, progress streams
                 // back through the facade handle.
@@ -404,6 +593,7 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
                     pending,
                     outcome,
                     queued_us,
+                    sem,
                 });
             }
             Err(e) => {
@@ -426,9 +616,19 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
                     // typed error without failing its batch-mates.
                     match shared.engine.finalize_request(req) {
                         Ok(selection) => {
+                            // Semantic-cache epilogue: merge a partial
+                            // replay with its computed tail, verify and
+                            // harvest. Aborted batch-mates skip this, so
+                            // they contribute no cache bytes.
+                            let selection = match (&item.sem, &shared.semcache) {
+                                (Some(sem), Some(layer)) => {
+                                    resolve_semantic(shared, layer, &item.pending, sem, selection)
+                                }
+                                _ => selection,
+                            };
                             stats.service_us.record(service_us);
                             stats.completed.inc();
-                            store_selection(shared, &item, &selection);
+                            store_selection(shared, &item.pending, &selection);
                             let response = ServeResponse {
                                 selection,
                                 ticket: item.pending.ticket,
@@ -513,6 +713,43 @@ fn execute_sharded_batch(
         }
         stats.cache_misses.inc();
 
+        // ---- Semantic-cache probe: all-or-nothing in the sharded path.
+        // Planning happens inside each shard over its corpus partition,
+        // so a partial tail cannot be transplanted here; a full hit
+        // answers without scattering, anything less runs the full
+        // request (then verifies/harvests).
+        let mut sem: Option<SemState> = None;
+        if let Some(layer) = &shared.semcache {
+            if SemanticLayer::eligible(&pending.options, shared.engine.options().pruning) {
+                // Shard engines share the full embedding weights, so
+                // shard 0's embedding is the probe's pooling source.
+                if let Ok(embed) = shared.engine.embed_batch(&pending.batch) {
+                    match probe_semantic(shared, layer, &pending, &embed) {
+                        Ok(selection) => {
+                            stats.service_us.record(0);
+                            stats.completed.inc();
+                            store_selection(shared, &pending, &selection);
+                            let response = ServeResponse {
+                                selection,
+                                ticket: pending.ticket,
+                                batch_size: size,
+                                queued_us,
+                                service_us: 0,
+                                cache: CacheOutcome::SemanticHit,
+                            };
+                            pending.reply.send(Ok(response));
+                            continue;
+                        }
+                        Err(mut state) => {
+                            // The full request runs below; never a tail.
+                            state.novel = None;
+                            sem = Some(state);
+                        }
+                    }
+                }
+            }
+        }
+
         let progress = match &pending.reply {
             Replier::Handle(completion) => Some(completion.progress_fn()),
             _ => None,
@@ -528,6 +765,12 @@ fn execute_sharded_batch(
         let service_us = t0.elapsed().as_micros() as u64;
         match run {
             Ok(selection) => {
+                let selection = match (&sem, &shared.semcache) {
+                    (Some(sem), Some(layer)) => {
+                        resolve_semantic(shared, layer, &pending, sem, selection)
+                    }
+                    _ => selection,
+                };
                 stats.service_us.record(service_us);
                 stats.completed.inc();
                 if let Some(cache) = &shared.cache {
@@ -565,13 +808,13 @@ fn execute_sharded_batch(
     }
 }
 
-fn store_selection(shared: &ServerShared, item: &RunItem, selection: &Selection) {
+fn store_selection(shared: &ServerShared, pending: &Pending, selection: &Selection) {
     if let Some(cache) = &shared.cache {
         cache.lock().expect("session cache lock").store_selection(
-            &item.pending.session,
-            item.pending.fingerprint,
-            &item.pending.batch,
-            SelectionKey::from_options(&item.pending.options),
+            &pending.session,
+            pending.fingerprint,
+            &pending.batch,
+            SelectionKey::from_options(&pending.options),
             selection,
         );
     }

@@ -10,7 +10,9 @@
 
 use std::collections::HashMap;
 
-use prism_core::{ComputePrecision, PruneMode, RequestOptions, Selection, SpillPrecision};
+use prism_core::{
+    ComputePrecision, PruneMode, RequestOptions, Selection, SemCacheMode, SpillPrecision,
+};
 use prism_model::SequenceBatch;
 use prism_tensor::Tensor;
 
@@ -51,6 +53,10 @@ pub struct SelectionKey {
     spill_int8: bool,
     /// Compute precision changes scores everywhere; same rule.
     compute_int8: bool,
+    /// Semantic-cache exactness mode: `Aggressive` results may contain
+    /// approximate (near-duplicate) replays, so they must never replay
+    /// as memos for `Off`/`VerifyAndFallback` repeats (or vice versa).
+    semcache: u8,
 }
 
 impl SelectionKey {
@@ -67,6 +73,11 @@ impl SelectionKey {
             pruning: options.pruning,
             spill_int8: options.spill_precision == SpillPrecision::Int8,
             compute_int8: options.compute_precision == ComputePrecision::Int8,
+            semcache: match options.semcache {
+                SemCacheMode::Off => 0,
+                SemCacheMode::VerifyAndFallback => 1,
+                SemCacheMode::Aggressive => 2,
+            },
         }
     }
 }
@@ -301,6 +312,12 @@ mod tests {
             SelectionKey::from_options(&int8_compute),
             key(2, 1),
             "int8-compute scores must not replay f32 memos"
+        );
+        let aggressive = RequestOptions::tagged(2, 1).with_semcache(SemCacheMode::Aggressive);
+        assert_ne!(
+            SelectionKey::from_options(&aggressive),
+            key(2, 1),
+            "aggressive semcache results must not replay as exact memos"
         );
     }
 

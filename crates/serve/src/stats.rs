@@ -49,6 +49,18 @@ pub struct ServeStats {
     pub cache_embed_hits: Counter,
     /// Session-cache: misses (including cache-disabled requests).
     pub cache_misses: Counter,
+    /// Semantic cache: candidates whose score was replayed (exact or
+    /// similar tier) instead of recomputed.
+    pub semcache_hits: Counter,
+    /// Semantic cache: candidates probed without a replayable score
+    /// (only eligible requests probe — pruning-off with the knob on).
+    pub semcache_misses: Counter,
+    /// Semantic cache: verification mismatches that fell back to the
+    /// exact path (each also poisoned the offending LSH bucket).
+    pub semcache_fallbacks: Counter,
+    /// Semantic cache: resident bytes (int8 entries + overhead), metered
+    /// like spill bytes. Mirrors the cache's own byte meter.
+    pub semcache_bytes: Gauge,
 }
 
 impl ServeStats {
@@ -104,6 +116,22 @@ impl ServeStats {
             cache_embed_hits: self.cache_embed_hits.get(),
             cache_misses: self.cache_misses.get(),
             cache_hit_rate: self.cache_hit_rate(),
+            semcache_hits: self.semcache_hits.get(),
+            semcache_misses: self.semcache_misses.get(),
+            semcache_fallbacks: self.semcache_fallbacks.get(),
+            semcache_bytes: self.semcache_bytes.get(),
+        }
+    }
+
+    /// Fraction of semantic-cache probes that replayed a score, in
+    /// `[0, 1]`; zero when no eligible request ever probed.
+    pub fn semcache_hit_rate(&self) -> f64 {
+        let hits = self.semcache_hits.get();
+        let total = hits + self.semcache_misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
         }
     }
 }
@@ -149,6 +177,14 @@ pub struct ServeStatsSnapshot {
     pub cache_misses: u64,
     /// Hit fraction across all probes.
     pub cache_hit_rate: f64,
+    /// Semantic-cache candidate replays (exact + similar tiers).
+    pub semcache_hits: u64,
+    /// Semantic-cache candidate probes that found nothing.
+    pub semcache_misses: u64,
+    /// Semantic-cache verification mismatches (poison + exact fallback).
+    pub semcache_fallbacks: u64,
+    /// Semantic-cache resident bytes right now.
+    pub semcache_bytes: u64,
 }
 
 #[cfg(test)]
@@ -203,10 +239,19 @@ mod tests {
         s.submitted.inc_by(3);
         s.queue_depth.set(2);
         s.batch_size.record(2);
+        s.semcache_hits.inc_by(4);
+        s.semcache_misses.inc_by(2);
+        s.semcache_fallbacks.inc();
+        s.semcache_bytes.set(512);
         let snap = s.snapshot();
         assert_eq!(snap.submitted, 3);
         assert_eq!(snap.queue_depth, 2);
         assert_eq!(snap.batch_size.count, 1);
+        assert_eq!(snap.semcache_hits, 4);
+        assert_eq!(snap.semcache_misses, 2);
+        assert_eq!(snap.semcache_fallbacks, 1);
+        assert_eq!(snap.semcache_bytes, 512);
+        assert!((s.semcache_hit_rate() - 4.0 / 6.0).abs() < 1e-12);
         // Snapshot serializes (shim serde): smoke-check a field name.
         let json = serde_json::to_string(&snap);
         assert!(json.is_ok());

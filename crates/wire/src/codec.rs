@@ -26,12 +26,15 @@ use std::io::{Read, Write};
 use prism_api::{Progress, SelectionOutcome, ServiceError};
 use prism_core::{
     ComputePrecision, EngineTrace, Priority, PruneMode, RankedCandidate, RequestOptions, Selection,
-    SpillPrecision,
+    SemCacheMode, SpillPrecision,
 };
 use prism_model::SequenceBatch;
 
 /// Protocol version carried in the `Hello` handshake.
-pub const WIRE_VERSION: u32 = 1;
+///
+/// Version history: 1 = initial protocol; 2 = `Submit` options grew the
+/// trailing semantic-result-cache mode byte (`SemCacheMode`).
+pub const WIRE_VERSION: u32 = 2;
 
 /// Hard ceiling on one frame's byte length (type byte + payload). Large
 /// enough for a maximal candidate batch, small enough that a hostile
@@ -237,6 +240,11 @@ impl Enc {
         self.u8(match o.compute_precision {
             ComputePrecision::F32 => 0,
             ComputePrecision::Int8 => 1,
+        });
+        self.u8(match o.semcache {
+            SemCacheMode::Off => 0,
+            SemCacheMode::VerifyAndFallback => 1,
+            SemCacheMode::Aggressive => 2,
         });
     }
 
@@ -497,6 +505,12 @@ impl<'a> Dec<'a> {
             1 => ComputePrecision::Int8,
             v => return Err(WireError::Corrupt(format!("compute tag {v}"))),
         };
+        let semcache = match self.u8()? {
+            0 => SemCacheMode::Off,
+            1 => SemCacheMode::VerifyAndFallback,
+            2 => SemCacheMode::Aggressive,
+            v => return Err(WireError::Corrupt(format!("semcache tag {v}"))),
+        };
         Ok(RequestOptions {
             k,
             tag,
@@ -507,6 +521,7 @@ impl<'a> Dec<'a> {
             deadline_us,
             spill_precision,
             compute_precision,
+            semcache,
         })
     }
 
@@ -734,6 +749,7 @@ mod tests {
             deadline_us: Some(5_000),
             spill_precision: SpillPrecision::F32,
             compute_precision: ComputePrecision::Int8,
+            semcache: SemCacheMode::VerifyAndFallback,
         };
         let got = round_trip(&Message::Submit {
             request_id: 7,

@@ -6,7 +6,7 @@
 use prism_api::{Progress, SelectionOutcome, ServiceError};
 use prism_core::{
     ComputePrecision, EngineTrace, Priority, PruneMode, RankedCandidate, RequestOptions, Selection,
-    SpillPrecision,
+    SemCacheMode, SpillPrecision,
 };
 use prism_model::SequenceBatch;
 use prism_wire::{decode_message, encode_message, read_frame, write_frame, Message, WireError};
@@ -52,6 +52,11 @@ fn build_message(
             ComputePrecision::Int8
         } else {
             ComputePrecision::F32
+        },
+        semcache: match small % 3 {
+            0 => SemCacheMode::Off,
+            1 => SemCacheMode::VerifyAndFallback,
+            _ => SemCacheMode::Aggressive,
         },
     };
     let error = match small % 9 {

@@ -140,6 +140,34 @@ impl WorkloadGenerator {
         }
     }
 
+    /// A deterministic paraphrase of `base`: each candidate body token
+    /// flips to a fresh background token with probability `jitter`,
+    /// while the shared query prefix, candidate count, lengths, and
+    /// planted relevance stay identical. `jitter = 0` returns a
+    /// verbatim copy. Pure function of `(seed, index, jitter, base)` —
+    /// the per-index seed mix is salted so a near-duplicate of request
+    /// `i` never shares its token stream with request `i` itself.
+    pub fn near_duplicate(&self, base: &RerankRequest, index: u64, jitter: f64) -> RerankRequest {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ 0x0A11_A5ED_u64
+                ^ index
+                    .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D),
+        );
+        let jitter = jitter.clamp(0.0, 1.0);
+        let query_len = base.query.len();
+        let mut out = base.clone();
+        for candidate in &mut out.candidates {
+            for token in candidate.tokens.iter_mut().skip(query_len) {
+                if rng.gen::<f64>() < jitter {
+                    *token = self.background_token(&mut rng);
+                }
+            }
+        }
+        out
+    }
+
     fn candidate(&self, rng: &mut StdRng, query: &[u32], relevance: f32) -> CandidateDoc {
         let len_mean = self.profile.candidate_len_mean * (self.max_seq as f32 * 0.75);
         let len_std = len_mean * self.profile.candidate_len_rel_std;
@@ -339,6 +367,39 @@ mod tests {
             assert_eq!(r.candidates.len(), 10, "{}", g.profile().name);
             assert!(!r.relevant.is_empty(), "{}", g.profile().name);
         }
+    }
+
+    #[test]
+    fn near_duplicates_paraphrase_bodies_only() {
+        let g = generator("wikipedia");
+        let base = g.request(3, 12);
+        // Determinism and index sensitivity.
+        let a = g.near_duplicate(&base, 3, 0.2);
+        assert_eq!(a, g.near_duplicate(&base, 3, 0.2));
+        assert_ne!(a, g.near_duplicate(&base, 4, 0.2));
+        // Zero jitter is a verbatim repeat.
+        assert_eq!(g.near_duplicate(&base, 3, 0.0), base);
+        // Shape, query prefix, and planted relevance survive; the body
+        // flip rate lands near the requested jitter.
+        assert_eq!(a.relevant, base.relevant);
+        let (mut flipped, mut body) = (0_usize, 0_usize);
+        for (dup, orig) in a.candidates.iter().zip(&base.candidates) {
+            assert_eq!(dup.tokens.len(), orig.tokens.len());
+            assert_eq!(dup.relevance, orig.relevance);
+            assert!(dup.tokens.starts_with(&base.query));
+            for (d, o) in dup.tokens[base.query.len()..]
+                .iter()
+                .zip(&orig.tokens[base.query.len()..])
+            {
+                body += 1;
+                flipped += usize::from(d != o);
+            }
+        }
+        let rate = flipped as f64 / body as f64;
+        assert!(
+            rate > 0.05 && rate < 0.4,
+            "flip rate {rate:.3} for jitter 0.2 ({flipped}/{body})"
+        );
     }
 
     #[test]

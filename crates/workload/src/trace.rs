@@ -20,6 +20,11 @@ use rand::{Rng, SeedableRng};
 
 use crate::tokenizer::ZipfSampler;
 
+/// How many events back a near-duplicate may reach for its base
+/// corpus. Small enough that duplicates land while the base entry is
+/// still cache-resident, large enough to spread over many sessions.
+const DUP_LOOKBACK: u64 = 64;
+
 /// Periodic burst storms layered on the base arrival rate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BurstSpec {
@@ -70,6 +75,16 @@ pub struct TraceProfile {
     pub cancel_fraction: f64,
     /// Cancellation delay range (microseconds after submission).
     pub cancel_after_us: (u64, u64),
+    /// Fraction of requests that re-rank the corpus another *recent*
+    /// event introduced — cross-session near-duplicates that only a
+    /// cross-request (semantic) cache can serve, since the duplicating
+    /// event keeps its own tenant and session.
+    pub dup_fraction: f64,
+    /// Token-level perturbation strength for duplicated requests in
+    /// `[0, 1]`: the probability that each body token of a duplicate is
+    /// paraphrased (see [`crate::WorkloadGenerator::near_duplicate`]).
+    /// `0.0` means duplicates are verbatim repeats.
+    pub paraphrase_jitter: f64,
 }
 
 impl TraceProfile {
@@ -91,6 +106,8 @@ impl TraceProfile {
             deadline_us: (50_000, 2_000_000),
             cancel_fraction: 0.01,
             cancel_after_us: (1_000, 100_000),
+            dup_fraction: 0.0,
+            paraphrase_jitter: 0.0,
         }
     }
 
@@ -120,6 +137,17 @@ impl TraceProfile {
         }
     }
 
+    /// Steady arrivals where 60% of requests near-duplicate a recent
+    /// event's corpus with light paraphrasing — the high-overlap regime
+    /// a semantic result cache is built for.
+    pub fn overlap(base_rps: f64) -> Self {
+        TraceProfile {
+            dup_fraction: 0.60,
+            paraphrase_jitter: 0.10,
+            ..Self::base("overlap", base_rps)
+        }
+    }
+
     /// Instantaneous rate multiplier at `t` seconds into the trace.
     pub fn rate_factor(&self, t_s: f64) -> f64 {
         let day = 86_400.0;
@@ -134,12 +162,13 @@ impl TraceProfile {
     }
 }
 
-/// A trace profile by name (`steady`, `diurnal`, `burst`).
+/// A trace profile by name (`steady`, `diurnal`, `burst`, `overlap`).
 pub fn trace_profile_by_name(name: &str, base_rps: f64) -> Option<TraceProfile> {
     match name {
         "steady" => Some(TraceProfile::steady(base_rps)),
         "diurnal" => Some(TraceProfile::diurnal(base_rps)),
         "burst" => Some(TraceProfile::burst_storm(base_rps)),
+        "overlap" => Some(TraceProfile::overlap(base_rps)),
         _ => None,
     }
 }
@@ -170,6 +199,11 @@ pub struct TraceEvent {
     pub deadline_us: Option<u64>,
     /// Caller cancels this many microseconds after submission, if ever.
     pub cancel_after_us: Option<u64>,
+    /// Index of the recent event whose *base* corpus this request
+    /// re-ranks, if this event is a near-duplicate. The referenced
+    /// event reports that same corpus unless it is itself a duplicate;
+    /// either way all duplicates of one base event collide on `corpus`.
+    pub duplicate_of: Option<u64>,
 }
 
 /// Seeded generator of [`TraceEvent`]s for one profile.
@@ -215,13 +249,7 @@ impl TraceGenerator {
         let u: f64 = rng.gen::<f64>().max(1e-12);
         let inter_arrival_us = ((-u.ln() / rate) * 1e6).round().min(3.6e9) as u64;
 
-        let tenant = self.tenant_sampler.sample(&mut rng) as u64;
-        let slot = rng.gen_range(0..p.sessions_per_tenant.max(1)) as u64;
-        let session = tenant * p.sessions_per_tenant.max(1) as u64 + slot;
-        // The session dwells on one corpus per time window; repeats
-        // within the window are session-cache hits.
-        let dwell = (nominal_t_s / p.corpus_dwell_s.max(1e-9)) as u64;
-        let corpus = (session << 20) ^ dwell;
+        let (tenant, session, mut corpus) = self.identity(&mut rng, nominal_t_s);
 
         let candidates = rng.gen_range(p.candidates.0..=p.candidates.1.max(p.candidates.0));
         let per_candidate = rng.gen_range(
@@ -242,6 +270,21 @@ impl TraceGenerator {
             rng.gen_range(p.cancel_after_us.0..=p.cancel_after_us.1.max(p.cancel_after_us.0))
         });
 
+        // Cross-session near-duplicates: with probability
+        // `dup_fraction`, re-rank the corpus a recent event introduced
+        // (short lookback window) while keeping this event's own tenant
+        // and session, so only a cross-request cache can exploit the
+        // repeat. Drawn after every other field so profiles with
+        // `dup_fraction = 0` generate bit-identical events to traces
+        // recorded before duplicates existed.
+        let duplicate_of = (index > 0 && rng.gen::<f64>() < p.dup_fraction).then(|| {
+            let back = rng.gen_range(1..=DUP_LOOKBACK.min(index));
+            index - back
+        });
+        if let Some(orig) = duplicate_of {
+            corpus = self.base_corpus(orig);
+        }
+
         TraceEvent {
             index,
             inter_arrival_us,
@@ -253,7 +296,39 @@ impl TraceGenerator {
             class,
             deadline_us,
             cancel_after_us,
+            duplicate_of,
         }
+    }
+
+    /// Tenant/session/corpus draws shared by [`Self::event`] and
+    /// duplicate-corpus resolution. Consumes the rng draws in the same
+    /// order `event` historically did, keeping old traces replayable.
+    fn identity(&self, rng: &mut StdRng, nominal_t_s: f64) -> (u64, u64, u64) {
+        let p = &self.profile;
+        let tenant = self.tenant_sampler.sample(rng) as u64;
+        let slot = rng.gen_range(0..p.sessions_per_tenant.max(1)) as u64;
+        let session = tenant * p.sessions_per_tenant.max(1) as u64 + slot;
+        // The session dwells on one corpus per time window; repeats
+        // within the window are session-cache hits.
+        let dwell = (nominal_t_s / p.corpus_dwell_s.max(1e-9)) as u64;
+        let corpus = (session << 20) ^ dwell;
+        (tenant, session, corpus)
+    }
+
+    /// The corpus event `index` would report if it were not itself a
+    /// duplicate — a pure function of `(profile, seed, index)`, so a
+    /// duplicate's corpus resolves without generating its target.
+    fn base_corpus(&self, index: u64) -> u64 {
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ index
+                    .wrapping_mul(0xD6E8_FEB8_6659_FD93)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D),
+        );
+        // Skip the inter-arrival draw that precedes identity in `event`.
+        let _: f64 = rng.gen();
+        let nominal_t_s = index as f64 / self.profile.base_rps.max(1e-9);
+        self.identity(&mut rng, nominal_t_s).2
     }
 
     /// The first `n` events paired with absolute arrival times
@@ -392,9 +467,53 @@ mod tests {
 
     #[test]
     fn profiles_resolve_by_name() {
-        for name in ["steady", "diurnal", "burst"] {
+        for name in ["steady", "diurnal", "burst", "overlap"] {
             assert_eq!(trace_profile_by_name(name, 5.0).unwrap().name, name);
         }
         assert!(trace_profile_by_name("nope", 5.0).is_none());
+    }
+
+    #[test]
+    fn overlap_duplicates_hit_the_requested_rate_and_share_corpora() {
+        let profile = TraceProfile::overlap(100.0);
+        let g = TraceGenerator::new(profile.clone(), 21);
+        let n = 20_000_u64;
+        let mut dups = 0_u64;
+        for i in 0..n {
+            let ev = g.event(i);
+            let Some(orig) = ev.duplicate_of else {
+                continue;
+            };
+            dups += 1;
+            assert!(orig < i, "duplicate {i} points forward to {orig}");
+            assert!(
+                i - orig <= DUP_LOOKBACK,
+                "duplicate {i} reaches past the window"
+            );
+            // A duplicate re-ranks its target's base corpus; when the
+            // target is itself original, the corpora match exactly.
+            let target = g.event(orig);
+            if target.duplicate_of.is_none() {
+                assert_eq!(ev.corpus, target.corpus, "event {i} vs base {orig}");
+            }
+        }
+        let rate = dups as f64 / n as f64;
+        assert!(
+            (rate - profile.dup_fraction).abs() < 0.02,
+            "empirical duplicate rate {rate:.3} vs requested {}",
+            profile.dup_fraction
+        );
+        // Event 0 has nothing to duplicate.
+        assert_eq!(g.event(0).duplicate_of, None);
+    }
+
+    #[test]
+    fn dup_free_profiles_emit_no_duplicates() {
+        for name in ["steady", "diurnal", "burst"] {
+            let g = TraceGenerator::new(trace_profile_by_name(name, 50.0).unwrap(), 4);
+            for i in 0..2_000_u64 {
+                assert_eq!(g.event(i).duplicate_of, None, "{name} event {i}");
+            }
+        }
     }
 }

@@ -24,6 +24,7 @@ pub use prism_device as device;
 pub use prism_metasim as metasim;
 pub use prism_metrics as metrics;
 pub use prism_model as model;
+pub use prism_semcache as semcache;
 pub use prism_serve as serve;
 pub use prism_storage as storage;
 pub use prism_tensor as tensor;
