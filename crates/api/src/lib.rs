@@ -40,10 +40,12 @@
 
 mod error;
 mod handle;
+mod retry;
 mod service;
 
 pub use error::ServiceError;
 pub use handle::{Completion, Progress, SelectionHandle, SelectionOutcome};
+pub use retry::{is_retryable, RetryPolicy, RetrySchedule};
 pub use service::{admission_deadline, LocalService, SelectionService};
 
 // Re-exported so facade users need only this crate plus a batch type.

@@ -8,7 +8,8 @@
 //! ratios, so kernel regressions show up as a diff of one committed file.
 //! CI runs `repro perf --fast` to refresh the artifact cheaply.
 
-use std::time::Instant;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use prism_core::{
     ComputePrecision, EngineOptions, PrismEngine, RequestOptions, SemCacheMode, SpillPrecision,
@@ -18,6 +19,7 @@ use prism_model::layer::{forward_layer, ForwardScratch};
 use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
 use prism_serve::{
     run_closed_loop, ClassReport, LoadReport, LoadSpec, PrismServer, ServeConfig, ServeRequest,
+    ServeStats, ShardFault, ShardSet,
 };
 use prism_storage::Container;
 use prism_tensor::{igemm, ops, rowq, QuantMatrix, Tensor};
@@ -68,6 +70,7 @@ struct KernelsFile {
     sharded: ShardedSection,
     int8: Int8Section,
     semcache: SemCacheSection,
+    resilience: ResilienceSection,
 }
 
 /// One kernel measured at the pinned AVX2 tier versus full runtime
@@ -364,6 +367,62 @@ pub struct SemCacheSection {
     pub off: ServingConfigResult,
     /// The `Aggressive` replay run.
     pub aggressive: ServingConfigResult,
+}
+
+/// Replication's fault-absorption economics, measured by driving a
+/// three-shard [`ShardSet`] directly (no queueing noise): the same
+/// request schedule at R=1 and R=2 while healthy (fault-free overhead),
+/// with one of the three shards dead for the whole run (degraded
+/// throughput, zero failures, bit parity), and with a periodic 5 ms
+/// stall hedged versus waited out (tail gain at bounded extra compute).
+/// Gated by [`RESILIENCE_OVERHEAD_MAX`], [`RESILIENCE_KILLED_MIN`],
+/// [`RESILIENCE_HEDGE_GAIN_MIN`] and [`RESILIENCE_HEDGE_COST_MAX`].
+#[derive(Debug, Serialize)]
+pub struct ResilienceSection {
+    /// `"fast"` or `"full"`.
+    pub mode: String,
+    /// Requests per run.
+    pub requests: usize,
+    /// Candidates per request.
+    pub candidates: usize,
+    /// Top-K per request.
+    pub k: usize,
+    /// Engine shards behind the forward map.
+    pub shards: usize,
+    /// Replication factor of the resilient runs.
+    pub replicas: usize,
+    /// Every faulted run stayed bit-identical to the healthy R=1
+    /// reference (ids, score bits, decision layers, last-layer scores).
+    pub parity: bool,
+    /// Healthy throughput with replication off (R=1).
+    pub unreplicated_rps: f64,
+    /// Healthy throughput at R=2 with the hedge armed.
+    pub healthy_rps: f64,
+    /// Healthy R=2 fastest-request latency over healthy R=1 —
+    /// replication's fault-free code-path cost (documented <= 5%
+    /// acceptance gate). The minimum isolates the path cost from
+    /// scheduler noise: both runs execute identical work, so any real
+    /// overhead shows up in the floor, not just the median.
+    pub faultfree_overhead_ratio: f64,
+    /// Throughput with one of the three shards dead the whole run.
+    pub killed_rps: f64,
+    /// `killed_rps / healthy_rps` (documented >= 70% acceptance gate).
+    pub killed_throughput_ratio: f64,
+    /// Requests that failed during the killed run (must be zero: R=2
+    /// absorbs any single-shard death).
+    pub killed_errors: usize,
+    /// p99 with a 5 ms stall on one shard every 4th request, hedging
+    /// off (the stall is waited out at every layer boundary).
+    pub unhedged_p99_us: u64,
+    /// p99 of the same stall schedule with a 2 ms hedge.
+    pub hedged_p99_us: u64,
+    /// `unhedged_p99_us / hedged_p99_us` (documented >= 2x gate).
+    pub hedge_p99_gain: f64,
+    /// Hedged re-sends fired during the hedged stall run.
+    pub hedges_fired: u64,
+    /// Extra compute the hedges cost: re-sent shard shares per request,
+    /// `hedges_fired * (1/shards) / requests` (documented <= 10% gate).
+    pub hedge_extra_compute: f64,
 }
 
 /// Times `f`, returning the median of `reps` samples in nanoseconds.
@@ -1283,6 +1342,178 @@ fn semcache_bench(fast: bool) -> SemCacheSection {
     }
 }
 
+/// One direct-drive run of the resilience bench: throughput, sorted
+/// latencies, failed requests, and the selection bit pattern.
+struct ResilienceRun {
+    rps: f64,
+    lat_us: Vec<u64>,
+    errors: usize,
+    bits: Vec<(usize, u32, usize)>,
+}
+
+/// Measures the `resilience` section (see [`ResilienceSection`]).
+fn resilience_bench(fast: bool) -> ResilienceSection {
+    const SHARDS: usize = 3;
+    const REPLICAS: usize = 2;
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 12);
+    let model = Model::generate(config.clone(), 7).expect("model");
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-perf-resilience-{}.prsm", std::process::id()));
+    model.write_container(&path).expect("container");
+    let engines = || -> Vec<Arc<PrismEngine>> {
+        (0..SHARDS)
+            .map(|_| {
+                Arc::new(
+                    PrismEngine::new(
+                        Container::open(&path).expect("open"),
+                        config.clone(),
+                        resident_pruned_options(),
+                        MemoryMeter::new(),
+                    )
+                    .expect("engine"),
+                )
+            })
+            .collect()
+    };
+    let requests = if fast { 24 } else { 64 };
+    let candidates = 12;
+    let k = 4;
+    let profile = prism_workload::dataset::dataset_by_name("wikipedia").expect("profile");
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 3);
+    let batches: Vec<SequenceBatch> = (0..requests as u64)
+        .map(|i| {
+            SequenceBatch::new(&generator.request(i % 8, candidates).sequences()).expect("batch")
+        })
+        .collect();
+
+    // Drives the whole schedule through `set` with a per-request fault
+    // on `victim` (injected before the request, healed after), so every
+    // run sees an identical fault envelope. Identical tags across runs
+    // make the bit patterns directly comparable.
+    let drive = |set: &ShardSet,
+                 victim: usize,
+                 fault: &dyn Fn(usize) -> Option<ShardFault>|
+     -> ResilienceRun {
+        let mut lat_us = Vec::with_capacity(batches.len());
+        let mut errors = 0;
+        let mut bits = Vec::new();
+        let start = Instant::now();
+        for (i, batch) in batches.iter().enumerate() {
+            let injected = fault(i);
+            if let Some(f) = injected {
+                set.inject_fault(victim, f);
+            }
+            let t = Instant::now();
+            match set.select_with(batch, RequestOptions::tagged(k, i as u64 + 1)) {
+                Ok(selection) => {
+                    lat_us.push(t.elapsed().as_micros() as u64);
+                    for r in &selection.ranked {
+                        bits.push((r.id, r.score.to_bits(), r.decided_at_layer));
+                    }
+                    for &s in &selection.last_scores {
+                        bits.push((usize::MAX, s.to_bits(), 0));
+                    }
+                }
+                Err(_) => errors += 1,
+            }
+            if injected.is_some() {
+                set.inject_fault(victim, ShardFault::Healthy);
+            }
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        lat_us.sort_unstable();
+        ResilienceRun {
+            rps: if elapsed > 0.0 {
+                batches.len() as f64 / elapsed
+            } else {
+                0.0
+            },
+            lat_us,
+            errors,
+            bits,
+        }
+    };
+    let quantile = |lat: &[u64], q: usize| -> u64 {
+        if lat.is_empty() {
+            // A run with no completions must fail the tail gates, but
+            // the section has to stay serializable.
+            return u64::MAX;
+        }
+        lat[(lat.len() - 1).min(lat.len() * q / 100)]
+    };
+    let healthy = &|_: usize| None;
+    let stall = &|i: usize| (i % 4 == 2).then(|| ShardFault::Slow(Duration::from_millis(5)));
+
+    // Healthy reference with replication off.
+    let set_r1 = ShardSet::new(engines()).expect("r1 set");
+    let r1 = drive(&set_r1, 0, healthy);
+    drop(set_r1);
+
+    // The resilient set: R=2 with a 2 ms hedge, telemetry attached.
+    let stats = ServeStats::new();
+    let mut set_r2 = ShardSet::new(engines())
+        .expect("r2 set")
+        .with_replicas(REPLICAS)
+        .with_hedge(Some(Duration::from_millis(2)));
+    set_r2.attach_stats(stats.clone());
+    let healthy_r2 = drive(&set_r2, 0, healthy);
+
+    // One of three shards dead for the whole run: every request re-homes
+    // the dead shard's sub-batch onto its replicas at planning time.
+    let killed = drive(&set_r2, 1, &|_| Some(ShardFault::Dead));
+
+    // Periodic 5 ms stall, hedged: the stalling shard's sub-batch is
+    // re-sent to the next replica as soon as the probe sees the stall.
+    let before_hedges = stats.snapshot().hedges_fired;
+    let hedged = drive(&set_r2, 2, stall);
+    let hedges_fired = stats.snapshot().hedges_fired - before_hedges;
+    drop(set_r2);
+
+    // The same stall schedule with hedging disarmed: stalls are waited
+    // out at every layer boundary the victim touches.
+    let set_unhedged = ShardSet::new(engines())
+        .expect("unhedged set")
+        .with_replicas(REPLICAS);
+    let unhedged = drive(&set_unhedged, 2, stall);
+    drop(set_unhedged);
+    std::fs::remove_file(&path).ok();
+
+    let parity = healthy_r2.bits == r1.bits
+        && killed.bits == r1.bits
+        && hedged.bits == r1.bits
+        && unhedged.bits == r1.bits;
+    let ratio = |num: f64, den: f64| if den > 0.0 { num / den } else { 1e9 };
+    let unhedged_p99_us = quantile(&unhedged.lat_us, 99);
+    let hedged_p99_us = quantile(&hedged.lat_us, 99);
+    ResilienceSection {
+        mode: if fast { "fast" } else { "full" }.into(),
+        requests,
+        candidates,
+        k,
+        shards: SHARDS,
+        replicas: REPLICAS,
+        parity,
+        unreplicated_rps: r1.rps,
+        healthy_rps: healthy_r2.rps,
+        faultfree_overhead_ratio: ratio(
+            quantile(&healthy_r2.lat_us, 0) as f64,
+            quantile(&r1.lat_us, 0) as f64,
+        ),
+        killed_rps: killed.rps,
+        killed_throughput_ratio: if healthy_r2.rps > 0.0 {
+            killed.rps / healthy_r2.rps
+        } else {
+            0.0
+        },
+        killed_errors: killed.errors,
+        unhedged_p99_us,
+        hedged_p99_us,
+        hedge_p99_gain: ratio(unhedged_p99_us as f64, hedged_p99_us as f64),
+        hedges_fired,
+        hedge_extra_compute: hedges_fired as f64 / (SHARDS * requests) as f64,
+    }
+}
+
 /// Extracts `(name, median_ns)` pairs from one named section of a
 /// previously written `BENCH_kernels.json` (the serde shim has no
 /// deserializer, so this is a purpose-built scanner for our own output).
@@ -1485,6 +1716,27 @@ pub fn parse_semcache_gain(text: &str) -> Option<f64> {
         .ok()
 }
 
+/// Reads the `parity` flag of the `resilience` section, if one exists.
+pub fn parse_resilience_parity(text: &str) -> Option<bool> {
+    let start = text.find("\"resilience\": {")?;
+    let pos = start + text[start..].find("\"parity\":")?;
+    Some(text[pos + 9..].trim_start().starts_with("true"))
+}
+
+/// Reads one numeric field of the `resilience` section by key.
+pub fn parse_resilience_number(text: &str, key: &str) -> Option<f64> {
+    let start = text.find("\"resilience\": {")?;
+    let marker = format!("\"{key}\":");
+    let pos = start + text[start..].find(&marker)?;
+    text[pos + marker.len()..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+        .collect::<String>()
+        .parse()
+        .ok()
+}
+
 /// Floor the offload-regime scales are held to: the documented >= 3x
 /// acceptance gate minus the same 10% bench-noise allowance the kernel
 /// entries get.
@@ -1503,6 +1755,23 @@ pub const SHARDED_GUARD_MAX: f64 = 5.0;
 /// documented >= 1.5x acceptance gate on the duplicate-heavy stream
 /// minus the 10% bench-noise allowance.
 pub const SEMCACHE_GUARD_MIN: f64 = 1.35;
+
+/// Ceiling on replication's fault-free cost: healthy R=2 fastest-request
+/// latency over healthy R=1 (the documented <= 5% acceptance gate — the
+/// resilient configuration must be effectively free when nothing fails).
+pub const RESILIENCE_OVERHEAD_MAX: f64 = 1.05;
+
+/// Floor on degraded throughput with one of three shards dead: the
+/// documented >= 70% of healthy throughput, with zero failed requests.
+pub const RESILIENCE_KILLED_MIN: f64 = 0.70;
+
+/// Floor on the hedging tail gain: unhedged p99 over hedged p99 under
+/// the periodic-stall schedule (the documented >= 2x acceptance gate).
+pub const RESILIENCE_HEDGE_GAIN_MIN: f64 = 2.0;
+
+/// Ceiling on the hedge compute premium: re-sent shard shares per
+/// request (the documented <= 10% extra compute acceptance gate).
+pub const RESILIENCE_HEDGE_COST_MAX: f64 = 0.10;
 
 /// The CI bench-regression guard: reads `BENCH_kernels.json` and fails
 /// when any top-level `speedup` entry sits below `min` (1.0 minus a
@@ -1589,6 +1858,62 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
         }
         Some(_) => {}
     }
+    // The resilience gates: replication must be effectively free while
+    // healthy, absorb a dead shard at bounded throughput cost with zero
+    // failed requests and bit parity, and hedging must buy back the
+    // stall tail at bounded extra compute.
+    match parse_resilience_parity(&text) {
+        None => return Err(format!("{KERNELS_FILE} has no resilience section")),
+        Some(false) => {
+            bad.push("resilience: faulted selections diverge from the healthy reference".into());
+        }
+        Some(true) => {}
+    }
+    match parse_resilience_number(&text, "faultfree_overhead_ratio") {
+        None => return Err(format!("{KERNELS_FILE} has no resilience overhead ratio")),
+        Some(v) if v > RESILIENCE_OVERHEAD_MAX => {
+            bad.push(format!(
+                "resilience: fault-free overhead {v:.3}x > {RESILIENCE_OVERHEAD_MAX:.2}x \
+                 (5% acceptance gate)"
+            ));
+        }
+        Some(_) => {}
+    }
+    match parse_resilience_number(&text, "killed_throughput_ratio") {
+        None => return Err(format!("{KERNELS_FILE} has no resilience killed ratio")),
+        Some(v) if v < RESILIENCE_KILLED_MIN => {
+            bad.push(format!(
+                "resilience: kill-one-of-three throughput {v:.3} < {RESILIENCE_KILLED_MIN:.2} \
+                 of healthy (70% acceptance gate)"
+            ));
+        }
+        Some(_) => {}
+    }
+    if let Some(v) = parse_resilience_number(&text, "killed_errors") {
+        if v > 0.0 {
+            bad.push(format!(
+                "resilience: {v:.0} request(s) failed with one shard dead (must be zero)"
+            ));
+        }
+    }
+    match parse_resilience_number(&text, "hedge_p99_gain") {
+        None => return Err(format!("{KERNELS_FILE} has no resilience hedge gain")),
+        Some(v) if v < RESILIENCE_HEDGE_GAIN_MIN => {
+            bad.push(format!(
+                "resilience: hedge p99 gain {v:.3}x < {RESILIENCE_HEDGE_GAIN_MIN:.2}x \
+                 (2x acceptance gate)"
+            ));
+        }
+        Some(_) => {}
+    }
+    if let Some(v) = parse_resilience_number(&text, "hedge_extra_compute") {
+        if v > RESILIENCE_HEDGE_COST_MAX {
+            bad.push(format!(
+                "resilience: hedge extra compute {v:.3} > {RESILIENCE_HEDGE_COST_MAX:.2} \
+                 (10% acceptance gate)"
+            ));
+        }
+    }
     // The metasim validation gate: when `repro sim-validate` has written
     // its section, an out-of-tolerance prediction fails the guard too.
     let metasim = super::simval::parse_metasim_validated(&text);
@@ -1604,7 +1929,10 @@ pub fn perf_guard(min: f64) -> Result<String, String> {
             "perf guard ok: {} speedup entries >= {min:.2}x, {} offload scales >= \
              {OFFLOAD_GUARD_MIN:.2}x, {} int8 rows gated >= {INT8_GUARD_MIN:.2}x with \
              top-k parity, sharded parity with overhead <= {SHARDED_GUARD_MAX:.2}x, \
-             semcache parity with gain >= {SEMCACHE_GUARD_MIN:.2}x, metasim {}",
+             semcache parity with gain >= {SEMCACHE_GUARD_MIN:.2}x, resilience parity with \
+             failover >= {RESILIENCE_KILLED_MIN:.2} / hedge >= {RESILIENCE_HEDGE_GAIN_MIN:.2}x \
+             at <= {RESILIENCE_HEDGE_COST_MAX:.2} / overhead <= {RESILIENCE_OVERHEAD_MAX:.2}x, \
+             metasim {}",
             speedups.len(),
             offload.len(),
             int8.iter()
@@ -1748,6 +2076,44 @@ pub fn perf(fast: bool) {
         semcache.aggressive_gain, semcache.semcache_hits, semcache.semcache_misses
     ));
 
+    let resilience = resilience_bench(fast);
+    report.blank();
+    report.line(&format!(
+        "resilience ({} shards, R={}, parity vs healthy R=1: {}):",
+        resilience.shards,
+        resilience.replicas,
+        if resilience.parity {
+            "exact"
+        } else {
+            "DIVERGED"
+        }
+    ));
+    report.line(&format!(
+        "{:<22} R=1 {:>8.1} req/s  R={} {:>8.1} req/s  overhead {:>5.3}x (gate <= {:.2}x)",
+        "fault-free",
+        resilience.unreplicated_rps,
+        resilience.replicas,
+        resilience.healthy_rps,
+        resilience.faultfree_overhead_ratio,
+        RESILIENCE_OVERHEAD_MAX
+    ));
+    report.line(&format!(
+        "{:<22} {:>8.1} req/s  {:.0}% of healthy, {} failed (gates >= {:.0}%, zero failed)",
+        "kill one of three",
+        resilience.killed_rps,
+        resilience.killed_throughput_ratio * 100.0,
+        resilience.killed_errors,
+        RESILIENCE_KILLED_MIN * 100.0
+    ));
+    report.line(&format!(
+        "{:<22} p99 {:>7} us hedged vs {:>7} us unhedged: {:.2}x at {:.1}% extra compute",
+        "periodic 5 ms stall",
+        resilience.hedged_p99_us,
+        resilience.unhedged_p99_us,
+        resilience.hedge_p99_gain,
+        resilience.hedge_extra_compute * 100.0
+    ));
+
     let scheduling = scheduling_bench(fast);
     report.blank();
     report.line(&format!(
@@ -1818,6 +2184,7 @@ pub fn perf(fast: bool) {
         sharded,
         int8,
         semcache,
+        resilience,
         baseline: PerfSnapshot {
             mode: "frozen".into(),
             entries: baseline
@@ -1933,6 +2300,29 @@ mod tests {
         }
     }
 
+    fn dummy_resilience(parity: bool, overhead: f64, killed: f64, gain: f64) -> ResilienceSection {
+        ResilienceSection {
+            mode: "fast".into(),
+            requests: 24,
+            candidates: 12,
+            k: 4,
+            shards: 3,
+            replicas: 2,
+            parity,
+            unreplicated_rps: 10.0,
+            healthy_rps: 10.0 / overhead,
+            faultfree_overhead_ratio: overhead,
+            killed_rps: 10.0 * killed / overhead,
+            killed_throughput_ratio: killed,
+            killed_errors: 0,
+            unhedged_p99_us: 120_000,
+            hedged_p99_us: (120_000.0 / gain) as u64,
+            hedge_p99_gain: gain,
+            hedges_fired: 6,
+            hedge_extra_compute: 0.083,
+        }
+    }
+
     fn dummy_offload(speedup: f64) -> OffloadSection {
         let cfg = |label: &str, ns: f64| OffloadConfigResult {
             label: label.into(),
@@ -2020,6 +2410,7 @@ mod tests {
             sharded: dummy_sharded(true, 1.4),
             int8: dummy_int8(true),
             semcache: dummy_semcache(true, 1.8),
+            resilience: dummy_resilience(true, 1.02, 0.91, 8.5),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let speedups = parse_speedup_entries(&text);
@@ -2045,6 +2436,16 @@ mod tests {
         assert_eq!(parse_semcache_parity(&text), Some(true));
         let gain = parse_semcache_gain(&text).unwrap();
         assert!((gain - 1.8).abs() < 1e-9, "{gain}");
+        assert_eq!(parse_resilience_parity(&text), Some(true));
+        let overhead = parse_resilience_number(&text, "faultfree_overhead_ratio").unwrap();
+        assert!((overhead - 1.02).abs() < 1e-9, "{overhead}");
+        let killed = parse_resilience_number(&text, "killed_throughput_ratio").unwrap();
+        assert!((killed - 0.91).abs() < 1e-9, "{killed}");
+        assert_eq!(parse_resilience_number(&text, "killed_errors"), Some(0.0));
+        let hedge = parse_resilience_number(&text, "hedge_p99_gain").unwrap();
+        assert!((hedge - 8.5).abs() < 1e-9, "{hedge}");
+        let cost = parse_resilience_number(&text, "hedge_extra_compute").unwrap();
+        assert!((cost - 0.083).abs() < 1e-9, "{cost}");
         assert!(parse_speedup_entries("").is_empty());
         assert!(parse_offload_speedups("{}").is_empty());
         assert!(parse_int8_rows("{}").is_empty());
@@ -2053,6 +2454,21 @@ mod tests {
         assert_eq!(parse_sharded_overhead(""), None);
         assert_eq!(parse_semcache_parity("{}"), None);
         assert_eq!(parse_semcache_gain(""), None);
+        assert_eq!(parse_resilience_parity("{}"), None);
+        assert_eq!(parse_resilience_number("", "hedge_p99_gain"), None);
+    }
+
+    #[test]
+    fn resilience_parsers_round_trip_failing_values() {
+        let text = serde_json::to_string_pretty(&dummy_resilience(false, 1.31, 0.42, 1.1)).unwrap();
+        let wrapped = format!("{{\n  \"resilience\": {text}\n}}");
+        assert_eq!(parse_resilience_parity(&wrapped), Some(false));
+        let overhead = parse_resilience_number(&wrapped, "faultfree_overhead_ratio").unwrap();
+        assert!(overhead > RESILIENCE_OVERHEAD_MAX, "{overhead}");
+        let killed = parse_resilience_number(&wrapped, "killed_throughput_ratio").unwrap();
+        assert!(killed < RESILIENCE_KILLED_MIN, "{killed}");
+        let hedge = parse_resilience_number(&wrapped, "hedge_p99_gain").unwrap();
+        assert!(hedge < RESILIENCE_HEDGE_GAIN_MIN, "{hedge}");
     }
 
     #[test]
@@ -2142,6 +2558,7 @@ mod tests {
             sharded: dummy_sharded(true, 1.4),
             int8: dummy_int8(true),
             semcache: dummy_semcache(true, 1.8),
+            resilience: dummy_resilience(true, 1.02, 0.91, 8.5),
         };
         let text = serde_json::to_string_pretty(&file).unwrap();
         let base = parse_section_entries(&text, "baseline");

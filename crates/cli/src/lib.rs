@@ -24,7 +24,8 @@
 //!           [--cache-sessions N] [--throttle BYTES_PER_S]
 //!           [--offload on|off] [--spill int8|f32] [--compute f32|int8]
 //!           [--semcache off|verify|aggressive] [--dup-frac F]
-//!           [--shards N] [--tenant-quota N] [--listen ADDR]
+//!           [--shards N] [--replicas R] [--hedge-ms N]
+//!           [--on-partial fail|partial] [--tenant-quota N] [--listen ADDR]
 //!           [--requests N] [--clients N] [--candidates N] [--k N]
 //!           [--sessions N] [--repeat N] [--dataset wikipedia]
 //!           [--starvation-ms N] [--priority high|normal|bulk] [--deadline-ms N]
@@ -48,7 +49,15 @@
 //!     mode but `off` also pins requests to full depth, the replay
 //!     soundness requirement) and `--dup-frac F` draws that fraction of
 //!     the stream from a cross-session duplicate corpus pool, the
-//!     overlap the semantic cache exists to exploit.
+//!     overlap the semantic cache exists to exploit. `--replicas R`
+//!     places every candidate on R shards (rendezvous rank order) so a
+//!     dead or stalled shard fails over bit-identically; `--hedge-ms N`
+//!     hedges a shard stalled longer than N ms onto its next replica
+//!     (0 = off); `--on-partial partial` serves a degraded best-effort
+//!     selection (coverage < 1) when every replica of a candidate is
+//!     down instead of failing the request. Summaries always include
+//!     the resilience counters (failovers, hedges, retries, quarantined
+//!     spill slots, partial results).
 //!
 //! prsm connect <addr> --model <name> [--scale mini|test]
 //!             [--requests N] [--clients N] [--candidates N] [--k N]
@@ -81,6 +90,7 @@
 //!                    [--cache-sessions N] [--starvation-ms N]
 //!                    [--fixed-us F] [--per-request-us F] [--per-token-us F]
 //!                    [--shards N] [--parallel-shards on|off]
+//!                    [--replicas R] [--fault-per-mille N]
 //!                    [--tune on]
 //!     Deterministic discrete-event simulation of the serving stack: the
 //!     real batch planner and session-cache model driven at virtual time,
@@ -94,7 +104,10 @@
 //!     prints the best configuration for the device instead. `--shards N`
 //!     prices batches through the analytic scatter-gather model instead
 //!     (`--parallel-shards on` = one device per shard, off = colocated
-//!     loopback shards on one device).
+//!     loopback shards on one device). `--fault-per-mille N` draws a
+//!     shard fault on N of every 1000 simulated batches; with
+//!     `--replicas 2+` faults cost latency (failover replays), with the
+//!     default R=1 they cost requests (typed shard errors).
 //! ```
 //!
 //! All commands return their output as a string (tested directly); the
@@ -106,15 +119,16 @@ use std::time::{Duration, Instant};
 
 use prism_api::SelectionService;
 use prism_core::{
-    ComputePrecision, EngineOptions, Priority, PrismEngine, RequestOptions, SemCacheMode,
-    SpillPrecision,
+    ComputePrecision, EngineOptions, PartialMode, Priority, PrismEngine, RequestOptions,
+    SemCacheMode, SpillPrecision,
 };
 use prism_device::{
     simulate_hf, simulate_hf_offload, simulate_hf_quant, simulate_prism, BatchShape, DeviceSpec,
     PrismSimOptions, PruneSchedule, ScatterGatherCost, ServeBatchCost,
 };
 use prism_metasim::{
-    simulate_closed_loop, tune_for_device, Calibration, ServiceModel, SimReport, Simulation,
+    simulate_closed_loop_with, tune_for_device, Calibration, ServiceModel, SimFaults, SimReport,
+    Simulation,
 };
 use prism_metrics::MemoryMeter;
 use prism_model::{Model, ModelConfig, SequenceBatch};
@@ -464,6 +478,14 @@ fn resolve_semcache(name: &str) -> Result<SemCacheMode, String> {
     }
 }
 
+fn resolve_partial(name: &str) -> Result<PartialMode, String> {
+    match name.to_ascii_lowercase().as_str() {
+        "fail" => Ok(PartialMode::Fail),
+        "partial" => Ok(PartialMode::Partial),
+        other => Err(format!("unknown partial mode `{other}` (fail|partial)")),
+    }
+}
+
 /// Parses an `--NAME on|off` switch (absent = off).
 fn resolve_switch(p: &Parsed<'_>, name: &str) -> Result<bool, String> {
     match p.flag(name) {
@@ -503,6 +525,7 @@ fn load_spec_from(p: &Parsed<'_>) -> Result<LoadSpec, String> {
         compute_precision: resolve_compute(p.flag("compute").unwrap_or("f32"))?,
         semcache: resolve_semcache(p.flag("semcache").unwrap_or("off"))?,
         dup_fraction: p.flag_parse("dup-frac", 0.0_f64)?,
+        on_partial: resolve_partial(p.flag("on-partial").unwrap_or("fail"))?,
     })
 }
 
@@ -558,6 +581,7 @@ fn write_load_report(out: &mut String, report: &LoadReport) {
             s.cancelled, s.deadline_rejected, s.deadline_missed, s.priority_inversions
         );
     }
+    write_resilience_summary(out, s);
     for c in &report.classes {
         let _ = writeln!(
             out,
@@ -565,6 +589,24 @@ fn write_load_report(out: &mut String, report: &LoadReport) {
             c.label, c.completed, c.errors, c.p50_us, c.p95_us, c.p99_us
         );
     }
+}
+
+/// The resilience-layer counters every serve summary surfaces:
+/// failovers and hedges from the replicated scatter path, client-side
+/// backpressure retries, quarantined spill slots, and degraded partial
+/// results.
+fn write_resilience_summary(out: &mut String, s: &prism_serve::ServeStatsSnapshot) {
+    let _ = writeln!(
+        out,
+        "resilience: {} failovers, {} hedges fired / {} won, {} retried, \
+         {} slots quarantined, {} partial results",
+        s.failovers,
+        s.hedges_fired,
+        s.hedges_won,
+        s.retried,
+        s.slots_quarantined,
+        s.partial_results
+    );
 }
 
 /// Builds a `ServeConfig` from the shared scheduling flags (`serve` and
@@ -590,6 +632,13 @@ fn serve_config_from(p: &Parsed<'_>) -> Result<ServeConfig, String> {
             .flag_parse("cache-sessions", serve_defaults.session_cache_capacity)?,
         starvation_age,
         tenant_max_inflight: p.flag_parse("tenant-quota", serve_defaults.tenant_max_inflight)?,
+        replicas: p.flag_parse("replicas", serve_defaults.replicas)?,
+        // `--hedge-ms 0` (or absent) disables hedging rather than
+        // configuring a zero delay, which `validate` rejects.
+        hedge: match p.flag_parse("hedge-ms", 0_u64)? {
+            0 => serve_defaults.hedge,
+            ms => Some(std::time::Duration::from_millis(ms)),
+        },
         ..serve_defaults
     })
 }
@@ -670,7 +719,8 @@ fn run_wire_loop(
                     let mut options = RequestOptions::tagged(spec.k, i as u64 + 1)
                         .with_spill_precision(spec.spill_precision)
                         .with_compute_precision(spec.compute_precision)
-                        .with_semcache(spec.semcache);
+                        .with_semcache(spec.semcache)
+                        .with_on_partial(spec.on_partial);
                     if spec.semcache != SemCacheMode::Off {
                         // Same rule as the in-process loop: semantic
                         // replay is only sound at full depth.
@@ -771,6 +821,16 @@ fn serve(args: &[&str]) -> Result<String, String> {
             out,
             "sharded: candidates scatter-gathered across {shards} resident engine shards"
         );
+        let _ = writeln!(
+            out,
+            "resilience: {} replica(s) per candidate, hedge {}, on-partial {:?}",
+            serve_config.replicas,
+            match serve_config.hedge {
+                Some(h) => format!("{} us", h.as_micros()),
+                None => "off".into(),
+            },
+            spec.on_partial
+        );
     }
     if serve_config.tenant_max_inflight > 0 {
         let _ = writeln!(
@@ -821,6 +881,7 @@ fn serve(args: &[&str]) -> Result<String, String> {
                 snapshot.rejected,
                 snapshot.quota_rejected
             );
+            write_resilience_summary(&mut out, &snapshot);
         }
         None => {
             let report = run_closed_loop(&server, &spec);
@@ -1034,6 +1095,13 @@ fn write_sim_report(out: &mut String, report: &SimReport) {
         s.cache_misses,
         s.cache_hit_rate * 100.0
     );
+    if s.failovers > 0 {
+        let _ = writeln!(
+            out,
+            "resilience: {} failovers absorbed by replication",
+            s.failovers
+        );
+    }
     if s.cancelled + s.deadline_rejected + s.deadline_missed + s.priority_inversions + s.rejected
         > 0
     {
@@ -1095,6 +1163,17 @@ fn simulate_serve(args: &[&str]) -> Result<String, String> {
         ServiceModel::analytic(ServeBatchCost::new(config.clone(), device.clone()))
     };
 
+    // Optional shard-fault model: each simulated batch draws a fault
+    // with this probability; the configured replication level decides
+    // whether it costs latency (failover replay) or requests (errors).
+    let fault_per_mille: u32 = p.flag_parse("fault-per-mille", 0_u32)?;
+    let faults = (fault_per_mille > 0).then(|| SimFaults {
+        seed: 0xFA17 ^ fault_per_mille as u64,
+        per_mille: fault_per_mille,
+        shards: sim_shards.max(1),
+        replicas: serve_config.replicas,
+    });
+
     let mut out = String::new();
     if sim_shards > 1 {
         let _ = writeln!(
@@ -1105,6 +1184,13 @@ fn simulate_serve(args: &[&str]) -> Result<String, String> {
             } else {
                 "colocated"
             }
+        );
+    }
+    if let Some(f) = faults {
+        let _ = writeln!(
+            out,
+            "fault model: {}/1000 batches hit a shard fault, {} replica(s) to absorb them",
+            f.per_mille, f.replicas
         );
     }
     if resolve_switch(&p, "tune")? {
@@ -1160,7 +1246,14 @@ fn simulate_serve(args: &[&str]) -> Result<String, String> {
                 serve_config.workers,
                 serve_config.max_batch_requests
             );
-            Simulation::run_trace(&serve_config, service, &generator, events, profile_name)
+            Simulation::run_trace_with(
+                &serve_config,
+                service,
+                &generator,
+                events,
+                profile_name,
+                faults,
+            )
         }
         "closed" => {
             let spec = load_spec_from(&p)?;
@@ -1169,7 +1262,7 @@ fn simulate_serve(args: &[&str]) -> Result<String, String> {
                 "simulate-serve {}: closed loop, {} requests x {} candidates (top-{}), {} clients",
                 config.name, spec.requests, spec.candidates, spec.k, spec.clients
             );
-            simulate_closed_loop(&config, &spec, &serve_config, service, "closed")
+            simulate_closed_loop_with(&config, &spec, &serve_config, service, "closed", faults)
         }
         other => return Err(format!("unknown mode `{other}` (trace|closed)")),
     };
@@ -1550,6 +1643,79 @@ mod tests {
     }
 
     #[test]
+    fn serve_with_resilience_flags() {
+        let dense = tmp("serve-resil");
+        run_strs(&[
+            "gen", &dense, "--model", "bge-m3", "--scale", "test", "--seed", "19",
+        ])
+        .unwrap();
+
+        // Replicated, hedged, degradable sharded serving: the config
+        // echoes the knobs and the summary surfaces the resilience
+        // counters (zero under a fault-free run).
+        let out = run_strs(&[
+            "serve",
+            &dense,
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--shards",
+            "3",
+            "--replicas",
+            "2",
+            "--hedge-ms",
+            "5",
+            "--on-partial",
+            "partial",
+            "--requests",
+            "8",
+            "--clients",
+            "2",
+            "--candidates",
+            "8",
+            "--k",
+            "3",
+        ])
+        .unwrap();
+        assert!(
+            out.contains(
+                "resilience: 2 replica(s) per candidate, hedge 5000 us, on-partial Partial"
+            ),
+            "{out}"
+        );
+        assert!(out.contains("failovers"), "{out}");
+        assert!(out.contains("completed 8 requests"), "{out}");
+
+        // Bad knob values are typed errors.
+        for bad in [
+            vec![
+                "serve",
+                &dense,
+                "--model",
+                "bge-m3",
+                "--scale",
+                "test",
+                "--replicas",
+                "0",
+            ],
+            vec![
+                "serve",
+                &dense,
+                "--model",
+                "bge-m3",
+                "--scale",
+                "test",
+                "--on-partial",
+                "maybe",
+            ],
+        ] {
+            assert!(run_strs(&bad).is_err(), "{bad:?} must be rejected");
+        }
+        std::fs::remove_file(&dense).unwrap();
+    }
+
+    #[test]
     fn connect_drives_a_listening_server() {
         let dense = tmp("connect");
         run_strs(&[
@@ -1648,6 +1814,54 @@ mod tests {
                 .collect::<Vec<_>>(),
         )
         .is_err());
+    }
+
+    #[test]
+    fn simulate_serve_fault_model_prices_replication() {
+        let base = [
+            "simulate-serve",
+            "--model",
+            "bge-m3",
+            "--scale",
+            "test",
+            "--profile",
+            "steady",
+            "--rps",
+            "200",
+            "--events",
+            "500",
+            "--shards",
+            "3",
+            "--fault-per-mille",
+            "300",
+        ];
+        // R=2: faults are absorbed as failover replays, zero of them
+        // become request errors.
+        let covered = run_strs(
+            &base
+                .iter()
+                .copied()
+                .chain(["--replicas", "2"])
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
+        assert!(
+            covered.contains("fault model: 300/1000 batches hit a shard fault, 2 replica(s)"),
+            "{covered}"
+        );
+        assert!(
+            covered.contains("failovers absorbed by replication"),
+            "{covered}"
+        );
+        assert!(covered.contains("(0 errors"), "{covered}");
+
+        // Default R=1: the same schedule surfaces as request errors.
+        let exposed = run_strs(&base).unwrap();
+        assert!(!exposed.contains("(0 errors"), "{exposed}");
+        assert!(
+            !exposed.contains("failovers absorbed"),
+            "R=1 has nothing to fail over to: {exposed}"
+        );
     }
 
     #[test]

@@ -34,14 +34,16 @@ use prism_model::model::{add_position, layer_section, SECTION_EMBEDDING, SECTION
 use prism_model::{HeadWeights, Int8LayerWeights, LayerWeights, ModelConfig, SequenceBatch};
 use prism_storage::{
     Container, DiskRowSource, EmbeddingCache, EmbeddingCacheStats, LayerStreamer, SpillFile,
-    SpillPipeline, SpillPrecision, SpillStats, StreamStats, Throttle,
+    SpillPipeline, SpillPrecision, SpillStats, StorageError, StreamStats, Throttle,
 };
 use prism_tensor::igemm::RowQuantBlock;
 use prism_tensor::Tensor;
 use serde::Serialize;
 
 use crate::control::{CancelToken, ProgressFn, ProgressUpdate};
-use crate::options::{ComputePrecision, EngineOptions, Priority, PruneMode, SemCacheMode};
+use crate::options::{
+    ComputePrecision, EngineOptions, PartialMode, Priority, PruneMode, SemCacheMode,
+};
 use crate::routing::route_candidates;
 use crate::{PrismError, Result};
 
@@ -113,6 +115,13 @@ pub struct Selection {
     pub ranked: Vec<RankedCandidate>,
     /// Last known score of every candidate in the request.
     pub last_scores: Vec<f32>,
+    /// Fraction of the request's candidates that were fully served, in
+    /// `(0, 1]`. Always `1.0` for single-engine selections; a sharded
+    /// request served under [`crate::PartialMode::Partial`] after losing
+    /// candidates to an unrecoverable shard reports the surviving
+    /// fraction, so callers can distinguish exact from best-effort
+    /// results.
+    pub coverage: f32,
     /// Execution trace.
     pub trace: EngineTrace,
 }
@@ -121,6 +130,12 @@ impl Selection {
     /// Candidate ids of the top-K in rank order.
     pub fn top_ids(&self) -> Vec<usize> {
         self.ranked.iter().map(|r| r.id).collect()
+    }
+
+    /// Whether every candidate of the request was fully served (the
+    /// bit-identity contract only holds for complete selections).
+    pub fn is_complete(&self) -> bool {
+        self.coverage >= 1.0
     }
 }
 
@@ -180,6 +195,13 @@ pub struct RequestOptions {
     /// selection returns (in [`SemCacheMode::Aggressive`]), the mode
     /// participates in serving result-cache keys.
     pub semcache: SemCacheMode,
+    /// Degraded-mode policy when a sharded deployment loses candidates
+    /// it cannot recover (every replica of a shard down). The default
+    /// [`PartialMode::Fail`] keeps the exact-or-error contract;
+    /// [`PartialMode::Partial`] accepts a best-effort top-k over the
+    /// survivors, surfaced as [`Selection::coverage`]` < 1.0`. Ignored
+    /// by direct single-engine calls.
+    pub on_partial: PartialMode,
 }
 
 impl RequestOptions {
@@ -196,6 +218,7 @@ impl RequestOptions {
             spill_precision: SpillPrecision::default(),
             compute_precision: ComputePrecision::default(),
             semcache: SemCacheMode::default(),
+            on_partial: PartialMode::default(),
         }
     }
 
@@ -241,6 +264,12 @@ impl RequestOptions {
     /// Returns a copy with the given semantic result-cache policy.
     pub fn with_semcache(mut self, mode: SemCacheMode) -> Self {
         self.semcache = mode;
+        self
+    }
+
+    /// Returns a copy with the given degraded-mode policy.
+    pub fn with_on_partial(mut self, mode: PartialMode) -> Self {
+        self.on_partial = mode;
         self
     }
 }
@@ -453,6 +482,12 @@ struct Chunk {
     /// Per-candidate `[start, end)` row ranges local to this chunk,
     /// cached so the per-layer forward loop does not rebuild them.
     ranges: Vec<(usize, usize)>,
+    /// Per-candidate token sequences, kept so a chunk whose spill slot
+    /// fails its checksum can be recomputed from the weights (embed +
+    /// replay the executed layers) instead of poisoning the request.
+    /// Token ids are small next to hidden states (4 bytes/token vs
+    /// 4·hidden_dim), so this costs well under 1% of a chunk.
+    tokens: Vec<Vec<u32>>,
     /// Hidden states when resident.
     hidden: Option<Tensor>,
     /// Slot in the spill file when offloaded.
@@ -785,6 +820,13 @@ impl PrismEngine {
     /// The shared memory meter.
     pub fn meter(&self) -> &MemoryMeter {
         &self.meter
+    }
+
+    /// Where this engine creates hidden-state spill files (leak audits
+    /// point [`PrismEngine::with_spill_dir`] at a private directory and
+    /// assert it drains empty here).
+    pub fn spill_dir(&self) -> &std::path::Path {
+        &self.spill_dir
     }
 
     /// Selects the top-`k` candidates of `batch` (Fig. 3's workflow).
@@ -1224,13 +1266,21 @@ impl PrismEngine {
         };
         if let Some(keep_mask) = &step.keep_mask {
             {
+                let executed = req.trace.executed_layers;
+                let int8_file = req.int8_spill;
+                let compute = req.compute;
+                let recompute = |chunk: &Chunk| {
+                    self.recompute_chunk_hidden(chunk, executed, int8_file, compute)
+                };
                 let ActiveRequest {
                     chunks,
                     spill,
                     latency,
                     ..
                 } = req;
-                latency.time("prune", || retain_candidates(chunks, spill, keep_mask))?;
+                latency.time("prune", || {
+                    retain_candidates(chunks, spill, keep_mask, &recompute)
+                })?;
             }
             req.meter_hidden(&self.meter);
         }
@@ -1340,6 +1390,10 @@ impl PrismEngine {
         Ok(Selection {
             ranked: std::mem::take(&mut req.accepted),
             last_scores: std::mem::take(&mut req.last_scores),
+            // A single engine always serves every candidate it was
+            // handed; partial coverage only arises when a sharded
+            // coordinator loses candidates (see `ScatterGate`).
+            coverage: 1.0,
             trace: std::mem::take(&mut req.trace),
         })
     }
@@ -1408,13 +1462,20 @@ impl PrismEngine {
             )));
         }
         {
+            let executed = req.trace.executed_layers;
+            let int8_file = req.int8_spill;
+            let compute = req.compute;
+            let recompute =
+                |chunk: &Chunk| self.recompute_chunk_hidden(chunk, executed, int8_file, compute);
             let ActiveRequest {
                 chunks,
                 spill,
                 latency,
                 ..
             } = req;
-            latency.time("prune", || retain_candidates(chunks, spill, keep))?;
+            latency.time("prune", || {
+                retain_candidates(chunks, spill, keep, &recompute)
+            })?;
         }
         req.meter_hidden(&self.meter);
         req.current_scores.retain(|(id, _)| keep[*id]);
@@ -1535,13 +1596,45 @@ impl PrismEngine {
                 // the chunk is decoded to f32 exactly once per layer
                 // (norm / attention / residual / scoring need f32) and
                 // the integer GEMMs re-quantize activations internally.
+                // On a checksum mismatch the slot is already quarantined:
+                // rebuild its state from the weights instead of failing
+                // the request. `layer_idx` layers have run, and a healthy
+                // fetch would have returned the file's *decode* of the
+                // stored codes, so an int8 file's replay passes one more
+                // rowq round-trip.
+                let recover = |chunk: &Chunk| -> Result<Tensor> {
+                    let compute = if int8.is_some() {
+                        ComputePrecision::Int8
+                    } else {
+                        ComputePrecision::F32
+                    };
+                    let mut t =
+                        self.recompute_chunk_hidden(chunk, layer_idx, int8_spill, compute)?;
+                    if int8_spill {
+                        rowq_round_trip(&mut t)?;
+                    }
+                    Ok(t)
+                };
                 let t = if block_spill {
-                    let block = latency.time("spill-wait", || pipe.fetch_block(slot))?;
-                    let mut t = Tensor::zeros(0, 0);
-                    block.decode_into(&mut t)?;
-                    t
+                    match latency.time("spill-wait", || pipe.fetch_block(slot)) {
+                        Ok(block) => {
+                            let mut t = Tensor::zeros(0, 0);
+                            block.decode_into(&mut t)?;
+                            t
+                        }
+                        Err(StorageError::ChecksumMismatch { .. }) => {
+                            latency.time("recompute", || recover(&chunks[ci]))?
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 } else {
-                    latency.time("spill-wait", || pipe.fetch(slot))?
+                    match latency.time("spill-wait", || pipe.fetch(slot)) {
+                        Ok(t) => t,
+                        Err(StorageError::ChecksumMismatch { .. }) => {
+                            latency.time("recompute", || recover(&chunks[ci]))?
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
                 };
                 fetched_bytes = t.size_bytes() as u64;
                 self.meter.alloc(MemCategory::HiddenStates, fetched_bytes);
@@ -1819,6 +1912,88 @@ impl PrismEngine {
         }
         Ok(out)
     }
+
+    /// Rebuilds a chunk's hidden state from the weights after its spill
+    /// slot was quarantined (checksum mismatch): re-embeds the chunk's
+    /// surviving token sequences and replays the `layers_executed`
+    /// transformer layers the request has run so far.
+    ///
+    /// Returns the **pre-encode** hidden state `h_L` — the exact forward
+    /// output the quarantined slot was written from. The caller applies
+    /// whatever transform the lost fetch would have: the per-layer fetch
+    /// site applies the rowq round-trip when the file is int8 (a fetch
+    /// decodes stored codes), the retain path re-encodes to codes, and an
+    /// f32 file needs nothing (its round trip is bit-exact).
+    ///
+    /// Bit-identity to the lost slot holds because (a) embedding is pure
+    /// in token content with per-sequence-local positions, (b) forward
+    /// layers use per-candidate attention ranges, so a chunk's rows never
+    /// depend on other chunks or pruned candidates, and (c) under the
+    /// int8-spill regime every layer input passed through the same rowq
+    /// round-trip this replay applies.
+    fn recompute_chunk_hidden(
+        &self,
+        chunk: &Chunk,
+        layers_executed: usize,
+        int8_file: bool,
+        compute: ComputePrecision,
+    ) -> Result<Tensor> {
+        let batch = SequenceBatch::new(&chunk.tokens)?;
+        let mut hidden = self.embed_batch(&batch)?;
+        if layers_executed == 0 {
+            return Ok(hidden);
+        }
+        let mut scratch = ForwardScratch::new(&self.config, hidden.rows());
+        let mut blob = Vec::new();
+        for l in 0..layers_executed {
+            // Every layer input — including the embedding — passed the
+            // spill round-trip before being forwarded (offload encodes,
+            // fetch decodes; resident chunks mirror it in memory).
+            if int8_file {
+                rowq_round_trip(&mut hidden)?;
+            }
+            let owned;
+            let weights: &LayerWeights = match &self.resident_layers {
+                Some(layers) => &layers[l],
+                None => {
+                    self.container
+                        .read_section_into(&layer_section(l), &mut blob)?;
+                    owned = LayerWeights::from_bytes(&self.config, &blob)?;
+                    &owned
+                }
+            };
+            match compute {
+                ComputePrecision::Int8 => {
+                    let q_owned;
+                    let q: &Int8LayerWeights = if self.resident_layers.is_some() {
+                        self.resident_int8(l)?
+                    } else {
+                        q_owned = Int8LayerWeights::from_layer(weights)?;
+                        &q_owned
+                    };
+                    forward_layer_int8(
+                        &self.config,
+                        q,
+                        l,
+                        &mut hidden,
+                        &chunk.ranges,
+                        &mut scratch,
+                    )?;
+                }
+                ComputePrecision::F32 => {
+                    forward_layer_with(
+                        &self.config,
+                        weights,
+                        l,
+                        &mut hidden,
+                        &chunk.ranges,
+                        &mut scratch,
+                    )?;
+                }
+            }
+        }
+        Ok(hidden)
+    }
 }
 
 enum LayerRef<'a> {
@@ -1857,10 +2032,18 @@ fn build_chunks(
         let row_end = batch.ranges()[end - 1].1;
         let hidden = hidden_all.slice_rows(row_start, row_end)?;
         let ranges = Chunk::ranges_from(&seq_lens);
+        let tokens = ids
+            .iter()
+            .map(|&c| {
+                let (s, e) = batch.ranges()[c];
+                batch.tokens()[s..e].to_vec()
+            })
+            .collect();
         chunks.push(Chunk {
             ids,
             seq_lens,
             ranges,
+            tokens,
             hidden: Some(hidden),
             spill_slot: None,
         });
@@ -1899,6 +2082,7 @@ fn retain_candidates(
     chunks: &mut Vec<Chunk>,
     spill: &mut Option<SpillPipeline>,
     keep: &[bool],
+    recompute: &dyn Fn(&Chunk) -> Result<Tensor>,
 ) -> Result<()> {
     for chunk in chunks.iter_mut() {
         let keep_local: Vec<usize> = chunk
@@ -1921,6 +2105,7 @@ fn retain_candidates(
             chunk.ids.clear();
             chunk.seq_lens.clear();
             chunk.ranges.clear();
+            chunk.tokens.clear();
             continue;
         }
         let fetched_here = chunk.hidden.is_none();
@@ -1941,14 +2126,36 @@ fn retain_candidates(
                             s..e
                         })
                         .collect();
-                    let kept = file.fetch_block(slot)?.gather_rows(&rows)?;
+                    // A quarantined slot is rebuilt from the weights and
+                    // re-encoded; the file's int8 encode and the block
+                    // encode are the same transform, so the recovered
+                    // codes equal the lost ones bitwise.
+                    let block = match file.fetch_block(slot) {
+                        Ok(b) => b,
+                        Err(StorageError::ChecksumMismatch { .. }) => {
+                            RowQuantBlock::encode(&recompute(chunk)?)?
+                        }
+                        Err(e) => return Err(e.into()),
+                    };
+                    let kept = block.gather_rows(&rows)?;
                     file.write_back_block(slot, kept)?;
                     chunk.ids = keep_local.iter().map(|&li| chunk.ids[li]).collect();
                     chunk.seq_lens = keep_local.iter().map(|&li| chunk.seq_lens[li]).collect();
+                    chunk.tokens = keep_local
+                        .iter()
+                        .map(|&li| std::mem::take(&mut chunk.tokens[li]))
+                        .collect();
                     chunk.ranges = Chunk::ranges_from(&chunk.seq_lens);
                     continue;
                 }
-                chunk.hidden = Some(file.fetch(slot)?);
+                // An f32 file's round trip is bit-exact, so a recompute
+                // is the fetch it replaces.
+                let fetched = match file.fetch(slot) {
+                    Ok(t) => t,
+                    Err(StorageError::ChecksumMismatch { .. }) => recompute(chunk)?,
+                    Err(e) => return Err(e.into()),
+                };
+                chunk.hidden = Some(fetched);
             }
         }
         let Some(hidden) = chunk.hidden.take() else {
@@ -1956,6 +2163,7 @@ fn retain_candidates(
             chunk.ids.clear();
             chunk.seq_lens.clear();
             chunk.ranges.clear();
+            chunk.tokens.clear();
             continue;
         };
         let mut rows: Vec<usize> = Vec::new();
@@ -1966,6 +2174,10 @@ fn retain_candidates(
         let new_hidden = hidden.gather_rows(&rows)?;
         chunk.ids = keep_local.iter().map(|&li| chunk.ids[li]).collect();
         chunk.seq_lens = keep_local.iter().map(|&li| chunk.seq_lens[li]).collect();
+        chunk.tokens = keep_local
+            .iter()
+            .map(|&li| std::mem::take(&mut chunk.tokens[li]))
+            .collect();
         chunk.ranges = Chunk::ranges_from(&chunk.seq_lens);
         if let (Some(slot), Some(file), true) = (chunk.spill_slot, spill.as_mut(), fetched_here) {
             file.write_back(slot, new_hidden)?;
@@ -2000,6 +2212,13 @@ mod sync_tests {
             o.compute_precision,
             ComputePrecision::F32,
             "int8 compute is opt-in"
+        );
+        assert_eq!(o.on_partial, PartialMode::Fail, "degraded mode is opt-in");
+        assert_eq!(
+            RequestOptions::top_k(2)
+                .with_on_partial(PartialMode::Partial)
+                .on_partial,
+            PartialMode::Partial
         );
         let t = RequestOptions::tagged(3, 42);
         assert_eq!(t.tag, Some(42));

@@ -38,7 +38,9 @@ pub use engine::{
     rank_full_scores, ActiveRequest, EngineTrace, PrismEngine, RankedCandidate, RequestOptions,
     RequestSpec, Selection,
 };
-pub use options::{ComputePrecision, EngineOptions, Priority, PruneMode, SemCacheMode};
+pub use options::{
+    ComputePrecision, EngineOptions, PartialMode, Priority, PruneMode, SemCacheMode,
+};
 pub use routing::{route_candidates, RouteDecision};
 pub use scatter::{merge_shard_scores, ScatterGate, ScatterStep};
 // Re-exported so serving/API layers can thread the spill-precision knob

@@ -53,6 +53,15 @@ pub struct ScatterGate {
     terminated: bool,
     trace: EngineTrace,
     dropped_total: usize,
+    /// Per-candidate loss marks for unrecoverable shard failures
+    /// (degraded-mode serving under [`crate::PartialMode::Partial`]);
+    /// the count drives the merged selection's `coverage`.
+    lost: Vec<bool>,
+    lost_total: usize,
+    /// Whether [`ScatterGate::seed_probe`] has run. Before seeding every
+    /// candidate is active (nothing has been scored or pruned yet), so
+    /// losses are counted without consulting the score vector.
+    seeded: bool,
 }
 
 impl ScatterGate {
@@ -88,6 +97,9 @@ impl ScatterGate {
             terminated: false,
             trace: EngineTrace::default(),
             dropped_total: 0,
+            lost: vec![false; n],
+            lost_total: 0,
+            seeded: false,
         })
     }
 
@@ -112,9 +124,24 @@ impl ScatterGate {
     pub fn seed_probe(&mut self, merged: Vec<(usize, f32)>) {
         debug_assert!(merged.windows(2).all(|w| w[0].0 < w[1].0));
         self.current = merged;
+        self.seeded = true;
         for &(id, s) in &self.current {
             self.last_scores[id] = s;
         }
+    }
+
+    /// Whether candidate `id` is still in play: neither pruned, accepted,
+    /// nor lost. Before the probe is seeded every candidate is active.
+    /// The failover coordinator uses this to decide which of a dead
+    /// shard's candidates must be replayed on a replica.
+    pub fn is_active(&self, id: usize) -> bool {
+        if id >= self.n || self.lost[id] {
+            return false;
+        }
+        if !self.seeded {
+            return true;
+        }
+        self.current.iter().any(|&(c, _)| c == id)
     }
 
     /// Records the merged scores after one forwarded layer — mirrors the
@@ -162,6 +189,43 @@ impl ScatterGate {
         }
     }
 
+    /// Drops candidates whose shard died with every replica exhausted —
+    /// the coordinator's degraded-mode path
+    /// ([`crate::PartialMode::Partial`]). Still-active candidates in
+    /// `lost` leave the score vector (the gate never sees them again);
+    /// already-accepted or already-pruned candidates are unaffected
+    /// (their fate was decided while their shard was alive). Returns how
+    /// many active candidates were actually removed; the request
+    /// terminates if nothing active remains.
+    pub fn remove_candidates(&mut self, lost: &[usize]) -> usize {
+        let mut removed = 0;
+        for &id in lost {
+            if self.is_active(id) {
+                self.lost[id] = true;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.lost_total += removed;
+            self.current.retain(|&(id, _)| !self.lost[id]);
+            let none_left = if self.seeded {
+                self.current.is_empty()
+            } else {
+                self.lost_total == self.n
+            };
+            if none_left {
+                self.terminated = true;
+            }
+        }
+        removed
+    }
+
+    /// Fraction of the request's candidates still served, in `(0, 1]` —
+    /// what the merged selection will report as its coverage.
+    pub fn coverage(&self) -> f32 {
+        1.0 - self.lost_total as f32 / self.n as f32
+    }
+
     /// A progress snapshot for the facade's layer-granularity stream
     /// (same fields the engine emits from its own boundary).
     pub fn progress(&self, layer: usize) -> ProgressUpdate {
@@ -185,9 +249,11 @@ impl ScatterGate {
             self.k,
             self.num_layers,
         );
+        let coverage = 1.0 - self.lost_total as f32 / self.n as f32;
         Selection {
             ranked: self.accepted,
             last_scores: self.last_scores,
+            coverage,
             trace: self.trace,
         }
     }
@@ -255,6 +321,62 @@ mod tests {
             "{:?}",
             sel.ranked
         );
+    }
+
+    #[test]
+    fn removing_lost_candidates_tracks_coverage() {
+        let (eo, mut ro) = opts();
+        ro.pruning = Some(false);
+        ro.k = 2;
+        let mut g = ScatterGate::new(&eo, &ro, 4, 2, 7).unwrap();
+        g.seed_probe(vec![(0, 0.1), (1, 0.9), (2, 0.8), (3, 0.4)]);
+        assert_eq!(g.coverage(), 1.0);
+        // Losing candidate 3 (plus an out-of-range id, ignored) leaves
+        // three survivors and 75% coverage.
+        assert_eq!(g.remove_candidates(&[3, 99]), 1);
+        assert!(!g.is_done());
+        // Removing an already-lost candidate is a no-op.
+        assert_eq!(g.remove_candidates(&[3]), 0);
+        for l in 0..2 {
+            let step = g.gate(l);
+            assert!(step.keep.is_none() && !step.done);
+            g.observe_layer(vec![(0, 0.1), (1, 0.9), (2, 0.8)]);
+        }
+        let sel = g.finalize();
+        assert_eq!(sel.top_ids(), vec![1, 2]);
+        assert_eq!(sel.coverage, 0.75);
+        assert!(!sel.is_complete());
+    }
+
+    #[test]
+    fn pre_seed_losses_count_toward_coverage() {
+        // A shard dead at planning time loses candidates before the probe
+        // seeds the score vector; coverage must still account for them.
+        let (eo, mut ro) = opts();
+        ro.pruning = Some(false);
+        let mut g = ScatterGate::new(&eo, &ro, 4, 2, 7).unwrap();
+        assert!(g.is_active(0) && g.is_active(3), "all active pre-seed");
+        assert_eq!(g.remove_candidates(&[3]), 1);
+        assert!(!g.is_active(3));
+        assert!(!g.is_done(), "survivors remain");
+        g.seed_probe(vec![(0, 0.1), (1, 0.9), (2, 0.8)]);
+        for l in 0..2 {
+            let _ = g.gate(l);
+            g.observe_layer(vec![(0, 0.1), (1, 0.9), (2, 0.8)]);
+        }
+        assert_eq!(g.coverage(), 0.75);
+        assert_eq!(g.finalize().coverage, 0.75);
+    }
+
+    #[test]
+    fn losing_every_candidate_terminates() {
+        let (eo, mut ro) = opts();
+        ro.pruning = Some(false);
+        let mut g = ScatterGate::new(&eo, &ro, 2, 2, 7).unwrap();
+        g.seed_probe(vec![(0, 0.1), (1, 0.9)]);
+        assert_eq!(g.remove_candidates(&[0, 1]), 2);
+        assert!(g.is_done());
+        assert_eq!(g.finalize().coverage, 0.0);
     }
 
     #[test]

@@ -599,3 +599,90 @@ fn quantized_container_runs_and_roughly_agrees() {
     assert!(q.last_scores.iter().all(|s| s.is_finite()));
     std::fs::remove_file(&qpath).unwrap();
 }
+
+/// Checksum-corrupted spill slots are quarantined and transparently
+/// recomputed from the weights: results stay bit-identical to a
+/// fault-free run across spill precisions, compute precisions and
+/// pruning modes, and the trace reports the quarantine events.
+#[test]
+fn corrupted_spill_slots_recompute_bit_identically() {
+    let fx = Fixture::new(ModelArch::DecoderOnly, 6, "quarantine");
+    let (batch, _) = fx.batch(0, 12);
+    let k = 4;
+
+    let spill_dir = {
+        let mut d = std::env::temp_dir();
+        d.push(format!("prism-quarantine-test-{}", std::process::id()));
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    };
+
+    let cases: Vec<(&str, SpillPrecision, ComputePrecision, bool)> = vec![
+        (
+            "f32-spill",
+            SpillPrecision::F32,
+            ComputePrecision::F32,
+            false,
+        ),
+        (
+            "int8-spill",
+            SpillPrecision::Int8,
+            ComputePrecision::F32,
+            false,
+        ),
+        (
+            "int8-spill-int8-compute",
+            SpillPrecision::Int8,
+            ComputePrecision::Int8,
+            false,
+        ),
+        (
+            "f32-spill-pruning",
+            SpillPrecision::F32,
+            ComputePrecision::F32,
+            true,
+        ),
+    ];
+    for (name, spill, compute, pruning) in cases {
+        let mut o = EngineOptions::all_off();
+        o.chunking = true;
+        o.chunk_candidates = Some(1); // 12 chunks, 9 spilled
+        o.hidden_offload = true;
+        o.pruning = pruning;
+        let req = RequestOptions::top_k(k)
+            .with_spill_precision(spill)
+            .with_compute_precision(compute);
+
+        let clean_engine = fx.engine(o.clone()).with_spill_dir(spill_dir.clone());
+        let clean = clean_engine.select_with(&batch, req.clone()).unwrap();
+        assert_eq!(
+            clean.trace.spill_stats.quarantined, 0,
+            "{name}: fault-free run must not quarantine"
+        );
+
+        // Corrupt every 3rd spill fetch under this engine's spill dir.
+        let faulty_engine = fx.engine(o).with_spill_dir(spill_dir.clone());
+        prism_storage::fault::corrupt_fetches_under(spill_dir.to_string_lossy(), 3);
+        let faulty = faulty_engine.select_with(&batch, req);
+        prism_storage::fault::reset();
+        let faulty = faulty.unwrap();
+
+        assert!(
+            faulty.trace.spill_stats.quarantined > 0,
+            "{name}: fault injection must have fired"
+        );
+        assert_eq!(faulty.top_ids(), clean.top_ids(), "{name}: top-K diverged");
+        let got: Vec<u32> = faulty.last_scores.iter().map(|s| s.to_bits()).collect();
+        let want: Vec<u32> = clean.last_scores.iter().map(|s| s.to_bits()).collect();
+        assert_eq!(got, want, "{name}: scores must be bit-identical");
+        assert_eq!(
+            faulty.coverage, 1.0,
+            "{name}: recompute is not degraded mode"
+        );
+    }
+
+    // No spill file may survive either run.
+    let leftovers: Vec<_> = std::fs::read_dir(&spill_dir).unwrap().collect();
+    assert!(leftovers.is_empty(), "leaked spill files: {leftovers:?}");
+    std::fs::remove_dir_all(&spill_dir).unwrap();
+}

@@ -87,8 +87,27 @@ pub fn simulate_closed_loop(
     service: ServiceModel,
     label: &str,
 ) -> SimReport {
+    simulate_closed_loop_with(config, spec, serve, service, label, None)
+}
+
+/// [`simulate_closed_loop`] with a shard-fault model injected.
+pub fn simulate_closed_loop_with(
+    config: &ModelConfig,
+    spec: &LoadSpec,
+    serve: &ServeConfig,
+    service: ServiceModel,
+    label: &str,
+    faults: Option<crate::sim::SimFaults>,
+) -> SimReport {
     let streams = client_streams(config, spec);
-    Simulation::run_closed(serve, service, streams, label, spec.high_fraction > 0.0)
+    Simulation::run_closed_with(
+        serve,
+        service,
+        streams,
+        label,
+        spec.high_fraction > 0.0,
+        faults,
+    )
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ pub mod service;
 pub mod sim;
 
 pub use autotune::{tune, tune_for_device, tuning_workload, SweepPoint, TuneOutcome};
-pub use closed_loop::{client_streams, simulate_closed_loop};
+pub use closed_loop::{client_streams, simulate_closed_loop, simulate_closed_loop_with};
 pub use report::{exact_quantile, SimReport};
 pub use service::{Calibration, ServiceModel};
-pub use sim::{SimRequest, Simulation, BACKPRESSURE_RETRY_US};
+pub use sim::{SimFaults, SimRequest, Simulation, BACKPRESSURE_RETRY_US};

@@ -148,6 +148,43 @@ struct RunningBatch {
     /// increment to undo at completion.
     size: usize,
     service_us: u64,
+    /// A shard fault hit this batch with no replica to fail over to:
+    /// every member surfaces a typed shard error at completion.
+    shard_failed: bool,
+}
+
+/// A seeded, deterministic shard-fault model for the simulated serving
+/// stack: each executed batch draws a fault with probability
+/// `per_mille / 1000`. What the fault *costs* is priced by replication:
+///
+/// * `replicas >= 2` — the victim shard's sub-batch fails over to its
+///   next-ranked replica mid-request (the real `ShardSet` contract), so
+///   the batch completes correctly but pays one shard's share of the
+///   forward again. Counted in [`ServeStats::failovers`].
+/// * `replicas == 1` — nothing covers the fault: the batch runs to the
+///   fault and every member fails with a typed shard error (the
+///   fail-fast default), surfacing as request errors.
+///
+/// Fault draws come from their own splitmix64 stream and fold into the
+/// event digest, so a faulted run replays bit-identically from its seed.
+#[derive(Debug, Clone, Copy)]
+pub struct SimFaults {
+    /// Seed of the fault-draw stream.
+    pub seed: u64,
+    /// Per-batch fault probability in thousandths (0 disables).
+    pub per_mille: u32,
+    /// Shards behind the forward map (sets the failover replay share).
+    pub shards: usize,
+    /// Replica sets per candidate: R >= 2 covers any single-shard fault.
+    pub replicas: usize,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -296,6 +333,8 @@ pub struct Simulation {
     running: Vec<Option<RunningBatch>>,
     timer_at: Option<u64>,
     client_streams: Vec<VecDeque<SimRequest>>,
+    faults: Option<SimFaults>,
+    fault_state: u64,
 
     samples: Vec<(bool, u64)>,
     errors: u64,
@@ -327,6 +366,8 @@ impl Simulation {
             running: (0..workers).map(|_| None).collect(),
             timer_at: None,
             client_streams: Vec::new(),
+            faults: None,
+            fault_state: 0,
             samples: Vec::new(),
             errors: 0,
             high_errors: 0,
@@ -347,7 +388,20 @@ impl Simulation {
         n: u64,
         label: &str,
     ) -> SimReport {
+        Simulation::run_trace_with(config, service, generator, n, label, None)
+    }
+
+    /// [`Simulation::run_trace`] with a shard-fault model injected.
+    pub fn run_trace_with(
+        config: &ServeConfig,
+        service: ServiceModel,
+        generator: &TraceGenerator,
+        n: u64,
+        label: &str,
+        faults: Option<SimFaults>,
+    ) -> SimReport {
         let mut sim = Simulation::new(config, service);
+        sim.set_faults(faults);
         let split = generator.profile().high_fraction > 0.0;
         sim.event_loop(
             generator
@@ -365,11 +419,24 @@ impl Simulation {
     pub fn run_closed(
         config: &ServeConfig,
         service: ServiceModel,
-        mut streams: Vec<VecDeque<SimRequest>>,
+        streams: Vec<VecDeque<SimRequest>>,
         label: &str,
         split_classes: bool,
     ) -> SimReport {
+        Simulation::run_closed_with(config, service, streams, label, split_classes, None)
+    }
+
+    /// [`Simulation::run_closed`] with a shard-fault model injected.
+    pub fn run_closed_with(
+        config: &ServeConfig,
+        service: ServiceModel,
+        mut streams: Vec<VecDeque<SimRequest>>,
+        label: &str,
+        split_classes: bool,
+        faults: Option<SimFaults>,
+    ) -> SimReport {
         let mut sim = Simulation::new(config, service);
+        sim.set_faults(faults);
         let total: u64 = streams.iter().map(|s| s.len() as u64).sum();
         for stream in &mut streams {
             if let Some(first) = stream.pop_front() {
@@ -385,6 +452,11 @@ impl Simulation {
         sim.client_streams = streams;
         sim.event_loop(std::iter::empty());
         sim.finish(label, total, split_classes)
+    }
+
+    fn set_faults(&mut self, faults: Option<SimFaults>) {
+        self.fault_state = faults.map_or(0, |f| f.seed ^ 0xFA17_FA17_FA17_FA17);
+        self.faults = faults;
     }
 
     fn schedule(&mut self, at: u64, event: Event) {
@@ -631,16 +703,38 @@ impl Simulation {
             self.stats.in_flight.sub(size as u64);
             return;
         }
-        let service_us = self
+        let mut service_us = self
             .service
             .batch_micros(planned.len(), planned_tokens)
             .max(1);
+        let mut shard_failed = false;
+        if let Some(f) = self.faults {
+            let draw = splitmix64(&mut self.fault_state) % 1000;
+            if (draw as u32) < f.per_mille.min(1000) {
+                self.mix(6, draw, f.replicas as u64);
+                if f.replicas >= 2 {
+                    // Failover: the victim shard's sub-batch replays on
+                    // its next-ranked replica — one shard's share of the
+                    // forward paid a second time, result unchanged.
+                    let share = planned_tokens / f.shards.max(1) as u64;
+                    service_us = service_us
+                        .saturating_add(self.service.batch_micros(planned.len(), share).max(1));
+                    self.stats.failovers.inc();
+                } else {
+                    // Nothing covers the fault: the batch still occupies
+                    // the worker until the fault surfaces, then every
+                    // member fails with a typed shard error.
+                    shard_failed = true;
+                }
+            }
+        }
         self.worker_busy[worker] = true;
         self.schedule(now.saturating_add(service_us), Event::WorkerFree { worker });
         self.running[worker] = Some(RunningBatch {
             items: planned,
             size,
             service_us,
+            shard_failed,
         });
     }
 
@@ -652,7 +746,11 @@ impl Simulation {
         let run = self.running[worker].take().expect("worker had a batch");
         self.worker_busy[worker] = false;
         for p in run.items {
-            if p.cancel_at.is_some_and(|c| c <= at) {
+            if run.shard_failed {
+                // Unrecoverable shard fault (R=1): a typed error, never
+                // a wrong selection.
+                self.answer(p.req, p.first_attempt, false, at);
+            } else if p.cancel_at.is_some_and(|c| c <= at) {
                 self.stats.cancelled.inc();
                 self.answer(p.req, p.first_attempt, false, at);
             } else if p.deadline_at.is_some_and(|d| d <= at) {
@@ -943,5 +1041,71 @@ mod tests {
             "whole report must be bit-identical"
         );
         assert!(a.completed + a.errors == 5_000);
+    }
+
+    /// Replication prices faults: the same fault stream costs latency
+    /// (failover replays, zero errors) at R=2 and costs *requests*
+    /// (typed shard errors) at R=1 — and both runs replay bit-identically
+    /// from the fault seed.
+    #[test]
+    fn fault_model_prices_replication() {
+        let config = ServeConfig::default();
+        let generator = TraceGenerator::new(TraceProfile::steady(400.0), 23);
+        let faults = |replicas| {
+            Some(SimFaults {
+                seed: 99,
+                per_mille: 200,
+                shards: 3,
+                replicas,
+            })
+        };
+        let clean = Simulation::run_trace(&config, flat_service(900.0), &generator, 2_000, "t");
+        let covered = Simulation::run_trace_with(
+            &config,
+            flat_service(900.0),
+            &generator,
+            2_000,
+            "t",
+            faults(2),
+        );
+        let exposed = Simulation::run_trace_with(
+            &config,
+            flat_service(900.0),
+            &generator,
+            2_000,
+            "t",
+            faults(1),
+        );
+
+        // R=2: every fault is absorbed as a failover replay — no new
+        // errors, but the replay premium shows up in service time.
+        assert!(covered.stats.failovers > 0, "no faults drawn");
+        assert_eq!(covered.errors, clean.errors, "R=2 must cover every fault");
+        assert!(
+            covered.stats.service_us.mean > clean.stats.service_us.mean,
+            "failover replay must cost virtual time"
+        );
+
+        // R=1: the same draws surface as typed request errors instead.
+        assert_eq!(exposed.stats.failovers, 0);
+        assert!(
+            exposed.errors > clean.errors,
+            "uncovered faults must fail requests"
+        );
+
+        // Seeded determinism: the faulted run replays bit-identically.
+        let replay = Simulation::run_trace_with(
+            &config,
+            flat_service(900.0),
+            &generator,
+            2_000,
+            "t",
+            faults(2),
+        );
+        assert_eq!(covered.digest, replay.digest);
+        assert_eq!(
+            serde_json::to_string(&covered).unwrap(),
+            serde_json::to_string(&replay).unwrap()
+        );
     }
 }

@@ -58,6 +58,18 @@ pub struct ServeConfig {
     pub semcache_verify_fraction: f64,
     /// Seed of the semantic cache's hyperplanes and bucket summaries.
     pub semcache_seed: u64,
+    /// Replication factor R of the sharded scatter path: each routing
+    /// key carries an R-way replica set (rendezvous rank order) and a
+    /// dead or hedged-away shard's sub-batch is replayed on the next
+    /// rank mid-request. `1` (the default) disables failover; ignored
+    /// by unsharded servers; clamped to the shard count at start.
+    pub replicas: usize,
+    /// Tail-latency hedge delay of the sharded scatter path: a shard
+    /// stalling at least this long at a layer boundary has its
+    /// sub-batch re-sent to the next replica (first success wins, the
+    /// straggler is cancelled). `None` disables hedging; needs
+    /// `replicas >= 2` to have any effect.
+    pub hedge: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +89,8 @@ impl Default for ServeConfig {
             semcache_similarity: 0.95,
             semcache_verify_fraction: 0.25,
             semcache_seed: 0x5EED_CACE,
+            replicas: 1,
+            hedge: None,
         }
     }
 }
@@ -174,6 +188,18 @@ impl ServeConfig {
                 "starvation age must be >= the batch wait bound".into(),
             ));
         }
+        if self.replicas == 0 {
+            return Err(ServeError::Config(
+                "replicas must be >= 1 (1 disables failover)".into(),
+            ));
+        }
+        if let Some(h) = self.hedge {
+            if h.is_zero() {
+                return Err(ServeError::Config(
+                    "hedge delay must be positive (None disables hedging)".into(),
+                ));
+            }
+        }
         if self.semcache_capacity_bytes > 0 {
             // Delegate range checks to the cache's own validator (dim is
             // engine-derived at start; validate with a placeholder).
@@ -242,6 +268,14 @@ mod tests {
             },
             ServeConfig {
                 starvation_age: Duration::from_micros(1),
+                ..Default::default()
+            },
+            ServeConfig {
+                replicas: 0,
+                ..Default::default()
+            },
+            ServeConfig {
+                hedge: Some(Duration::ZERO),
                 ..Default::default()
             },
         ] {

@@ -56,6 +56,7 @@
 //!   calls, the property `tests/serve_conformance.rs` locks in across
 //!   batch sizes and worker counts.
 
+pub mod chaos;
 pub mod config;
 pub mod load;
 pub mod queue;
@@ -68,6 +69,7 @@ pub mod session;
 pub mod shard;
 pub mod stats;
 
+pub use chaos::{audit_shard_hygiene, run_chaos, ChaosPlan, ChaosReport, ChaosStep};
 pub use config::ServeConfig;
 pub use load::{run_closed_loop, ClassReport, LoadReport, LoadSpec};
 pub use quota::{QuotaToken, TenantQuota};

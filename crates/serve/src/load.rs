@@ -10,7 +10,9 @@
 
 use std::time::{Duration, Instant};
 
-use prism_core::{ComputePrecision, Priority, RequestOptions, SemCacheMode, SpillPrecision};
+use prism_core::{
+    ComputePrecision, PartialMode, Priority, RequestOptions, SemCacheMode, SpillPrecision,
+};
 use prism_model::SequenceBatch;
 use prism_workload::{dataset_by_name, WorkloadGenerator};
 use serde::Serialize;
@@ -69,6 +71,11 @@ pub struct LoadSpec {
     /// memory; the per-session cache cannot. Spread evenly like
     /// `high_fraction`.
     pub dup_fraction: f64,
+    /// Degraded-mode policy stamped on every request: what a sharded
+    /// deployment does when every replica of a candidate is down
+    /// ([`PartialMode::Fail`] keeps the exact-or-error contract,
+    /// [`PartialMode::Partial`] serves the survivors).
+    pub on_partial: PartialMode,
 }
 
 /// Distinct corpora the cross-session duplicate stream cycles through
@@ -95,6 +102,7 @@ impl Default for LoadSpec {
             compute_precision: ComputePrecision::default(),
             semcache: SemCacheMode::Off,
             dup_fraction: 0.0,
+            on_partial: PartialMode::Fail,
         }
     }
 }
@@ -133,7 +141,8 @@ impl LoadSpec {
         let mut options = options
             .with_spill_precision(self.spill_precision)
             .with_compute_precision(self.compute_precision)
-            .with_semcache(self.semcache);
+            .with_semcache(self.semcache)
+            .with_on_partial(self.on_partial);
         if self.semcache != SemCacheMode::Off {
             // Semantic replay is only sound at full depth; the knob
             // implies it rather than silently not engaging.
@@ -264,6 +273,15 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
                 let mut errors = 0_usize;
                 let mut high_errors = 0_usize;
                 let mut retries = 0_u64;
+                // Generous bounds: a closed-loop client should outwait
+                // transient saturation, not convert it into errors — but
+                // never spin unbounded against a wedged server. Per-client
+                // seeds decorrelate the herd.
+                let retry_policy = prism_api::RetryPolicy::default()
+                    .with_max_attempts(64)
+                    .with_backoff(Duration::from_micros(200), Duration::from_millis(50))
+                    .with_budget(Duration::from_secs(5))
+                    .with_seed(0xC11E_0000 ^ c as u64);
                 let mut i = c;
                 while i < spec_ref.requests {
                     let session_idx = i % sessions;
@@ -286,6 +304,11 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
                     let options = spec_ref
                         .decorate(i, RequestOptions::tagged(spec_ref.k, corpus ^ 0x5E55_1011));
                     let t0 = Instant::now();
+                    // Typed, bounded backpressure handling: each submit
+                    // runs its own decorrelated-jitter schedule, and the
+                    // server's `retry_after` hint floors every sleep. A
+                    // schedule that gives up counts as a client error.
+                    let mut schedule = retry_policy.schedule();
                     let handle = loop {
                         match server.submit(crate::ServeRequest {
                             session: format!("session-{session_idx}"),
@@ -293,9 +316,14 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
                             options: options.clone(),
                         }) {
                             Ok(h) => break Some(h),
-                            Err(ServeError::Backpressure { .. }) => {
-                                retries += 1;
-                                std::thread::sleep(Duration::from_micros(200));
+                            Err(err @ ServeError::Backpressure { .. }) => {
+                                match schedule.next_delay(&err) {
+                                    Some(delay) => {
+                                        retries += 1;
+                                        std::thread::sleep(delay);
+                                    }
+                                    None => break None,
+                                }
                             }
                             Err(_) => break None,
                         }
@@ -323,6 +351,9 @@ pub fn run_closed_loop(server: &PrismServer, spec: &LoadSpec) -> LoadReport {
             retries += rts;
         }
     });
+    // Backpressure retries land on the server's resilience instruments
+    // so `prsm serve` summaries show them next to failovers/hedges.
+    server.stats().retried.inc_by(retries);
     let elapsed_s = started.elapsed().as_secs_f64();
 
     let classes = if spec.high_fraction > 0.0 {

@@ -208,6 +208,7 @@ mod tests {
             selection: Selection {
                 ranked: Vec::new(),
                 last_scores: Vec::new(),
+                coverage: 1.0,
                 trace: Default::default(),
             },
             ticket: 11,

@@ -206,6 +206,8 @@ pub fn replay_selection(scores: Vec<f32>, k: usize, depth: usize) -> Selection {
     Selection {
         ranked: rank_full_scores(&scores, k, depth),
         last_scores: scores,
+        // Replays only engage on fully-served cached scores.
+        coverage: 1.0,
         trace: EngineTrace::default(),
     }
 }

@@ -55,7 +55,7 @@ pub struct PrismServer {
 impl PrismServer {
     /// Starts `config.workers` worker threads over `engine`.
     pub fn start(engine: PrismEngine, config: ServeConfig) -> crate::Result<Self> {
-        Self::start_inner(Arc::new(engine), None, config)
+        Self::start_inner(Arc::new(engine), None, config, ServeStats::new())
     }
 
     /// Starts a *sharded* server: the candidate corpus of every request
@@ -63,19 +63,27 @@ impl PrismServer {
     /// map and executed scatter-gather, with results bit-identical to a
     /// single engine. Each shard engine must hold weights resident and
     /// share the selection configuration (seed, mode, precisions).
+    ///
+    /// `config.replicas` / `config.hedge` configure the resilience
+    /// layer: R-way replica sets with mid-request failover, and
+    /// tail-latency hedging of stalled shards.
     pub fn start_sharded(engines: Vec<PrismEngine>, config: ServeConfig) -> crate::Result<Self> {
-        let shards = ShardSet::new(engines.into_iter().map(Arc::new).collect())?;
+        let stats = ServeStats::new();
+        let mut shards = ShardSet::new(engines.into_iter().map(Arc::new).collect())?
+            .with_replicas(config.replicas.max(1))
+            .with_hedge(config.hedge);
+        shards.attach_stats(stats.clone());
         let engine = Arc::clone(shards.engine(0));
-        Self::start_inner(engine, Some(Arc::new(shards)), config)
+        Self::start_inner(engine, Some(Arc::new(shards)), config, stats)
     }
 
     fn start_inner(
         engine: Arc<PrismEngine>,
         shards: Option<Arc<ShardSet>>,
         config: ServeConfig,
+        stats: ServeStats,
     ) -> crate::Result<Self> {
         config.validate()?;
-        let stats = ServeStats::new();
         let semcache = (config.semcache_capacity_bytes > 0)
             .then(|| SemanticLayer::new(config.semcache_config(engine.config().hidden_dim)));
         let shared = Arc::new(ServerShared {
@@ -357,6 +365,7 @@ fn resolve_semantic(
         // pruning-off order.
         let merged = merge_tail_scores(&sem.probes, novel, &selection.last_scores);
         let trace = std::mem::take(&mut selection.trace);
+        let coverage = selection.coverage;
         selection = Selection {
             ranked: rank_full_scores(
                 &merged,
@@ -364,6 +373,7 @@ fn resolve_semantic(
                 shared.engine.config().num_layers,
             ),
             last_scores: merged,
+            coverage,
             trace,
         };
         layer.harvest(
@@ -616,6 +626,9 @@ fn execute_batch(shared: &ServerShared, batch: Vec<Pending>, scratch: &mut Vec<F
                     // typed error without failing its batch-mates.
                     match shared.engine.finalize_request(req) {
                         Ok(selection) => {
+                            stats
+                                .slots_quarantined
+                                .inc_by(selection.trace.spill_stats.quarantined);
                             // Semantic-cache epilogue: merge a partial
                             // replay with its computed tail, verify and
                             // harvest. Aborted batch-mates skip this, so
@@ -771,6 +784,9 @@ fn execute_sharded_batch(
                     }
                     _ => selection,
                 };
+                if !selection.is_complete() {
+                    stats.partial_results.inc();
+                }
                 stats.service_us.record(service_us);
                 stats.completed.inc();
                 if let Some(cache) = &shared.cache {

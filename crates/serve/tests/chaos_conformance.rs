@@ -1,0 +1,255 @@
+//! Chaos conformance for the resilience layer: a seeded, replayable
+//! fault schedule ([`ChaosPlan`]) driven against a real R=2 shard set
+//! must produce selections bit-identical to the fault-free golden run —
+//! for every batch size 1..=8 and every spill/compute precision combo —
+//! and must leak nothing: every shard's spill directory stays empty and
+//! its meter carries zero hidden-state/intermediate bytes after every
+//! run, including when a cancellation lands in the middle of a
+//! failover replay.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use prism_core::{
+    CancelToken, ComputePrecision, EngineOptions, PrismEngine, PrismError, RequestOptions,
+    SpillPrecision,
+};
+use prism_metrics::MemoryMeter;
+use prism_model::{Model, ModelArch, ModelConfig, SequenceBatch};
+use prism_serve::{audit_shard_hygiene, run_chaos, ChaosPlan, ShardFault, ShardSet};
+use prism_storage::Container;
+use prism_workload::{dataset_by_name, WorkloadGenerator};
+
+fn fixture(tag: &str) -> (ModelConfig, std::path::PathBuf) {
+    let config = ModelConfig::test_config(ModelArch::DecoderOnly, 6);
+    let model = Model::generate(config.clone(), 42).unwrap();
+    let mut path = std::env::temp_dir();
+    path.push(format!("prism-chaos-{tag}-{}.prsm", std::process::id()));
+    model.write_container(&path).unwrap();
+    (config, path)
+}
+
+/// A spill-capable shard engine with a *private* spill directory so the
+/// hygiene audit can attribute leaks per shard.
+fn spill_engine(
+    config: &ModelConfig,
+    path: &std::path::Path,
+    dir: &std::path::Path,
+) -> Arc<PrismEngine> {
+    std::fs::create_dir_all(dir).unwrap();
+    Arc::new(
+        PrismEngine::new(
+            Container::open(path).unwrap(),
+            config.clone(),
+            EngineOptions {
+                streaming: false,
+                embed_cache: false,
+                hidden_offload: true,
+                chunk_candidates: Some(2),
+                ..Default::default()
+            },
+            MemoryMeter::new(),
+        )
+        .unwrap()
+        .with_spill_dir(dir.to_path_buf()),
+    )
+}
+
+fn spill_set(
+    config: &ModelConfig,
+    path: &std::path::Path,
+    tag: &str,
+    shards: usize,
+) -> (ShardSet, Vec<std::path::PathBuf>) {
+    let mut dirs = Vec::new();
+    let engines = (0..shards)
+        .map(|i| {
+            let mut dir = std::env::temp_dir();
+            dir.push(format!("prism-chaos-{tag}-s{i}-{}", std::process::id()));
+            dirs.push(dir.clone());
+            spill_engine(config, path, &dir)
+        })
+        .collect();
+    (ShardSet::new(engines).unwrap(), dirs)
+}
+
+fn batch_of(config: &ModelConfig, corpus: u64, candidates: usize) -> SequenceBatch {
+    let profile = dataset_by_name("wikipedia").unwrap();
+    let generator = WorkloadGenerator::new(profile, config.vocab_size, config.max_seq, 7);
+    SequenceBatch::new(&generator.request(corpus, candidates).sequences()).unwrap()
+}
+
+fn cleanup(path: &std::path::Path, dirs: &[std::path::PathBuf]) {
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+    let _ = std::fs::remove_file(path);
+}
+
+/// The acceptance bar of the resilience layer: R=2 over three shards,
+/// a seeded chaos schedule (dead shards, stalls straddling the hedge
+/// delay), batch sizes 1..=8, and every spill x compute precision
+/// combination — every faulted request must be answered bit-identically
+/// to the fault-free golden run, and no request may leak spill files or
+/// metered bytes on any shard.
+#[test]
+fn chaos_r2_single_fault_bit_identical_across_batches_and_precisions() {
+    let (config, path) = fixture("conf");
+    let (mut set, dirs) = spill_set(&config, &path, "conf", 3);
+    set = set
+        .with_replicas(2)
+        .with_hedge(Some(Duration::from_millis(2)));
+    let stats = prism_serve::ServeStats::new();
+    set.attach_stats(stats.clone());
+
+    // One batch per size in 1..=8, per the conformance envelope.
+    let batches: Vec<SequenceBatch> = (1..=8).map(|n| batch_of(&config, n as u64, n)).collect();
+
+    let combos = [
+        (SpillPrecision::F32, ComputePrecision::F32),
+        (SpillPrecision::F32, ComputePrecision::Int8),
+        (SpillPrecision::Int8, ComputePrecision::F32),
+        (SpillPrecision::Int8, ComputePrecision::Int8),
+    ];
+    let plan = ChaosPlan::seeded(0xEED5, 3, batches.len());
+    assert!(
+        !plan.steps().is_empty(),
+        "a chaos run without faults proves nothing"
+    );
+
+    for (spill, compute) in combos {
+        let options = RequestOptions::top_k(4)
+            .with_spill_precision(spill)
+            .with_compute_precision(compute);
+        // Golden: the same set, same tags, fault-free.
+        let golden: Vec<_> = batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let mut opts = options.clone();
+                opts.tag = Some(0xC4A0_0000 ^ i as u64);
+                set.select_with(b, opts).unwrap()
+            })
+            .collect();
+        audit_shard_hygiene(&set).unwrap();
+
+        let report = run_chaos(&set, &batches, &options, &golden, &plan).unwrap();
+        assert_eq!(report.requests, batches.len());
+        assert_eq!(report.faulted, plan.steps().len());
+        assert!(
+            report.all_matched(),
+            "{spill:?}/{compute:?}: {} of {} requests diverged from golden \
+             (partial={}, failed={})",
+            report.requests - report.matched,
+            report.requests,
+            report.partial,
+            report.failed
+        );
+        audit_shard_hygiene(&set).unwrap_or_else(|leak| panic!("{spill:?}/{compute:?}: {leak}"));
+    }
+
+    assert!(stats.failovers.get() > 0, "chaos never exercised failover");
+    cleanup(&path, &dirs);
+}
+
+/// Replaying the same seed replays the same outcomes: two chaos runs
+/// from one seed produce identical reports — the property that lets a
+/// CI chaos failure be reproduced locally from nothing but the seed.
+#[test]
+fn chaos_runs_replay_bit_identically_from_the_seed() {
+    let (config, path) = fixture("replay");
+    let (mut set, dirs) = spill_set(&config, &path, "replay", 3);
+    set = set.with_replicas(2);
+
+    let batches: Vec<SequenceBatch> = (0..6).map(|i| batch_of(&config, 100 + i, 6)).collect();
+    let options = RequestOptions::top_k(4);
+    let golden: Vec<_> = batches
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let mut opts = options.clone();
+            opts.tag = Some(0xC4A0_0000 ^ i as u64);
+            set.select_with(b, opts).unwrap()
+        })
+        .collect();
+
+    let plan = ChaosPlan::seeded(31, 3, batches.len());
+    let a = run_chaos(&set, &batches, &options, &golden, &plan).unwrap();
+    let b = run_chaos(&set, &batches, &options, &golden, &plan).unwrap();
+    assert_eq!(a, b, "same seed, same schedule, different outcomes");
+    cleanup(&path, &dirs);
+}
+
+/// A cancellation landing *mid-failover* — the progress callback kills a
+/// shard and cancels at the same layer boundary, so the abort races the
+/// replica replay — must leak nothing: every shard's spill directory is
+/// empty and its meter zero afterwards, for every kill layer, and the
+/// set stays bit-identical for the next request.
+#[test]
+fn mid_failover_cancellation_leaks_nothing() {
+    let (config, path) = fixture("cancel");
+    let (mut set, dirs) = spill_set(&config, &path, "cancel", 3);
+    set = set.with_replicas(2);
+    let set = Arc::new(set);
+    let batch = batch_of(&config, 3, 12);
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+
+    for kill_layer in 0..config.num_layers {
+        let token = CancelToken::new();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let progress = {
+            let set = Arc::clone(&set);
+            let token = token.clone();
+            let fired = Arc::clone(&fired);
+            Arc::new(move |u: prism_core::ProgressUpdate| {
+                if u.layers_forwarded == kill_layer && fired.fetch_add(1, Ordering::Relaxed) == 0 {
+                    set.inject_fault(1, ShardFault::Dead);
+                    token.cancel();
+                }
+            }) as prism_core::ProgressFn
+        };
+        match set.select_with_controls(
+            &batch,
+            RequestOptions::tagged(4, 1),
+            Some(token),
+            None,
+            Some(progress),
+        ) {
+            // The cancel may lose the race to completion; either way the
+            // result must be well-formed and nothing may leak.
+            Ok(sel) => assert_eq!(
+                sel.ranked.len(),
+                reference.ranked.len(),
+                "kill+cancel at layer {kill_layer}: malformed selection"
+            ),
+            Err(PrismError::Cancelled) => {}
+            Err(other) => panic!("kill+cancel at layer {kill_layer}: {other}"),
+        }
+        set.inject_fault(1, ShardFault::Healthy);
+        audit_shard_hygiene(&set)
+            .unwrap_or_else(|leak| panic!("kill+cancel at layer {kill_layer}: {leak}"));
+    }
+
+    // Fully serviceable and bit-identical afterwards.
+    let again = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+    assert_eq!(
+        again
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        reference
+            .ranked
+            .iter()
+            .map(|r| (r.id, r.score.to_bits()))
+            .collect::<Vec<_>>(),
+        "post-chaos selection diverged"
+    );
+    audit_shard_hygiene(&set).unwrap();
+    cleanup(&path, &dirs);
+}

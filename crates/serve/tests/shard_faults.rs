@@ -346,3 +346,203 @@ fn quota_and_backpressure_compose_in_the_sharded_server() {
     server.shutdown();
     std::fs::remove_file(&path).unwrap();
 }
+
+/// Helper: the `(id, score_bits)` signature a bit-parity assertion needs.
+fn bits(sel: &prism_core::Selection) -> Vec<(usize, u32)> {
+    sel.ranked
+        .iter()
+        .map(|r| (r.id, r.score.to_bits()))
+        .collect()
+}
+
+/// With R=2, a shard dead *before* the request plans re-homes its whole
+/// sub-batch onto each candidate's next-ranked replica, and the merged
+/// selection stays bit-identical to the fault-free result — for every
+/// choice of dead shard.
+#[test]
+fn dead_shard_fails_over_to_replica_bit_identically() {
+    let (config, path) = fixture("failover-plan");
+    let mut set = ShardSet::new((0..3).map(|_| resident_engine(&config, &path)).collect())
+        .unwrap()
+        .with_replicas(2);
+    let stats = prism_serve::ServeStats::new();
+    set.attach_stats(stats.clone());
+    let batch = spanning_batch(&config, &set, 12);
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+    assert!(reference.is_complete());
+
+    for dead in 0..3 {
+        set.inject_fault(dead, ShardFault::Dead);
+        let sel = set
+            .select_with(&batch, RequestOptions::tagged(4, 1))
+            .unwrap();
+        assert_eq!(
+            bits(&sel),
+            bits(&reference),
+            "shard {dead} dead: failover diverged from fault-free result"
+        );
+        assert!(sel.is_complete(), "replication covered the fault");
+        set.inject_fault(dead, ShardFault::Healthy);
+    }
+    assert_eq!(stats.failovers.get(), 3, "one failover per dead shard");
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// With R=2, a shard dying *mid-request* (injected from the progress
+/// callback at every possible layer boundary) has its survivors replayed
+/// on replicas and the merged selection stays bit-identical.
+#[test]
+fn mid_request_death_fails_over_bit_identically() {
+    let (config, path) = fixture("failover-mid");
+    let mut set = ShardSet::new((0..3).map(|_| resident_engine(&config, &path)).collect())
+        .unwrap()
+        .with_replicas(2);
+    let stats = prism_serve::ServeStats::new();
+    set.attach_stats(stats.clone());
+    let set = Arc::new(set);
+    let batch = spanning_batch(&config, &set, 12);
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+
+    for kill_layer in 0..config.num_layers {
+        let progress = {
+            let set = Arc::clone(&set);
+            Arc::new(move |u: prism_core::ProgressUpdate| {
+                if u.layers_forwarded == kill_layer {
+                    set.inject_fault(1, ShardFault::Dead);
+                }
+            }) as prism_core::ProgressFn
+        };
+        let sel = set
+            .select_with_controls(
+                &batch,
+                RequestOptions::tagged(4, 1),
+                None,
+                None,
+                Some(progress),
+            )
+            .unwrap();
+        assert_eq!(
+            bits(&sel),
+            bits(&reference),
+            "kill at layer {kill_layer}: mid-request failover diverged"
+        );
+        assert!(sel.is_complete());
+        set.inject_fault(1, ShardFault::Healthy);
+    }
+    assert!(stats.failovers.get() > 0);
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// When every replica of a candidate is down, `PartialMode::Fail` (the
+/// default) surfaces a typed shard failure, while `PartialMode::Partial`
+/// serves a best-effort selection over the survivors with
+/// `Selection::coverage < 1` — and the surviving candidates' scores stay
+/// bit-identical to their fault-free values.
+#[test]
+fn replicas_exhausted_degrades_per_partial_mode() {
+    use prism_core::PartialMode;
+    let (config, path) = fixture("partial");
+    let mut set = ShardSet::new((0..2).map(|_| resident_engine(&config, &path)).collect()).unwrap();
+    let stats = prism_serve::ServeStats::new();
+    set.attach_stats(stats.clone());
+    let batch = spanning_batch(&config, &set, 12);
+    let dead_ids: Vec<usize> = set.partition(&batch)[1].clone();
+    assert!(!dead_ids.is_empty());
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(12, 1))
+        .unwrap();
+
+    // R=1: shard 1's candidates have no replica to fail over to.
+    set.inject_fault(1, ShardFault::Dead);
+    let err = set
+        .select_with(&batch, RequestOptions::tagged(12, 2))
+        .unwrap_err();
+    assert!(matches!(err, PrismError::ShardFailure(_)), "{err:?}");
+
+    let sel = set
+        .select_with(
+            &batch,
+            RequestOptions::tagged(12, 3).with_on_partial(PartialMode::Partial),
+        )
+        .unwrap();
+    assert!(!sel.is_complete());
+    let expected = (batch.num_sequences() - dead_ids.len()) as f32 / batch.num_sequences() as f32;
+    assert!(
+        (sel.coverage - expected).abs() < 1e-6,
+        "coverage {} != {expected}",
+        sel.coverage
+    );
+    for r in &sel.ranked {
+        assert!(
+            !dead_ids.contains(&r.id),
+            "candidate {} was unrecoverable yet ranked",
+            r.id
+        );
+        let full = reference
+            .ranked
+            .iter()
+            .find(|f| f.id == r.id)
+            .expect("survivor present in fault-free ranking");
+        assert_eq!(
+            full.score.to_bits(),
+            r.score.to_bits(),
+            "survivor {}'s score diverged in degraded mode",
+            r.id
+        );
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// A shard stalling past the hedge delay has its sub-batch hedged onto
+/// the next replica: the result stays bit-identical, completes without
+/// waiting out the stall, and the hedge counters fire.
+#[test]
+fn hedged_stall_completes_bit_identically() {
+    let (config, path) = fixture("hedge");
+    let mut set = ShardSet::new((0..3).map(|_| resident_engine(&config, &path)).collect())
+        .unwrap()
+        .with_replicas(2)
+        .with_hedge(Some(Duration::from_millis(5)));
+    let stats = prism_serve::ServeStats::new();
+    set.attach_stats(stats.clone());
+    let batch = spanning_batch(&config, &set, 12);
+    let reference = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+
+    // Stall long enough that waiting it out at every layer boundary
+    // would dwarf the hedged path's latency.
+    set.inject_fault(2, ShardFault::Slow(Duration::from_millis(250)));
+    let t0 = Instant::now();
+    let sel = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+    let hedged_latency = t0.elapsed();
+    assert_eq!(bits(&sel), bits(&reference), "hedged result diverged");
+    assert!(sel.is_complete());
+    assert!(
+        hedged_latency < Duration::from_millis(250),
+        "hedge did not cut the stall: {hedged_latency:?}"
+    );
+    assert_eq!(stats.hedges_fired.get(), 1);
+    assert_eq!(stats.hedges_won.get(), 1);
+    assert_eq!(stats.failovers.get(), 1);
+
+    // Without a hedge configured the stall is waited out (R=1 behavior
+    // preserved): same bits, just slower.
+    set.inject_fault(2, ShardFault::Slow(Duration::from_millis(10)));
+    let set = ShardSet::new((0..1).map(|_| resident_engine(&config, &path)).collect()).unwrap();
+    let single = set
+        .select_with(&batch, RequestOptions::tagged(4, 1))
+        .unwrap();
+    assert_eq!(
+        bits(&single),
+        bits(&reference),
+        "sharded result must match the unsharded engine"
+    );
+    std::fs::remove_file(&path).unwrap();
+}

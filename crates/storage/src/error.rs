@@ -25,6 +25,14 @@ pub enum StorageError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A spill slot's stored CRC32 does not match its payload: the slot
+    /// was quarantined and its contents must be recomputed, not used.
+    ChecksumMismatch {
+        /// The spill slot whose checksum failed.
+        slot: usize,
+        /// Human-readable detail (stored vs computed CRC).
+        reason: String,
+    },
     /// The background I/O thread disappeared (panic or channel closed).
     StreamerGone,
     /// Tensor-level error while decoding a section.
@@ -39,6 +47,9 @@ impl fmt::Display for StorageError {
             StorageError::MissingSection { name } => write!(f, "missing section: {name}"),
             StorageError::SectionMismatch { name, reason } => {
                 write!(f, "section {name} mismatch: {reason}")
+            }
+            StorageError::ChecksumMismatch { slot, reason } => {
+                write!(f, "spill slot {slot} checksum mismatch: {reason}")
             }
             StorageError::StreamerGone => write!(f, "layer streamer I/O thread terminated"),
             StorageError::Tensor(e) => write!(f, "tensor error: {e}"),

@@ -37,7 +37,7 @@ pub use embed_cache::{DiskRowSource, EmbeddingCache, EmbeddingCacheStats, RowSou
 pub use error::StorageError;
 pub use format::{Container, ContainerWriter, SectionKind, SectionMeta};
 pub use lru::LruIndex;
-pub use spill::{SpillFile, SpillPrecision};
+pub use spill::{crc32, fault, SpillFile, SpillPrecision};
 pub use spill_pipeline::{SpillPipeline, SpillStats};
 pub use stream::{LayerStreamer, LoadedSection, StreamStats};
 pub use throttle::Throttle;

@@ -6,12 +6,12 @@
 //! a scratch file, written and read back with positioned I/O, with byte
 //! accounting for the memory model.
 //!
-//! # Slot format (version 2)
+//! # Slot format (version 3)
 //!
 //! Every occupied slot starts with a 16-byte header:
 //!
 //! ```text
-//! magic "PSPL" | version u8 (=2) | encoding u8 | pad u16 | rows u32 | cols u32
+//! magic "PSPL" | version u8 (=3) | encoding u8 | pad u16 | rows u32 | cols u32
 //! ```
 //!
 //! followed by the payload the encoding dictates:
@@ -21,7 +21,15 @@
 //! * [`SpillPrecision::Int8`] — `rows` f32 row minima, `rows` f32 row
 //!   scales, then `rows * cols` u8 codes ([`prism_tensor::rowq`]): ~4x
 //!   fewer bytes through the bandwidth throttle at a per-element error
-//!   bounded by `scale / 2`.
+//!   bounded by `scale / 2`,
+//!
+//! and a trailing little-endian CRC32 (IEEE) over header + payload.
+//! Every fetch verifies the checksum; a mismatch **quarantines** the slot
+//! (marks it empty, bumps [`SpillFile::quarantined`]) and returns
+//! [`StorageError::ChecksumMismatch`] so the engine can recompute the
+//! chunk from weights instead of propagating silently corrupted scores.
+//! Version-2 slots (no trailer) are still readable — their payload length
+//! is derived from the header, and verification is skipped.
 //!
 //! The API takes `&self`: slot metadata sits behind a mutex and the byte
 //! counters are atomics, so the overlapped spill pipeline's reader and
@@ -56,14 +64,19 @@ pub enum SpillPrecision {
 }
 
 impl SpillPrecision {
-    /// Exact on-disk bytes (header included) of a `rows x cols` tensor
-    /// encoded at this precision — also the cost model's spill-byte term.
+    /// Exact on-disk bytes (header and CRC trailer included) of a
+    /// `rows x cols` tensor encoded at this precision — also the cost
+    /// model's spill-byte term.
     pub fn encoded_bytes(self, rows: usize, cols: usize) -> usize {
-        HEADER_BYTES
-            + match self {
-                SpillPrecision::F32 => 4 * rows * cols,
-                SpillPrecision::Int8 => 8 * rows + rows * cols,
-            }
+        HEADER_BYTES + self.payload_bytes(rows, cols) + CRC_BYTES
+    }
+
+    /// Payload bytes alone (no header, no checksum trailer).
+    fn payload_bytes(self, rows: usize, cols: usize) -> usize {
+        match self {
+            SpillPrecision::F32 => 4 * rows * cols,
+            SpillPrecision::Int8 => 8 * rows + rows * cols,
+        }
     }
 
     fn tag(self) -> u8 {
@@ -83,8 +96,90 @@ impl SpillPrecision {
 }
 
 const MAGIC: [u8; 4] = *b"PSPL";
-const VERSION: u8 = 2;
+const VERSION: u8 = 3;
+/// The pre-checksum format: same header, no CRC trailer. Still readable.
+const VERSION_NO_CRC: u8 = 2;
 const HEADER_BYTES: usize = 16;
+const CRC_BYTES: usize = 4;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) — the same
+/// checksum gzip/zip use, small enough to hand-roll and fast enough to
+/// disappear under the spill throttle.
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0_u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut crc = i as u32;
+            let mut bit = 0;
+            while bit < 8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xEDB8_8320
+                } else {
+                    crc >> 1
+                };
+                bit += 1;
+            }
+            table[i] = crc;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = !0_u32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Deterministic read-fault injection for tests and the chaos harness.
+///
+/// The engine creates its spill files internally, so corruption faults
+/// cannot be injected per-file from outside; this knob flips one payload
+/// byte in every `n`-th slot read *before* checksum verification,
+/// turning it into a [`StorageError::ChecksumMismatch`] at a
+/// deterministic point in the fetch sequence. Injection is scoped to
+/// files under a path prefix (a server's spill directory, a single test
+/// file) so concurrently running tests cannot perturb each other. Off
+/// by default.
+pub mod fault {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    static TARGET: Mutex<Option<String>> = Mutex::new(None);
+    static EVERY: AtomicUsize = AtomicUsize::new(0);
+    static FETCHES: AtomicUsize = AtomicUsize::new(0);
+
+    /// Corrupts every `n`-th fetch (1 = every fetch) from spill files
+    /// whose path starts with `prefix`; resets the fetch counter.
+    /// `n = 0` disables injection.
+    pub fn corrupt_fetches_under(prefix: impl Into<String>, n: usize) {
+        let mut target = TARGET.lock().expect("fault target lock");
+        *target = (n > 0).then(|| prefix.into());
+        FETCHES.store(0, Ordering::SeqCst);
+        EVERY.store(n, Ordering::SeqCst);
+    }
+
+    /// Turns injection off and resets the counter.
+    pub fn reset() {
+        corrupt_fetches_under(String::new(), 0);
+    }
+
+    pub(crate) fn take_corrupt(path: &std::path::Path) -> bool {
+        let n = EVERY.load(Ordering::SeqCst);
+        if n == 0 {
+            return false;
+        }
+        {
+            let target = TARGET.lock().expect("fault target lock");
+            match target.as_ref() {
+                Some(prefix) if path.starts_with(prefix) => {}
+                _ => return false,
+            }
+        }
+        FETCHES.fetch_add(1, Ordering::SeqCst) % n == n - 1
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 struct SlotMeta {
@@ -110,6 +205,7 @@ pub struct SpillFile {
     read_micros: AtomicU64,
     bytes_written: AtomicU64,
     bytes_read: AtomicU64,
+    quarantined: AtomicU64,
 }
 
 impl SpillFile {
@@ -152,7 +248,19 @@ impl SpillFile {
             read_micros: AtomicU64::new(0),
             bytes_written: AtomicU64::new(0),
             bytes_read: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
         })
+    }
+
+    /// Path of the backing scratch file (tests inject on-disk faults
+    /// through it).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Slots quarantined after a checksum mismatch.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 
     /// Number of slots.
@@ -259,6 +367,8 @@ impl SpillFile {
                 bytes.extend_from_slice(&codes);
             }
         }
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
         debug_assert_eq!(bytes.len(), len);
         write_at(&self.file, (slot * self.slot_bytes) as u64, &bytes)?;
         self.throttle.pace(start, bytes.len() as u64);
@@ -275,8 +385,65 @@ impl SpillFile {
         Ok(len as u64)
     }
 
+    /// Reads `slot`, cross-checks the header against the recorded
+    /// metadata, and verifies the version-3 trailing CRC32 (version-2
+    /// slots carry no trailer; verification is skipped). On a checksum
+    /// mismatch the slot is **quarantined** — marked empty, counted in
+    /// [`SpillFile::quarantined`] — and the typed
+    /// [`StorageError::ChecksumMismatch`] tells the caller to recompute
+    /// the chunk rather than consume corrupted data. Returns the payload
+    /// bytes (header and trailer stripped).
+    fn read_verified(&self, slot: usize, meta: SlotMeta) -> Result<Vec<u8>> {
+        let start = Instant::now();
+        let mut bytes = vec![0_u8; meta.len];
+        read_at(&self.file, (slot * self.slot_bytes) as u64, &mut bytes)?;
+        self.throttle.pace(start, bytes.len() as u64);
+        self.read_micros
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        if fault::take_corrupt(&self.path) && bytes.len() > HEADER_BYTES {
+            bytes[HEADER_BYTES] ^= 0x40;
+        }
+
+        let corrupt = |reason: String| StorageError::SectionMismatch {
+            name: "spill".into(),
+            reason,
+        };
+        if bytes[0..4] != MAGIC || !matches!(bytes[4], VERSION | VERSION_NO_CRC) {
+            return Err(corrupt(format!("slot {slot}: bad header")));
+        }
+        let enc = SpillPrecision::from_tag(bytes[5])
+            .ok_or_else(|| corrupt(format!("slot {slot}: unknown encoding {}", bytes[5])))?;
+        let rows = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
+        let cols = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
+        if enc != meta.enc || rows != meta.rows || cols != meta.cols {
+            return Err(corrupt(format!("slot {slot}: header/metadata mismatch")));
+        }
+        let body = HEADER_BYTES + enc.payload_bytes(rows, cols);
+        if bytes[4] == VERSION {
+            if bytes.len() < body + CRC_BYTES {
+                return Err(corrupt(format!("slot {slot}: truncated checksum trailer")));
+            }
+            let stored =
+                u32::from_le_bytes(bytes[body..body + CRC_BYTES].try_into().expect("4 bytes"));
+            let computed = crc32(&bytes[..body]);
+            if stored != computed {
+                self.meta.lock().expect("spill meta lock")[slot] = None;
+                self.quarantined.fetch_add(1, Ordering::Relaxed);
+                return Err(StorageError::ChecksumMismatch {
+                    slot,
+                    reason: format!("stored {stored:#010x}, computed {computed:#010x}"),
+                });
+            }
+        }
+        bytes.truncate(body);
+        bytes.drain(..HEADER_BYTES);
+        Ok(bytes)
+    }
+
     /// Reads the tensor stored in `slot` back into memory, decoding per
-    /// the slot's recorded encoding.
+    /// the slot's recorded encoding after checksum verification.
     pub fn fetch(&self, slot: usize) -> Result<Tensor> {
         if slot >= self.slots {
             return Err(self.bad_slot(slot));
@@ -287,30 +454,13 @@ impl SpillFile {
                 reason: format!("slot {slot} is empty"),
             }
         })?;
-        let start = Instant::now();
-        let mut bytes = vec![0_u8; meta.len];
-        read_at(&self.file, (slot * self.slot_bytes) as u64, &mut bytes)?;
-        self.throttle.pace(start, bytes.len() as u64);
-        self.read_micros
-            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-        self.bytes_read
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-
+        let payload = self.read_verified(slot, meta)?;
+        let payload = payload.as_slice();
         let corrupt = |reason: String| StorageError::SectionMismatch {
             name: "spill".into(),
             reason,
         };
-        if bytes[0..4] != MAGIC || bytes[4] != VERSION {
-            return Err(corrupt(format!("slot {slot}: bad header")));
-        }
-        let enc = SpillPrecision::from_tag(bytes[5])
-            .ok_or_else(|| corrupt(format!("slot {slot}: unknown encoding {}", bytes[5])))?;
-        let rows = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-        let cols = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
-        if enc != meta.enc || rows != meta.rows || cols != meta.cols {
-            return Err(corrupt(format!("slot {slot}: header/metadata mismatch")));
-        }
-        let payload = &bytes[HEADER_BYTES..];
+        let (rows, cols, enc) = (meta.rows, meta.cols, meta.enc);
         let mut data = vec![0.0_f32; rows * cols];
         match enc {
             SpillPrecision::F32 => {
@@ -374,6 +524,8 @@ impl SpillFile {
             bytes.extend_from_slice(&s.to_le_bytes());
         }
         bytes.extend_from_slice(block.codes());
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
         debug_assert_eq!(bytes.len(), len);
         write_at(&self.file, (slot * self.slot_bytes) as u64, &bytes)?;
         self.throttle.pace(start, bytes.len() as u64);
@@ -412,30 +564,13 @@ impl SpillFile {
                 reason: format!("slot {slot}: re-encode: {e}"),
             });
         }
-        let start = Instant::now();
-        let mut bytes = vec![0_u8; meta.len];
-        read_at(&self.file, (slot * self.slot_bytes) as u64, &mut bytes)?;
-        self.throttle.pace(start, bytes.len() as u64);
-        self.read_micros
-            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
-        self.bytes_read
-            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-
+        let payload = self.read_verified(slot, meta)?;
+        let payload = payload.as_slice();
         let corrupt = |reason: String| StorageError::SectionMismatch {
             name: "spill".into(),
             reason,
         };
-        if bytes[0..4] != MAGIC || bytes[4] != VERSION {
-            return Err(corrupt(format!("slot {slot}: bad header")));
-        }
-        let enc = SpillPrecision::from_tag(bytes[5])
-            .ok_or_else(|| corrupt(format!("slot {slot}: unknown encoding {}", bytes[5])))?;
-        let rows = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes")) as usize;
-        let cols = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes")) as usize;
-        if enc != meta.enc || rows != meta.rows || cols != meta.cols {
-            return Err(corrupt(format!("slot {slot}: header/metadata mismatch")));
-        }
-        let payload = &bytes[HEADER_BYTES..];
+        let (rows, cols) = (meta.rows, meta.cols);
         let read_f32 =
             |b: &[u8], i: usize| f32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().expect("4"));
         let (minb, rest) = payload.split_at(4 * rows);
@@ -508,7 +643,7 @@ mod tests {
         spill.offload(1, &t).unwrap();
         let back = spill.fetch(1).unwrap();
         assert_eq!(back, t);
-        let expected = (HEADER_BYTES + 4 * 8 * 4) as u64;
+        let expected = SpillPrecision::F32.encoded_bytes(4, 8) as u64;
         assert_eq!(spill.bytes_written(), expected);
         assert_eq!(spill.bytes_read(), expected);
         spill.cleanup().unwrap();
@@ -659,13 +794,109 @@ mod tests {
     fn encoded_bytes_matches_contract() {
         assert_eq!(
             SpillPrecision::F32.encoded_bytes(3, 8),
-            HEADER_BYTES + 3 * 8 * 4
+            HEADER_BYTES + 3 * 8 * 4 + CRC_BYTES
         );
         assert_eq!(
             SpillPrecision::Int8.encoded_bytes(3, 8),
-            HEADER_BYTES + 3 * 8 + 3 * 8
+            HEADER_BYTES + 3 * 8 + 3 * 8 + CRC_BYTES
         );
         // Default is the compressed format.
         assert_eq!(SpillPrecision::default(), SpillPrecision::Int8);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE reference vectors ("check" values from the CRC catalogue).
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn corrupted_slot_quarantines_with_typed_error() {
+        for precision in [SpillPrecision::F32, SpillPrecision::Int8] {
+            let path = tmp(&format!("crc-{precision:?}"));
+            let spill =
+                SpillFile::create(&path, 2, 4, 8, precision, Throttle::unlimited()).unwrap();
+            let t = Tensor::from_fn(4, 8, |r, c| ((r * 8 + c) as f32 * 0.3).sin());
+            spill.offload(0, &t).unwrap();
+            // Flip one payload byte on disk, behind the file's back.
+            let mut raw = vec![0_u8; 1];
+            read_at(&spill.file, HEADER_BYTES as u64 + 2, &mut raw).unwrap();
+            raw[0] ^= 0x01;
+            write_at(&spill.file, HEADER_BYTES as u64 + 2, &raw).unwrap();
+            match spill.fetch(0) {
+                Err(StorageError::ChecksumMismatch { slot, .. }) => assert_eq!(slot, 0),
+                other => panic!("expected checksum mismatch, got {other:?}"),
+            }
+            assert_eq!(spill.quarantined(), 1);
+            // Quarantine emptied the slot; a rewrite heals it.
+            assert!(spill.fetch(0).is_err(), "quarantined slot must read empty");
+            spill.offload(0, &t).unwrap();
+            assert_eq!(spill.fetch(0).unwrap().shape(), t.shape());
+            assert_eq!(spill.quarantined(), 1);
+            spill.cleanup().unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupted_block_slot_quarantines_on_block_fetch() {
+        let path = tmp("crc-block");
+        let spill =
+            SpillFile::create(&path, 1, 4, 8, SpillPrecision::Int8, Throttle::unlimited()).unwrap();
+        let block = RowQuantBlock::encode(&Tensor::from_fn(4, 8, |r, c| (r + c) as f32)).unwrap();
+        spill.offload_block(0, &block).unwrap();
+        let mut raw = vec![0_u8; 1];
+        read_at(&spill.file, HEADER_BYTES as u64, &mut raw).unwrap();
+        raw[0] ^= 0x80;
+        write_at(&spill.file, HEADER_BYTES as u64, &raw).unwrap();
+        assert!(matches!(
+            spill.fetch_block(0),
+            Err(StorageError::ChecksumMismatch { slot: 0, .. })
+        ));
+        assert_eq!(spill.quarantined(), 1);
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn version_2_slot_without_trailer_still_reads() {
+        let path = tmp("v2compat");
+        let spill =
+            SpillFile::create(&path, 1, 4, 8, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+        let t = Tensor::from_fn(4, 8, |r, c| (r * 8 + c) as f32 * 0.5);
+        spill.offload(0, &t).unwrap();
+        // Rewrite the slot as version 2: flip the version byte and trash
+        // the (now meaningless) trailer. A v3 reader must still decode it
+        // bit-exactly, skipping verification.
+        write_at(&spill.file, 4, &[VERSION_NO_CRC]).unwrap();
+        let trailer_at = (HEADER_BYTES + SpillPrecision::F32.payload_bytes(4, 8)) as u64;
+        write_at(&spill.file, trailer_at, &[0xDE, 0xAD, 0xBE, 0xEF]).unwrap();
+        assert_eq!(spill.fetch(0).unwrap(), t);
+        assert_eq!(spill.quarantined(), 0);
+        spill.cleanup().unwrap();
+    }
+
+    #[test]
+    fn fault_hook_corrupts_every_nth_fetch_deterministically() {
+        let path = tmp("faulthook");
+        let spill =
+            SpillFile::create(&path, 2, 4, 8, SpillPrecision::Int8, Throttle::unlimited()).unwrap();
+        let t = Tensor::from_fn(4, 8, |r, c| ((r + 2 * c) as f32 * 0.2).cos());
+        spill.offload(0, &t).unwrap();
+        spill.offload(1, &t).unwrap();
+        fault::corrupt_fetches_under(path.display().to_string(), 2);
+        let first = spill.fetch(0);
+        let second = spill.fetch(1);
+        fault::reset();
+        assert!(first.is_ok(), "fetch 1 of 2 must pass: {first:?}");
+        assert!(
+            matches!(second, Err(StorageError::ChecksumMismatch { .. })),
+            "fetch 2 of 2 must trip the injected corruption: {second:?}"
+        );
+        assert_eq!(spill.quarantined(), 1);
+        spill.cleanup().unwrap();
     }
 }

@@ -53,6 +53,9 @@ pub struct SpillStats {
     pub io_micros: u64,
     /// Microseconds the consumer blocked waiting on spill I/O.
     pub wait_micros: u64,
+    /// Slots quarantined after a checksum mismatch (each one forced a
+    /// recompute of its chunk from weights).
+    pub quarantined: u64,
 }
 
 impl SpillStats {
@@ -538,6 +541,7 @@ impl SpillPipeline {
             bytes_written: file.bytes_written(),
             io_micros: file.read_micros() + file.write_micros(),
             wait_micros: self.wait_micros,
+            quarantined: file.quarantined(),
         }
     }
 

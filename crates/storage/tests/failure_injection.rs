@@ -1,7 +1,13 @@
-//! Failure injection: corrupted containers, truncation, concurrent access.
+//! Failure injection: corrupted containers, truncation, concurrent
+//! access — and the spill tier: torn writes, truncation and bit-flips
+//! against `SpillFile`/`SpillPipeline` must surface as typed errors or
+//! quarantine-and-recompute, never a panic or silently wrong data.
 
-use prism_storage::{Container, ContainerWriter, LayerStreamer, SectionKind, Throttle};
-use prism_tensor::Tensor;
+use prism_storage::{
+    fault, Container, ContainerWriter, LayerStreamer, SectionKind, SpillFile, SpillPipeline,
+    SpillPrecision, StorageError, Throttle,
+};
+use prism_tensor::{RowQuantBlock, Tensor};
 
 fn tmp(tag: &str) -> std::path::PathBuf {
     let mut p = std::env::temp_dir();
@@ -104,6 +110,172 @@ fn streamer_surfaces_io_errors_without_hanging() {
         }
     }
     assert!(delivered >= 1);
+}
+
+fn spill_tensor(seed: f32) -> Tensor {
+    Tensor::from_fn(8, 16, |r, c| ((r * 16 + c) as f32 * 0.25 - 3.0) * seed)
+}
+
+/// Byte size of one spill slot as `SpillFile::create` lays it out.
+fn slot_bytes(max_rows: usize, cols: usize) -> usize {
+    SpillPrecision::F32
+        .encoded_bytes(max_rows, cols)
+        .max(SpillPrecision::Int8.encoded_bytes(max_rows, cols))
+}
+
+fn flip_byte(path: &std::path::Path, offset: usize) {
+    let mut bytes = std::fs::read(path).unwrap();
+    bytes[offset] ^= 0xFF;
+    std::fs::write(path, bytes).unwrap();
+}
+
+#[test]
+fn spill_payload_bitflip_quarantines_then_recomputes() {
+    // A flipped payload byte must fail the CRC as a typed
+    // `ChecksumMismatch`, quarantine the slot (a re-read sees it empty,
+    // never the corrupted bytes), and a recomputed write-back must
+    // restore the bit-exact round trip.
+    let path = tmp("spill-flip");
+    let file =
+        SpillFile::create(&path, 4, 8, 16, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+    let tensor = spill_tensor(1.0);
+    file.offload(0, &tensor).unwrap();
+    flip_byte(&path, 16 + 5); // inside slot 0's payload, past the header
+    let err = file.fetch(0).unwrap_err();
+    assert!(
+        matches!(err, StorageError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+    assert_eq!(file.quarantined(), 1);
+    // Quarantined means empty, not reusable garbage.
+    let err = file.fetch(0).unwrap_err();
+    assert!(
+        matches!(err, StorageError::SectionMismatch { .. }),
+        "{err:?}"
+    );
+    // The recompute path: re-offload and the round trip is exact again.
+    file.offload(0, &tensor).unwrap();
+    assert_eq!(file.fetch(0).unwrap().data(), tensor.data());
+    file.cleanup().unwrap();
+}
+
+#[test]
+fn spill_block_bitflip_quarantines_the_int8_path() {
+    // The int8 compute path's encoded round trip gets the same
+    // protection: a flipped code byte is a typed checksum failure, not
+    // silently wrong scores.
+    let path = tmp("spill-blockflip");
+    let file =
+        SpillFile::create(&path, 2, 8, 16, SpillPrecision::Int8, Throttle::unlimited()).unwrap();
+    let block = RowQuantBlock::encode(&spill_tensor(0.7)).unwrap();
+    file.offload_block(1, &block).unwrap();
+    let reread = file.fetch_block(1).unwrap();
+    assert_eq!(reread.codes(), block.codes(), "clean round trip is exact");
+    flip_byte(&path, slot_bytes(8, 16) + 16 + 8 * 8 + 3); // a code byte of slot 1
+    let err = file.fetch_block(1).unwrap_err();
+    assert!(
+        matches!(err, StorageError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+    assert_eq!(file.quarantined(), 1);
+    file.cleanup().unwrap();
+}
+
+#[test]
+fn spill_header_corruption_is_typed_never_wrong_data() {
+    // Flips across the slot header (magic, version, encoding tag, shape
+    // fields) must all produce typed errors — whichever validation
+    // catches them first — and never a panic or a tensor built from a
+    // lying header.
+    for offset in [0_usize, 4, 5, 8, 12] {
+        let path = tmp(&format!("spill-hdr-{offset}"));
+        let file =
+            SpillFile::create(&path, 2, 8, 16, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+        file.offload(0, &spill_tensor(1.3)).unwrap();
+        flip_byte(&path, offset);
+        assert!(file.fetch(0).is_err(), "header flip at {offset} fetched Ok");
+        file.cleanup().unwrap();
+    }
+}
+
+#[test]
+fn spill_truncation_fails_the_cut_slot_only() {
+    // A truncated scratch file (lost tail after a crash) must fail reads
+    // of the cut slot with a typed error while intact slots stay
+    // readable.
+    let path = tmp("spill-trunc");
+    let file =
+        SpillFile::create(&path, 2, 8, 16, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+    let tensor = spill_tensor(2.1);
+    file.offload(0, &tensor).unwrap();
+    file.offload(1, &tensor).unwrap();
+    let keep = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+    keep.set_len((slot_bytes(8, 16) + 24) as u64).unwrap(); // cut into slot 1
+    drop(keep);
+    assert!(
+        file.fetch(1).is_err(),
+        "read past EOF must be a typed error"
+    );
+    assert_eq!(file.fetch(0).unwrap().data(), tensor.data());
+    file.cleanup().unwrap();
+}
+
+#[test]
+fn spill_torn_write_is_caught_by_the_checksum() {
+    // A torn write — prefix landed, tail didn't — leaves a plausible
+    // header with a stale payload; the CRC trailer catches it and the
+    // slot quarantines.
+    let path = tmp("spill-torn");
+    let file =
+        SpillFile::create(&path, 2, 8, 16, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+    file.offload(0, &spill_tensor(0.4)).unwrap();
+    let len = SpillPrecision::F32.encoded_bytes(8, 16);
+    let mut bytes = std::fs::read(&path).unwrap();
+    for b in &mut bytes[len / 2..len] {
+        *b = 0;
+    }
+    std::fs::write(&path, bytes).unwrap();
+    let err = file.fetch(0).unwrap_err();
+    assert!(
+        matches!(err, StorageError::ChecksumMismatch { .. }),
+        "{err:?}"
+    );
+    assert_eq!(file.quarantined(), 1);
+    file.cleanup().unwrap();
+}
+
+#[test]
+fn pipeline_corrupted_fetch_is_typed_then_recomputable() {
+    // Both pipeline modes must surface a corrupted slot as the typed
+    // checksum error (through the reader lane when overlapped) and
+    // accept a recomputed write-back afterwards — the engine's
+    // quarantine-and-recompute contract.
+    let run = |overlapped: bool, tag: &str| {
+        let path = tmp(&format!("spill-pipe-{tag}"));
+        let file =
+            SpillFile::create(&path, 2, 8, 16, SpillPrecision::F32, Throttle::unlimited()).unwrap();
+        let tensor = spill_tensor(1.9);
+        let mut pipe = if overlapped {
+            SpillPipeline::overlapped(file).unwrap()
+        } else {
+            SpillPipeline::synchronous(file)
+        };
+        pipe.write_back(0, tensor.clone()).unwrap();
+        pipe.drain().unwrap();
+        fault::corrupt_fetches_under(path.to_string_lossy().into_owned(), 1);
+        pipe.prefetch(0).unwrap();
+        let err = pipe.fetch(0).unwrap_err();
+        assert!(
+            matches!(err, StorageError::ChecksumMismatch { .. }),
+            "{err:?}"
+        );
+        fault::reset();
+        pipe.write_back(0, tensor.clone()).unwrap();
+        assert_eq!(pipe.fetch(0).unwrap().data(), tensor.data());
+        pipe.cleanup().unwrap();
+    };
+    run(false, "sync");
+    run(true, "over");
 }
 
 #[test]

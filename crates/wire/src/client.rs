@@ -12,7 +12,10 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use prism_api::{admission_deadline, Completion, SelectionHandle, SelectionService, ServiceError};
+use prism_api::{
+    admission_deadline, Completion, RetryPolicy, SelectionHandle, SelectionOutcome,
+    SelectionService, ServiceError,
+};
 use prism_core::{CancelToken, ProgressUpdate, RequestOptions};
 use prism_model::SequenceBatch;
 
@@ -70,13 +73,80 @@ impl WireClient {
     /// submissions run under).
     pub fn connect(addr: &str, session: impl Into<String>) -> Result<Self, WireError> {
         let stream = TcpStream::connect(addr)?;
+        Self::finish_connect(stream, session.into())
+    }
+
+    /// [`WireClient::connect`] with an overall deadline on connection
+    /// establishment *and* the handshake round-trip, surfacing typed
+    /// facade errors: a budget overrun is
+    /// [`ServiceError::DeadlineExceeded`], transport failures are
+    /// [`ServiceError::Disconnected`], protocol violations are
+    /// [`ServiceError::Config`]. Established connections read without a
+    /// timeout (results can legitimately take long); pair with
+    /// [`WireClient::ping`] for liveness bounds.
+    pub fn connect_timeout(
+        addr: &str,
+        session: impl Into<String>,
+        timeout: Duration,
+    ) -> Result<Self, ServiceError> {
+        use std::net::ToSocketAddrs;
+        let deadline = Instant::now() + timeout;
+        let addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServiceError::Config(format!("resolving {addr}: {e}")))?
+            .collect();
+        if addrs.is_empty() {
+            return Err(ServiceError::Config(format!("{addr} resolves to nothing")));
+        }
+        let mut stream = None;
+        for a in &addrs {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(ServiceError::DeadlineExceeded);
+            }
+            match TcpStream::connect_timeout(a, remaining) {
+                Ok(s) => {
+                    stream = Some(s);
+                    break;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::TimedOut => {
+                    return Err(ServiceError::DeadlineExceeded);
+                }
+                Err(_) => {}
+            }
+        }
+        let stream = stream.ok_or(ServiceError::Disconnected)?;
+        // Bound the handshake round-trip by the remaining budget; the
+        // read timeout is a socket option shared by every clone, so it
+        // is cleared again inside `finish_connect` before the reader
+        // thread takes over.
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() {
+            return Err(ServiceError::DeadlineExceeded);
+        }
+        stream.set_read_timeout(Some(remaining)).ok();
+        match Self::finish_connect(stream, session.into()) {
+            Ok(client) => Ok(client),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(ServiceError::DeadlineExceeded);
+                }
+                Err(match e {
+                    WireError::Corrupt(why) => ServiceError::Config(why),
+                    _ => ServiceError::Disconnected,
+                })
+            }
+        }
+    }
+
+    fn finish_connect(stream: TcpStream, session: String) -> Result<Self, WireError> {
         stream.set_nodelay(true).ok();
         let mut handshake = stream.try_clone()?;
         write_frame(
             &mut handshake,
             &Message::Hello {
                 version: WIRE_VERSION,
-                session: session.into(),
+                session,
             },
         )?;
         match read_frame(&mut handshake)? {
@@ -95,6 +165,10 @@ impl WireClient {
                 )));
             }
         }
+        // The handshake's read timeout (if any) must not apply to the
+        // reader thread: a legitimate selection can take arbitrarily
+        // long, and a spurious timeout would tear the connection down.
+        stream.set_read_timeout(None).ok();
 
         let shared = Arc::new(ClientShared {
             writer: Mutex::new(stream),
@@ -161,6 +235,39 @@ impl WireClient {
                 .wait_timeout(pong, deadline - now)
                 .expect("pong lock");
             pong = next;
+        }
+    }
+
+    /// Blocking submit-and-wait under a [`RetryPolicy`]: transient
+    /// failures (backpressure — honoring the server's `retry_after`
+    /// hint as a floor — and shard failures) are retried with
+    /// decorrelated-jitter backoff until the policy's attempt cap or
+    /// sleep budget runs out; terminal errors surface immediately.
+    /// Returns the outcome plus the number of retries consumed, so
+    /// callers can fold the count into their telemetry.
+    pub fn select_with_retry(
+        &self,
+        batch: &SequenceBatch,
+        options: &RequestOptions,
+        policy: &RetryPolicy,
+    ) -> (Result<SelectionOutcome, ServiceError>, u32) {
+        let mut schedule = policy.schedule();
+        loop {
+            let err = match self.submit(batch.clone(), options.clone()) {
+                Ok(handle) => match handle.wait() {
+                    Ok(outcome) => return (Ok(outcome), schedule.retries()),
+                    Err(e) => e,
+                },
+                Err(e) => e,
+            };
+            match schedule.next_delay(&err) {
+                Some(delay) => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                }
+                None => return (Err(err), schedule.retries()),
+            }
         }
     }
 }

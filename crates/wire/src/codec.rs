@@ -25,16 +25,18 @@ use std::io::{Read, Write};
 
 use prism_api::{Progress, SelectionOutcome, ServiceError};
 use prism_core::{
-    ComputePrecision, EngineTrace, Priority, PruneMode, RankedCandidate, RequestOptions, Selection,
-    SemCacheMode, SpillPrecision,
+    ComputePrecision, EngineTrace, PartialMode, Priority, PruneMode, RankedCandidate,
+    RequestOptions, Selection, SemCacheMode, SpillPrecision,
 };
 use prism_model::SequenceBatch;
 
 /// Protocol version carried in the `Hello` handshake.
 ///
 /// Version history: 1 = initial protocol; 2 = `Submit` options grew the
-/// trailing semantic-result-cache mode byte (`SemCacheMode`).
-pub const WIRE_VERSION: u32 = 2;
+/// trailing semantic-result-cache mode byte (`SemCacheMode`); 3 =
+/// `Submit` options grew the degraded-mode byte (`PartialMode`) and
+/// `Result` outcomes carry the selection's coverage fraction.
+pub const WIRE_VERSION: u32 = 3;
 
 /// Hard ceiling on one frame's byte length (type byte + payload). Large
 /// enough for a maximal candidate batch, small enough that a hostile
@@ -246,6 +248,10 @@ impl Enc {
             SemCacheMode::VerifyAndFallback => 1,
             SemCacheMode::Aggressive => 2,
         });
+        self.u8(match o.on_partial {
+            PartialMode::Fail => 0,
+            PartialMode::Partial => 1,
+        });
     }
 
     fn batch(&mut self, b: &SequenceBatch) {
@@ -276,6 +282,7 @@ impl Enc {
         for &s in &sel.last_scores {
             self.f32_bits(s);
         }
+        self.f32_bits(sel.coverage);
         // Trace summary: the routing events and score trace are
         // server-side diagnostics; the wire carries the conformance
         // surface (ranked + last_scores, both bit-exact) plus the cheap
@@ -511,6 +518,11 @@ impl<'a> Dec<'a> {
             2 => SemCacheMode::Aggressive,
             v => return Err(WireError::Corrupt(format!("semcache tag {v}"))),
         };
+        let on_partial = match self.u8()? {
+            0 => PartialMode::Fail,
+            1 => PartialMode::Partial,
+            v => return Err(WireError::Corrupt(format!("on-partial tag {v}"))),
+        };
         Ok(RequestOptions {
             k,
             tag,
@@ -522,6 +534,7 @@ impl<'a> Dec<'a> {
             spill_precision,
             compute_precision,
             semcache,
+            on_partial,
         })
     }
 
@@ -566,6 +579,10 @@ impl<'a> Dec<'a> {
         for _ in 0..n_scores {
             last_scores.push(self.f32_bits()?);
         }
+        let coverage = self.f32_bits()?;
+        if !(0.0..=1.0).contains(&coverage) {
+            return Err(WireError::Corrupt(format!("coverage {coverage}")));
+        }
         let n_active = self.count(4, "active-per-layer")?;
         let mut active_per_layer = Vec::with_capacity(n_active);
         for _ in 0..n_active {
@@ -583,6 +600,7 @@ impl<'a> Dec<'a> {
             selection: Selection {
                 ranked,
                 last_scores,
+                coverage,
                 trace,
             },
             ticket,
@@ -750,6 +768,7 @@ mod tests {
             spill_precision: SpillPrecision::F32,
             compute_precision: ComputePrecision::Int8,
             semcache: SemCacheMode::VerifyAndFallback,
+            on_partial: PartialMode::Partial,
         };
         let got = round_trip(&Message::Submit {
             request_id: 7,
@@ -782,6 +801,7 @@ mod tests {
                     decided_at_layer: 4,
                 }],
                 last_scores: vec![f32::MIN_POSITIVE, -0.0, 3.25],
+                coverage: 0.75,
                 trace: EngineTrace {
                     active_per_layer: vec![5, 3, 1],
                     executed_layers: 3,
@@ -819,6 +839,7 @@ mod tests {
                     .map(|s| s.to_bits())
                     .collect();
                 assert_eq!(got_bits, want_bits);
+                assert_eq!(o.selection.coverage, 0.75);
                 assert_eq!(o.selection.trace.active_per_layer, vec![5, 3, 1]);
                 assert_eq!(o.selection.trace.spill_bytes, 77);
             }

@@ -5,8 +5,8 @@
 
 use prism_api::{Progress, SelectionOutcome, ServiceError};
 use prism_core::{
-    ComputePrecision, EngineTrace, Priority, PruneMode, RankedCandidate, RequestOptions, Selection,
-    SemCacheMode, SpillPrecision,
+    ComputePrecision, EngineTrace, PartialMode, Priority, PruneMode, RankedCandidate,
+    RequestOptions, Selection, SemCacheMode, SpillPrecision,
 };
 use prism_model::SequenceBatch;
 use prism_wire::{decode_message, encode_message, read_frame, write_frame, Message, WireError};
@@ -57,6 +57,11 @@ fn build_message(
             0 => SemCacheMode::Off,
             1 => SemCacheMode::VerifyAndFallback,
             _ => SemCacheMode::Aggressive,
+        },
+        on_partial: if small.is_multiple_of(2) {
+            PartialMode::Fail
+        } else {
+            PartialMode::Partial
         },
     };
     let error = match small % 9 {
@@ -118,6 +123,8 @@ fn build_message(
                         })
                         .collect(),
                     last_scores: bits.iter().map(|&b| f32::from_bits(b)).collect(),
+                    // Coverage must decode: keep it a valid fraction.
+                    coverage: (small % 101) as f32 / 100.0,
                     trace: EngineTrace {
                         active_per_layer: bits.iter().map(|&b| b as usize % 64).collect(),
                         executed_layers: small as usize % 12,

@@ -538,3 +538,125 @@ fn wire_loopback_soak_stays_bit_identical() {
     wire.shutdown();
     std::fs::remove_file(&path).ok();
 }
+
+/// `connect_timeout` bounds connection establishment *and* the
+/// handshake: a peer that accepts TCP but never answers `Hello` yields
+/// a typed `DeadlineExceeded` within the budget, while a live server
+/// connects normally under the same API.
+#[test]
+fn connect_timeout_surfaces_typed_deadline() {
+    // Never-accepting listener: the TCP handshake lands in the backlog,
+    // the protocol handshake never completes.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let t0 = Instant::now();
+    let err = WireClient::connect_timeout(&addr, "tenant", Duration::from_millis(100))
+        .err()
+        .expect("handshake must not complete");
+    assert!(
+        matches!(err, ServiceError::DeadlineExceeded),
+        "expected DeadlineExceeded, got {err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "timeout did not bound the handshake: {:?}",
+        t0.elapsed()
+    );
+    drop(listener);
+
+    let (config, path) = fixture("connect-timeout");
+    let server = PrismServer::start(engine(&config, &path), ServeConfig::default()).unwrap();
+    let wire = WireServer::start(Arc::new(server), "127.0.0.1:0").unwrap();
+    let client = WireClient::connect_timeout(
+        &wire.local_addr().to_string(),
+        "tenant",
+        Duration::from_secs(10),
+    )
+    .unwrap();
+    assert!(client.is_connected());
+    // The handshake's read timeout must not linger on the reader: a
+    // full round-trip still works after a quiet moment.
+    let batch = batches(&config, 1, 8).pop().unwrap();
+    client
+        .submit(batch, RequestOptions::tagged(K, 1))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
+
+/// `select_with_retry` absorbs queue backpressure: with the queue
+/// saturated by slow in-flight work, the retrying client sleeps out the
+/// server's `retry_after` hints and lands the request — bit-identically
+/// to the uncontended result — instead of surfacing `Backpressure`.
+#[test]
+fn select_with_retry_absorbs_backpressure() {
+    let (config, path) = fixture("retry-bp");
+    let server = PrismServer::start_sharded(
+        (0..2).map(|_| resident_engine(&config, &path)).collect(),
+        ServeConfig {
+            workers: 1,
+            queue_capacity: 1,
+            max_batch_requests: 1,
+            session_cache_capacity: 0,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let batch = batches(&config, 1, 10).pop().unwrap();
+    // Every layer boundary of both shards stalls, keeping the single
+    // worker busy long enough for the queue to back up behind it
+    // (whichever shard the batch routes to).
+    for shard in 0..2 {
+        server
+            .shards()
+            .unwrap()
+            .inject_fault(shard, ShardFault::Slow(Duration::from_millis(10)));
+    }
+
+    let (wire, client) = wire_pair(server, "tenant");
+    let reference = client
+        .submit(batch.clone(), RequestOptions::tagged(K, 1))
+        .unwrap()
+        .wait()
+        .unwrap();
+
+    // Saturate: one request in flight, one queued. The stagger lets the
+    // worker pop the first before the second arrives, so the queue slot
+    // stays occupied for the whole (slow) execution.
+    let mut held = Vec::new();
+    for i in 0..2 {
+        held.push(
+            client
+                .submit(batch.clone(), RequestOptions::tagged(K, 100 + i))
+                .unwrap(),
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let policy = prism_api::RetryPolicy::default()
+        .with_max_attempts(32)
+        .with_budget(Duration::from_secs(30));
+    let (outcome, retries) =
+        client.select_with_retry(&batch, &RequestOptions::tagged(K, 1), &policy);
+    let outcome = outcome.expect("retrying client must land the request");
+    assert!(
+        retries > 0,
+        "queue was saturated; at least one backpressure retry expected"
+    );
+    assert_eq!(
+        exact_bits(&outcome.selection),
+        exact_bits(&reference.selection),
+        "retried result diverged"
+    );
+    for h in held {
+        h.wait().unwrap();
+    }
+
+    drop(client);
+    wire.shutdown();
+    std::fs::remove_file(&path).unwrap();
+}
